@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark suite.
+
+Databases are built once per session (construction cost is measured by
+dedicated benchmarks, not smeared across every test).
+"""
+
+import pytest
+
+from vidb.workloads.generator import WorkloadConfig, random_database
+from vidb.workloads.paper import news_schedule, rope_database
+
+
+@pytest.fixture(scope="session")
+def rope_db():
+    return rope_database()
+
+
+@pytest.fixture(scope="session")
+def small_db():
+    return random_database(WorkloadConfig(
+        entities=25, intervals=50, facts=50, seed=101))
+
+
+@pytest.fixture(scope="session")
+def medium_db():
+    return random_database(WorkloadConfig(
+        entities=100, intervals=200, facts=200, seed=102))
+
+
+@pytest.fixture(scope="session")
+def schedule():
+    return news_schedule()

@@ -1,0 +1,63 @@
+"""Analytics-layer benchmarks: the archive report over growing databases,
+plus keyframe extraction and query-by-example on the video substrate."""
+
+import pytest
+
+from vidb.analytics import (
+    activity_histogram,
+    co_occurrence,
+    coverage,
+    screen_time,
+    summary,
+)
+from vidb.video.keyframes import extract_keyframes, similar_shots
+from vidb.video.synthetic import generate_video
+from vidb.workloads.generator import WorkloadConfig, random_database
+
+
+@pytest.fixture(scope="module")
+def db():
+    return random_database(WorkloadConfig(
+        entities=40, intervals=120, facts=0, seed=301))
+
+
+def test_screen_time(benchmark, db):
+    times = benchmark(screen_time, db)
+    assert len(times) == 40
+
+
+def test_co_occurrence(benchmark, db):
+    pairs = benchmark(co_occurrence, db)
+    assert pairs
+
+
+def test_coverage(benchmark, db):
+    value = benchmark(coverage, db)
+    assert 0.0 < value <= 1.0
+
+
+def test_activity_histogram(benchmark, db):
+    rows = benchmark(activity_histogram, db, 24)
+    assert len(rows) == 24
+
+
+def test_summary_report(benchmark, db):
+    report = benchmark(summary, db)
+    assert report["screen_time"]
+
+
+@pytest.fixture(scope="module")
+def frames():
+    video = generate_video(seed=302, duration=90, fps=8, shot_count=12)
+    return list(video.frames())
+
+
+def test_keyframe_extraction(benchmark, frames):
+    keyframes = benchmark(extract_keyframes, frames)
+    assert len(keyframes) >= 10
+
+
+def test_query_by_example(benchmark, frames):
+    probe = frames[len(frames) // 2].histogram
+    ranked = benchmark(similar_shots, frames, probe, 5)
+    assert len(ranked) == 5

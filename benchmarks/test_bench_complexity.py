@@ -1,0 +1,142 @@
+"""E8/E9: the paper's complexity claims, measured.
+
+* **E8 — PTIME data complexity** (dense-order constraints, [37]): query
+  evaluation time as a function of database size should fit a low-degree
+  polynomial.  We sweep a size ladder, fit a log-log slope, and assert it
+  stays near the analytical degree of the query plan (≤ ~2.5 for the
+  membership query, which is linear in intervals × members).
+* **E9 — set-order constraint solving** ([37] PTIME procedures): the
+  bound-propagation satisfiability/entailment procedures scale
+  polynomially in the number of atoms (near-linear for chains).
+"""
+
+import pytest
+
+from vidb.bench.tables import format_table
+from vidb.bench.timing import loglog_slope, time_callable
+from vidb.constraints.setorder import (
+    Member,
+    SetConjunction,
+    SetVar,
+    SubsetConst,
+    SubsetVar,
+)
+from vidb.query.engine import QueryEngine
+from vidb.query.parser import parse_query
+from vidb.workloads.generator import scaling_series
+
+MEMBERSHIP = parse_query("?- interval(G), object(O), O in G.entities.")
+TEMPORAL = parse_query(
+    "?- interval(G), object(O), O in G.entities, "
+    "G.duration => (t > 0 and t < 5000).")
+
+SIZES = [25, 50, 100, 200]
+
+
+@pytest.fixture(scope="module")
+def ladder():
+    return scaling_series(SIZES, seed=11)
+
+
+def test_ptime_scaling_membership(benchmark, ladder, capsys):
+    """The headline PTIME check: measured slope of a log-log fit."""
+    def sweep():
+        rows, xs, ys = [], [], []
+        for size, db in ladder:
+            engine = QueryEngine(db)
+            seconds = time_callable(lambda: engine.query(MEMBERSHIP), repeat=3)
+            rows.append({"db_size": size, "seconds": seconds})
+            xs.append(size)
+            ys.append(seconds)
+        return rows, xs, ys
+
+    rows, xs, ys = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    slope = loglog_slope(xs, ys)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="E8 — membership query scaling"))
+        print(f"log-log slope (empirical polynomial degree): {slope:.2f}")
+    assert slope < 2.5, f"membership query scaled super-quadratically ({slope:.2f})"
+
+
+def test_ptime_scaling_temporal(benchmark, ladder, capsys):
+    def sweep():
+        rows, xs, ys = [], [], []
+        for size, db in ladder:
+            engine = QueryEngine(db)
+            seconds = time_callable(lambda: engine.query(TEMPORAL), repeat=3)
+            rows.append({"db_size": size, "seconds": seconds})
+            xs.append(size)
+            ys.append(seconds)
+        return rows, xs, ys
+
+    rows, xs, ys = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    slope = loglog_slope(xs, ys)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="E8 — temporal-entailment query scaling"))
+        print(f"log-log slope: {slope:.2f}")
+    assert slope < 2.5
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_query_at_size(benchmark, size):
+    """Per-size benchmark rows for the pytest-benchmark table."""
+    from vidb.workloads.generator import WorkloadConfig, random_database
+
+    db = random_database(WorkloadConfig(
+        entities=max(4, size // 2), intervals=size, facts=size, seed=11))
+    engine = QueryEngine(db)
+    benchmark(engine.query, MEMBERSHIP)
+
+
+# --- E9: set-order constraint procedures ------------------------------------------
+
+def _chain(length):
+    variables = [SetVar(f"X{i}") for i in range(length + 1)]
+    atoms = [Member("seed", variables[0])]
+    for first, second in zip(variables, variables[1:]):
+        atoms.append(SubsetVar(first, second))
+    atoms.append(SubsetConst(variables[-1], {"seed", "other"}))
+    return atoms, variables
+
+
+@pytest.mark.parametrize("length", [10, 50, 100])
+def test_setorder_satisfiability(benchmark, length):
+    atoms, __ = _chain(length)
+    result = benchmark(lambda: SetConjunction(atoms).satisfiable())
+    assert result is True
+
+
+@pytest.mark.parametrize("length", [10, 50, 100])
+def test_setorder_entailment(benchmark, length):
+    atoms, variables = _chain(length)
+    conjunction = SetConjunction(atoms)
+    goal = Member("seed", variables[-1])
+    result = benchmark(conjunction.entails_atom, goal)
+    assert result is True
+
+
+def test_setorder_polynomial_scaling(benchmark, capsys):
+    """Construction+satisfiability time along growing chains stays
+    polynomial (the PTIME claim of [37])."""
+    lengths = [20, 40, 80, 160]
+
+    def sweep():
+        xs, ys, rows = [], [], []
+        for length in lengths:
+            atoms, __ = _chain(length)
+            seconds = time_callable(
+                lambda: SetConjunction(atoms).satisfiable(), repeat=3)
+            xs.append(length)
+            ys.append(seconds)
+            rows.append({"atoms": length + 2, "seconds": seconds})
+        return xs, ys, rows
+
+    xs, ys, rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    slope = loglog_slope(xs, ys)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="E9 — set-order chain satisfiability"))
+        print(f"log-log slope: {slope:.2f}")
+    assert slope < 3.2

@@ -1,0 +1,76 @@
+"""E6: Section 6.2's derived and constructive relations.
+
+Measures the cost of the paper's three rules — ``contains`` (quadratic
+duration-entailment), ``same_object_in`` (three-way join), and the
+constructive ``concatenate_Gintervals`` (⊕ object creation) — over the
+Rope database and a generated archive.
+"""
+
+import pytest
+
+from vidb.query.engine import QueryEngine
+from vidb.query.parser import parse_program
+from vidb.workloads.generator import WorkloadConfig, random_database
+from vidb.workloads.paper import section62_rules
+
+CONTAINS = parse_program(
+    "contains(G1, G2) :- interval(G1), interval(G2), "
+    "G2.duration => G1.duration.")
+
+SAME_OBJECT = parse_program(
+    "same_object_in(G1, G2, O) :- interval(G1), interval(G2), object(O), "
+    "O in G1.entities, O in G2.entities.")
+
+
+def test_section62_on_rope(benchmark, rope_db):
+    engine = QueryEngine(rope_db)
+    engine.add_rules(section62_rules())
+    result = benchmark(engine.materialize)
+    assert result.stats.created_objects == 1
+
+
+def test_contains_small(benchmark, small_db):
+    engine = QueryEngine(small_db)
+    engine.add_rules(CONTAINS)
+    result = benchmark(engine.materialize)
+    assert len(result.relation("contains")) >= len(small_db.intervals())
+
+
+def test_same_object_in_small(benchmark, small_db):
+    engine = QueryEngine(small_db)
+    engine.add_rules(SAME_OBJECT)
+    result = benchmark(engine.materialize)
+    assert result.relation("same_object_in")
+
+
+@pytest.mark.parametrize("base_intervals", [3, 5, 7])
+def test_constructive_closure_growth(benchmark, base_intervals):
+    """⊕-closure growth: all intervals share one object, so the recursive
+    montage rule drives the closure toward 2^n - 1; the object budget and
+    wall-clock grow accordingly.  (The absorption law is what makes this
+    finite at all.)"""
+    db = random_database(WorkloadConfig(
+        entities=1, intervals=base_intervals, facts=0,
+        entities_per_interval=1, seed=7))
+    program = parse_program("""
+        montage(G) :- interval(G).
+        montage(G1 ++ G2) :- montage(G1), montage(G2).
+    """)
+
+    def run():
+        engine = QueryEngine(db, max_objects=10_000)
+        engine.add_rules(program)
+        return engine.materialize()
+
+    result = benchmark(run)
+    assert len(result.relation("montage")) == 2 ** base_intervals - 1
+
+
+def test_eager_vs_lazy_domain(benchmark, rope_db):
+    """Definition 19's eager pairwise extension vs the lazy reading."""
+    def eager():
+        return QueryEngine(rope_db, extended_domain="eager").query(
+            "?- interval(G).")
+
+    answers = benchmark(eager)
+    assert len(answers) == 3  # gi1, gi2, gi1++gi2

@@ -1,0 +1,95 @@
+"""E1-E3: the three indexing schemes of Figures 1-3, head to head.
+
+Regenerates the paper's Section 3 comparison as numbers: per-scheme build
+cost, point-query cost, footprint-retrieval cost, plus a printed summary
+table (records / precision / recall / point accuracy) mirroring the
+qualitative claims of Figures 1-3.
+"""
+
+import pytest
+
+from vidb.bench.tables import format_table
+from vidb.indexing.compare import build_all, compare, schedule_span
+from vidb.indexing.generalized import GeneralizedIntervalIndex
+from vidb.indexing.segmentation import SegmentationIndex
+from vidb.indexing.stratification import StratificationIndex
+
+SEGMENTS = 18
+
+
+def _fill(store, schedule):
+    for descriptor, footprint in schedule.items():
+        for fragment in footprint:
+            store.annotate(descriptor, fragment.lo, fragment.hi)
+    return store
+
+
+# --- build cost (E1, E2, E3) -------------------------------------------------
+
+def test_segmentation_build(benchmark, schedule):
+    start, end = schedule_span(schedule)
+
+    def build():
+        return _fill(SegmentationIndex.uniform(start, end, SEGMENTS), schedule)
+
+    index = benchmark(build)
+    assert index.descriptors() == frozenset(schedule)
+
+
+def test_stratification_build(benchmark, schedule):
+    index = benchmark(lambda: _fill(StratificationIndex(), schedule))
+    assert index.descriptor_count() == sum(len(fp) for fp in schedule.values())
+
+
+def test_generalized_build(benchmark, schedule):
+    index = benchmark(lambda: _fill(GeneralizedIntervalIndex(), schedule))
+    assert index.descriptor_count() == len(schedule)
+
+
+# --- point-query cost ------------------------------------------------------------
+
+@pytest.mark.parametrize("scheme_index, scheme", [
+    (0, "segmentation"), (1, "stratification"), (2, "generalized")])
+def test_point_query(benchmark, schedule, scheme_index, scheme):
+    store = build_all(schedule, segment_count=SEGMENTS)[scheme_index]
+    assert store.scheme == scheme
+    start, end = schedule_span(schedule)
+    probes = [start + (end - start) * i / 50 for i in range(50)]
+
+    def probe_all():
+        return [store.at(t) for t in probes]
+
+    results = benchmark(probe_all)
+    assert len(results) == 50
+
+
+# --- footprint retrieval: the "single identifier" property ------------------------
+
+@pytest.mark.parametrize("scheme_index, scheme", [
+    (0, "segmentation"), (1, "stratification"), (2, "generalized")])
+def test_footprint_retrieval(benchmark, schedule, scheme_index, scheme):
+    store = build_all(schedule, segment_count=SEGMENTS)[scheme_index]
+    descriptors = sorted(store.descriptors(), key=str)
+
+    def retrieve_all():
+        return [store.footprint(d) for d in descriptors]
+
+    footprints = benchmark(retrieve_all)
+    assert len(footprints) == len(schedule)
+
+
+# --- the summary table (the "figure") ----------------------------------------------
+
+def test_scheme_comparison_table(benchmark, schedule, capsys):
+    """Prints the E1-E3 table and asserts the paper's qualitative shape."""
+    rows = benchmark(compare, schedule, segment_count=SEGMENTS)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            rows, title="E1-E3 — indexing schemes on the Figure 3 schedule"))
+    by_scheme = {row["scheme"]: row for row in rows}
+    assert (by_scheme["generalized"]["records"]
+            < by_scheme["stratification"]["records"]
+            < by_scheme["segmentation"]["records"])
+    assert by_scheme["segmentation"]["precision"] < 1.0
+    assert by_scheme["generalized"]["f1"] == 1.0

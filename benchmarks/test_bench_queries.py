@@ -1,0 +1,59 @@
+"""E5: the Section 6.1 example queries, as benchmarks.
+
+Runs each of the paper's Q1-Q6 over the Rope database (the paper's own
+data) and the heavier template equivalents over a generated archive, so
+the cost of each query shape (membership probe, subset, temporal
+entailment, relational join, attribute selection) is visible.
+"""
+
+import pytest
+
+from vidb.query.engine import QueryEngine
+from vidb.query.parser import parse_query
+from vidb.workloads.generator import QUERY_TEMPLATES
+from vidb.workloads.paper import paper_queries
+
+PAPER_EXPECTED = {
+    "Q1": 4, "Q2": 2, "Q3": 1, "Q4a": 2, "Q4b": 2, "Q5": 2, "Q6": 2,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_EXPECTED))
+def test_paper_query(benchmark, rope_db, name):
+    engine = QueryEngine(rope_db)
+    query = parse_query(paper_queries()[name])
+    answers = benchmark(engine.query, query)
+    assert len(answers) == PAPER_EXPECTED[name]
+
+
+@pytest.mark.parametrize("template", sorted(QUERY_TEMPLATES))
+def test_template_query_small(benchmark, small_db, template):
+    engine = QueryEngine(small_db)
+    query = parse_query(QUERY_TEMPLATES[template])
+    benchmark(engine.query, query)
+
+
+@pytest.mark.parametrize("template", ["membership", "attribute", "temporal"])
+def test_template_query_medium(benchmark, medium_db, template):
+    engine = QueryEngine(medium_db)
+    query = parse_query(QUERY_TEMPLATES[template])
+    benchmark(engine.query, query)
+
+
+def test_parse_cost(benchmark):
+    """Parsing is not the bottleneck: a full Q5-style rule per call."""
+    text = ("?- interval(G), object(O1), object(O2), O1 in G.entities, "
+            "O2 in G.entities, in(O1, O2, G).")
+    benchmark(parse_query, text)
+
+
+def test_direct_index_vs_rule_language(benchmark, medium_db):
+    """The storage layer's direct access path for Q2, for comparison with
+    the rule-language route (the declarativity overhead)."""
+    entity = medium_db.entities()[0].oid
+
+    def direct():
+        return medium_db.intervals_with_entity(entity)
+
+    result = benchmark(direct)
+    assert isinstance(result, list)

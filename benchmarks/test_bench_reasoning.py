@@ -1,0 +1,80 @@
+"""Temporal-reasoning benchmarks: composition table, path consistency,
+scenario extraction, and constraint projection."""
+
+import pytest
+
+from vidb.constraints.eliminate import eliminate_variable, project
+from vidb.constraints.terms import Var
+from vidb.intervals.composition import compose, composition_table
+from vidb.intervals.network import IntervalNetwork, network_from_facts
+from vidb.workloads.generator import WorkloadConfig, random_database
+
+
+def test_composition_table_derivation(benchmark):
+    """Deriving the full 13x13 table by enumeration (cached afterwards)."""
+    def derive():
+        composition_table.cache_clear()
+        return composition_table()
+
+    table = benchmark(derive)
+    assert len(table) == 169
+
+
+def test_composition_lookup(benchmark):
+    composition_table()  # warm the cache
+    result = benchmark(compose, "overlaps", "during")
+    assert result
+
+
+@pytest.mark.parametrize("nodes", [6, 10, 14])
+def test_path_consistency(benchmark, nodes):
+    """Propagation over a chain network with loose constraints."""
+    def build_and_propagate():
+        network = IntervalNetwork()
+        for i in range(nodes - 1):
+            network.constrain(f"n{i}", f"n{i + 1}",
+                              {"before", "meets", "overlaps"})
+        network.constrain("n0", f"n{nodes - 1}", {"before"})
+        assert network.propagate()
+        return network
+
+    network = benchmark(build_and_propagate)
+    assert len(network.nodes()) == nodes
+
+
+def test_scenario_extraction(benchmark):
+    def extract():
+        network = IntervalNetwork()
+        network.constrain("a", "b", {"before", "meets"})
+        network.constrain("b", "c", {"overlaps", "during"})
+        network.constrain("c", "d", {"before"})
+        return network.scenario()
+
+    scenario = benchmark(extract)
+    assert scenario is not None
+
+
+def test_network_from_database(benchmark):
+    db = random_database(WorkloadConfig(entities=5, intervals=20, facts=0,
+                                        seed=401))
+    network = benchmark(network_from_facts, db)
+    assert len(network.nodes()) == 20
+
+
+def test_variable_elimination(benchmark):
+    x, y, z, w = Var("x"), Var("y"), Var("z"), Var("w")
+    constraint = ((x > y) & (x < z) & (y > 0) & (z < 100) & x.ne(w)) | \
+                 ((x < y) & (x > w))
+
+    result = benchmark(eliminate_variable, constraint, x)
+    assert x not in result.variables()
+
+
+def test_projection_chain(benchmark):
+    variables = [Var(f"v{i}") for i in range(5)]
+    constraint = variables[0] < variables[1]
+    for first, second in zip(variables[1:], variables[2:]):
+        constraint = constraint & (first < second)
+
+    result = benchmark(project, constraint, [variables[0], variables[-1]])
+    assert result.variables() <= {variables[0], variables[-1]}

@@ -1,0 +1,62 @@
+"""Storage-layer benchmarks: index probes, updates, persistence.
+
+Not tied to one paper experiment; these quantify the database substrate
+the query language stands on (the access paths the E5/E8 numbers depend
+on).
+"""
+
+import pytest
+
+from vidb.model.oid import Oid
+from vidb.storage.persistence import dumps, loads
+
+
+def test_intervals_with_entity_probe(benchmark, medium_db):
+    entity = medium_db.entities()[0].oid
+    benchmark(medium_db.intervals_with_entity, entity)
+
+
+def test_attribute_probe(benchmark, medium_db):
+    benchmark(medium_db.find_by_attribute, "role", "host")
+
+
+def test_temporal_point_probe(benchmark, medium_db):
+    benchmark(medium_db.intervals_at, 5000)
+
+
+def test_temporal_range_probe(benchmark, medium_db):
+    benchmark(medium_db.intervals_overlapping, 2000, 3000)
+
+
+def test_fact_probe(benchmark, medium_db):
+    fact = next(iter(medium_db.facts("in")))
+    benchmark(medium_db.facts_with_arg, "in", 0, fact.args[0])
+
+
+def test_bulk_load(benchmark):
+    from vidb.workloads.generator import WorkloadConfig, random_database
+
+    config = WorkloadConfig(entities=50, intervals=100, facts=100, seed=55)
+    db = benchmark(random_database, config)
+    assert db.stats()["intervals"] == 100
+
+
+def test_snapshot_encode(benchmark, medium_db):
+    text = benchmark(dumps, medium_db)
+    assert text.startswith("{")
+
+
+def test_snapshot_decode(benchmark, medium_db):
+    snapshot = dumps(medium_db)
+    restored = benchmark(loads, snapshot)
+    assert restored.stats() == medium_db.stats()
+
+
+def test_transactional_update(benchmark, medium_db):
+    entity = medium_db.entities()[0].oid
+
+    def update():
+        with medium_db.transaction():
+            medium_db.set_attribute(entity, "salience", 5)
+
+    benchmark(update)

@@ -1,0 +1,31 @@
+"""``repro`` — distribution shim re-exporting the :mod:`vidb` library.
+
+The project installs as ``repro`` (the reproduction harness's package
+name); the library's real home is :mod:`vidb`.  Both import paths expose
+the same API::
+
+    import repro
+    import vidb
+    repro.VideoDatabase is vidb.VideoDatabase  # True
+"""
+
+from vidb import *  # noqa: F401,F403
+from vidb import __all__, __version__  # noqa: F401
+
+# Make the subpackages reachable as repro.<name> too.
+from vidb import (  # noqa: F401
+    analytics,
+    bench,
+    catalog,
+    cli,
+    constraints,
+    indexing,
+    intervals,
+    model,
+    presentation,
+    query,
+    schema,
+    storage,
+    video,
+    workloads,
+)

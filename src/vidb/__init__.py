@@ -1,0 +1,129 @@
+"""vidb — a constraint/object video database.
+
+A complete reproduction of *"A Database Approach for Modeling and
+Querying Video Data"* (Decleir, Hacid & Kouloumdjian, ICDE 1999):
+
+* :mod:`vidb.constraints` — dense-order and set-order constraint
+  languages with decision procedures;
+* :mod:`vidb.intervals` — time intervals and generalized intervals;
+* :mod:`vidb.model` — the object/constraint video data model (v-objects,
+  oids, relations, the ⊕ concatenation operator, the 7-tuple);
+* :mod:`vidb.storage` — the indexed database, transactions, persistence;
+* :mod:`vidb.query` — the declarative rule-based constraint query
+  language (parser, safety, bottom-up fixpoint evaluation, provenance);
+* :mod:`vidb.indexing` — the segmentation / stratification /
+  generalized-interval indexing schemes of Figures 1-3;
+* :mod:`vidb.video` — a simulated video substrate (synthetic frames,
+  shot detection, annotation pipelines);
+* :mod:`vidb.workloads` — the paper's worked examples plus random
+  workload generators;
+* :mod:`vidb.bench` — benchmark harness helpers.
+
+Quickstart::
+
+    from vidb import VideoDatabase, QueryEngine
+
+    db = VideoDatabase("news")
+    reporter = db.new_entity("reporter", label="Reporter")
+    db.new_interval("gi_reporter", entities=[reporter.oid],
+                    duration=[(0, 25), (60, 80)])
+
+    engine = QueryEngine(db)
+    for answer in engine.query("?- interval(G), object(reporter), "
+                               "reporter in G.entities."):
+        print(answer["G"])
+"""
+
+from vidb.constraints import (
+    Comparison,
+    Constraint,
+    SetConjunction,
+    SetVar,
+    Var,
+    entails,
+    satisfiable,
+)
+from vidb.errors import (
+    ConstraintError,
+    EvaluationError,
+    IntervalError,
+    ModelError,
+    ParseError,
+    PersistenceError,
+    QueryError,
+    SafetyError,
+    StorageError,
+    TransactionError,
+    VidbError,
+)
+from vidb.intervals import GeneralizedInterval, Interval
+from vidb.model import (
+    EntityObject,
+    GeneralizedIntervalObject,
+    Oid,
+    RelationFact,
+    VideoObject,
+    VideoSequence,
+    concatenate,
+)
+from vidb.query import (
+    AnswerSet,
+    Program,
+    QueryEngine,
+    Rule,
+    parse_program,
+    parse_query,
+)
+from vidb.catalog import Archive
+from vidb.presentation import EDL, Cut, Sequencer
+from vidb.schema import AttrSpec, Schema, aggregate
+from vidb.storage import VideoDatabase, load, save
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnswerSet",
+    "Archive",
+    "AttrSpec",
+    "Comparison",
+    "Cut",
+    "EDL",
+    "Constraint",
+    "ConstraintError",
+    "EntityObject",
+    "EvaluationError",
+    "GeneralizedInterval",
+    "GeneralizedIntervalObject",
+    "Interval",
+    "IntervalError",
+    "ModelError",
+    "Oid",
+    "ParseError",
+    "PersistenceError",
+    "Program",
+    "QueryEngine",
+    "QueryError",
+    "RelationFact",
+    "Rule",
+    "SafetyError",
+    "Schema",
+    "Sequencer",
+    "SetConjunction",
+    "SetVar",
+    "StorageError",
+    "TransactionError",
+    "Var",
+    "VideoDatabase",
+    "VideoObject",
+    "VideoSequence",
+    "VidbError",
+    "aggregate",
+    "concatenate",
+    "entails",
+    "load",
+    "parse_program",
+    "parse_query",
+    "satisfiable",
+    "save",
+    "__version__",
+]

@@ -1,0 +1,144 @@
+"""Archive analytics over a video database.
+
+The paper's introduction argues a database substrate "will help sharing
+information among applications and make it available for analysis"; this
+module supplies that analysis layer — aggregate views computed from the
+symbolic model:
+
+* :func:`screen_time` — per-entity total on-screen duration;
+* :func:`presence` — the union footprint of one entity across all its
+  intervals (Figure 3's generalized interval, recovered from any store);
+* :func:`co_occurrence` — pairwise shared screen time;
+* :func:`coverage` / :func:`gaps` — how much of the timeline is described
+  at all, and where the holes are;
+* :func:`activity_histogram` — how many intervals are live per time bin;
+* :func:`summary` — the whole report as table-ready rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.intervals.interval import Interval
+from vidb.model.oid import Oid
+from vidb.storage.database import VideoDatabase
+
+OidLike = Union[str, Oid]
+
+
+def presence(db: VideoDatabase, entity: OidLike) -> GeneralizedInterval:
+    """The union footprint of every interval listing the entity."""
+    footprint = GeneralizedInterval.empty()
+    for interval in db.intervals_with_entity(entity):
+        if interval.has_duration:
+            footprint = footprint | interval.footprint()
+    return footprint
+
+
+def screen_time(db: VideoDatabase) -> Dict[Oid, float]:
+    """entity oid -> total seconds on screen (union, double counting
+    overlapping intervals only once)."""
+    return {
+        entity.oid: float(presence(db, entity.oid).measure)
+        for entity in db.entities()
+    }
+
+
+def co_occurrence(db: VideoDatabase) -> Dict[Tuple[Oid, Oid], float]:
+    """(entity, entity) -> shared on-screen seconds, for pairs that share
+    any; keys are ordered pairs with the smaller oid first."""
+    entities = sorted(db.entities(), key=lambda e: e.oid)
+    footprints = {e.oid: presence(db, e.oid) for e in entities}
+    out: Dict[Tuple[Oid, Oid], float] = {}
+    for i, first in enumerate(entities):
+        for second in entities[i + 1:]:
+            shared = footprints[first.oid] & footprints[second.oid]
+            if not shared.is_empty():
+                out[(first.oid, second.oid)] = float(shared.measure)
+    return out
+
+
+def described_footprint(db: VideoDatabase) -> GeneralizedInterval:
+    """The union of every interval's footprint — time with any description."""
+    footprint = GeneralizedInterval.empty()
+    for interval in db.intervals():
+        if interval.has_duration:
+            footprint = footprint | interval.footprint()
+    return footprint
+
+
+def coverage(db: VideoDatabase, span: Optional[Interval] = None) -> float:
+    """Fraction of the timeline covered by at least one description.
+
+    *span* defaults to the hull of all footprints (in which case gaps are
+    interior only).
+    """
+    described = described_footprint(db)
+    if described.is_empty():
+        return 0.0
+    frame = span or described.span()
+    if frame.length == 0:
+        return 1.0
+    covered = described & GeneralizedInterval([frame])
+    return float(covered.measure) / float(frame.length)
+
+
+def gaps(db: VideoDatabase, span: Optional[Interval] = None
+         ) -> GeneralizedInterval:
+    """Undescribed stretches of the timeline (within *span* or the hull)."""
+    described = described_footprint(db)
+    if described.is_empty():
+        return GeneralizedInterval([span]) if span else GeneralizedInterval.empty()
+    frame = span or described.span()
+    return described.complement_within(frame)
+
+
+def activity_histogram(db: VideoDatabase, bins: int = 20,
+                       span: Optional[Interval] = None
+                       ) -> List[Tuple[float, float, int]]:
+    """(bin_start, bin_end, live_interval_count) rows.
+
+    An interval is counted in a bin when its footprint intersects it —
+    the archive's "how busy is this stretch" view.
+    """
+    described = described_footprint(db)
+    frame = span or described.span()
+    if frame is None or bins < 1:
+        return []
+    width = (frame.hi - frame.lo) / bins
+    if width == 0:
+        return [(float(frame.lo), float(frame.hi),
+                 len(db.intervals_at(frame.lo)))]
+    rows = []
+    for index in range(bins):
+        lo = frame.lo + width * index
+        hi = frame.lo + width * (index + 1)
+        # Half-open bins [lo, hi): an interval merely *touching* a bin
+        # boundary contributes no time to the bin and is not counted.
+        probe = GeneralizedInterval(
+            [Interval(lo, hi, closed_hi=(index == bins - 1))])
+        live = sum(
+            1 for interval in db.intervals()
+            if interval.has_duration and interval.footprint()
+            .intersection(probe).measure > 0
+        )
+        rows.append((float(lo), float(hi), live))
+    return rows
+
+
+def summary(db: VideoDatabase, top: int = 10) -> Dict[str, List[Dict]]:
+    """Table-ready report: screen-time leaderboard + co-occurrence pairs."""
+    times = screen_time(db)
+    leaderboard = [
+        {"entity": str(oid), "seconds": seconds}
+        for oid, seconds in sorted(times.items(),
+                                   key=lambda kv: (-kv[1], str(kv[0])))[:top]
+    ]
+    pairs = [
+        {"first": str(a), "second": str(b), "shared_seconds": seconds}
+        for (a, b), seconds in sorted(co_occurrence(db).items(),
+                                      key=lambda kv: (-kv[1],
+                                                      str(kv[0])))[:top]
+    ]
+    return {"screen_time": leaderboard, "co_occurrence": pairs}

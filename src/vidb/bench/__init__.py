@@ -1,0 +1,12 @@
+"""Benchmark harness helpers: table printing, timing, scaling fits."""
+
+from vidb.bench.tables import format_table, print_table
+from vidb.bench.timing import loglog_slope, scaling_run, time_callable
+
+__all__ = [
+    "format_table",
+    "loglog_slope",
+    "print_table",
+    "scaling_run",
+    "time_callable",
+]

@@ -1,0 +1,58 @@
+"""ASCII table rendering for benchmark and experiment reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render dict rows as an aligned monospace table.
+
+    Column order defaults to first-appearance order across the rows.
+    Numbers are right-aligned; everything else left-aligned.
+    """
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    cells: List[List[str]] = [[str(column) for column in columns]]
+    numeric = {column: True for column in columns}
+    for row in rows:
+        rendered = []
+        for column in columns:
+            value = row.get(column, "")
+            if not isinstance(value, (int, float)):
+                numeric[column] = False
+            if isinstance(value, float):
+                rendered.append(f"{value:.4g}")
+            else:
+                rendered.append(str(value))
+        cells.append(rendered)
+    widths = [
+        max(len(line[i]) for line in cells) for i in range(len(columns))
+    ]
+    out_lines = []
+    if title:
+        out_lines.append(title)
+    header = "  ".join(cells[0][i].ljust(widths[i]) for i in range(len(columns)))
+    out_lines.append(header)
+    out_lines.append("  ".join("-" * w for w in widths))
+    for line in cells[1:]:
+        rendered_cells = []
+        for i, column in enumerate(columns):
+            text = line[i]
+            rendered_cells.append(
+                text.rjust(widths[i]) if numeric[column] else text.ljust(widths[i])
+            )
+        out_lines.append("  ".join(rendered_cells))
+    return "\n".join(out_lines)
+
+
+def print_table(rows: Sequence[Dict[str, object]],
+                columns: Optional[Sequence[str]] = None,
+                title: Optional[str] = None) -> None:
+    print(format_table(rows, columns=columns, title=title))

@@ -1,0 +1,63 @@
+"""Timing and scaling-law helpers for the complexity experiments.
+
+The paper's closing claims are complexity-theoretic — PTIME data
+complexity with arithmetic order constraints, DEXPTIME-completeness with
+set constraints.  The experiments measure wall-clock as a function of
+database size and fit a power law ``time ≈ c · n^k`` by least squares on
+log-log axes; a small exponent *k* is the empirical face of the PTIME
+claim.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, List, Sequence, Tuple
+
+
+def time_callable(fn: Callable[[], object], repeat: int = 3) -> float:
+    """Best-of-*repeat* wall-clock seconds for one call of *fn*."""
+    best = math.inf
+    for __ in range(max(1, repeat)):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """The least-squares slope of log(y) against log(x).
+
+    For measurements following ``y = c · x^k`` the slope is *k*, the
+    empirical polynomial degree.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    log_x = [math.log(x) for x in xs]
+    log_y = [math.log(max(y, 1e-12)) for y in ys]
+    n = len(xs)
+    mean_x = sum(log_x) / n
+    mean_y = sum(log_y) / n
+    numerator = sum((lx - mean_x) * (ly - mean_y)
+                    for lx, ly in zip(log_x, log_y))
+    denominator = sum((lx - mean_x) ** 2 for lx in log_x)
+    if denominator == 0:
+        raise ValueError("x values are all equal; slope undefined")
+    return numerator / denominator
+
+
+def scaling_run(sizes: Sequence[int],
+                make_input: Callable[[int], object],
+                run: Callable[[object], object],
+                repeat: int = 3) -> List[Tuple[int, float]]:
+    """Measure ``run(make_input(n))`` across a size ladder.
+
+    Input construction is excluded from the timing.  Returns
+    ``[(size, seconds), ...]``.
+    """
+    results: List[Tuple[int, float]] = []
+    for size in sizes:
+        payload = make_input(size)
+        results.append((size, time_callable(lambda: run(payload), repeat)))
+    return results

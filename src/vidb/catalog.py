@@ -1,0 +1,163 @@
+"""Multi-document archives — the paper's deployment scenario.
+
+"The model and the query language will be used as a core of a video
+document archive prototype by both a television channel and a national
+audio-visual institute" (Section 1).  A single
+:class:`~vidb.storage.VideoDatabase` describes one video *document*; an
+:class:`Archive` is the catalogue over many of them:
+
+* registration and lookup of documents by name;
+* **cross-document search**: find every document (and interval) where a
+  labelled entity appears, or run one rule-language query over every
+  document;
+* archive-wide analytics roll-ups (screen time across the whole holding);
+* directory persistence — one JSON snapshot per document plus a manifest.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from vidb.analytics import screen_time
+from vidb.errors import PersistenceError, VidbError
+from vidb.model.objects import GeneralizedIntervalObject
+from vidb.query.engine import AnswerSet, QueryEngine
+from vidb.storage.database import VideoDatabase
+from vidb.storage.persistence import load as load_db
+from vidb.storage.persistence import save as save_db
+
+MANIFEST_NAME = "archive.json"
+MANIFEST_FORMAT = 1
+
+
+class Archive:
+    """A named collection of video documents."""
+
+    def __init__(self, name: str = "archive"):
+        self.name = name
+        self._documents: Dict[str, VideoDatabase] = {}
+
+    # -- registration -------------------------------------------------------
+    def add(self, db: VideoDatabase,
+            name: Optional[str] = None) -> VideoDatabase:
+        """Register a document under *name* (defaults to the db's name)."""
+        key = name or db.name
+        if not key:
+            raise VidbError("document needs a non-empty name")
+        if key in self._documents:
+            raise VidbError(f"document {key!r} already in the archive")
+        self._documents[key] = db
+        return db
+
+    def remove(self, name: str) -> VideoDatabase:
+        try:
+            return self._documents.pop(name)
+        except KeyError:
+            raise VidbError(f"no document {name!r} in the archive") from None
+
+    def document(self, name: str) -> VideoDatabase:
+        try:
+            return self._documents[name]
+        except KeyError:
+            raise VidbError(f"no document {name!r} in the archive") from None
+
+    def documents(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._documents))
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._documents
+
+    # -- cross-document search ------------------------------------------------
+    def find_attribute(self, attribute: str, value
+                       ) -> List[Tuple[str, str]]:
+        """(document, oid) pairs whose object carries attribute = value."""
+        out: List[Tuple[str, str]] = []
+        for doc_name in self.documents():
+            db = self._documents[doc_name]
+            for obj in db.find_by_attribute(attribute, value):
+                out.append((doc_name, str(obj.oid)))
+        return out
+
+    def appearances(self, label_attribute: str, value
+                    ) -> List[Tuple[str, GeneralizedIntervalObject]]:
+        """Every interval, in any document, featuring an entity whose
+        *label_attribute* equals *value* — the institute's catalogue
+        question ("all footage of the minister, any broadcast")."""
+        out: List[Tuple[str, GeneralizedIntervalObject]] = []
+        for doc_name in self.documents():
+            db = self._documents[doc_name]
+            for entity in db.find_by_attribute(label_attribute, value):
+                if not entity.oid.is_entity:
+                    continue
+                for interval in db.intervals_with_entity(entity.oid):
+                    out.append((doc_name, interval))
+        return out
+
+    def query_all(self, query: str,
+                  rules: Optional[str] = None) -> Dict[str, AnswerSet]:
+        """Run one query (with optional shared rules) over every document."""
+        out: Dict[str, AnswerSet] = {}
+        for doc_name in self.documents():
+            engine = QueryEngine(self._documents[doc_name])
+            if rules:
+                engine.add_rules(rules)
+            out[doc_name] = engine.query(query)
+        return out
+
+    def total_screen_time(self, label_attribute: str = "label"
+                          ) -> Dict[str, float]:
+        """Archive-wide screen time, keyed by entity label (falling back
+        to the oid when unlabelled), summed across documents."""
+        totals: Dict[str, float] = {}
+        for doc_name in self.documents():
+            db = self._documents[doc_name]
+            for oid, seconds in screen_time(db).items():
+                obj = db.get(oid)
+                label = obj.get(label_attribute) if obj else None
+                key = label if isinstance(label, str) else str(oid)
+                totals[key] = totals.get(key, 0.0) + seconds
+        return totals
+
+    # -- persistence -------------------------------------------------------------
+    def save(self, directory: Union[str, Path]) -> None:
+        """One snapshot per document plus a manifest, in *directory*."""
+        root = Path(directory)
+        root.mkdir(parents=True, exist_ok=True)
+        manifest = {"format": MANIFEST_FORMAT, "name": self.name,
+                    "documents": {}}
+        for doc_name in self.documents():
+            filename = f"{_slug(doc_name)}.json"
+            save_db(self._documents[doc_name], root / filename)
+            manifest["documents"][doc_name] = filename
+        (root / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8")
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "Archive":
+        root = Path(directory)
+        manifest_path = root / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise PersistenceError(f"no archive manifest in {root}")
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise PersistenceError(f"invalid manifest: {exc}") from exc
+        if manifest.get("format") != MANIFEST_FORMAT:
+            raise PersistenceError(
+                f"unsupported archive format {manifest.get('format')!r}")
+        archive = cls(manifest.get("name", "archive"))
+        for doc_name, filename in sorted(manifest["documents"].items()):
+            archive.add(load_db(root / filename), name=doc_name)
+        return archive
+
+    def __repr__(self) -> str:
+        return f"Archive({self.name!r}, {len(self._documents)} documents)"
+
+
+def _slug(name: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_" else "_" for c in name)

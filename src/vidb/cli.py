@@ -1,0 +1,247 @@
+"""Command-line interface for vidb databases.
+
+Commands::
+
+    vidb demo --out rope.json            write the paper's Rope example DB
+    vidb info rope.json                  stats + schema-free validation
+    vidb query rope.json "?- ..."        evaluate a query, print the answers
+    vidb facts rope.json contains -r f   materialise rules, print a relation
+    vidb explain rope.json "?- ..."      print derivation trees
+    vidb edl rope.json "?- ..." G        compile interval answers to an EDL
+
+Exit status 0 on success, 1 on a vidb error (bad syntax, unsafe rules,
+missing file), 2 on bad command-line usage (argparse's convention).
+
+``main()`` takes an ``argv`` list and returns the exit status, so the CLI
+is fully testable in-process; the console entry point wraps it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from vidb.bench.tables import format_table
+from vidb.errors import VidbError
+from vidb.presentation.edl import edl_from_query
+from vidb.query.engine import QueryEngine
+from vidb.storage.database import VideoDatabase
+from vidb.storage.persistence import load, save
+from vidb.workloads.paper import rope_database
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="vidb",
+        description="Query and inspect vidb video databases.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="write the Rope example database")
+    demo.add_argument("--out", default="rope.json",
+                      help="snapshot path (default: rope.json)")
+
+    info = sub.add_parser("info", help="database statistics and validation")
+    info.add_argument("database")
+
+    query = sub.add_parser("query", help="evaluate a query")
+    query.add_argument("database")
+    query.add_argument("query", help='e.g. "?- interval(G), object(O), '
+                                     'O in G.entities."')
+    _common_engine_flags(query)
+    query.add_argument("--limit", type=int, default=None,
+                       help="print at most N answers")
+
+    facts = sub.add_parser("facts",
+                           help="materialise the rules, print one relation")
+    facts.add_argument("database")
+    facts.add_argument("predicate")
+    _common_engine_flags(facts)
+
+    explain = sub.add_parser("explain", help="print derivation trees")
+    explain.add_argument("database")
+    explain.add_argument("query")
+    _common_engine_flags(explain)
+
+    edl = sub.add_parser("edl", help="compile interval answers into an EDL")
+    edl.add_argument("database")
+    edl.add_argument("query")
+    edl.add_argument("variable", help="answer variable bound to intervals")
+    edl.add_argument("--title", default="vidb presentation")
+    _common_engine_flags(edl)
+
+    analytics = sub.add_parser(
+        "analytics", help="screen time, co-occurrence and coverage report")
+    analytics.add_argument("database")
+    analytics.add_argument("--top", type=int, default=10,
+                           help="rows per table (default 10)")
+    analytics.add_argument("--bins", type=int, default=12,
+                           help="activity histogram bins (default 12)")
+
+    timeline = sub.add_parser(
+        "timeline", help="ASCII Gantt chart of the described intervals")
+    timeline.add_argument("database")
+    timeline.add_argument("--width", type=int, default=48)
+    timeline.add_argument("--label", default=None,
+                          help="interval attribute to use as the row label")
+    return parser
+
+
+def _common_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--rules", "-r", action="append", default=[],
+                        help="rule file to load (repeatable)")
+    parser.add_argument("--stdlib", action="store_true",
+                        help="load the contains/same_object_in rules")
+    parser.add_argument("--mode", choices=["seminaive", "naive"],
+                        default="seminaive")
+
+
+def _engine(args: argparse.Namespace, db: VideoDatabase) -> QueryEngine:
+    engine = QueryEngine(db, use_stdlib_rules=args.stdlib, mode=args.mode)
+    for path in args.rules:
+        engine.add_rules(Path(path).read_text(encoding="utf-8"))
+    return engine
+
+
+def _load(path: str) -> VideoDatabase:
+    if not Path(path).exists():
+        raise VidbError(f"no such database snapshot: {path}")
+    return load(path)
+
+
+# -- command implementations ---------------------------------------------------
+
+def _cmd_demo(args) -> int:
+    db = rope_database()
+    save(db, args.out)
+    print(f"wrote {args.out}: {db}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    db = _load(args.database)
+    stats = db.stats()
+    print(f"database: {db.name}")
+    print(f"entities: {stats['entities']}  intervals: {stats['intervals']}  "
+          f"facts: {stats['facts']}")
+    print(f"relations: {', '.join(sorted(db.relation_names())) or '(none)'}")
+    problems = db.sequence.validate()
+    if problems:
+        print(f"integrity problems ({len(problems)}):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("integrity: ok")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    db = _load(args.database)
+    engine = _engine(args, db)
+    answers = engine.query(args.query)
+    rows = [
+        {variable: str(value)
+         for variable, value in answer.as_dict().items()}
+        for answer in answers
+    ]
+    if args.limit is not None:
+        rows = rows[:args.limit]
+    if rows:
+        print(format_table(rows, columns=list(answers.variables)))
+    print(f"{len(answers)} answer(s)")
+    return 0
+
+
+def _cmd_facts(args) -> int:
+    db = _load(args.database)
+    engine = _engine(args, db)
+    facts = engine.facts(args.predicate)
+    for row in sorted(facts, key=lambda r: tuple(map(str, r))):
+        rendered = ", ".join(map(str, row))
+        print(f"{args.predicate}({rendered})")
+    print(f"{len(facts)} fact(s)")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    db = _load(args.database)
+    engine = _engine(args, db)
+    derivations = engine.explain(args.query)
+    for derivation in derivations:
+        print(derivation.render())
+        print()
+    print(f"{len(derivations)} derivation(s)")
+    return 0
+
+
+def _cmd_edl(args) -> int:
+    db = _load(args.database)
+    engine = _engine(args, db)
+    edl = edl_from_query(engine, args.query, args.variable, title=args.title)
+    print(edl.render())
+    print(f"-- {len(edl)} cut(s), {edl.duration:g}s total")
+    return 0
+
+
+def _cmd_analytics(args) -> int:
+    from vidb.analytics import activity_histogram, coverage, gaps, summary
+
+    db = _load(args.database)
+    report = summary(db, top=args.top)
+    if report["screen_time"]:
+        print(format_table(report["screen_time"],
+                           columns=["entity", "seconds"]))
+    print()
+    if report["co_occurrence"]:
+        print(format_table(report["co_occurrence"],
+                           columns=["first", "second", "shared_seconds"]))
+        print()
+    print(f"timeline coverage: {coverage(db):.1%}")
+    holes = gaps(db)
+    if not holes.is_empty():
+        print(f"undescribed stretches: {holes}")
+    rows = activity_histogram(db, bins=args.bins)
+    if rows:
+        print()
+        print(format_table(
+            [{"from": f"{lo:g}", "to": f"{hi:g}", "live": live}
+             for lo, hi, live in rows],
+            columns=["from", "to", "live"]))
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from vidb.timeline import timeline_chart
+
+    db = _load(args.database)
+    print(timeline_chart(db, width=args.width,
+                         label_attribute=args.label))
+    return 0
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "info": _cmd_info,
+    "query": _cmd_query,
+    "facts": _cmd_facts,
+    "explain": _cmd_explain,
+    "edl": _cmd_edl,
+    "analytics": _cmd_analytics,
+    "timeline": _cmd_timeline,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except VidbError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

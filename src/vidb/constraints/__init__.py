@@ -1,0 +1,97 @@
+"""Constraint languages of the video data model.
+
+Two constraint classes, exactly as in the paper:
+
+* **dense linear order inequality constraints** (:mod:`vidb.constraints.dense`,
+  solved in :mod:`vidb.constraints.solver`) — used for the temporal extents
+  of generalized intervals and for inequality atoms in queries;
+* **set-order constraints** (:mod:`vidb.constraints.setorder`) — used for
+  membership/subset atoms over set-valued attributes such as
+  ``G.entities``.
+
+:mod:`vidb.constraints.domains` supplies the concrete domains
+(Definition 1) the constants are drawn from.
+"""
+
+from vidb.constraints.dense import (
+    FALSE,
+    TRUE,
+    And,
+    Comparison,
+    Constraint,
+    Or,
+    conjoin,
+    disjoin,
+    fold_ground,
+    from_dnf,
+    interval_constraint,
+)
+from vidb.constraints.eliminate import eliminate_variable, project
+from vidb.constraints.domains import (
+    INTEGERS,
+    RATIONALS,
+    STRINGS,
+    ConcreteDomain,
+    Predicate,
+    domain_of,
+)
+from vidb.constraints.setorder import (
+    Member,
+    SetAtom,
+    SetConjunction,
+    SetVar,
+    SubsetConst,
+    SubsetVar,
+    SupersetConst,
+)
+from vidb.constraints.solver import (
+    Span,
+    clause_satisfiable,
+    entails,
+    equivalent,
+    satisfiable,
+    simplify,
+    solution_set_1var,
+    spans_subset,
+)
+from vidb.constraints.terms import Var, is_constant, is_numeric
+
+__all__ = [
+    "And",
+    "Comparison",
+    "ConcreteDomain",
+    "Constraint",
+    "FALSE",
+    "INTEGERS",
+    "Member",
+    "Or",
+    "Predicate",
+    "RATIONALS",
+    "STRINGS",
+    "SetAtom",
+    "SetConjunction",
+    "SetVar",
+    "Span",
+    "SubsetConst",
+    "SubsetVar",
+    "SupersetConst",
+    "TRUE",
+    "Var",
+    "clause_satisfiable",
+    "conjoin",
+    "disjoin",
+    "domain_of",
+    "eliminate_variable",
+    "entails",
+    "equivalent",
+    "fold_ground",
+    "from_dnf",
+    "interval_constraint",
+    "is_constant",
+    "is_numeric",
+    "project",
+    "satisfiable",
+    "simplify",
+    "solution_set_1var",
+    "spans_subset",
+]

@@ -1,0 +1,404 @@
+"""Dense linear order inequality constraints (Definitions 2, 4 and 5).
+
+Atomic constraints have the form ``x θ y`` or ``x θ c`` where ``x, y`` are
+variables, ``c`` is a constant and ``θ`` is one of ``=, !=, <, <=, >, >=``.
+Complex constraints are built with conjunction and disjunction.  The class
+is closed under negation because every comparator has a complement, so
+negation is pushed down to the atoms (De Morgan) rather than represented
+explicitly.
+
+A time interval ``(x1, x2)`` is the conjunction ``x1 <= t AND t <= x2``
+(Definition 4) and a *generalized* time interval is a disjunction of such
+conjunctions (Definition 5).  :mod:`vidb.intervals` converts between this
+constraint form and an explicit interval representation.
+
+Python operator overloading gives a compact construction syntax::
+
+    >>> from vidb.constraints import Var
+    >>> t = Var("t")
+    >>> c = (t > 3) & (t < 9) | t.eq(42)
+    >>> sorted(v.name for v in c.variables())
+    ['t']
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple, Union
+
+from vidb.constraints.terms import (
+    ConstantValue,
+    Var,
+    check_constant,
+)
+from vidb.errors import ConstraintError
+
+#: The comparators of Definition 2 (and their negations).
+OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+_NEGATION = {"=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+_FLIP = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+Term = Union[Var, ConstantValue]
+
+
+def negate_op(op: str) -> str:
+    """The complementary comparator (``<`` ↦ ``>=`` etc.)."""
+    return _NEGATION[op]
+
+
+def flip_op(op: str) -> str:
+    """The comparator seen from the right-hand side (``<`` ↦ ``>``)."""
+    return _FLIP[op]
+
+
+class Constraint:
+    """Abstract base for dense-order constraints.
+
+    Subclasses: :class:`Comparison` (atoms), :class:`And`, :class:`Or`,
+    and the singletons :data:`TRUE` / :data:`FALSE`.
+    """
+
+    def __and__(self, other: "Constraint") -> "Constraint":
+        return conjoin(self, other)
+
+    def __or__(self, other: "Constraint") -> "Constraint":
+        return disjoin(self, other)
+
+    def __invert__(self) -> "Constraint":
+        return self.negate()
+
+    # --- interface -----------------------------------------------------
+    def variables(self) -> FrozenSet[Var]:
+        """The free variables of the constraint."""
+        raise NotImplementedError
+
+    def negate(self) -> "Constraint":
+        """Logical negation, with negation pushed to the atoms."""
+        raise NotImplementedError
+
+    def substitute(self, binding: Dict[Var, Term]) -> "Constraint":
+        """Replace variables by terms (variables or constants)."""
+        raise NotImplementedError
+
+    def evaluate(self, assignment: Dict[Var, ConstantValue]) -> bool:
+        """Truth value under a total assignment of the free variables."""
+        raise NotImplementedError
+
+    def dnf(self) -> List[Tuple["Comparison", ...]]:
+        """Disjunctive normal form: a list of conjunctions of atoms.
+
+        An empty list denotes FALSE; a list containing an empty tuple
+        denotes TRUE.
+        """
+        raise NotImplementedError
+
+    def rename_variable(self, old: Var, new: Var) -> "Constraint":
+        """Rename one variable throughout the constraint."""
+        return self.substitute({old: new})
+
+    def is_true(self) -> bool:
+        return False
+
+    def is_false(self) -> bool:
+        return False
+
+
+class _Truth(Constraint):
+    """The trivially true / trivially false constraint."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = value
+
+    def variables(self) -> FrozenSet[Var]:
+        return frozenset()
+
+    def negate(self) -> Constraint:
+        return FALSE if self.value else TRUE
+
+    def substitute(self, binding: Dict[Var, Term]) -> Constraint:
+        return self
+
+    def evaluate(self, assignment: Dict[Var, ConstantValue]) -> bool:
+        return self.value
+
+    def dnf(self) -> List[Tuple["Comparison", ...]]:
+        return [()] if self.value else []
+
+    def is_true(self) -> bool:
+        return self.value
+
+    def is_false(self) -> bool:
+        return not self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Truth) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("_Truth", self.value))
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+#: The constraint satisfied by every assignment.
+TRUE = _Truth(True)
+#: The unsatisfiable constraint.
+FALSE = _Truth(False)
+
+
+class Comparison(Constraint):
+    """An atomic constraint ``left θ right``.
+
+    ``left`` and ``right`` are each a :class:`Var` or a constant; at least
+    one side must be a variable (a ground comparison folds to TRUE/FALSE
+    via :func:`fold_ground`).  Atoms are normalised so that a lone constant
+    sits on the right-hand side.
+    """
+
+    __slots__ = ("left", "op", "right")
+
+    def __init__(self, left: Term, op: str, right: Term):
+        if op not in OPS:
+            raise ConstraintError(f"unknown comparator {op!r}")
+        left_var = isinstance(left, Var)
+        right_var = isinstance(right, Var)
+        if not left_var:
+            left = check_constant(left)
+        if not right_var:
+            right = check_constant(right)
+        if not left_var and right_var:
+            # put the variable first: c θ x  ==  x θ' c
+            left, right, op = right, left, flip_op(op)
+            left_var, right_var = True, False
+        if not left_var and not right_var:
+            raise ConstraintError(
+                f"comparison {left!r} {op} {right!r} has no variable; "
+                "use fold_ground() for ground comparisons"
+            )
+        self.left = left
+        self.op = op
+        self.right = right
+
+    # --- interface -----------------------------------------------------
+    def variables(self) -> FrozenSet[Var]:
+        out = {self.left} if isinstance(self.left, Var) else set()
+        if isinstance(self.right, Var):
+            out.add(self.right)
+        return frozenset(out)
+
+    def negate(self) -> Constraint:
+        return Comparison(self.left, negate_op(self.op), self.right)
+
+    def substitute(self, binding: Dict[Var, Term]) -> Constraint:
+        left = binding.get(self.left, self.left) if isinstance(self.left, Var) else self.left
+        right = binding.get(self.right, self.right) if isinstance(self.right, Var) else self.right
+        if not isinstance(left, Var) and not isinstance(right, Var):
+            return fold_ground(left, self.op, right)
+        return Comparison(left, self.op, right)
+
+    def evaluate(self, assignment: Dict[Var, ConstantValue]) -> bool:
+        left = assignment[self.left] if isinstance(self.left, Var) else self.left
+        right = assignment[self.right] if isinstance(self.right, Var) else self.right
+        folded = fold_ground(left, self.op, right)
+        return folded.is_true()
+
+    def dnf(self) -> List[Tuple["Comparison", ...]]:
+        return [(self,)]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and self.left == other.left
+            and self.op == other.op
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Comparison", self.left, self.op, self.right))
+
+    def __repr__(self) -> str:
+        return f"{_term_str(self.left)} {self.op} {_term_str(self.right)}"
+
+
+def _term_str(term: Term) -> str:
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, str):
+        return repr(term)
+    return str(term)
+
+
+def fold_ground(left: ConstantValue, op: str, right: ConstantValue) -> Constraint:
+    """Evaluate a comparison between two constants to TRUE or FALSE.
+
+    Equality/disequality work across constant domains (a number never
+    equals a string); order comparisons require comparable constants.
+    """
+    from vidb.constraints.terms import constants_comparable
+
+    if op == "=":
+        same = constants_comparable(left, right) and left == right
+        return TRUE if same else FALSE
+    if op == "!=":
+        same = constants_comparable(left, right) and left == right
+        return FALSE if same else TRUE
+    if not constants_comparable(left, right):
+        raise ConstraintError(f"cannot order-compare {left!r} and {right!r}")
+    result = {
+        "<": left < right,
+        "<=": left <= right,
+        ">": left > right,
+        ">=": left >= right,
+    }[op]
+    return TRUE if result else FALSE
+
+
+class And(Constraint):
+    """Conjunction of two or more constraints."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[Constraint]):
+        flat: List[Constraint] = []
+        for part in parts:
+            if isinstance(part, And):
+                flat.extend(part.parts)
+            else:
+                flat.append(part)
+        if len(flat) < 2:
+            raise ConstraintError("And requires at least two conjuncts; use conjoin()")
+        self.parts: Tuple[Constraint, ...] = tuple(flat)
+
+    def variables(self) -> FrozenSet[Var]:
+        out: set = set()
+        for part in self.parts:
+            out |= part.variables()
+        return frozenset(out)
+
+    def negate(self) -> Constraint:
+        return disjoin(*[part.negate() for part in self.parts])
+
+    def substitute(self, binding: Dict[Var, Term]) -> Constraint:
+        return conjoin(*[part.substitute(binding) for part in self.parts])
+
+    def evaluate(self, assignment: Dict[Var, ConstantValue]) -> bool:
+        return all(part.evaluate(assignment) for part in self.parts)
+
+    def dnf(self) -> List[Tuple[Comparison, ...]]:
+        result: List[Tuple[Comparison, ...]] = [()]
+        for part in self.parts:
+            part_dnf = part.dnf()
+            result = [prefix + clause for prefix in result for clause in part_dnf]
+            if not result:
+                return []
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, And) and self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return hash(("And", self.parts))
+
+    def __repr__(self) -> str:
+        return "(" + " and ".join(map(repr, self.parts)) + ")"
+
+
+class Or(Constraint):
+    """Disjunction of two or more constraints."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[Constraint]):
+        flat: List[Constraint] = []
+        for part in parts:
+            if isinstance(part, Or):
+                flat.extend(part.parts)
+            else:
+                flat.append(part)
+        if len(flat) < 2:
+            raise ConstraintError("Or requires at least two disjuncts; use disjoin()")
+        self.parts: Tuple[Constraint, ...] = tuple(flat)
+
+    def variables(self) -> FrozenSet[Var]:
+        out: set = set()
+        for part in self.parts:
+            out |= part.variables()
+        return frozenset(out)
+
+    def negate(self) -> Constraint:
+        return conjoin(*[part.negate() for part in self.parts])
+
+    def substitute(self, binding: Dict[Var, Term]) -> Constraint:
+        return disjoin(*[part.substitute(binding) for part in self.parts])
+
+    def evaluate(self, assignment: Dict[Var, ConstantValue]) -> bool:
+        return any(part.evaluate(assignment) for part in self.parts)
+
+    def dnf(self) -> List[Tuple[Comparison, ...]]:
+        result: List[Tuple[Comparison, ...]] = []
+        for part in self.parts:
+            result.extend(part.dnf())
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Or) and self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return hash(("Or", self.parts))
+
+    def __repr__(self) -> str:
+        return "(" + " or ".join(map(repr, self.parts)) + ")"
+
+
+def conjoin(*parts: Constraint) -> Constraint:
+    """Smart conjunction: folds TRUE/FALSE and flattens nested Ands."""
+    useful: List[Constraint] = []
+    for part in parts:
+        if part.is_false():
+            return FALSE
+        if part.is_true():
+            continue
+        useful.append(part)
+    if not useful:
+        return TRUE
+    if len(useful) == 1:
+        return useful[0]
+    return And(useful)
+
+
+def disjoin(*parts: Constraint) -> Constraint:
+    """Smart disjunction: folds TRUE/FALSE and flattens nested Ors."""
+    useful: List[Constraint] = []
+    for part in parts:
+        if part.is_true():
+            return TRUE
+        if part.is_false():
+            continue
+        useful.append(part)
+    if not useful:
+        return FALSE
+    if len(useful) == 1:
+        return useful[0]
+    return Or(useful)
+
+
+def interval_constraint(var: Var, lo: ConstantValue, hi: ConstantValue,
+                        closed_lo: bool = True, closed_hi: bool = True) -> Constraint:
+    """The constraint form of a time interval (Definition 4).
+
+    ``interval_constraint(t, a, b)`` is ``a <= t AND t <= b``; open bounds
+    use strict comparators.
+    """
+    lo_atom = Comparison(var, ">=" if closed_lo else ">", lo)
+    hi_atom = Comparison(var, "<=" if closed_hi else "<", hi)
+    return conjoin(lo_atom, hi_atom)
+
+
+def from_dnf(clauses: Iterable[Sequence[Comparison]]) -> Constraint:
+    """Rebuild a constraint from DNF clauses (inverse of :meth:`Constraint.dnf`)."""
+    disjuncts: List[Constraint] = []
+    for clause in clauses:
+        disjuncts.append(conjoin(*clause) if clause else TRUE)
+    return disjoin(*disjuncts) if disjuncts else FALSE

@@ -1,0 +1,133 @@
+"""Concrete domains (Definition 1 of the paper).
+
+A concrete domain ``D = (dom(D), pred(D))`` pairs a set of values with a
+family of named predicates, each predicate being an n-ary relation over
+``dom(D)``.  The paper's canonical example is the integers with the
+comparison predicates ``=, <, <=, >=, >``.
+
+vidb ships three ready-made domains:
+
+``INTEGERS``
+    Python ints with the six comparators.
+``RATIONALS``
+    The dense order the temporal constraints are interpreted over
+    (ints, floats and :class:`fractions.Fraction` mix freely).
+``STRINGS``
+    Strings under lexicographic order.
+
+Users can register additional predicates on their own domains; the query
+engine looks predicates up by name when evaluating built-in comparison
+atoms.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, Iterable
+
+from vidb.errors import DomainError
+
+
+class Predicate:
+    """A named n-ary relation over a concrete domain."""
+
+    __slots__ = ("name", "arity", "relation")
+
+    def __init__(self, name: str, arity: int, relation: Callable[..., bool]):
+        if arity < 1:
+            raise DomainError(f"predicate {name!r} must have arity >= 1, got {arity}")
+        self.name = name
+        self.arity = arity
+        self.relation = relation
+
+    def __call__(self, *args) -> bool:
+        if len(args) != self.arity:
+            raise DomainError(
+                f"predicate {self.name!r} expects {self.arity} arguments, got {len(args)}"
+            )
+        return bool(self.relation(*args))
+
+    def __repr__(self) -> str:
+        return f"Predicate({self.name!r}, arity={self.arity})"
+
+
+class ConcreteDomain:
+    """A concrete domain: membership test plus a registry of predicates."""
+
+    def __init__(self, name: str, contains: Callable[[object], bool],
+                 dense: bool = False):
+        self.name = name
+        self._contains = contains
+        #: Whether the order on this domain is dense (needed for the
+        #: completeness of the dense-order constraint solver).
+        self.dense = dense
+        self._predicates: Dict[str, Predicate] = {}
+
+    def __contains__(self, value: object) -> bool:
+        return self._contains(value)
+
+    def add_predicate(self, name: str, arity: int,
+                      relation: Callable[..., bool]) -> Predicate:
+        """Register a predicate; returns the :class:`Predicate` object."""
+        pred = Predicate(name, arity, relation)
+        self._predicates[name] = pred
+        return pred
+
+    def predicate(self, name: str) -> Predicate:
+        """Look a predicate up by name; raises :class:`DomainError` if absent."""
+        try:
+            return self._predicates[name]
+        except KeyError:
+            raise DomainError(f"domain {self.name!r} has no predicate {name!r}") from None
+
+    def predicates(self) -> Iterable[str]:
+        """Names of all registered predicates."""
+        return tuple(self._predicates)
+
+    def check(self, value: object) -> object:
+        """Validate that *value* belongs to the domain; return it unchanged."""
+        if value not in self:
+            raise DomainError(f"{value!r} is not a member of domain {self.name!r}")
+        return value
+
+    def __repr__(self) -> str:
+        return f"ConcreteDomain({self.name!r}, predicates={sorted(self._predicates)})"
+
+
+def _add_comparators(domain: ConcreteDomain) -> ConcreteDomain:
+    domain.add_predicate("=", 2, lambda a, b: a == b)
+    domain.add_predicate("!=", 2, lambda a, b: a != b)
+    domain.add_predicate("<", 2, lambda a, b: a < b)
+    domain.add_predicate("<=", 2, lambda a, b: a <= b)
+    domain.add_predicate(">", 2, lambda a, b: a > b)
+    domain.add_predicate(">=", 2, lambda a, b: a >= b)
+    return domain
+
+
+def _is_int(v: object) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def _is_rational(v: object) -> bool:
+    return isinstance(v, (int, float, Fraction)) and not isinstance(v, bool)
+
+
+#: The (non-dense) integers with comparisons — the paper's example domain.
+INTEGERS = _add_comparators(ConcreteDomain("integers", _is_int, dense=False))
+
+#: The dense linear order temporal constraints are interpreted over.
+RATIONALS = _add_comparators(ConcreteDomain("rationals", _is_rational, dense=True))
+
+#: Strings under lexicographic order (dense and unbounded, like the
+#: rationals, once one ignores the empty-string bottom element; equality
+#: and disequality are what the video model actually uses).
+STRINGS = _add_comparators(ConcreteDomain("strings", lambda v: isinstance(v, str), dense=True))
+
+
+def domain_of(value: object) -> ConcreteDomain:
+    """Return the builtin domain a constant naturally belongs to."""
+    if _is_rational(value):
+        return RATIONALS
+    if isinstance(value, str):
+        return STRINGS
+    raise DomainError(f"no builtin concrete domain contains {value!r}")

@@ -1,0 +1,143 @@
+"""Existential variable elimination (projection) for dense-order constraints.
+
+The paper's machinery rests on quantifier elimination for dense orders
+(its citations [18, 37] and the point-based temporal representation all
+assume it).  This module implements it: :func:`eliminate_variable`
+computes a constraint equivalent to ``∃x. c`` and mentioning only the
+remaining variables; :func:`project` keeps an arbitrary variable subset.
+
+Algorithm, per DNF clause:
+
+* an equality ``x = t`` lets us substitute ``t`` for ``x`` outright;
+* otherwise, partition the atoms on ``x`` into lower bounds L, upper
+  bounds U and punctures (``x != n``), and emit a disjunction of
+
+  - the **open-region clause**: the clause's other atoms plus ``l < u``
+    (strict) for every ``l ∈ L, u ∈ U`` — over a *dense* order a
+    non-degenerate region is infinite, so finitely many punctures cannot
+    empty it, and they are dropped soundly;
+  - one **pinned clause** per non-strict bound term ``t``: the original
+    clause with ``x := t`` substituted — covering regions that collapse
+    to a single point (which must then equal one of the non-strict
+    bounds, and must dodge every puncture; the substitution yields
+    exactly those side conditions).
+
+The construction is exact for dense orders without endpoints — the
+interpretation the paper fixes — and the property suite checks it
+against brute-force witnesses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple, Union
+
+from vidb.constraints.dense import (
+    FALSE,
+    TRUE,
+    Comparison,
+    Constraint,
+    conjoin,
+    disjoin,
+    fold_ground,
+)
+from vidb.constraints.terms import ConstantValue, Var
+from vidb.errors import ConstraintError
+
+Term = Union[Var, ConstantValue]
+
+
+def _substitute_clause(clause: Sequence[Comparison], var: Var,
+                       replacement: Term) -> Constraint:
+    """The clause with ``var := replacement`` (folding ground atoms)."""
+    parts: List[Constraint] = []
+    for atom in clause:
+        parts.append(atom.substitute({var: replacement}))
+    return conjoin(*parts)
+
+
+def _eliminate_from_clause(clause: Sequence[Comparison], var: Var
+                           ) -> Constraint:
+    mentions = [a for a in clause if var in a.variables()]
+    others = [a for a in clause if var not in a.variables()]
+    if not mentions:
+        return conjoin(*clause) if clause else TRUE
+
+    # Normalise every atom on `var` to the form  var OP term.
+    lowers: List[Tuple[Term, bool]] = []   # (term, strict): term < / <= var
+    uppers: List[Tuple[Term, bool]] = []   # var < / <= term
+    punctures: List[Term] = []
+    for atom in mentions:
+        if atom.left == var and atom.right == var:
+            # x op x: contradiction or tautology
+            if atom.op in ("<", ">", "!="):
+                return FALSE
+            continue
+        if atom.left == var:
+            op, term = atom.op, atom.right
+        else:
+            # var on the right: flip
+            from vidb.constraints.dense import flip_op
+
+            op, term = flip_op(atom.op), atom.left
+        if op == "=":
+            # substitute and finish: x is pinned to `term`
+            return _substitute_clause(clause, var, term)
+        if op == "!=":
+            punctures.append(term)
+        elif op == "<":
+            uppers.append((term, True))
+        elif op == "<=":
+            uppers.append((term, False))
+        elif op == ">":
+            lowers.append((term, True))
+        elif op == ">=":
+            lowers.append((term, False))
+
+    disjuncts: List[Constraint] = []
+
+    # Open-region clause: every lower bound strictly below every upper.
+    open_parts: List[Constraint] = [conjoin(*others) if others else TRUE]
+    for low, __ in lowers:
+        for high, __ in uppers:
+            open_parts.append(_make_atom(low, "<", high))
+    disjuncts.append(conjoin(*open_parts))
+
+    # Pinned clauses: the region may be the single point of a non-strict
+    # bound.
+    pin_candidates: List[Term] = [t for t, strict in lowers if not strict]
+    pin_candidates += [t for t, strict in uppers if not strict]
+    for candidate in pin_candidates:
+        disjuncts.append(_substitute_clause(clause, var, candidate))
+
+    return disjoin(*disjuncts)
+
+
+def _make_atom(left: Term, op: str, right: Term) -> Constraint:
+    """A comparison that may be ground (then folded)."""
+    if isinstance(left, Var) or isinstance(right, Var):
+        return Comparison(left, op, right)
+    return fold_ground(left, op, right)
+
+
+def eliminate_variable(constraint: Constraint, var: Var) -> Constraint:
+    """A constraint equivalent to ``∃ var . constraint``.
+
+    The result mentions every variable of the input except *var*.
+    """
+    clauses = constraint.dnf()
+    if not clauses:
+        return FALSE
+    out: List[Constraint] = []
+    for clause in clauses:
+        out.append(_eliminate_from_clause(clause, var))
+    return disjoin(*out)
+
+
+def project(constraint: Constraint, keep: Sequence[Var]) -> Constraint:
+    """Existentially eliminate every variable not in *keep*."""
+    keep_set: Set[Var] = set(keep)
+    result = constraint
+    for var in sorted(constraint.variables() - keep_set,
+                      key=lambda v: v.name):
+        result = eliminate_variable(result, var)
+    return result

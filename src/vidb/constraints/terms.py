@@ -1,0 +1,123 @@
+"""Variables and constants used inside constraint formulas.
+
+The paper (Definition 2) builds *dense linear order inequality constraints*
+from variables, constants and the comparators ``=, !=, <, <=, >, >=``.  This
+module supplies the term layer: a :class:`Var` class plus helpers to
+normalise and order the constants that may appear opposite a variable.
+
+Constants are plain Python values.  Numeric constants (``int``, ``float``,
+:class:`fractions.Fraction`) live in one ordered domain; strings live in a
+second (lexicographically ordered) domain.  Order comparisons across the two
+domains are rejected; equality across them is simply false.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+from vidb.errors import ConstraintError
+
+#: Types accepted as constants inside constraints.
+ConstantValue = Union[int, float, Fraction, str]
+
+_NUMERIC_TYPES = (int, float, Fraction)
+
+
+class Var:
+    """A constraint variable, identified by name.
+
+    Two :class:`Var` instances with the same name are equal and hash alike,
+    so formulas can be built in separate places and still share variables.
+
+    >>> t = Var("t")
+    >>> t == Var("t")
+    True
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise ConstraintError(f"variable name must be a non-empty string, got {name!r}")
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    # Rich comparisons build constraint atoms; imported lazily to avoid a
+    # circular import between terms.py and dense.py.
+    def _atom(self, op: str, other):
+        from vidb.constraints.dense import Comparison
+
+        return Comparison(self, op, other)
+
+    def __lt__(self, other):
+        return self._atom("<", other)
+
+    def __le__(self, other):
+        return self._atom("<=", other)
+
+    def __gt__(self, other):
+        return self._atom(">", other)
+
+    def __ge__(self, other):
+        return self._atom(">=", other)
+
+    def eq(self, other):
+        """Build the equality atom ``self = other``.
+
+        (Named method because ``__eq__`` is reserved for structural
+        equality of variables.)
+        """
+        return self._atom("=", other)
+
+    def ne(self, other):
+        """Build the disequality atom ``self != other``."""
+        return self._atom("!=", other)
+
+
+def is_constant(value: object) -> bool:
+    """Return True if *value* may appear as a constant in a constraint."""
+    return isinstance(value, _NUMERIC_TYPES) or isinstance(value, str)
+
+
+def is_numeric(value: object) -> bool:
+    """Return True for constants drawn from the numeric (dense) domain."""
+    return isinstance(value, _NUMERIC_TYPES) and not isinstance(value, bool)
+
+
+def check_constant(value: object) -> ConstantValue:
+    """Validate *value* as a constraint constant and return it unchanged."""
+    if isinstance(value, bool) or not is_constant(value):
+        raise ConstraintError(
+            f"unsupported constant {value!r}; expected int, float, Fraction or str"
+        )
+    return value  # type: ignore[return-value]
+
+
+def constants_comparable(a: ConstantValue, b: ConstantValue) -> bool:
+    """True when *a* and *b* belong to the same ordered constant domain."""
+    return (is_numeric(a) and is_numeric(b)) or (isinstance(a, str) and isinstance(b, str))
+
+
+def compare_constants(a: ConstantValue, b: ConstantValue) -> int:
+    """Three-way comparison of two constants of the same domain.
+
+    Returns -1, 0 or 1.  Raises :class:`ConstraintError` when the constants
+    are not order-comparable (e.g. a number against a string).
+    """
+    if not constants_comparable(a, b):
+        raise ConstraintError(f"constants {a!r} and {b!r} are not order-comparable")
+    if a == b:
+        return 0
+    return -1 if a < b else 1  # type: ignore[operator]

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the :mod:`vidb` package.
+
+Every error raised by vidb derives from :class:`VidbError`, so callers can
+catch library failures with a single ``except VidbError`` clause while still
+being able to discriminate finer-grained conditions (parse errors, safety
+violations, storage conflicts, ...).
+"""
+
+from __future__ import annotations
+
+
+class VidbError(Exception):
+    """Base class for all vidb errors."""
+
+
+class ConstraintError(VidbError):
+    """A constraint expression is malformed or uses unsupported operands."""
+
+
+class DomainError(ConstraintError):
+    """A value does not belong to the concrete domain it is used with."""
+
+
+class IntervalError(VidbError):
+    """An interval or generalized interval is malformed (e.g. lo > hi)."""
+
+
+class ModelError(VidbError):
+    """A video-object, oid, value or relation fact violates the data model."""
+
+
+class DuplicateOidError(ModelError):
+    """An object with the same oid is already registered."""
+
+
+class UnknownOidError(ModelError):
+    """An oid was referenced but no object with that oid exists."""
+
+
+class StorageError(VidbError):
+    """Generic storage-layer failure."""
+
+
+class TransactionError(StorageError):
+    """A transaction was used incorrectly (e.g. commit after rollback)."""
+
+
+class PersistenceError(StorageError):
+    """A database snapshot could not be encoded or decoded."""
+
+
+class QueryError(VidbError):
+    """Base class for query-language errors."""
+
+
+class ParseError(QueryError):
+    """The textual rule/query syntax is invalid.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending token, when known.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        if line:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class SafetyError(QueryError):
+    """A rule violates a static safety condition.
+
+    The paper requires rules to be *range-restricted* (Definition 11): every
+    variable of a rule must occur in a positive body literal.  It also
+    restricts constructive ``++`` terms to rule heads.
+    """
+
+
+class EvaluationError(QueryError):
+    """A runtime failure during bottom-up evaluation."""
+
+
+class UnknownPredicateError(EvaluationError):
+    """A body literal refers to a predicate that is neither EDB nor IDB."""

@@ -1,0 +1,36 @@
+"""The three video indexing schemes of Section 3 (Figures 1-3)."""
+
+from vidb.indexing.base import AnnotationStore, Descriptor, retrieval_quality
+from vidb.indexing.conversion import (
+    generalized_to_stratification,
+    segmentation_to_stratification,
+    stratification_to_generalized,
+    upgrade,
+)
+from vidb.indexing.compare import (
+    build_all,
+    compare,
+    point_query_accuracy,
+    schedule_span,
+)
+from vidb.indexing.generalized import GeneralizedIntervalIndex, to_database
+from vidb.indexing.segmentation import SegmentationIndex
+from vidb.indexing.stratification import StratificationIndex
+
+__all__ = [
+    "AnnotationStore",
+    "Descriptor",
+    "GeneralizedIntervalIndex",
+    "SegmentationIndex",
+    "StratificationIndex",
+    "build_all",
+    "compare",
+    "generalized_to_stratification",
+    "point_query_accuracy",
+    "retrieval_quality",
+    "schedule_span",
+    "segmentation_to_stratification",
+    "stratification_to_generalized",
+    "to_database",
+    "upgrade",
+]

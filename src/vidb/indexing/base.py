@@ -1,0 +1,100 @@
+"""Common interface for the three indexing schemes of Section 3.
+
+The paper contrasts three ways to attach descriptions to a video timeline:
+
+* **segmentation** (Figure 1) — a strict partition into contiguous
+  segments, each with one description;
+* **stratification** (Figure 2) — freely overlapping strata, one interval
+  per description occurrence;
+* **generalized intervals** (Figure 3) — one *generalized* interval per
+  descriptor, covering all its occurrences.
+
+All three implement :class:`AnnotationStore`, so the experiment harness
+(E1-E3) can run identical retrieval workloads over each and compare
+descriptor counts, retrieval cost and answer quality.
+
+A *descriptor* is any hashable label (a string, an oid...).  Ground truth
+for comparisons is a mapping descriptor -> :class:`GeneralizedInterval`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable
+
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.intervals.interval import Interval, Number
+
+Descriptor = Hashable
+
+
+class AnnotationStore:
+    """Abstract store mapping descriptors to time footprints."""
+
+    #: Human-readable scheme name (used in benchmark tables).
+    scheme = "abstract"
+
+    def annotate(self, descriptor: Descriptor, lo: Number, hi: Number) -> None:
+        """Record that *descriptor* holds over ``[lo, hi]``."""
+        raise NotImplementedError
+
+    def descriptors(self) -> FrozenSet[Descriptor]:
+        """All descriptors known to the store."""
+        raise NotImplementedError
+
+    def footprint(self, descriptor: Descriptor) -> GeneralizedInterval:
+        """The store's best answer for *when* a descriptor holds."""
+        raise NotImplementedError
+
+    def at(self, t: Number) -> FrozenSet[Descriptor]:
+        """Descriptors the store reports as holding at time *t*."""
+        raise NotImplementedError
+
+    def descriptor_count(self) -> int:
+        """How many (descriptor, interval) records the store keeps —
+        the storage-cost metric of the E1-E3 comparison."""
+        raise NotImplementedError
+
+    # -- derived conveniences ------------------------------------------------
+    def during(self, lo: Number, hi: Number) -> FrozenSet[Descriptor]:
+        """Descriptors whose footprint intersects ``[lo, hi]``."""
+        probe = GeneralizedInterval.from_pairs([(lo, hi)])
+        return frozenset(
+            d for d in self.descriptors() if self.footprint(d).overlaps(probe)
+        )
+
+    def co_occurring(self, descriptor: Descriptor) -> FrozenSet[Descriptor]:
+        """Descriptors overlapping *descriptor*'s footprint."""
+        base = self.footprint(descriptor)
+        return frozenset(
+            d for d in self.descriptors()
+            if d != descriptor and self.footprint(d).overlaps(base)
+        )
+
+
+def retrieval_quality(store: AnnotationStore,
+                      truth: Dict[Descriptor, GeneralizedInterval],
+                      ) -> Dict[str, float]:
+    """Measure-level precision/recall of a store against ground truth.
+
+    For each descriptor the store's reported footprint is compared with
+    the true footprint; precision is the fraction of reported time that is
+    truly covered, recall the fraction of true time that is reported.
+    Aggregates are duration-weighted means.
+    """
+    reported_total = 0.0
+    true_total = 0.0
+    hit_total = 0.0
+    for descriptor, true_footprint in truth.items():
+        if descriptor in store.descriptors():
+            reported = store.footprint(descriptor)
+        else:
+            reported = GeneralizedInterval.empty()
+        overlap = reported.intersection(true_footprint)
+        reported_total += float(reported.measure)
+        true_total += float(true_footprint.measure)
+        hit_total += float(overlap.measure)
+    precision = hit_total / reported_total if reported_total else 1.0
+    recall = hit_total / true_total if true_total else 1.0
+    f1 = (2 * precision * recall / (precision + recall)
+          if precision + recall else 0.0)
+    return {"precision": precision, "recall": recall, "f1": f1}

@@ -1,0 +1,90 @@
+"""Head-to-head comparison harness for the three indexing schemes (E1-E3).
+
+Given a ground-truth presence schedule (descriptor -> generalized
+interval), :func:`build_all` populates one store per scheme from the same
+occurrence stream, and :func:`compare` reports, per scheme:
+
+* record count (storage cost),
+* footprint accuracy (precision / recall / F1 against the schedule),
+* point-query agreement (does ``at(t)`` return the true descriptor set?).
+
+This realises the paper's qualitative Figures 1-3 as a measurable
+experiment: segmentation is compact but imprecise, stratification is
+precise but needs one record per occurrence, generalized intervals are
+precise with one record per descriptor.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+from vidb.indexing.base import AnnotationStore, Descriptor, retrieval_quality
+from vidb.indexing.generalized import GeneralizedIntervalIndex
+from vidb.indexing.segmentation import SegmentationIndex
+from vidb.indexing.stratification import StratificationIndex
+from vidb.intervals.generalized import GeneralizedInterval
+
+Schedule = Dict[Descriptor, GeneralizedInterval]
+
+
+def schedule_span(schedule: Schedule) -> Tuple[float, float]:
+    """The [start, end] hull of a presence schedule."""
+    starts = [fp.start for fp in schedule.values() if not fp.is_empty()]
+    ends = [fp.end for fp in schedule.values() if not fp.is_empty()]
+    if not starts:
+        return (0, 1)
+    return (min(starts), max(ends))
+
+
+def build_all(schedule: Schedule, segment_count: int = 20
+              ) -> List[AnnotationStore]:
+    """Populate one store per scheme from the same occurrence stream."""
+    start, end = schedule_span(schedule)
+    stores: List[AnnotationStore] = [
+        SegmentationIndex.uniform(start, end, segment_count),
+        StratificationIndex(),
+        GeneralizedIntervalIndex(),
+    ]
+    for descriptor, footprint in schedule.items():
+        for fragment in footprint:
+            for store in stores:
+                store.annotate(descriptor, fragment.lo, fragment.hi)
+    return stores
+
+
+def point_query_accuracy(store: AnnotationStore, schedule: Schedule,
+                         sample_count: int = 200) -> float:
+    """Fraction of sampled time points where ``at(t)`` matches the truth."""
+    start, end = schedule_span(schedule)
+    if sample_count < 1:
+        return 1.0
+    hits = 0
+    for i in range(sample_count):
+        t = Fraction(start) + Fraction(end - start) * Fraction(2 * i + 1,
+                                                               2 * sample_count)
+        truth = frozenset(
+            d for d, fp in schedule.items() if fp.contains_point(t)
+        )
+        if store.at(t) == truth:
+            hits += 1
+    return hits / sample_count
+
+
+def compare(schedule: Schedule, segment_count: int = 20,
+            sample_count: int = 200) -> List[Dict[str, object]]:
+    """One result row per scheme, ready for table printing."""
+    rows: List[Dict[str, object]] = []
+    for store in build_all(schedule, segment_count=segment_count):
+        quality = retrieval_quality(store, schedule)
+        rows.append({
+            "scheme": store.scheme,
+            "records": store.descriptor_count(),
+            "precision": round(quality["precision"], 4),
+            "recall": round(quality["recall"], 4),
+            "f1": round(quality["f1"], 4),
+            "point_accuracy": round(
+                point_query_accuracy(store, schedule, sample_count), 4
+            ),
+        })
+    return rows

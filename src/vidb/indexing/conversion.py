@@ -1,0 +1,73 @@
+"""Conversions between the three indexing schemes.
+
+Section 3's narrative is a *refinement chain*: stratification fixes
+segmentation's coarseness, generalized intervals subsume stratification
+("we extend the stratification approach").  These converters make the
+chain executable:
+
+* segmentation → stratification — each (segment, descriptor) record
+  becomes a stratum (lossless w.r.t. what segmentation knew, which is
+  already coarsened);
+* stratification → generalized — strata group by descriptor, their union
+  becomes the descriptor's single generalized interval (lossless: the
+  footprints are identical, only the record structure changes);
+* generalized → stratification — one stratum per fragment (the inverse
+  decomposition).
+
+Round-tripping stratification ⇄ generalized preserves every footprint —
+the formal sense in which the paper's scheme *extends* stratification.
+"""
+
+from __future__ import annotations
+
+from vidb.indexing.generalized import GeneralizedIntervalIndex
+from vidb.indexing.segmentation import SegmentationIndex
+from vidb.indexing.stratification import StratificationIndex
+
+
+def segmentation_to_stratification(index: SegmentationIndex
+                                   ) -> StratificationIndex:
+    """One stratum per (segment, descriptor) record."""
+    out = StratificationIndex()
+    for segment, labels in zip(index.segments, index._labels):
+        for descriptor in sorted(labels, key=str):
+            out.annotate(descriptor, segment.lo, segment.hi,
+                         closed_lo=segment.closed_lo,
+                         closed_hi=segment.closed_hi)
+    return out
+
+
+def stratification_to_generalized(index: StratificationIndex
+                                  ) -> GeneralizedIntervalIndex:
+    """Group strata by descriptor; the union is the generalized interval."""
+    out = GeneralizedIntervalIndex()
+    for descriptor in sorted(index.descriptors(), key=str):
+        for stratum in index.strata_of(descriptor):
+            out.annotate(descriptor, stratum.lo, stratum.hi,
+                         closed_lo=stratum.closed_lo,
+                         closed_hi=stratum.closed_hi)
+    return out
+
+
+def generalized_to_stratification(index: GeneralizedIntervalIndex
+                                  ) -> StratificationIndex:
+    """One stratum per footprint fragment (the inverse decomposition)."""
+    out = StratificationIndex()
+    for descriptor in sorted(index.descriptors(), key=str):
+        for fragment in index.footprint(descriptor):
+            out.annotate(descriptor, fragment.lo, fragment.hi,
+                         closed_lo=fragment.closed_lo,
+                         closed_hi=fragment.closed_hi)
+    return out
+
+
+def upgrade(index) -> GeneralizedIntervalIndex:
+    """Lift any scheme to the paper's generalized-interval store."""
+    if isinstance(index, GeneralizedIntervalIndex):
+        return index
+    if isinstance(index, SegmentationIndex):
+        return stratification_to_generalized(
+            segmentation_to_stratification(index))
+    if isinstance(index, StratificationIndex):
+        return stratification_to_generalized(index)
+    raise TypeError(f"cannot upgrade {index!r}")

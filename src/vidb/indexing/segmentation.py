@@ -1,0 +1,115 @@
+"""Segmentation indexing (Figure 1).
+
+The timeline is partitioned into contiguous, non-overlapping segments;
+each segment carries a *set* of descriptors (the handwritten description
+of that segment).  This is the scheme the paper credits to early broadcast
+archives and criticises — via Aguierre-Smith & Davenport — for its "rough
+descriptions": a descriptor attached to a segment is reported as holding
+over the *whole* segment, so retrieval precision degrades as segments get
+coarser, and a descriptor spanning several segments needs several records.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import FrozenSet, List, Set
+
+from vidb.errors import IntervalError
+from vidb.indexing.base import AnnotationStore, Descriptor
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.intervals.interval import Interval, Number
+
+
+class SegmentationIndex(AnnotationStore):
+    """A strict temporal partition with per-segment descriptor sets.
+
+    The segment grid is fixed at construction (`boundaries` are the cut
+    points); annotations snap to every segment they touch.
+    """
+
+    scheme = "segmentation"
+
+    def __init__(self, start: Number, end: Number, boundaries: List[Number]):
+        if end <= start:
+            raise IntervalError(f"empty timeline [{start}, {end}]")
+        cuts = sorted(set(boundaries))
+        for cut in cuts:
+            if not (start < cut < end):
+                raise IntervalError(
+                    f"segment boundary {cut!r} outside ({start!r}, {end!r})"
+                )
+        points = [start] + cuts + [end]
+        # Half-open segments [lo, hi) — a strict partition shares no time
+        # points; only the final segment closes the timeline.
+        self.segments: List[Interval] = [
+            Interval(points[i], points[i + 1],
+                     closed_hi=(i == len(points) - 2))
+            for i in range(len(points) - 1)
+        ]
+        self._starts = [s.lo for s in self.segments]
+        self._labels: List[Set[Descriptor]] = [set() for __ in self.segments]
+
+    @classmethod
+    def uniform(cls, start: Number, end: Number, segment_count: int
+                ) -> "SegmentationIndex":
+        """An evenly cut grid with *segment_count* segments."""
+        if segment_count < 1:
+            raise IntervalError("need at least one segment")
+        width = (end - start) / segment_count
+        boundaries = [start + width * i for i in range(1, segment_count)]
+        return cls(start, end, boundaries)
+
+    # -- AnnotationStore ------------------------------------------------------
+    def annotate(self, descriptor: Descriptor, lo: Number, hi: Number) -> None:
+        """Attach *descriptor* to every segment intersecting ``[lo, hi)``.
+
+        The annotation is half-open on the right (matching the segment
+        grid), so a description ending exactly on a boundary does not leak
+        into the following segment.
+        """
+        span = Interval(lo, hi, closed_hi=(lo == hi))
+        for index in self._touching(span):
+            self._labels[index].add(descriptor)
+
+    def descriptors(self) -> FrozenSet[Descriptor]:
+        out: Set[Descriptor] = set()
+        for labels in self._labels:
+            out |= labels
+        return frozenset(out)
+
+    def footprint(self, descriptor: Descriptor) -> GeneralizedInterval:
+        """The union of whole segments carrying the descriptor — the
+        coarsened footprint that makes segmentation imprecise."""
+        fragments = [
+            segment for segment, labels in zip(self.segments, self._labels)
+            if descriptor in labels
+        ]
+        return GeneralizedInterval(fragments)
+
+    def at(self, t: Number) -> FrozenSet[Descriptor]:
+        index = self._segment_of(t)
+        if index is None:
+            return frozenset()
+        return frozenset(self._labels[index])
+
+    def descriptor_count(self) -> int:
+        """One record per (segment, descriptor) pair."""
+        return sum(len(labels) for labels in self._labels)
+
+    # -- internals -----------------------------------------------------------
+    def _segment_of(self, t: Number):
+        if t < self.segments[0].lo or t > self.segments[-1].hi:
+            return None
+        index = bisect.bisect_right(self._starts, t) - 1
+        return max(index, 0)
+
+    def _touching(self, span: Interval) -> List[int]:
+        out = []
+        for index, segment in enumerate(self.segments):
+            if segment.overlaps(span):
+                out.append(index)
+        return out
+
+    def __repr__(self) -> str:
+        return (f"SegmentationIndex({len(self.segments)} segments, "
+                f"{self.descriptor_count()} records)")

@@ -1,0 +1,72 @@
+"""Stratification indexing (Figure 2).
+
+Aguierre-Smith & Davenport's answer to segmentation: every fact of
+interest gets its own *stratum* — a single contiguous interval — and
+strata may overlap freely, allowing several levels of description over the
+same footage.  Retrieval is exact on each occurrence, but a descriptor
+appearing k separate times needs k strata, and there is no single handle
+for "all occurrences of X" (the gap the paper's generalized intervals
+close).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from vidb.indexing.base import AnnotationStore, Descriptor
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.intervals.interval import Interval, Number
+
+
+class StratificationIndex(AnnotationStore):
+    """A bag of (descriptor, interval) strata."""
+
+    scheme = "stratification"
+
+    def __init__(self) -> None:
+        self._strata: List[Tuple[Descriptor, Interval]] = []
+        self._by_descriptor: Dict[Descriptor, List[Interval]] = {}
+
+    # -- AnnotationStore -------------------------------------------------------
+    def annotate(self, descriptor: Descriptor, lo: Number, hi: Number,
+                 closed_lo: bool = True, closed_hi: bool = True) -> None:
+        """Record one stratum; endpoint closedness is preserved so that
+        converting from half-open segment grids stays lossless."""
+        stratum = Interval(lo, hi, closed_lo=closed_lo, closed_hi=closed_hi)
+        self._strata.append((descriptor, stratum))
+        self._by_descriptor.setdefault(descriptor, []).append(stratum)
+
+    def descriptors(self) -> FrozenSet[Descriptor]:
+        return frozenset(self._by_descriptor)
+
+    def footprint(self, descriptor: Descriptor) -> GeneralizedInterval:
+        """The union of the descriptor's strata.
+
+        Note this *computes* what a generalized interval *stores*: the
+        stratification scheme has to assemble the answer from k separate
+        records at query time.
+        """
+        return GeneralizedInterval(self._by_descriptor.get(descriptor, ()))
+
+    def at(self, t: Number) -> FrozenSet[Descriptor]:
+        return frozenset(
+            descriptor for descriptor, stratum in self._strata
+            if stratum.contains_point(t)
+        )
+
+    def descriptor_count(self) -> int:
+        """One record per stratum."""
+        return len(self._strata)
+
+    # -- scheme-specific -----------------------------------------------------------
+    def strata_of(self, descriptor: Descriptor) -> List[Interval]:
+        """The raw strata recorded for one descriptor."""
+        return list(self._by_descriptor.get(descriptor, ()))
+
+    def levels_at(self, t: Number) -> int:
+        """How many strata overlap time *t* (the 'levels of description')."""
+        return sum(1 for __, stratum in self._strata if stratum.contains_point(t))
+
+    def __repr__(self) -> str:
+        return (f"StratificationIndex({len(self._strata)} strata over "
+                f"{len(self._by_descriptor)} descriptors)")

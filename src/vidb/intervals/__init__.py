@@ -1,0 +1,42 @@
+"""Time intervals and generalized time intervals (Definitions 4-5).
+
+:class:`Interval` is one contiguous run of time points; a
+:class:`GeneralizedInterval` is a normalised union of pairwise disjoint
+intervals — the temporal footprint the paper attaches to each description.
+Both convert to and from the point-based dense-order constraint
+representation.  :mod:`vidb.intervals.allen` supplies Allen's thirteen
+relations.
+"""
+
+from vidb.intervals import allen, composition, network
+from vidb.intervals.composition import (
+    compose,
+    composition_table,
+    feasible_relations,
+    is_consistent_triple,
+)
+from vidb.intervals.generalized import GeneralizedInterval, T
+from vidb.intervals.network import (
+    ALL_RELATIONS,
+    IntervalNetwork,
+    network_from_facts,
+    network_from_intervals,
+)
+from vidb.intervals.interval import Interval
+
+__all__ = [
+    "ALL_RELATIONS",
+    "GeneralizedInterval",
+    "IntervalNetwork",
+    "Interval",
+    "T",
+    "allen",
+    "compose",
+    "composition",
+    "composition_table",
+    "feasible_relations",
+    "is_consistent_triple",
+    "network",
+    "network_from_facts",
+    "network_from_intervals",
+]

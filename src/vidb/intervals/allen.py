@@ -1,0 +1,163 @@
+"""Allen's interval relations, for simple and generalized intervals.
+
+Temporal query languages compared by the paper (Hjelsvold & Midtstraum's
+``equals``/``before`` operators, VideoSQL's interval operations) are built
+on Allen's thirteen relations between intervals.  vidb provides them both
+as direct predicates (this module) and — the paper's point — as *derived*
+relations definable inside the rule language through duration-constraint
+entailment (see :mod:`vidb.query.stdlib`).
+
+The classification treats intervals as closed unless stated otherwise and
+requires non-degenerate endpoints for the strict relations; the thirteen
+relation names follow Allen (1983).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from vidb.errors import IntervalError
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.intervals.interval import Interval
+
+#: Relation name -> inverse relation name.
+INVERSES: Dict[str, str] = {
+    "before": "after",
+    "after": "before",
+    "meets": "met_by",
+    "met_by": "meets",
+    "overlaps": "overlapped_by",
+    "overlapped_by": "overlaps",
+    "starts": "started_by",
+    "started_by": "starts",
+    "during": "contains",
+    "contains": "during",
+    "finishes": "finished_by",
+    "finished_by": "finishes",
+    "equals": "equals",
+}
+
+
+def before(a: Interval, b: Interval) -> bool:
+    """a ends strictly before b begins (a gap separates them)."""
+    return a.hi < b.lo
+
+
+def after(a: Interval, b: Interval) -> bool:
+    return before(b, a)
+
+
+def meets(a: Interval, b: Interval) -> bool:
+    """a's end coincides with b's start."""
+    return a.hi == b.lo and a.lo < a.hi and b.lo < b.hi
+
+
+def met_by(a: Interval, b: Interval) -> bool:
+    return meets(b, a)
+
+
+def overlaps(a: Interval, b: Interval) -> bool:
+    """a starts first, they share an inner stretch, b ends last."""
+    return a.lo < b.lo < a.hi < b.hi
+
+
+def overlapped_by(a: Interval, b: Interval) -> bool:
+    return overlaps(b, a)
+
+
+def starts(a: Interval, b: Interval) -> bool:
+    return a.lo == b.lo and a.hi < b.hi
+
+
+def started_by(a: Interval, b: Interval) -> bool:
+    return starts(b, a)
+
+
+def during(a: Interval, b: Interval) -> bool:
+    return b.lo < a.lo and a.hi < b.hi
+
+
+def contains(a: Interval, b: Interval) -> bool:
+    return during(b, a)
+
+
+def finishes(a: Interval, b: Interval) -> bool:
+    return a.hi == b.hi and a.lo > b.lo
+
+
+def finished_by(a: Interval, b: Interval) -> bool:
+    return finishes(b, a)
+
+
+def equals(a: Interval, b: Interval) -> bool:
+    return a.lo == b.lo and a.hi == b.hi
+
+
+_RELATIONS: Dict[str, Callable[[Interval, Interval], bool]] = {
+    "before": before,
+    "after": after,
+    "meets": meets,
+    "met_by": met_by,
+    "overlaps": overlaps,
+    "overlapped_by": overlapped_by,
+    "starts": starts,
+    "started_by": started_by,
+    "during": during,
+    "contains": contains,
+    "finishes": finishes,
+    "finished_by": finished_by,
+    "equals": equals,
+}
+
+
+def relation(a: Interval, b: Interval) -> str:
+    """The unique Allen relation holding between two intervals.
+
+    Exactly one of the thirteen relations holds for any pair of
+    non-degenerate intervals; degenerate (point) intervals can fall between
+    the strict definitions, in which case :class:`IntervalError` is raised.
+    """
+    for name, predicate in _RELATIONS.items():
+        if predicate(a, b):
+            return name
+    raise IntervalError(
+        f"no Allen relation classifies {a!r} vs {b!r} "
+        "(degenerate endpoints?)"
+    )
+
+
+def holds(name: str, a: Interval, b: Interval) -> bool:
+    """Test a relation by name."""
+    try:
+        predicate = _RELATIONS[name]
+    except KeyError:
+        raise IntervalError(f"unknown Allen relation {name!r}") from None
+    return predicate(a, b)
+
+
+# -- generalized-interval liftings -------------------------------------------
+
+def gi_before(a: GeneralizedInterval, b: GeneralizedInterval) -> bool:
+    """All of a's footprint precedes all of b's."""
+    return a.before(b)
+
+
+def gi_overlaps(a: GeneralizedInterval, b: GeneralizedInterval) -> bool:
+    """The footprints share at least one time point."""
+    return a.overlaps(b)
+
+
+def gi_contains(a: GeneralizedInterval, b: GeneralizedInterval) -> bool:
+    """b's footprint is a subset of a's (duration entailment b => a)."""
+    return a.contains(b)
+
+
+def gi_equals(a: GeneralizedInterval, b: GeneralizedInterval) -> bool:
+    return a == b
+
+
+def gi_meets(a: GeneralizedInterval, b: GeneralizedInterval) -> bool:
+    """a's last fragment meets b's first fragment."""
+    if a.is_empty() or b.is_empty():
+        return False
+    return a.fragments[-1].meets(b.fragments[0])

@@ -1,0 +1,83 @@
+"""Allen interval algebra: the composition table.
+
+Given ``relation(a, b)`` and ``relation(b, c)``, the composition table
+lists which relations are possible between ``a`` and ``c`` — the core of
+qualitative temporal reasoning (path consistency, constraint propagation
+over interval networks).
+
+Rather than transcribing Allen's 13×13 table (a classic source of typos),
+vidb **derives** it by exhaustive enumeration: all triples of intervals
+with endpoints on a small integer grid.  A grid of 0..7 realises every
+qualitative endpoint configuration of three intervals (each relation is
+determined by the orderings of 6 endpoints; 8 grid points allow all
+strict/equal patterns), so the derived table is exactly Allen's.  The
+property suite re-checks soundness against random rational triples.
+
+API:
+
+* :func:`compose` — possible relations of (a, c) given r(a,b), r(b,c);
+* :func:`composition_table` — the full table as a dict;
+* :func:`feasible_relations` — constraint propagation over a chain.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import combinations, product
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from vidb.errors import IntervalError
+from vidb.intervals import allen
+from vidb.intervals.interval import Interval
+
+#: Endpoint grid sufficient to realise every qualitative configuration of
+#: three intervals (six endpoints need at most six distinct values; eight
+#: grid points also allow the equality patterns).
+_GRID = range(8)
+
+
+def _all_intervals() -> List[Interval]:
+    return [Interval(lo, hi) for lo, hi in combinations(_GRID, 2)]
+
+
+@lru_cache(maxsize=1)
+def composition_table() -> Dict[Tuple[str, str], FrozenSet[str]]:
+    """(r1, r2) -> the set of relations realisable as their composition."""
+    intervals = _all_intervals()
+    table: Dict[Tuple[str, str], set] = {}
+    for a, b, c in product(intervals, repeat=3):
+        try:
+            r_ab = allen.relation(a, b)
+            r_bc = allen.relation(b, c)
+            r_ac = allen.relation(a, c)
+        except IntervalError:  # pragma: no cover - grid intervals are proper
+            continue
+        table.setdefault((r_ab, r_bc), set()).add(r_ac)
+    return {key: frozenset(values) for key, values in table.items()}
+
+
+def compose(first: str, second: str) -> FrozenSet[str]:
+    """Relations possible between a and c given first(a,b), second(b,c)."""
+    for name in (first, second):
+        if name not in allen.INVERSES:
+            raise IntervalError(f"unknown Allen relation {name!r}")
+    return composition_table()[(first, second)]
+
+
+def feasible_relations(chain: Sequence[str]) -> FrozenSet[str]:
+    """Propagate a chain of relations: the possible relations between the
+    first and last interval of ``a r1 b r2 c r3 d ...``."""
+    if not chain:
+        raise IntervalError("empty relation chain")
+    current = frozenset({chain[0]})
+    for step in chain[1:]:
+        next_set: set = set()
+        for relation_name in current:
+            next_set |= compose(relation_name, step)
+        current = frozenset(next_set)
+    return current
+
+
+def is_consistent_triple(r_ab: str, r_bc: str, r_ac: str) -> bool:
+    """Can the three pairwise relations hold simultaneously?"""
+    return r_ac in compose(r_ab, r_bc)

@@ -1,0 +1,234 @@
+"""Generalized time intervals (Definition 5).
+
+A generalized interval is a set of pairwise non-overlapping intervals — the
+temporal footprint of one description in a video document (all occurrences
+of "Reporter" on screen, say).  In the point-based representation it is a
+disjunction of conjunctions of dense-order constraints over a single time
+variable ``t``; this class is the explicit, normalised dual of that form
+and converts losslessly in both directions.
+
+Normal form: fragments are sorted, pairwise disjoint, and maximal (touching
+or overlapping inputs are merged), so structural equality coincides with
+set-of-time-points equality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from vidb.constraints.dense import FALSE, Constraint, disjoin
+from vidb.constraints.solver import (
+    Span,
+    normalize_spans,
+    solution_set_1var,
+    spans_subset,
+)
+from vidb.constraints.terms import Var
+from vidb.errors import IntervalError
+from vidb.intervals.interval import Interval, Number
+
+#: Default time variable used when rendering the constraint form.
+T = Var("t")
+
+
+class GeneralizedInterval:
+    """An immutable, normalised union of disjoint intervals.
+
+    >>> gi = GeneralizedInterval.from_pairs([(0, 5), (10, 15), (4, 7)])
+    >>> gi
+    GI{[0, 7] ∪ [10, 15]}
+    >>> gi.contains_point(6), gi.contains_point(8)
+    (True, False)
+    """
+
+    __slots__ = ("fragments",)
+
+    def __init__(self, fragments: Iterable[Interval] = ()):
+        spans = [f.to_span() for f in fragments]
+        merged = normalize_spans(spans)
+        self.fragments: Tuple[Interval, ...] = tuple(
+            Interval.from_span(s) for s in merged
+        )
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "GeneralizedInterval":
+        return cls(())
+
+    @classmethod
+    def point(cls, t: Number) -> "GeneralizedInterval":
+        return cls((Interval(t, t),))
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[Number, Number]]) -> "GeneralizedInterval":
+        """Build from ``(lo, hi)`` pairs of closed intervals."""
+        return cls(Interval(lo, hi) for lo, hi in pairs)
+
+    @classmethod
+    def from_constraint(cls, constraint: Constraint,
+                        var: Var = T) -> "GeneralizedInterval":
+        """Decode the point-based (constraint) representation.
+
+        The constraint must range over the single variable *var* and have a
+        bounded solution set.
+        """
+        spans = solution_set_1var(constraint, var)
+        return cls(Interval.from_span(s) for s in spans)
+
+    # -- basic queries ---------------------------------------------------------
+    def is_empty(self) -> bool:
+        return not self.fragments
+
+    def __len__(self) -> int:
+        """Number of fragments."""
+        return len(self.fragments)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self.fragments)
+
+    def __bool__(self) -> bool:
+        return bool(self.fragments)
+
+    @property
+    def measure(self) -> Number:
+        """Total covered duration."""
+        return sum((f.length for f in self.fragments), 0)
+
+    def span(self) -> Optional[Interval]:
+        """Smallest single interval covering the whole footprint."""
+        if not self.fragments:
+            return None
+        first, last = self.fragments[0], self.fragments[-1]
+        return Interval(first.lo, last.hi, first.closed_lo, last.closed_hi)
+
+    @property
+    def start(self) -> Optional[Number]:
+        return self.fragments[0].lo if self.fragments else None
+
+    @property
+    def end(self) -> Optional[Number]:
+        return self.fragments[-1].hi if self.fragments else None
+
+    def contains_point(self, t: Number) -> bool:
+        return any(f.contains_point(t) for f in self.fragments)
+
+    def contains(self, other: "GeneralizedInterval") -> bool:
+        """Set containment of time points."""
+        return spans_subset(
+            [f.to_span() for f in other.fragments],
+            [f.to_span() for f in self.fragments],
+        )
+
+    def overlaps(self, other: "GeneralizedInterval") -> bool:
+        """Do the two footprints share a time point?"""
+        return not self.intersection(other).is_empty()
+
+    def before(self, other: "GeneralizedInterval") -> bool:
+        """The whole footprint precedes the whole of *other*."""
+        if self.is_empty() or other.is_empty():
+            return False
+        return self.fragments[-1].before(other.fragments[0])
+
+    # -- set algebra -----------------------------------------------------------
+    def union(self, other: "GeneralizedInterval") -> "GeneralizedInterval":
+        return GeneralizedInterval(self.fragments + other.fragments)
+
+    __or__ = union
+
+    def intersection(self, other: "GeneralizedInterval") -> "GeneralizedInterval":
+        out: List[Interval] = []
+        for a in self.fragments:
+            for b in other.fragments:
+                if a.overlaps(b):
+                    out.append(a.intersect(b))
+        return GeneralizedInterval(out)
+
+    __and__ = intersection
+
+    def difference(self, other: "GeneralizedInterval") -> "GeneralizedInterval":
+        """Time points of self not in other."""
+        remaining = [f.to_span() for f in self.fragments]
+        for cut in other.fragments:
+            next_remaining: List[Span] = []
+            for span in remaining:
+                next_remaining.extend(_span_minus_interval(span, cut))
+            remaining = next_remaining
+        return GeneralizedInterval(Interval.from_span(s) for s in remaining)
+
+    __sub__ = difference
+
+    def complement_within(self, frame: Interval) -> "GeneralizedInterval":
+        """Points of *frame* not covered by this footprint."""
+        return GeneralizedInterval((frame,)).difference(self)
+
+    # -- editing utilities -----------------------------------------------------
+    def translate(self, offset: Number) -> "GeneralizedInterval":
+        """The footprint shifted by *offset* time units."""
+        return GeneralizedInterval(
+            Interval(f.lo + offset, f.hi + offset, f.closed_lo, f.closed_hi)
+            for f in self.fragments
+        )
+
+    def clip(self, lo: Number, hi: Number) -> "GeneralizedInterval":
+        """The footprint restricted to the closed window ``[lo, hi]``."""
+        return self.intersection(GeneralizedInterval((Interval(lo, hi),)))
+
+    def dilate(self, margin: Number) -> "GeneralizedInterval":
+        """Grow every fragment by *margin* on each side (context padding
+        for presentation cuts); overlapping results merge."""
+        if margin < 0:
+            raise IntervalError(f"dilate margin must be >= 0, got {margin!r}")
+        return GeneralizedInterval(
+            Interval(f.lo - margin, f.hi + margin, f.closed_lo, f.closed_hi)
+            for f in self.fragments
+        )
+
+    # -- conversions -----------------------------------------------------------
+    def to_constraint(self, var: Var = T) -> Constraint:
+        """The point-based form: a disjunction of interval constraints.
+
+        The empty footprint encodes as FALSE.
+        """
+        if not self.fragments:
+            return FALSE
+        return disjoin(*[f.to_constraint(var) for f in self.fragments])
+
+    def to_pairs(self) -> List[Tuple[Number, Number]]:
+        """Fragment endpoints, discarding open/closed flags."""
+        return [(f.lo, f.hi) for f in self.fragments]
+
+    # -- value semantics ---------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, GeneralizedInterval)
+                and self.fragments == other.fragments)
+
+    def __hash__(self) -> int:
+        return hash(("GeneralizedInterval", self.fragments))
+
+    def __repr__(self) -> str:
+        if not self.fragments:
+            return "GI{}"
+        return "GI{" + " ∪ ".join(map(repr, self.fragments)) + "}"
+
+
+def _span_minus_interval(span: Span, cut: Interval) -> List[Span]:
+    """Subtract one interval from one bounded span; returns 0..2 spans.
+
+    Fragment spans are always bounded (video time is finite), which keeps
+    the case analysis small: anything of the span strictly left of the cut
+    survives, anything strictly right of it survives.
+    """
+    source = Interval.from_span(span)
+    if not source.overlaps(cut):
+        return [span]
+    out: List[Span] = []
+    # Points of the source before the cut begins.  The remainder is open at
+    # the cut's lower bound exactly when the cut includes that bound.
+    left = Span(source.lo, cut.lo, not source.closed_lo, cut.closed_lo)
+    if not left.is_empty() and not (cut.lo < source.lo):
+        out.append(left)
+    # Points of the source after the cut ends.
+    right = Span(cut.hi, source.hi, cut.closed_hi, not source.closed_hi)
+    if not right.is_empty() and not (cut.hi > source.hi):
+        out.append(right)
+    return out

@@ -1,0 +1,172 @@
+"""Concrete time intervals (Definition 4).
+
+An interval is an ordered pair of numbers ``(x1, x2)`` with ``x1 <= x2``;
+vidb additionally tracks whether each endpoint is included, because the
+point-based constraint representation distinguishes ``t > a`` from
+``t >= a``.  The default is a closed interval, matching the paper's
+``x1 <= t AND t <= x2`` reading.
+
+Intervals are immutable value objects.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+from vidb.constraints.dense import Constraint, interval_constraint
+from vidb.constraints.solver import Span
+from vidb.constraints.terms import Var, is_numeric
+from vidb.errors import IntervalError
+
+Number = Union[int, float, Fraction]
+
+
+class Interval:
+    """A single contiguous run of time points.
+
+    >>> Interval(1, 5).overlaps(Interval(4, 9))
+    True
+    >>> Interval(1, 5, closed_hi=False).meets(Interval(5, 9))
+    True
+    """
+
+    __slots__ = ("lo", "hi", "closed_lo", "closed_hi")
+
+    def __init__(self, lo: Number, hi: Number,
+                 closed_lo: bool = True, closed_hi: bool = True):
+        if not is_numeric(lo) or not is_numeric(hi):
+            raise IntervalError(f"interval bounds must be numeric, got ({lo!r}, {hi!r})")
+        if lo > hi:
+            raise IntervalError(f"interval lower bound {lo!r} exceeds upper bound {hi!r}")
+        if lo == hi and not (closed_lo and closed_hi):
+            raise IntervalError(
+                f"degenerate interval at {lo!r} must be closed on both ends"
+            )
+        self.lo = lo
+        self.hi = hi
+        self.closed_lo = bool(closed_lo)
+        self.closed_hi = bool(closed_hi)
+
+    # -- predicates -------------------------------------------------------
+    def is_point(self) -> bool:
+        """A single time point ``[x, x]``."""
+        return self.lo == self.hi
+
+    def contains_point(self, t: Number) -> bool:
+        if t < self.lo or (t == self.lo and not self.closed_lo):
+            return False
+        if t > self.hi or (t == self.hi and not self.closed_hi):
+            return False
+        return True
+
+    def contains(self, other: "Interval") -> bool:
+        """Set containment (not Allen's strict *during*)."""
+        if other.lo < self.lo:
+            return False
+        if other.lo == self.lo and other.closed_lo and not self.closed_lo:
+            return False
+        if other.hi > self.hi:
+            return False
+        if other.hi == self.hi and other.closed_hi and not self.closed_hi:
+            return False
+        return True
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Do the two intervals share at least one point?"""
+        if self.hi < other.lo or other.hi < self.lo:
+            return False
+        if self.hi == other.lo:
+            return self.closed_hi and other.closed_lo
+        if other.hi == self.lo:
+            return other.closed_hi and self.closed_lo
+        return True
+
+    def before(self, other: "Interval") -> bool:
+        """Every point of self precedes every point of other, with a gap
+        or at most a shared endpoint excluded from both."""
+        if self.hi < other.lo:
+            return True
+        if self.hi == other.lo:
+            return not (self.closed_hi and other.closed_lo)
+        return False
+
+    def meets(self, other: "Interval") -> bool:
+        """self ends exactly where other begins (no gap, no overlap of
+        more than the touching point)."""
+        if self.hi != other.lo:
+            return False
+        # They meet when exactly one of the touching endpoints is closed
+        # (half-open abutment) or both are closed (they share one point).
+        return self.closed_hi or other.closed_lo
+
+    def adjacent(self, other: "Interval") -> bool:
+        """Union with *other* forms a single run (overlap or meet)."""
+        return self.overlaps(other) or self.meets(other) or other.meets(self)
+
+    # -- measures ----------------------------------------------------------
+    @property
+    def length(self) -> Number:
+        """Measure of the interval (endpoint openness is measure-zero)."""
+        return self.hi - self.lo
+
+    # -- set operations ------------------------------------------------------
+    def intersect(self, other: "Interval") -> "Interval":
+        """Intersection; raises :class:`IntervalError` when disjoint."""
+        if not self.overlaps(other):
+            raise IntervalError(f"{self!r} and {other!r} do not overlap")
+        if self.lo > other.lo or (self.lo == other.lo and not self.closed_lo):
+            lo, closed_lo = self.lo, self.closed_lo
+        else:
+            lo, closed_lo = other.lo, other.closed_lo
+        if self.hi < other.hi or (self.hi == other.hi and not self.closed_hi):
+            hi, closed_hi = self.hi, self.closed_hi
+        else:
+            hi, closed_hi = other.hi, other.closed_hi
+        return Interval(lo, hi, closed_lo, closed_hi)
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both operands."""
+        if self.lo < other.lo or (self.lo == other.lo and self.closed_lo):
+            lo, closed_lo = self.lo, self.closed_lo
+        else:
+            lo, closed_lo = other.lo, other.closed_lo
+        if self.hi > other.hi or (self.hi == other.hi and self.closed_hi):
+            hi, closed_hi = self.hi, self.closed_hi
+        else:
+            hi, closed_hi = other.hi, other.closed_hi
+        return Interval(lo, hi, closed_lo, closed_hi)
+
+    # -- conversions -------------------------------------------------------
+    def to_constraint(self, var: Var) -> Constraint:
+        """The point-based form ``a <= t AND t <= b`` (Definition 4)."""
+        return interval_constraint(var, self.lo, self.hi,
+                                   closed_lo=self.closed_lo,
+                                   closed_hi=self.closed_hi)
+
+    def to_span(self) -> Span:
+        return Span(self.lo, self.hi, not self.closed_lo, not self.closed_hi)
+
+    @classmethod
+    def from_span(cls, span: Span) -> "Interval":
+        if span.lo is None or span.hi is None:
+            raise IntervalError(f"span {span!r} is unbounded; video time is finite")
+        return cls(span.lo, span.hi, not span.lo_open, not span.hi_open)
+
+    # -- value semantics ------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Interval)
+            and self.lo == other.lo
+            and self.hi == other.hi
+            and self.closed_lo == other.closed_lo
+            and self.closed_hi == other.closed_hi
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Interval", self.lo, self.hi, self.closed_lo, self.closed_hi))
+
+    def __repr__(self) -> str:
+        left = "[" if self.closed_lo else "("
+        right = "]" if self.closed_hi else ")"
+        return f"{left}{self.lo}, {self.hi}{right}"

@@ -1,0 +1,206 @@
+"""Qualitative interval networks: path consistency over Allen's algebra.
+
+The paper wants the query language to "allow some kind of reasoning"
+about time.  The composition table (:mod:`vidb.intervals.composition`)
+supports exactly the classic machinery: an **interval network** holds,
+for each pair of named intervals, the *set* of Allen relations still
+possible, and propagates with
+
+``R(i,k) ← R(i,k) ∩ (R(i,j) ; R(j,k))``
+
+until a fixpoint (path consistency).  An empty relation set proves the
+network inconsistent.  Path consistency is complete for inconsistency
+detection on small/pointisable networks and is the standard preprocessing
+step everywhere else; :meth:`IntervalNetwork.scenario` then extracts a
+concrete consistent scenario by backtracking over the pruned sets.
+
+Networks interoperate with the concrete layer: :func:`network_from_facts`
+builds one from observed intervals (footprint spans), after which
+hypothetical constraints can be added and tested — "could the interview
+have happened before the verdict, given everything else we indexed?".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from vidb.errors import IntervalError
+from vidb.intervals import allen
+from vidb.intervals.composition import compose
+from vidb.intervals.interval import Interval
+
+#: The universal relation set (total ignorance).
+ALL_RELATIONS: FrozenSet[str] = frozenset(allen.INVERSES)
+
+
+def invert(relations: Iterable[str]) -> FrozenSet[str]:
+    """The converse relation set."""
+    return frozenset(allen.INVERSES[r] for r in relations)
+
+
+class IntervalNetwork:
+    """A binary qualitative constraint network over named intervals."""
+
+    def __init__(self, nodes: Iterable[str] = ()):
+        self._nodes: List[str] = []
+        self._constraints: Dict[Tuple[str, str], FrozenSet[str]] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    # -- construction -------------------------------------------------------
+    def add_node(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise IntervalError(f"invalid node name {name!r}")
+        if name not in self._nodes:
+            self._nodes.append(name)
+
+    def nodes(self) -> Tuple[str, ...]:
+        return tuple(self._nodes)
+
+    def constrain(self, first: str, second: str,
+                  relations: Iterable[str]) -> None:
+        """Intersect the (first, second) constraint with *relations*."""
+        relation_set = frozenset(relations)
+        unknown = relation_set - ALL_RELATIONS
+        if unknown:
+            raise IntervalError(f"unknown Allen relations: {sorted(unknown)}")
+        if first == second:
+            if "equals" not in relation_set:
+                raise IntervalError(
+                    f"self-constraint on {first!r} excludes 'equals'")
+            return
+        self.add_node(first)
+        self.add_node(second)
+        current = self.relations(first, second)
+        updated = current & relation_set
+        self._constraints[(first, second)] = updated
+        self._constraints[(second, first)] = invert(updated)
+
+    def relations(self, first: str, second: str) -> FrozenSet[str]:
+        """The currently possible relations (universal if unconstrained)."""
+        if first == second:
+            return frozenset({"equals"})
+        return self._constraints.get((first, second), ALL_RELATIONS)
+
+    # -- reasoning --------------------------------------------------------------
+    def propagate(self) -> bool:
+        """Enforce path consistency; returns False when inconsistent.
+
+        Classic PC-1 style iteration (the networks the video model
+        produces are small; simplicity over queue management).
+        """
+        changed = True
+        while changed:
+            changed = False
+            for i in self._nodes:
+                for j in self._nodes:
+                    if i == j:
+                        continue
+                    for k in self._nodes:
+                        if k == i or k == j:
+                            continue
+                        through = self._compose_sets(self.relations(i, j),
+                                                     self.relations(j, k))
+                        pruned = self.relations(i, k) & through
+                        if pruned != self.relations(i, k):
+                            if not pruned:
+                                self._constraints[(i, k)] = frozenset()
+                                self._constraints[(k, i)] = frozenset()
+                                return False
+                            self._constraints[(i, k)] = pruned
+                            self._constraints[(k, i)] = invert(pruned)
+                            changed = True
+        return all(self.relations(a, b)
+                   for a in self._nodes for b in self._nodes if a != b)
+
+    @staticmethod
+    def _compose_sets(first: FrozenSet[str],
+                      second: FrozenSet[str]) -> FrozenSet[str]:
+        out: set = set()
+        for r1 in first:
+            for r2 in second:
+                out |= compose(r1, r2)
+                if len(out) == 13:
+                    return ALL_RELATIONS
+        return frozenset(out)
+
+    def is_consistent(self) -> bool:
+        """Path consistency + scenario search (sound and complete)."""
+        working = self.copy()
+        if not working.propagate():
+            return False
+        return working.scenario() is not None
+
+    def scenario(self) -> Optional[Dict[Tuple[str, str], str]]:
+        """One concrete relation per pair, globally consistent; None if
+        the network is inconsistent.  Backtracking over pruned sets."""
+        working = self.copy()
+        if not working.propagate():
+            return None
+        pairs = [(a, b) for index, a in enumerate(working._nodes)
+                 for b in working._nodes[index + 1:]]
+        assignment: Dict[Tuple[str, str], str] = {}
+
+        def backtrack(position: int) -> bool:
+            if position == len(pairs):
+                return True
+            first, second = pairs[position]
+            for relation in sorted(working.relations(first, second)):
+                snapshot = dict(working._constraints)
+                working._constraints[(first, second)] = frozenset({relation})
+                working._constraints[(second, first)] = invert({relation})
+                if working.propagate() and backtrack(position + 1):
+                    assignment[(first, second)] = relation
+                    return True
+                working._constraints.clear()
+                working._constraints.update(snapshot)
+            return False
+
+        if not backtrack(0):
+            return None
+        for first, second in pairs:
+            assignment.setdefault(
+                (first, second),
+                next(iter(working.relations(first, second))))
+        return assignment
+
+    # -- plumbing ------------------------------------------------------------
+    def copy(self) -> "IntervalNetwork":
+        clone = IntervalNetwork(self._nodes)
+        clone._constraints = dict(self._constraints)
+        return clone
+
+    def __repr__(self) -> str:
+        constrained = sum(1 for (a, b), rels in self._constraints.items()
+                          if a < b and rels != ALL_RELATIONS)
+        return (f"IntervalNetwork({len(self._nodes)} nodes, "
+                f"{constrained} constrained pairs)")
+
+
+def network_from_intervals(named: Mapping[str, Interval]) -> IntervalNetwork:
+    """A fully grounded network from concrete intervals (each pair gets
+    the singleton relation actually observed)."""
+    network = IntervalNetwork(named)
+    names = list(named)
+    for index, first in enumerate(names):
+        for second in names[index + 1:]:
+            relation = allen.relation(named[first], named[second])
+            network.constrain(first, second, {relation})
+    return network
+
+
+def network_from_facts(db, use_span: bool = True) -> IntervalNetwork:
+    """A network over a database's interval objects.
+
+    Footprints are generalized intervals; their *span* (hull) is the
+    natural single-interval abstraction for qualitative reasoning.
+    Intervals without a duration are skipped.
+    """
+    named: Dict[str, Interval] = {}
+    for interval in db.intervals():
+        if not interval.has_duration:
+            continue
+        span = interval.footprint().span()
+        if span is not None and not span.is_point():
+            named[str(interval.oid)] = span
+    return network_from_intervals(named)

@@ -1,0 +1,51 @@
+"""The video data model (Section 5 of the paper).
+
+Objects (entities and generalized intervals), logical oids with the
+functional composite form ``f(id1, id2)``, attribute values closed under
+finite sets, relation facts, the concatenation operator ⊕, and the formal
+7-tuple :class:`VideoSequence`.
+"""
+
+from vidb.model.concat import concat_closure, concatenate, pairwise_extension
+from vidb.model.objects import (
+    DURATION_ATTR,
+    ENTITIES_ATTR,
+    EntityObject,
+    GeneralizedIntervalObject,
+    VideoObject,
+)
+from vidb.model.oid import ENTITY, INTERVAL, Oid
+from vidb.model.relations import RelationFact
+from vidb.model.sequence import VideoSequence
+from vidb.model.values import (
+    Value,
+    canonical_temporal,
+    is_temporal,
+    normalize_value,
+    value_as_set,
+    value_contains,
+    value_union,
+)
+
+__all__ = [
+    "DURATION_ATTR",
+    "ENTITIES_ATTR",
+    "ENTITY",
+    "EntityObject",
+    "GeneralizedIntervalObject",
+    "INTERVAL",
+    "Oid",
+    "RelationFact",
+    "Value",
+    "VideoObject",
+    "VideoSequence",
+    "canonical_temporal",
+    "concat_closure",
+    "concatenate",
+    "is_temporal",
+    "normalize_value",
+    "pairwise_extension",
+    "value_as_set",
+    "value_contains",
+    "value_union",
+]

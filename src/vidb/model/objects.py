@@ -1,0 +1,181 @@
+"""Video objects (Definition 7).
+
+A v-object is a pair ``(oid, [A1: v1, ..., Am: vm])``.  vidb distinguishes
+two concrete classes, mirroring the paper's two oid kinds:
+
+:class:`EntityObject`
+    A semantic object of interest (a person, a chest, ...).
+
+:class:`GeneralizedIntervalObject`
+    An abstract object standing for a fragment set of the video sequence.
+    Two attributes have reserved, typed meaning: ``entities`` (the set
+    δ1(i) of object oids appearing in the interval) and ``duration`` (the
+    dense-order constraint δ2(i) describing its time footprint).
+
+Objects are immutable value objects: "updates" return new instances (see
+:meth:`VideoObject.with_attribute`), which keeps fixpoint evaluation and
+the storage layer free of aliasing surprises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from vidb.constraints.dense import Constraint
+from vidb.errors import ModelError
+from vidb.intervals.generalized import GeneralizedInterval, T
+from vidb.model.oid import Oid
+from vidb.model.values import Value, canonical_temporal, normalize_value
+
+#: Reserved attribute names on generalized-interval objects.
+ENTITIES_ATTR = "entities"
+DURATION_ATTR = "duration"
+
+
+class VideoObject:
+    """Base v-object: an oid plus a finite attribute map.
+
+    ``attr(o)`` of the paper is :meth:`attribute_names`; ``o.Ai`` is
+    :meth:`get` (or index access).
+    """
+
+    __slots__ = ("oid", "_attributes")
+
+    def __init__(self, oid: Oid, attributes: Optional[Mapping[str, object]] = None):
+        if not isinstance(oid, Oid):
+            raise ModelError(f"expected an Oid, got {oid!r}")
+        self.oid = oid
+        normalized: Dict[str, Value] = {}
+        for name, raw in (attributes or {}).items():
+            if not isinstance(name, str) or not name:
+                raise ModelError(f"attribute name must be a non-empty string, got {name!r}")
+            normalized[name] = normalize_value(raw)
+        self._attributes = normalized
+
+    # -- attribute access -------------------------------------------------
+    def attribute_names(self) -> FrozenSet[str]:
+        """attr(o): the set of attributes defined on this object."""
+        return frozenset(self._attributes)
+
+    def get(self, name: str, default: object = None) -> Value:
+        return self._attributes.get(name, default)
+
+    def __getitem__(self, name: str) -> Value:
+        try:
+            return self._attributes[name]
+        except KeyError:
+            raise ModelError(
+                f"object {self.oid} has no attribute {name!r}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._attributes
+
+    def items(self) -> Iterable[Tuple[str, Value]]:
+        return self._attributes.items()
+
+    def value(self) -> Dict[str, Value]:
+        """value(o): a copy of the attribute tuple."""
+        return dict(self._attributes)
+
+    # -- functional updates --------------------------------------------------
+    def with_attribute(self, name: str, value: object) -> "VideoObject":
+        """A copy of this object with one attribute added or replaced."""
+        attrs = dict(self._attributes)
+        attrs[name] = value
+        return type(self)(self.oid, attrs)
+
+    def without_attribute(self, name: str) -> "VideoObject":
+        """A copy with one attribute removed (no error if absent)."""
+        attrs = {k: v for k, v in self._attributes.items() if k != name}
+        return type(self)(self.oid, attrs)
+
+    # -- value semantics ----------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (type(self) is type(other)
+                and self.oid == other.oid
+                and self._attributes == other._attributes)  # type: ignore[union-attr]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.oid,
+                     frozenset(self._attributes.items())))
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(f"{k}: {v!r}" for k, v in sorted(self._attributes.items()))
+        return f"({self.oid}, [{attrs}])"
+
+
+class EntityObject(VideoObject):
+    """A semantic object of interest in the video domain."""
+
+    __slots__ = ()
+
+    def __init__(self, oid: Oid, attributes: Optional[Mapping[str, object]] = None):
+        if not oid.is_entity:
+            raise ModelError(f"EntityObject requires an entity oid, got {oid!r}")
+        super().__init__(oid, attributes)
+
+
+class GeneralizedIntervalObject(VideoObject):
+    """An abstract object for one generalized interval of the sequence.
+
+    The ``duration`` attribute is canonicalised at construction (bounded
+    single-variable constraints round-trip through the explicit interval
+    form), so equality of footprints is structural — a prerequisite for
+    the ⊕ absorption law.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, oid: Oid, attributes: Optional[Mapping[str, object]] = None):
+        if not oid.is_interval:
+            raise ModelError(
+                f"GeneralizedIntervalObject requires an interval oid, got {oid!r}"
+            )
+        attrs = dict(attributes or {})
+        if ENTITIES_ATTR in attrs:
+            entities = normalize_value(attrs[ENTITIES_ATTR])
+            if not isinstance(entities, frozenset):
+                entities = frozenset({entities})
+            for member in entities:
+                if not isinstance(member, Oid):
+                    raise ModelError(
+                        f"{ENTITIES_ATTR} must contain oids, got {member!r}"
+                    )
+            attrs[ENTITIES_ATTR] = entities
+        if DURATION_ATTR in attrs:
+            duration = normalize_value(attrs[DURATION_ATTR])
+            if not isinstance(duration, Constraint):
+                raise ModelError(
+                    f"{DURATION_ATTR} must be a dense-order constraint or "
+                    f"GeneralizedInterval, got {duration!r}"
+                )
+            attrs[DURATION_ATTR] = canonical_temporal(duration)
+        super().__init__(oid, attrs)
+
+    # -- reserved attributes -----------------------------------------------
+    @property
+    def entities(self) -> FrozenSet[Oid]:
+        """δ1(i): oids of the objects appearing in this interval."""
+        value = self.get(ENTITIES_ATTR, frozenset())
+        return value if isinstance(value, frozenset) else frozenset({value})
+
+    @property
+    def duration(self) -> Constraint:
+        """δ2(i): the constraint describing the time footprint."""
+        value = self.get(DURATION_ATTR)
+        if value is None:
+            raise ModelError(f"interval {self.oid} has no {DURATION_ATTR!r} attribute")
+        return value
+
+    @property
+    def has_duration(self) -> bool:
+        return DURATION_ATTR in self
+
+    def footprint(self) -> GeneralizedInterval:
+        """The explicit interval form of the duration constraint."""
+        return GeneralizedInterval.from_constraint(self.duration, T)
+
+    def covers_time(self, t) -> bool:
+        """Is time point *t* inside this interval's footprint?"""
+        return self.footprint().contains_point(t)

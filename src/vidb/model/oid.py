@@ -1,0 +1,114 @@
+"""Logical object identities.
+
+The paper refers to objects via *logical oids* — syntactic terms that
+uniquely identify an object — and distinguishes oids of *entities*
+(semantic objects) from oids of *generalized intervals*.  Constructed
+intervals get an oid that is "a function of id1 and id2" (following
+Kifer & Wu's O-logic, the paper's citation [27]).
+
+vidb realises that function as the **order-normalised flattened set** of
+the base interval oids, which gives the concatenation operator exactly
+the algebra Section 6.1 requires at the identity level:
+
+* absorption — ``f(i, i) = i``  (so ``I ⊕ I ≡ I``),
+* commutativity and associativity — so repeated concatenation terminates
+  with a finite closure (at most the non-empty subsets of the base oids).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+from vidb.errors import ModelError
+
+#: Oid kinds.
+ENTITY = "entity"
+INTERVAL = "interval"
+
+
+class Oid:
+    """An object identity: a kind plus a non-empty set of base names.
+
+    Atomic oids (created with :meth:`entity` / :meth:`interval`) carry one
+    base name.  Composite oids arise only from :meth:`concat` of interval
+    oids and carry the union of their operands' base names.
+    """
+
+    __slots__ = ("kind", "parts")
+
+    def __init__(self, kind: str, parts: Iterable[str]):
+        if kind not in (ENTITY, INTERVAL):
+            raise ModelError(f"unknown oid kind {kind!r}")
+        part_set = frozenset(parts)
+        if not part_set:
+            raise ModelError("oid must have at least one base name")
+        if kind == ENTITY and len(part_set) > 1:
+            raise ModelError("entity oids cannot be composite")
+        for part in part_set:
+            if not isinstance(part, str) or not part:
+                raise ModelError(f"oid base name must be a non-empty string, got {part!r}")
+        self.kind = kind
+        self.parts: FrozenSet[str] = part_set
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def entity(cls, name: str) -> "Oid":
+        """An atomic oid for a semantic object."""
+        return cls(ENTITY, (name,))
+
+    @classmethod
+    def interval(cls, name: str) -> "Oid":
+        """An atomic oid for a generalized-interval object."""
+        return cls(INTERVAL, (name,))
+
+    @classmethod
+    def concat(cls, a: "Oid", b: "Oid") -> "Oid":
+        """The functional oid ``f(a, b)`` of a concatenated interval."""
+        if a.kind != INTERVAL or b.kind != INTERVAL:
+            raise ModelError(
+                f"concatenation is defined on generalized intervals only, "
+                f"got {a!r} and {b!r}"
+            )
+        return cls(INTERVAL, a.parts | b.parts)
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def is_composite(self) -> bool:
+        return len(self.parts) > 1
+
+    @property
+    def is_entity(self) -> bool:
+        return self.kind == ENTITY
+
+    @property
+    def is_interval(self) -> bool:
+        return self.kind == INTERVAL
+
+    def base_oids(self) -> Tuple["Oid", ...]:
+        """The atomic interval oids a composite was built from."""
+        return tuple(Oid(self.kind, (p,)) for p in sorted(self.parts))
+
+    @property
+    def name(self) -> str:
+        """Canonical printable name; composite parts join with ``++``."""
+        return "++".join(sorted(self.parts))
+
+    # -- value semantics -------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Oid) and self.kind == other.kind
+                and self.parts == other.parts)
+
+    def __hash__(self) -> int:
+        return hash(("Oid", self.kind, self.parts))
+
+    def __lt__(self, other: "Oid") -> bool:
+        """Stable ordering for deterministic output."""
+        if not isinstance(other, Oid):
+            return NotImplemented
+        return (self.kind, sorted(self.parts)) < (other.kind, sorted(other.parts))
+
+    def __repr__(self) -> str:
+        return f"Oid.{self.kind}({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,74 @@
+"""Relation facts.
+
+The paper treats relations as first-class constructs: "there are situations
+when the use of relations combined with objects leads to more natural
+representation".  ``R`` of the 7-tuple is a set of relations on ``O × I``;
+the worked example uses ``in(o1, o4, gi1)`` to relate David and the Chest
+within a generalized interval.
+
+A :class:`RelationFact` is an immutable named tuple of arguments.  Each
+argument is an oid or an atomic constant; by convention (and enforced when
+facts are validated against a database) the final argument of a fact that
+scopes a relationship to a fragment is a generalized-interval oid, but the
+model itself allows any arity and argument mix, as the paper's language
+does.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Tuple, Union
+
+from vidb.constraints.terms import ConstantValue, is_constant
+from vidb.errors import ModelError
+from vidb.model.oid import Oid
+
+FactArg = Union[Oid, ConstantValue]
+
+_NAME_RE = re.compile(r"[a-z][A-Za-z0-9_]*\Z")
+
+
+class RelationFact:
+    """One ground fact ``name(arg1, ..., argn)``."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Iterable[FactArg]):
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            raise ModelError(
+                f"relation name must match [a-z][A-Za-z0-9_]*, got {name!r}"
+            )
+        arg_tuple = tuple(args)
+        if not arg_tuple:
+            raise ModelError(f"relation {name!r} needs at least one argument")
+        for arg in arg_tuple:
+            if not isinstance(arg, Oid) and not is_constant(arg):
+                raise ModelError(
+                    f"relation argument must be an oid or constant, got {arg!r}"
+                )
+        self.name = name
+        self.args = arg_tuple
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def oids(self) -> Tuple[Oid, ...]:
+        """The oid arguments, in positional order."""
+        return tuple(a for a in self.args if isinstance(a, Oid))
+
+    def interval_oids(self) -> Tuple[Oid, ...]:
+        """The generalized-interval oids among the arguments."""
+        return tuple(a for a in self.args if isinstance(a, Oid) and a.is_interval)
+
+    # -- value semantics ----------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, RelationFact)
+                and self.name == other.name and self.args == other.args)
+
+    def __hash__(self) -> int:
+        return hash(("RelationFact", self.name, self.args))
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(str(a) if isinstance(a, Oid) else repr(a) for a in self.args)
+        return f"{self.name}({rendered})"

@@ -1,0 +1,204 @@
+"""The video sequence 7-tuple ``V = (I, O, f, R, Σ, δ1, δ2)``.
+
+Section 5.1 defines a video sequence as a mathematical structure; this
+module provides it as a light, validating container that the storage layer
+(:mod:`vidb.storage`) builds on.  The components:
+
+``I``   the generalized-interval objects            → :meth:`intervals`
+``O``   the entity objects                          → :meth:`objects`
+``f``   the atomic values appearing anywhere        → :meth:`atomic_values`
+``R``   the relation facts                          → :meth:`facts`
+``Σ``   the duration constraints                    → :meth:`sigma`
+``δ1``  interval ↦ its entity set                   → :meth:`delta1`
+``δ2``  interval ↦ its duration constraint          → :meth:`delta2`
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from vidb.constraints.dense import Constraint
+from vidb.constraints.terms import is_constant
+from vidb.errors import DuplicateOidError, ModelError, UnknownOidError
+from vidb.model.objects import (
+    ENTITIES_ATTR,
+    EntityObject,
+    GeneralizedIntervalObject,
+    VideoObject,
+)
+from vidb.model.oid import Oid
+from vidb.model.relations import RelationFact
+
+
+class VideoSequence:
+    """A validated in-memory video sequence.
+
+    Objects are immutable; the sequence tracks which oids are present and
+    enforces the pairwise-disjointness of ``I``, ``O`` and ``f`` simply by
+    construction (oids vs constants, interval vs entity kinds).
+    """
+
+    def __init__(self, name: str = "sequence"):
+        self.name = name
+        self._intervals: Dict[Oid, GeneralizedIntervalObject] = {}
+        self._objects: Dict[Oid, EntityObject] = {}
+        self._facts: Set[RelationFact] = set()
+
+    # -- population --------------------------------------------------------
+    def add_interval(self, interval: GeneralizedIntervalObject,
+                     replace: bool = False) -> GeneralizedIntervalObject:
+        if not isinstance(interval, GeneralizedIntervalObject):
+            raise ModelError(f"expected a GeneralizedIntervalObject, got {interval!r}")
+        if interval.oid in self._intervals and not replace:
+            raise DuplicateOidError(f"interval oid {interval.oid} already present")
+        self._intervals[interval.oid] = interval
+        return interval
+
+    def add_object(self, obj: EntityObject, replace: bool = False) -> EntityObject:
+        if not isinstance(obj, EntityObject):
+            raise ModelError(f"expected an EntityObject, got {obj!r}")
+        if obj.oid in self._objects and not replace:
+            raise DuplicateOidError(f"entity oid {obj.oid} already present")
+        self._objects[obj.oid] = obj
+        return obj
+
+    def add_fact(self, fact: RelationFact) -> RelationFact:
+        if not isinstance(fact, RelationFact):
+            raise ModelError(f"expected a RelationFact, got {fact!r}")
+        self._facts.add(fact)
+        return fact
+
+    def remove_interval(self, oid: Oid) -> GeneralizedIntervalObject:
+        try:
+            return self._intervals.pop(oid)
+        except KeyError:
+            raise UnknownOidError(f"no interval with oid {oid}") from None
+
+    def remove_object(self, oid: Oid) -> EntityObject:
+        try:
+            return self._objects.pop(oid)
+        except KeyError:
+            raise UnknownOidError(f"no entity with oid {oid}") from None
+
+    def remove_fact(self, fact: RelationFact) -> None:
+        self._facts.discard(fact)
+
+    # -- the 7-tuple -----------------------------------------------------------
+    def intervals(self) -> Tuple[GeneralizedIntervalObject, ...]:
+        """I: the generalized-interval objects."""
+        return tuple(self._intervals.values())
+
+    def objects(self) -> Tuple[EntityObject, ...]:
+        """O: the entity objects."""
+        return tuple(self._objects.values())
+
+    def atomic_values(self) -> FrozenSet:
+        """f: every atomic constant appearing in an attribute or fact."""
+        out: Set = set()
+
+        def collect(value) -> None:
+            if is_constant(value):
+                out.add(value)
+            elif isinstance(value, frozenset):
+                for member in value:
+                    collect(member)
+
+        for obj in list(self._intervals.values()) + list(self._objects.values()):
+            for __, value in obj.items():
+                collect(value)
+        for fact in self._facts:
+            for arg in fact.args:
+                collect(arg)
+        return frozenset(out)
+
+    def facts(self) -> FrozenSet[RelationFact]:
+        """R: the relation facts."""
+        return frozenset(self._facts)
+
+    def sigma(self) -> Tuple[Constraint, ...]:
+        """Σ: the duration constraints of all intervals that have one."""
+        return tuple(i.duration for i in self._intervals.values() if i.has_duration)
+
+    def delta1(self, oid: Oid) -> FrozenSet[Oid]:
+        """δ1: the entity oids attached to one interval."""
+        return self.interval(oid).entities
+
+    def delta2(self, oid: Oid) -> Constraint:
+        """δ2: the duration constraint of one interval."""
+        return self.interval(oid).duration
+
+    # -- lookups ------------------------------------------------------------
+    def interval(self, oid: Oid) -> GeneralizedIntervalObject:
+        try:
+            return self._intervals[oid]
+        except KeyError:
+            raise UnknownOidError(f"no interval with oid {oid}") from None
+
+    def object(self, oid: Oid) -> EntityObject:
+        try:
+            return self._objects[oid]
+        except KeyError:
+            raise UnknownOidError(f"no entity with oid {oid}") from None
+
+    def get(self, oid: Oid) -> Optional[VideoObject]:
+        return self._intervals.get(oid) or self._objects.get(oid)
+
+    def __contains__(self, oid: Oid) -> bool:
+        return oid in self._intervals or oid in self._objects
+
+    def __len__(self) -> int:
+        return len(self._intervals) + len(self._objects)
+
+    def interval_oids(self) -> Tuple[Oid, ...]:
+        return tuple(self._intervals)
+
+    def object_oids(self) -> Tuple[Oid, ...]:
+        return tuple(self._objects)
+
+    # -- validation --------------------------------------------------------------
+    def validate(self) -> List[str]:
+        """Referential integrity check; returns a list of problems.
+
+        * every oid in an interval's ``entities`` names a known entity;
+        * every oid argument of a fact names a known object or interval;
+        * every oid-valued attribute points at a known object.
+        """
+        problems: List[str] = []
+        for interval in self._intervals.values():
+            for member in interval.entities:
+                if member not in self._objects:
+                    problems.append(
+                        f"interval {interval.oid}: unknown entity {member} in "
+                        f"{ENTITIES_ATTR}"
+                    )
+            problems.extend(self._check_oid_values(interval))
+        for obj in self._objects.values():
+            problems.extend(self._check_oid_values(obj))
+        for fact in self._facts:
+            for arg in fact.oids():
+                if arg not in self:
+                    problems.append(f"fact {fact!r}: unknown oid {arg}")
+        return problems
+
+    def _check_oid_values(self, obj: VideoObject) -> List[str]:
+        problems: List[str] = []
+
+        def walk(value) -> None:
+            if isinstance(value, Oid):
+                if value not in self:
+                    problems.append(
+                        f"object {obj.oid}: attribute references unknown oid {value}"
+                    )
+            elif isinstance(value, frozenset):
+                for member in value:
+                    walk(member)
+
+        for name, value in obj.items():
+            if name == ENTITIES_ATTR:
+                continue  # checked separately with a better message
+            walk(value)
+        return problems
+
+    def __repr__(self) -> str:
+        return (f"VideoSequence({self.name!r}: {len(self._intervals)} intervals, "
+                f"{len(self._objects)} objects, {len(self._facts)} facts)")

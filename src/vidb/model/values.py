@@ -1,0 +1,110 @@
+"""Attribute values (Definition 6).
+
+The set of values is the smallest set containing atomic constants, oids and
+(restricted) dense-order constraints that is closed under finite set
+formation.  This module validates values, normalises them (lists/sets
+become ``frozenset``), and defines the **value union** used by the
+concatenation operator ⊕ (Section 6.1: ``e.Ai = e1.Ai ∪ e2.Ai``).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Union
+
+from vidb.constraints.dense import Constraint, disjoin
+from vidb.constraints.terms import ConstantValue, is_constant
+from vidb.errors import ModelError
+from vidb.intervals.generalized import GeneralizedInterval, T
+from vidb.model.oid import Oid
+
+#: The value union type of Definition 6.
+Value = Union[ConstantValue, Oid, Constraint, FrozenSet]
+
+
+def normalize_value(value: object) -> Value:
+    """Validate and normalise one attribute value.
+
+    Accepts constants, oids, dense-order constraints,
+    :class:`GeneralizedInterval` footprints (stored in their point-based
+    constraint form), and finite collections of values (normalised to
+    ``frozenset``).
+    """
+    if isinstance(value, bool):
+        raise ModelError("booleans are not model values")
+    if is_constant(value) or isinstance(value, Oid):
+        return value
+    if isinstance(value, Constraint):
+        return value
+    if isinstance(value, GeneralizedInterval):
+        return value.to_constraint(T)
+    if isinstance(value, (set, frozenset, list, tuple)):
+        members = frozenset(normalize_value(v) for v in value)
+        for member in members:
+            if isinstance(member, frozenset):
+                # Nested sets are legal per Definition 6 but the video
+                # model never produces them; we allow them anyway.
+                pass
+        return members
+    raise ModelError(f"{value!r} is not a legal attribute value")
+
+
+def is_temporal(value: object) -> bool:
+    """Is this value a dense-order constraint (a temporal footprint)?"""
+    return isinstance(value, Constraint)
+
+
+def value_union(a: Value, b: Value) -> Value:
+    """The union ``a ∪ b`` used when concatenating interval objects.
+
+    * two constraints — their disjunction, renormalised through the
+      explicit interval form so that structurally different encodings of
+      the same footprint unify (this is what makes ``I ⊕ I ≡ I`` hold);
+    * two sets — set union;
+    * anything else — equal values stay scalar, different values become a
+      two-element set (a scalar meets a set by joining it).
+    """
+    if isinstance(a, Constraint) and isinstance(b, Constraint):
+        return canonical_temporal(disjoin(a, b))
+    a_set = a if isinstance(a, frozenset) else None
+    b_set = b if isinstance(b, frozenset) else None
+    if a_set is not None or b_set is not None:
+        left = a_set if a_set is not None else frozenset({a})
+        right = b_set if b_set is not None else frozenset({b})
+        return left | right
+    if a == b and type(a) is type(b):
+        return a
+    return frozenset({a, b})
+
+
+def canonical_temporal(constraint: Constraint) -> Constraint:
+    """Canonicalise a single-variable temporal constraint.
+
+    Round-trips through :class:`GeneralizedInterval`, so that any two
+    logically equivalent bounded footprints become structurally equal.
+    Constraints the round-trip cannot express (multi-variable, unbounded)
+    are returned unchanged.
+    """
+    try:
+        footprint = GeneralizedInterval.from_constraint(constraint, T)
+    except Exception:
+        return constraint
+    return footprint.to_constraint(T)
+
+
+def value_contains(container: Value, element: Value) -> bool:
+    """Membership check used by ``o in G.entities`` atoms.
+
+    A scalar container is treated as the singleton set {container}, which
+    matches the paper's reading of multi-valued vs single-valued
+    attributes.
+    """
+    if isinstance(container, frozenset):
+        return element in container
+    return container == element
+
+
+def value_as_set(value: Value) -> FrozenSet:
+    """Coerce a value to a set (scalars become singletons)."""
+    if isinstance(value, frozenset):
+        return value
+    return frozenset({value})

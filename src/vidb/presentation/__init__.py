@@ -1,0 +1,22 @@
+"""Sequence presentation (the paper's future-work direction 2):
+declarative compilation of query results into edit decision lists."""
+
+from vidb.presentation.edl import (
+    EDL,
+    Cut,
+    edl_from_footprint,
+    edl_from_interval,
+    edl_from_query,
+)
+from vidb.presentation.sequencer import ORDERS, Sequencer, interleave
+
+__all__ = [
+    "Cut",
+    "EDL",
+    "ORDERS",
+    "Sequencer",
+    "edl_from_footprint",
+    "edl_from_interval",
+    "edl_from_query",
+    "interleave",
+]

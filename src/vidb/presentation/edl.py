@@ -1,0 +1,190 @@
+"""Edit decision lists — materialising virtual edits.
+
+The paper motivates constructive rules with *virtual editing* (Mackay &
+Davenport): new sequences built from existing ones without touching the
+footage.  A :class:`GeneralizedIntervalObject` created by ⊕ is exactly
+such a virtual sequence; this module turns footprints into playable
+**edit decision lists** — ordered cut entries with source timecodes —
+the exchange format real editing systems consume.
+
+An :class:`EDL` is an immutable ordered list of :class:`Cut` entries.
+Construction paths:
+
+* :func:`edl_from_footprint` — one source, cuts = the footprint fragments;
+* :func:`edl_from_interval` — ditto, straight from an interval object;
+* :func:`edl_from_query` — run a query, collect the footprints of an
+  answer variable's intervals, in answer order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
+
+from vidb.errors import VidbError
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.model.objects import GeneralizedIntervalObject
+from vidb.model.oid import Oid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from vidb.query.engine import QueryEngine
+
+
+@dataclass(frozen=True)
+class Cut:
+    """One cut: play *source* from ``t_in`` to ``t_out``."""
+
+    source: str
+    t_in: float
+    t_out: float
+
+    def __post_init__(self):
+        if self.t_out <= self.t_in:
+            raise VidbError(
+                f"cut out-point {self.t_out!r} must exceed in-point "
+                f"{self.t_in!r}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.t_out - self.t_in
+
+
+class EDL:
+    """An ordered edit decision list."""
+
+    def __init__(self, cuts: Iterable[Cut] = (), title: str = "untitled"):
+        self.cuts: Tuple[Cut, ...] = tuple(cuts)
+        self.title = title
+        for cut in self.cuts:
+            if not isinstance(cut, Cut):
+                raise VidbError(f"not a cut: {cut!r}")
+
+    # -- measures -----------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Total playback duration."""
+        return sum(cut.duration for cut in self.cuts)
+
+    def __len__(self) -> int:
+        return len(self.cuts)
+
+    def __iter__(self):
+        return iter(self.cuts)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, EDL) and self.cuts == other.cuts
+
+    def __hash__(self) -> int:
+        return hash(("EDL", self.cuts))
+
+    # -- composition ------------------------------------------------------------
+    def then(self, other: "EDL") -> "EDL":
+        """Sequential composition (play self, then other)."""
+        return EDL(self.cuts + other.cuts, title=self.title)
+
+    def coalesced(self) -> "EDL":
+        """Merge adjacent cuts that continue the same source seamlessly."""
+        merged: List[Cut] = []
+        for cut in self.cuts:
+            if merged and merged[-1].source == cut.source \
+                    and merged[-1].t_out == cut.t_in:
+                merged[-1] = Cut(cut.source, merged[-1].t_in, cut.t_out)
+            else:
+                merged.append(cut)
+        return EDL(merged, title=self.title)
+
+    def limited(self, max_duration: float) -> "EDL":
+        """A prefix trimmed to at most *max_duration* seconds."""
+        if max_duration <= 0:
+            return EDL((), title=self.title)
+        out: List[Cut] = []
+        remaining = max_duration
+        for cut in self.cuts:
+            if cut.duration <= remaining:
+                out.append(cut)
+                remaining -= cut.duration
+            else:
+                if remaining > 0:
+                    out.append(Cut(cut.source, cut.t_in,
+                                   cut.t_in + remaining))
+                break
+        return EDL(out, title=self.title)
+
+    # -- rendering -----------------------------------------------------------
+    def timeline(self) -> List[Tuple[float, float, Cut]]:
+        """(playback_start, playback_end, cut) rows."""
+        rows = []
+        clock = 0.0
+        for cut in self.cuts:
+            rows.append((clock, clock + cut.duration, cut))
+            clock += cut.duration
+        return rows
+
+    def render(self) -> str:
+        """A readable text EDL (CMX-flavoured columns)."""
+        lines = [f"TITLE: {self.title}"]
+        for index, (start, end, cut) in enumerate(self.timeline(), start=1):
+            lines.append(
+                f"{index:03d}  {cut.source:<16} "
+                f"{_timecode(cut.t_in)} {_timecode(cut.t_out)}  "
+                f"{_timecode(start)} {_timecode(end)}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"EDL({self.title!r}, {len(self.cuts)} cuts, {self.duration:g}s)"
+
+
+def _timecode(seconds: float) -> str:
+    total = int(seconds)
+    frames = int(round((seconds - total) * 25))  # 25 fps timecode
+    hours, rest = divmod(total, 3600)
+    minutes, secs = divmod(rest, 60)
+    return f"{hours:02d}:{minutes:02d}:{secs:02d}:{frames:02d}"
+
+
+def edl_from_footprint(footprint: GeneralizedInterval, source: str,
+                       title: str = "untitled") -> EDL:
+    """One cut per footprint fragment, in temporal order."""
+    cuts = [Cut(source, float(f.lo), float(f.hi))
+            for f in footprint if f.hi > f.lo]
+    return EDL(cuts, title=title)
+
+
+def edl_from_interval(interval: GeneralizedIntervalObject,
+                      source: Optional[str] = None,
+                      title: Optional[str] = None) -> EDL:
+    """The playable form of one generalized-interval object.
+
+    Composite (⊕-created) intervals default their source label to the
+    base oids they were built from.
+    """
+    label = source or str(interval.oid)
+    return edl_from_footprint(interval.footprint(), label,
+                              title=title or str(interval.oid))
+
+
+def edl_from_query(engine: "QueryEngine", query: str, variable: str,
+                   title: str = "query result") -> EDL:
+    """Compile a query's interval answers into one sequential EDL.
+
+    The paper's template-based sequencing critique (Section 7) is the
+    motivation: the presentation order comes from a *declarative* query,
+    not a canned template.
+    """
+    answers = engine.query(query)
+    cuts: List[Cut] = []
+    seen = set()
+    for value in answers.column(variable):
+        if not isinstance(value, Oid) or not value.is_interval:
+            raise VidbError(
+                f"answer variable {variable!r} bound {value!r}; expected "
+                "generalized-interval oids"
+            )
+        if value in seen:
+            continue
+        seen.add(value)
+        interval = engine.db.interval(value)
+        cuts.extend(edl_from_interval(interval).cuts)
+    return EDL(cuts, title=title)

@@ -1,0 +1,115 @@
+"""Declarative sequencing of presentations.
+
+The paper criticises template-based automatic sequencing as
+"domain-dependent" and proposes declarative specifications instead
+(Section 7).  :class:`Sequencer` is that idea executed with the machinery
+already in the library: a presentation is specified by a **query**
+(which material), an **order key** (how to arrange it) and optional
+**constraints** (length budget, per-item trim), and compiles to an
+:class:`~vidb.presentation.edl.EDL`.
+
+Order keys:
+
+``"chronological"``   by footprint start time (story order)
+``"duration"``        longest material first (highlight reels)
+``"answer"``          the query engine's deterministic answer order
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from vidb.errors import VidbError
+from vidb.model.objects import GeneralizedIntervalObject
+from vidb.model.oid import Oid
+from vidb.presentation.edl import EDL, Cut, edl_from_interval
+
+if TYPE_CHECKING:  # pragma: no cover
+    from vidb.query.engine import QueryEngine
+
+ORDERS = ("chronological", "duration", "answer")
+
+
+class Sequencer:
+    """Compiles declarative presentation specs into EDLs."""
+
+    def __init__(self, engine: "QueryEngine"):
+        self.engine = engine
+
+    def sequence(self, query: str, variable: str,
+                 order: str = "chronological",
+                 max_duration: Optional[float] = None,
+                 per_item_limit: Optional[float] = None,
+                 title: str = "presentation") -> EDL:
+        """Build a presentation.
+
+        Parameters
+        ----------
+        query, variable:
+            The material: a rule-language query and the answer variable
+            bound to generalized-interval oids.
+        order:
+            One of :data:`ORDERS`.
+        max_duration:
+            Total playback budget (seconds); the sequence is cut off once
+            exceeded (the final item is trimmed).
+        per_item_limit:
+            Trim each item to at most this many seconds of playback.
+        """
+        if order not in ORDERS:
+            raise VidbError(f"unknown order {order!r}; expected one of {ORDERS}")
+        intervals = self._material(query, variable)
+        intervals = self._arrange(intervals, order)
+        edl = EDL((), title=title)
+        for interval in intervals:
+            item = edl_from_interval(interval)
+            if per_item_limit is not None:
+                item = item.limited(per_item_limit)
+            edl = edl.then(item)
+        edl = edl.coalesced()
+        if max_duration is not None:
+            edl = edl.limited(max_duration)
+        return EDL(edl.cuts, title=title)
+
+    # -- internals ---------------------------------------------------------
+    def _material(self, query: str, variable: str
+                  ) -> List[GeneralizedIntervalObject]:
+        answers = self.engine.query(query)
+        out: List[GeneralizedIntervalObject] = []
+        seen = set()
+        for value in answers.column(variable):
+            if not isinstance(value, Oid) or not value.is_interval:
+                raise VidbError(
+                    f"presentation variable {variable!r} bound {value!r}; "
+                    "expected generalized-interval oids"
+                )
+            if value in seen:
+                continue
+            seen.add(value)
+            out.append(self.engine.db.interval(value))
+        return out
+
+    @staticmethod
+    def _arrange(intervals: List[GeneralizedIntervalObject], order: str
+                 ) -> List[GeneralizedIntervalObject]:
+        if order == "answer":
+            return intervals
+        if order == "chronological":
+            return sorted(
+                intervals,
+                key=lambda i: (float(i.footprint().start or 0), str(i.oid)))
+        return sorted(
+            intervals,
+            key=lambda i: (-float(i.footprint().measure), str(i.oid)))
+
+
+def interleave(first: EDL, second: EDL, title: str = "interleaved") -> EDL:
+    """Alternate cuts from two EDLs (A1 B1 A2 B2 ...) — the classic
+    cross-cutting presentation pattern."""
+    cuts: List[Cut] = []
+    for a, b in zip(first.cuts, second.cuts):
+        cuts.append(a)
+        cuts.append(b)
+    longer = first.cuts if len(first.cuts) > len(second.cuts) else second.cuts
+    cuts.extend(longer[min(len(first.cuts), len(second.cuts)):])
+    return EDL(cuts, title=title)

@@ -1,0 +1,93 @@
+"""The declarative, rule-based, constraint query language (Section 6)."""
+
+from vidb.query.ast import (
+    AttrPath,
+    NegatedLiteral,
+    BodyItem,
+    ComparisonAtom,
+    ConcatTerm,
+    EntailmentAtom,
+    Literal,
+    MembershipAtom,
+    Program,
+    Query,
+    Rule,
+    SubsetAtom,
+    Symbol,
+    Variable,
+)
+from vidb.query.engine import Answer, AnswerSet, Derivation, QueryEngine
+from vidb.query.fixpoint import (
+    EvaluationContext,
+    EvaluationStats,
+    FixpointResult,
+    Relation,
+    RulePlan,
+    evaluate,
+)
+from vidb.query.incremental import MaterializedView
+from vidb.query.parser import (
+    parse_constraint,
+    parse_program,
+    parse_query,
+    parse_rule,
+)
+from vidb.query.render import (
+    render_program,
+    render_query,
+    render_rule,
+)
+from vidb.query.safety import (
+    check_program,
+    stratify_with_negation,
+    check_query,
+    check_rule,
+    dependency_graph,
+    is_recursive,
+    stratify,
+)
+from vidb.query.stdlib import STDLIB_RULES, computed_predicates
+
+__all__ = [
+    "Answer",
+    "AnswerSet",
+    "AttrPath",
+    "BodyItem",
+    "ComparisonAtom",
+    "ConcatTerm",
+    "Derivation",
+    "EntailmentAtom",
+    "EvaluationContext",
+    "EvaluationStats",
+    "FixpointResult",
+    "Literal",
+    "MaterializedView",
+    "MembershipAtom",
+    "NegatedLiteral",
+    "Program",
+    "Query",
+    "QueryEngine",
+    "Relation",
+    "Rule",
+    "RulePlan",
+    "STDLIB_RULES",
+    "SubsetAtom",
+    "Symbol",
+    "Variable",
+    "check_program",
+    "check_query",
+    "check_rule",
+    "computed_predicates",
+    "dependency_graph",
+    "evaluate",
+    "is_recursive",
+    "parse_constraint",
+    "parse_program",
+    "parse_query",
+    "parse_rule",
+    "render_program",
+    "render_query",
+    "render_rule",
+    "stratify",
+    "stratify_with_negation",
+]

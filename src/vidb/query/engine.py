@@ -1,0 +1,374 @@
+"""The query engine: programs + database -> answers.
+
+:class:`QueryEngine` is the public face of the rule language.  It holds a
+database and a program, and evaluates conjunctive queries bottom-up::
+
+    engine = QueryEngine(db)
+    engine.add_rules('''
+        contains(G1, G2) :- interval(G1), interval(G2),
+                            G2.duration => G1.duration.
+    ''')
+    for answer in engine.query("?- contains(G1, G2)."):
+        print(answer["G1"], answer["G2"])
+
+A query is compiled to an anonymous rule whose head projects the answer
+variables, the program (plus that rule) is saturated, and the answer
+relation is read off.  ``explain()`` returns the derivation tree of a
+fact, built from the provenance the fixpoint records.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from vidb.errors import QueryError
+from vidb.model.oid import Oid
+from vidb.query import stdlib
+from vidb.query.ast import (
+    Literal,
+    Program,
+    Query,
+    Rule,
+    Variable,
+)
+from vidb.query.fixpoint import (
+    ComputedPredicate,
+    EvaluationStats,
+    FixpointResult,
+    GroundTuple,
+    evaluate,
+)
+from vidb.query.parser import parse_program, parse_query
+from vidb.query.safety import check_program, check_query
+from vidb.storage.database import VideoDatabase
+
+ANSWER_PREDICATE = "q__answer"
+
+
+def _goal_predicates(body) -> frozenset:
+    """Predicates a query body mentions (positive and negated)."""
+    from vidb.query.ast import NegatedLiteral
+
+    out = set()
+    for item in body:
+        if isinstance(item, Literal):
+            out.add(item.predicate)
+        elif isinstance(item, NegatedLiteral):
+            out.add(item.predicate)
+    return frozenset(out)
+
+
+def relevant_rules(program: Program, goals: Iterable[str]) -> Program:
+    """The subset of *program* a query over *goals* can possibly use.
+
+    A rule is relevant when its head predicate is (transitively) needed,
+    or when it is constructive and the growing ``interval``/``anyobject``
+    classes are needed (constructive rules feed those classes).  Pruning
+    is an optimisation only: irrelevant rules cannot contribute answer
+    tuples, so answers are unchanged — the ablation benchmarks measure
+    the saved saturation work.
+    """
+    from vidb.query.ast import ANYOBJECT_PRED, INTERVAL_PRED
+
+    needed = set(goals)
+    rules = list(program.rules)
+    chosen = [False] * len(rules)
+    changed = True
+    while changed:
+        changed = False
+        for index, rule in enumerate(rules):
+            if chosen[index]:
+                continue
+            feeds_classes = rule.is_constructive and (
+                INTERVAL_PRED in needed or ANYOBJECT_PRED in needed)
+            if rule.head.predicate in needed or feeds_classes:
+                chosen[index] = True
+                changed = True
+                for literal in rule.literals():
+                    needed.add(literal.predicate)
+                for negated in rule.negated_literals():
+                    needed.add(negated.predicate)
+    return Program([rule for rule, keep in zip(rules, chosen) if keep])
+
+
+class Answer:
+    """One query answer: a mapping from variable name to value."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Dict[str, Any]):
+        self._values = values
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise QueryError(f"no answer variable {name!r}") from None
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._values.get(name, default)
+
+    def keys(self) -> Iterable[str]:
+        return self._values.keys()
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Answer) and self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._values.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"{{{inner}}}"
+
+
+class AnswerSet:
+    """The (deduplicated, deterministic-ordered) answers of one query."""
+
+    def __init__(self, variables: Sequence[str], rows: Iterable[GroundTuple],
+                 stats: EvaluationStats):
+        self.variables: Tuple[str, ...] = tuple(variables)
+        seen = set()
+        ordered: List[GroundTuple] = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                ordered.append(row)
+        ordered.sort(key=_row_sort_key)
+        self._rows = ordered
+        self.stats = stats
+
+    def __iter__(self) -> Iterator[Answer]:
+        for row in self._rows:
+            yield Answer(dict(zip(self.variables, row)))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __getitem__(self, index: int) -> Answer:
+        return Answer(dict(zip(self.variables, self._rows[index])))
+
+    def rows(self) -> List[GroundTuple]:
+        """Raw value tuples, ordered deterministically."""
+        return list(self._rows)
+
+    def column(self, variable: str) -> List[Any]:
+        """All values of one answer variable."""
+        if variable not in self.variables:
+            raise QueryError(f"no answer variable {variable!r}")
+        index = self.variables.index(variable)
+        return [row[index] for row in self._rows]
+
+    def first(self) -> Optional[Answer]:
+        return self[0] if self._rows else None
+
+    def group_by(self, variable: str) -> Dict[Any, List[Answer]]:
+        """Answers grouped by one variable's value (insertion-ordered)."""
+        if variable not in self.variables:
+            raise QueryError(f"no answer variable {variable!r}")
+        index = self.variables.index(variable)
+        groups: Dict[Any, List[Answer]] = {}
+        for row in self._rows:
+            groups.setdefault(row[index], []).append(
+                Answer(dict(zip(self.variables, row))))
+        return groups
+
+    def counts(self, variable: str) -> Dict[Any, int]:
+        """How many answers per value of one variable — the poor man's
+        GROUP BY ... COUNT(*) over query results."""
+        return {key: len(members)
+                for key, members in self.group_by(variable).items()}
+
+    def __repr__(self) -> str:
+        return f"AnswerSet({len(self._rows)} answers over {self.variables})"
+
+
+def _row_sort_key(row: GroundTuple):
+    return tuple(
+        (0, str(v)) if isinstance(v, Oid) else (1, str(v)) for v in row
+    )
+
+
+class QueryEngine:
+    """Evaluates the rule language over one :class:`VideoDatabase`."""
+
+    def __init__(self, db: VideoDatabase,
+                 rules: Union[str, Program, Iterable[Rule], None] = None,
+                 use_stdlib_rules: bool = False,
+                 mode: str = "seminaive",
+                 extended_domain: str = "lazy",
+                 max_objects: int = 50_000,
+                 reorder_joins: bool = True,
+                 prune_rules: bool = True):
+        self.db = db
+        self.mode = mode
+        self.extended_domain = extended_domain
+        self.max_objects = max_objects
+        #: Optimiser switches (kept togglable for the ablation benchmarks):
+        #: greedy selectivity-based join reordering inside each rule, and
+        #: per-query pruning of rules unreachable from the query goals.
+        self.reorder_joins = reorder_joins
+        self.prune_rules = prune_rules
+        self.program = Program()
+        self.computed: Dict[str, Tuple[int, ComputedPredicate]] = (
+            stdlib.computed_predicates()
+        )
+        if use_stdlib_rules:
+            self.add_rules(stdlib.STDLIB_RULES)
+        if rules is not None:
+            self.add_rules(rules)
+
+    # -- program management -------------------------------------------------
+    def add_rules(self, rules: Union[str, Program, Rule, Iterable[Rule]]
+                  ) -> "QueryEngine":
+        """Append rules (text or AST); re-checks program safety."""
+        if isinstance(rules, str):
+            addition = parse_program(rules)
+        elif isinstance(rules, Program):
+            addition = rules
+        elif isinstance(rules, Rule):
+            addition = Program([rules])
+        else:
+            addition = Program(list(rules))
+        candidate = self.program.extend(addition)
+        check_program(candidate, edb_relations=self.db.relation_names())
+        self.program = candidate
+        return self
+
+    def register_computed(self, name: str, arity: int,
+                          fn: ComputedPredicate) -> "QueryEngine":
+        """Register a filter-only computed predicate."""
+        self.computed[name] = (arity, fn)
+        return self
+
+    # -- evaluation -----------------------------------------------------------
+    def materialize(self, provenance: Optional[Dict] = None) -> FixpointResult:
+        """Saturate the program over the database (no query)."""
+        return evaluate(
+            self.db, self.program, mode=self.mode, computed=self.computed,
+            max_objects=self.max_objects, extended_domain=self.extended_domain,
+            reorder_joins=self.reorder_joins, provenance=provenance,
+        )
+
+    def query(self, query: Union[str, Query],
+              provenance: Optional[Dict] = None) -> AnswerSet:
+        """Evaluate a conjunctive query; returns an :class:`AnswerSet`."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        check_query(query)
+        answer_vars = query.answer_variables
+        if answer_vars:
+            head = Literal(ANSWER_PREDICATE, list(answer_vars))
+        else:
+            # Boolean query: project an arbitrary constant.
+            head = Literal(ANSWER_PREDICATE, [0])
+        anonymous = Rule(head, query.body, name="query")
+        base = self.program
+        if self.prune_rules:
+            base = relevant_rules(base, _goal_predicates(query.body))
+        program = base.extend([anonymous])
+        result = evaluate(
+            self.db, program, mode=self.mode, computed=self.computed,
+            max_objects=self.max_objects, extended_domain=self.extended_domain,
+            reorder_joins=self.reorder_joins, provenance=provenance,
+        )
+        rows = result.relation(ANSWER_PREDICATE)
+        return AnswerSet([v.name for v in answer_vars], rows, result.stats)
+
+    def ask(self, query: Union[str, Query]) -> bool:
+        """Does the query have at least one answer?"""
+        return bool(self.query(query))
+
+    def facts(self, predicate: str) -> FrozenSet[GroundTuple]:
+        """Materialise the program and return one derived relation."""
+        return self.materialize().relation(predicate)
+
+    # -- explanation -----------------------------------------------------------
+    def explain(self, query: Union[str, Query]) -> List["Derivation"]:
+        """Answers plus their derivation trees."""
+        provenance: Dict = {}
+        answers = self.query(query, provenance=provenance)
+        out: List[Derivation] = []
+        for row in answers.rows():
+            fact = (ANSWER_PREDICATE, row)
+            out.append(_derivation_of(fact, provenance))
+        return out
+
+
+class Derivation:
+    """A derivation tree node: a fact, the rule that derived it, and the
+    derivations of the body facts it used (empty for EDB facts)."""
+
+    __slots__ = ("fact", "rule", "children")
+
+    def __init__(self, fact: Tuple[str, GroundTuple], rule: Optional[Rule],
+                 children: Sequence["Derivation"]):
+        self.fact = fact
+        self.rule = rule
+        self.children = tuple(children)
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        name, row = self.fact
+        args = ", ".join(map(str, row))
+        label = f"{pad}{name}({args})"
+        if self.rule is not None:
+            label += f"   [via {self.rule.name or self.rule.head.predicate}]"
+        else:
+            label += "   [database fact]"
+        lines = [label]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return self.render()
+
+
+def _derivation_of(fact: Tuple[str, GroundTuple], provenance: Dict,
+                   seen: Optional[frozenset] = None) -> Derivation:
+    seen = seen or frozenset()
+    if fact in seen or fact not in provenance:
+        return Derivation(fact, None, ())
+    rule, binding = provenance[fact]
+    children = []
+    for literal in rule.literals():
+        child_row = []
+        grounded = True
+        for arg in literal.args:
+            if isinstance(arg, Variable):
+                if arg in binding:
+                    child_row.append(binding[arg])
+                else:
+                    grounded = False
+                    break
+            elif isinstance(arg, (int, float, str)):
+                child_row.append(arg)
+            elif isinstance(arg, Oid):
+                child_row.append(arg)
+            else:
+                grounded = False
+                break
+        if grounded:
+            child_fact = (literal.predicate, tuple(child_row))
+            children.append(
+                _derivation_of(child_fact, provenance, seen | {fact})
+            )
+    return Derivation(fact, rule, children)

@@ -1,0 +1,724 @@
+"""Bottom-up fixpoint evaluation (Section 6.3.2).
+
+The immediate-consequence operator ``T_P`` maps interpretations to
+interpretations (Definition 22): a ground atom is derived when some rule
+has a valuation over the **extended active domain** making every body
+literal present and every constraint atom satisfiable.  ``T_P`` is
+monotone and continuous (Lemma 2, Theorem 2), so its least fixpoint exists
+and equals the minimal model (Theorem 3); this module computes it, in
+either **naive** or **semi-naive** mode (an ablation the benchmark suite
+measures).
+
+The extended active domain (Definitions 19-20) grows during evaluation:
+whenever a constructive rule head ``q(G1 ++ G2)`` fires, the concatenated
+interval object is created, registered, and fed back into the ``interval``
+class relation — which is therefore treated exactly like a derived
+relation with its own semi-naive delta.  The ⊕ absorption law bounds the
+closure, so evaluation terminates (a configurable object budget guards
+against combinatorial blow-ups on large inputs).
+
+Two evaluation-domain policies are provided, mirroring the two readings of
+Definition 19:
+
+* ``"lazy"`` (default) — only concatenations actually created by
+  constructive rule heads enter the domain; this is the fixpoint-consistent
+  reading used by the paper's examples.
+* ``"eager"`` — all pairwise concatenations of database intervals are added
+  up front (Definition 19 verbatim) before rules run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from vidb.constraints import solver
+from vidb.constraints.dense import Constraint
+from vidb.constraints.terms import Var, constants_comparable, is_constant
+from vidb.errors import EvaluationError, UnknownPredicateError
+from vidb.model.concat import concatenate, pairwise_extension
+from vidb.model.objects import GeneralizedIntervalObject, VideoObject
+from vidb.model.oid import Oid
+from vidb.model.values import value_as_set, value_contains
+from vidb.query.ast import (
+    ANYOBJECT_PRED,
+    AttrPath,
+    BodyItem,
+    ComparisonAtom,
+    ConcatTerm,
+    EntailmentAtom,
+    INTERVAL_PRED,
+    Literal,
+    MembershipAtom,
+    NegatedLiteral,
+    OBJECT_PRED,
+    Program,
+    Rule,
+    SubsetAtom,
+    Symbol,
+    Term,
+    Variable,
+)
+from vidb.query.safety import check_program, stratify_with_negation
+from vidb.storage.database import VideoDatabase
+
+GroundValue = Any  # Oid or constant
+GroundTuple = Tuple[GroundValue, ...]
+Binding = Dict[Variable, GroundValue]
+
+#: Signature of a computed (filter-only) predicate: called with the
+#: evaluation context and fully ground arguments, returns a truth value.
+ComputedPredicate = Callable[["EvaluationContext", GroundTuple], bool]
+
+
+class Relation:
+    """A set of ground tuples with per-position hash indexes."""
+
+    __slots__ = ("tuples", "_index")
+
+    def __init__(self) -> None:
+        self.tuples: Set[GroundTuple] = set()
+        self._index: Dict[int, Dict[GroundValue, Set[GroundTuple]]] = {}
+
+    def add(self, row: GroundTuple) -> bool:
+        """Insert; returns True when the tuple is new."""
+        if row in self.tuples:
+            return False
+        self.tuples.add(row)
+        for position, value in enumerate(row):
+            try:
+                bucket = self._index.setdefault(position, {})
+                bucket.setdefault(value, set()).add(row)
+            except TypeError:
+                pass  # unhashable component: position simply not indexed
+        return True
+
+    def select(self, pattern: Sequence[Optional[GroundValue]],
+               restrict: Optional[Iterable[GroundTuple]] = None
+               ) -> Iterator[GroundTuple]:
+        """Tuples matching a pattern (None = wildcard).
+
+        When *restrict* is given, only those tuples are considered (used
+        for semi-naive deltas).
+        """
+        if restrict is not None:
+            for row in restrict:
+                if _matches(row, pattern):
+                    yield row
+            return
+        best: Optional[Set[GroundTuple]] = None
+        for position, value in enumerate(pattern):
+            if value is None:
+                continue
+            try:
+                bucket = self._index.get(position, {}).get(value)
+            except TypeError:
+                continue
+            if bucket is None:
+                return  # an indexed bound position has no matches at all
+            if best is None or len(bucket) < len(best):
+                best = bucket
+        source = best if best is not None else self.tuples
+        for row in source:
+            if _matches(row, pattern):
+                yield row
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __contains__(self, row: GroundTuple) -> bool:
+        return row in self.tuples
+
+
+def _matches(row: GroundTuple, pattern: Sequence[Optional[GroundValue]]) -> bool:
+    if len(row) != len(pattern):
+        return False
+    for value, wanted in zip(row, pattern):
+        if wanted is not None and value != wanted:
+            return False
+    return True
+
+
+@dataclass
+class EvaluationStats:
+    """Counters describing one fixpoint run."""
+
+    iterations: int = 0
+    derived_facts: int = 0
+    created_objects: int = 0
+    rule_firings: int = 0
+    constraint_checks: int = 0
+    mode: str = "seminaive"
+
+    def as_dict(self) -> Dict[str, Union[int, str]]:
+        return {
+            "mode": self.mode,
+            "iterations": self.iterations,
+            "derived_facts": self.derived_facts,
+            "created_objects": self.created_objects,
+            "rule_firings": self.rule_firings,
+            "constraint_checks": self.constraint_checks,
+        }
+
+
+class EvaluationContext:
+    """The mutable interpretation: relations + the extended active domain."""
+
+    def __init__(self, db: VideoDatabase,
+                 computed: Optional[Dict[str, Tuple[int, ComputedPredicate]]] = None,
+                 max_objects: int = 50_000,
+                 extended_domain: str = "lazy"):
+        if extended_domain not in ("lazy", "eager"):
+            raise EvaluationError(
+                f"extended_domain must be 'lazy' or 'eager', got {extended_domain!r}"
+            )
+        self.db = db
+        self.max_objects = max_objects
+        self.relations: Dict[str, Relation] = {}
+        self.objects: Dict[Oid, VideoObject] = {}
+        self.computed = dict(computed or {})
+        self.stats = EvaluationStats()
+        self._load_edb(extended_domain)
+
+    # -- EDB loading -------------------------------------------------------
+    def _load_edb(self, extended_domain: str) -> None:
+        interval_rel = self._relation(INTERVAL_PRED)
+        object_rel = self._relation(OBJECT_PRED)
+        any_rel = self._relation(ANYOBJECT_PRED)
+        intervals = list(self.db.intervals())
+        if extended_domain == "eager":
+            intervals = pairwise_extension(intervals)
+        for interval in intervals:
+            self.objects[interval.oid] = interval
+            interval_rel.add((interval.oid,))
+            any_rel.add((interval.oid,))
+        for entity in self.db.entities():
+            self.objects[entity.oid] = entity
+            object_rel.add((entity.oid,))
+            any_rel.add((entity.oid,))
+        for name in self.db.relation_names():
+            self._relation(name)  # declared-but-empty relations exist too
+        for fact in self.db.facts():
+            self._relation(fact.name).add(fact.args)
+
+    def _relation(self, name: str) -> Relation:
+        rel = self.relations.get(name)
+        if rel is None:
+            rel = Relation()
+            self.relations[name] = rel
+        return rel
+
+    # -- domain growth ---------------------------------------------------------
+    def register_interval(self, obj: GeneralizedIntervalObject
+                          ) -> Tuple[Oid, List[Tuple[str, GroundTuple]]]:
+        """Add a ⊕-created interval object; returns the oid plus the class
+        facts that became true (for delta maintenance)."""
+        new_facts: List[Tuple[str, GroundTuple]] = []
+        if obj.oid not in self.objects:
+            if len(self.objects) >= self.max_objects:
+                raise EvaluationError(
+                    f"extended active domain exceeded {self.max_objects} "
+                    "objects; constructive rules are diverging or the "
+                    "object budget is too small"
+                )
+            self.objects[obj.oid] = obj
+            self.stats.created_objects += 1
+            if self._relation(INTERVAL_PRED).add((obj.oid,)):
+                new_facts.append((INTERVAL_PRED, (obj.oid,)))
+            if self._relation(ANYOBJECT_PRED).add((obj.oid,)):
+                new_facts.append((ANYOBJECT_PRED, (obj.oid,)))
+        return obj.oid, new_facts
+
+    # -- symbol & attribute resolution ---------------------------------------------
+    def resolve_symbol(self, symbol: Symbol) -> GroundValue:
+        """Entity oid, else interval oid, else the bare string."""
+        entity = Oid.entity(symbol.name)
+        if entity in self.objects:
+            return entity
+        interval = Oid.interval(symbol.name)
+        if interval in self.objects:
+            return interval
+        return symbol.name
+
+    def attribute(self, oid: GroundValue, attr: str):
+        """The attribute value of an object, or None when undefined."""
+        if not isinstance(oid, Oid):
+            return None
+        obj = self.objects.get(oid)
+        if obj is None:
+            return None
+        return obj.get(attr)
+
+
+# ---------------------------------------------------------------------------
+# Term / constraint evaluation under a binding
+# ---------------------------------------------------------------------------
+
+def eval_term(term: Term, binding: Binding, ctx: EvaluationContext) -> GroundValue:
+    if isinstance(term, Variable):
+        try:
+            return binding[term]
+        except KeyError:
+            raise EvaluationError(f"unbound variable {term!r}") from None
+    if isinstance(term, Symbol):
+        return ctx.resolve_symbol(term)
+    if isinstance(term, ConcatTerm):
+        raise EvaluationError("constructive terms are evaluated by the engine, "
+                              "not eval_term")
+    return term
+
+
+def eval_operand(side: Union[AttrPath, Term], binding: Binding,
+                 ctx: EvaluationContext):
+    """Evaluate a comparison side: attribute paths read the object store."""
+    if isinstance(side, AttrPath):
+        subject = eval_term(side.subject, binding, ctx)
+        return ctx.attribute(subject, side.attr)
+    return eval_term(side, binding, ctx)
+
+
+def check_constraint(atom: BodyItem, binding: Binding,
+                     ctx: EvaluationContext) -> bool:
+    """Is a ground constraint atom satisfiable (Definition 21's condition)?"""
+    ctx.stats.constraint_checks += 1
+    if isinstance(atom, MembershipAtom):
+        collection = eval_operand(atom.collection, binding, ctx)
+        if collection is None:
+            return False
+        element = eval_term(atom.element, binding, ctx)
+        return value_contains(collection, element)
+    if isinstance(atom, SubsetAtom):
+        superset = eval_operand(atom.superset, binding, ctx)
+        if superset is None:
+            return False
+        if isinstance(atom.subset, AttrPath):
+            subset_value = eval_operand(atom.subset, binding, ctx)
+            if subset_value is None:
+                return False
+            members = value_as_set(subset_value)
+        else:
+            members = frozenset(eval_term(t, binding, ctx) for t in atom.subset)
+        return members <= value_as_set(superset)
+    if isinstance(atom, ComparisonAtom):
+        left = eval_operand(atom.left, binding, ctx)
+        right = eval_operand(atom.right, binding, ctx)
+        if left is None or right is None:
+            return False
+        return _compare(left, atom.op, right)
+    if isinstance(atom, EntailmentAtom):
+        left = _entail_side(atom.left, binding, ctx)
+        right = _entail_side(atom.right, binding, ctx)
+        if left is None or right is None:
+            return False
+        return solver.entails(left, right)
+    if isinstance(atom, NegatedLiteral):
+        return not _positive_holds(atom.literal, binding, ctx)
+    raise EvaluationError(f"unknown constraint atom {atom!r}")
+
+
+def _positive_holds(literal: Literal, binding: Binding,
+                    ctx: EvaluationContext) -> bool:
+    """Does a fully ground literal hold in the current interpretation?
+
+    Used under negation: by stratification, the relation being consulted
+    is already saturated when this runs.
+    """
+    args = tuple(eval_term(a, binding, ctx) for a in literal.args)
+    relation = ctx.relations.get(literal.predicate)
+    if relation is not None:
+        return args in relation
+    if literal.predicate in ctx.computed:
+        arity, fn = ctx.computed[literal.predicate]
+        if arity != literal.arity:
+            raise EvaluationError(
+                f"computed predicate {literal.predicate!r} has arity "
+                f"{arity}, used with {literal.arity}"
+            )
+        return fn(ctx, args)
+    raise UnknownPredicateError(
+        f"unknown predicate {literal.predicate!r} under negation"
+    )
+
+
+def _compare(left, op: str, right) -> bool:
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if not (is_constant(left) and is_constant(right)
+            and constants_comparable(left, right)):
+        return False  # order comparisons need comparable constants
+    return {"<": left < right, "<=": left <= right,
+            ">": left > right, ">=": left >= right}[op]
+
+
+def _entail_side(side: Union[AttrPath, Constraint], binding: Binding,
+                 ctx: EvaluationContext) -> Optional[Constraint]:
+    if isinstance(side, AttrPath):
+        value = eval_operand(side, binding, ctx)
+        return value if isinstance(value, Constraint) else None
+    # Inline constraint: substitute rule variables (uppercase names).
+    substitution: Dict[Var, GroundValue] = {}
+    for var in side.variables():
+        if var.name[0].isupper():
+            bound = binding.get(Variable(var.name))
+            if bound is None:
+                raise EvaluationError(
+                    f"rule variable {var.name} in inline constraint is unbound"
+                )
+            if not is_constant(bound):
+                return None  # oids cannot appear inside dense constraints
+            substitution[var] = bound
+    return side.substitute(substitution) if substitution else side
+
+
+# ---------------------------------------------------------------------------
+# Rule plans
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RulePlan:
+    """A rule with constraints scheduled at their earliest ground point.
+
+    ``checks_after[i]`` lists the constraint atoms whose variables are all
+    bound once literals ``0..i`` have been joined (index -1 = ground
+    constraints checked before any join).
+    """
+
+    rule: Rule
+    literals: Tuple[Literal, ...]
+    checks_after: Dict[int, Tuple[BodyItem, ...]]
+
+    @classmethod
+    def compile(cls, rule: Rule,
+                size_of: Optional[Callable[[str], int]] = None) -> "RulePlan":
+        """Compile a rule; with *size_of* (predicate → cardinality
+        estimate) the body literals are greedily reordered for
+        selectivity (most-bound-variables first, smaller relations as
+        tie-break).  Join order never changes answers — only cost."""
+        literals = list(rule.literals())
+        if size_of is not None and len(literals) > 1:
+            literals = _reorder_literals(literals, size_of)
+        bound: Set[Variable] = set()
+        remaining = list(rule.constraints())
+        checks: Dict[int, List[BodyItem]] = {}
+        for index in range(-1, len(literals)):
+            if index >= 0:
+                bound |= literals[index].variables()
+            ready = [c for c in remaining if set(c.variables()) <= bound]
+            if ready:
+                checks[index] = ready
+                remaining = [c for c in remaining if c not in ready]
+        if remaining:  # pragma: no cover - safety check makes this unreachable
+            raise EvaluationError(
+                f"constraints {remaining!r} never become ground in {rule!r}"
+            )
+        return cls(rule, tuple(literals),
+                   {i: tuple(cs) for i, cs in checks.items()})
+
+
+def _reorder_literals(literals: List[Literal],
+                      size_of: Callable[[str], int]) -> List[Literal]:
+    """Greedy selectivity ordering.
+
+    At each step pick the literal maximising the number of already-bound
+    variables (joins before cross products), breaking ties by estimated
+    relation size, then original position (stability).  Literals whose
+    predicate has no relation (computed filters) are only eligible once
+    fully bound; if none ever becomes eligible the original relative
+    order is preserved for the stragglers (the evaluator reports the
+    error precisely).
+    """
+    remaining = list(enumerate(literals))
+    bound: Set[Variable] = set()
+    ordered: List[Literal] = []
+    while remaining:
+        best = None
+        best_key = None
+        for position, (original_index, literal) in enumerate(remaining):
+            size = size_of(literal.predicate)
+            if size < 0:  # computed filter: needs all variables bound
+                if not literal.variables() <= bound:
+                    continue
+                size = 0
+            bound_vars = len(literal.variables() & bound)
+            new_vars = len(literal.variables() - bound)
+            key = (-bound_vars, size, new_vars, original_index)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = position
+        if best is None:
+            # only not-yet-groundable computed filters left
+            ordered.extend(lit for __, lit in remaining)
+            break
+        original_index, literal = remaining.pop(best)
+        ordered.append(literal)
+        bound |= literal.variables()
+    return ordered
+
+
+def _join(plan: RulePlan, ctx: EvaluationContext,
+          delta_position: Optional[int] = None,
+          delta_rows: Optional[Iterable[GroundTuple]] = None
+          ) -> Iterator[Binding]:
+    """Enumerate bindings satisfying the body (literals + scheduled checks)."""
+    pre_checks = plan.checks_after.get(-1, ())
+
+    def backtrack(index: int, binding: Binding) -> Iterator[Binding]:
+        if index == len(plan.literals):
+            yield dict(binding)
+            return
+        literal = plan.literals[index]
+        relation = ctx.relations.get(literal.predicate)
+        if relation is None:
+            if literal.predicate in ctx.computed:
+                # Computed predicates are filters: all their variables must
+                # already be bound by earlier (relation/class) literals.
+                if literal.variables() - set(binding):
+                    unbound = ", ".join(sorted(
+                        v.name for v in literal.variables() - set(binding)))
+                    raise EvaluationError(
+                        f"computed predicate {literal.predicate!r} cannot "
+                        f"bind variables ({unbound}); bind them with class "
+                        "or relation literals first"
+                    )
+                arity, fn = ctx.computed[literal.predicate]
+                if arity != literal.arity:
+                    raise EvaluationError(
+                        f"computed predicate {literal.predicate!r} has arity "
+                        f"{arity}, used with {literal.arity}"
+                    )
+                args = tuple(eval_term(a, binding, ctx) for a in literal.args)
+                if fn(ctx, args):
+                    yield from _after_literal(index, binding)
+                return
+            raise UnknownPredicateError(
+                f"unknown predicate {literal.predicate!r} "
+                "(not a database relation, class predicate, rule head, or "
+                "computed predicate)"
+            )
+        pattern: List[Optional[GroundValue]] = []
+        for arg in literal.args:
+            if isinstance(arg, Variable):
+                pattern.append(binding.get(arg))
+            else:
+                pattern.append(eval_term(arg, binding, ctx))
+        restrict = delta_rows if index == delta_position else None
+        for row in relation.select(pattern, restrict=restrict):
+            extension: List[Variable] = []
+            consistent = True
+            for arg, value in zip(literal.args, row):
+                if isinstance(arg, Variable):
+                    current = binding.get(arg)
+                    if current is None:
+                        binding[arg] = value
+                        extension.append(arg)
+                    elif current != value:
+                        consistent = False
+                        break
+            if consistent:
+                yield from _after_literal(index, binding)
+            for var in extension:
+                del binding[var]
+
+    def _after_literal(index: int, binding: Binding) -> Iterator[Binding]:
+        for check in plan.checks_after.get(index, ()):
+            if not check_constraint(check, binding, ctx):
+                return
+        yield from backtrack(index + 1, binding)
+
+    binding: Binding = {}
+    for check in pre_checks:
+        if not check_constraint(check, binding, ctx):
+            return
+    yield from backtrack(0, binding)
+
+
+def _instantiate_head_arg(arg: Term, binding: Binding,
+                          ctx: EvaluationContext
+                          ) -> Tuple[GroundValue, List[Tuple[str, GroundTuple]]]:
+    """Ground one head argument; ⊕ terms create interval objects."""
+    if isinstance(arg, ConcatTerm):
+        left, facts_left = _instantiate_head_arg(arg.left, binding, ctx)
+        right, facts_right = _instantiate_head_arg(arg.right, binding, ctx)
+        for operand in (left, right):
+            if not (isinstance(operand, Oid) and operand.is_interval):
+                raise EvaluationError(
+                    f"'++' operand {operand!r} is not a generalized interval"
+                )
+        left_obj = ctx.objects.get(left)
+        right_obj = ctx.objects.get(right)
+        if not isinstance(left_obj, GeneralizedIntervalObject) or \
+                not isinstance(right_obj, GeneralizedIntervalObject):
+            raise EvaluationError("'++' operands must be interval objects "
+                                  "in the extended active domain")
+        combined = concatenate(left_obj, right_obj)
+        oid, new_facts = ctx.register_interval(combined)
+        return oid, facts_left + facts_right + new_facts
+    return eval_term(arg, binding, ctx), []
+
+
+# ---------------------------------------------------------------------------
+# Fixpoint drivers
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FixpointResult:
+    """The saturated interpretation plus run statistics."""
+
+    context: EvaluationContext
+    stats: EvaluationStats
+
+    def relation(self, name: str) -> FrozenSet[GroundTuple]:
+        rel = self.context.relations.get(name)
+        return frozenset(rel.tuples) if rel else frozenset()
+
+
+def evaluate(db: VideoDatabase, program: Program,
+             mode: str = "seminaive",
+             computed: Optional[Dict[str, Tuple[int, ComputedPredicate]]] = None,
+             max_objects: int = 50_000,
+             max_iterations: int = 100_000,
+             extended_domain: str = "lazy",
+             reorder_joins: bool = True,
+             provenance: Optional[Dict] = None) -> FixpointResult:
+    """Compute the least fixpoint of ``T_P`` over the database.
+
+    Parameters
+    ----------
+    mode:
+        ``"seminaive"`` (delta-driven, the default) or ``"naive"``
+        (recompute ``T_P(I)`` from scratch each round — the textbook
+        operator, kept for the ablation benchmarks and the semantics
+        property tests).
+    computed:
+        Extra filter-only predicates ``name -> (arity, fn)``.
+    extended_domain:
+        ``"lazy"`` or ``"eager"`` (see module docstring).
+    provenance:
+        Optional dict; when given it is filled with
+        ``(predicate, tuple) -> (rule, binding)`` for each first
+        derivation.
+    """
+    check_program(program, edb_relations=db.relation_names())
+    if mode not in ("seminaive", "naive"):
+        raise EvaluationError(f"unknown evaluation mode {mode!r}")
+    strata = stratify_with_negation(program)
+    ctx = EvaluationContext(db, computed=computed, max_objects=max_objects,
+                            extended_domain=extended_domain)
+    ctx.stats.mode = mode
+    for rule in program:
+        ctx._relation(rule.head.predicate)  # ensure presence
+
+    def size_of(predicate: str) -> int:
+        relation = ctx.relations.get(predicate)
+        if relation is not None:
+            return len(relation)
+        if predicate in ctx.computed:
+            return -1  # filter: only eligible once bound
+        return 1_000_000_000  # unknown (will error at evaluation)
+
+    # Saturate stratum by stratum: negated predicates are complete before
+    # any rule consults them.
+    for group in strata:
+        plans = [
+            RulePlan.compile(rule, size_of=size_of if reorder_joins else None)
+            for rule in group
+        ]
+        if mode == "seminaive":
+            _run_seminaive(ctx, plans, max_iterations, provenance)
+        else:
+            _run_naive(ctx, plans, max_iterations, provenance)
+    return FixpointResult(ctx, ctx.stats)
+
+
+def _fire(plan: RulePlan, binding: Binding, ctx: EvaluationContext,
+          provenance: Optional[Dict]) -> List[Tuple[str, GroundTuple]]:
+    """Instantiate a rule head; returns the facts that became true."""
+    ctx.stats.rule_firings += 1
+    new_facts: List[Tuple[str, GroundTuple]] = []
+    values: List[GroundValue] = []
+    for arg in plan.rule.head.args:
+        value, side_facts = _instantiate_head_arg(arg, binding, ctx)
+        values.append(value)
+        new_facts.extend(side_facts)
+    head_fact = (plan.rule.head.predicate, tuple(values))
+    if ctx._relation(head_fact[0]).add(head_fact[1]):
+        new_facts.append(head_fact)
+        if provenance is not None and head_fact not in provenance:
+            provenance[head_fact] = (plan.rule, dict(binding))
+    if provenance is not None:
+        for side in new_facts:
+            provenance.setdefault(side, (plan.rule, dict(binding)))
+    return new_facts
+
+
+def _run_seminaive(ctx: EvaluationContext, plans: List[RulePlan],
+                   max_iterations: int,
+                   provenance: Optional[Dict]) -> None:
+    # Round 0: every rule evaluated in full (EDB relations are the input).
+    delta: Dict[str, Set[GroundTuple]] = {}
+
+    def note(facts: Iterable[Tuple[str, GroundTuple]],
+             into: Dict[str, Set[GroundTuple]]) -> None:
+        for name, row in facts:
+            into.setdefault(name, set()).add(row)
+            ctx.stats.derived_facts += 1
+
+    for plan in plans:
+        # Materialise bindings before firing: head instantiation mutates
+        # the relations the join is reading.
+        for binding in list(_join(plan, ctx)):
+            note(_fire(plan, binding, ctx, provenance), delta)
+    ctx.stats.iterations += 1
+
+    while delta:
+        if ctx.stats.iterations >= max_iterations:
+            raise EvaluationError(f"fixpoint did not converge within "
+                                  f"{max_iterations} iterations")
+        next_delta: Dict[str, Set[GroundTuple]] = {}
+        for plan in plans:
+            for position, literal in enumerate(plan.literals):
+                rows = delta.get(literal.predicate)
+                if not rows:
+                    continue
+                bindings = list(_join(plan, ctx, delta_position=position,
+                                      delta_rows=rows))
+                for binding in bindings:
+                    note(_fire(plan, binding, ctx, provenance), next_delta)
+        delta = next_delta
+        ctx.stats.iterations += 1
+
+
+def _run_naive(ctx: EvaluationContext, plans: List[RulePlan],
+               max_iterations: int, provenance: Optional[Dict]) -> None:
+    while True:
+        if ctx.stats.iterations >= max_iterations:
+            raise EvaluationError(f"fixpoint did not converge within "
+                                  f"{max_iterations} iterations")
+        ctx.stats.iterations += 1
+        changed = False
+        for plan in plans:
+            # Materialise bindings first: naive T_P applies to the *current*
+            # interpretation, and firing mutates relations.
+            bindings = list(_join(plan, ctx))
+            for binding in bindings:
+                facts = _fire(plan, binding, ctx, provenance)
+                if facts:
+                    changed = True
+                    ctx.stats.derived_facts += len(facts)
+        if not changed:
+            return

@@ -1,0 +1,477 @@
+"""Concrete syntax for the rule language.
+
+The textual syntax mirrors the paper's notation as closely as ASCII
+allows::
+
+    % the paper's "contains" relation (Section 6.2)
+    contains(G1, G2) :- interval(G1), interval(G2),
+                        G2.duration => G1.duration.
+
+    % Q4: all generalized intervals where o1 and o2 appear together
+    q(G) :- interval(G), object(o1), object(o2),
+            {o1, o2} subset G.entities.
+
+    % constructive rule with the concatenation operator
+    concat_gi(G1 ++ G2) :- interval(G1), interval(G2),
+                           o1 in G1.entities, o1 in G2.entities.
+
+    ?- q(G).
+
+Conventions:
+
+* Variables start with an uppercase letter (``G``, ``O1``); lowercase
+  identifiers are symbols, resolved against the database (oids first,
+  bare strings otherwise).
+* ``:-`` (or ``<-``) separates head and body; every statement ends with
+  ``.``; ``%`` and ``#`` start line comments.
+* Attribute paths use a *tight* dot (``G.duration``); the statement
+  terminator is a dot not squeezed between two identifier characters.
+* Inline constraint expressions are parenthesised, e.g.
+  ``G.duration => (t > 10 and t < 20)``.  Lowercase identifiers inside
+  them are constraint variables; uppercase ones refer to rule variables
+  and are substituted before the entailment check.
+* ``++`` is the concatenation constructor, heads only.
+* A rule may be named: ``r1: head :- body.``
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Union
+
+from vidb.constraints.dense import (
+    Comparison as DenseComparison,
+    Constraint,
+    conjoin,
+    disjoin,
+)
+from vidb.constraints.terms import Var
+from vidb.errors import ParseError
+from vidb.query.ast import (
+    AttrPath,
+    BodyItem,
+    ComparisonAtom,
+    ConcatTerm,
+    EntailmentAtom,
+    Literal,
+    MembershipAtom,
+    NegatedLiteral,
+    Program,
+    Query,
+    Rule,
+    SubsetAtom,
+    Symbol,
+    Term,
+    Variable,
+)
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_PUNCT = (
+    (":-", "ARROW"),
+    ("<-", "ARROW"),
+    ("?-", "QUERY"),
+    ("=>", "ENTAILS"),
+    ("++", "CONCAT"),
+    ("!=", "OP"),
+    ("<=", "OP"),
+    (">=", "OP"),
+    ("=", "OP"),
+    ("<", "OP"),
+    (">", "OP"),
+    ("(", "LPAREN"),
+    (")", "RPAREN"),
+    ("{", "LBRACE"),
+    ("}", "RBRACE"),
+    (",", "COMMA"),
+    (":", "COLON"),
+)
+
+# "in", "subset", "and" and "or" are *contextual* keywords: they are lexed
+# as plain identifiers and recognised by position, so that a database
+# relation may be named "in" (as the paper's own worked example does).
+
+
+class Token:
+    __slots__ = ("kind", "value", "line", "column")
+
+    def __init__(self, kind: str, value, line: int, column: int):
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+_ASCII_DIGITS = frozenset("0123456789")
+_ASCII_ALPHA = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ")
+
+
+def tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    # Lexical classes are ASCII-only on purpose: unicode "digits" like
+    # '²' satisfy str.isdigit() but are not valid number literals, and
+    # identifiers are restricted to [A-Za-z0-9_] by the grammar anyway.
+    def ident_char(c: str) -> bool:
+        return c in _ASCII_ALPHA or c in _ASCII_DIGITS or c == "_"
+
+    while i < n:
+        c = text[i]
+        column = i - line_start + 1
+        if c == "\n":
+            line += 1
+            line_start = i + 1
+            i += 1
+            continue
+        if c.isspace():
+            i += 1
+            continue
+        if c in "%#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if c == '"':
+            j = i + 1
+            out = []
+            while j < n and text[j] != '"':
+                if text[j] == "\\" and j + 1 < n:
+                    out.append(text[j + 1])
+                    j += 2
+                else:
+                    out.append(text[j])
+                    j += 1
+            if j >= n:
+                raise ParseError("unterminated string literal", line, column)
+            tokens.append(Token("STRING", "".join(out), line, column))
+            i = j + 1
+            continue
+        if c in _ASCII_DIGITS or (c == "-" and i + 1 < n
+                                  and text[i + 1] in _ASCII_DIGITS):
+            j = i + 1 if c == "-" else i
+            while j < n and text[j] in _ASCII_DIGITS:
+                j += 1
+            if j < n and text[j] == "." and j + 1 < n \
+                    and text[j + 1] in _ASCII_DIGITS:
+                j += 1
+                while j < n and text[j] in _ASCII_DIGITS:
+                    j += 1
+                value: Union[int, Fraction] = Fraction(text[i:j])
+                if value.denominator == 1:
+                    value = int(value)
+            else:
+                value = int(text[i:j])
+            tokens.append(Token("NUMBER", value, line, column))
+            i = j
+            continue
+        if c == ".":
+            # Tight dot (identifier char on both sides) is attribute access;
+            # any other dot terminates a statement.
+            tight = (i > 0 and ident_char(text[i - 1])
+                     and i + 1 < n
+                     and (text[i + 1] in _ASCII_ALPHA or text[i + 1] == "_"))
+            tokens.append(Token("PATHDOT" if tight else "DOT", ".", line, column))
+            i += 1
+            continue
+        matched = False
+        for punct, kind in _PUNCT:
+            if text.startswith(punct, i):
+                tokens.append(Token(kind, punct, line, column))
+                i += len(punct)
+                matched = True
+                break
+        if matched:
+            continue
+        if c in _ASCII_ALPHA or c == "_":
+            j = i
+            while j < n and ident_char(text[j]):
+                j += 1
+            tokens.append(Token("IDENT", text[i:j], line, column))
+            i = j
+            continue
+        raise ParseError(f"unexpected character {c!r}", line, column)
+    tokens.append(Token("EOF", None, line, n - line_start + 1))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.kind} ({token.value!r})",
+                token.line, token.column,
+            )
+        return self.next()
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.peek().kind == kind:
+            return self.next()
+        return None
+
+    def at_word(self, word: str, ahead: int = 0) -> bool:
+        token = self.peek(ahead)
+        return token.kind == "IDENT" and token.value == word
+
+    def accept_word(self, word: str) -> bool:
+        if self.at_word(word):
+            self.next()
+            return True
+        return False
+
+    def expect_word(self, word: str) -> None:
+        if not self.accept_word(word):
+            raise self.error(f"expected {word!r}")
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(message + f" (found {token.kind} {token.value!r})",
+                          token.line, token.column)
+
+    # -- statements --------------------------------------------------------------
+    def program(self) -> Program:
+        rules: List[Rule] = []
+        while self.peek().kind != "EOF":
+            if self.peek().kind == "QUERY":
+                raise self.error("queries are not allowed inside programs; "
+                                 "use parse_query()")
+            rules.append(self.rule())
+        return Program(rules)
+
+    def rule(self) -> Rule:
+        name = None
+        if (self.peek().kind == "IDENT" and self.peek(1).kind == "COLON"):
+            name = self.next().value
+            self.next()  # colon
+        head = self.literal(allow_concat=True)
+        body: List[BodyItem] = []
+        if self.accept("ARROW"):
+            body = self.body()
+        self.expect("DOT")
+        return Rule(head, body, name=name)
+
+    def query(self) -> Query:
+        self.accept("QUERY")  # optional "?-" prefix
+        body = self.body()
+        self.expect("DOT")
+        return Query(body)
+
+    def body(self) -> List[BodyItem]:
+        items = [self.body_item()]
+        while self.accept("COMMA"):
+            items.append(self.body_item())
+        return items
+
+    # -- body items ---------------------------------------------------------------
+    def body_item(self) -> BodyItem:
+        kind = self.peek().kind
+        if (self.at_word("not") and self.peek(1).kind == "IDENT"
+                and self.peek(2).kind == "LPAREN"):
+            self.next()
+            return NegatedLiteral(self.literal(allow_concat=False))
+        if kind == "LBRACE":
+            return self.subset_atom()
+        if kind == "LPAREN":
+            left = self.inline_constraint()
+            self.expect("ENTAILS")
+            return EntailmentAtom(left, self.entail_side())
+        if kind == "IDENT" and self.peek(1).kind == "LPAREN" and \
+                not self.peek().value[0].isupper():
+            return self.literal(allow_concat=False)
+        # Otherwise: a term or path followed by a constraint operator.
+        left = self.operand()
+        op_token = self.peek()
+        if self.at_word("in"):
+            self.next()
+            path = self.attr_path()
+            if isinstance(left, AttrPath):
+                raise self.error("left of 'in' must be a term, not a path")
+            return MembershipAtom(left, path)
+        if self.at_word("subset"):
+            self.next()
+            if not isinstance(left, AttrPath):
+                raise self.error("left of 'subset' must be a set or a path")
+            return SubsetAtom(left, self.attr_path())
+        if op_token.kind == "OP":
+            op = self.next().value
+            right = self.operand()
+            return ComparisonAtom(left, op, right)
+        if op_token.kind == "ENTAILS":
+            self.next()
+            if not isinstance(left, AttrPath):
+                raise self.error("left of '=>' must be an attribute path "
+                                 "or a parenthesised constraint")
+            return EntailmentAtom(left, self.entail_side())
+        raise self.error("expected a literal or constraint atom")
+
+    def subset_atom(self) -> SubsetAtom:
+        self.expect("LBRACE")
+        terms = [self.term()]
+        while self.accept("COMMA"):
+            terms.append(self.term())
+        self.expect("RBRACE")
+        self.expect_word("subset")
+        return SubsetAtom(tuple(terms), self.attr_path())
+
+    def entail_side(self) -> Union[AttrPath, Constraint]:
+        if self.peek().kind == "LPAREN":
+            return self.inline_constraint()
+        return self.attr_path()
+
+    # -- literals and terms -----------------------------------------------------------
+    def literal(self, allow_concat: bool) -> Literal:
+        name_token = self.expect("IDENT")
+        if name_token.value[0].isupper():
+            raise ParseError(f"predicate name must be lowercase, got "
+                             f"{name_token.value!r}",
+                             name_token.line, name_token.column)
+        self.expect("LPAREN")
+        args = [self.term(allow_concat=allow_concat)]
+        while self.accept("COMMA"):
+            args.append(self.term(allow_concat=allow_concat))
+        self.expect("RPAREN")
+        return Literal(name_token.value, args)
+
+    def term(self, allow_concat: bool = False) -> Term:
+        term = self.simple_term()
+        while self.peek().kind == "CONCAT":
+            if not allow_concat:
+                raise self.error("'++' terms are only allowed in rule heads")
+            self.next()
+            term = ConcatTerm(term, self.simple_term())
+        return term
+
+    def simple_term(self) -> Term:
+        token = self.peek()
+        if token.kind == "NUMBER":
+            return self.next().value
+        if token.kind == "STRING":
+            return self.next().value
+        if token.kind == "IDENT":
+            self.next()
+            if token.value[0].isupper():
+                return Variable(token.value)
+            return Symbol(token.value)
+        raise self.error("expected a term")
+
+    def operand(self) -> Union[AttrPath, Term]:
+        """A term, optionally extended to an attribute path."""
+        token = self.peek()
+        if token.kind == "IDENT" and self.peek(1).kind == "PATHDOT":
+            subject_token = self.next()
+            subject: Union[Variable, Symbol]
+            if subject_token.value[0].isupper():
+                subject = Variable(subject_token.value)
+            else:
+                subject = Symbol(subject_token.value)
+            self.next()  # PATHDOT
+            attr = self.expect("IDENT").value
+            return AttrPath(subject, attr)
+        return self.simple_term()
+
+    def attr_path(self) -> AttrPath:
+        result = self.operand()
+        if not isinstance(result, AttrPath):
+            raise self.error("expected an attribute path (e.g. G.entities)")
+        return result
+
+    # -- inline constraint expressions -------------------------------------------------
+    def inline_constraint(self) -> Constraint:
+        """A parenthesised dense-order constraint: ``(t > 3 and t < 9)``."""
+        self.expect("LPAREN")
+        constraint = self._c_or()
+        self.expect("RPAREN")
+        return constraint
+
+    def _c_or(self) -> Constraint:
+        parts = [self._c_and()]
+        while self.accept_word("or"):
+            parts.append(self._c_and())
+        return disjoin(*parts) if len(parts) > 1 else parts[0]
+
+    def _c_and(self) -> Constraint:
+        parts = [self._c_primary()]
+        while self.accept_word("and"):
+            parts.append(self._c_primary())
+        return conjoin(*parts) if len(parts) > 1 else parts[0]
+
+    def _c_primary(self) -> Constraint:
+        if self.peek().kind == "LPAREN":
+            self.next()
+            inner = self._c_or()
+            self.expect("RPAREN")
+            return inner
+        left = self._c_term()
+        op = self.expect("OP").value
+        right = self._c_term()
+        return DenseComparison(left, op, right)
+
+    def _c_term(self):
+        token = self.peek()
+        if token.kind == "NUMBER":
+            return self.next().value
+        if token.kind == "STRING":
+            return self.next().value
+        if token.kind == "IDENT":
+            return Var(self.next().value)
+        raise self.error("expected a constraint term")
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+def parse_program(text: str) -> Program:
+    """Parse a sequence of rules (and ground facts) into a :class:`Program`."""
+    return _Parser(text).program()
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse exactly one rule."""
+    parser = _Parser(text)
+    rule = parser.rule()
+    parser.expect("EOF")
+    return rule
+
+
+def parse_query(text: str) -> Query:
+    """Parse a query: ``?- body.`` (the ``?-`` prefix is optional)."""
+    parser = _Parser(text)
+    query = parser.query()
+    parser.expect("EOF")
+    return query
+
+
+def parse_constraint(text: str) -> Constraint:
+    """Parse a standalone parenthesised constraint expression."""
+    parser = _Parser(text)
+    constraint = parser.inline_constraint()
+    parser.expect("EOF")
+    return constraint

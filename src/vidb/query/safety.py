@@ -1,0 +1,279 @@
+"""Static safety analysis of programs (Definition 11 and friends).
+
+Three checks run before evaluation:
+
+1. **Range restriction** — every variable of a rule must occur in a
+   positive body *literal*.  Constraint atoms (membership, subset,
+   inequality, entailment) do not bind; they only filter.  This is exactly
+   Definition 11 and it guarantees every constraint atom is ground by the
+   time it is checked.
+2. **Constructive-term placement** — ``++`` terms appear only in heads
+   (the AST already enforces this; the analyser re-checks programs built
+   programmatically) and their operands are range-restricted variables or
+   interval constants.
+3. **Head hygiene** — rule heads must not redefine the reserved class
+   predicates (``interval``, ``object``, ``anyobject``) or shadow a
+   database relation name passed in as EDB.
+
+The analyser also exposes the predicate **dependency graph** and a
+recursion test, which the evaluation ablation (naive vs semi-naive)
+reports on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+from vidb.errors import SafetyError
+from vidb.query.ast import (
+    ANYOBJECT_PRED,
+    CLASS_PREDICATES,
+    ConcatTerm,
+    INTERVAL_PRED,
+    Literal,
+    NegatedLiteral,
+    Program,
+    Query,
+    Rule,
+    Variable,
+)
+
+
+def bound_variables(rule: Rule) -> FrozenSet[Variable]:
+    """Variables bound by the rule's positive body literals."""
+    out: Set[Variable] = set()
+    for literal in rule.literals():
+        out |= literal.variables()
+    return frozenset(out)
+
+
+def check_rule(rule: Rule, edb_relations: Iterable[str] = ()) -> None:
+    """Raise :class:`SafetyError` if *rule* violates a safety condition."""
+    edb = frozenset(edb_relations)
+    bound = bound_variables(rule)
+
+    unbound = rule.variables() - bound
+    if unbound:
+        names = ", ".join(sorted(v.name for v in unbound))
+        raise SafetyError(
+            f"rule {rule!r} is not range-restricted: variable(s) {names} "
+            "do not occur in any body literal"
+        )
+
+    if rule.head.predicate in CLASS_PREDICATES:
+        raise SafetyError(
+            f"rule head may not redefine the class predicate "
+            f"{rule.head.predicate!r}"
+        )
+    if rule.head.predicate in edb:
+        raise SafetyError(
+            f"rule head may not redefine the database relation "
+            f"{rule.head.predicate!r}"
+        )
+
+    for arg in rule.head.args:
+        if isinstance(arg, ConcatTerm):
+            for variable in arg.variables():
+                if variable not in bound:
+                    raise SafetyError(
+                        f"constructive term operand {variable!r} is unbound "
+                        f"in rule {rule!r}"
+                    )
+
+
+def check_program(program: Program, edb_relations: Iterable[str] = ()) -> None:
+    """Check every rule of a program; also enforces consistent arity per
+    head predicate."""
+    arities: Dict[str, int] = {}
+    for rule in program:
+        check_rule(rule, edb_relations)
+        known = arities.setdefault(rule.head.predicate, rule.head.arity)
+        if known != rule.head.arity:
+            raise SafetyError(
+                f"predicate {rule.head.predicate!r} is defined with arities "
+                f"{known} and {rule.head.arity}"
+            )
+
+
+def check_query(query: Query) -> None:
+    """A query must bind all its variables in literals, like a rule body."""
+    bound: Set[Variable] = set()
+    used: Set[Variable] = set()
+    for item in query.body:
+        used |= item.variables()
+        if isinstance(item, Literal):
+            bound |= item.variables()
+    unbound = used - bound
+    if unbound:
+        names = ", ".join(sorted(v.name for v in unbound))
+        raise SafetyError(
+            f"query {query!r} is not range-restricted: variable(s) {names} "
+            "do not occur in any literal"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Dependency analysis
+# ---------------------------------------------------------------------------
+
+def dependency_graph(program: Program) -> Dict[str, FrozenSet[str]]:
+    """head predicate -> predicates its bodies mention (positive and
+    negated; IDB edges only matter for recursion, but all are reported)."""
+    graph: Dict[str, Set[str]] = {}
+    for rule in program:
+        deps = graph.setdefault(rule.head.predicate, set())
+        for literal in rule.literals():
+            deps.add(literal.predicate)
+        for negated in rule.negated_literals():
+            deps.add(negated.predicate)
+    return {head: frozenset(deps) for head, deps in graph.items()}
+
+
+def is_recursive(program: Program) -> bool:
+    """Does any IDB predicate (transitively) depend on itself?"""
+    graph = dependency_graph(program)
+    idb = set(graph)
+
+    def reaches(start: str) -> bool:
+        seen: Set[str] = set()
+        stack = [d for d in graph.get(start, ()) if d in idb]
+        while stack:
+            node = stack.pop()
+            if node == start:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(d for d in graph.get(node, ()) if d in idb)
+        return False
+
+    return any(reaches(p) for p in idb)
+
+
+def stratify(program: Program) -> List[FrozenSet[str]]:
+    """Topological strata of the IDB dependency graph.
+
+    The language has no negation, so this is purely an evaluation-order
+    optimisation: lower strata can be saturated before higher ones.
+    Mutually recursive predicates share a stratum.
+    """
+    graph = dependency_graph(program)
+    idb = set(graph)
+
+    # Tarjan-style condensation, small scale: repeatedly peel predicates
+    # whose remaining dependencies are already assigned.
+    remaining = dict(graph)
+    strata: List[FrozenSet[str]] = []
+    assigned: Set[str] = set()
+    while remaining:
+        layer = {
+            p for p, deps in remaining.items()
+            if all(d not in remaining or d == p or d not in idb
+                   for d in deps)
+        }
+        if not layer:
+            # Mutual recursion: group one strongly connected cluster.
+            layer = _one_scc(remaining, idb)
+        strata.append(frozenset(layer))
+        assigned |= layer
+        for p in layer:
+            remaining.pop(p, None)
+    return strata
+
+
+def stratify_with_negation(program: Program) -> List[List[Rule]]:
+    """Assign each rule a stratum so negation is always over a *lower*
+    (already saturated) stratum.
+
+    The classical condition: for a rule with head ``h``,
+    ``stratum(h) >= stratum(p)`` for every positive IDB body predicate
+    ``p`` and ``stratum(h) > stratum(q)`` for every negated IDB body
+    predicate ``q``.  EDB relations and static class predicates sit at
+    stratum 0.  A program whose constraints cannot be met (a negative
+    edge inside a recursive component) is **not stratifiable** and is
+    rejected with :class:`SafetyError`.
+
+    One vidb-specific wrinkle: constructive rules grow the ``interval``
+    and ``anyobject`` classes, so for stratification those two class
+    predicates count as *defined by* every constructive rule — a rule
+    negating ``interval(...)`` must therefore sit above all constructive
+    rules.
+
+    Returns the program's rules grouped by stratum, lowest first.
+    """
+    idb = set(program.idb_predicates())
+    constructive_heads = {r.head.predicate for r in program
+                          if r.is_constructive}
+
+    def body_predicates(rule: Rule, negated: bool) -> Set[str]:
+        """IDB predicates the rule depends on, expanding the growing class
+        predicates to the constructive heads that feed them."""
+        items = rule.negated_literals() if negated else rule.literals()
+        out: Set[str] = set()
+        for item in items:
+            predicate = item.predicate
+            if predicate in (INTERVAL_PRED, ANYOBJECT_PRED):
+                out |= constructive_heads
+            elif predicate in idb:
+                out.add(predicate)
+        return out
+
+    stratum: Dict[str, int] = {p: 0 for p in idb}
+    limit = len(idb) + 1
+    changed = True
+    while changed:
+        changed = False
+        for rule in program:
+            head = rule.head.predicate
+            for p in body_predicates(rule, negated=False):
+                if stratum[head] < stratum[p]:
+                    stratum[head] = stratum[p]
+                    changed = True
+            for q in body_predicates(rule, negated=True):
+                if stratum[head] < stratum[q] + 1:
+                    stratum[head] = stratum[q] + 1
+                    changed = True
+            if stratum[head] > limit:
+                offenders = ", ".join(sorted(
+                    q for q in body_predicates(rule, negated=True)))
+                raise SafetyError(
+                    f"program is not stratifiable: predicate "
+                    f"{head!r} negates {offenders!r} inside a recursive "
+                    "component"
+                )
+
+    groups: Dict[int, List[Rule]] = {}
+    for rule in program:
+        groups.setdefault(stratum[rule.head.predicate], []).append(rule)
+    return [groups[level] for level in sorted(groups)]
+
+
+def _one_scc(graph: Dict[str, FrozenSet[str]], idb: Set[str]) -> Set[str]:
+    """One strongly connected component among the remaining predicates."""
+    start = next(iter(graph))
+    forward: Set[str] = set()
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        if node in forward:
+            continue
+        forward.add(node)
+        stack.extend(d for d in graph.get(node, ()) if d in graph and d in idb)
+    # Reverse reachability.
+    component = {start}
+    for candidate in forward:
+        seen: Set[str] = set()
+        stack = [candidate]
+        reached = False
+        while stack:
+            node = stack.pop()
+            if node == start:
+                reached = True
+                break
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(d for d in graph.get(node, ()) if d in graph and d in idb)
+        if reached:
+            component.add(candidate)
+    return component

@@ -1,0 +1,83 @@
+"""Ready-made derived relations and computed predicates.
+
+Two layers:
+
+* **Rule text** (:data:`STDLIB_RULES`): relations definable inside the
+  language itself, exactly as Section 6.2 writes them — ``contains`` via
+  duration entailment, ``same_object_in`` via shared entities.
+* **Computed predicates** (:func:`computed_predicates`): temporal
+  relations that are *not* first-order expressible over the constraint
+  atoms (overlap needs satisfiability of a conjunction, not entailment).
+  They are filter-only: their arguments must be bound by class or
+  relation literals earlier in the body, e.g.::
+
+      q(G1, G2) :- interval(G1), interval(G2), gi_overlaps(G1, G2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from vidb.intervals import allen
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.model.objects import GeneralizedIntervalObject
+from vidb.model.oid import Oid
+from vidb.query.fixpoint import ComputedPredicate, EvaluationContext, GroundTuple
+
+#: The paper's Section 6.2 relations, verbatim in the concrete syntax.
+CONTAINS_RULE = (
+    "contains(G1, G2) :- interval(G1), interval(G2), "
+    "G2.duration => G1.duration."
+)
+
+SAME_OBJECT_IN_RULE = (
+    "same_object_in(G1, G2, O) :- interval(G1), interval(G2), object(O), "
+    "O in G1.entities, O in G2.entities."
+)
+
+STDLIB_RULES = "\n".join([CONTAINS_RULE, SAME_OBJECT_IN_RULE])
+
+
+def _footprint(ctx: EvaluationContext, oid) -> GeneralizedInterval:
+    obj = ctx.objects.get(oid) if isinstance(oid, Oid) else None
+    if not isinstance(obj, GeneralizedIntervalObject) or not obj.has_duration:
+        return GeneralizedInterval.empty()
+    try:
+        return obj.footprint()
+    except Exception:
+        return GeneralizedInterval.empty()
+
+
+def _binary(fn) -> ComputedPredicate:
+    def predicate(ctx: EvaluationContext, args: GroundTuple) -> bool:
+        a = _footprint(ctx, args[0])
+        b = _footprint(ctx, args[1])
+        if a.is_empty() or b.is_empty():
+            return False
+        return fn(a, b)
+
+    return predicate
+
+
+def computed_predicates() -> Dict[str, Tuple[int, ComputedPredicate]]:
+    """The builtin temporal filter predicates, keyed by name."""
+    return {
+        "gi_overlaps": (2, _binary(allen.gi_overlaps)),
+        "gi_before": (2, _binary(allen.gi_before)),
+        "gi_contains": (2, _binary(allen.gi_contains)),
+        "gi_equals": (2, _binary(allen.gi_equals)),
+        "gi_meets": (2, _binary(allen.gi_meets)),
+        "time_in": (2, _time_in),
+    }
+
+
+def _time_in(ctx: EvaluationContext, args: GroundTuple) -> bool:
+    """``time_in(T, G)`` — time point T lies inside G's footprint."""
+    point, interval = args
+    if isinstance(point, Oid):
+        return False
+    footprint = _footprint(ctx, interval)
+    try:
+        return footprint.contains_point(point)
+    except TypeError:
+        return False

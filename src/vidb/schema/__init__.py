@@ -1,0 +1,32 @@
+"""Abstraction mechanisms: classification, generalization, aggregation,
+and interval-inclusion inheritance (the paper's future-work direction 1
+plus OVID's sharing mechanism from the related work)."""
+
+from vidb.schema.aggregation import (
+    PART_OF,
+    aggregate,
+    aggregation_program,
+    members_of,
+)
+from vidb.schema.classes import ATTR_TYPES, AttrSpec, ClassDef, Schema
+from vidb.schema.inheritance import (
+    RESERVED,
+    containing_intervals,
+    inheritance_program,
+    inherited_attributes,
+)
+
+__all__ = [
+    "ATTR_TYPES",
+    "AttrSpec",
+    "ClassDef",
+    "PART_OF",
+    "RESERVED",
+    "Schema",
+    "aggregate",
+    "aggregation_program",
+    "containing_intervals",
+    "inheritance_program",
+    "inherited_attributes",
+    "members_of",
+]

@@ -1,0 +1,86 @@
+"""Aggregation — composite objects built from parts.
+
+The third abstraction mechanism the paper's conclusion calls for.  An
+:class:`Aggregate` groups member entities under a new composite entity
+with explicit ``part_of`` facts, and :func:`aggregation_program` exposes
+the part-whole structure to the rule language (direct and transitive
+membership), so queries can move between abstraction levels::
+
+    crew = aggregate(db, "film_crew", ["o_camera", "o_sound", "o_grip"])
+    engine.add_rules(aggregation_program())
+    engine.query("?- part_of_star(X, film_crew).")
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Union
+
+from vidb.errors import ModelError
+from vidb.model.objects import EntityObject
+from vidb.model.oid import Oid
+from vidb.storage.database import VideoDatabase
+
+#: Relation name used for direct part-whole facts.
+PART_OF = "part_of"
+
+
+def aggregate(db: VideoDatabase, name: Union[str, Oid],
+              members: Iterable[Union[str, Oid, EntityObject]],
+              **attributes) -> EntityObject:
+    """Create a composite entity and relate every member to it.
+
+    The composite is an ordinary entity object (it can itself be a member
+    of a larger aggregate); its ``members`` attribute holds the member
+    oid set, and a ``part_of(member, composite)`` fact is asserted per
+    member.
+    """
+    member_oids: List[Oid] = []
+    for member in members:
+        if isinstance(member, EntityObject):
+            member_oids.append(member.oid)
+        elif isinstance(member, Oid):
+            member_oids.append(member)
+        else:
+            member_oids.append(Oid.entity(member))
+    if not member_oids:
+        raise ModelError("an aggregate needs at least one member")
+    for oid in member_oids:
+        if db.get(oid) is None:
+            raise ModelError(f"aggregate member {oid} is not in the database")
+    composite = db.new_entity(
+        name, members=frozenset(member_oids), **attributes)
+    for oid in member_oids:
+        db.relate(PART_OF, oid, composite.oid)
+    return composite
+
+
+def members_of(db: VideoDatabase, composite: Union[str, Oid]
+               ) -> List[EntityObject]:
+    """Direct members of a composite, via its part_of facts."""
+    oid = composite if isinstance(composite, Oid) else Oid.entity(composite)
+    facts = db.facts_with_arg(PART_OF, 1, oid)
+    out = []
+    for fact in sorted(facts, key=repr):
+        member = db.get(fact.args[0])
+        if isinstance(member, EntityObject):
+            out.append(member)
+    return out
+
+
+def aggregation_program() -> str:
+    """Rules exposing part-whole structure to queries.
+
+    * ``part_of_star(X, Y)`` — transitive part-of;
+    * ``shares_whole(X, Y)`` — two parts of one composite;
+    * ``aggregate_on_screen(C, G)`` — a composite "appears" in an interval
+      when some part of it does (an abstraction-level lift of Q2).
+    """
+    return """
+    part_of_star(X, Y) :- part_of(X, Y).
+    part_of_star(X, Z) :- part_of_star(X, Y), part_of(Y, Z).
+
+    shares_whole(X, Y) :- part_of(X, C), part_of(Y, C), X != Y.
+
+    aggregate_on_screen(C, G) :- part_of(X, C), interval(G),
+                                 X in G.entities.
+    """

@@ -1,0 +1,218 @@
+"""Classification and generalization — the paper's future work, built.
+
+The conclusion names "abstraction mechanisms such as classification,
+aggregation, and generalization" as the first research direction.  vidb
+realises classification/generalization as a **schema compiled into the
+rule language itself**: a class hierarchy over entity objects becomes a
+set of ordinary rules (one membership rule per class, one inheritance
+rule per subclass edge), so class predicates join, recurse and negate
+like any other predicate — no new evaluation machinery.
+
+An entity's direct class is stored in a designated attribute (``kind`` by
+default)::
+
+    schema = Schema()
+    schema.add_class("person")
+    schema.add_class("reporter", parent="person",
+                     attributes={"employer": AttrSpec("string")})
+    db.new_entity("o1", kind="reporter", name="Pat", employer="W4")
+
+    engine.add_rules(schema.to_program())
+    engine.query("?- person(X).")      # includes every reporter
+
+``Schema.validate(db)`` checks the instances: unknown classes, missing
+required attributes, type mismatches — with inherited attribute
+specifications merged along the hierarchy (generalization).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from vidb.constraints.dense import Constraint
+from vidb.errors import ModelError
+from vidb.model.objects import EntityObject
+from vidb.model.oid import Oid
+from vidb.storage.database import VideoDatabase
+
+_NAME_RE = re.compile(r"[a-z][a-z0-9_]*\Z")
+
+#: Attribute types a schema can require.
+ATTR_TYPES = ("string", "number", "oid", "set", "temporal", "any")
+
+
+@dataclass(frozen=True)
+class AttrSpec:
+    """Declared attribute: a type plus whether instances must carry it."""
+
+    type: str = "any"
+    required: bool = False
+
+    def __post_init__(self):
+        if self.type not in ATTR_TYPES:
+            raise ModelError(
+                f"unknown attribute type {self.type!r}; expected one of "
+                f"{ATTR_TYPES}"
+            )
+
+    def accepts(self, value) -> bool:
+        if self.type == "any":
+            return True
+        if self.type == "string":
+            return isinstance(value, str)
+        if self.type == "number":
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self.type == "oid":
+            return isinstance(value, Oid)
+        if self.type == "set":
+            return isinstance(value, frozenset)
+        if self.type == "temporal":
+            return isinstance(value, Constraint)
+        return False  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class ClassDef:
+    """One class of the hierarchy."""
+
+    name: str
+    parent: Optional[str]
+    attributes: Mapping[str, AttrSpec]
+
+
+class Schema:
+    """A single-inheritance class hierarchy over entity objects."""
+
+    def __init__(self, kind_attribute: str = "kind"):
+        self.kind_attribute = kind_attribute
+        self._classes: Dict[str, ClassDef] = {}
+
+    # -- construction ------------------------------------------------------
+    def add_class(self, name: str, parent: Optional[str] = None,
+                  attributes: Optional[Mapping[str, AttrSpec]] = None
+                  ) -> ClassDef:
+        if not _NAME_RE.match(name or ""):
+            raise ModelError(
+                f"class name must be a lowercase identifier, got {name!r}"
+            )
+        if name in self._classes:
+            raise ModelError(f"class {name!r} already defined")
+        if parent is not None and parent not in self._classes:
+            raise ModelError(f"parent class {parent!r} is not defined")
+        definition = ClassDef(name, parent, dict(attributes or {}))
+        self._classes[name] = definition
+        return definition
+
+    # -- hierarchy queries -----------------------------------------------------
+    def classes(self) -> Tuple[str, ...]:
+        return tuple(self._classes)
+
+    def get(self, name: str) -> ClassDef:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise ModelError(f"unknown class {name!r}") from None
+
+    def ancestors(self, name: str) -> Tuple[str, ...]:
+        """The chain parent, grandparent, ... (excluding *name*)."""
+        out: List[str] = []
+        current = self.get(name).parent
+        while current is not None:
+            out.append(current)
+            current = self.get(current).parent
+        return tuple(out)
+
+    def descendants(self, name: str) -> FrozenSet[str]:
+        self.get(name)
+        out = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            for candidate, definition in self._classes.items():
+                if definition.parent == current and candidate not in out:
+                    out.add(candidate)
+                    frontier.append(candidate)
+        return frozenset(out)
+
+    def is_subclass(self, child: str, ancestor: str) -> bool:
+        """Reflexive subclass test."""
+        return child == ancestor or ancestor in self.ancestors(child)
+
+    def effective_attributes(self, name: str) -> Dict[str, AttrSpec]:
+        """Attribute specs merged along the hierarchy (generalization):
+        a subclass inherits — and may strengthen — its ancestors' specs."""
+        merged: Dict[str, AttrSpec] = {}
+        for ancestor in reversed(self.ancestors(name)):
+            merged.update(self.get(ancestor).attributes)
+        merged.update(self.get(name).attributes)
+        return merged
+
+    # -- compilation into the rule language -----------------------------------------
+    def to_program(self) -> str:
+        """Rules making every class a unary predicate with inheritance.
+
+        ``c(X) :- object(X), X.kind = "c".`` plus ``parent(X) :- child(X).``
+        for every edge.  Class predicates then compose freely with the
+        rest of the language.
+        """
+        lines: List[str] = []
+        for name, definition in self._classes.items():
+            lines.append(
+                f'{name}(X) :- object(X), X.{self.kind_attribute} = "{name}".'
+            )
+            if definition.parent is not None:
+                lines.append(f"{definition.parent}(X) :- {name}(X).")
+        return "\n".join(lines)
+
+    # -- instance access & validation ---------------------------------------------
+    def class_of(self, obj: EntityObject) -> Optional[str]:
+        value = obj.get(self.kind_attribute)
+        return value if isinstance(value, str) else None
+
+    def instances(self, db: VideoDatabase, name: str,
+                  proper: bool = False) -> List[EntityObject]:
+        """Entities of a class; includes subclass instances unless
+        *proper* is set."""
+        wanted = {name} if proper else {name} | set(self.descendants(name))
+        self.get(name)
+        return [obj for obj in db.entities()
+                if self.class_of(obj) in wanted]
+
+    def validate(self, db: VideoDatabase) -> List[str]:
+        """Schema-check every classified entity; returns problem strings.
+
+        * the ``kind`` attribute must name a declared class;
+        * required (effective) attributes must be present;
+        * present declared attributes must match their type.
+
+        Unclassified entities (no ``kind``) are left alone — the model
+        stays schema-optional, like the paper's.
+        """
+        problems: List[str] = []
+        for obj in db.entities():
+            kind = self.class_of(obj)
+            if kind is None:
+                continue
+            if kind not in self._classes:
+                problems.append(f"{obj.oid}: unknown class {kind!r}")
+                continue
+            specs = self.effective_attributes(kind)
+            for attr, spec in specs.items():
+                if attr not in obj:
+                    if spec.required:
+                        problems.append(
+                            f"{obj.oid}: missing required attribute "
+                            f"{attr!r} of class {kind!r}"
+                        )
+                    continue
+                if not spec.accepts(obj[attr]):
+                    problems.append(
+                        f"{obj.oid}: attribute {attr!r} = {obj[attr]!r} "
+                        f"does not match declared type {spec.type!r}"
+                    )
+        return problems
+
+    def __repr__(self) -> str:
+        return f"Schema({len(self._classes)} classes)"

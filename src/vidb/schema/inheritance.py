@@ -1,0 +1,80 @@
+"""Interval-inclusion-based inheritance (the OVID mechanism, Section 2).
+
+The paper's closest related system, OVID (Oomoto & Tanaka), lets
+video-objects *share descriptional data* through "inheritance based on
+the interval inclusion relationship": an interval nested inside another
+inherits the outer interval's descriptive attributes.  vidb provides the
+same mechanism as a read-side view over a database:
+
+* :func:`containing_intervals` — the ancestors of an interval under
+  footprint inclusion, innermost first;
+* :func:`inherited_attributes` — the interval's own attributes merged
+  with its ancestors' (nearest ancestor wins), reserved attributes
+  excluded;
+* :func:`inheritance_program` — the same relation exposed to the rule
+  language (``gi_ancestor(Inner, Outer)``), definable with one rule via
+  duration entailment — showing the language subsumes OVID's mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from vidb.model.objects import (
+    DURATION_ATTR,
+    ENTITIES_ATTR,
+    GeneralizedIntervalObject,
+)
+from vidb.model.oid import Oid
+from vidb.model.values import Value
+from vidb.storage.database import VideoDatabase
+
+#: Attributes that are structural rather than descriptive — never inherited.
+RESERVED = frozenset({DURATION_ATTR, ENTITIES_ATTR})
+
+
+def containing_intervals(db: VideoDatabase, oid: Oid
+                         ) -> List[GeneralizedIntervalObject]:
+    """Strict ancestors of *oid* under footprint inclusion.
+
+    Sorted innermost (smallest footprint) first, so nearest-ancestor-wins
+    merging is a left-to-right fold.  Intervals with identical footprints
+    are not each other's ancestors.
+    """
+    subject = db.interval(oid)
+    own = subject.footprint()
+    ancestors = [
+        other for other in db.intervals()
+        if other.oid != subject.oid
+        and other.footprint().contains(own)
+        and other.footprint() != own
+    ]
+    ancestors.sort(key=lambda o: (float(o.footprint().measure), str(o.oid)))
+    return ancestors
+
+
+def inherited_attributes(db: VideoDatabase, oid: Oid) -> Dict[str, Value]:
+    """The interval's effective description under interval inheritance.
+
+    Own attributes always win; otherwise the nearest containing interval
+    that defines the attribute supplies the value.
+    """
+    subject = db.interval(oid)
+    merged: Dict[str, Value] = {}
+    for ancestor in reversed(containing_intervals(db, oid)):
+        for name, value in ancestor.items():
+            if name not in RESERVED:
+                merged[name] = value
+    for name, value in subject.items():
+        if name not in RESERVED:
+            merged[name] = value
+    return merged
+
+
+def inheritance_program() -> str:
+    """``gi_ancestor(Inner, Outer)`` as a rule — OVID's inclusion relation
+    is one duration-entailment atom in the paper's language."""
+    return (
+        "gi_ancestor(Inner, Outer) :- interval(Inner), interval(Outer), "
+        "Inner.duration => Outer.duration, Inner != Outer."
+    )

@@ -1,0 +1,37 @@
+"""Storage engine: the indexed video database, transactions, persistence."""
+
+from vidb.storage.database import VideoDatabase
+from vidb.storage.index import (
+    AttributeIndex,
+    MembershipIndex,
+    RelationIndex,
+    TemporalIndex,
+)
+from vidb.storage.persistence import (
+    database_from_dict,
+    database_to_dict,
+    decode_value,
+    dumps,
+    encode_value,
+    load,
+    loads,
+    save,
+)
+from vidb.storage.transactions import Transaction
+
+__all__ = [
+    "AttributeIndex",
+    "MembershipIndex",
+    "RelationIndex",
+    "TemporalIndex",
+    "Transaction",
+    "VideoDatabase",
+    "database_from_dict",
+    "database_to_dict",
+    "decode_value",
+    "dumps",
+    "encode_value",
+    "load",
+    "loads",
+    "save",
+]

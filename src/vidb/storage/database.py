@@ -1,0 +1,283 @@
+"""The video database: a :class:`vidb.model.VideoSequence` plus indexes.
+
+This is the storage engine queries run against.  It offers:
+
+* convenience constructors (``new_entity`` / ``new_interval`` / ``relate``)
+  that build model objects from plain Python data;
+* index-accelerated access paths (attribute probes, entity membership,
+  relation lookups, temporal point/range probes);
+* undo-log transactions (:meth:`transaction`);
+* JSON persistence (in :mod:`vidb.storage.persistence`).
+
+Objects are immutable, so updates replace an object wholesale and the
+indexes are maintained by remove-then-add.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+from vidb.errors import ModelError, UnknownOidError
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.model.objects import (
+    EntityObject,
+    GeneralizedIntervalObject,
+    VideoObject,
+)
+from vidb.model.oid import Oid
+from vidb.model.relations import FactArg, RelationFact
+from vidb.model.sequence import VideoSequence
+from vidb.storage.index import (
+    AttributeIndex,
+    MembershipIndex,
+    RelationIndex,
+    TemporalIndex,
+)
+
+OidLike = Union[Oid, str]
+
+
+class VideoDatabase:
+    """An indexed store of one video document's symbolic description."""
+
+    def __init__(self, name: str = "video"):
+        self.sequence = VideoSequence(name)
+        self._attribute_index = AttributeIndex()
+        self._membership_index = MembershipIndex()
+        self._relation_index = RelationIndex()
+        self._temporal_index = TemporalIndex()
+        self._declared_relations: set = set()
+        self._journal: Optional[List] = None  # undo log when inside a transaction
+
+    @property
+    def name(self) -> str:
+        return self.sequence.name
+
+    # -- oid coercion ------------------------------------------------------
+    @staticmethod
+    def entity_oid(oid: OidLike) -> Oid:
+        return oid if isinstance(oid, Oid) else Oid.entity(oid)
+
+    @staticmethod
+    def interval_oid(oid: OidLike) -> Oid:
+        return oid if isinstance(oid, Oid) else Oid.interval(oid)
+
+    # -- population ---------------------------------------------------------
+    def new_entity(self, oid: OidLike, **attributes) -> EntityObject:
+        """Create, register and return an entity object.
+
+        >>> db = VideoDatabase()
+        >>> david = db.new_entity("id3", name="David", role="Victim")
+        """
+        obj = EntityObject(self.entity_oid(oid), attributes)
+        return self.add(obj)
+
+    def new_interval(self, oid: OidLike,
+                     entities: Iterable[OidLike] = (),
+                     duration: Union[GeneralizedInterval, object, None] = None,
+                     **attributes) -> GeneralizedIntervalObject:
+        """Create, register and return a generalized-interval object.
+
+        ``entities`` may mix oids and bare entity names; ``duration`` may be
+        a :class:`GeneralizedInterval`, a dense-order constraint, or a list
+        of ``(lo, hi)`` pairs.
+        """
+        attrs = dict(attributes)
+        entity_oids = frozenset(self.entity_oid(e) for e in entities)
+        if entity_oids or "entities" not in attrs:
+            attrs["entities"] = entity_oids
+        if duration is not None:
+            if isinstance(duration, (list, tuple)):
+                duration = GeneralizedInterval.from_pairs(duration)
+            attrs["duration"] = duration
+        obj = GeneralizedIntervalObject(self.interval_oid(oid), attrs)
+        return self.add(obj)
+
+    def add(self, obj: VideoObject) -> VideoObject:
+        """Register a prebuilt model object (entity or interval)."""
+        if isinstance(obj, GeneralizedIntervalObject):
+            self.sequence.add_interval(obj)
+            self._membership_index.add(obj)
+            self._temporal_index.add(obj)
+            self._log(("remove_object", obj.oid))
+        elif isinstance(obj, EntityObject):
+            self.sequence.add_object(obj)
+            self._log(("remove_object", obj.oid))
+        else:
+            raise ModelError(f"expected an EntityObject or GeneralizedIntervalObject, got {obj!r}")
+        self._attribute_index.add(obj)
+        return obj
+
+    def relate(self, relation: Union[str, RelationFact], *args: FactArg) -> RelationFact:
+        """Assert a relation fact, e.g. ``db.relate("in", o1, o4, gi1)``.
+
+        Arguments may be oids, model objects (their oid is taken) or
+        constants.
+        """
+        if isinstance(relation, RelationFact):
+            fact = relation
+        else:
+            coerced = tuple(
+                a.oid if isinstance(a, VideoObject) else a for a in args
+            )
+            fact = RelationFact(relation, coerced)
+        if fact in self.sequence.facts():
+            return fact
+        self.sequence.add_fact(fact)
+        self._relation_index.add(fact)
+        self._log(("remove_fact", fact))
+        return fact
+
+    # -- updates / deletion --------------------------------------------------
+    def replace(self, obj: VideoObject) -> VideoObject:
+        """Replace the object with the same oid (reindexing it)."""
+        old = self.get(obj.oid)
+        if old is None:
+            raise UnknownOidError(f"no object with oid {obj.oid}")
+        self._deindex(old)
+        if isinstance(obj, GeneralizedIntervalObject):
+            self.sequence.add_interval(obj, replace=True)
+            self._membership_index.add(obj)
+            self._temporal_index.add(obj)
+        elif isinstance(obj, EntityObject):
+            self.sequence.add_object(obj, replace=True)
+        else:
+            raise ModelError(f"cannot replace with {obj!r}")
+        self._attribute_index.add(obj)
+        self._log(("restore_object", old))
+        return obj
+
+    def set_attribute(self, oid: OidLike, name: str, value) -> VideoObject:
+        """Functional attribute update: replaces the stored object."""
+        obj = self._require(oid)
+        return self.replace(obj.with_attribute(name, value))
+
+    def remove_object(self, oid: OidLike) -> VideoObject:
+        """Remove an object (entity or interval) and its index entries.
+
+        Facts mentioning the object are left in place; call
+        :meth:`sequence.validate` to find dangling references, or remove
+        the facts first.
+        """
+        obj = self._require(oid)
+        self._deindex(obj)
+        if isinstance(obj, GeneralizedIntervalObject):
+            self.sequence.remove_interval(obj.oid)
+        else:
+            self.sequence.remove_object(obj.oid)
+        self._log(("restore_removed", obj))
+        return obj
+
+    def remove_fact(self, fact: RelationFact) -> None:
+        if fact in self.sequence.facts():
+            self.sequence.remove_fact(fact)
+            self._relation_index.remove(fact)
+            self._log(("restore_fact", fact))
+
+    def _deindex(self, obj: VideoObject) -> None:
+        self._attribute_index.remove(obj)
+        if isinstance(obj, GeneralizedIntervalObject):
+            self._membership_index.remove(obj)
+            self._temporal_index.remove(obj)
+
+    def _require(self, oid: OidLike) -> VideoObject:
+        if isinstance(oid, str):
+            # try both kinds for string convenience
+            found = self.sequence.get(Oid.entity(oid)) or self.sequence.get(Oid.interval(oid))
+        else:
+            found = self.sequence.get(oid)
+        if found is None:
+            raise UnknownOidError(f"no object with oid {oid}")
+        return found
+
+    # -- access paths ---------------------------------------------------------
+    def get(self, oid: Oid) -> Optional[VideoObject]:
+        return self.sequence.get(oid)
+
+    def entity(self, oid: OidLike) -> EntityObject:
+        return self.sequence.object(self.entity_oid(oid))
+
+    def interval(self, oid: OidLike) -> GeneralizedIntervalObject:
+        return self.sequence.interval(self.interval_oid(oid))
+
+    def entities(self) -> Tuple[EntityObject, ...]:
+        return self.sequence.objects()
+
+    def intervals(self) -> Tuple[GeneralizedIntervalObject, ...]:
+        return self.sequence.intervals()
+
+    def facts(self, name: Optional[str] = None) -> FrozenSet[RelationFact]:
+        if name is None:
+            return self.sequence.facts()
+        return self._relation_index.by_name(name)
+
+    def declare_relation(self, name: str) -> None:
+        """Register a relation name with no facts (yet).
+
+        Body literals over unknown predicates are an evaluation error (it
+        catches typos); declaring a relation lets queries mention it while
+        it is still empty.
+        """
+        RelationFact(name, (0,))  # reuse the name validation
+        self._declared_relations.add(name)
+
+    def relation_names(self) -> FrozenSet[str]:
+        return self._relation_index.names() | frozenset(self._declared_relations)
+
+    def facts_with_arg(self, name: str, position: int, value) -> FrozenSet[RelationFact]:
+        return self._relation_index.by_arg(name, position, value)
+
+    def find_by_attribute(self, name: str, value) -> List[VideoObject]:
+        """Objects whose attribute equals *value* (or contains it, for sets)."""
+        oids = self._attribute_index.lookup(name, value)
+        return [obj for obj in (self.get(oid) for oid in sorted(oids)) if obj]
+
+    def intervals_with_entity(self, entity: OidLike) -> List[GeneralizedIntervalObject]:
+        """All generalized intervals where the object appears (query Q2)."""
+        oids = self._membership_index.intervals_of(self.entity_oid(entity))
+        return [self.sequence.interval(oid) for oid in sorted(oids)]
+
+    def entities_in(self, interval: OidLike) -> List[EntityObject]:
+        """The objects appearing in one interval (query Q1)."""
+        gi = self.interval(interval)
+        return [self.sequence.object(oid) for oid in sorted(gi.entities)]
+
+    def intervals_at(self, t) -> List[GeneralizedIntervalObject]:
+        """Intervals whose footprint covers time point *t*."""
+        oids = self._temporal_index.at(t)
+        return [self.sequence.interval(oid) for oid in sorted(oids)]
+
+    def intervals_overlapping(self, lo, hi) -> List[GeneralizedIntervalObject]:
+        """Intervals whose footprint intersects ``[lo, hi]``."""
+        oids = self._temporal_index.overlapping(lo, hi)
+        return [self.sequence.interval(oid) for oid in sorted(oids)]
+
+    def footprint(self, interval: OidLike) -> Optional[GeneralizedInterval]:
+        return self._temporal_index.footprint(self.interval_oid(interval))
+
+    # -- transactions ------------------------------------------------------------
+    def transaction(self) -> "Transaction":
+        """Open an undo-log transaction (a context manager)."""
+        from vidb.storage.transactions import Transaction
+
+        return Transaction(self)
+
+    def _log(self, entry) -> None:
+        if self._journal is not None:
+            self._journal.append(entry)
+
+    # -- stats ----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entities": len(self.sequence.objects()),
+            "intervals": len(self.sequence.intervals()),
+            "facts": len(self.sequence.facts()),
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (f"VideoDatabase({self.name!r}: {s['entities']} entities, "
+                f"{s['intervals']} intervals, {s['facts']} facts)")

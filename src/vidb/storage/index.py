@@ -1,0 +1,192 @@
+"""Secondary indexes for the video database.
+
+Four index families back the access paths the query language needs:
+
+* :class:`AttributeIndex` — ``(attribute, scalar value) → oids``; set-valued
+  attributes are indexed per member, so ``victim: o1`` and
+  ``murderer: {o2, o3}`` are both found by exact-value probes.
+* :class:`MembershipIndex` — ``entity oid → interval oids`` (the inverse of
+  δ1), answering "all generalized intervals where object o appears" without
+  scanning.
+* :class:`RelationIndex` — facts by name and by ``(name, position, value)``.
+* :class:`TemporalIndex` — interval-object footprints by fragment, for
+  time-point ("what is on screen at t?") and range-overlap probes.
+
+Indexes are maintained incrementally by :class:`vidb.storage.database.
+VideoDatabase`; they never own the data.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.model.objects import GeneralizedIntervalObject, VideoObject
+from vidb.model.oid import Oid
+from vidb.model.relations import RelationFact
+
+
+class AttributeIndex:
+    """Exact-match index over scalar attribute values (and set members)."""
+
+    def __init__(self) -> None:
+        self._map: Dict[Tuple[str, Hashable], Set[Oid]] = {}
+
+    @staticmethod
+    def _keys(name: str, value) -> Iterable[Tuple[str, Hashable]]:
+        if isinstance(value, frozenset):
+            for member in value:
+                yield (name, member)
+        else:
+            try:
+                hash(value)
+            except TypeError:
+                return
+            yield (name, value)
+
+    def add(self, obj: VideoObject) -> None:
+        for name, value in obj.items():
+            for key in self._keys(name, value):
+                self._map.setdefault(key, set()).add(obj.oid)
+
+    def remove(self, obj: VideoObject) -> None:
+        for name, value in obj.items():
+            for key in self._keys(name, value):
+                bucket = self._map.get(key)
+                if bucket is not None:
+                    bucket.discard(obj.oid)
+                    if not bucket:
+                        del self._map[key]
+
+    def lookup(self, name: str, value) -> FrozenSet[Oid]:
+        """Oids whose attribute *name* equals *value* or contains it."""
+        return frozenset(self._map.get((name, value), ()))
+
+
+class MembershipIndex:
+    """entity oid → oids of the intervals listing it in ``entities``."""
+
+    def __init__(self) -> None:
+        self._map: Dict[Oid, Set[Oid]] = {}
+
+    def add(self, interval: GeneralizedIntervalObject) -> None:
+        for member in interval.entities:
+            self._map.setdefault(member, set()).add(interval.oid)
+
+    def remove(self, interval: GeneralizedIntervalObject) -> None:
+        for member in interval.entities:
+            bucket = self._map.get(member)
+            if bucket is not None:
+                bucket.discard(interval.oid)
+                if not bucket:
+                    del self._map[member]
+
+    def intervals_of(self, entity: Oid) -> FrozenSet[Oid]:
+        return frozenset(self._map.get(entity, ()))
+
+
+class RelationIndex:
+    """Facts by relation name and by (name, argument position, value)."""
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, Set[RelationFact]] = {}
+        self._by_arg: Dict[Tuple[str, int, Hashable], Set[RelationFact]] = {}
+
+    def add(self, fact: RelationFact) -> None:
+        self._by_name.setdefault(fact.name, set()).add(fact)
+        for position, arg in enumerate(fact.args):
+            self._by_arg.setdefault((fact.name, position, arg), set()).add(fact)
+
+    def remove(self, fact: RelationFact) -> None:
+        bucket = self._by_name.get(fact.name)
+        if bucket is not None:
+            bucket.discard(fact)
+            if not bucket:
+                del self._by_name[fact.name]
+        for position, arg in enumerate(fact.args):
+            key = (fact.name, position, arg)
+            arg_bucket = self._by_arg.get(key)
+            if arg_bucket is not None:
+                arg_bucket.discard(fact)
+                if not arg_bucket:
+                    del self._by_arg[key]
+
+    def by_name(self, name: str) -> FrozenSet[RelationFact]:
+        return frozenset(self._by_name.get(name, ()))
+
+    def by_arg(self, name: str, position: int, value) -> FrozenSet[RelationFact]:
+        return frozenset(self._by_arg.get((name, position, value), ()))
+
+    def names(self) -> FrozenSet[str]:
+        return frozenset(self._by_name)
+
+
+class TemporalIndex:
+    """Fragment-level temporal index over interval-object footprints.
+
+    Keeps each footprint fragment as ``(start, end, oid)`` in a list sorted
+    by start, enabling sweep-style point and range probes.  The fragment
+    count per video document is modest (thousands), so a sorted list with
+    bisect is both simple and adequate; the benchmark suite measures it.
+    """
+
+    def __init__(self) -> None:
+        self._starts: List = []          # sorted fragment start points
+        self._rows: List[Tuple] = []     # (start, end, oid), parallel order
+        self._footprints: Dict[Oid, GeneralizedInterval] = {}
+
+    def add(self, interval: GeneralizedIntervalObject) -> None:
+        if not interval.has_duration:
+            return
+        try:
+            footprint = interval.footprint()
+        except Exception:
+            return  # unbounded/multi-variable durations are not indexable
+        self._footprints[interval.oid] = footprint
+        for fragment in footprint:
+            position = bisect.bisect_left(self._starts, fragment.lo)
+            self._starts.insert(position, fragment.lo)
+            self._rows.insert(position, (fragment.lo, fragment.hi, interval.oid))
+
+    def remove(self, interval: GeneralizedIntervalObject) -> None:
+        footprint = self._footprints.pop(interval.oid, None)
+        if footprint is None:
+            return
+        keep_rows = []
+        keep_starts = []
+        for start, row in zip(self._starts, self._rows):
+            if row[2] != interval.oid:
+                keep_starts.append(start)
+                keep_rows.append(row)
+        self._starts = keep_starts
+        self._rows = keep_rows
+
+    def footprint(self, oid: Oid) -> Optional[GeneralizedInterval]:
+        return self._footprints.get(oid)
+
+    def at(self, t) -> FrozenSet[Oid]:
+        """Oids of intervals whose footprint covers time point *t*."""
+        out: Set[Oid] = set()
+        limit = bisect.bisect_right(self._starts, t)
+        for start, end, oid in self._rows[:limit]:
+            if oid in out:
+                continue
+            footprint = self._footprints[oid]
+            if start <= t <= end and footprint.contains_point(t):
+                out.add(oid)
+        return frozenset(out)
+
+    def overlapping(self, lo, hi) -> FrozenSet[Oid]:
+        """Oids whose footprint intersects the closed range ``[lo, hi]``."""
+        probe = GeneralizedInterval.from_pairs([(lo, hi)])
+        out: Set[Oid] = set()
+        limit = bisect.bisect_right(self._starts, hi)
+        for start, end, oid in self._rows[:limit]:
+            if oid in out:
+                continue
+            if end < lo:
+                continue
+            if self._footprints[oid].overlaps(probe):
+                out.add(oid)
+        return frozenset(out)

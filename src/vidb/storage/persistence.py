@@ -1,0 +1,183 @@
+"""JSON persistence for video databases.
+
+Snapshots are ordinary JSON documents; model values are encoded with
+single-key tag objects so that decoding is unambiguous:
+
+================  =================================================
+value             encoding
+================  =================================================
+constant          the JSON scalar itself
+Fraction          ``{"$fraction": [numerator, denominator]}``
+Oid               ``{"$oid": {"kind": ..., "parts": [...]}}``
+frozenset         ``{"$set": [encoded values ...]}``
+Constraint        ``{"$constraint": [[atom, ...], ...]}`` (its DNF)
+constraint atom   ``{"left": term, "op": str, "right": term}``
+Var               ``{"$var": name}``
+================  =================================================
+
+The snapshot is stable under a decode/encode round-trip, which the
+integration tests verify.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from vidb.constraints.dense import Comparison, Constraint, from_dnf
+from vidb.constraints.terms import Var
+from vidb.errors import PersistenceError
+from vidb.model.objects import EntityObject, GeneralizedIntervalObject
+from vidb.model.oid import Oid
+from vidb.model.relations import RelationFact
+from vidb.storage.database import VideoDatabase
+
+FORMAT_VERSION = 1
+
+
+# -- value codec --------------------------------------------------------------
+
+def encode_value(value: Any) -> Any:
+    if isinstance(value, bool):
+        raise PersistenceError("booleans are not model values")
+    if isinstance(value, Fraction):
+        return {"$fraction": [value.numerator, value.denominator]}
+    if isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, Oid):
+        return {"$oid": {"kind": value.kind, "parts": sorted(value.parts)}}
+    if isinstance(value, frozenset):
+        encoded = [encode_value(v) for v in value]
+        encoded.sort(key=json.dumps)  # deterministic snapshots
+        return {"$set": encoded}
+    if isinstance(value, Constraint):
+        clauses = [[_encode_atom(a) for a in clause] for clause in value.dnf()]
+        return {"$constraint": clauses}
+    raise PersistenceError(f"cannot encode value {value!r}")
+
+
+def _encode_atom(atom: Comparison) -> Dict[str, Any]:
+    return {
+        "left": _encode_term(atom.left),
+        "op": atom.op,
+        "right": _encode_term(atom.right),
+    }
+
+
+def _encode_term(term: Any) -> Any:
+    if isinstance(term, Var):
+        return {"$var": term.name}
+    return encode_value(term)
+
+
+def decode_value(data: Any) -> Any:
+    if isinstance(data, (int, float, str)):
+        return data
+    if isinstance(data, dict):
+        if "$fraction" in data:
+            numerator, denominator = data["$fraction"]
+            return Fraction(numerator, denominator)
+        if "$oid" in data:
+            payload = data["$oid"]
+            return Oid(payload["kind"], payload["parts"])
+        if "$set" in data:
+            return frozenset(decode_value(v) for v in data["$set"])
+        if "$constraint" in data:
+            clauses = [
+                tuple(_decode_atom(a) for a in clause) for clause in data["$constraint"]
+            ]
+            return from_dnf(clauses)
+    raise PersistenceError(f"cannot decode value {data!r}")
+
+
+def _decode_atom(data: Dict[str, Any]) -> Comparison:
+    return Comparison(_decode_term(data["left"]), data["op"], _decode_term(data["right"]))
+
+
+def _decode_term(data: Any) -> Any:
+    if isinstance(data, dict) and "$var" in data:
+        return Var(data["$var"])
+    return decode_value(data)
+
+
+# -- database codec --------------------------------------------------------------
+
+def database_to_dict(db: VideoDatabase) -> Dict[str, Any]:
+    """A JSON-ready snapshot of the whole database."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": db.name,
+        "entities": [
+            {
+                "oid": encode_value(obj.oid),
+                "attributes": {k: encode_value(v) for k, v in sorted(obj.items())},
+            }
+            for obj in sorted(db.entities(), key=lambda o: o.oid)
+        ],
+        "intervals": [
+            {
+                "oid": encode_value(obj.oid),
+                "attributes": {k: encode_value(v) for k, v in sorted(obj.items())},
+            }
+            for obj in sorted(db.intervals(), key=lambda o: o.oid)
+        ],
+        "facts": sorted(
+            (
+                {
+                    "name": fact.name,
+                    "args": [encode_value(a) for a in fact.args],
+                }
+                for fact in db.facts()
+            ),
+            key=json.dumps,
+        ),
+    }
+
+
+def database_from_dict(data: Dict[str, Any]) -> VideoDatabase:
+    if not isinstance(data, dict) or "format" not in data:
+        raise PersistenceError("not a vidb snapshot")
+    if data["format"] != FORMAT_VERSION:
+        raise PersistenceError(
+            f"snapshot format {data['format']!r} is not supported "
+            f"(expected {FORMAT_VERSION})"
+        )
+    db = VideoDatabase(data.get("name", "video"))
+    for record in data.get("entities", ()):
+        oid = decode_value(record["oid"])
+        attrs = {k: decode_value(v) for k, v in record.get("attributes", {}).items()}
+        db.add(EntityObject(oid, attrs))
+    for record in data.get("intervals", ()):
+        oid = decode_value(record["oid"])
+        attrs = {k: decode_value(v) for k, v in record.get("attributes", {}).items()}
+        db.add(GeneralizedIntervalObject(oid, attrs))
+    for record in data.get("facts", ()):
+        args = tuple(decode_value(a) for a in record["args"])
+        db.relate(RelationFact(record["name"], args))
+    return db
+
+
+def dumps(db: VideoDatabase, indent: int = 2) -> str:
+    """Serialise a database to a JSON string."""
+    return json.dumps(database_to_dict(db), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> VideoDatabase:
+    """Deserialise a database from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"invalid JSON: {exc}") from exc
+    return database_from_dict(data)
+
+
+def save(db: VideoDatabase, path: Union[str, Path]) -> None:
+    """Write a snapshot to *path*."""
+    Path(path).write_text(dumps(db), encoding="utf-8")
+
+
+def load(path: Union[str, Path]) -> VideoDatabase:
+    """Read a snapshot from *path*."""
+    return loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,101 @@
+"""Undo-log transactions for :class:`vidb.storage.database.VideoDatabase`.
+
+The paper motivates a database substrate for video partly by the classical
+database services — "persistence, transactions, concurrency control,
+recovery".  vidb provides single-writer transactions with full rollback:
+every mutating operation appends its inverse to a journal; on exception
+(or explicit :meth:`Transaction.rollback`) the journal is replayed in
+reverse.
+
+Usage::
+
+    with db.transaction():
+        db.new_entity("o1", name="Reporter")
+        db.relate("in", o1, gi1)
+        ...                       # raising here rolls everything back
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from vidb.errors import TransactionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from vidb.storage.database import VideoDatabase
+
+
+class Transaction:
+    """A context manager recording inverse operations for rollback."""
+
+    def __init__(self, db: "VideoDatabase"):
+        self._db = db
+        self._journal: Optional[List[Tuple]] = None
+        self._closed = False
+        self._nested = False
+
+    # -- context protocol ---------------------------------------------------
+    def __enter__(self) -> "Transaction":
+        if self._closed:
+            raise TransactionError("transaction object cannot be reused")
+        if self._db._journal is not None:
+            # Nested transaction: piggyback on the outer journal.  Inner
+            # commits are no-ops; an inner rollback raises, because partial
+            # undo of a shared journal would corrupt the outer scope.
+            self._nested = True
+            return self
+        self._journal = []
+        self._db._journal = self._journal
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._nested:
+            return False
+        if not self._closed:
+            # An explicit commit()/rollback() inside the block already
+            # settled the transaction; otherwise settle it now.
+            if exc_type is not None:
+                self.rollback()
+            else:
+                self.commit()
+        return False  # never swallow exceptions
+
+    # -- explicit control -------------------------------------------------------
+    def commit(self) -> None:
+        if self._nested:
+            return
+        if self._closed:
+            raise TransactionError("transaction already closed")
+        self._db._journal = None
+        self._journal = None
+        self._closed = True
+
+    def rollback(self) -> None:
+        if self._nested:
+            raise TransactionError("cannot roll back a nested transaction")
+        if self._closed:
+            raise TransactionError("transaction already closed")
+        journal = self._journal or []
+        # Detach first so undo operations are not themselves journaled.
+        self._db._journal = None
+        self._journal = None
+        self._closed = True
+        for entry in reversed(journal):
+            self._undo(entry)
+
+    # -- undo interpreter -----------------------------------------------------
+    def _undo(self, entry: Tuple) -> None:
+        db = self._db
+        op = entry[0]
+        if op == "remove_object":
+            db.remove_object(entry[1])
+        elif op == "remove_fact":
+            db.remove_fact(entry[1])
+        elif op == "restore_object":
+            db.replace(entry[1])
+        elif op == "restore_removed":
+            db.add(entry[1])
+        elif op == "restore_fact":
+            db.relate(entry[1])
+        else:  # pragma: no cover - journal entries are produced locally
+            raise TransactionError(f"unknown journal entry {entry!r}")

@@ -1,0 +1,54 @@
+"""Simulated video substrate: synthetic frames, features, shot detection,
+annotation pipelines (the paper's two information sources, Section 5.1)."""
+
+from vidb.video.annotator import GroundTruthAnnotator, NoisyAnnotator, annotate
+from vidb.video.features import (
+    difference_series,
+    histogram_chi2,
+    histogram_l1,
+    smooth,
+)
+from vidb.video.keyframes import (
+    Keyframe,
+    extract_keyframes,
+    find_matching_shot,
+    shot_signatures,
+    similar_shots,
+)
+from vidb.video.shot_detection import (
+    DetectionReport,
+    detect_cuts,
+    evaluate_detector,
+    match_boundaries,
+)
+from vidb.video.synthetic import (
+    HISTOGRAM_BINS,
+    Frame,
+    ObjectTrack,
+    SyntheticVideo,
+    generate_video,
+)
+
+__all__ = [
+    "DetectionReport",
+    "Frame",
+    "GroundTruthAnnotator",
+    "HISTOGRAM_BINS",
+    "Keyframe",
+    "NoisyAnnotator",
+    "ObjectTrack",
+    "SyntheticVideo",
+    "annotate",
+    "detect_cuts",
+    "difference_series",
+    "evaluate_detector",
+    "extract_keyframes",
+    "find_matching_shot",
+    "generate_video",
+    "histogram_chi2",
+    "histogram_l1",
+    "match_boundaries",
+    "shot_signatures",
+    "similar_shots",
+    "smooth",
+]

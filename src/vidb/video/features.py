@@ -1,0 +1,60 @@
+"""Frame-level feature extraction: histogram distances.
+
+Section 5.1's first information source is "machine derived indices: such
+as shot-change detection or color histograms, basically raw features".
+This module supplies the distance metrics shot-change detection consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from vidb.errors import VidbError
+from vidb.video.synthetic import Frame
+
+
+def histogram_l1(a: np.ndarray, b: np.ndarray) -> float:
+    """Sum of absolute bin differences (in [0, 2] for unit histograms)."""
+    if a.shape != b.shape:
+        raise VidbError(f"histogram shapes differ: {a.shape} vs {b.shape}")
+    return float(np.abs(a - b).sum())
+
+
+def histogram_chi2(a: np.ndarray, b: np.ndarray) -> float:
+    """Chi-squared distance, robust to small-bin noise."""
+    if a.shape != b.shape:
+        raise VidbError(f"histogram shapes differ: {a.shape} vs {b.shape}")
+    denominator = a + b
+    mask = denominator > 0
+    diff = (a - b) ** 2
+    return float((diff[mask] / denominator[mask]).sum())
+
+
+def difference_series(frames: Sequence[Frame],
+                      metric: str = "l1") -> np.ndarray:
+    """Distances between consecutive frames' histograms.
+
+    Entry ``i`` is the distance between frame ``i`` and frame ``i+1`` —
+    shot cuts appear as sharp spikes.
+    """
+    fn = {"l1": histogram_l1, "chi2": histogram_chi2}.get(metric)
+    if fn is None:
+        raise VidbError(f"unknown metric {metric!r} (use 'l1' or 'chi2')")
+    if len(frames) < 2:
+        return np.zeros(0)
+    return np.array([
+        fn(frames[i].histogram, frames[i + 1].histogram)
+        for i in range(len(frames) - 1)
+    ])
+
+
+def smooth(series: np.ndarray, window: int = 3) -> np.ndarray:
+    """Simple moving-average smoothing (odd window)."""
+    if window < 1 or window % 2 == 0:
+        raise VidbError("window must be a positive odd integer")
+    if window == 1 or series.size == 0:
+        return series.copy()
+    kernel = np.ones(window) / window
+    return np.convolve(series, kernel, mode="same")

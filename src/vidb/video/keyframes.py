@@ -1,0 +1,95 @@
+"""Keyframe extraction and visual-similarity probes.
+
+The related-work systems the paper positions against (QBIC, JACOB,
+VIOLONE) retrieve footage by visual features; vidb's textual language is
+the paper's focus, but the machine-derived-index layer rounds out with
+the two standard feature-side utilities:
+
+* :func:`extract_keyframes` — one representative frame per shot (the
+  frame closest to the shot's mean histogram), the thumbnail every video
+  browser needs;
+* :func:`similar_shots` — query-by-example over shots: rank shots by
+  histogram distance to a probe frame, the QBIC-style access path.
+
+Both operate on the synthetic substrate's :class:`~vidb.video.synthetic.
+Frame` stream and compose with the symbolic layer (a keyframe's time can
+be looked up in the database's temporal index to ask *who* is on screen).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from vidb.errors import VidbError
+from vidb.video.features import histogram_l1
+from vidb.video.synthetic import Frame
+
+
+@dataclass(frozen=True)
+class Keyframe:
+    """The representative frame of one shot."""
+
+    shot: int
+    frame_index: int
+    time: float
+    distance_to_mean: float
+
+
+def extract_keyframes(frames: Sequence[Frame]) -> List[Keyframe]:
+    """One keyframe per shot: the frame nearest the shot-mean histogram.
+
+    Returns keyframes ordered by shot id.  Empty input yields an empty
+    list.
+    """
+    by_shot: Dict[int, List[Frame]] = {}
+    for frame in frames:
+        by_shot.setdefault(frame.shot, []).append(frame)
+    keyframes: List[Keyframe] = []
+    for shot in sorted(by_shot):
+        members = by_shot[shot]
+        mean = np.mean([f.histogram for f in members], axis=0)
+        best = min(members, key=lambda f: histogram_l1(f.histogram, mean))
+        keyframes.append(Keyframe(
+            shot=shot,
+            frame_index=best.index,
+            time=best.time,
+            distance_to_mean=histogram_l1(best.histogram, mean),
+        ))
+    return keyframes
+
+
+def shot_signatures(frames: Sequence[Frame]) -> Dict[int, np.ndarray]:
+    """shot id -> mean histogram (the shot's visual signature)."""
+    by_shot: Dict[int, List[np.ndarray]] = {}
+    for frame in frames:
+        by_shot.setdefault(frame.shot, []).append(frame.histogram)
+    return {shot: np.mean(histograms, axis=0)
+            for shot, histograms in by_shot.items()}
+
+
+def similar_shots(frames: Sequence[Frame], probe: np.ndarray,
+                  top: int = 5) -> List[Tuple[int, float]]:
+    """Query-by-example: shots ranked by signature distance to *probe*.
+
+    Returns up to *top* ``(shot, distance)`` pairs, nearest first.
+    """
+    if top < 1:
+        raise VidbError("top must be at least 1")
+    signatures = shot_signatures(frames)
+    ranked = sorted(
+        ((shot, histogram_l1(signature, probe))
+         for shot, signature in signatures.items()),
+        key=lambda pair: (pair[1], pair[0]),
+    )
+    return ranked[:top]
+
+
+def find_matching_shot(frames: Sequence[Frame], probe_frame: Frame) -> int:
+    """The shot whose signature best matches one probe frame."""
+    ranked = similar_shots(frames, probe_frame.histogram, top=1)
+    if not ranked:
+        raise VidbError("no frames to match against")
+    return ranked[0][0]

@@ -1,0 +1,89 @@
+"""Shot-change detection over the synthetic frame stream (E12).
+
+A classical adaptive-threshold detector on the histogram-difference
+series: a frame transition is declared a cut when its distance exceeds
+``mean + k * std`` of the series (and is a local maximum within a small
+guard window, avoiding double-triggers on noisy cuts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+
+from vidb.video.features import difference_series
+from vidb.video.synthetic import Frame, SyntheticVideo
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Detected cuts plus accuracy against planted boundaries."""
+
+    detected: Tuple[float, ...]     # cut times (seconds)
+    truth: Tuple[float, ...]
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def detect_cuts(frames: Sequence[Frame], fps: int,
+                sensitivity: float = 4.0, guard: int = 2) -> List[float]:
+    """Cut times detected from the frame stream.
+
+    ``sensitivity`` is the k in ``mean + k*std``; ``guard`` suppresses
+    detections within that many frames of a stronger one.
+    """
+    series = difference_series(frames)
+    if series.size == 0:
+        return []
+    threshold = float(series.mean() + sensitivity * series.std())
+    candidates = [
+        i for i in range(series.size)
+        if series[i] > threshold
+        and series[i] == series[max(0, i - guard): i + guard + 1].max()
+    ]
+    # The cut lies between frame i and i+1.
+    return [(i + 1) / fps for i in candidates]
+
+
+def match_boundaries(detected: Sequence[float], truth: Sequence[float],
+                     tolerance: float) -> Tuple[float, float]:
+    """(precision, recall) with one-to-one greedy matching."""
+    unmatched_truth = list(truth)
+    hits = 0
+    for cut in detected:
+        best = None
+        best_gap = tolerance
+        for candidate in unmatched_truth:
+            gap = abs(candidate - cut)
+            if gap <= best_gap:
+                best = candidate
+                best_gap = gap
+        if best is not None:
+            unmatched_truth.remove(best)
+            hits += 1
+    precision = hits / len(detected) if detected else 1.0
+    recall = hits / len(truth) if truth else 1.0
+    return precision, recall
+
+
+def evaluate_detector(video: SyntheticVideo, sensitivity: float = 4.0,
+                      tolerance: float = 0.3) -> DetectionReport:
+    """Run the detector on a synthetic video and score it."""
+    frames = list(video.frames())
+    detected = detect_cuts(frames, video.fps, sensitivity=sensitivity)
+    precision, recall = match_boundaries(detected, video.shot_boundaries,
+                                         tolerance)
+    return DetectionReport(
+        detected=tuple(detected),
+        truth=tuple(video.shot_boundaries),
+        precision=precision,
+        recall=recall,
+    )

@@ -1,0 +1,35 @@
+"""Workload builders: the paper's worked examples + random generators."""
+
+from vidb.workloads.generator import (
+    QUERY_TEMPLATES,
+    WorkloadConfig,
+    random_database,
+    random_queries,
+    scaling_series,
+)
+from vidb.workloads.paper import (
+    ROPE_DURATION,
+    ROPE_GI1_SPAN,
+    ROPE_GI2_SPAN,
+    broadcast_labels,
+    news_schedule,
+    paper_queries,
+    rope_database,
+    section62_rules,
+)
+
+__all__ = [
+    "QUERY_TEMPLATES",
+    "ROPE_DURATION",
+    "ROPE_GI1_SPAN",
+    "ROPE_GI2_SPAN",
+    "WorkloadConfig",
+    "broadcast_labels",
+    "news_schedule",
+    "paper_queries",
+    "random_database",
+    "random_queries",
+    "rope_database",
+    "scaling_series",
+    "section62_rules",
+]

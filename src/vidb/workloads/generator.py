@@ -1,0 +1,134 @@
+"""Parameterised random workloads for the benchmark suite.
+
+:func:`random_database` grows video databases of any size with realistic
+shape: entities with attribute vocabularies, generalized intervals with
+multi-fragment durations and Zipf-skewed entity membership, and relation
+facts scoped to intervals.  :func:`scaling_series` produces the size
+ladders the complexity experiments (E8) sweep.
+
+Determinism: everything is driven by a :class:`random.Random` seeded from
+the config, so benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.storage.database import VideoDatabase
+
+FIRST_NAMES = [
+    "reporter", "minister", "anchor", "soldier", "pilot", "coach",
+    "doctor", "artist", "senator", "witness", "referee", "captain",
+]
+
+ROLES = ["host", "guest", "witness", "speaker", "subject", "crowd"]
+
+SUBJECTS = ["interview", "speech", "parade", "debate", "ceremony", "match"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs for :func:`random_database`."""
+
+    entities: int = 50
+    intervals: int = 100
+    entities_per_interval: int = 5
+    fragments_per_interval: int = 2
+    facts: int = 100
+    span: float = 10_000.0
+    mean_fragment: float = 40.0
+    zipf_skew: float = 1.1          # popularity skew of entity membership
+    seed: int = 0
+
+
+def _zipf_weights(n: int, skew: float) -> List[float]:
+    return [1.0 / (rank ** skew) for rank in range(1, n + 1)]
+
+
+def random_database(config: WorkloadConfig = WorkloadConfig()) -> VideoDatabase:
+    """Grow a database with the configured shape."""
+    rng = random.Random(config.seed)
+    db = VideoDatabase(f"workload-{config.seed}")
+
+    entity_oids = []
+    for i in range(config.entities):
+        name = f"{rng.choice(FIRST_NAMES)}_{i}"
+        entity = db.new_entity(
+            f"e{i}",
+            name=name,
+            role=rng.choice(ROLES),
+            salience=rng.randint(1, 10),
+        )
+        entity_oids.append(entity.oid)
+
+    weights = _zipf_weights(len(entity_oids), config.zipf_skew)
+
+    interval_oids = []
+    for i in range(config.intervals):
+        member_count = max(1, min(len(entity_oids),
+                                  int(rng.gauss(config.entities_per_interval,
+                                                1.5))))
+        members = set()
+        while len(members) < member_count:
+            members.add(rng.choices(entity_oids, weights=weights)[0])
+        fragment_count = max(1, int(rng.expovariate(
+            1.0 / config.fragments_per_interval)))
+        pairs: List[Tuple[float, float]] = []
+        for __ in range(fragment_count):
+            length = max(1.0, rng.expovariate(1.0 / config.mean_fragment))
+            start = rng.uniform(0.0, max(config.span - length, 1.0))
+            pairs.append((round(start, 2), round(start + length, 2)))
+        db.new_interval(
+            f"g{i}",
+            entities=members,
+            duration=GeneralizedInterval.from_pairs(pairs),
+            subject=rng.choice(SUBJECTS),
+        )
+        interval_oids.append(db.interval_oid(f"g{i}"))
+
+    for __ in range(config.facts):
+        interval = rng.choice(interval_oids)
+        first, second = rng.sample(entity_oids, 2)
+        db.relate("in", first, second, interval)
+    return db
+
+
+def scaling_series(sizes: Sequence[int], seed: int = 0,
+                   **overrides) -> List[Tuple[int, VideoDatabase]]:
+    """(size, database) pairs with entities/intervals/facts scaled
+    together — the input ladder for the PTIME-data-complexity sweep."""
+    out = []
+    for size in sizes:
+        config = WorkloadConfig(
+            entities=max(4, size // 2),
+            intervals=size,
+            facts=size,
+            seed=seed,
+            **overrides,
+        )
+        out.append((size, random_database(config)))
+    return out
+
+
+#: Query templates over the random schema, keyed by a short name.  They
+#: mirror the paper's Q1-Q6 shapes but range over the generated data.
+QUERY_TEMPLATES: Dict[str, str] = {
+    "membership": "?- interval(G), object(O), O in G.entities.",
+    "attribute": '?- interval(G), object(O), O in G.entities, O.role = "host".',
+    "temporal": ("?- interval(G), object(O), O in G.entities, "
+                 "G.duration => (t > 0 and t < 5000)."),
+    "join": ("?- interval(G), object(O1), object(O2), "
+             "in(O1, O2, G), O1 in G.entities."),
+    "pairwise": ("?- interval(G), object(O1), object(O2), "
+                 "{O1, O2} subset G.entities, O1.role = O2.role, O1 != O2."),
+}
+
+
+def random_queries(count: int, seed: int = 0) -> List[str]:
+    """A deterministic stream of template queries."""
+    rng = random.Random(seed)
+    names = sorted(QUERY_TEMPLATES)
+    return [QUERY_TEMPLATES[rng.choice(names)] for __ in range(count)]

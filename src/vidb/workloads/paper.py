@@ -1,0 +1,167 @@
+"""The paper's own worked examples, as reusable builders.
+
+* :func:`rope_database` — the Section 5.2 database indexing Hitchcock's
+  "The Rope": nine entities, the two generalized intervals gi1 (the
+  murder) and gi2 (the party), and the ``in(o1, o4, gi)`` facts relating
+  David and the Chest.
+* :func:`paper_queries` — the six example queries of Section 6.1, in the
+  concrete syntax, keyed Q1..Q6.
+* :func:`news_schedule` — the Figure 3 TV-news presence schedule
+  (Reporter / Minister / 2nd Reporter) used by the indexing comparison.
+* :func:`broadcast_labels` — the Figure 1/2 broadcast-news description
+  labels, for building segmentation/stratification examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.storage.database import VideoDatabase
+
+#: The movie's 80-minute duration, in minutes on the timeline.
+ROPE_DURATION = 80
+
+#: gi1 = the crime, gi2 = the party: a1 < b1 < a2 < b2 per the paper.
+ROPE_GI1_SPAN = (2, 10)      # (a1, b1)
+ROPE_GI2_SPAN = (15, 78)     # (a2, b2)
+
+
+def rope_database() -> VideoDatabase:
+    """The Section 5.2 example database, encoded verbatim.
+
+    Oid names follow the paper's object names (o1..o9, gi1, gi2) rather
+    than its id1..id11 identifiers, so queries read like the text.
+    Durations use the strict bounds the paper writes
+    (``t > a1 and t < b1``).
+    """
+    db = VideoDatabase("the-rope")
+    o1 = db.new_entity("o1", name="David", role="Victim")
+    o2 = db.new_entity("o2", name="Philip", realname="Farley Granger",
+                       role="Murderer")
+    o3 = db.new_entity("o3", name="Brandon", realname="John Dall",
+                       role="Murderer")
+    o4 = db.new_entity("o4", identification="Chest")
+    o5 = db.new_entity("o5", name="Janet", realname="Joan Chandler")
+    o6 = db.new_entity("o6", name="Kenneth", realname="Douglas Dick")
+    o7 = db.new_entity("o7", name="Mr.Kentley", realname="Cedric Hardwicke")
+    o8 = db.new_entity("o8", name="Mrs.Atwater", realname="Constance Collier")
+    o9 = db.new_entity("o9", name="Rupert Cadell", realname="James Stewart")
+
+    a1, b1 = ROPE_GI1_SPAN
+    a2, b2 = ROPE_GI2_SPAN
+    gi1 = db.new_interval(
+        "gi1",
+        entities=[o1.oid, o2.oid, o3.oid, o4.oid],
+        duration=GeneralizedInterval.from_constraint(
+            _strict_span(a1, b1)),
+        subject="murder",
+        victim=o1.oid,
+        murderer={o2.oid, o3.oid},
+    )
+    gi2 = db.new_interval(
+        "gi2",
+        entities=[o1.oid, o2.oid, o3.oid, o4.oid, o5.oid, o6.oid, o7.oid,
+                  o8.oid, o9.oid],
+        duration=GeneralizedInterval.from_constraint(
+            _strict_span(a2, b2)),
+        subject="Giving a party",
+        host={o2.oid, o3.oid},
+        guest={o5.oid, o6.oid, o7.oid, o8.oid, o9.oid},
+    )
+    db.relate("in", o1, o4, gi1)
+    db.relate("in", o1, o4, gi2)
+    return db
+
+
+def _strict_span(a, b):
+    """``t > a and t < b`` — the open interval the paper writes."""
+    from vidb.constraints import Var
+
+    t = Var("t")
+    return (t > a) & (t < b)
+
+
+def paper_queries() -> Dict[str, str]:
+    """Section 6.1's example queries, in the concrete syntax.
+
+    Q3's temporal frame [a, b] is instantiated to [0, 12] so that it
+    covers gi1 but not gi2, matching the paper's intent of testing
+    duration entailment.
+    """
+    return {
+        # list the objects appearing in the domain of a given sequence g
+        "Q1": "?- interval(gi1), object(O), O in gi1.entities.",
+        # list all generalized intervals where the object o appears
+        "Q2": "?- interval(G), object(o1), o1 in G.entities.",
+        # does object o appear in the domain of a temporal frame [a, b]
+        "Q3": ("?- interval(G), object(o1), o1 in G.entities, "
+               "G.duration => (t > 0 and t < 12)."),
+        # intervals where o1 and o2 appear together (membership form)
+        "Q4a": ("?- interval(G), object(o1), object(o2), "
+                "o1 in G.entities, o2 in G.entities."),
+        # ... equivalent subset form
+        "Q4b": ("?- interval(G), object(o1), object(o2), "
+                "{o1, o2} subset G.entities."),
+        # pairs of objects related by "in" within an interval
+        "Q5": ("?- interval(G), object(O1), object(O2), O1 in G.entities, "
+               "O2 in G.entities, in(O1, O2, G)."),
+        # intervals containing an object whose attribute A is val
+        "Q6": '?- interval(G), object(O), O in G.entities, O.name = "David".',
+    }
+
+
+def section62_rules() -> str:
+    """The Section 6.2 rule set: contains, same_object_in, and the
+    constructive concatenation rule (with o1/o2 = David/Philip)."""
+    return """
+    contains(G1, G2) :- interval(G1), interval(G2),
+                        G2.duration => G1.duration.
+
+    same_object_in(G1, G2, O) :- interval(G1), interval(G2), object(O),
+                                 O in G1.entities, O in G2.entities.
+
+    concatenate_gintervals(G1 ++ G2) :- interval(G1), interval(G2),
+                                        object(o1), anyobject(o2),
+                                        {o1, o2} subset G1.entities,
+                                        {o1, o2} subset G2.entities.
+    """
+
+
+def news_schedule() -> Dict[str, GeneralizedInterval]:
+    """The Figure 3 generalized-interval picture: three objects of
+    interest in a TV-news broadcast, each with a multi-fragment
+    footprint (times in seconds over a 180 s document)."""
+    return {
+        "reporter": GeneralizedInterval.from_pairs(
+            [(0, 25), (60, 80), (130, 150)]),
+        "minister": GeneralizedInterval.from_pairs(
+            [(20, 70), (140, 170)]),
+        "reporter2": GeneralizedInterval.from_pairs(
+            [(75, 120)]),
+    }
+
+
+def broadcast_labels() -> List[Tuple[str, float, float]]:
+    """Figure 1/2's broadcast-news description stream:
+    (label, start, end) occurrences, including the overlapping strata
+    of Figure 2 (times in seconds over a 180 s document)."""
+    return [
+        # Figure 1's contiguous segments
+        ("minister and counsellor, walking", 0, 45),
+        ("minister, public speak", 45, 110),
+        ("army, exercise maneuvers", 110, 180),
+        # Figure 2's overlapping strata
+        ("broadcast news", 0, 180),
+        ("public talk of the minister", 30, 110),
+        ("politics", 0, 110),
+        ("finances", 30, 60),
+        ("taxes", 40, 60),
+        ("education", 60, 100),
+        ("army", 110, 180),
+        ("army moves", 110, 150),
+        ("tank", 112, 125),
+        ("cannon", 125, 140),
+        ("jeep", 140, 155),
+        ("soldier talking", 155, 180),
+    ]

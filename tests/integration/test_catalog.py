@@ -1,0 +1,117 @@
+"""Integration tests for the multi-document archive (the paper's
+television-channel / audio-visual-institute deployment scenario)."""
+
+import pytest
+
+from vidb.catalog import Archive
+from vidb.errors import PersistenceError, VidbError
+from vidb.video.annotator import GroundTruthAnnotator
+from vidb.video.synthetic import generate_video
+from vidb.workloads.paper import rope_database
+
+
+def broadcast(seed, name, labels):
+    video = generate_video(seed=seed, duration=100, fps=5, labels=labels)
+    return GroundTruthAnnotator().build_database(video, name=name)
+
+
+@pytest.fixture
+def archive():
+    arc = Archive("national-institute")
+    arc.add(broadcast(1, "evening-news", ("minister", "reporter")))
+    arc.add(broadcast(2, "morning-show", ("minister", "chef")))
+    arc.add(rope_database())            # "the-rope"
+    return arc
+
+
+class TestRegistration:
+    def test_documents_sorted(self, archive):
+        assert archive.documents() == ("evening-news", "morning-show",
+                                       "the-rope")
+        assert len(archive) == 3
+        assert "the-rope" in archive
+
+    def test_duplicate_name_rejected(self, archive):
+        with pytest.raises(VidbError):
+            archive.add(rope_database())
+
+    def test_remove(self, archive):
+        archive.remove("the-rope")
+        assert "the-rope" not in archive
+        with pytest.raises(VidbError):
+            archive.document("the-rope")
+
+
+class TestCrossDocumentSearch:
+    def test_appearances_across_documents(self, archive):
+        hits = archive.appearances("label", "minister")
+        documents = {doc for doc, __ in hits}
+        assert documents == {"evening-news", "morning-show"}
+        for __, interval in hits:
+            assert interval.has_duration
+
+    def test_find_attribute(self, archive):
+        hits = archive.find_attribute("name", "David")
+        assert hits == [("the-rope", "o1")]
+
+    def test_query_all(self, archive):
+        results = archive.query_all("?- interval(G), object(O), "
+                                    "O in G.entities.")
+        assert set(results) == set(archive.documents())
+        assert len(results["the-rope"]) == 13  # 4 + 9 memberships
+
+    def test_query_all_with_shared_rules(self, archive):
+        results = archive.query_all(
+            "?- contains(G1, G2), G1 != G2.",
+            rules="contains(G1, G2) :- interval(G1), interval(G2), "
+                  "G2.duration => G1.duration.")
+        assert set(results) == set(archive.documents())
+
+    def test_total_screen_time_sums_across_documents(self, archive):
+        totals = archive.total_screen_time()
+        per_doc_minister = []
+        for doc in ("evening-news", "morning-show"):
+            db = archive.document(doc)
+            entity = db.find_by_attribute("label", "minister")[0]
+            from vidb.analytics import presence
+
+            per_doc_minister.append(float(presence(db, entity.oid).measure))
+        assert totals["minister"] == pytest.approx(sum(per_doc_minister))
+
+
+class TestPersistence:
+    def test_directory_roundtrip(self, archive, tmp_path):
+        archive.save(tmp_path / "holdings")
+        restored = Archive.load(tmp_path / "holdings")
+        assert restored.name == "national-institute"
+        assert restored.documents() == archive.documents()
+        # documents content-identical
+        from vidb.storage.persistence import dumps
+
+        for doc in archive.documents():
+            assert dumps(restored.document(doc)) == \
+                dumps(archive.document(doc))
+
+    def test_queries_survive_roundtrip(self, archive, tmp_path):
+        archive.save(tmp_path / "holdings")
+        restored = Archive.load(tmp_path / "holdings")
+        assert restored.appearances("label", "minister") and True
+        hits = restored.find_attribute("name", "David")
+        assert hits == [("the-rope", "o1")]
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            Archive.load(tmp_path)
+
+    def test_corrupt_manifest(self, tmp_path):
+        (tmp_path / "archive.json").write_text("{broken", encoding="utf-8")
+        with pytest.raises(PersistenceError):
+            Archive.load(tmp_path)
+
+    def test_slugged_filenames(self, tmp_path):
+        arc = Archive("a")
+        db = rope_database()
+        arc.add(db, name="west/east news?")
+        arc.save(tmp_path)
+        restored = Archive.load(tmp_path)
+        assert restored.documents() == ("west/east news?",)

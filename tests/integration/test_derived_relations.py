@@ -1,0 +1,112 @@
+"""Integration: Section 6.2's derived & constructive relations (E6)."""
+
+import pytest
+
+from vidb.model.oid import Oid
+from vidb.query.engine import QueryEngine
+from vidb.storage.database import VideoDatabase
+
+
+@pytest.fixture
+def db():
+    database = VideoDatabase("derived")
+    database.new_entity("o1", name="shared")
+    database.new_entity("o2", name="also-shared")
+    database.new_entity("solo", name="solo")
+    database.new_interval("a", entities=["o1", "o2"], duration=[(0, 10)])
+    database.new_interval("b", entities=["o1", "o2"], duration=[(2, 6)])
+    database.new_interval("c", entities=["o1", "solo"], duration=[(20, 30)])
+    return database
+
+
+class TestContains:
+    def test_contains_matches_footprint_containment(self, db):
+        engine = QueryEngine(db, use_stdlib_rules=True)
+        pairs = {tuple(map(str, r)) for r in engine.facts("contains")}
+        assert ("a", "b") in pairs           # [2,6] inside [0,10]
+        assert ("b", "a") not in pairs
+        assert ("a", "c") not in pairs
+
+    def test_contains_agrees_with_gi_contains(self, db):
+        engine = QueryEngine(db, use_stdlib_rules=True)
+        rule_pairs = {tuple(map(str, r)) for r in engine.facts("contains")}
+        computed = engine.query(
+            "?- interval(G1), interval(G2), gi_contains(G1, G2).")
+        computed_pairs = {tuple(map(str, r)) for r in computed.rows()}
+        assert rule_pairs == computed_pairs
+
+
+class TestSameObjectIn:
+    def test_all_shared_objects_reported(self, db):
+        engine = QueryEngine(db, use_stdlib_rules=True)
+        triples = {tuple(map(str, r))
+                   for r in engine.facts("same_object_in")}
+        assert ("a", "b", "o1") in triples
+        assert ("a", "b", "o2") in triples
+        assert ("a", "c", "o1") in triples
+        assert ("a", "c", "o2") not in triples
+        assert ("a", "c", "solo") not in triples
+
+
+class TestConstructiveRules:
+    RULE = ("merged(G1 ++ G2) :- interval(G1), interval(G2), object(o1), "
+            "anyobject(o2), {o1, o2} subset G1.entities, "
+            "{o1, o2} subset G2.entities.")
+
+    def test_paper_concatenation_rule(self, db):
+        engine = QueryEngine(db).add_rules(self.RULE)
+        result = engine.materialize()
+        combined = Oid.concat(Oid.interval("a"), Oid.interval("b"))
+        assert (combined,) in result.relation("merged")
+        # c shares only o1 with a/b — no concatenation with c.
+        not_combined = Oid.concat(Oid.interval("a"), Oid.interval("c"))
+        assert (not_combined,) not in result.relation("merged")
+
+    def test_constructed_object_structure(self, db):
+        engine = QueryEngine(db).add_rules(self.RULE)
+        result = engine.materialize()
+        combined = result.context.objects[
+            Oid.concat(Oid.interval("a"), Oid.interval("b"))]
+        # duration union: [0,10] ∪ [2,6] = [0,10]
+        assert combined.footprint().to_pairs() == [(0, 10)]
+        assert combined.entities == frozenset(
+            {Oid.entity("o1"), Oid.entity("o2")})
+
+    def test_termination_via_absorption(self, db):
+        """A recursive constructive rule terminates: the ⊕-closure of 3
+        intervals is bounded by 2^3 - 1 objects."""
+        engine = QueryEngine(db).add_rules("""
+            grow(G) :- interval(G), object(o1), o1 in G.entities.
+            grow(G1 ++ G2) :- grow(G1), grow(G2).
+        """)
+        result = engine.materialize()
+        assert result.stats.created_objects <= 2 ** 3 - 1 - 3
+        assert len(result.relation("grow")) <= 2 ** 3 - 1
+
+    def test_created_objects_queryable_downstream(self, db):
+        engine = QueryEngine(db).add_rules(self.RULE + """
+            big(G) :- merged(G), G.duration => (t >= 0 and t <= 10).
+        """)
+        result = engine.materialize()
+        combined = Oid.concat(Oid.interval("a"), Oid.interval("b"))
+        assert (combined,) in result.relation("big")
+
+    def test_eager_domain_includes_all_pairs(self, db):
+        engine = QueryEngine(db, extended_domain="eager")
+        answers = engine.query("?- interval(G).")
+        # 3 base + 3 pairwise concatenations.
+        assert len(answers) == 6
+
+    def test_lazy_domain_only_constructed(self, db):
+        engine = QueryEngine(db)
+        assert len(engine.query("?- interval(G).")) == 3
+
+
+class TestProvenanceAcrossDerivation:
+    def test_explain_reaches_database_facts(self, db):
+        engine = QueryEngine(db, use_stdlib_rules=True)
+        derivations = engine.explain("?- contains(G1, G2), G1 != G2.")
+        assert derivations
+        rendered = derivations[0].render()
+        assert "[database fact]" in rendered
+        assert "contains" in rendered

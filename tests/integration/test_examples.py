@@ -1,0 +1,35 @@
+"""Every example script must run end to end (they are documentation)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_module(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = _load_module(name)
+    assert hasattr(module, "main"), f"{name}.py must define main()"
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name}.py produced no output"
+
+
+def test_examples_present():
+    # the five deliverable scenarios
+    for required in ("quickstart", "news_archive", "virtual_editing",
+                     "surveillance", "film_archive"):
+        assert required in EXAMPLES

@@ -1,0 +1,113 @@
+"""Integration: the Figures 1-3 indexing experiments (E1-E3)."""
+
+import pytest
+
+from vidb.indexing import (
+    GeneralizedIntervalIndex,
+    SegmentationIndex,
+    StratificationIndex,
+    compare,
+    to_database,
+)
+from vidb.query.engine import QueryEngine
+from vidb.video.synthetic import generate_video
+from vidb.workloads.paper import broadcast_labels, news_schedule
+
+
+class TestFigure1:
+    """Segmentation of the broadcast-news document."""
+
+    @pytest.fixture
+    def index(self):
+        seg = SegmentationIndex(0, 180, [45, 110])
+        for label, lo, hi in broadcast_labels()[:3]:
+            seg.annotate(label, lo, hi)
+        return seg
+
+    def test_one_description_per_segment(self, index):
+        assert index.descriptor_count() == 3
+
+    def test_point_lookup_returns_segment_description(self, index):
+        assert index.at(120) == frozenset({"army, exercise maneuvers"})
+
+
+class TestFigure2:
+    """Stratification allows overlapping levels of description."""
+
+    @pytest.fixture
+    def index(self):
+        strat = StratificationIndex()
+        for label, lo, hi in broadcast_labels()[3:]:
+            strat.annotate(label, lo, hi)
+        return strat
+
+    def test_nested_levels_visible_simultaneously(self, index):
+        at_50 = index.at(50)
+        # broadcast news ⊃ politics ⊃ public talk ⊃ finances ⊃ taxes
+        assert {"broadcast news", "politics",
+                "public talk of the minister", "finances", "taxes"} <= at_50
+
+    def test_deep_nesting_depth(self, index):
+        assert index.levels_at(50) >= 5
+
+
+class TestFigure3:
+    """Generalized intervals: one identifier for all occurrences."""
+
+    @pytest.fixture
+    def index(self):
+        gen = GeneralizedIntervalIndex()
+        for label, footprint in news_schedule().items():
+            for fragment in footprint:
+                gen.annotate(label, fragment.lo, fragment.hi)
+        return gen
+
+    def test_single_identifier_per_object(self, index):
+        assert index.descriptor_count() == 3
+
+    def test_reporter_footprint_traces_all_occurrences(self, index):
+        assert index.footprint("reporter") == news_schedule()["reporter"]
+
+    def test_queryable_after_lift(self, index):
+        engine = QueryEngine(to_database(index))
+        answers = engine.query(
+            "?- interval(G), object(o_reporter), o_reporter in G.entities, "
+            "G.duration => (t >= 0 and t <= 180).")
+        assert len(answers) == 1
+
+
+class TestSchemeComparison:
+    """The quantitative face of the paper's Section 3 argument."""
+
+    def test_paper_schedule(self):
+        rows = {r["scheme"]: r for r in compare(news_schedule(),
+                                                segment_count=18)}
+        # Storage: generalized needs the fewest records.
+        assert (rows["generalized"]["records"]
+                <= rows["stratification"]["records"]
+                <= rows["segmentation"]["records"])
+        # Accuracy: segmentation pays for its coarseness.
+        assert rows["segmentation"]["precision"] < 1.0
+        assert rows["generalized"]["f1"] == 1.0
+        assert rows["stratification"]["f1"] == 1.0
+
+    def test_random_schedules(self):
+        for seed in (1, 2, 3):
+            video = generate_video(seed=seed, duration=100, fps=5,
+                                   labels=("a", "b", "c", "d"))
+            rows = {r["scheme"]: r
+                    for r in compare(video.schedule(), segment_count=25,
+                                     sample_count=100)}
+            assert rows["generalized"]["records"] == 4
+            assert rows["generalized"]["f1"] == 1.0
+            assert rows["segmentation"]["precision"] <= 1.0
+            assert (rows["generalized"]["point_accuracy"]
+                    >= rows["segmentation"]["point_accuracy"])
+
+    def test_segmentation_converges_with_grid_resolution(self):
+        schedule = news_schedule()
+        precisions = []
+        for segments in (5, 20, 80):
+            row = compare(schedule, segment_count=segments)[0]
+            precisions.append(row["precision"])
+        assert precisions == sorted(precisions)

@@ -1,0 +1,75 @@
+"""Integration: the full pipeline — synthetic video to queries to disk.
+
+Generates footage, annotates it, builds the database, queries it with the
+rule language, persists, reloads, and checks the answers survive.
+"""
+
+import pytest
+
+from vidb.query.engine import QueryEngine
+from vidb.storage.persistence import dumps, load, loads, save
+from vidb.video.annotator import GroundTruthAnnotator
+from vidb.video.shot_detection import evaluate_detector
+from vidb.video.synthetic import generate_video
+
+
+@pytest.fixture(scope="module")
+def video():
+    return generate_video(seed=99, duration=120, fps=5,
+                          labels=("anchor", "guest", "crowd"),
+                          shot_count=10)
+
+
+@pytest.fixture(scope="module")
+def db(video):
+    return GroundTruthAnnotator().build_database(video, name="pipeline")
+
+
+class TestEndToEnd:
+    def test_machine_indices_work_on_same_footage(self, video):
+        report = evaluate_detector(video)
+        assert report.f1 > 0.7
+
+    def test_schedule_reachable_through_queries(self, video, db):
+        engine = QueryEngine(db)
+        for label, footprint in video.schedule().items():
+            answers = engine.query(
+                f"?- interval(G), object(o_{label}), "
+                f"o_{label} in G.entities.")
+            assert len(answers) == 1
+            interval = db.interval(answers.first()["G"])
+            assert interval.footprint() == footprint
+
+    def test_temporal_index_agrees_with_schedule(self, video, db):
+        schedule = video.schedule()
+        for probe in (10, 40, 77.5, 110):
+            expected = {f"gi_{label}" for label, fp in schedule.items()
+                        if fp.contains_point(probe)}
+            actual = {str(i.oid) for i in db.intervals_at(probe)}
+            assert actual == expected
+
+    def test_rule_language_on_cooccurrence_facts(self, db):
+        engine = QueryEngine(db)
+        engine.add_rules("""
+            social(X, Y) :- appears_with(X, Y).
+            social(X, Y) :- appears_with(Y, X).
+        """)
+        result = engine.materialize()
+        pairs = result.relation("social")
+        # symmetric closure: every fact appears in both directions
+        assert all((b, a) in pairs for a, b in pairs)
+
+    def test_persist_reload_preserves_answers(self, db, tmp_path):
+        query = ("?- interval(G), object(O), O in G.entities, "
+                 "G.duration => (t >= 0 and t <= 120).")
+        before = QueryEngine(db).query(query).rows()
+
+        path = tmp_path / "pipeline.json"
+        save(db, path)
+        restored = load(path)
+        after = QueryEngine(restored).query(query).rows()
+        assert before == after
+
+    def test_snapshot_stability(self, db):
+        snapshot = dumps(db)
+        assert dumps(loads(snapshot)) == snapshot

@@ -1,0 +1,176 @@
+"""Robustness and failure-injection tests.
+
+A production library fails *well*: clean typed errors on corrupted
+snapshots and adversarial programs, sensible behaviour on edge-shaped
+inputs (empty databases, unicode everywhere, very wide rows), and
+guard rails against runaway evaluation.
+"""
+
+import json
+
+import pytest
+
+from vidb.errors import (
+    EvaluationError,
+    ParseError,
+    PersistenceError,
+    SafetyError,
+    VidbError,
+)
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.model.oid import Oid
+from vidb.query.engine import QueryEngine
+from vidb.storage.database import VideoDatabase
+from vidb.storage.persistence import database_to_dict, dumps, loads
+from vidb.workloads.paper import rope_database
+
+
+class TestCorruptedSnapshots:
+    def test_truncated_json(self):
+        good = dumps(rope_database())
+        with pytest.raises(PersistenceError):
+            loads(good[: len(good) // 2])
+
+    def test_wrong_format_version(self):
+        data = database_to_dict(rope_database())
+        data["format"] = 0
+        with pytest.raises(PersistenceError):
+            loads(json.dumps(data))
+
+    def test_mangled_value_tag(self):
+        data = database_to_dict(rope_database())
+        data["entities"][0]["attributes"]["name"] = {"$surprise": 1}
+        with pytest.raises(PersistenceError):
+            loads(json.dumps(data))
+
+    def test_non_object_payload(self):
+        with pytest.raises(PersistenceError):
+            loads(json.dumps([1, 2, 3]))
+
+    def test_dangling_reference_survives_load_but_fails_validation(self):
+        # persistence is structural; referential integrity is a separate,
+        # explicit check (the CLI's `info` runs it)
+        data = database_to_dict(rope_database())
+        data["facts"].append({
+            "name": "in",
+            "args": [{"$oid": {"kind": "entity", "parts": ["ghost"]}},
+                     {"$oid": {"kind": "interval", "parts": ["gi1"]}}],
+        })
+        restored = loads(json.dumps(data))
+        assert any("ghost" in p for p in restored.sequence.validate())
+
+
+class TestAdversarialPrograms:
+    def test_object_budget_stops_runaway_construction(self):
+        db = VideoDatabase("runaway")
+        db.new_entity("o")
+        for i in range(10):
+            db.new_interval(f"g{i}", entities=["o"],
+                            duration=[(i * 10, i * 10 + 5)])
+        engine = QueryEngine(db, max_objects=50)
+        engine.add_rules("""
+            m(G) :- interval(G).
+            m(G1 ++ G2) :- m(G1), m(G2).
+        """)
+        with pytest.raises(EvaluationError):
+            engine.materialize()
+
+    def test_iteration_budget(self):
+        from vidb.query.fixpoint import evaluate
+        from vidb.query.parser import parse_program
+
+        db = VideoDatabase("iter")
+        db.new_interval("g0", duration=[(0, 1)])
+        db.new_interval("g1", duration=[(2, 3)])
+        db.relate("next", Oid.interval("g0"), Oid.interval("g1"))
+        program = parse_program("""
+            reach(X, Y) :- next(X, Y).
+            reach(X, Z) :- reach(X, Y), next(Y, Z).
+        """)
+        with pytest.raises(EvaluationError):
+            evaluate(db, program, max_iterations=1)
+
+    def test_deeply_nested_constraint_expression_parses(self):
+        depth = 60
+        text = "(" * depth + "t > 0" + ")" * depth
+        from vidb.query.parser import parse_constraint
+
+        constraint = parse_constraint(f"({text})")
+        assert constraint.variables()
+
+    def test_wide_rule_body(self):
+        body = ", ".join(f"p{i}(X)" for i in range(50))
+        from vidb.query.parser import parse_rule
+
+        rule = parse_rule(f"q(X) :- {body}.")
+        assert len(rule.literals()) == 50
+
+    def test_malformed_rule_gives_position(self):
+        from vidb.query.parser import parse_rule
+
+        with pytest.raises(ParseError) as excinfo:
+            parse_rule("q(X) :- p(X), ,")
+        assert excinfo.value.line == 1
+
+    def test_shadowing_class_predicate_rejected_at_add_rules(self):
+        engine = QueryEngine(rope_database())
+        with pytest.raises(SafetyError):
+            engine.add_rules("interval(X) :- object(X).")
+
+
+class TestEdgeShapedData:
+    def test_empty_database_answers_empty(self):
+        engine = QueryEngine(VideoDatabase("empty"))
+        assert len(engine.query("?- interval(G).")) == 0
+        assert len(engine.query("?- object(O).")) == 0
+
+    def test_unicode_attributes_roundtrip(self):
+        db = VideoDatabase("unicode")
+        db.new_entity("o1", name="Жанна d'Ärc 🎬", note="多言語")
+        restored = loads(dumps(db))
+        assert restored.entity("o1")["name"] == "Жанна d'Ärc 🎬"
+
+    def test_unicode_queryable(self):
+        db = VideoDatabase("unicode")
+        db.new_entity("o1", name="Ärger")
+        db.new_interval("g", entities=["o1"], duration=[(0, 1)])
+        engine = QueryEngine(db)
+        answers = engine.query('?- object(O), O.name = "Ärger".')
+        assert len(answers) == 1
+
+    def test_zero_length_interval_everywhere(self):
+        db = VideoDatabase("points")
+        db.new_entity("o")
+        db.new_interval("g", entities=["o"],
+                        duration=GeneralizedInterval.point(5))
+        assert db.intervals_at(5)
+        assert db.interval("g").footprint().measure == 0
+        engine = QueryEngine(db)
+        assert engine.ask("?- interval(g), time_in(5, g).")
+
+    def test_many_fragments_normalise(self):
+        pairs = [(i * 2, i * 2 + 1) for i in range(500)]
+        footprint = GeneralizedInterval.from_pairs(pairs)
+        assert len(footprint) == 500
+        db = VideoDatabase("frags")
+        db.new_interval("g", duration=footprint)
+        assert db.interval("g").footprint() == footprint
+
+    def test_very_long_chain_of_transactions(self):
+        db = VideoDatabase("tx")
+        for i in range(100):
+            with db.transaction():
+                db.new_entity(f"e{i}")
+        assert db.stats()["entities"] == 100
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                for i in range(100):
+                    db.remove_object(Oid.entity(f"e{i}"))
+                raise RuntimeError("undo all of it")
+        assert db.stats()["entities"] == 100
+
+    def test_rule_file_with_only_comments(self):
+        from vidb.query.parser import parse_program
+
+        program = parse_program("% nothing here\n# or here\n")
+        assert len(program) == 0

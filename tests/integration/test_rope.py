@@ -1,0 +1,121 @@
+"""Integration: the Rope example database end to end (experiment E4).
+
+Encodes the Section 5.2 narrative as executable checks: the murder
+interval, the party interval, who plays what role, what the ``in`` facts
+relate, and the temporal side conditions a1 < b1 < a2 < b2.
+"""
+
+import pytest
+
+from vidb.model.oid import Oid
+from vidb.query.engine import QueryEngine
+from vidb.storage.persistence import dumps, loads
+from vidb.workloads.paper import rope_database, section62_rules
+
+
+@pytest.fixture(scope="module")
+def db():
+    return rope_database()
+
+
+@pytest.fixture(scope="module")
+def engine(db):
+    eng = QueryEngine(db)
+    eng.add_rules(section62_rules())
+    return eng
+
+
+class TestNarrative:
+    def test_the_crime_scene(self, db):
+        """gi1: David is murdered by Philip and Brandon, near the chest."""
+        gi1 = db.interval("gi1")
+        victim = db.sequence.object(gi1["victim"])
+        assert victim["name"] == "David"
+        murderer_names = {db.sequence.object(m)["name"]
+                          for m in gi1["murderer"]}
+        assert murderer_names == {"Philip", "Brandon"}
+        assert Oid.entity("o4") in gi1.entities  # the chest is present
+
+    def test_the_party(self, db):
+        """gi2: the hosts are the murderers; the guests include Rupert."""
+        gi2 = db.interval("gi2")
+        assert gi2["host"] == db.interval("gi1")["murderer"]
+        guest_names = {db.sequence.object(g).get("name")
+                       for g in gi2["guest"]}
+        assert "Rupert Cadell" in guest_names
+        assert "Mr.Kentley" in guest_names
+
+    def test_david_in_the_chest_throughout(self, db):
+        """The in(o1, o4, gi) facts hold for both intervals — David's body
+        is in the chest during the murder and during the party."""
+        for gi_name in ("gi1", "gi2"):
+            facts = db.facts_with_arg("in", 2, Oid.interval(gi_name))
+            assert len(facts) == 1
+            fact = next(iter(facts))
+            assert fact.args[:2] == (Oid.entity("o1"), Oid.entity("o4"))
+
+    def test_murder_before_party(self, db):
+        """a1 < b1 < a2 < b2: the crime precedes the party."""
+        assert db.interval("gi1").footprint().before(
+            db.interval("gi2").footprint())
+
+    def test_everyone_at_party_scene(self, db):
+        """All nine objects of interest appear in gi2."""
+        assert len(db.interval("gi2").entities) == 9
+
+
+class TestQueriesOverRope:
+    def test_who_is_on_screen_during_the_crime(self, engine):
+        answers = engine.query(
+            "?- interval(gi1), object(O), O in gi1.entities.")
+        assert {str(a["O"]) for a in answers} == {"o1", "o2", "o3", "o4"}
+
+    def test_find_the_victim_by_attribute(self, engine):
+        answers = engine.query(
+            '?- object(O), O.role = "Victim".')
+        assert answers.column("O") == [Oid.entity("o1")]
+
+    def test_murderers_via_set_valued_attribute(self, engine):
+        answers = engine.query(
+            "?- interval(gi1), object(O), O in gi1.murderer.")
+        assert {str(a["O"]) for a in answers} == {"o2", "o3"}
+
+    def test_party_interval_does_not_contain_crime(self, engine):
+        assert not engine.ask("?- contains(gi2, G), G = gi1.")
+        assert engine.ask("?- contains(gi1, gi1).")
+
+    def test_david_and_chest_together_in_both_scenes(self, engine):
+        # The module engine carries the Section 6.2 constructive rule, so
+        # the query's minimal model also contains the ⊕-composite gi1++gi2
+        # — which indeed features David and the Chest together.
+        answers = engine.query(
+            "?- interval(G), object(o1), object(o4), "
+            "{o1, o4} subset G.entities.")
+        assert {str(a["G"]) for a in answers} == {"gi1", "gi2", "gi1++gi2"}
+
+    def test_concatenated_movie_summary(self, engine):
+        """The constructive rule builds gi1 ⊕ gi2 — a 'summary sequence'
+        containing every character and both footprints."""
+        result = engine.materialize()
+        combined_oid = Oid.concat(Oid.interval("gi1"), Oid.interval("gi2"))
+        assert (combined_oid,) in result.relation("concatenate_gintervals")
+        combined = result.context.objects[combined_oid]
+        assert len(combined.entities) == 9
+        assert combined["subject"] == frozenset({"murder", "Giving a party"})
+        footprint = combined.footprint()
+        assert len(footprint) == 2  # two disjoint scenes
+
+    def test_same_object_in_links_the_scenes(self, engine):
+        triples = engine.facts("same_object_in")
+        shared = {str(o) for g1, g2, o in triples
+                  if str(g1) == "gi1" and str(g2) == "gi2"}
+        assert shared == {"o1", "o2", "o3", "o4"}
+
+
+class TestPersistenceOfRope:
+    def test_snapshot_roundtrip_preserves_queries(self, db):
+        restored = loads(dumps(db))
+        engine = QueryEngine(restored)
+        answers = engine.query(
+            "?- interval(G), object(o9), o9 in G.entities.")
+        assert [str(a["G"]) for a in answers] == ["gi2"]

@@ -1,0 +1,101 @@
+"""Property-based tests: ⊕ is an idempotent commutative semigroup.
+
+Section 6.1 gives the structure of ``e1 ⊕ e2`` and relies on the
+absorption law ``I1 ⊕ I1 ≡ I1`` for termination; these laws are checked
+over randomly generated interval objects, attributes included.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.model.concat import concat_closure, concatenate
+from vidb.model.objects import GeneralizedIntervalObject
+from vidb.model.oid import Oid
+
+coordinates = st.integers(min_value=0, max_value=30).map(
+    lambda n: Fraction(n, 2))
+
+labels = st.sampled_from(["murder", "party", "chase", "talk"])
+entity_names = st.sampled_from(["o1", "o2", "o3", "o4"])
+
+
+@st.composite
+def footprints(draw):
+    pairs = draw(st.lists(st.tuples(coordinates, coordinates),
+                          min_size=1, max_size=3))
+    return GeneralizedInterval.from_pairs(
+        [(lo, lo + width) for lo, width in pairs])
+
+
+@st.composite
+def interval_objects(draw, name=None):
+    name = name or draw(st.sampled_from(["g1", "g2", "g3", "g4"]))
+    attrs = {
+        "duration": draw(footprints()),
+        "entities": frozenset(Oid.entity(n)
+                              for n in draw(st.frozensets(entity_names,
+                                                          max_size=3))),
+    }
+    if draw(st.booleans()):
+        attrs["subject"] = draw(labels)
+    if draw(st.booleans()):
+        attrs["rating"] = draw(st.integers(min_value=1, max_value=5))
+    return GeneralizedIntervalObject(Oid.interval(name), attrs)
+
+
+class TestSemigroupLaws:
+    @given(interval_objects())
+    def test_absorption(self, g):
+        assert concatenate(g, g) == g
+
+    @given(interval_objects(name="a"), interval_objects(name="b"))
+    def test_commutativity(self, g1, g2):
+        assert concatenate(g1, g2) == concatenate(g2, g1)
+
+    @settings(max_examples=50)
+    @given(interval_objects(name="a"), interval_objects(name="b"),
+           interval_objects(name="c"))
+    def test_associativity(self, g1, g2, g3):
+        left = concatenate(concatenate(g1, g2), g3)
+        right = concatenate(g1, concatenate(g2, g3))
+        assert left == right
+
+    @given(interval_objects(name="a"), interval_objects(name="b"))
+    def test_absorption_after_composition(self, g1, g2):
+        combined = concatenate(g1, g2)
+        assert concatenate(combined, g1) == combined
+        assert concatenate(combined, g2) == combined
+        assert concatenate(combined, combined) == combined
+
+
+class TestStructure:
+    @given(interval_objects(name="a"), interval_objects(name="b"))
+    def test_footprint_is_union(self, g1, g2):
+        combined = concatenate(g1, g2)
+        assert combined.footprint() == g1.footprint() | g2.footprint()
+
+    @given(interval_objects(name="a"), interval_objects(name="b"))
+    def test_entities_is_union(self, g1, g2):
+        assert concatenate(g1, g2).entities == g1.entities | g2.entities
+
+    @given(interval_objects(name="a"), interval_objects(name="b"))
+    def test_attribute_names_union(self, g1, g2):
+        combined = concatenate(g1, g2)
+        assert combined.attribute_names() == (
+            g1.attribute_names() | g2.attribute_names())
+
+    @settings(max_examples=30)
+    @given(st.lists(st.sampled_from(["g1", "g2", "g3"]),
+                    min_size=1, max_size=3, unique=True), st.data())
+    def test_closure_bounded_by_powerset(self, names, data):
+        objects = [data.draw(interval_objects(name=n)) for n in names]
+        closure = concat_closure(objects)
+        assert len(closure) <= 2 ** len(objects) - 1
+        oids = {obj.oid for obj in closure}
+        # closed under ⊕
+        for first in closure:
+            for second in closure:
+                assert concatenate(first, second).oid in oids

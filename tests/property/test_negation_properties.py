@@ -1,0 +1,91 @@
+"""Property-based tests: stratified negation semantics.
+
+For randomly generated databases, the engine's stratified evaluation of
+a fixed two-stratum program must equal the *perfect-model* construction
+computed by hand: saturate stratum 0, then evaluate stratum 1 against the
+completed lower relations.  Also: the classic complement identity — for
+non-recursive definitions, ``not p`` partitions the bound domain.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from vidb.model.oid import Oid
+from vidb.query.engine import QueryEngine
+from vidb.query.fixpoint import evaluate
+from vidb.query.parser import parse_program
+from vidb.storage.database import VideoDatabase
+
+NODES = ["g0", "g1", "g2", "g3"]
+
+edges = st.lists(
+    st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)),
+    max_size=10, unique=True,
+)
+
+PROGRAM = parse_program("""
+    reach(X, Y) :- edge(X, Y).
+    reach(X, Z) :- reach(X, Y), edge(Y, Z).
+    blocked(X, Y) :- interval(X), interval(Y), not reach(X, Y).
+""")
+
+
+def build_db(edge_list):
+    db = VideoDatabase("neg-prop")
+    db.declare_relation("edge")
+    for i, node in enumerate(NODES):
+        db.new_interval(node, duration=[(i * 10, i * 10 + 5)])
+    for src, dst in edge_list:
+        db.relate("edge", Oid.interval(src), Oid.interval(dst))
+    return db
+
+
+class TestPerfectModel:
+    @settings(max_examples=80, deadline=None)
+    @given(edges)
+    def test_blocked_is_complement_of_reach(self, edge_list):
+        db = build_db(edge_list)
+        result = evaluate(db, PROGRAM)
+        reach = result.relation("reach")
+        blocked = result.relation("blocked")
+        domain = {Oid.interval(n) for n in NODES}
+        all_pairs = {(a, b) for a in domain for b in domain}
+        # exact partition of the bound domain
+        assert reach | blocked == all_pairs
+        assert reach & blocked == frozenset()
+
+    @settings(max_examples=50, deadline=None)
+    @given(edges)
+    def test_modes_agree_under_negation(self, edge_list):
+        db = build_db(edge_list)
+        naive = evaluate(db, PROGRAM, mode="naive")
+        seminaive = evaluate(db, PROGRAM, mode="seminaive")
+        for predicate in ("reach", "blocked"):
+            assert naive.relation(predicate) == seminaive.relation(predicate)
+
+    @settings(max_examples=50, deadline=None)
+    @given(edges)
+    def test_double_negation_recovers_positive(self, edge_list):
+        db = build_db(edge_list)
+        program = parse_program("""
+            reach(X, Y) :- edge(X, Y).
+            reach(X, Z) :- reach(X, Y), edge(Y, Z).
+            blocked(X, Y) :- interval(X), interval(Y), not reach(X, Y).
+            open(X, Y) :- interval(X), interval(Y), not blocked(X, Y).
+        """)
+        result = evaluate(db, program)
+        assert result.relation("open") == result.relation("reach")
+
+
+class TestMonotoneInLowerStrata:
+    @settings(max_examples=50, deadline=None)
+    @given(edges, st.data())
+    def test_negation_is_antitone_in_edb(self, edge_list, data):
+        """More edges → more reach → fewer blocked pairs (antitonicity
+        through one negation)."""
+        subset_size = data.draw(st.integers(0, len(edge_list)))
+        smaller = edge_list[:subset_size]
+        small = evaluate(build_db(smaller), PROGRAM)
+        big = evaluate(build_db(edge_list), PROGRAM)
+        assert big.relation("blocked") <= small.relation("blocked")

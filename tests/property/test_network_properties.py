@@ -1,0 +1,92 @@
+"""Property-based tests: interval-network reasoning vs concrete reality.
+
+* a network grounded from concrete intervals is always consistent and
+  propagation never removes the observed relation;
+* a random hypothetical constraint is accepted by `is_consistent` iff it
+  includes the actually observed relation (on grounded networks);
+* scenarios extracted from propagated networks satisfy every composition
+  constraint.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from vidb.intervals import allen
+from vidb.intervals.composition import is_consistent_triple
+from vidb.intervals.interval import Interval
+from vidb.intervals.network import IntervalNetwork, network_from_intervals
+
+coordinates = st.integers(min_value=0, max_value=16)
+
+
+@st.composite
+def proper_intervals(draw):
+    lo = draw(coordinates)
+    width = draw(st.integers(min_value=1, max_value=8))
+    return Interval(Fraction(lo, 2), Fraction(lo + width, 2))
+
+
+@st.composite
+def grounded(draw):
+    count = draw(st.integers(2, 4))
+    return {f"n{i}": draw(proper_intervals()) for i in range(count)}
+
+
+relation_sets = st.frozensets(st.sampled_from(sorted(allen.INVERSES)),
+                              min_size=1, max_size=4)
+
+
+class TestGroundedNetworks:
+    @settings(max_examples=100, deadline=None)
+    @given(grounded())
+    def test_always_consistent(self, named):
+        network = network_from_intervals(named)
+        assert network.propagate()
+        assert network.is_consistent()
+
+    @settings(max_examples=100, deadline=None)
+    @given(grounded())
+    def test_propagation_preserves_observed_relations(self, named):
+        network = network_from_intervals(named)
+        network.propagate()
+        names = sorted(named)
+        for i, first in enumerate(names):
+            for second in names[i + 1:]:
+                observed = allen.relation(named[first], named[second])
+                assert network.relations(first, second) == \
+                    frozenset({observed})
+
+    @settings(max_examples=100, deadline=None)
+    @given(grounded(), relation_sets)
+    def test_hypothetical_constraint_decision(self, named, hypothesis_set):
+        names = sorted(named)
+        first, second = names[0], names[1]
+        observed = allen.relation(named[first], named[second])
+        network = network_from_intervals(named)
+        network.constrain(first, second, hypothesis_set)
+        assert network.is_consistent() == (observed in hypothesis_set)
+
+
+class TestScenarios:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(relation_sets, min_size=2, max_size=2))
+    def test_scenario_triples_are_composition_consistent(self, sets):
+        network = IntervalNetwork(["a", "b", "c"])
+        network.constrain("a", "b", sets[0])
+        network.constrain("b", "c", sets[1])
+        scenario = network.scenario()
+        assert scenario is not None  # two free-edge constraints always ok
+        assert is_consistent_triple(
+            scenario[("a", "b")], scenario[("b", "c")],
+            scenario[("a", "c")])
+
+    @settings(max_examples=60, deadline=None)
+    @given(grounded())
+    def test_scenario_matches_ground_truth(self, named):
+        network = network_from_intervals(named)
+        scenario = network.scenario()
+        assert scenario is not None
+        for (first, second), relation in scenario.items():
+            assert relation == allen.relation(named[first], named[second])

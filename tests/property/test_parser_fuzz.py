@@ -1,0 +1,73 @@
+"""Parser fuzzing: hostile input never escapes the error contract.
+
+For arbitrary text — random unicode, mutated valid programs, token soup —
+the parser either succeeds or raises :class:`ParseError` (or, for rules
+that parse but violate static rules, :class:`QueryError`/`SafetyError`).
+It must never raise anything else and never hang.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from vidb.errors import ParseError, QueryError
+from vidb.query.parser import parse_constraint, parse_program, parse_query
+
+TOKENS = [
+    "q", "p", "interval", "G", "X", "o1", "(", ")", "{", "}", ",", ".",
+    ":-", "?-", "=>", "++", "=", "!=", "<", "<=", "in", "subset", "and",
+    "or", "not", '"str"', "3", "-7", "2.5", " ", "\n", "%c\n",
+]
+
+token_soup = st.lists(st.sampled_from(TOKENS), max_size=30).map(" ".join)
+random_text = st.text(max_size=60)
+
+VALID_PROGRAM = (
+    'q(G) :- interval(G), object(O), O in G.entities, O.name = "x", '
+    "G.duration => (t > 0 and t < 9), not vip(O).")
+
+mutations = st.tuples(
+    st.integers(0, len(VALID_PROGRAM) - 1),
+    st.integers(0, len(VALID_PROGRAM) - 1),
+).map(lambda cut: VALID_PROGRAM[:cut[0]] + VALID_PROGRAM[cut[1]:])
+
+
+def _parse_attempt(parser, text):
+    try:
+        parser(text)
+    except (ParseError, QueryError):
+        return  # the contract: typed errors only
+    # succeeding is fine too
+
+
+class TestParserNeverCrashes:
+    @settings(max_examples=300, deadline=None)
+    @given(random_text)
+    def test_random_unicode_program(self, text):
+        _parse_attempt(parse_program, text)
+
+    @settings(max_examples=300, deadline=None)
+    @given(token_soup)
+    def test_token_soup_program(self, text):
+        _parse_attempt(parse_program, text)
+
+    @settings(max_examples=200, deadline=None)
+    @given(token_soup)
+    def test_token_soup_query(self, text):
+        _parse_attempt(parse_query, text)
+
+    @settings(max_examples=200, deadline=None)
+    @given(random_text)
+    def test_random_constraint(self, text):
+        _parse_attempt(parse_constraint, text)
+
+    @settings(max_examples=300, deadline=None)
+    @given(mutations)
+    def test_mutated_valid_program(self, text):
+        _parse_attempt(parse_program, text)
+
+    def test_pathological_nesting_terminates(self):
+        text = "q(" + "a, " * 500 + "b)."
+        parse_program(text)
+        deep = "(" * 200 + "t > 0" + ")" * 200
+        _parse_attempt(parse_constraint, f"({deep})")

@@ -1,0 +1,157 @@
+"""Property-based tests: parse/render round-trips.
+
+Two directions:
+
+* **text-side**: for a corpus of realistic programs,
+  ``render(parse(text))`` re-parses to the same AST;
+* **AST-side**: for randomly *generated* rules (hypothesis strategies
+  over the AST constructors), ``parse(render(rule)) == rule``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from vidb.constraints.dense import conjoin, disjoin
+from vidb.constraints.terms import Var
+from vidb.query.ast import (
+    AttrPath,
+    ComparisonAtom,
+    ConcatTerm,
+    EntailmentAtom,
+    Literal,
+    MembershipAtom,
+    NegatedLiteral,
+    Program,
+    Rule,
+    SubsetAtom,
+    Symbol,
+    Variable,
+)
+from vidb.query.parser import parse_program, parse_query, parse_rule
+from vidb.query.render import render_program, render_query, render_rule
+from vidb.query.stdlib import STDLIB_RULES
+from vidb.workloads.generator import QUERY_TEMPLATES
+from vidb.workloads.paper import paper_queries, section62_rules
+
+CORPUS = [
+    STDLIB_RULES,
+    section62_rules(),
+    "q(X) :- p(X), not r(X), X != 3.",
+    'label(O, L) :- object(O), O.name = "De \\"quoted\\" luxe", tag(O, L).',
+    "w(G) :- interval(G), G.duration => (t > 0 and t < 5 or t > 9).",
+    "f(a, -3, 2.5).",
+    "r1: montage(G1 ++ G2 ++ G3) :- grow(G1), grow(G2), grow(G3).",
+]
+
+
+class TestCorpusRoundtrip:
+    @pytest.mark.parametrize("text", CORPUS)
+    def test_program_roundtrip(self, text):
+        first = parse_program(text)
+        rendered = render_program(first)
+        second = parse_program(rendered)
+        assert list(second) == list(first)
+
+    @pytest.mark.parametrize("name", sorted(paper_queries()))
+    def test_paper_query_roundtrip(self, name):
+        query = parse_query(paper_queries()[name])
+        again = parse_query(render_query(query))
+        assert again.body == query.body
+        assert again.answer_variables == query.answer_variables
+
+    @pytest.mark.parametrize("name", sorted(QUERY_TEMPLATES))
+    def test_template_query_roundtrip(self, name):
+        query = parse_query(QUERY_TEMPLATES[name])
+        assert parse_query(render_query(query)).body == query.body
+
+
+# --- generated-AST round-trip -------------------------------------------------
+
+variables = st.sampled_from(["X", "Y", "Z", "G1", "G2"]).map(Variable)
+symbols = st.sampled_from(["a", "b", "gi1", "reporter"]).map(Symbol)
+numbers = st.integers(min_value=-50, max_value=50)
+strings = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"),
+                           whitelist_characters=" _-"),
+    max_size=8)
+simple_terms = st.one_of(variables, symbols, numbers, strings)
+attrs = st.sampled_from(["entities", "duration", "name", "role"])
+paths = st.builds(AttrPath, st.one_of(variables, symbols), attrs)
+
+cvars = st.sampled_from(["t", "u"]).map(Var)
+
+
+@st.composite
+def inline_constraints(draw):
+    atom_count = draw(st.integers(1, 3))
+    atoms = []
+    for __ in range(atom_count):
+        atoms.append(
+            __import__("vidb.constraints.dense", fromlist=["Comparison"])
+            .Comparison(draw(cvars),
+                        draw(st.sampled_from(["<", "<=", ">", ">=", "=",
+                                              "!="])),
+                        draw(st.integers(0, 9))))
+    if draw(st.booleans()):
+        return conjoin(*atoms)
+    return disjoin(*atoms)
+
+
+@st.composite
+def body_items(draw):
+    kind = draw(st.sampled_from(
+        ["literal", "negation", "member", "subset", "cmp", "entail"]))
+    if kind == "literal":
+        args = draw(st.lists(simple_terms, min_size=1, max_size=3))
+        return Literal(draw(st.sampled_from(["p", "q", "edge"])), args)
+    if kind == "negation":
+        args = draw(st.lists(simple_terms, min_size=1, max_size=2))
+        return NegatedLiteral(Literal("r", args))
+    if kind == "member":
+        return MembershipAtom(draw(st.one_of(variables, symbols)),
+                              draw(paths))
+    if kind == "subset":
+        subset = draw(st.one_of(
+            paths,
+            st.lists(st.one_of(variables, symbols), min_size=1,
+                     max_size=3).map(tuple)))
+        return SubsetAtom(subset, draw(paths))
+    if kind == "cmp":
+        return ComparisonAtom(
+            draw(st.one_of(paths, simple_terms)),
+            draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="])),
+            draw(st.one_of(paths, simple_terms)))
+    return EntailmentAtom(draw(st.one_of(paths, inline_constraints())),
+                          draw(st.one_of(paths, inline_constraints())))
+
+
+@st.composite
+def rules(draw):
+    body = draw(st.lists(body_items(), min_size=0, max_size=4))
+    bound = set()
+    for item in body:
+        if isinstance(item, Literal):
+            bound |= item.variables()
+    head_args = draw(st.lists(
+        st.one_of(st.sampled_from(sorted(bound, key=lambda v: v.name))
+                  if bound else symbols,
+                  symbols, numbers),
+        min_size=1, max_size=3))
+    if draw(st.booleans()) and len(bound) >= 2:
+        ordered = sorted(bound, key=lambda v: v.name)
+        head_args.append(ConcatTerm(ordered[0], ordered[1]))
+    return Rule(Literal("head", head_args), body)
+
+
+class TestGeneratedRoundtrip:
+    @settings(max_examples=300, deadline=None)
+    @given(rules())
+    def test_rule_roundtrip(self, rule):
+        assert parse_rule(render_rule(rule)) == rule
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(rules(), min_size=1, max_size=4))
+    def test_program_roundtrip(self, rule_list):
+        program = Program(rule_list)
+        assert list(parse_program(render_program(program))) == rule_list

@@ -1,0 +1,89 @@
+"""Property-based tests: persistence round-trips for arbitrary databases."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.model.oid import Oid
+from vidb.storage.database import VideoDatabase
+from vidb.storage.persistence import decode_value, dumps, encode_value, loads
+
+scalars = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.text(min_size=0, max_size=12),
+    st.fractions(min_value=-10, max_value=10, max_denominator=50),
+)
+
+oids = st.one_of(
+    st.sampled_from(["a", "b", "c"]).map(Oid.entity),
+    st.sampled_from(["g1", "g2"]).map(Oid.interval),
+)
+
+values = st.recursive(
+    st.one_of(scalars, oids),
+    lambda children: st.frozensets(children, max_size=4),
+    max_leaves=8,
+)
+
+
+class TestValueCodec:
+    @settings(max_examples=200)
+    @given(values)
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    @settings(max_examples=100)
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 10)),
+                    min_size=0, max_size=4))
+    def test_constraint_roundtrip(self, pairs):
+        footprint = GeneralizedInterval.from_pairs(
+            [(lo, lo + width) for lo, width in pairs])
+        constraint = footprint.to_constraint()
+        decoded = decode_value(encode_value(constraint))
+        assert GeneralizedInterval.from_constraint(decoded) == footprint
+
+
+names = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True)
+
+
+@st.composite
+def databases(draw):
+    db = VideoDatabase(draw(names))
+    entity_names = draw(st.lists(names, min_size=1, max_size=4, unique=True))
+    for i, name in enumerate(entity_names):
+        attrs = draw(st.dictionaries(names, values, max_size=3))
+        db.new_entity(f"e_{name}_{i}", **attrs)
+    entity_oids = [e.oid for e in db.entities()]
+    interval_count = draw(st.integers(0, 3))
+    for i in range(interval_count):
+        pairs = draw(st.lists(
+            st.tuples(st.integers(0, 40), st.integers(0, 10)),
+            min_size=1, max_size=3))
+        members = draw(st.sets(st.sampled_from(entity_oids), max_size=3)) \
+            if entity_oids else set()
+        db.new_interval(
+            f"g{i}", entities=members,
+            duration=[(lo, lo + width) for lo, width in pairs])
+    for __ in range(draw(st.integers(0, 3))):
+        args = draw(st.lists(st.one_of(st.sampled_from(entity_oids), scalars),
+                             min_size=1, max_size=3)) if entity_oids else [1]
+        db.relate(draw(names), *args)
+    return db
+
+
+class TestDatabaseRoundtrip:
+    @settings(max_examples=50, deadline=None)
+    @given(databases())
+    def test_full_roundtrip(self, db):
+        restored = loads(dumps(db))
+        assert set(restored.entities()) == set(db.entities())
+        assert set(restored.intervals()) == set(db.intervals())
+        assert restored.facts() == db.facts()
+
+    @settings(max_examples=50, deadline=None)
+    @given(databases())
+    def test_snapshot_stability(self, db):
+        snapshot = dumps(db)
+        assert dumps(loads(snapshot)) == snapshot

@@ -1,0 +1,135 @@
+"""Property-based tests: set-order constraints against brute force.
+
+With elements drawn from a small universe U, a conjunction of set-order
+atoms is satisfiable over finite sets iff it is satisfiable with every
+variable assigned a subset of U ∪ (constants mentioned) — so exhaustive
+enumeration over a 3-element universe is a complete oracle for these
+generated inputs.
+"""
+
+from itertools import chain, combinations, product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from vidb.constraints.setorder import (
+    Member,
+    SetConjunction,
+    SetVar,
+    SubsetConst,
+    SubsetVar,
+    SupersetConst,
+)
+
+UNIVERSE = ("a", "b", "c")
+#: The oracle's enumeration universe adds one *fresh* element never used
+#: by the generators: set variables range over unbounded domains, so a
+#: variable can always contain something outside every mentioned constant
+#: — without "z", the oracle would wrongly certify entailments like
+#: "{a,b,c} ⊆ Y entails X ⊆ Y".
+ORACLE_UNIVERSE = UNIVERSE + ("z",)
+VARS = [SetVar("X"), SetVar("Y")]
+
+elements = st.sampled_from(UNIVERSE)
+element_sets = st.frozensets(elements, max_size=3)
+set_vars = st.sampled_from(VARS)
+
+
+@st.composite
+def set_atoms(draw):
+    kind = draw(st.sampled_from(["member", "subset_const", "superset_const",
+                                 "subset_var"]))
+    if kind == "member":
+        return Member(draw(elements), draw(set_vars))
+    if kind == "subset_const":
+        return SubsetConst(draw(set_vars), draw(element_sets))
+    if kind == "superset_const":
+        return SupersetConst(draw(element_sets), draw(set_vars))
+    return SubsetVar(draw(set_vars), draw(set_vars))
+
+
+conjunctions = st.lists(set_atoms(), min_size=1, max_size=5)
+
+
+def powerset(universe):
+    return [frozenset(c) for r in range(len(universe) + 1)
+            for c in combinations(universe, r)]
+
+
+def brute_force_solutions(atoms):
+    variables = sorted({v for a in atoms for v in a.variables()},
+                       key=lambda v: v.name)
+    if not variables:
+        yield {}
+        return
+    for values in product(powerset(ORACLE_UNIVERSE), repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if all(atom.holds(assignment) for atom in atoms):
+            yield assignment
+
+
+class TestSatisfiabilityOracle:
+    @settings(max_examples=200, deadline=None)
+    @given(conjunctions)
+    def test_agrees_with_brute_force(self, atoms):
+        expected = next(brute_force_solutions(atoms), None) is not None
+        assert SetConjunction(atoms).satisfiable() == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(conjunctions)
+    def test_canonical_solution_is_a_solution(self, atoms):
+        conjunction = SetConjunction(atoms)
+        if conjunction.satisfiable():
+            solution = conjunction.canonical_solution()
+            # complete the assignment for variables absent from atoms
+            for atom in atoms:
+                assert atom.holds(solution)
+
+    @settings(max_examples=100, deadline=None)
+    @given(conjunctions)
+    def test_canonical_solution_is_minimal(self, atoms):
+        conjunction = SetConjunction(atoms)
+        if not conjunction.satisfiable():
+            return
+        canonical = conjunction.canonical_solution()
+        for solution in brute_force_solutions(atoms):
+            for var, value in canonical.items():
+                assert value <= solution.get(var, value)
+
+
+class TestEntailmentOracle:
+    @settings(max_examples=200, deadline=None)
+    @given(conjunctions, set_atoms())
+    def test_atom_entailment_sound_and_complete(self, atoms, goal):
+        claimed = SetConjunction(atoms).entails_atom(goal)
+        # Ground truth: goal holds in every solution (extended to goal's
+        # variables with all subsets when they are unconstrained).
+        goal_vars = goal.variables()
+        combined_vars = sorted(
+            {v for a in atoms for v in a.variables()} | set(goal_vars),
+            key=lambda v: v.name)
+        truth = True
+        found_solution = False
+        for values in product(powerset(ORACLE_UNIVERSE), repeat=len(combined_vars)):
+            assignment = dict(zip(combined_vars, values))
+            if all(a.holds(assignment) for a in atoms):
+                found_solution = True
+                if not goal.holds(assignment):
+                    truth = False
+                    break
+        if not found_solution:
+            truth = True  # unsatisfiable premise entails everything
+        assert claimed == truth
+
+    @settings(max_examples=100, deadline=None)
+    @given(conjunctions, conjunctions)
+    def test_conjunction_entailment_sound(self, premise, conclusion):
+        if SetConjunction(premise).entails(SetConjunction(conclusion)):
+            combined_vars = sorted(
+                {v for a in premise + conclusion for v in a.variables()},
+                key=lambda v: v.name)
+            for values in product(powerset(ORACLE_UNIVERSE),
+                                  repeat=len(combined_vars)):
+                assignment = dict(zip(combined_vars, values))
+                if all(a.holds(assignment) for a in premise):
+                    assert all(a.holds(assignment) for a in conclusion)

@@ -1,0 +1,37 @@
+"""Unit tests for the table renderer."""
+
+from vidb.bench.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        rows = [{"name": "a", "count": 1}, {"name": "bb", "count": 20}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].split() == ["name", "count"]
+        assert "bb" in lines[3]
+
+    def test_title(self):
+        text = format_table([{"x": 1}], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_numbers_right_aligned(self):
+        rows = [{"n": 1}, {"n": 100}]
+        lines = format_table(rows).splitlines()
+        assert lines[2].endswith("  1") or lines[2].strip() == "1"
+        assert lines[3].strip() == "100"
+
+    def test_explicit_column_order(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b", "a"])
+        header = text.splitlines()[0].split()
+        assert header == ["b", "a"]
+
+    def test_missing_cells_blank(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 0.123456789}])
+        assert "0.1235" in text

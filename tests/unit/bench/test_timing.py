@@ -1,0 +1,56 @@
+"""Unit tests for timing and scaling-law helpers."""
+
+import pytest
+
+from vidb.bench.timing import loglog_slope, scaling_run, time_callable
+
+
+class TestTimeCallable:
+    def test_returns_positive_duration(self):
+        assert time_callable(lambda: sum(range(100)), repeat=2) > 0
+
+    def test_repeat_takes_best(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+
+        time_callable(fn, repeat=4)
+        assert len(calls) == 4
+
+
+class TestLogLogSlope:
+    def test_linear_data_slope_one(self):
+        xs = [10, 100, 1000]
+        ys = [2.0 * x for x in xs]
+        assert abs(loglog_slope(xs, ys) - 1.0) < 1e-9
+
+    def test_quadratic_data_slope_two(self):
+        xs = [10, 100, 1000]
+        ys = [0.5 * x ** 2 for x in xs]
+        assert abs(loglog_slope(xs, ys) - 2.0) < 1e-9
+
+    def test_constant_data_slope_zero(self):
+        assert abs(loglog_slope([1, 10, 100], [5, 5, 5])) < 1e-9
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [1])
+
+    def test_equal_xs_rejected(self):
+        with pytest.raises(ValueError):
+            loglog_slope([5, 5], [1, 2])
+
+
+class TestScalingRun:
+    def test_input_construction_not_timed(self):
+        built = []
+
+        def make_input(n):
+            built.append(n)
+            return n
+
+        results = scaling_run([1, 2], make_input, lambda n: n * 2, repeat=1)
+        assert built == [1, 2]
+        assert [size for size, __ in results] == [1, 2]
+        assert all(seconds >= 0 for __, seconds in results)

@@ -1,0 +1,171 @@
+"""Unit tests for dense-order constraint formulas (Definitions 2/4/5)."""
+
+import pytest
+
+from vidb.constraints.dense import (
+    FALSE,
+    TRUE,
+    And,
+    Comparison,
+    Or,
+    conjoin,
+    disjoin,
+    flip_op,
+    fold_ground,
+    from_dnf,
+    interval_constraint,
+    negate_op,
+)
+from vidb.constraints.terms import Var
+from vidb.errors import ConstraintError
+
+t = Var("t")
+x = Var("x")
+y = Var("y")
+
+
+class TestComparison:
+    def test_constant_moves_to_right(self):
+        atom = Comparison(5, "<", t)
+        assert atom.left == t and atom.op == ">" and atom.right == 5
+
+    def test_ground_comparison_rejected(self):
+        with pytest.raises(ConstraintError):
+            Comparison(1, "<", 2)
+
+    def test_unknown_operator(self):
+        with pytest.raises(ConstraintError):
+            Comparison(t, "<>", 5)
+
+    def test_negation_involutive(self):
+        atom = t < 5
+        assert atom.negate().negate() == atom
+
+    def test_negation_complements(self):
+        assert (t < 5).negate() == Comparison(t, ">=", 5)
+        assert t.eq(5).negate() == t.ne(5)
+
+    def test_variables(self):
+        assert (x < y).variables() == frozenset({x, y})
+        assert (x < 1).variables() == frozenset({x})
+
+    def test_substitute_to_ground_folds(self):
+        atom = t < 5
+        assert atom.substitute({t: 3}) is TRUE
+        assert atom.substitute({t: 7}) is FALSE
+
+    def test_substitute_renames(self):
+        atom = (x < y).substitute({x: t})
+        assert atom == Comparison(t, "<", y)
+
+    def test_evaluate(self):
+        assert (x < y).evaluate({x: 1, y: 2})
+        assert not (x < y).evaluate({x: 2, y: 2})
+        assert x.eq(y).evaluate({x: 2, y: 2})
+
+    def test_dnf_single_atom(self):
+        assert (t < 5).dnf() == [((t < 5),)]
+
+
+class TestOpTables:
+    def test_negate_op(self):
+        assert negate_op("<") == ">="
+        assert negate_op("=") == "!="
+        assert negate_op(">=") == "<"
+
+    def test_flip_op(self):
+        assert flip_op("<") == ">"
+        assert flip_op("<=") == ">="
+        assert flip_op("=") == "="
+
+
+class TestFoldGround:
+    def test_numeric(self):
+        assert fold_ground(1, "<", 2) is TRUE
+        assert fold_ground(2, "<=", 2) is TRUE
+        assert fold_ground(3, ">", 3) is FALSE
+
+    def test_cross_domain_equality(self):
+        assert fold_ground(1, "=", "1") is FALSE
+        assert fold_ground(1, "!=", "1") is TRUE
+
+    def test_cross_domain_order_rejected(self):
+        with pytest.raises(ConstraintError):
+            fold_ground(1, "<", "a")
+
+    def test_strings(self):
+        assert fold_ground("a", "<", "b") is TRUE
+
+
+class TestConnectives:
+    def test_and_flattens(self):
+        c = And([And([(t > 1), (t < 5)]), (t != 3)])
+        assert len(c.parts) == 3
+
+    def test_or_flattens(self):
+        c = Or([Or([(t > 1), (t < 0)]), t.eq(7)])
+        assert len(c.parts) == 3
+
+    def test_conjoin_folds_truth(self):
+        assert conjoin(TRUE, t < 5) == (t < 5)
+        assert conjoin(FALSE, t < 5) is FALSE
+        assert conjoin() is TRUE
+
+    def test_disjoin_folds_truth(self):
+        assert disjoin(FALSE, t < 5) == (t < 5)
+        assert disjoin(TRUE, t < 5) is TRUE
+        assert disjoin() is FALSE
+
+    def test_demorgan_negation(self):
+        c = ((t > 1) & (t < 5)).negate()
+        assert isinstance(c, Or)
+        assert set(c.parts) == {Comparison(t, "<=", 1), Comparison(t, ">=", 5)}
+
+    def test_dnf_distributes(self):
+        c = ((t > 1) | (t > 10)) & (t < 5)
+        clauses = c.dnf()
+        assert len(clauses) == 2
+        assert all(len(clause) == 2 for clause in clauses)
+
+    def test_dnf_of_truth(self):
+        assert TRUE.dnf() == [()]
+        assert FALSE.dnf() == []
+
+    def test_evaluate_connectives(self):
+        c = ((t > 1) & (t < 5)) | t.eq(42)
+        assert c.evaluate({t: 3})
+        assert c.evaluate({t: 42})
+        assert not c.evaluate({t: 10})
+
+    def test_and_requires_two_parts(self):
+        with pytest.raises(ConstraintError):
+            And([t < 5])
+
+    def test_substitute_through_connectives(self):
+        c = ((x < y) & (y < 5)).substitute({x: 1, y: 2})
+        assert c is TRUE
+
+
+class TestIntervalConstraint:
+    def test_closed_interval_form(self):
+        c = interval_constraint(t, 1, 5)
+        assert c.evaluate({t: 1}) and c.evaluate({t: 5}) and c.evaluate({t: 3})
+        assert not c.evaluate({t: 0}) and not c.evaluate({t: 6})
+
+    def test_open_bounds(self):
+        c = interval_constraint(t, 1, 5, closed_lo=False, closed_hi=False)
+        assert not c.evaluate({t: 1}) and not c.evaluate({t: 5})
+        assert c.evaluate({t: 3})
+
+
+class TestFromDnf:
+    def test_roundtrip(self):
+        c = ((t > 1) & (t < 5)) | t.eq(42)
+        rebuilt = from_dnf(c.dnf())
+        assert rebuilt.dnf() == c.dnf()
+
+    def test_empty_is_false(self):
+        assert from_dnf([]) is FALSE
+
+    def test_empty_clause_is_true(self):
+        assert from_dnf([()]) is TRUE

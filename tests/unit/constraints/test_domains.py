@@ -1,0 +1,87 @@
+"""Unit tests for concrete domains (Definition 1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from vidb.constraints.domains import (
+    INTEGERS,
+    RATIONALS,
+    STRINGS,
+    ConcreteDomain,
+    Predicate,
+    domain_of,
+)
+from vidb.errors import DomainError
+
+
+class TestPredicate:
+    def test_call_checks_arity(self):
+        pred = Predicate("lt", 2, lambda a, b: a < b)
+        assert pred(1, 2) is True
+        with pytest.raises(DomainError):
+            pred(1)
+
+    def test_rejects_zero_arity(self):
+        with pytest.raises(DomainError):
+            Predicate("nullary", 0, lambda: True)
+
+    def test_result_is_bool(self):
+        pred = Predicate("truthy", 1, lambda a: a)
+        assert pred(5) is True
+        assert pred(0) is False
+
+
+class TestBuiltinDomains:
+    def test_integers_membership(self):
+        assert 5 in INTEGERS
+        assert 5.5 not in INTEGERS
+        assert True not in INTEGERS  # booleans excluded
+
+    def test_rationals_membership(self):
+        assert 5 in RATIONALS
+        assert 5.5 in RATIONALS
+        assert Fraction(1, 3) in RATIONALS
+        assert "x" not in RATIONALS
+
+    def test_strings_membership(self):
+        assert "abc" in STRINGS
+        assert 1 not in STRINGS
+
+    def test_integers_not_dense_rationals_dense(self):
+        assert not INTEGERS.dense
+        assert RATIONALS.dense
+
+    def test_builtin_comparators_present(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            assert op in INTEGERS.predicates()
+            assert INTEGERS.predicate(op)(1, 2) == {"=": False, "!=": True,
+                                                    "<": True, "<=": True,
+                                                    ">": False, ">=": False}[op]
+
+    def test_unknown_predicate_raises(self):
+        with pytest.raises(DomainError):
+            RATIONALS.predicate("between")
+
+    def test_check_validates_membership(self):
+        assert RATIONALS.check(2.5) == 2.5
+        with pytest.raises(DomainError):
+            STRINGS.check(1)
+
+
+class TestCustomDomain:
+    def test_add_predicate_and_lookup(self):
+        evens = ConcreteDomain("evens", lambda v: isinstance(v, int) and v % 2 == 0)
+        evens.add_predicate("sum_even", 2, lambda a, b: (a + b) % 2 == 0)
+        assert evens.predicate("sum_even")(2, 4)
+        assert 4 in evens and 3 not in evens
+
+
+class TestDomainOf:
+    def test_dispatch(self):
+        assert domain_of(1) is RATIONALS
+        assert domain_of("x") is STRINGS
+
+    def test_unknown_value(self):
+        with pytest.raises(DomainError):
+            domain_of([1, 2])

@@ -1,0 +1,94 @@
+"""Unit tests for the constraint term layer."""
+
+from fractions import Fraction
+
+import pytest
+
+from vidb.constraints.dense import Comparison
+from vidb.constraints.terms import (
+    Var,
+    check_constant,
+    compare_constants,
+    constants_comparable,
+    is_constant,
+    is_numeric,
+)
+from vidb.errors import ConstraintError
+
+
+class TestVar:
+    def test_equality_by_name(self):
+        assert Var("t") == Var("t")
+        assert Var("t") != Var("u")
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Var("t")) == hash(Var("t"))
+        assert len({Var("t"), Var("t"), Var("u")}) == 2
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConstraintError):
+            Var("")
+
+    def test_rejects_non_string_name(self):
+        with pytest.raises(ConstraintError):
+            Var(3)  # type: ignore[arg-type]
+
+    def test_str_and_repr(self):
+        assert str(Var("t")) == "t"
+        assert repr(Var("t")) == "Var('t')"
+
+    def test_comparison_operators_build_atoms(self):
+        t = Var("t")
+        atom = t < 5
+        assert isinstance(atom, Comparison)
+        assert atom.op == "<" and atom.right == 5
+
+    def test_eq_ne_methods_build_atoms(self):
+        t = Var("t")
+        assert t.eq(3).op == "="
+        assert t.ne(3).op == "!="
+
+    def test_ge_le_gt(self):
+        t = Var("t")
+        assert (t >= 1).op == ">="
+        assert (t <= 1).op == "<="
+        assert (t > 1).op == ">"
+
+
+class TestConstants:
+    def test_is_constant_accepts_numbers_and_strings(self):
+        for value in (1, 1.5, Fraction(1, 3), "abc"):
+            assert is_constant(value)
+
+    def test_is_constant_rejects_other_types(self):
+        for value in (None, [1], {"a": 1}, object()):
+            assert not is_constant(value)
+
+    def test_booleans_are_not_numeric(self):
+        assert not is_numeric(True)
+        assert not is_numeric(False)
+
+    def test_check_constant_rejects_boolean(self):
+        with pytest.raises(ConstraintError):
+            check_constant(True)
+
+    def test_check_constant_passes_through(self):
+        assert check_constant(7) == 7
+        assert check_constant("x") == "x"
+
+    def test_numbers_comparable_across_numeric_types(self):
+        assert constants_comparable(1, 2.5)
+        assert constants_comparable(Fraction(1, 2), 3)
+
+    def test_number_string_not_comparable(self):
+        assert not constants_comparable(1, "1")
+
+    def test_compare_constants_ordering(self):
+        assert compare_constants(1, 2) == -1
+        assert compare_constants(2, 1) == 1
+        assert compare_constants(2, 2.0) == 0
+        assert compare_constants("a", "b") == -1
+
+    def test_compare_constants_rejects_mixed(self):
+        with pytest.raises(ConstraintError):
+            compare_constants(1, "a")

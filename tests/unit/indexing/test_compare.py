@@ -1,0 +1,89 @@
+"""Unit tests for the scheme-comparison harness (E1-E3)."""
+
+from vidb.indexing.base import retrieval_quality
+from vidb.indexing.compare import (
+    build_all,
+    compare,
+    point_query_accuracy,
+    schedule_span,
+)
+from vidb.indexing.generalized import GeneralizedIntervalIndex
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.workloads.paper import news_schedule
+
+
+def gi(*pairs):
+    return GeneralizedInterval.from_pairs(pairs)
+
+
+class TestScheduleSpan:
+    def test_hull(self):
+        schedule = {"a": gi((5, 10)), "b": gi((0, 3), (20, 30))}
+        assert schedule_span(schedule) == (0, 30)
+
+    def test_empty_schedule(self):
+        assert schedule_span({}) == (0, 1)
+
+
+class TestRetrievalQuality:
+    def test_perfect_store(self):
+        schedule = {"a": gi((0, 10))}
+        store = GeneralizedIntervalIndex()
+        store.annotate("a", 0, 10)
+        quality = retrieval_quality(store, schedule)
+        assert quality == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+    def test_over_reporting_costs_precision(self):
+        schedule = {"a": gi((0, 10))}
+        store = GeneralizedIntervalIndex()
+        store.annotate("a", 0, 20)
+        quality = retrieval_quality(store, schedule)
+        assert quality["precision"] == 0.5 and quality["recall"] == 1.0
+
+    def test_under_reporting_costs_recall(self):
+        schedule = {"a": gi((0, 10))}
+        store = GeneralizedIntervalIndex()
+        store.annotate("a", 0, 5)
+        quality = retrieval_quality(store, schedule)
+        assert quality["precision"] == 1.0 and quality["recall"] == 0.5
+
+    def test_missing_descriptor_counts_against_recall(self):
+        schedule = {"a": gi((0, 10)), "b": gi((0, 10))}
+        store = GeneralizedIntervalIndex()
+        store.annotate("a", 0, 10)
+        quality = retrieval_quality(store, schedule)
+        assert quality["recall"] == 0.5
+
+
+class TestBuildAllAndCompare:
+    def test_stores_share_occurrences(self):
+        stores = build_all(news_schedule(), segment_count=10)
+        assert [s.scheme for s in stores] == [
+            "segmentation", "stratification", "generalized"]
+        for store in stores:
+            assert store.descriptors() == frozenset(news_schedule())
+
+    def test_comparison_reproduces_paper_ordering(self):
+        rows = compare(news_schedule(), segment_count=18)
+        by_scheme = {row["scheme"]: row for row in rows}
+        # Generalized: one record per descriptor — the fewest.
+        assert by_scheme["generalized"]["records"] == 3
+        assert (by_scheme["generalized"]["records"]
+                < by_scheme["stratification"]["records"]
+                <= by_scheme["segmentation"]["records"])
+        # Stratification and generalized are exact; segmentation is not.
+        assert by_scheme["generalized"]["precision"] == 1.0
+        assert by_scheme["stratification"]["precision"] == 1.0
+        assert by_scheme["segmentation"]["precision"] < 1.0
+        # All schemes achieve full recall (they never drop an occurrence).
+        assert all(row["recall"] == 1.0 for row in rows)
+
+    def test_segmentation_point_accuracy_improves_with_finer_grid(self):
+        coarse = compare(news_schedule(), segment_count=4)[0]
+        fine = compare(news_schedule(), segment_count=90)[0]
+        assert fine["point_accuracy"] >= coarse["point_accuracy"]
+
+    def test_point_query_accuracy_bounds(self):
+        store = build_all(news_schedule(), segment_count=10)[2]
+        accuracy = point_query_accuracy(store, news_schedule(), 50)
+        assert accuracy == 1.0

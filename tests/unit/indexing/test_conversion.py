@@ -1,0 +1,82 @@
+"""Unit tests for indexing-scheme conversions."""
+
+import pytest
+
+from vidb.indexing.conversion import (
+    generalized_to_stratification,
+    segmentation_to_stratification,
+    stratification_to_generalized,
+    upgrade,
+)
+from vidb.indexing.generalized import GeneralizedIntervalIndex
+from vidb.indexing.segmentation import SegmentationIndex
+from vidb.indexing.stratification import StratificationIndex
+from vidb.workloads.paper import news_schedule
+
+
+@pytest.fixture
+def stratified():
+    index = StratificationIndex()
+    for label, footprint in news_schedule().items():
+        for fragment in footprint:
+            index.annotate(label, fragment.lo, fragment.hi)
+    return index
+
+
+class TestStratificationToGeneralized:
+    def test_footprints_preserved(self, stratified):
+        generalized = stratification_to_generalized(stratified)
+        for descriptor in stratified.descriptors():
+            assert generalized.footprint(descriptor) == \
+                stratified.footprint(descriptor)
+
+    def test_record_count_collapses(self, stratified):
+        generalized = stratification_to_generalized(stratified)
+        assert generalized.descriptor_count() == 3       # one per object
+        assert stratified.descriptor_count() == 6        # one per stratum
+
+    def test_roundtrip_footprints_stable(self, stratified):
+        generalized = stratification_to_generalized(stratified)
+        back = generalized_to_stratification(generalized)
+        for descriptor in stratified.descriptors():
+            assert back.footprint(descriptor) == \
+                stratified.footprint(descriptor)
+
+
+class TestSegmentationToStratification:
+    def test_coarsened_but_faithful_to_segmentation(self):
+        seg = SegmentationIndex(0, 90, [30, 60])
+        seg.annotate("a", 10, 40)   # snaps to [0,30) + [30,60)
+        strat = segmentation_to_stratification(seg)
+        assert strat.footprint("a") == seg.footprint("a")
+
+    def test_multiple_descriptors(self):
+        seg = SegmentationIndex(0, 60, [30])
+        seg.annotate("a", 0, 10)
+        seg.annotate("b", 35, 50)
+        strat = segmentation_to_stratification(seg)
+        assert strat.descriptors() == frozenset({"a", "b"})
+
+
+class TestUpgrade:
+    def test_from_each_scheme(self, stratified):
+        seg = SegmentationIndex(0, 180, [60, 120])
+        seg.annotate("x", 10, 50)
+        for index in (seg, stratified, GeneralizedIntervalIndex()):
+            upgraded = upgrade(index)
+            assert isinstance(upgraded, GeneralizedIntervalIndex)
+
+    def test_upgrade_is_identity_on_generalized(self):
+        index = GeneralizedIntervalIndex()
+        index.annotate("x", 0, 5)
+        assert upgrade(index) is index
+
+    def test_upgrade_preserves_footprints(self, stratified):
+        upgraded = upgrade(stratified)
+        for descriptor in stratified.descriptors():
+            assert upgraded.footprint(descriptor) == \
+                stratified.footprint(descriptor)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            upgrade("not a store")

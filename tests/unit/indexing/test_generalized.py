@@ -1,0 +1,71 @@
+"""Unit tests for generalized-interval indexing (Figure 3)."""
+
+from vidb.indexing.generalized import GeneralizedIntervalIndex, to_database
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.query.engine import QueryEngine
+
+
+class TestIndex:
+    def test_single_identifier_per_descriptor(self):
+        index = GeneralizedIntervalIndex()
+        index.annotate("reporter", 0, 25)
+        index.annotate("reporter", 60, 80)
+        index.annotate("reporter", 130, 150)
+        assert index.descriptor_count() == 1          # the Figure 3 property
+        assert index.fragment_count() == 3
+        assert index.footprint("reporter") == GeneralizedInterval.from_pairs(
+            [(0, 25), (60, 80), (130, 150)])
+
+    def test_overlapping_annotations_merge(self):
+        index = GeneralizedIntervalIndex()
+        index.annotate("x", 0, 10)
+        index.annotate("x", 5, 15)
+        assert index.fragment_count() == 1
+        assert index.footprint("x").measure == 15
+
+    def test_at(self):
+        index = GeneralizedIntervalIndex()
+        index.annotate("a", 0, 10)
+        index.annotate("b", 5, 15)
+        assert index.at(7) == frozenset({"a", "b"})
+        assert index.at(12) == frozenset({"b"})
+
+    def test_unknown_descriptor(self):
+        assert GeneralizedIntervalIndex().footprint("ghost").is_empty()
+
+    def test_co_occurring(self):
+        index = GeneralizedIntervalIndex()
+        index.annotate("a", 0, 10)
+        index.annotate("b", 5, 15)
+        index.annotate("c", 20, 30)
+        assert index.co_occurring("a") == frozenset({"b"})
+
+
+class TestToDatabase:
+    def _index(self):
+        index = GeneralizedIntervalIndex()
+        index.annotate("reporter", 0, 25)
+        index.annotate("reporter", 60, 80)
+        index.annotate("minister", 20, 70)
+        return index
+
+    def test_entities_and_intervals_created(self):
+        db = to_database(self._index(), name="news")
+        assert db.stats() == {"entities": 2, "intervals": 2, "facts": 0}
+        assert db.name == "news"
+
+    def test_footprints_preserved(self):
+        db = to_database(self._index())
+        assert db.interval("gi_reporter").footprint() == \
+            GeneralizedInterval.from_pairs([(0, 25), (60, 80)])
+
+    def test_database_is_queryable(self):
+        db = to_database(self._index())
+        engine = QueryEngine(db)
+        answers = engine.query(
+            "?- interval(G), object(o_reporter), o_reporter in G.entities.")
+        assert [str(r[0]) for r in answers.rows()] == ["gi_reporter"]
+
+    def test_validates_cleanly(self):
+        db = to_database(self._index())
+        assert db.sequence.validate() == []

@@ -1,0 +1,88 @@
+"""Unit tests for segmentation indexing (Figure 1)."""
+
+import pytest
+
+from vidb.errors import IntervalError
+from vidb.indexing.segmentation import SegmentationIndex
+from vidb.intervals.generalized import GeneralizedInterval
+
+
+class TestConstruction:
+    def test_boundaries_define_segments(self):
+        index = SegmentationIndex(0, 180, [45, 110])
+        assert [s.lo for s in index.segments] == [0, 45, 110]
+        assert [s.hi for s in index.segments] == [45, 110, 180]
+
+    def test_uniform_grid(self):
+        index = SegmentationIndex.uniform(0, 100, 4)
+        assert len(index.segments) == 4
+        assert index.segments[1].lo == 25
+
+    def test_empty_timeline_rejected(self):
+        with pytest.raises(IntervalError):
+            SegmentationIndex(10, 10, [])
+
+    def test_boundary_outside_timeline_rejected(self):
+        with pytest.raises(IntervalError):
+            SegmentationIndex(0, 10, [15])
+
+    def test_zero_segments_rejected(self):
+        with pytest.raises(IntervalError):
+            SegmentationIndex.uniform(0, 10, 0)
+
+    def test_duplicate_boundaries_collapsed(self):
+        index = SegmentationIndex(0, 10, [5, 5])
+        assert len(index.segments) == 2
+
+
+class TestAnnotation:
+    def test_annotation_snaps_to_touching_segments(self):
+        index = SegmentationIndex(0, 90, [30, 60])
+        index.annotate("minister", 25, 40)   # straddles first boundary
+        footprint = index.footprint("minister")
+        # snapped to the union of the two whole segments [0,30) and [30,60)
+        assert footprint.measure == 60
+        assert footprint.contains_point(0) and footprint.contains_point(59)
+        assert not footprint.contains_point(60)
+        assert len(footprint) == 1  # half-open segments merge seamlessly
+
+    def test_precision_loss_is_visible(self):
+        index = SegmentationIndex.uniform(0, 100, 2)
+        index.annotate("blip", 10, 12)
+        assert index.footprint("blip").measure == 50  # whole half reported
+
+    def test_at_returns_segment_labels(self):
+        index = SegmentationIndex(0, 90, [30])
+        index.annotate("a", 0, 10)
+        index.annotate("b", 50, 60)
+        assert index.at(5) == frozenset({"a"})
+        assert index.at(40) == frozenset({"b"})
+
+    def test_at_outside_timeline(self):
+        index = SegmentationIndex(0, 10, [])
+        assert index.at(-1) == frozenset()
+        assert index.at(11) == frozenset()
+
+    def test_descriptor_count_counts_records(self):
+        index = SegmentationIndex(0, 90, [30, 60])
+        index.annotate("x", 0, 90)   # touches all three segments
+        index.annotate("y", 0, 10)   # one segment
+        assert index.descriptor_count() == 4
+
+    def test_descriptors(self):
+        index = SegmentationIndex(0, 10, [])
+        index.annotate("x", 0, 1)
+        assert index.descriptors() == frozenset({"x"})
+
+    def test_during(self):
+        index = SegmentationIndex(0, 90, [30, 60])
+        index.annotate("a", 0, 10)
+        assert "a" in index.during(5, 8)
+        assert "a" not in index.during(61, 70)
+
+    def test_co_occurring(self):
+        index = SegmentationIndex(0, 90, [30])
+        index.annotate("a", 0, 10)
+        index.annotate("b", 20, 28)
+        index.annotate("c", 40, 50)
+        assert index.co_occurring("a") == frozenset({"b"})

@@ -1,0 +1,56 @@
+"""Unit tests for stratification indexing (Figure 2)."""
+
+from vidb.indexing.stratification import StratificationIndex
+from vidb.intervals.generalized import GeneralizedInterval
+
+
+class TestStrata:
+    def test_overlapping_strata_allowed(self):
+        index = StratificationIndex()
+        index.annotate("broadcast news", 0, 180)
+        index.annotate("politics", 0, 110)
+        index.annotate("taxes", 40, 60)
+        assert index.levels_at(50) == 3
+        assert index.at(50) == frozenset({"broadcast news", "politics",
+                                          "taxes"})
+
+    def test_footprint_unions_strata(self):
+        index = StratificationIndex()
+        index.annotate("reporter", 0, 25)
+        index.annotate("reporter", 60, 80)
+        assert index.footprint("reporter") == GeneralizedInterval.from_pairs(
+            [(0, 25), (60, 80)])
+
+    def test_exact_footprints(self):
+        index = StratificationIndex()
+        index.annotate("blip", 10, 12)
+        assert index.footprint("blip").measure == 2
+
+    def test_descriptor_count_is_per_stratum(self):
+        index = StratificationIndex()
+        index.annotate("reporter", 0, 25)
+        index.annotate("reporter", 60, 80)
+        index.annotate("minister", 20, 70)
+        assert index.descriptor_count() == 3      # 3 strata
+        assert len(index.descriptors()) == 2      # 2 descriptors
+
+    def test_strata_of(self):
+        index = StratificationIndex()
+        index.annotate("x", 0, 1)
+        index.annotate("x", 5, 6)
+        assert len(index.strata_of("x")) == 2
+        assert index.strata_of("missing") == []
+
+    def test_unknown_descriptor_empty_footprint(self):
+        index = StratificationIndex()
+        assert index.footprint("ghost").is_empty()
+
+    def test_at_empty_index(self):
+        assert StratificationIndex().at(5) == frozenset()
+
+    def test_during(self):
+        index = StratificationIndex()
+        index.annotate("a", 0, 10)
+        index.annotate("b", 50, 60)
+        assert index.during(5, 55) == frozenset({"a", "b"})
+        assert index.during(20, 30) == frozenset()

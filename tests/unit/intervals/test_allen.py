@@ -1,0 +1,83 @@
+"""Unit tests for Allen's interval relations."""
+
+import pytest
+
+from vidb.errors import IntervalError
+from vidb.intervals import allen
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.intervals.interval import Interval
+
+
+def gi(*pairs):
+    return GeneralizedInterval.from_pairs(pairs)
+
+
+#: (a, b, expected relation) — one canonical witness per relation.
+CASES = [
+    (Interval(0, 2), Interval(5, 9), "before"),
+    (Interval(5, 9), Interval(0, 2), "after"),
+    (Interval(0, 5), Interval(5, 9), "meets"),
+    (Interval(5, 9), Interval(0, 5), "met_by"),
+    (Interval(0, 5), Interval(3, 9), "overlaps"),
+    (Interval(3, 9), Interval(0, 5), "overlapped_by"),
+    (Interval(0, 3), Interval(0, 9), "starts"),
+    (Interval(0, 9), Interval(0, 3), "started_by"),
+    (Interval(2, 5), Interval(0, 9), "during"),
+    (Interval(0, 9), Interval(2, 5), "contains"),
+    (Interval(5, 9), Interval(0, 9), "finishes"),
+    (Interval(0, 9), Interval(5, 9), "finished_by"),
+    (Interval(2, 7), Interval(2, 7), "equals"),
+]
+
+
+class TestRelationClassification:
+    @pytest.mark.parametrize("a, b, expected", CASES)
+    def test_unique_relation(self, a, b, expected):
+        assert allen.relation(a, b) == expected
+        # Exactly one relation holds.
+        holding = [name for name in allen.INVERSES
+                   if allen.holds(name, a, b)]
+        assert holding == [expected]
+
+    @pytest.mark.parametrize("a, b, expected", CASES)
+    def test_inverse_symmetry(self, a, b, expected):
+        assert allen.relation(b, a) == allen.INVERSES[expected]
+
+    def test_thirteen_relations(self):
+        assert len(allen.INVERSES) == 13
+
+    def test_unknown_relation_name(self):
+        with pytest.raises(IntervalError):
+            allen.holds("nearby", Interval(0, 1), Interval(2, 3))
+
+    def test_degenerate_points_classify(self):
+        # Point intervals still classify under the endpoint definitions.
+        assert allen.relation(Interval(3, 3), Interval(3, 3)) == "equals"
+        assert allen.relation(Interval(3, 3), Interval(3, 9)) == "starts"
+        assert allen.relation(Interval(3, 3), Interval(0, 3)) == "finishes"
+        assert allen.relation(Interval(3, 3), Interval(0, 9)) == "during"
+        # But "meets" genuinely needs non-degenerate operands.
+        assert not allen.meets(Interval(0, 5), Interval(5, 5))
+
+
+class TestGeneralizedLiftings:
+    def test_gi_before(self):
+        assert allen.gi_before(gi((0, 2), (4, 5)), gi((6, 9)))
+        assert not allen.gi_before(gi((0, 7)), gi((6, 9)))
+
+    def test_gi_overlaps(self):
+        assert allen.gi_overlaps(gi((0, 5)), gi((4, 9)))
+        # Fragments interleave without sharing points:
+        assert not allen.gi_overlaps(gi((0, 2), (6, 8)), gi((3, 5), (9, 10)))
+
+    def test_gi_contains(self):
+        assert allen.gi_contains(gi((0, 10), (20, 30)), gi((1, 2)))
+        assert not allen.gi_contains(gi((1, 2)), gi((0, 10)))
+
+    def test_gi_equals(self):
+        assert allen.gi_equals(gi((0, 5), (5, 9)), gi((0, 9)))
+
+    def test_gi_meets(self):
+        assert allen.gi_meets(gi((0, 2), (4, 6)), gi((6, 9)))
+        assert not allen.gi_meets(gi((0, 2)), gi((5, 9)))
+        assert not allen.gi_meets(GeneralizedInterval.empty(), gi((0, 1)))

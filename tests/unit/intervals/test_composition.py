@@ -1,0 +1,81 @@
+"""Unit tests for the derived Allen composition table."""
+
+import pytest
+
+from vidb.errors import IntervalError
+from vidb.intervals import allen
+from vidb.intervals.composition import (
+    compose,
+    composition_table,
+    feasible_relations,
+    is_consistent_triple,
+)
+
+
+class TestTableStructure:
+    def test_all_169_entries_present(self):
+        table = composition_table()
+        assert len(table) == 13 * 13
+        for key, values in table.items():
+            assert values  # never empty
+
+    def test_known_entries(self):
+        # classic textbook entries
+        assert compose("before", "before") == frozenset({"before"})
+        assert compose("meets", "meets") == frozenset({"before"})
+        assert compose("during", "during") == frozenset({"during"})
+        assert compose("equals", "overlaps") == frozenset({"overlaps"})
+        assert compose("starts", "finishes") == frozenset({"during"})
+
+    def test_full_uncertainty_entry(self):
+        # before ; after is completely uninformative: all 13 relations
+        assert compose("before", "after") == frozenset(allen.INVERSES)
+
+    def test_equals_is_identity(self):
+        for relation in allen.INVERSES:
+            assert compose("equals", relation) == frozenset({relation})
+            assert compose(relation, "equals") == frozenset({relation})
+
+    def test_inverse_symmetry(self):
+        # (r1 ; r2)^-1 == r2^-1 ; r1^-1
+        table = composition_table()
+        for (r1, r2), values in table.items():
+            mirrored = compose(allen.INVERSES[r2], allen.INVERSES[r1])
+            assert mirrored == frozenset(allen.INVERSES[v] for v in values)
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(IntervalError):
+            compose("near", "before")
+
+
+class TestPropagation:
+    def test_chain_of_befores(self):
+        assert feasible_relations(["before", "meets", "before"]) == \
+            frozenset({"before"})
+
+    def test_single_step(self):
+        assert feasible_relations(["during"]) == frozenset({"during"})
+
+    def test_uncertainty_grows_then_filters(self):
+        possibilities = feasible_relations(["overlaps", "overlaps"])
+        assert "before" in possibilities
+        assert "after" not in possibilities
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(IntervalError):
+            feasible_relations([])
+
+
+class TestConsistency:
+    def test_consistent_triple(self):
+        assert is_consistent_triple("before", "before", "before")
+
+    def test_inconsistent_triple(self):
+        assert not is_consistent_triple("before", "before", "after")
+
+    def test_matches_concrete_witness(self):
+        from vidb.intervals.interval import Interval
+
+        a, b, c = Interval(0, 2), Interval(3, 5), Interval(6, 9)
+        assert is_consistent_triple(
+            allen.relation(a, b), allen.relation(b, c), allen.relation(a, c))

@@ -1,0 +1,77 @@
+"""Unit tests for generalized-interval editing utilities."""
+
+import pytest
+
+from vidb.errors import IntervalError
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.intervals.interval import Interval
+
+
+def gi(*pairs):
+    return GeneralizedInterval.from_pairs(pairs)
+
+
+class TestTranslate:
+    def test_shift_forward(self):
+        assert gi((0, 5), (10, 12)).translate(100).to_pairs() == \
+            [(100, 105), (110, 112)]
+
+    def test_shift_backward(self):
+        assert gi((10, 12)).translate(-10).to_pairs() == [(0, 2)]
+
+    def test_zero_shift_identity(self):
+        g = gi((0, 5), (8, 9))
+        assert g.translate(0) == g
+
+    def test_measure_preserved(self):
+        g = gi((0, 5), (8, 9))
+        assert g.translate(7).measure == g.measure
+
+    def test_openness_preserved(self):
+        g = GeneralizedInterval([Interval(0, 5, closed_hi=False)])
+        shifted = g.translate(1)
+        assert not shifted.contains_point(6)
+        assert shifted.contains_point(1)
+
+    def test_empty_translates_to_empty(self):
+        assert GeneralizedInterval.empty().translate(5).is_empty()
+
+
+class TestClip:
+    def test_interior_window(self):
+        assert gi((0, 10), (20, 30)).clip(5, 25).to_pairs() == \
+            [(5, 10), (20, 25)]
+
+    def test_window_covering_everything(self):
+        g = gi((0, 10))
+        assert g.clip(-5, 100) == g
+
+    def test_disjoint_window_empty(self):
+        assert gi((0, 10)).clip(50, 60).is_empty()
+
+    def test_point_window(self):
+        clipped = gi((0, 10)).clip(5, 5)
+        assert clipped.measure == 0 and clipped.contains_point(5)
+
+
+class TestDilate:
+    def test_pads_both_sides(self):
+        assert gi((5, 10)).dilate(2).to_pairs() == [(3, 12)]
+
+    def test_merges_when_padding_bridges_gap(self):
+        assert gi((0, 4), (6, 10)).dilate(1).to_pairs() == [(-1, 11)]
+
+    def test_zero_margin_identity(self):
+        g = gi((0, 4), (6, 10))
+        assert g.dilate(0) == g
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(IntervalError):
+            gi((0, 4)).dilate(-1)
+
+    def test_presentation_use_case(self):
+        # pad each occurrence with 1.5s of context, stay inside the reel
+        footprint = gi((10, 12), (40, 44))
+        padded = footprint.dilate(1.5).clip(0, 60)
+        assert padded.contains_point(8.5) and padded.contains_point(45.5)
+        assert not padded.contains_point(5)

@@ -1,0 +1,176 @@
+"""Unit tests for generalized intervals (Definition 5)."""
+
+import pytest
+
+from vidb.constraints.dense import FALSE
+from vidb.constraints.terms import Var
+from vidb.errors import ConstraintError
+from vidb.intervals.generalized import GeneralizedInterval, T
+from vidb.intervals.interval import Interval
+
+t = Var("t")
+
+
+def gi(*pairs):
+    return GeneralizedInterval.from_pairs(pairs)
+
+
+class TestNormalization:
+    def test_sorts_fragments(self):
+        g = gi((10, 15), (0, 5))
+        assert g.to_pairs() == [(0, 5), (10, 15)]
+
+    def test_merges_overlapping(self):
+        assert gi((0, 5), (4, 9)).to_pairs() == [(0, 9)]
+
+    def test_merges_touching_closed(self):
+        assert gi((0, 5), (5, 9)).to_pairs() == [(0, 9)]
+
+    def test_keeps_separated(self):
+        assert len(gi((0, 5), (6, 9))) == 2
+
+    def test_open_open_touch_not_merged(self):
+        g = GeneralizedInterval([
+            Interval(0, 5, closed_hi=False),
+            Interval(5, 9, closed_lo=False),
+        ])
+        assert len(g) == 2
+
+    def test_half_open_touch_merged(self):
+        g = GeneralizedInterval([
+            Interval(0, 5, closed_hi=False),
+            Interval(5, 9),
+        ])
+        assert len(g) == 1
+
+    def test_structural_equality_after_normalization(self):
+        assert gi((0, 5), (5, 10)) == gi((0, 10))
+        assert hash(gi((0, 5), (5, 10))) == hash(gi((0, 10)))
+
+
+class TestBasics:
+    def test_empty(self):
+        g = GeneralizedInterval.empty()
+        assert g.is_empty() and not g and len(g) == 0
+        assert g.measure == 0 and g.span() is None
+        assert g.start is None and g.end is None
+
+    def test_point(self):
+        g = GeneralizedInterval.point(4)
+        assert g.contains_point(4) and not g.contains_point(5)
+        assert g.measure == 0
+
+    def test_measure_sums_fragments(self):
+        assert gi((0, 5), (10, 12)).measure == 7
+
+    def test_span_and_endpoints(self):
+        g = gi((3, 5), (10, 12))
+        assert g.span() == Interval(3, 12)
+        assert g.start == 3 and g.end == 12
+
+    def test_contains_point(self):
+        g = gi((0, 5), (10, 15))
+        assert g.contains_point(3) and g.contains_point(12)
+        assert not g.contains_point(7)
+
+    def test_iteration(self):
+        assert [f.lo for f in gi((0, 1), (5, 6))] == [0, 5]
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        assert (gi((0, 5)) | gi((3, 9))).to_pairs() == [(0, 9)]
+
+    def test_intersection(self):
+        assert (gi((0, 5), (10, 15)) & gi((4, 12))).to_pairs() == [(4, 5), (10, 12)]
+
+    def test_intersection_empty(self):
+        assert (gi((0, 2)) & gi((5, 9))).is_empty()
+
+    def test_difference_interior(self):
+        d = gi((0, 10)) - gi((3, 5))
+        assert len(d) == 2
+        assert d.contains_point(2) and d.contains_point(6)
+        assert not d.contains_point(4)
+        assert not d.contains_point(3) and not d.contains_point(5)
+
+    def test_difference_full_cover(self):
+        assert (gi((3, 5)) - gi((0, 10))).is_empty()
+
+    def test_difference_disjoint_noop(self):
+        g = gi((0, 2))
+        assert (g - gi((5, 9))) == g
+
+    def test_difference_edge_trim(self):
+        d = gi((0, 10)) - gi((0, 4))
+        assert d.to_pairs() == [(4, 10)]
+        assert not d.contains_point(4)  # boundary excluded
+
+    def test_complement_within(self):
+        c = gi((2, 4), (6, 8)).complement_within(Interval(0, 10))
+        assert c.contains_point(1) and c.contains_point(5) and c.contains_point(9)
+        assert not c.contains_point(3) and not c.contains_point(7)
+
+    def test_union_with_empty_identity(self):
+        g = gi((0, 5))
+        assert (g | GeneralizedInterval.empty()) == g
+
+
+class TestRelations:
+    def test_contains(self):
+        assert gi((0, 10), (20, 30)).contains(gi((1, 2), (25, 28)))
+        assert not gi((0, 10)).contains(gi((5, 15)))
+
+    def test_contains_self(self):
+        g = gi((0, 10), (20, 30))
+        assert g.contains(g)
+
+    def test_empty_contained_in_everything(self):
+        assert gi((0, 1)).contains(GeneralizedInterval.empty())
+
+    def test_overlaps(self):
+        assert gi((0, 5)).overlaps(gi((4, 9)))
+        assert not gi((0, 2)).overlaps(gi((5, 9)))
+
+    def test_before(self):
+        assert gi((0, 2), (4, 5)).before(gi((6, 9)))
+        assert not gi((0, 7)).before(gi((6, 9)))
+        assert not GeneralizedInterval.empty().before(gi((0, 1)))
+
+
+class TestConstraintConversion:
+    def test_roundtrip(self):
+        g = gi((0, 5), (10, 15))
+        assert GeneralizedInterval.from_constraint(g.to_constraint()) == g
+
+    def test_empty_encodes_false(self):
+        assert GeneralizedInterval.empty().to_constraint() is FALSE
+        assert GeneralizedInterval.from_constraint(FALSE).is_empty()
+
+    def test_open_bounds_roundtrip(self):
+        g = GeneralizedInterval([Interval(0, 5, closed_lo=False,
+                                          closed_hi=False)])
+        assert GeneralizedInterval.from_constraint(g.to_constraint()) == g
+
+    def test_custom_variable(self):
+        u = Var("u")
+        g = gi((1, 2))
+        c = g.to_constraint(u)
+        assert c.variables() == frozenset({u})
+        assert GeneralizedInterval.from_constraint(c, u) == g
+
+    def test_paper_strict_duration(self):
+        # The paper's duration (t > a1 and t < b1) decodes to an open
+        # interval.
+        c = (t > 2) & (t < 10)
+        g = GeneralizedInterval.from_constraint(c)
+        assert not g.contains_point(2) and not g.contains_point(10)
+        assert g.contains_point(5)
+
+    def test_multi_variable_rejected(self):
+        u = Var("u")
+        with pytest.raises(ConstraintError):
+            GeneralizedInterval.from_constraint((t < u), t)
+
+    def test_default_variable_is_t(self):
+        assert T == Var("t")

@@ -1,0 +1,131 @@
+"""Unit tests for concrete time intervals (Definition 4)."""
+
+from fractions import Fraction
+
+import pytest
+
+from vidb.constraints.solver import Span
+from vidb.constraints.terms import Var
+from vidb.errors import IntervalError
+from vidb.intervals.interval import Interval
+
+t = Var("t")
+
+
+class TestConstruction:
+    def test_basic(self):
+        i = Interval(1, 5)
+        assert i.lo == 1 and i.hi == 5
+        assert i.closed_lo and i.closed_hi
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(5, 1)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval("a", "b")
+
+    def test_degenerate_point_must_be_closed(self):
+        assert Interval(3, 3).is_point()
+        with pytest.raises(IntervalError):
+            Interval(3, 3, closed_lo=False)
+
+    def test_fraction_bounds(self):
+        i = Interval(Fraction(1, 3), Fraction(2, 3))
+        assert i.length == Fraction(1, 3)
+
+    def test_value_semantics(self):
+        assert Interval(1, 5) == Interval(1, 5)
+        assert Interval(1, 5) != Interval(1, 5, closed_hi=False)
+        assert hash(Interval(1, 5)) == hash(Interval(1, 5))
+
+    def test_repr_notation(self):
+        assert repr(Interval(1, 5)) == "[1, 5]"
+        assert repr(Interval(1, 5, closed_lo=False, closed_hi=False)) == "(1, 5)"
+
+
+class TestPredicates:
+    def test_contains_point(self):
+        i = Interval(1, 5)
+        assert i.contains_point(1) and i.contains_point(5) and i.contains_point(3)
+        assert not i.contains_point(0) and not i.contains_point(6)
+
+    def test_contains_point_open_bounds(self):
+        i = Interval(1, 5, closed_lo=False, closed_hi=False)
+        assert not i.contains_point(1) and not i.contains_point(5)
+        assert i.contains_point(3)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains(Interval(2, 5))
+        assert not Interval(2, 5).contains(Interval(0, 10))
+        assert Interval(0, 10).contains(Interval(0, 10))
+
+    def test_contains_respects_openness(self):
+        outer = Interval(0, 10, closed_hi=False)
+        assert not outer.contains(Interval(0, 10))
+        assert outer.contains(Interval(0, 10, closed_hi=False))
+
+    def test_overlaps(self):
+        assert Interval(0, 5).overlaps(Interval(3, 9))
+        assert not Interval(0, 2).overlaps(Interval(3, 9))
+
+    def test_overlaps_shared_endpoint(self):
+        assert Interval(0, 5).overlaps(Interval(5, 9))          # both closed
+        assert not Interval(0, 5, closed_hi=False).overlaps(Interval(5, 9))
+
+    def test_before(self):
+        assert Interval(0, 2).before(Interval(3, 5))
+        assert not Interval(0, 3).before(Interval(3, 5))          # share point 3
+        assert Interval(0, 3, closed_hi=False).before(Interval(3, 5))
+
+    def test_meets(self):
+        assert Interval(0, 5).meets(Interval(5, 9))
+        assert Interval(0, 5, closed_hi=False).meets(Interval(5, 9))
+        assert not Interval(0, 4).meets(Interval(5, 9))
+
+    def test_adjacent(self):
+        assert Interval(0, 5).adjacent(Interval(5, 9))
+        assert Interval(0, 5).adjacent(Interval(3, 9))
+        assert not Interval(0, 2).adjacent(Interval(5, 9))
+
+
+class TestOperations:
+    def test_intersect(self):
+        assert Interval(0, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+
+    def test_intersect_respects_openness(self):
+        a = Interval(0, 5, closed_hi=False)
+        b = Interval(0, 9)
+        assert a.intersect(b) == Interval(0, 5, closed_hi=False)
+
+    def test_intersect_disjoint_raises(self):
+        with pytest.raises(IntervalError):
+            Interval(0, 1).intersect(Interval(2, 3))
+
+    def test_hull(self):
+        assert Interval(0, 2).hull(Interval(5, 9)) == Interval(0, 9)
+
+    def test_length(self):
+        assert Interval(2, 7).length == 5
+        assert Interval(3, 3).length == 0
+
+
+class TestConversions:
+    def test_to_constraint_closed(self):
+        c = Interval(1, 5).to_constraint(t)
+        assert c.evaluate({t: 1}) and c.evaluate({t: 5})
+        assert not c.evaluate({t: 0})
+
+    def test_to_constraint_open(self):
+        c = Interval(1, 5, closed_lo=False).to_constraint(t)
+        assert not c.evaluate({t: 1})
+        assert c.evaluate({t: 2})
+
+    def test_span_roundtrip(self):
+        i = Interval(1, 5, closed_lo=False, closed_hi=True)
+        assert Interval.from_span(i.to_span()) == i
+
+    def test_from_unbounded_span_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval.from_span(Span(None, 5, True, False))

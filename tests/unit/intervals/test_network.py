@@ -1,0 +1,147 @@
+"""Unit tests for qualitative interval networks."""
+
+import pytest
+
+from vidb.errors import IntervalError
+from vidb.intervals.interval import Interval
+from vidb.intervals.network import (
+    ALL_RELATIONS,
+    IntervalNetwork,
+    invert,
+    network_from_facts,
+    network_from_intervals,
+)
+from vidb.storage.database import VideoDatabase
+
+
+class TestConstruction:
+    def test_unconstrained_pair_is_universal(self):
+        network = IntervalNetwork(["a", "b"])
+        assert network.relations("a", "b") == ALL_RELATIONS
+
+    def test_self_relation_is_equals(self):
+        network = IntervalNetwork(["a"])
+        assert network.relations("a", "a") == frozenset({"equals"})
+
+    def test_constrain_intersects(self):
+        network = IntervalNetwork()
+        network.constrain("a", "b", {"before", "meets", "overlaps"})
+        network.constrain("a", "b", {"meets", "overlaps", "during"})
+        assert network.relations("a", "b") == frozenset({"meets", "overlaps"})
+
+    def test_converse_maintained(self):
+        network = IntervalNetwork()
+        network.constrain("a", "b", {"before"})
+        assert network.relations("b", "a") == frozenset({"after"})
+
+    def test_unknown_relation_rejected(self):
+        network = IntervalNetwork()
+        with pytest.raises(IntervalError):
+            network.constrain("a", "b", {"nearby"})
+
+    def test_self_constraint_must_allow_equals(self):
+        network = IntervalNetwork(["a"])
+        with pytest.raises(IntervalError):
+            network.constrain("a", "a", {"before"})
+        network.constrain("a", "a", {"equals"})  # fine
+
+    def test_invert(self):
+        assert invert({"before", "during"}) == frozenset({"after", "contains"})
+
+
+class TestPropagation:
+    def test_transitive_chain(self):
+        network = IntervalNetwork()
+        network.constrain("a", "b", {"before"})
+        network.constrain("b", "c", {"before"})
+        assert network.propagate()
+        assert network.relations("a", "c") == frozenset({"before"})
+
+    def test_inconsistency_detected(self):
+        network = IntervalNetwork()
+        network.constrain("a", "b", {"before"})
+        network.constrain("b", "c", {"before"})
+        network.constrain("a", "c", {"after"})
+        assert not network.propagate()
+        assert not network.is_consistent()
+
+    def test_pruning_narrows_but_keeps_consistency(self):
+        network = IntervalNetwork()
+        network.constrain("a", "b", {"during"})
+        network.constrain("b", "c", {"during"})
+        assert network.propagate()
+        assert network.relations("a", "c") == frozenset({"during"})
+        assert network.is_consistent()
+
+    def test_consistent_triangle(self):
+        network = IntervalNetwork()
+        network.constrain("a", "b", {"overlaps"})
+        network.constrain("b", "c", {"overlaps"})
+        network.constrain("a", "c", {"before", "meets", "overlaps"})
+        assert network.is_consistent()
+
+
+class TestScenario:
+    def test_scenario_of_consistent_network(self):
+        network = IntervalNetwork()
+        network.constrain("a", "b", {"before", "meets"})
+        network.constrain("b", "c", {"before"})
+        scenario = network.scenario()
+        assert scenario is not None
+        assert scenario[("a", "b")] in {"before", "meets"}
+        assert scenario[("a", "c")] == "before"
+
+    def test_scenario_none_when_inconsistent(self):
+        network = IntervalNetwork()
+        network.constrain("a", "b", {"before"})
+        network.constrain("b", "a", {"before"})
+        assert network.scenario() is None
+
+    def test_scenario_respects_all_constraints(self):
+        network = IntervalNetwork()
+        network.constrain("a", "b", {"during", "starts"})
+        network.constrain("b", "c", {"meets"})
+        scenario = network.scenario()
+        assert scenario is not None
+        for (first, second), relation in scenario.items():
+            assert relation in network.relations(first, second)
+
+    def test_copy_is_independent(self):
+        network = IntervalNetwork()
+        network.constrain("a", "b", {"before"})
+        clone = network.copy()
+        clone.constrain("a", "b", {"meets"})
+        assert network.relations("a", "b") == frozenset({"before"})
+
+
+class TestFromConcrete:
+    def test_grounded_network_is_consistent(self):
+        named = {"x": Interval(0, 5), "y": Interval(3, 9),
+                 "z": Interval(10, 12)}
+        network = network_from_intervals(named)
+        assert network.is_consistent()
+        assert network.relations("x", "y") == frozenset({"overlaps"})
+        assert network.relations("x", "z") == frozenset({"before"})
+
+    def test_hypothetical_constraint_rejected_when_contradicting(self):
+        named = {"x": Interval(0, 5), "y": Interval(6, 9)}
+        network = network_from_intervals(named)
+        network.constrain("x", "y", {"after"})   # contradicts observation
+        assert not network.is_consistent()
+
+    def test_from_database(self):
+        db = VideoDatabase("net")
+        db.new_interval("g1", duration=[(0, 10)])
+        db.new_interval("g2", duration=[(5, 20)])
+        db.new_interval("g3", duration=[(30, 40)])
+        network = network_from_facts(db)
+        assert set(network.nodes()) == {"g1", "g2", "g3"}
+        assert network.relations("g1", "g2") == frozenset({"overlaps"})
+        assert network.is_consistent()
+
+    def test_intervals_without_duration_skipped(self):
+        db = VideoDatabase("net")
+        db.new_interval("g1", duration=[(0, 10)])
+        db.new_interval("bare")
+        network = network_from_facts(db)
+        assert network.nodes() == ("g1",)

@@ -1,0 +1,121 @@
+"""Unit tests for the concatenation operator ⊕ (Section 6.1)."""
+
+import pytest
+
+from vidb.errors import ModelError
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.model.concat import concat_closure, concatenate, pairwise_extension
+from vidb.model.objects import EntityObject, GeneralizedIntervalObject
+from vidb.model.oid import Oid
+
+
+def gi(*pairs):
+    return GeneralizedInterval.from_pairs(pairs)
+
+
+def make_interval(name, pairs, entities=(), **attrs):
+    return GeneralizedIntervalObject(
+        Oid.interval(name),
+        {"duration": gi(*pairs),
+         "entities": frozenset(Oid.entity(e) for e in entities),
+         **attrs},
+    )
+
+
+@pytest.fixture
+def g1():
+    return make_interval("g1", [(0, 10)], entities=("a", "b"),
+                         subject="murder", rating=5)
+
+
+@pytest.fixture
+def g2():
+    return make_interval("g2", [(20, 30)], entities=("b", "c"),
+                         subject="party")
+
+
+class TestConcatenate:
+    def test_oid_is_functional(self, g1, g2):
+        combined = concatenate(g1, g2)
+        assert combined.oid == Oid.concat(g1.oid, g2.oid)
+
+    def test_attributes_union(self, g1, g2):
+        combined = concatenate(g1, g2)
+        assert combined.attribute_names() == (
+            g1.attribute_names() | g2.attribute_names())
+        # attribute present on only one side is carried over unchanged
+        assert combined["rating"] == 5
+
+    def test_entities_union(self, g1, g2):
+        combined = concatenate(g1, g2)
+        assert combined.entities == frozenset(
+            Oid.entity(n) for n in ("a", "b", "c"))
+
+    def test_duration_union(self, g1, g2):
+        assert concatenate(g1, g2).footprint() == gi((0, 10), (20, 30))
+
+    def test_scalar_values_join_into_sets(self, g1, g2):
+        assert concatenate(g1, g2)["subject"] == frozenset({"murder", "party"})
+
+    def test_absorption_structural(self, g1):
+        # The paper's I1 ⊕ I1 ≡ I1, at full object equality.
+        assert concatenate(g1, g1) == g1
+
+    def test_commutativity(self, g1, g2):
+        assert concatenate(g1, g2) == concatenate(g2, g1)
+
+    def test_associativity(self, g1, g2):
+        g3 = make_interval("g3", [(50, 60)])
+        left = concatenate(concatenate(g1, g2), g3)
+        right = concatenate(g1, concatenate(g2, g3))
+        assert left == right
+
+    def test_absorption_after_composition(self, g1, g2):
+        combined = concatenate(g1, g2)
+        # (g1 ⊕ g2) ⊕ g1 = g1 ⊕ g2 — the paper's termination remark.
+        assert concatenate(combined, g1) == combined
+        assert concatenate(combined, g2) == combined
+
+    def test_overlapping_durations_merge(self):
+        a = make_interval("a", [(0, 10)])
+        b = make_interval("b", [(5, 15)])
+        assert concatenate(a, b).footprint() == gi((0, 15))
+
+    def test_rejects_entities(self, g1):
+        entity = EntityObject(Oid.entity("x"))
+        with pytest.raises(ModelError):
+            concatenate(g1, entity)  # type: ignore[arg-type]
+
+
+class TestClosure:
+    def test_closure_size_is_powerset(self):
+        base = [make_interval(f"g{i}", [(i * 10, i * 10 + 5)])
+                for i in range(4)]
+        closure = concat_closure(base)
+        assert len(closure) == 2 ** 4 - 1
+
+    def test_closure_contains_base(self, g1, g2):
+        closure = concat_closure([g1, g2])
+        oids = {obj.oid for obj in closure}
+        assert g1.oid in oids and g2.oid in oids
+
+    def test_closure_budget_guard(self):
+        base = [make_interval(f"g{i}", [(i, i)]) for i in range(8)]
+        with pytest.raises(ModelError):
+            concat_closure(base, max_size=10)
+
+    def test_singleton_closure(self, g1):
+        assert concat_closure([g1]) == [g1]
+
+
+class TestPairwiseExtension:
+    def test_definition_19_exactly(self, g1, g2):
+        g3 = make_interval("g3", [(50, 60)])
+        extension = pairwise_extension([g1, g2, g3])
+        # base 3 + C(3,2) pairwise = 6 (self-concats absorb).
+        assert len(extension) == 6
+        names = {obj.oid.name for obj in extension}
+        assert "g1++g2" in names and "g1++g2++g3" not in names
+
+    def test_empty_input(self):
+        assert pairwise_extension([]) == []

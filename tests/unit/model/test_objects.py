@@ -1,0 +1,147 @@
+"""Unit tests for video objects (Definition 7)."""
+
+import pytest
+
+from vidb.constraints.terms import Var
+from vidb.errors import ModelError
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.model.objects import (
+    DURATION_ATTR,
+    ENTITIES_ATTR,
+    EntityObject,
+    GeneralizedIntervalObject,
+    VideoObject,
+)
+from vidb.model.oid import Oid
+
+t = Var("t")
+
+
+def gi(*pairs):
+    return GeneralizedInterval.from_pairs(pairs)
+
+
+class TestVideoObject:
+    def test_attribute_access(self):
+        obj = VideoObject(Oid.entity("o1"), {"name": "David"})
+        assert obj["name"] == "David"
+        assert obj.get("name") == "David"
+        assert obj.get("missing") is None
+        assert "name" in obj and "missing" not in obj
+
+    def test_missing_attribute_raises(self):
+        obj = VideoObject(Oid.entity("o1"))
+        with pytest.raises(ModelError):
+            obj["name"]
+
+    def test_attribute_names_and_value(self):
+        obj = VideoObject(Oid.entity("o1"), {"a": 1, "b": 2})
+        assert obj.attribute_names() == frozenset({"a", "b"})
+        assert obj.value() == {"a": 1, "b": 2}
+
+    def test_value_returns_copy(self):
+        obj = VideoObject(Oid.entity("o1"), {"a": 1})
+        obj.value()["a"] = 99
+        assert obj["a"] == 1
+
+    def test_with_attribute_is_functional(self):
+        original = VideoObject(Oid.entity("o1"), {"a": 1})
+        updated = original.with_attribute("b", 2)
+        assert "b" not in original
+        assert updated["b"] == 2 and updated["a"] == 1
+
+    def test_without_attribute(self):
+        obj = VideoObject(Oid.entity("o1"), {"a": 1, "b": 2})
+        assert obj.without_attribute("a").attribute_names() == frozenset({"b"})
+        # removing a missing attribute is a no-op
+        assert obj.without_attribute("zz") == obj
+
+    def test_values_normalized(self):
+        obj = VideoObject(Oid.entity("o1"), {"tags": ["x", "y"]})
+        assert obj["tags"] == frozenset({"x", "y"})
+
+    def test_requires_oid(self):
+        with pytest.raises(ModelError):
+            VideoObject("o1")  # type: ignore[arg-type]
+
+    def test_bad_attribute_name(self):
+        with pytest.raises(ModelError):
+            VideoObject(Oid.entity("o1"), {"": 1})
+
+    def test_equality_and_hash(self):
+        a = VideoObject(Oid.entity("o1"), {"x": 1})
+        b = VideoObject(Oid.entity("o1"), {"x": 1})
+        assert a == b and hash(a) == hash(b)
+        assert a != b.with_attribute("x", 2)
+
+
+class TestEntityObject:
+    def test_requires_entity_oid(self):
+        with pytest.raises(ModelError):
+            EntityObject(Oid.interval("gi1"))
+
+    def test_subclass_not_equal_to_base(self):
+        entity = EntityObject(Oid.entity("o1"), {"x": 1})
+        plain = VideoObject(Oid.entity("o1"), {"x": 1})
+        assert entity != plain
+
+
+class TestGeneralizedIntervalObject:
+    def test_requires_interval_oid(self):
+        with pytest.raises(ModelError):
+            GeneralizedIntervalObject(Oid.entity("o1"))
+
+    def test_entities_validated(self):
+        oid = Oid.interval("gi1")
+        with pytest.raises(ModelError):
+            GeneralizedIntervalObject(oid, {ENTITIES_ATTR: {"not-an-oid"}})
+
+    def test_entities_property(self):
+        members = {Oid.entity("a"), Oid.entity("b")}
+        obj = GeneralizedIntervalObject(Oid.interval("gi1"),
+                                        {ENTITIES_ATTR: members})
+        assert obj.entities == frozenset(members)
+
+    def test_entities_default_empty(self):
+        obj = GeneralizedIntervalObject(Oid.interval("gi1"))
+        assert obj.entities == frozenset()
+
+    def test_duration_accepts_generalized_interval(self):
+        obj = GeneralizedIntervalObject(
+            Oid.interval("gi1"), {DURATION_ATTR: gi((0, 5), (8, 9))})
+        assert obj.footprint() == gi((0, 5), (8, 9))
+
+    def test_duration_accepts_constraint(self):
+        obj = GeneralizedIntervalObject(
+            Oid.interval("gi1"), {DURATION_ATTR: (t > 0) & (t < 5)})
+        assert obj.footprint().contains_point(3)
+
+    def test_duration_canonicalised(self):
+        split = ((t >= 0) & (t <= 5)) | ((t >= 5) & (t <= 9))
+        whole = (t >= 0) & (t <= 9)
+        a = GeneralizedIntervalObject(Oid.interval("g"), {DURATION_ATTR: split})
+        b = GeneralizedIntervalObject(Oid.interval("g"), {DURATION_ATTR: whole})
+        assert a == b
+
+    def test_duration_type_checked(self):
+        with pytest.raises(ModelError):
+            GeneralizedIntervalObject(Oid.interval("gi1"),
+                                      {DURATION_ATTR: "noon"})
+
+    def test_missing_duration_raises(self):
+        obj = GeneralizedIntervalObject(Oid.interval("gi1"))
+        assert not obj.has_duration
+        with pytest.raises(ModelError):
+            obj.duration
+
+    def test_covers_time(self):
+        obj = GeneralizedIntervalObject(
+            Oid.interval("gi1"), {DURATION_ATTR: gi((0, 5), (10, 15))})
+        assert obj.covers_time(12)
+        assert not obj.covers_time(7)
+
+    def test_extra_attributes_allowed(self):
+        obj = GeneralizedIntervalObject(
+            Oid.interval("gi1"),
+            {DURATION_ATTR: gi((0, 5)), "subject": "murder"})
+        assert obj["subject"] == "murder"

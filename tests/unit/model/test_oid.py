@@ -1,0 +1,86 @@
+"""Unit tests for logical object identities."""
+
+import pytest
+
+from vidb.errors import ModelError
+from vidb.model.oid import ENTITY, INTERVAL, Oid
+
+
+class TestConstruction:
+    def test_entity_and_interval(self):
+        e = Oid.entity("o1")
+        g = Oid.interval("gi1")
+        assert e.is_entity and not e.is_interval
+        assert g.is_interval and not g.is_entity
+
+    def test_same_name_different_kind_distinct(self):
+        assert Oid.entity("x") != Oid.interval("x")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ModelError):
+            Oid("thing", ("a",))
+
+    def test_empty_parts_rejected(self):
+        with pytest.raises(ModelError):
+            Oid(INTERVAL, ())
+
+    def test_composite_entity_rejected(self):
+        with pytest.raises(ModelError):
+            Oid(ENTITY, ("a", "b"))
+
+    def test_bad_part_rejected(self):
+        with pytest.raises(ModelError):
+            Oid(INTERVAL, ("",))
+        with pytest.raises(ModelError):
+            Oid(INTERVAL, (3,))  # type: ignore[arg-type]
+
+
+class TestConcatAlgebra:
+    def test_concat_unions_parts(self):
+        a, b = Oid.interval("g1"), Oid.interval("g2")
+        assert Oid.concat(a, b).parts == frozenset({"g1", "g2"})
+
+    def test_absorption(self):
+        a = Oid.interval("g1")
+        assert Oid.concat(a, a) == a
+
+    def test_commutativity(self):
+        a, b = Oid.interval("g1"), Oid.interval("g2")
+        assert Oid.concat(a, b) == Oid.concat(b, a)
+
+    def test_associativity(self):
+        a, b, c = (Oid.interval(n) for n in ("g1", "g2", "g3"))
+        assert (Oid.concat(Oid.concat(a, b), c)
+                == Oid.concat(a, Oid.concat(b, c)))
+
+    def test_concat_of_entities_rejected(self):
+        with pytest.raises(ModelError):
+            Oid.concat(Oid.entity("o1"), Oid.entity("o2"))
+
+    def test_is_composite(self):
+        a, b = Oid.interval("g1"), Oid.interval("g2")
+        assert not a.is_composite
+        assert Oid.concat(a, b).is_composite
+
+    def test_base_oids_sorted(self):
+        combined = Oid.concat(Oid.interval("g2"), Oid.interval("g1"))
+        assert [o.name for o in combined.base_oids()] == ["g1", "g2"]
+
+
+class TestRendering:
+    def test_atomic_name(self):
+        assert Oid.entity("o1").name == "o1"
+        assert str(Oid.interval("gi1")) == "gi1"
+
+    def test_composite_name_sorted(self):
+        combined = Oid.concat(Oid.interval("gz"), Oid.interval("ga"))
+        assert combined.name == "ga++gz"
+
+    def test_ordering_deterministic(self):
+        oids = [Oid.interval("b"), Oid.entity("a"), Oid.interval("a")]
+        ordered = sorted(oids)
+        assert [str(o) for o in ordered] == ["a", "a", "b"]
+        assert ordered[0].is_entity  # entity kind sorts first
+
+    def test_hashable(self):
+        assert len({Oid.entity("x"), Oid.entity("x"), Oid.interval("x")}) == 2

@@ -1,0 +1,65 @@
+"""Unit tests for relation facts."""
+
+import pytest
+
+from vidb.errors import ModelError
+from vidb.model.oid import Oid
+from vidb.model.relations import RelationFact
+
+
+class TestConstruction:
+    def test_basic_fact(self):
+        fact = RelationFact("in", (Oid.entity("o1"), Oid.entity("o4"),
+                                   Oid.interval("gi1")))
+        assert fact.name == "in" and fact.arity == 3
+
+    def test_accepts_constants(self):
+        fact = RelationFact("rated", (Oid.interval("gi1"), 5, "stars"))
+        assert fact.args[1] == 5
+
+    def test_name_must_be_lowercase_identifier(self):
+        with pytest.raises(ModelError):
+            RelationFact("In", (Oid.entity("o1"),))
+        with pytest.raises(ModelError):
+            RelationFact("9lives", (Oid.entity("o1"),))
+        with pytest.raises(ModelError):
+            RelationFact("", (Oid.entity("o1"),))
+
+    def test_empty_args_rejected(self):
+        with pytest.raises(ModelError):
+            RelationFact("in", ())
+
+    def test_bad_argument_rejected(self):
+        with pytest.raises(ModelError):
+            RelationFact("in", (object(),))  # type: ignore[arg-type]
+
+    def test_args_coerced_to_tuple(self):
+        fact = RelationFact("in", [Oid.entity("o1")])
+        assert isinstance(fact.args, tuple)
+
+
+class TestAccessors:
+    def test_oids_filters_constants(self):
+        fact = RelationFact("rated", (Oid.interval("gi1"), 5))
+        assert fact.oids() == (Oid.interval("gi1"),)
+
+    def test_interval_oids(self):
+        fact = RelationFact("in", (Oid.entity("o1"), Oid.interval("gi1")))
+        assert fact.interval_oids() == (Oid.interval("gi1"),)
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = RelationFact("in", (Oid.entity("o1"), Oid.interval("g")))
+        b = RelationFact("in", (Oid.entity("o1"), Oid.interval("g")))
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_order_matters(self):
+        a = RelationFact("in", (Oid.entity("o1"), Oid.entity("o2")))
+        b = RelationFact("in", (Oid.entity("o2"), Oid.entity("o1")))
+        assert a != b
+
+    def test_repr(self):
+        fact = RelationFact("in", (Oid.entity("o1"), "x"))
+        assert repr(fact) == "in(o1, 'x')"

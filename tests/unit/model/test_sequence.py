@@ -1,0 +1,133 @@
+"""Unit tests for the video-sequence 7-tuple (Section 5.1)."""
+
+import pytest
+
+from vidb.errors import DuplicateOidError, ModelError, UnknownOidError
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.model.objects import EntityObject, GeneralizedIntervalObject
+from vidb.model.oid import Oid
+from vidb.model.relations import RelationFact
+from vidb.model.sequence import VideoSequence
+
+
+def gi(*pairs):
+    return GeneralizedInterval.from_pairs(pairs)
+
+
+@pytest.fixture
+def sequence():
+    seq = VideoSequence("test")
+    david = EntityObject(Oid.entity("o1"), {"name": "David"})
+    chest = EntityObject(Oid.entity("o4"), {"identification": "Chest"})
+    seq.add_object(david)
+    seq.add_object(chest)
+    seq.add_interval(GeneralizedIntervalObject(
+        Oid.interval("gi1"),
+        {"entities": {david.oid, chest.oid}, "duration": gi((0, 10)),
+         "subject": "murder"},
+    ))
+    seq.add_fact(RelationFact("in", (david.oid, chest.oid,
+                                     Oid.interval("gi1"))))
+    return seq
+
+
+class TestPopulation:
+    def test_counts(self, sequence):
+        assert len(sequence) == 3
+        assert len(sequence.intervals()) == 1
+        assert len(sequence.objects()) == 2
+        assert len(sequence.facts()) == 1
+
+    def test_duplicate_interval_rejected(self, sequence):
+        with pytest.raises(DuplicateOidError):
+            sequence.add_interval(GeneralizedIntervalObject(
+                Oid.interval("gi1"), {"duration": gi((0, 1))}))
+
+    def test_duplicate_entity_rejected(self, sequence):
+        with pytest.raises(DuplicateOidError):
+            sequence.add_object(EntityObject(Oid.entity("o1")))
+
+    def test_replace_flag(self, sequence):
+        updated = GeneralizedIntervalObject(
+            Oid.interval("gi1"), {"duration": gi((5, 6))})
+        sequence.add_interval(updated, replace=True)
+        assert sequence.interval(Oid.interval("gi1")) == updated
+
+    def test_wrong_types_rejected(self, sequence):
+        with pytest.raises(ModelError):
+            sequence.add_interval(EntityObject(Oid.entity("zz")))  # type: ignore[arg-type]
+        with pytest.raises(ModelError):
+            sequence.add_object("not an object")  # type: ignore[arg-type]
+
+    def test_remove(self, sequence):
+        sequence.remove_interval(Oid.interval("gi1"))
+        assert len(sequence.intervals()) == 0
+        with pytest.raises(UnknownOidError):
+            sequence.remove_interval(Oid.interval("gi1"))
+
+    def test_remove_fact_idempotent(self, sequence):
+        fact = next(iter(sequence.facts()))
+        sequence.remove_fact(fact)
+        sequence.remove_fact(fact)  # no error
+        assert not sequence.facts()
+
+
+class TestSevenTuple:
+    def test_delta1(self, sequence):
+        members = sequence.delta1(Oid.interval("gi1"))
+        assert members == frozenset({Oid.entity("o1"), Oid.entity("o4")})
+
+    def test_delta2(self, sequence):
+        duration = sequence.delta2(Oid.interval("gi1"))
+        assert GeneralizedInterval.from_constraint(duration) == gi((0, 10))
+
+    def test_sigma(self, sequence):
+        assert len(sequence.sigma()) == 1
+
+    def test_atomic_values(self, sequence):
+        values = sequence.atomic_values()
+        assert {"David", "Chest", "murder"} <= set(values)
+        # oids are not atomic values
+        assert Oid.entity("o1") not in values
+
+    def test_lookups(self, sequence):
+        assert sequence.object(Oid.entity("o1"))["name"] == "David"
+        assert sequence.interval(Oid.interval("gi1"))["subject"] == "murder"
+        assert sequence.get(Oid.entity("missing")) is None
+        assert Oid.entity("o1") in sequence
+
+    def test_unknown_lookup_raises(self, sequence):
+        with pytest.raises(UnknownOidError):
+            sequence.object(Oid.entity("nope"))
+        with pytest.raises(UnknownOidError):
+            sequence.interval(Oid.interval("nope"))
+
+
+class TestValidation:
+    def test_valid_sequence_is_clean(self, sequence):
+        assert sequence.validate() == []
+
+    def test_dangling_entity_reference(self):
+        seq = VideoSequence()
+        seq.add_interval(GeneralizedIntervalObject(
+            Oid.interval("g"), {"entities": {Oid.entity("ghost")},
+                                "duration": gi((0, 1))}))
+        problems = seq.validate()
+        assert len(problems) == 1 and "ghost" in problems[0]
+
+    def test_dangling_fact_reference(self, sequence):
+        sequence.add_fact(RelationFact("in", (Oid.entity("ghost"),
+                                              Oid.interval("gi1"))))
+        assert any("ghost" in p for p in sequence.validate())
+
+    def test_dangling_attribute_oid(self, sequence):
+        seq = VideoSequence()
+        seq.add_object(EntityObject(Oid.entity("o1"),
+                                    {"friend": Oid.entity("ghost")}))
+        assert any("ghost" in p for p in seq.validate())
+
+    def test_oid_value_inside_set_checked(self):
+        seq = VideoSequence()
+        seq.add_object(EntityObject(
+            Oid.entity("o1"), {"friends": {Oid.entity("ghost")}}))
+        assert any("ghost" in p for p in seq.validate())

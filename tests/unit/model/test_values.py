@@ -1,0 +1,120 @@
+"""Unit tests for attribute values (Definition 6) and value union."""
+
+import pytest
+
+from vidb.constraints.dense import Constraint
+from vidb.constraints.terms import Var
+from vidb.errors import ModelError
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.model.oid import Oid
+from vidb.model.values import (
+    canonical_temporal,
+    is_temporal,
+    normalize_value,
+    value_as_set,
+    value_contains,
+    value_union,
+)
+
+t = Var("t")
+
+
+def gi(*pairs):
+    return GeneralizedInterval.from_pairs(pairs)
+
+
+class TestNormalizeValue:
+    def test_constants_pass_through(self):
+        assert normalize_value(5) == 5
+        assert normalize_value("x") == "x"
+
+    def test_oid_passes_through(self):
+        oid = Oid.entity("o1")
+        assert normalize_value(oid) is oid
+
+    def test_collection_becomes_frozenset(self):
+        value = normalize_value([1, 2, 2, 3])
+        assert value == frozenset({1, 2, 3})
+        assert isinstance(value, frozenset)
+
+    def test_nested_collections(self):
+        value = normalize_value([(1, 2), (3,)])
+        assert frozenset({1, 2}) in value
+
+    def test_generalized_interval_becomes_constraint(self):
+        value = normalize_value(gi((0, 5)))
+        assert isinstance(value, Constraint)
+        assert GeneralizedInterval.from_constraint(value) == gi((0, 5))
+
+    def test_constraint_passes_through(self):
+        c = (t > 0) & (t < 5)
+        assert normalize_value(c) is c
+
+    def test_boolean_rejected(self):
+        with pytest.raises(ModelError):
+            normalize_value(True)
+
+    def test_arbitrary_object_rejected(self):
+        with pytest.raises(ModelError):
+            normalize_value(object())
+
+
+class TestValueUnion:
+    def test_equal_scalars_stay_scalar(self):
+        assert value_union("a", "a") == "a"
+
+    def test_different_scalars_become_set(self):
+        assert value_union("a", "b") == frozenset({"a", "b"})
+
+    def test_set_union(self):
+        assert value_union(frozenset({1, 2}), frozenset({2, 3})) == frozenset({1, 2, 3})
+
+    def test_scalar_joins_set(self):
+        assert value_union(frozenset({1}), 2) == frozenset({1, 2})
+        assert value_union(2, frozenset({1})) == frozenset({1, 2})
+
+    def test_constraints_disjoin_and_canonicalize(self):
+        a = gi((0, 5)).to_constraint()
+        b = gi((3, 9)).to_constraint()
+        merged = value_union(a, b)
+        assert is_temporal(merged)
+        assert GeneralizedInterval.from_constraint(merged) == gi((0, 9))
+
+    def test_constraint_union_idempotent(self):
+        c = canonical_temporal(gi((0, 5), (8, 9)).to_constraint())
+        assert value_union(c, c) == c
+
+    def test_union_is_commutative(self):
+        assert value_union("a", "b") == value_union("b", "a")
+        a, b = gi((0, 1)).to_constraint(), gi((5, 6)).to_constraint()
+        assert value_union(a, b) == value_union(b, a)
+
+
+class TestCanonicalTemporal:
+    def test_equivalent_forms_unify(self):
+        split = (((t >= 0) & (t <= 5)) | ((t >= 5) & (t <= 9)))
+        whole = (t >= 0) & (t <= 9)
+        assert canonical_temporal(split) == canonical_temporal(whole)
+
+    def test_unbounded_passes_through(self):
+        c = t > 3
+        assert canonical_temporal(c) is c
+
+    def test_multivariable_passes_through(self):
+        u = Var("u")
+        c = t < u
+        assert canonical_temporal(c) is c
+
+
+class TestContainsAndAsSet:
+    def test_set_containment(self):
+        assert value_contains(frozenset({1, 2}), 1)
+        assert not value_contains(frozenset({1, 2}), 3)
+
+    def test_scalar_is_singleton(self):
+        assert value_contains("a", "a")
+        assert not value_contains("a", "b")
+
+    def test_value_as_set(self):
+        assert value_as_set(frozenset({1})) == frozenset({1})
+        assert value_as_set("a") == frozenset({"a"})

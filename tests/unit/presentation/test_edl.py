@@ -1,0 +1,118 @@
+"""Unit tests for edit decision lists."""
+
+import pytest
+
+from vidb.errors import VidbError
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.model.objects import GeneralizedIntervalObject
+from vidb.model.oid import Oid
+from vidb.presentation.edl import (
+    EDL,
+    Cut,
+    edl_from_footprint,
+    edl_from_interval,
+    edl_from_query,
+)
+from vidb.query.engine import QueryEngine
+from vidb.workloads.paper import rope_database
+
+
+def gi(*pairs):
+    return GeneralizedInterval.from_pairs(pairs)
+
+
+class TestCut:
+    def test_duration(self):
+        assert Cut("tape", 2.0, 10.0).duration == 8.0
+
+    def test_inverted_cut_rejected(self):
+        with pytest.raises(VidbError):
+            Cut("tape", 5.0, 5.0)
+
+
+class TestEDL:
+    def test_duration_sums_cuts(self):
+        edl = EDL([Cut("a", 0, 5), Cut("b", 10, 12)])
+        assert edl.duration == 7
+
+    def test_then_concatenates(self):
+        first = EDL([Cut("a", 0, 5)])
+        second = EDL([Cut("b", 0, 3)])
+        combined = first.then(second)
+        assert len(combined) == 2 and combined.duration == 8
+
+    def test_coalesced_merges_seamless_continuations(self):
+        edl = EDL([Cut("a", 0, 5), Cut("a", 5, 9), Cut("b", 0, 2)])
+        merged = edl.coalesced()
+        assert len(merged) == 2
+        assert merged.cuts[0] == Cut("a", 0, 9)
+
+    def test_coalesced_keeps_gapped_cuts(self):
+        edl = EDL([Cut("a", 0, 5), Cut("a", 6, 9)])
+        assert len(edl.coalesced()) == 2
+
+    def test_limited_trims_final_cut(self):
+        edl = EDL([Cut("a", 0, 5), Cut("b", 0, 10)])
+        limited = edl.limited(8)
+        assert limited.duration == 8
+        assert limited.cuts[1] == Cut("b", 0, 3)
+
+    def test_limited_zero(self):
+        assert len(EDL([Cut("a", 0, 5)]).limited(0)) == 0
+
+    def test_limited_larger_than_total_is_identity(self):
+        edl = EDL([Cut("a", 0, 5)])
+        assert edl.limited(100) == edl
+
+    def test_timeline_playback_clock(self):
+        edl = EDL([Cut("a", 10, 15), Cut("b", 0, 3)])
+        rows = edl.timeline()
+        assert rows[0][:2] == (0.0, 5.0)
+        assert rows[1][:2] == (5.0, 8.0)
+
+    def test_render_contains_timecodes(self):
+        text = EDL([Cut("tape", 2, 10)], title="demo").render()
+        assert text.splitlines()[0] == "TITLE: demo"
+        assert "00:00:02:00" in text and "00:00:10:00" in text
+
+    def test_invalid_cut_rejected(self):
+        with pytest.raises(VidbError):
+            EDL(["not a cut"])  # type: ignore[list-item]
+
+
+class TestBuilders:
+    def test_from_footprint(self):
+        edl = edl_from_footprint(gi((0, 5), (10, 15)), "tape")
+        assert [c.t_in for c in edl.cuts] == [0, 10]
+        assert edl.duration == 10
+
+    def test_from_footprint_skips_point_fragments(self):
+        footprint = GeneralizedInterval.from_pairs([(0, 5), (7, 7)])
+        edl = edl_from_footprint(footprint, "tape")
+        assert len(edl) == 1
+
+    def test_from_interval(self):
+        interval = GeneralizedIntervalObject(
+            Oid.interval("g"), {"duration": gi((1, 4))})
+        edl = edl_from_interval(interval)
+        assert edl.cuts == (Cut("g", 1.0, 4.0),)
+        assert edl.title == "g"
+
+    def test_from_query(self):
+        engine = QueryEngine(rope_database())
+        edl = edl_from_query(
+            engine, "?- interval(G), object(o1), o1 in G.entities.", "G")
+        assert len(edl) == 2
+        assert edl.cuts[0].source == "gi1"
+
+    def test_from_query_deduplicates_intervals(self):
+        engine = QueryEngine(rope_database())
+        edl = edl_from_query(
+            engine,
+            "?- interval(G), object(O), O in G.entities.", "G")
+        assert len(edl) == 2  # every entity maps to the same two intervals
+
+    def test_from_query_rejects_non_interval_variable(self):
+        engine = QueryEngine(rope_database())
+        with pytest.raises(VidbError):
+            edl_from_query(engine, "?- object(O).", "O")

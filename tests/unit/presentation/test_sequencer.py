@@ -1,0 +1,79 @@
+"""Unit tests for the declarative sequencer."""
+
+import pytest
+
+from vidb.errors import VidbError
+from vidb.presentation.edl import EDL, Cut
+from vidb.presentation.sequencer import ORDERS, Sequencer, interleave
+from vidb.query.engine import QueryEngine
+from vidb.storage.database import VideoDatabase
+
+QUERY = "?- interval(G), object(star), star in G.entities."
+
+
+@pytest.fixture
+def engine():
+    db = VideoDatabase("footage")
+    db.new_entity("star")
+    # chronological order: clip_b, clip_a, clip_c — durations 5, 30, 10
+    db.new_interval("clip_a", entities=["star"], duration=[(50, 80)])
+    db.new_interval("clip_b", entities=["star"], duration=[(0, 5)])
+    db.new_interval("clip_c", entities=["star"], duration=[(100, 110)])
+    return QueryEngine(db)
+
+
+class TestSequencer:
+    def test_chronological_order(self, engine):
+        edl = Sequencer(engine).sequence(QUERY, "G", order="chronological")
+        assert [c.source for c in edl.cuts] == ["clip_b", "clip_a", "clip_c"]
+
+    def test_duration_order(self, engine):
+        edl = Sequencer(engine).sequence(QUERY, "G", order="duration")
+        assert [c.source for c in edl.cuts] == ["clip_a", "clip_c", "clip_b"]
+
+    def test_answer_order_is_engine_order(self, engine):
+        edl = Sequencer(engine).sequence(QUERY, "G", order="answer")
+        assert [c.source for c in edl.cuts] == \
+            [str(v) for v in engine.query(QUERY).column("G")]
+
+    def test_per_item_limit(self, engine):
+        edl = Sequencer(engine).sequence(QUERY, "G", order="chronological",
+                                         per_item_limit=4)
+        assert all(cut.duration <= 4 for cut in edl.cuts)
+        assert edl.duration == 12
+
+    def test_max_duration_budget(self, engine):
+        edl = Sequencer(engine).sequence(QUERY, "G", order="chronological",
+                                         max_duration=20)
+        assert edl.duration == 20
+
+    def test_unknown_order_rejected(self, engine):
+        with pytest.raises(VidbError):
+            Sequencer(engine).sequence(QUERY, "G", order="random")
+
+    def test_orders_enumerated(self):
+        assert set(ORDERS) == {"chronological", "duration", "answer"}
+
+    def test_title_carried(self, engine):
+        edl = Sequencer(engine).sequence(QUERY, "G", title="reel")
+        assert edl.title == "reel"
+
+    def test_empty_material(self, engine):
+        edl = Sequencer(engine).sequence(
+            "?- interval(G), object(star), star in G.entities, "
+            "G.duration => (t > 900 and t < 901).", "G")
+        assert len(edl) == 0 and edl.duration == 0
+
+
+class TestInterleave:
+    def test_alternates_cuts(self):
+        first = EDL([Cut("a", 0, 1), Cut("a", 2, 3)])
+        second = EDL([Cut("b", 0, 1), Cut("b", 2, 3)])
+        combined = interleave(first, second)
+        assert [c.source for c in combined.cuts] == ["a", "b", "a", "b"]
+
+    def test_uneven_lengths_append_remainder(self):
+        first = EDL([Cut("a", 0, 1)])
+        second = EDL([Cut("b", 0, 1), Cut("b", 2, 3), Cut("b", 4, 5)])
+        combined = interleave(first, second)
+        assert [c.source for c in combined.cuts] == ["a", "b", "b", "b"]

@@ -1,0 +1,184 @@
+"""Unit tests for the query-language AST."""
+
+import pytest
+
+from vidb.errors import QueryError
+from vidb.model.oid import Oid
+from vidb.query.ast import (
+    AttrPath,
+    ComparisonAtom,
+    ConcatTerm,
+    EntailmentAtom,
+    Literal,
+    MembershipAtom,
+    Program,
+    Query,
+    Rule,
+    SubsetAtom,
+    Symbol,
+    Variable,
+    term_variables,
+)
+
+
+class TestTerms:
+    def test_variable_identity(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+        assert Variable("X") != Symbol("X")
+
+    def test_invalid_variable_name(self):
+        with pytest.raises(QueryError):
+            Variable("9bad")
+
+    def test_symbol_identity(self):
+        assert Symbol("o1") == Symbol("o1")
+        assert len({Symbol("a"), Symbol("a")}) == 1
+
+    def test_term_variables(self):
+        assert term_variables(Variable("X")) == frozenset({Variable("X")})
+        assert term_variables(Symbol("a")) == frozenset()
+        assert term_variables(5) == frozenset()
+
+    def test_concat_term_variables(self):
+        term = ConcatTerm(Variable("A"), ConcatTerm(Variable("B"), Symbol("g")))
+        assert term.variables() == frozenset({Variable("A"), Variable("B")})
+
+    def test_concat_rejects_constants(self):
+        with pytest.raises(QueryError):
+            ConcatTerm(5, Variable("G"))
+
+    def test_concat_accepts_oids(self):
+        term = ConcatTerm(Oid.interval("g1"), Variable("G"))
+        assert term.variables() == frozenset({Variable("G")})
+
+
+class TestAttrPath:
+    def test_construction(self):
+        path = AttrPath(Variable("G"), "duration")
+        assert path.variables() == frozenset({Variable("G")})
+
+    def test_symbol_subject_has_no_variables(self):
+        assert AttrPath(Symbol("g"), "entities").variables() == frozenset()
+
+    def test_invalid_attr_name(self):
+        with pytest.raises(QueryError):
+            AttrPath(Variable("G"), "")
+
+    def test_invalid_subject(self):
+        with pytest.raises(QueryError):
+            AttrPath(5, "x")  # type: ignore[arg-type]
+
+
+class TestLiteral:
+    def test_arity_and_variables(self):
+        literal = Literal("p", [Variable("X"), Symbol("a"), 3])
+        assert literal.arity == 3
+        assert literal.variables() == frozenset({Variable("X")})
+
+    def test_uppercase_predicate_rejected(self):
+        with pytest.raises(QueryError):
+            Literal("P", [Variable("X")])
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(QueryError):
+            Literal("p", [])
+
+    def test_has_concat(self):
+        plain = Literal("p", [Variable("X")])
+        constructive = Literal("p", [ConcatTerm(Variable("A"), Variable("B"))])
+        assert not plain.has_concat()
+        assert constructive.has_concat()
+
+
+class TestConstraintAtoms:
+    def test_membership_variables(self):
+        atom = MembershipAtom(Variable("O"), AttrPath(Variable("G"), "entities"))
+        assert atom.variables() == frozenset({Variable("O"), Variable("G")})
+
+    def test_membership_needs_path(self):
+        with pytest.raises(QueryError):
+            MembershipAtom(Variable("O"), Variable("G"))  # type: ignore[arg-type]
+
+    def test_subset_tuple_variables(self):
+        atom = SubsetAtom((Variable("A"), Symbol("b")),
+                          AttrPath(Variable("G"), "entities"))
+        assert atom.variables() == frozenset({Variable("A"), Variable("G")})
+
+    def test_comparison_rejects_concat(self):
+        with pytest.raises(QueryError):
+            ComparisonAtom(ConcatTerm(Variable("A"), Variable("B")), "=", 3)
+
+    def test_comparison_unknown_op(self):
+        with pytest.raises(QueryError):
+            ComparisonAtom(Variable("X"), "~", 3)
+
+    def test_entailment_side_validation(self):
+        with pytest.raises(QueryError):
+            EntailmentAtom(Variable("X"), Variable("Y"))  # type: ignore[arg-type]
+
+    def test_entailment_uppercase_inline_vars_are_rule_vars(self):
+        from vidb.constraints.terms import Var
+
+        atom = EntailmentAtom(AttrPath(Variable("G"), "duration"),
+                              (Var("t") > 1) & (Var("t") < Var("B")))
+        assert Variable("B") in atom.variables()
+        assert Variable("t") not in atom.variables()
+
+
+class TestRule:
+    def test_constructive_flag(self):
+        head = Literal("q", [ConcatTerm(Variable("A"), Variable("B"))])
+        body = [Literal("p", [Variable("A")]), Literal("p", [Variable("B")])]
+        rule = Rule(head, body)
+        assert rule.is_constructive and not rule.is_fact
+
+    def test_literals_and_constraints_partition(self):
+        body = [
+            Literal("p", [Variable("X")]),
+            ComparisonAtom(Variable("X"), "=", 3),
+        ]
+        rule = Rule(Literal("q", [Variable("X")]), body)
+        assert len(rule.literals()) == 1
+        assert len(rule.constraints()) == 1
+
+    def test_concat_in_body_literal_rejected(self):
+        body = [Literal("p", [ConcatTerm(Variable("A"), Variable("B"))])]
+        with pytest.raises(QueryError):
+            Rule(Literal("q", [Variable("A")]), body)
+
+    def test_head_must_be_literal(self):
+        with pytest.raises(QueryError):
+            Rule(Variable("X"), [])  # type: ignore[arg-type]
+
+    def test_variables_cover_head_and_body(self):
+        rule = Rule(Literal("q", [Variable("X")]),
+                    [Literal("p", [Variable("X"), Variable("Y")])])
+        assert rule.variables() == frozenset({Variable("X"), Variable("Y")})
+
+
+class TestProgramAndQuery:
+    def test_program_rules_for(self):
+        r1 = Rule(Literal("q", [Variable("X")]), [Literal("p", [Variable("X")])])
+        r2 = Rule(Literal("r", [Variable("X")]), [Literal("q", [Variable("X")])])
+        program = Program([r1, r2])
+        assert program.rules_for("q") == (r1,)
+        assert program.idb_predicates() == frozenset({"q", "r"})
+
+    def test_program_extend(self):
+        r1 = Rule(Literal("q", [Symbol("a")]), [])
+        program = Program([r1]).extend([Rule(Literal("r", [Symbol("b")]), [])])
+        assert len(program) == 2
+
+    def test_query_answer_variables_default(self):
+        query = Query([Literal("p", [Variable("B"), Variable("A")])])
+        assert query.answer_variables == (Variable("B"), Variable("A"))
+
+    def test_query_explicit_projection(self):
+        query = Query([Literal("p", [Variable("B"), Variable("A")])],
+                      answer_variables=[Variable("A")])
+        assert query.answer_variables == (Variable("A"),)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            Query([])

@@ -1,0 +1,174 @@
+"""Unit tests for the query engine facade."""
+
+import pytest
+
+from vidb.errors import QueryError, SafetyError
+from vidb.model.oid import Oid
+from vidb.query.engine import Answer, AnswerSet, QueryEngine
+from vidb.query.parser import parse_query
+from vidb.storage.database import VideoDatabase
+
+
+@pytest.fixture
+def db():
+    database = VideoDatabase("engine")
+    database.new_entity("a", name="Ana", role="host")
+    database.new_entity("b", name="Ben", role="guest")
+    database.new_interval("g1", entities=["a", "b"], duration=[(0, 10)])
+    database.new_interval("g2", entities=["b"], duration=[(20, 30)])
+    database.relate("in", Oid.entity("a"), Oid.entity("b"),
+                    Oid.interval("g1"))
+    return database
+
+
+@pytest.fixture
+def engine(db):
+    return QueryEngine(db)
+
+
+class TestQuery:
+    def test_text_query(self, engine):
+        answers = engine.query("?- interval(G), object(b), b in G.entities.")
+        assert len(answers) == 2
+        assert answers.column("G") == [Oid.interval("g1"), Oid.interval("g2")]
+
+    def test_ast_query(self, engine):
+        answers = engine.query(parse_query("?- object(O)."))
+        assert len(answers) == 2
+
+    def test_answer_access(self, engine):
+        answer = engine.query("?- object(O).").first()
+        assert isinstance(answer, Answer)
+        assert answer["O"] == Oid.entity("a")
+        assert answer.get("missing") is None
+        with pytest.raises(QueryError):
+            answer["missing"]
+
+    def test_answers_deterministic_order(self, engine):
+        first = engine.query("?- object(O).").rows()
+        second = engine.query("?- object(O).").rows()
+        assert first == second
+
+    def test_unknown_column_rejected(self, engine):
+        answers = engine.query("?- object(O).")
+        with pytest.raises(QueryError):
+            answers.column("Z")
+
+    def test_boolean_query_via_ask(self, engine):
+        assert engine.ask("?- object(a), interval(g1), a in g1.entities.")
+        assert not engine.ask("?- object(a), interval(g2), a in g2.entities.")
+
+    def test_empty_answer_set_falsy(self, engine):
+        answers = engine.query('?- object(O), O.name = "Nobody".')
+        assert not answers and len(answers) == 0
+        assert answers.first() is None
+
+    def test_unsafe_query_rejected(self, engine):
+        with pytest.raises(SafetyError):
+            engine.query("?- interval(G), O in G.entities.")
+
+    def test_indexing_into_answers(self, engine):
+        answers = engine.query("?- object(O).")
+        assert answers[0]["O"] == Oid.entity("a")
+
+
+class TestRules:
+    def test_add_rules_text(self, engine):
+        engine.add_rules("both(G) :- interval(G), {a, b} subset G.entities.")
+        assert engine.ask("?- both(G).")
+        assert engine.query("?- both(G).").column("G") == [Oid.interval("g1")]
+
+    def test_add_rules_rejects_unsafe(self, engine):
+        with pytest.raises(SafetyError):
+            engine.add_rules("bad(X, Y) :- object(X).")
+
+    def test_add_rules_rejects_edb_shadowing(self, engine):
+        with pytest.raises(SafetyError):
+            engine.add_rules("in(X, Y, G) :- object(X), object(Y), interval(G).")
+
+    def test_failed_add_rules_leaves_program_unchanged(self, engine):
+        engine.add_rules("good(X) :- object(X).")
+        with pytest.raises(SafetyError):
+            engine.add_rules("bad(X, Y) :- object(X).")
+        assert engine.ask("?- good(X).")
+        assert len(engine.program) == 1
+
+    def test_facts_materializes_program(self, engine):
+        engine.add_rules("pair(A, B) :- object(A), object(B), A != B.")
+        assert len(engine.facts("pair")) == 2
+
+    def test_rules_persist_across_queries(self, engine):
+        engine.add_rules("named(O) :- object(O), O.name != \"\".")
+        assert len(engine.query("?- named(O).")) == 2
+        assert len(engine.query("?- named(O).")) == 2
+
+
+class TestComputedPredicates:
+    def test_builtin_gi_predicates_available(self, engine):
+        answers = engine.query(
+            "?- interval(G1), interval(G2), gi_before(G1, G2).")
+        assert [tuple(map(str, r)) for r in answers.rows()] == [("g1", "g2")]
+
+    def test_register_custom_computed(self, engine):
+        def is_long(ctx, args):
+            obj = ctx.objects.get(args[0])
+            return obj is not None and obj.footprint().measure > 15
+
+    # registered under a fresh name, usable immediately
+        engine.register_computed("long_interval", 1, is_long)
+        answers = engine.query("?- interval(G), long_interval(G).")
+        assert answers.rows() == []
+        engine.db.new_interval("g3", duration=[(0, 100)])
+        answers = engine.query("?- interval(G), long_interval(G).")
+        assert [str(r[0]) for r in answers.rows()] == ["g3"]
+
+
+class TestExplain:
+    def test_derivation_tree(self, engine):
+        engine.add_rules("both(G) :- interval(G), {a, b} subset G.entities.")
+        derivations = engine.explain("?- both(G).")
+        assert len(derivations) == 1
+        rendered = derivations[0].render()
+        assert "both(g1)" in rendered
+        assert "database fact" in rendered
+
+    def test_explain_recursive_chain(self, engine):
+        engine.db.relate("next", Oid.interval("g1"), Oid.interval("g2"))
+        engine.add_rules("""
+            reach(X, Y) :- next(X, Y).
+            reach(X, Z) :- reach(X, Y), next(Y, Z).
+        """)
+        derivations = engine.explain("?- reach(X, Y).")
+        assert derivations
+        assert "reach(g1, g2)" in derivations[0].render()
+
+
+class TestAnswerSet:
+    def test_deduplication(self):
+        answers = AnswerSet(["X"], [(1,), (1,), (2,)], stats=None)
+        assert len(answers) == 2
+
+    def test_iteration_yields_answers(self):
+        answers = AnswerSet(["X", "Y"], [(1, 2)], stats=None)
+        assert [a.as_dict() for a in answers] == [{"X": 1, "Y": 2}]
+
+
+class TestGrouping:
+    def test_group_by(self, engine):
+        answers = engine.query(
+            "?- interval(G), object(O), O in G.entities.")
+        groups = answers.group_by("G")
+        assert {str(k) for k in groups} == {"g1", "g2"}
+        assert len(groups[Oid.interval("g1")]) == 2
+        assert all(isinstance(a, Answer) for a in groups[Oid.interval("g1")])
+
+    def test_counts(self, engine):
+        answers = engine.query(
+            "?- interval(G), object(O), O in G.entities.")
+        counts = {str(k): v for k, v in answers.counts("G").items()}
+        assert counts == {"g1": 2, "g2": 1}
+
+    def test_unknown_variable_rejected(self, engine):
+        answers = engine.query("?- object(O).")
+        with pytest.raises(QueryError):
+            answers.group_by("Z")

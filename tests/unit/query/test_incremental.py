@@ -1,0 +1,130 @@
+"""Unit tests for incremental view maintenance."""
+
+import pytest
+
+from vidb.errors import EvaluationError
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.model.objects import EntityObject, GeneralizedIntervalObject
+from vidb.model.oid import Oid
+from vidb.query.fixpoint import evaluate
+from vidb.query.incremental import MaterializedView
+from vidb.query.parser import parse_program
+from vidb.storage.database import VideoDatabase
+
+REACH = parse_program("""
+    reach(X, Y) :- next(X, Y).
+    reach(X, Z) :- reach(X, Y), next(Y, Z).
+""")
+
+
+def chain_db(length):
+    db = VideoDatabase("chain")
+    db.declare_relation("next")
+    for i in range(length):
+        db.new_interval(f"g{i}", duration=[(i * 10, i * 10 + 5)])
+    for i in range(length - 1):
+        db.relate("next", Oid.interval(f"g{i}"), Oid.interval(f"g{i + 1}"))
+    return db
+
+
+def oid(name):
+    return Oid.interval(name)
+
+
+class TestConstruction:
+    def test_view_starts_saturated(self):
+        view = MaterializedView(chain_db(4), REACH)
+        assert len(view.relation("reach")) == 6
+
+    def test_negation_rejected(self):
+        program = parse_program("""
+            a(X) :- b(X).
+            c(X) :- d(X), not a(X).
+        """)
+        with pytest.raises(EvaluationError):
+            MaterializedView(chain_db(2), program)
+
+
+class TestFactInsertion:
+    def test_single_insert_propagates(self):
+        view = MaterializedView(chain_db(3), REACH)
+        db_extension = oid("g2"), oid("gX")
+        view.insert_object(GeneralizedIntervalObject(
+            oid("gX"), {"duration": GeneralizedInterval.from_pairs([(90, 95)])}))
+        assert view.insert_fact("next", *db_extension)
+        reach = view.relation("reach")
+        assert (oid("g0"), oid("gX")) in reach
+        assert (oid("g1"), oid("gX")) in reach
+        assert (oid("g2"), oid("gX")) in reach
+
+    def test_duplicate_insert_is_noop(self):
+        view = MaterializedView(chain_db(3), REACH)
+        before = view.relation("reach")
+        assert not view.insert_fact("next", oid("g0"), oid("g1"))
+        assert view.relation("reach") == before
+
+    def test_matches_from_scratch_after_stream(self):
+        """The headline invariant: incremental == re-evaluated."""
+        base = chain_db(3)
+        view = MaterializedView(base, REACH)
+        extra_edges = [("g2", "g0"), ("g1", "g1"), ("g0", "g2")]
+        for src, dst in extra_edges:
+            view.insert_fact("next", oid(src), oid(dst))
+            base.relate("next", oid(src), oid(dst))
+        fresh = evaluate(base, REACH)
+        assert view.relation("reach") == fresh.relation("reach")
+
+    def test_cycle_insertion_closes_fully(self):
+        view = MaterializedView(chain_db(4), REACH)
+        view.insert_fact("next", oid("g3"), oid("g0"))
+        reach = view.relation("reach")
+        # every ordered pair (including self-loops) is now reachable
+        assert len(reach) == 16
+
+
+class TestObjectInsertion:
+    def test_new_interval_feeds_class_rules(self):
+        program = parse_program(
+            "wide(G) :- interval(G), G.duration => (t >= 0 and t <= 100).")
+        db = chain_db(2)
+        view = MaterializedView(db, program)
+        before = len(view.relation("wide"))
+        view.insert_interval(GeneralizedIntervalObject(
+            oid("gnew"), {"duration": GeneralizedInterval.from_pairs([(50, 60)])}))
+        assert len(view.relation("wide")) == before + 1
+
+    def test_new_entity_feeds_object_rules(self):
+        program = parse_program('named(O) :- object(O), O.name = "Zed".')
+        db = chain_db(1)
+        view = MaterializedView(db, program)
+        view.insert_entity(EntityObject(Oid.entity("z"), {"name": "Zed"}))
+        assert len(view.relation("named")) == 1
+
+    def test_duplicate_object_is_noop(self):
+        db = chain_db(2)
+        view = MaterializedView(db, REACH)
+        existing = db.interval("g0")
+        assert not view.insert_object(existing)
+
+
+class TestConstructivePropagation:
+    def test_insert_triggers_concatenation(self):
+        program = parse_program("""
+            linked(G1, G2) :- next(G1, G2).
+            merged(G1 ++ G2) :- linked(G1, G2).
+        """)
+        view = MaterializedView(chain_db(2), program)
+        assert len(view.relation("merged")) == 1
+        view.insert_fact("next", oid("g1"), oid("g0"))
+        assert len(view.relation("merged")) == 1  # g0++g1 == g1++g0
+        view.insert_object(GeneralizedIntervalObject(
+            oid("g9"), {"duration": GeneralizedInterval.from_pairs([(900, 905)])}))
+        view.insert_fact("next", oid("g1"), oid("g9"))
+        merged_names = {str(r[0]) for r in view.relation("merged")}
+        assert "g1++g9" in merged_names
+
+    def test_counters(self):
+        view = MaterializedView(chain_db(3), REACH)
+        view.insert_fact("next", oid("g2"), oid("g0"))
+        assert view.inserted_facts == 1
+        assert view.propagated_facts > 0

@@ -1,0 +1,186 @@
+"""Unit tests for stratified negation (a vidb extension of the paper's
+positive language)."""
+
+import pytest
+
+from vidb.errors import ParseError, QueryError, SafetyError, UnknownPredicateError
+from vidb.model.oid import Oid
+from vidb.query.ast import Literal, NegatedLiteral, Variable
+from vidb.query.engine import QueryEngine
+from vidb.query.parser import parse_program, parse_query, parse_rule
+from vidb.query.safety import check_rule, stratify_with_negation
+from vidb.storage.database import VideoDatabase
+
+
+@pytest.fixture
+def db():
+    database = VideoDatabase("negation")
+    database.new_entity("a", role="host")
+    database.new_entity("b", role="guest")
+    database.new_entity("c", role="guest")
+    database.new_interval("g1", entities=["a", "b"], duration=[(0, 10)])
+    database.new_interval("g2", entities=["b"], duration=[(20, 30)])
+    database.relate("vip", Oid.entity("a"))
+    return database
+
+
+class TestAst:
+    def test_negated_literal_wraps_literal(self):
+        inner = Literal("p", [Variable("X")])
+        negated = NegatedLiteral(inner)
+        assert negated.predicate == "p"
+        assert negated.variables() == inner.variables()
+
+    def test_negation_of_non_literal_rejected(self):
+        with pytest.raises(QueryError):
+            NegatedLiteral("p(X)")  # type: ignore[arg-type]
+
+    def test_negation_of_constructive_literal_rejected(self):
+        from vidb.query.ast import ConcatTerm
+
+        inner = Literal("p", [ConcatTerm(Variable("A"), Variable("B"))])
+        with pytest.raises(QueryError):
+            NegatedLiteral(inner)
+
+    def test_rule_partitions_negated_literals(self):
+        rule = parse_rule("q(X) :- p(X), not r(X).")
+        assert len(rule.literals()) == 1
+        assert len(rule.negated_literals()) == 1
+        assert rule.negated_literals()[0].predicate == "r"
+
+
+class TestParser:
+    def test_not_before_literal(self):
+        rule = parse_rule("q(X) :- p(X), not r(X).")
+        assert isinstance(rule.body[1], NegatedLiteral)
+
+    def test_not_as_plain_symbol_still_works(self):
+        # "not" not followed by a literal is an ordinary symbol.
+        rule = parse_rule("q(X) :- p(X, not).")
+        assert rule.body[0].args[1].name == "not"
+
+    def test_negation_in_query(self):
+        query = parse_query("?- object(O), not vip(O).")
+        assert isinstance(query.body[1], NegatedLiteral)
+
+
+class TestSafety:
+    def test_negated_variables_must_be_positively_bound(self):
+        with pytest.raises(SafetyError):
+            check_rule(parse_rule("q(X) :- p(X), not r(Y)."))
+        check_rule(parse_rule("q(X) :- p(X), not r(X)."))
+
+    def test_stratification_orders_negation(self):
+        program = parse_program("""
+            appears(O) :- member(O, G).
+            absent(O) :- object(O), not appears(O).
+        """)
+        strata = stratify_with_negation(program)
+        assert len(strata) == 2
+        assert strata[0][0].head.predicate == "appears"
+        assert strata[1][0].head.predicate == "absent"
+
+    def test_positive_recursion_shares_stratum(self):
+        program = parse_program("""
+            reach(X, Y) :- edge(X, Y).
+            reach(X, Z) :- reach(X, Y), edge(Y, Z).
+        """)
+        assert len(stratify_with_negation(program)) == 1
+
+    def test_non_stratifiable_rejected(self):
+        program = parse_program("""
+            win(X) :- pos(X), not lose(X).
+            lose(X) :- pos(X), not win(X).
+        """)
+        with pytest.raises(SafetyError):
+            stratify_with_negation(program)
+
+    def test_negation_through_recursion_rejected(self):
+        program = parse_program("""
+            p(X) :- base(X), not q(X).
+            q(X) :- p(X).
+        """)
+        with pytest.raises(SafetyError):
+            stratify_with_negation(program)
+
+    def test_negating_interval_sits_above_constructive_rules(self):
+        program = parse_program("""
+            merged(G1 ++ G2) :- linked(G1, G2).
+            plain(G) :- interval(G), not merged(G).
+        """)
+        strata = stratify_with_negation(program)
+        order = {rule.head.predicate: i
+                 for i, group in enumerate(strata) for rule in group}
+        assert order["merged"] < order["plain"]
+
+
+class TestEvaluation:
+    def test_negation_over_edb(self, db):
+        engine = QueryEngine(db)
+        answers = engine.query("?- object(O), not vip(O).")
+        assert [str(r[0]) for r in answers.rows()] == ["b", "c"]
+
+    def test_negation_over_idb(self, db):
+        engine = QueryEngine(db)
+        engine.add_rules("""
+            appears(O) :- interval(G), object(O), O in G.entities.
+            absent(O) :- object(O), not appears(O).
+        """)
+        assert [str(r[0]) for r in engine.query("?- absent(O).").rows()] == ["c"]
+
+    def test_negation_with_recursion_below(self, db):
+        db.relate("next", Oid.interval("g1"), Oid.interval("g2"))
+        engine = QueryEngine(db)
+        engine.add_rules("""
+            reach(X, Y) :- next(X, Y).
+            reach(X, Z) :- reach(X, Y), next(Y, Z).
+            unreachable(X, Y) :- interval(X), interval(Y),
+                                 not reach(X, Y), X != Y.
+        """)
+        pairs = {tuple(map(str, r)) for r in engine.facts("unreachable")}
+        assert pairs == {("g2", "g1")}
+
+    def test_negation_of_computed_predicate(self, db):
+        engine = QueryEngine(db)
+        answers = engine.query(
+            "?- interval(G1), interval(G2), not gi_overlaps(G1, G2), "
+            "G1 != G2.")
+        pairs = {tuple(map(str, r)) for r in answers.rows()}
+        assert pairs == {("g1", "g2"), ("g2", "g1")}
+
+    def test_negation_of_unknown_predicate_rejected(self, db):
+        engine = QueryEngine(db)
+        with pytest.raises(UnknownPredicateError):
+            engine.query("?- object(O), not nosuch(O).")
+
+    def test_modes_agree_with_negation(self, db):
+        rules = """
+            appears(O) :- interval(G), object(O), O in G.entities.
+            absent(O) :- object(O), not appears(O).
+        """
+        naive = QueryEngine(db, mode="naive").add_rules(rules)
+        seminaive = QueryEngine(db, mode="seminaive").add_rules(rules)
+        assert naive.facts("absent") == seminaive.facts("absent")
+
+    def test_double_negation_via_two_strata(self, db):
+        engine = QueryEngine(db)
+        engine.add_rules("""
+            appears(O) :- interval(G), object(O), O in G.entities.
+            absent(O) :- object(O), not appears(O).
+            present(O) :- object(O), not absent(O).
+        """)
+        assert [str(r[0]) for r in engine.query("?- present(O).").rows()] \
+            == ["a", "b"]
+
+    def test_negation_after_construction(self, db):
+        """Negating the interval class sees the ⊕-created objects."""
+        engine = QueryEngine(db)
+        engine.add_rules("""
+            merged(G1 ++ G2) :- interval(G1), interval(G2), object(b),
+                                b in G1.entities, b in G2.entities,
+                                G1 != G2.
+            original(G) :- interval(G), not merged(G).
+        """)
+        result = engine.materialize()
+        names = {str(r[0]) for r in result.relation("original")}
+        assert names == {"g1", "g2"}  # the composite is merged, bases are not

@@ -1,0 +1,234 @@
+"""Unit tests for the rule-language parser."""
+
+from fractions import Fraction
+
+import pytest
+
+from vidb.constraints.dense import Comparison as DenseComparison, Or
+from vidb.constraints.terms import Var
+from vidb.errors import ParseError
+from vidb.query.ast import (
+    AttrPath,
+    ComparisonAtom,
+    ConcatTerm,
+    EntailmentAtom,
+    Literal,
+    MembershipAtom,
+    SubsetAtom,
+    Symbol,
+    Variable,
+)
+from vidb.query.parser import (
+    parse_constraint,
+    parse_program,
+    parse_query,
+    parse_rule,
+    tokenize,
+)
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("q(X) :- p(X).")]
+        assert kinds == ["IDENT", "LPAREN", "IDENT", "RPAREN", "ARROW",
+                         "IDENT", "LPAREN", "IDENT", "RPAREN", "DOT", "EOF"]
+
+    def test_tight_dot_is_path(self):
+        kinds = [t.kind for t in tokenize("G.duration")]
+        assert kinds == ["IDENT", "PATHDOT", "IDENT", "EOF"]
+
+    def test_final_dot_after_path(self):
+        kinds = [t.kind for t in tokenize("o in G.entities.")]
+        assert kinds[-3:] == ["IDENT", "DOT", "EOF"]
+
+    def test_numbers(self):
+        tokens = tokenize("3 -7 2.5")
+        assert [t.value for t in tokens[:-1]] == [3, -7, Fraction(5, 2)]
+
+    def test_decimal_integer_collapses(self):
+        assert tokenize("4.0")[0].value == 4
+
+    def test_string_with_escape(self):
+        token = tokenize(r'"say \"hi\""')[0]
+        assert token.kind == "STRING" and token.value == 'say "hi"'
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+    def test_comments_skipped(self):
+        kinds = [t.kind for t in tokenize("% comment\nq(X). # more")]
+        assert "IDENT" in kinds and len(kinds) == 6
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError):
+            tokenize("q(X) @ p.")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("ok\n  @")
+        assert excinfo.value.line == 2
+
+    def test_multi_char_operators(self):
+        kinds = [t.kind for t in tokenize(":- ?- => ++ != <= >=")]
+        assert kinds == ["ARROW", "QUERY", "ENTAILS", "CONCAT", "OP", "OP",
+                         "OP", "EOF"]
+
+
+class TestRules:
+    def test_simple_rule(self):
+        rule = parse_rule("q(X) :- p(X).")
+        assert rule.head == Literal("q", [Variable("X")])
+        assert rule.body == (Literal("p", [Variable("X")]),)
+
+    def test_fact(self):
+        rule = parse_rule("p(a, 3).")
+        assert rule.is_fact
+        assert rule.head.args == (Symbol("a"), 3)
+
+    def test_named_rule(self):
+        rule = parse_rule("r1: q(X) :- p(X).")
+        assert rule.name == "r1"
+
+    def test_left_arrow_synonym(self):
+        assert parse_rule("q(X) <- p(X).") == parse_rule("q(X) :- p(X).")
+
+    def test_uppercase_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("Q(X) :- p(X).")
+
+    def test_concat_in_head(self):
+        rule = parse_rule("q(G1 ++ G2) :- p(G1), p(G2).")
+        assert isinstance(rule.head.args[0], ConcatTerm)
+
+    def test_nested_concat(self):
+        rule = parse_rule("q(G1 ++ G2 ++ G3) :- p(G1), p(G2), p(G3).")
+        term = rule.head.args[0]
+        assert isinstance(term, ConcatTerm) and isinstance(term.left, ConcatTerm)
+
+    def test_concat_in_body_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("q(X) :- p(G1 ++ G2), r(X).")
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("q(X) :- p(X)")
+
+    def test_program_with_multiple_rules(self):
+        program = parse_program("""
+            % transitive closure
+            reach(X, Y) :- edge(X, Y).
+            reach(X, Z) :- reach(X, Y), edge(Y, Z).
+        """)
+        assert len(program) == 2
+        assert program.idb_predicates() == frozenset({"reach"})
+
+    def test_query_inside_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("?- q(X).")
+
+
+class TestConstraintAtoms:
+    def test_membership(self):
+        rule = parse_rule("q(O) :- object(O), O in g.entities.")
+        atom = rule.body[1]
+        assert isinstance(atom, MembershipAtom)
+        assert atom.element == Variable("O")
+        assert atom.collection == AttrPath(Symbol("g"), "entities")
+
+    def test_subset_literal(self):
+        rule = parse_rule("q(G) :- interval(G), {o1, o2} subset G.entities.")
+        atom = rule.body[1]
+        assert isinstance(atom, SubsetAtom)
+        assert atom.subset == (Symbol("o1"), Symbol("o2"))
+
+    def test_subset_between_paths(self):
+        rule = parse_rule(
+            "q(G1, G2) :- interval(G1), interval(G2), "
+            "G1.entities subset G2.entities.")
+        atom = rule.body[2]
+        assert isinstance(atom, SubsetAtom)
+        assert isinstance(atom.subset, AttrPath)
+
+    def test_comparison_path_to_string(self):
+        rule = parse_rule('q(O) :- object(O), O.name = "David".')
+        atom = rule.body[1]
+        assert isinstance(atom, ComparisonAtom)
+        assert atom.op == "=" and atom.right == "David"
+
+    def test_comparison_path_to_path(self):
+        rule = parse_rule("q(A, B) :- object(A), object(B), A.age < B.age.")
+        atom = rule.body[2]
+        assert isinstance(atom.left, AttrPath) and isinstance(atom.right, AttrPath)
+
+    def test_comparison_between_variables(self):
+        rule = parse_rule("q(A, B) :- p(A, B), A != B.")
+        atom = rule.body[1]
+        assert atom.op == "!=" and atom.left == Variable("A")
+
+    def test_entailment_path_to_inline(self):
+        rule = parse_rule(
+            "q(G) :- interval(G), G.duration => (t > 0 and t < 12).")
+        atom = rule.body[1]
+        assert isinstance(atom, EntailmentAtom)
+        assert isinstance(atom.left, AttrPath)
+        assert atom.right.evaluate({Var("t"): 5})
+
+    def test_entailment_path_to_path(self):
+        rule = parse_rule(
+            "contains(G1, G2) :- interval(G1), interval(G2), "
+            "G2.duration => G1.duration.")
+        atom = rule.body[2]
+        assert atom.left == AttrPath(Variable("G2"), "duration")
+        assert atom.right == AttrPath(Variable("G1"), "duration")
+
+    def test_entailment_inline_to_path(self):
+        rule = parse_rule(
+            "q(G) :- interval(G), (t > 3 and t < 4) => G.duration.")
+        atom = rule.body[1]
+        assert isinstance(atom, EntailmentAtom)
+        assert isinstance(atom.right, AttrPath)
+
+    def test_relation_named_in_still_parses(self):
+        # "in" is a contextual keyword: usable as a predicate name.
+        rule = parse_rule("q(X, Y, G) :- in(X, Y, G).")
+        assert rule.body[0] == Literal("in", [Variable("X"), Variable("Y"),
+                                              Variable("G")])
+
+    def test_inline_constraint_or_precedence(self):
+        c = parse_constraint("(t < 1 or t > 5 and t < 9)")
+        # 'and' binds tighter: t<1 | (t>5 & t<9)
+        assert isinstance(c, Or) and len(c.parts) == 2
+
+    def test_inline_constraint_parens(self):
+        c = parse_constraint("((t < 1 or t > 5) and t < 9)")
+        clauses = c.dnf()
+        assert len(clauses) == 2 and all(len(cl) == 2 for cl in clauses)
+
+    def test_inline_constraint_with_rule_variable(self):
+        rule = parse_rule("q(G, A) :- interval(G), bound(A), "
+                          "G.duration => (t > A).")
+        atom = rule.body[2]
+        assert Var("A") in atom.right.variables()
+
+
+class TestQueries:
+    def test_query_with_prefix(self):
+        query = parse_query("?- interval(G), object(O), O in G.entities.")
+        assert [v.name for v in query.answer_variables] == ["G", "O"]
+
+    def test_query_without_prefix(self):
+        query = parse_query("interval(G).")
+        assert [v.name for v in query.answer_variables] == ["G"]
+
+    def test_answer_variable_order_is_first_occurrence(self):
+        query = parse_query("?- p(B, A), q(A, C).")
+        assert [v.name for v in query.answer_variables] == ["B", "A", "C"]
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("?- q(X). extra")
+
+    def test_concat_in_query_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("?- q(G1 ++ G2).")

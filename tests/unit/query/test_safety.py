@@ -1,0 +1,144 @@
+"""Unit tests for static safety analysis (Definition 11 and friends)."""
+
+import pytest
+
+from vidb.errors import SafetyError
+from vidb.query.parser import parse_program, parse_query, parse_rule
+from vidb.query.safety import (
+    bound_variables,
+    check_program,
+    check_query,
+    check_rule,
+    dependency_graph,
+    is_recursive,
+    stratify,
+)
+
+
+class TestRangeRestriction:
+    def test_safe_rule_passes(self):
+        check_rule(parse_rule("q(X) :- p(X)."))
+
+    def test_head_variable_unbound(self):
+        with pytest.raises(SafetyError):
+            check_rule(parse_rule("q(X, Y) :- p(X)."))
+
+    def test_constraint_variable_unbound(self):
+        # Variables occurring only in constraint atoms are NOT bound.
+        with pytest.raises(SafetyError):
+            check_rule(parse_rule("q(X) :- p(X), Y in X.entities."))
+
+    def test_constraint_variable_bound_by_literal(self):
+        check_rule(parse_rule("q(X, Y) :- p(X), object(Y), Y in X.entities."))
+
+    def test_comparison_only_variable_unbound(self):
+        with pytest.raises(SafetyError):
+            check_rule(parse_rule("q(X) :- p(X), X < Y."))
+
+    def test_inline_constraint_rule_variable_must_be_bound(self):
+        with pytest.raises(SafetyError):
+            check_rule(parse_rule("q(G) :- interval(G), "
+                                  "G.duration => (t > LOW)."))
+        check_rule(parse_rule("q(G, LOW) :- interval(G), bound(LOW), "
+                              "G.duration => (t > LOW)."))
+
+    def test_ground_fact_is_safe(self):
+        check_rule(parse_rule("p(a, 3)."))
+
+
+class TestHeadHygiene:
+    def test_cannot_redefine_class_predicates(self):
+        for predicate in ("interval", "object", "anyobject"):
+            with pytest.raises(SafetyError):
+                check_rule(parse_rule(f"{predicate}(X) :- p(X)."))
+
+    def test_cannot_shadow_edb_relation(self):
+        rule = parse_rule("in(X, Y) :- p(X, Y).")
+        with pytest.raises(SafetyError):
+            check_rule(rule, edb_relations={"in"})
+        check_rule(rule)  # fine when "in" is not an EDB relation
+
+    def test_constructive_operands_must_be_bound(self):
+        with pytest.raises(SafetyError):
+            check_rule(parse_rule("q(G1 ++ G2) :- interval(G1)."))
+        check_rule(parse_rule("q(G1 ++ G2) :- interval(G1), interval(G2)."))
+
+
+class TestProgramChecks:
+    def test_arity_consistency(self):
+        program = parse_program("""
+            q(X) :- p(X).
+            q(X, Y) :- p(X), p(Y).
+        """)
+        with pytest.raises(SafetyError):
+            check_program(program)
+
+    def test_consistent_program_passes(self):
+        check_program(parse_program("""
+            reach(X, Y) :- edge(X, Y).
+            reach(X, Z) :- reach(X, Y), edge(Y, Z).
+        """))
+
+
+class TestQueryChecks:
+    def test_safe_query(self):
+        check_query(parse_query("?- interval(G), object(O), O in G.entities."))
+
+    def test_unsafe_query(self):
+        with pytest.raises(SafetyError):
+            check_query(parse_query("?- interval(G), O in G.entities."))
+
+
+class TestDependencyAnalysis:
+    def test_dependency_graph(self):
+        program = parse_program("""
+            q(X) :- p(X), r(X).
+            r(X) :- s(X).
+        """)
+        graph = dependency_graph(program)
+        assert graph["q"] == frozenset({"p", "r"})
+        assert graph["r"] == frozenset({"s"})
+
+    def test_is_recursive_direct(self):
+        assert is_recursive(parse_program("q(X) :- q(X), p(X)."))
+
+    def test_is_recursive_mutual(self):
+        assert is_recursive(parse_program("""
+            even(X) :- zero(X).
+            even(X) :- succ(Y, X), odd(Y).
+            odd(X) :- succ(Y, X), even(X).
+        """))
+
+    def test_non_recursive(self):
+        assert not is_recursive(parse_program("""
+            q(X) :- p(X).
+            r(X) :- q(X).
+        """))
+
+    def test_stratify_layers(self):
+        program = parse_program("""
+            base(X) :- edge(X, X).
+            mid(X) :- base(X).
+            top(X) :- mid(X), base(X).
+        """)
+        strata = stratify(program)
+        order = {p: i for i, layer in enumerate(strata) for p in layer}
+        assert order["base"] < order["mid"] < order["top"]
+
+    def test_stratify_groups_mutual_recursion(self):
+        program = parse_program("""
+            a(X) :- b(X).
+            b(X) :- a(X).
+            b(X) :- seed(X).
+            c(X) :- a(X).
+        """)
+        strata = stratify(program)
+        ab_layer = next(layer for layer in strata if "a" in layer)
+        assert "b" in ab_layer
+        order = {p: i for i, layer in enumerate(strata) for p in layer}
+        assert order["a"] < order["c"]
+
+    def test_bound_variables(self):
+        rule = parse_rule("q(X) :- p(X, Y), X < 3.")
+        names = {v.name for v in bound_variables(rule)}
+        assert names == {"X", "Y"}

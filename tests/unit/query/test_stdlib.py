@@ -1,0 +1,98 @@
+"""Unit tests for the derived-relation standard library."""
+
+import pytest
+
+from vidb.model.oid import Oid
+from vidb.query.engine import QueryEngine
+from vidb.query.stdlib import STDLIB_RULES, computed_predicates
+from vidb.storage.database import VideoDatabase
+
+
+@pytest.fixture
+def db():
+    database = VideoDatabase("stdlib")
+    database.new_entity("a")
+    database.new_entity("b")
+    database.new_interval("inner", entities=["a"], duration=[(5, 8)])
+    database.new_interval("outer", entities=["a", "b"], duration=[(0, 10)])
+    database.new_interval("later", entities=["b"],
+                          duration=[(20, 25), (30, 35)])
+    return database
+
+
+@pytest.fixture
+def engine(db):
+    return QueryEngine(db, use_stdlib_rules=True)
+
+
+class TestContainsRule:
+    def test_contains_via_duration_entailment(self, engine):
+        pairs = {tuple(map(str, r)) for r in engine.facts("contains")}
+        assert ("outer", "inner") in pairs       # inner.duration => outer's
+        assert ("inner", "outer") not in pairs
+        # reflexive by entailment
+        assert ("outer", "outer") in pairs
+
+    def test_disjoint_intervals_not_contained(self, engine):
+        pairs = {tuple(map(str, r)) for r in engine.facts("contains")}
+        assert ("outer", "later") not in pairs
+        assert ("later", "outer") not in pairs
+
+
+class TestSameObjectIn:
+    def test_shared_objects_reported(self, engine):
+        triples = {tuple(map(str, r)) for r in engine.facts("same_object_in")}
+        assert ("inner", "outer", "a") in triples
+        assert ("outer", "later", "b") in triples
+        assert ("inner", "later", "b") not in triples
+
+
+class TestComputedPredicates:
+    def test_registry_contents(self):
+        registry = computed_predicates()
+        for name in ("gi_overlaps", "gi_before", "gi_contains", "gi_equals",
+                     "gi_meets", "time_in"):
+            assert name in registry
+            arity, fn = registry[name]
+            assert arity == 2 and callable(fn)
+
+    def test_gi_overlaps(self, engine):
+        answers = engine.query(
+            "?- interval(G1), interval(G2), gi_overlaps(G1, G2), G1 != G2.")
+        pairs = {tuple(map(str, r)) for r in answers.rows()}
+        assert ("inner", "outer") in pairs
+        assert ("outer", "later") not in pairs
+
+    def test_gi_contains(self, engine):
+        answers = engine.query(
+            "?- interval(G1), interval(G2), gi_contains(G1, G2), G1 != G2.")
+        assert ("outer", "inner") in {
+            tuple(map(str, r)) for r in answers.rows()}
+
+    def test_gi_before(self, engine):
+        answers = engine.query(
+            "?- interval(G1), interval(G2), gi_before(G1, G2).")
+        pairs = {tuple(map(str, r)) for r in answers.rows()}
+        assert ("inner", "later") in pairs and ("outer", "later") in pairs
+
+    def test_time_in(self, engine):
+        assert engine.ask("?- interval(later), time_in(22, later).")
+        assert not engine.ask("?- interval(later), time_in(27, later).")
+
+    def test_time_in_rejects_oid_point(self, engine):
+        assert not engine.ask("?- interval(later), object(a), "
+                              "time_in(a, later).")
+
+    def test_interval_without_duration_never_matches(self, engine):
+        engine.db.new_interval("bare")
+        assert not engine.ask(
+            "?- interval(bare), interval(outer), gi_overlaps(bare, outer).")
+
+
+class TestStdlibText:
+    def test_rules_parse_standalone(self):
+        from vidb.query.parser import parse_program
+
+        program = parse_program(STDLIB_RULES)
+        assert program.idb_predicates() == frozenset(
+            {"contains", "same_object_in"})

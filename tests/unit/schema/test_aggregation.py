@@ -1,0 +1,89 @@
+"""Unit tests for aggregation (composite objects)."""
+
+import pytest
+
+from vidb.errors import ModelError
+from vidb.model.oid import Oid
+from vidb.query.engine import QueryEngine
+from vidb.schema.aggregation import (
+    PART_OF,
+    aggregate,
+    aggregation_program,
+    members_of,
+)
+from vidb.storage.database import VideoDatabase
+
+
+@pytest.fixture
+def db():
+    database = VideoDatabase("agg")
+    database.new_entity("cam", role="camera")
+    database.new_entity("mic", role="sound")
+    database.new_entity("van", role="transport")
+    database.new_interval("g1", entities=["cam", "mic"], duration=[(0, 10)])
+    return database
+
+
+class TestAggregate:
+    def test_composite_created_with_members(self, db):
+        crew = aggregate(db, "crew", ["cam", "mic"], label="crew")
+        assert crew["members"] == frozenset(
+            {Oid.entity("cam"), Oid.entity("mic")})
+        assert crew["label"] == "crew"
+
+    def test_part_of_facts_asserted(self, db):
+        aggregate(db, "crew", ["cam", "mic"])
+        assert len(db.facts(PART_OF)) == 2
+
+    def test_members_of(self, db):
+        aggregate(db, "crew", ["cam", "mic"])
+        assert {str(m.oid) for m in members_of(db, "crew")} == {"cam", "mic"}
+
+    def test_unknown_member_rejected(self, db):
+        with pytest.raises(ModelError):
+            aggregate(db, "crew", ["ghost"])
+
+    def test_empty_members_rejected(self, db):
+        with pytest.raises(ModelError):
+            aggregate(db, "crew", [])
+
+    def test_nested_aggregates(self, db):
+        aggregate(db, "crew", ["cam", "mic"])
+        aggregate(db, "unit", ["crew", "van"])
+        assert {str(m.oid) for m in members_of(db, "unit")} == {"crew", "van"}
+
+
+class TestAggregationProgram:
+    def test_transitive_part_of(self, db):
+        aggregate(db, "crew", ["cam", "mic"])
+        aggregate(db, "unit", ["crew", "van"])
+        engine = QueryEngine(db)
+        engine.add_rules(aggregation_program())
+        star = {tuple(map(str, r)) for r in engine.facts("part_of_star")}
+        assert ("cam", "crew") in star
+        assert ("cam", "unit") in star      # through the nesting
+        assert ("van", "unit") in star
+        assert ("van", "crew") not in star
+
+    def test_shares_whole_symmetric(self, db):
+        aggregate(db, "crew", ["cam", "mic"])
+        engine = QueryEngine(db)
+        engine.add_rules(aggregation_program())
+        pairs = {tuple(map(str, r)) for r in engine.facts("shares_whole")}
+        assert ("cam", "mic") in pairs and ("mic", "cam") in pairs
+
+    def test_aggregate_on_screen_lifts_membership(self, db):
+        aggregate(db, "crew", ["cam", "mic"])
+        engine = QueryEngine(db)
+        engine.add_rules(aggregation_program())
+        rows = {tuple(map(str, r))
+                for r in engine.facts("aggregate_on_screen")}
+        assert ("crew", "g1") in rows
+
+    def test_composite_absent_when_no_part_on_screen(self, db):
+        aggregate(db, "motorpool", ["van"])
+        engine = QueryEngine(db)
+        engine.add_rules(aggregation_program())
+        rows = {tuple(map(str, r))
+                for r in engine.facts("aggregate_on_screen")}
+        assert not any(composite == "motorpool" for composite, __ in rows)

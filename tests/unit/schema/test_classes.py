@@ -1,0 +1,164 @@
+"""Unit tests for classification/generalization (Schema)."""
+
+import pytest
+
+from vidb.errors import ModelError
+from vidb.query.engine import QueryEngine
+from vidb.schema.classes import ATTR_TYPES, AttrSpec, Schema
+from vidb.storage.database import VideoDatabase
+
+
+@pytest.fixture
+def schema():
+    s = Schema()
+    s.add_class("person", attributes={
+        "name": AttrSpec("string", required=True)})
+    s.add_class("reporter", parent="person",
+                attributes={"employer": AttrSpec("string")})
+    s.add_class("politician", parent="person")
+    s.add_class("senator", parent="politician")
+    s.add_class("vehicle")
+    return s
+
+
+@pytest.fixture
+def db(schema):
+    database = VideoDatabase("classed")
+    database.new_entity("o1", kind="reporter", name="Pat", employer="W4")
+    database.new_entity("o2", kind="senator", name="Lee")
+    database.new_entity("o3", kind="vehicle")
+    database.new_entity("o4", name="Unclassified")
+    return database
+
+
+class TestHierarchy:
+    def test_ancestors_chain(self, schema):
+        assert schema.ancestors("senator") == ("politician", "person")
+        assert schema.ancestors("person") == ()
+
+    def test_descendants(self, schema):
+        assert schema.descendants("person") == frozenset(
+            {"reporter", "politician", "senator"})
+        assert schema.descendants("vehicle") == frozenset()
+
+    def test_is_subclass_reflexive_and_transitive(self, schema):
+        assert schema.is_subclass("senator", "senator")
+        assert schema.is_subclass("senator", "person")
+        assert not schema.is_subclass("person", "senator")
+        assert not schema.is_subclass("vehicle", "person")
+
+    def test_duplicate_class_rejected(self, schema):
+        with pytest.raises(ModelError):
+            schema.add_class("person")
+
+    def test_unknown_parent_rejected(self, schema):
+        with pytest.raises(ModelError):
+            schema.add_class("alien", parent="martian")
+
+    def test_bad_class_name_rejected(self, schema):
+        with pytest.raises(ModelError):
+            schema.add_class("Person")
+
+    def test_unknown_class_lookup(self, schema):
+        with pytest.raises(ModelError):
+            schema.get("robot")
+
+
+class TestAttrSpec:
+    def test_types_enumerated(self):
+        for type_name in ATTR_TYPES:
+            AttrSpec(type_name)
+        with pytest.raises(ModelError):
+            AttrSpec("blob")
+
+    def test_accepts(self):
+        from vidb.model.oid import Oid
+
+        assert AttrSpec("string").accepts("x")
+        assert not AttrSpec("string").accepts(1)
+        assert AttrSpec("number").accepts(1.5)
+        assert not AttrSpec("number").accepts(True)
+        assert AttrSpec("oid").accepts(Oid.entity("a"))
+        assert AttrSpec("set").accepts(frozenset({1}))
+        assert AttrSpec("any").accepts(object())
+
+    def test_effective_attributes_merge(self, schema):
+        effective = schema.effective_attributes("reporter")
+        assert set(effective) == {"name", "employer"}
+        assert effective["name"].required
+
+    def test_subclass_can_strengthen(self, schema):
+        schema.add_class("anchor", parent="reporter", attributes={
+            "employer": AttrSpec("string", required=True)})
+        assert schema.effective_attributes("anchor")["employer"].required
+
+
+class TestInstancesAndValidation:
+    def test_instances_include_subclasses(self, schema, db):
+        names = {str(o.oid) for o in schema.instances(db, "person")}
+        assert names == {"o1", "o2"}
+
+    def test_proper_instances(self, schema, db):
+        assert schema.instances(db, "person", proper=True) == []
+        names = {str(o.oid) for o in schema.instances(db, "senator")}
+        assert names == {"o2"}
+
+    def test_validate_clean(self, schema, db):
+        assert schema.validate(db) == []
+
+    def test_missing_required_attribute(self, schema, db):
+        db.new_entity("o5", kind="reporter")
+        problems = schema.validate(db)
+        assert len(problems) == 1 and "name" in problems[0]
+
+    def test_type_mismatch(self, schema, db):
+        db.new_entity("o6", kind="person", name=42)
+        problems = schema.validate(db)
+        assert len(problems) == 1 and "does not match" in problems[0]
+
+    def test_unknown_class_flagged(self, schema, db):
+        db.new_entity("o7", kind="robot")
+        assert any("unknown class" in p for p in schema.validate(db))
+
+    def test_unclassified_entities_ignored(self, schema, db):
+        # o4 has a name but no kind: schema-optional, like the paper.
+        assert schema.validate(db) == []
+
+
+class TestCompilationToRules:
+    def test_class_predicates_queryable(self, schema, db):
+        engine = QueryEngine(db)
+        engine.add_rules(schema.to_program())
+        people = {str(r[0]) for r in engine.query("?- person(X).").rows()}
+        assert people == {"o1", "o2"}
+
+    def test_inheritance_through_two_levels(self, schema, db):
+        engine = QueryEngine(db)
+        engine.add_rules(schema.to_program())
+        assert engine.ask("?- politician(o2).")
+        assert engine.ask("?- person(o2).")
+        assert not engine.ask("?- reporter(o2).")
+
+    def test_class_predicates_compose_with_language(self, schema, db):
+        db.new_interval("g1", entities=["o1", "o2", "o3"],
+                        duration=[(0, 10)])
+        engine = QueryEngine(db)
+        engine.add_rules(schema.to_program())
+        answers = engine.query(
+            "?- interval(G), person(X), X in G.entities.")
+        assert {str(r[1]) for r in answers.rows()} == {"o1", "o2"}
+
+    def test_class_predicates_negate(self, schema, db):
+        engine = QueryEngine(db)
+        engine.add_rules(schema.to_program())
+        answers = engine.query("?- object(X), not person(X).")
+        assert {str(r[0]) for r in answers.rows()} == {"o3", "o4"}
+
+    def test_custom_kind_attribute(self):
+        schema = Schema(kind_attribute="category")
+        schema.add_class("clip")
+        db = VideoDatabase("custom")
+        db.new_entity("x", category="clip")
+        engine = QueryEngine(db)
+        engine.add_rules(schema.to_program())
+        assert engine.ask("?- clip(x).")

@@ -1,0 +1,118 @@
+"""Unit tests for JSON persistence."""
+
+from fractions import Fraction
+
+import pytest
+
+from vidb.constraints.terms import Var
+from vidb.errors import PersistenceError
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.model.oid import Oid
+from vidb.storage.database import VideoDatabase
+from vidb.storage.persistence import (
+    database_from_dict,
+    database_to_dict,
+    decode_value,
+    dumps,
+    encode_value,
+    load,
+    loads,
+    save,
+)
+
+t = Var("t")
+
+
+def gi(*pairs):
+    return GeneralizedInterval.from_pairs(pairs)
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize("value", [
+        5, -3, 2.5, "hello", Fraction(1, 3),
+        Oid.entity("o1"), Oid.interval("g1"),
+        Oid.concat(Oid.interval("a"), Oid.interval("b")),
+        frozenset({1, 2, "x"}),
+        frozenset({frozenset({1}), frozenset({2})}),
+    ])
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_constraint_roundtrip(self):
+        constraint = ((t > 0) & (t < 5)) | t.eq(9)
+        decoded = decode_value(encode_value(constraint))
+        assert decoded.dnf() == constraint.dnf()
+
+    def test_fraction_exact(self):
+        encoded = encode_value(Fraction(1, 3))
+        assert encoded == {"$fraction": [1, 3]}
+        assert decode_value(encoded) == Fraction(1, 3)
+
+    def test_boolean_rejected(self):
+        with pytest.raises(PersistenceError):
+            encode_value(True)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(PersistenceError):
+            encode_value(object())
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(PersistenceError):
+            decode_value({"$mystery": 1})
+
+
+@pytest.fixture
+def db():
+    database = VideoDatabase("persist")
+    ana = database.new_entity("a", name="Ana", rating=Fraction(9, 2))
+    ben = database.new_entity("b", name="Ben", tags={"x", "y"})
+    database.new_interval("g1", entities=[ana.oid, ben.oid],
+                          duration=[(0, 10), (20, 30)], subject="intro",
+                          host=ana.oid)
+    database.relate("in", ana, ben, Oid.interval("g1"))
+    database.relate("rated", Oid.interval("g1"), 5)
+    return database
+
+
+class TestDatabaseCodec:
+    def test_roundtrip_preserves_everything(self, db):
+        restored = loads(dumps(db))
+        assert set(restored.entities()) == set(db.entities())
+        assert set(restored.intervals()) == set(db.intervals())
+        assert restored.facts() == db.facts()
+        assert restored.name == db.name
+
+    def test_snapshot_is_stable(self, db):
+        snapshot = dumps(db)
+        assert dumps(loads(snapshot)) == snapshot
+
+    def test_restored_indexes_work(self, db):
+        restored = loads(dumps(db))
+        assert [str(i.oid) for i in restored.intervals_at(25)] == ["g1"]
+        assert [str(i.oid) for i in restored.intervals_with_entity("a")] == ["g1"]
+        assert len(restored.facts("in")) == 1
+
+    def test_file_roundtrip(self, db, tmp_path):
+        path = tmp_path / "snapshot.json"
+        save(db, path)
+        restored = load(path)
+        assert set(restored.entities()) == set(db.entities())
+
+    def test_format_version_checked(self, db):
+        data = database_to_dict(db)
+        data["format"] = 999
+        with pytest.raises(PersistenceError):
+            database_from_dict(data)
+
+    def test_not_a_snapshot_rejected(self):
+        with pytest.raises(PersistenceError):
+            database_from_dict({"hello": "world"})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(PersistenceError):
+            loads("{not json")
+
+    def test_empty_database_roundtrip(self):
+        empty = VideoDatabase("empty")
+        restored = loads(dumps(empty))
+        assert len(restored) == 0 and restored.name == "empty"

@@ -1,0 +1,120 @@
+"""Unit tests for undo-log transactions."""
+
+import pytest
+
+from vidb.errors import TransactionError
+from vidb.model.oid import Oid
+from vidb.storage.database import VideoDatabase
+
+
+@pytest.fixture
+def db():
+    database = VideoDatabase("tx")
+    database.new_entity("a", name="Ana")
+    database.new_interval("g1", entities=["a"], duration=[(0, 10)])
+    return database
+
+
+class TestCommit:
+    def test_commit_keeps_changes(self, db):
+        with db.transaction():
+            db.new_entity("b", name="Ben")
+        assert db.entity("b")["name"] == "Ben"
+
+    def test_journal_detached_after_commit(self, db):
+        with db.transaction():
+            db.new_entity("b")
+        # post-commit operations are not journaled anywhere
+        db.new_entity("c")
+        assert db.stats()["entities"] == 3
+
+
+class TestRollback:
+    def test_exception_rolls_back_adds(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.new_entity("b")
+                db.new_interval("g2", duration=[(20, 30)])
+                db.relate("in", Oid.entity("b"), Oid.interval("g2"))
+                raise RuntimeError("boom")
+        assert db.stats() == {"entities": 1, "intervals": 1, "facts": 0}
+
+    def test_rollback_restores_replaced_object(self, db):
+        original = db.entity("a")
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.set_attribute("a", "name", "Zoe")
+                raise RuntimeError("boom")
+        assert db.entity("a") == original
+
+    def test_rollback_restores_removed_object(self, db):
+        original = db.interval("g1")
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.remove_object(Oid.interval("g1"))
+                raise RuntimeError("boom")
+        assert db.interval("g1") == original
+        # and the temporal index works again
+        assert [str(i.oid) for i in db.intervals_at(5)] == ["g1"]
+
+    def test_rollback_restores_removed_fact(self, db):
+        fact = db.relate("in", Oid.entity("a"), Oid.interval("g1"))
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.remove_fact(fact)
+                raise RuntimeError("boom")
+        assert fact in db.facts("in")
+
+    def test_explicit_rollback(self, db):
+        tx = db.transaction()
+        with tx:
+            db.new_entity("b")
+            tx.rollback()
+        assert db.stats()["entities"] == 1
+
+    def test_mixed_operations_roll_back_in_order(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.set_attribute("a", "name", "First")
+                db.set_attribute("a", "name", "Second")
+                raise RuntimeError("boom")
+        assert db.entity("a")["name"] == "Ana"
+
+
+class TestProtocol:
+    def test_reuse_rejected(self, db):
+        tx = db.transaction()
+        with tx:
+            pass
+        with pytest.raises(TransactionError):
+            with tx:
+                pass
+
+    def test_commit_after_close_rejected(self, db):
+        tx = db.transaction()
+        with tx:
+            pass
+        with pytest.raises(TransactionError):
+            tx.commit()
+
+    def test_nested_transaction_piggybacks(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.new_entity("b")
+                with db.transaction():
+                    db.new_entity("c")
+                raise RuntimeError("boom")
+        # both inner and outer changes rolled back together
+        assert db.stats()["entities"] == 1
+
+    def test_nested_rollback_rejected(self, db):
+        with db.transaction():
+            inner = db.transaction()
+            with inner:
+                with pytest.raises(TransactionError):
+                    inner.rollback()
+
+    def test_exception_propagates(self, db):
+        with pytest.raises(ValueError):
+            with db.transaction():
+                raise ValueError("original error kept")

@@ -1,0 +1,110 @@
+"""Unit tests for the archive analytics layer."""
+
+import pytest
+
+from vidb.analytics import (
+    activity_histogram,
+    co_occurrence,
+    coverage,
+    described_footprint,
+    gaps,
+    presence,
+    screen_time,
+    summary,
+)
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.intervals.interval import Interval
+from vidb.model.oid import Oid
+from vidb.storage.database import VideoDatabase
+
+
+def gi(*pairs):
+    return GeneralizedInterval.from_pairs(pairs)
+
+
+@pytest.fixture
+def db():
+    database = VideoDatabase("analytics")
+    database.new_entity("a")
+    database.new_entity("b")
+    database.new_entity("c")
+    database.new_interval("g1", entities=["a", "b"], duration=[(0, 10)])
+    database.new_interval("g2", entities=["a"], duration=[(5, 20)])
+    database.new_interval("g3", entities=["c"], duration=[(30, 40)])
+    return database
+
+
+class TestPresenceAndScreenTime:
+    def test_presence_unions_intervals(self, db):
+        assert presence(db, "a") == gi((0, 20))
+        assert presence(db, "b") == gi((0, 10))
+        assert presence(db, "c") == gi((30, 40))
+
+    def test_presence_of_absent_entity(self, db):
+        db.new_entity("ghost")
+        assert presence(db, "ghost").is_empty()
+
+    def test_screen_time_no_double_counting(self, db):
+        times = {str(k): v for k, v in screen_time(db).items()}
+        assert times == {"a": 20.0, "b": 10.0, "c": 10.0}
+
+
+class TestCoOccurrence:
+    def test_shared_time(self, db):
+        pairs = {(str(a), str(b)): v for (a, b), v in co_occurrence(db).items()}
+        assert pairs == {("a", "b"): 10.0}
+
+    def test_keys_ordered(self, db):
+        for a, b in co_occurrence(db):
+            assert a < b
+
+
+class TestCoverage:
+    def test_described_footprint(self, db):
+        assert described_footprint(db) == gi((0, 20), (30, 40))
+
+    def test_coverage_of_hull(self, db):
+        # hull [0, 40], described 30 of it
+        assert coverage(db) == pytest.approx(0.75)
+
+    def test_coverage_of_explicit_span(self, db):
+        assert coverage(db, Interval(0, 20)) == pytest.approx(1.0)
+        assert coverage(db, Interval(20, 30)) == pytest.approx(0.0)
+
+    def test_gaps(self, db):
+        holes = gaps(db)
+        assert holes.contains_point(25)
+        assert not holes.contains_point(5)
+        assert float(holes.measure) == pytest.approx(10.0)
+
+    def test_empty_database(self):
+        empty = VideoDatabase("empty")
+        assert coverage(empty) == 0.0
+        assert gaps(empty).is_empty()
+
+
+class TestActivityHistogram:
+    def test_bin_counts(self, db):
+        rows = activity_histogram(db, bins=4)  # hull [0,40] in 10s bins
+        counts = [count for __, __, count in rows]
+        assert counts == [2, 1, 0, 1]
+
+    def test_bin_edges_cover_hull(self, db):
+        rows = activity_histogram(db, bins=4)
+        assert rows[0][0] == 0.0 and rows[-1][1] == 40.0
+
+    def test_empty_inputs(self, db):
+        assert activity_histogram(VideoDatabase("x"), bins=4) == []
+        assert activity_histogram(db, bins=0) == []
+
+
+class TestSummary:
+    def test_report_shape(self, db):
+        report = summary(db)
+        assert report["screen_time"][0] == {"entity": "a", "seconds": 20.0}
+        assert report["co_occurrence"] == [
+            {"first": "a", "second": "b", "shared_seconds": 10.0}]
+
+    def test_top_limits(self, db):
+        report = summary(db, top=1)
+        assert len(report["screen_time"]) == 1

@@ -1,0 +1,124 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from vidb.cli import main
+from vidb.storage.persistence import load, save
+from vidb.workloads.paper import rope_database
+
+
+@pytest.fixture
+def snapshot(tmp_path):
+    path = tmp_path / "rope.json"
+    save(rope_database(), path)
+    return str(path)
+
+
+class TestDemo:
+    def test_writes_snapshot(self, tmp_path, capsys):
+        out = tmp_path / "demo.json"
+        assert main(["demo", "--out", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert load(out).stats()["entities"] == 9
+
+
+class TestInfo:
+    def test_clean_database(self, snapshot, capsys):
+        assert main(["info", snapshot]) == 0
+        out = capsys.readouterr().out
+        assert "entities: 9" in out and "integrity: ok" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["info", "/nonexistent/db.json"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_answers_printed(self, snapshot, capsys):
+        status = main(["query", snapshot,
+                       "?- interval(G), object(o1), o1 in G.entities."])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "gi1" in out and "gi2" in out and "2 answer(s)" in out
+
+    def test_limit_flag(self, snapshot, capsys):
+        main(["query", snapshot, "?- object(O).", "--limit", "3"])
+        out = capsys.readouterr().out
+        assert "9 answer(s)" in out
+        assert out.count("o") >= 3
+
+    def test_parse_error_is_clean_failure(self, snapshot, capsys):
+        assert main(["query", snapshot, "?- interval(G"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_rules_file(self, snapshot, tmp_path, capsys):
+        rules = tmp_path / "rules.vdl"
+        rules.write_text(
+            "both(G) :- interval(G), {o1, o4} subset G.entities.\n")
+        status = main(["query", snapshot, "?- both(G).",
+                       "--rules", str(rules)])
+        assert status == 0
+        assert "2 answer(s)" in capsys.readouterr().out
+
+    def test_naive_mode_flag(self, snapshot, capsys):
+        status = main(["query", snapshot, "?- object(O).",
+                       "--mode", "naive"])
+        assert status == 0
+
+
+class TestFacts:
+    def test_stdlib_contains(self, snapshot, capsys):
+        assert main(["facts", snapshot, "contains", "--stdlib"]) == 0
+        out = capsys.readouterr().out
+        assert "contains(gi1, gi1)" in out and "2 fact(s)" in out
+
+
+class TestExplain:
+    def test_derivation_rendered(self, snapshot, capsys):
+        status = main(["explain", snapshot,
+                       "?- interval(G), object(o9), o9 in G.entities."])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "database fact" in out and "1 derivation(s)" in out
+
+
+class TestEdl:
+    def test_edl_rendered(self, snapshot, capsys):
+        status = main(["edl", snapshot,
+                       "?- interval(G), object(o1), o1 in G.entities.",
+                       "G", "--title", "david"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "TITLE: david" in out and "2 cut(s)" in out
+
+    def test_non_interval_variable_fails_cleanly(self, snapshot, capsys):
+        status = main(["edl", snapshot, "?- object(O).", "O"])
+        assert status == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAnalytics:
+    def test_report_printed(self, snapshot, capsys):
+        assert main(["analytics", snapshot, "--bins", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "entity" in out and "coverage" in out
+        assert "o1" in out
+
+    def test_top_limits(self, snapshot, capsys):
+        assert main(["analytics", snapshot, "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        # leaderboard truncated to two rows
+        leaderboard = out.split("\n\n")[0]
+        assert len([l for l in leaderboard.splitlines()
+                    if l and not l.startswith(("entity", "-"))]) == 2
+
+
+class TestTimeline:
+    def test_chart_printed(self, snapshot, capsys):
+        assert main(["timeline", snapshot, "--width", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "gi1" in out and "█" in out
+
+    def test_label_flag(self, snapshot, capsys):
+        assert main(["timeline", snapshot, "--label", "subject"]) == 0
+        assert "murder" in capsys.readouterr().out

@@ -1,0 +1,29 @@
+"""Run the library's docstring examples as tests.
+
+Docstrings with ``>>>`` examples are documentation users copy-paste;
+this keeps them honest without requiring --doctest-modules flags.
+"""
+
+import doctest
+
+import pytest
+
+import vidb.constraints.terms
+import vidb.intervals.generalized
+import vidb.intervals.interval
+import vidb.storage.database
+
+MODULES = [
+    vidb.constraints.terms,
+    vidb.intervals.generalized,
+    vidb.intervals.interval,
+    vidb.storage.database,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_docstring_examples(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0, f"{module.__name__} lost its examples"

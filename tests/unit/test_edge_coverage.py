@@ -1,0 +1,73 @@
+"""Edge-case coverage for small utility paths across packages."""
+
+import pytest
+
+from vidb.constraints.dense import Comparison
+from vidb.constraints.solver import implied_by_clause
+from vidb.constraints.terms import Var
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.model.values import value_union
+from vidb.query.fixpoint import EvaluationStats
+
+t = Var("t")
+x = Var("x")
+
+
+def gi(*pairs):
+    return GeneralizedInterval.from_pairs(pairs)
+
+
+class TestValueUnionMixedTypes:
+    def test_constraint_meets_scalar_becomes_set(self):
+        constraint = gi((0, 5)).to_constraint()
+        merged = value_union(constraint, "caption")
+        assert isinstance(merged, frozenset)
+        assert "caption" in merged and constraint in merged
+
+    def test_oid_values_join(self):
+        from vidb.model.oid import Oid
+
+        merged = value_union(Oid.entity("a"), Oid.entity("b"))
+        assert merged == frozenset({Oid.entity("a"), Oid.entity("b")})
+
+    def test_number_vs_string_scalars(self):
+        assert value_union(1, "1") == frozenset({1, "1"})
+
+
+class TestImpliedByClause:
+    def test_transitive_implication(self):
+        clause = [(x > 3), (x < 9)]
+        assert implied_by_clause(clause, x > 1)
+        assert not implied_by_clause(clause, x > 5)
+
+    def test_equality_implies_bounds(self):
+        clause = [x.eq(4)]
+        assert implied_by_clause(clause, x < 10)
+        assert implied_by_clause(clause, x.ne(5))
+
+
+class TestEvaluationStats:
+    def test_as_dict_round(self):
+        stats = EvaluationStats(iterations=3, derived_facts=7,
+                                created_objects=1, rule_firings=10,
+                                constraint_checks=20, mode="naive")
+        data = stats.as_dict()
+        assert data["mode"] == "naive"
+        assert data["iterations"] == 3
+        assert set(data) == {"mode", "iterations", "derived_facts",
+                             "created_objects", "rule_firings",
+                             "constraint_checks"}
+
+
+class TestGeneralizedIntervalMisc:
+    def test_bool_protocol(self):
+        assert gi((0, 1))
+        assert not GeneralizedInterval.empty()
+
+    def test_union_operator_chains(self):
+        combined = gi((0, 1)) | gi((2, 3)) | gi((4, 5))
+        assert len(combined) == 3
+
+    def test_clip_degenerate_window(self):
+        clipped = gi((0, 10)).clip(4, 4)
+        assert clipped == GeneralizedInterval.point(4)

@@ -1,0 +1,85 @@
+"""Unit tests for the ASCII timeline renderer."""
+
+import pytest
+
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.storage.database import VideoDatabase
+from vidb.timeline import EMPTY, FULL, footprint_bar, timeline_chart
+
+
+def gi(*pairs):
+    return GeneralizedInterval.from_pairs(pairs)
+
+
+class TestFootprintBar:
+    def test_full_coverage(self):
+        assert footprint_bar(gi((0, 10)), 0, 10, width=10) == FULL * 10
+
+    def test_no_coverage(self):
+        assert footprint_bar(gi((20, 30)), 0, 10, width=10) == EMPTY * 10
+
+    def test_half_coverage(self):
+        bar = footprint_bar(gi((0, 5)), 0, 10, width=10)
+        assert bar == FULL * 5 + EMPTY * 5
+
+    def test_fragmented_footprint(self):
+        bar = footprint_bar(gi((0, 2), (8, 10)), 0, 10, width=10)
+        assert bar[:2] == FULL * 2 and bar[-2:] == FULL * 2
+        assert EMPTY in bar[2:8]
+
+    def test_zero_width(self):
+        assert footprint_bar(gi((0, 10)), 0, 10, width=0) == ""
+
+    def test_degenerate_window(self):
+        assert footprint_bar(gi((0, 10)), 5, 5, width=10) == ""
+
+    def test_touching_boundary_not_counted(self):
+        # footprint ends exactly where a cell begins: measure-zero overlap
+        bar = footprint_bar(gi((0, 5)), 0, 10, width=2)
+        assert bar == FULL + EMPTY
+
+
+class TestTimelineChart:
+    @pytest.fixture
+    def db(self):
+        database = VideoDatabase("chart")
+        database.new_interval("g_late", duration=[(50, 100)], label="late")
+        database.new_interval("g_early", duration=[(0, 30), (40, 45)],
+                              label="early")
+        database.new_interval("bare")  # no duration: skipped
+        return database
+
+    def test_rows_sorted_by_start(self, db):
+        chart = timeline_chart(db, width=20)
+        lines = chart.splitlines()
+        assert lines[0].startswith("g_early")
+        assert lines[1].startswith("g_late")
+        assert len(lines) == 3  # two rows + axis
+
+    def test_durations_reported(self, db):
+        chart = timeline_chart(db, width=20)
+        assert "35s" in chart.splitlines()[0]
+        assert "50s" in chart.splitlines()[1]
+
+    def test_label_attribute(self, db):
+        chart = timeline_chart(db, width=10, label_attribute="label")
+        assert chart.splitlines()[0].startswith("early")
+
+    def test_window_restricts_and_clips(self, db):
+        chart = timeline_chart(db, width=10, window=(0, 50))
+        late_row = chart.splitlines()[1]
+        assert late_row.rstrip().endswith("0s")  # nothing of g_late in window
+
+    def test_axis_shows_bounds(self, db):
+        chart = timeline_chart(db, width=20)
+        axis = chart.splitlines()[-1]
+        assert "0" in axis and "100" in axis
+
+    def test_empty_database(self):
+        assert "no described intervals" in timeline_chart(VideoDatabase("x"))
+
+    def test_bar_width_respected(self, db):
+        chart = timeline_chart(db, width=33)
+        row = chart.splitlines()[0]
+        bar = row.split("|")[1]
+        assert len(bar) == 33

@@ -1,0 +1,93 @@
+"""Unit tests for the annotation pipelines."""
+
+import pytest
+
+from vidb.indexing.base import retrieval_quality
+from vidb.indexing.generalized import GeneralizedIntervalIndex
+from vidb.query.engine import QueryEngine
+from vidb.video.annotator import GroundTruthAnnotator, NoisyAnnotator, annotate
+from vidb.video.synthetic import generate_video
+
+
+@pytest.fixture
+def video():
+    return generate_video(seed=21, duration=60, fps=5,
+                          labels=("guard", "visitor", "truck"))
+
+
+class TestGroundTruthAnnotator:
+    def test_schedule_is_exact(self, video):
+        assert GroundTruthAnnotator().schedule(video) == video.schedule()
+
+    def test_fill_store(self, video):
+        store = GeneralizedIntervalIndex()
+        GroundTruthAnnotator().fill_store(video, store)
+        quality = retrieval_quality(store, video.schedule())
+        assert quality["f1"] == 1.0
+
+    def test_annotate_convenience(self, video):
+        store = annotate(video)
+        assert store.descriptors() == frozenset(video.schedule())
+
+    def test_build_database_shape(self, video):
+        db = GroundTruthAnnotator().build_database(video, name="cam")
+        stats = db.stats()
+        assert stats["entities"] == 3 and stats["intervals"] == 3
+        assert db.name == "cam"
+        assert db.sequence.validate() == []
+
+    def test_build_database_footprints(self, video):
+        db = GroundTruthAnnotator().build_database(video)
+        for label, footprint in video.schedule().items():
+            assert db.interval(f"gi_{label}").footprint() == footprint
+
+    def test_appears_with_facts_match_overlaps(self, video):
+        db = GroundTruthAnnotator().build_database(video)
+        schedule = video.schedule()
+        for fact in db.facts("appears_with"):
+            first, second = fact.args
+            label_a = str(first).replace("o_", "")
+            label_b = str(second).replace("o_", "")
+            assert schedule[label_a].overlaps(schedule[label_b])
+
+    def test_database_is_queryable(self, video):
+        db = GroundTruthAnnotator().build_database(video)
+        engine = QueryEngine(db)
+        answers = engine.query(
+            "?- interval(G), object(o_guard), o_guard in G.entities.")
+        assert [str(r[0]) for r in answers.rows()] == ["gi_guard"]
+
+
+class TestNoisyAnnotator:
+    def test_deterministic_in_seed(self, video):
+        a = NoisyAnnotator(seed=5).schedule(video)
+        b = NoisyAnnotator(seed=5).schedule(video)
+        assert a == b
+
+    def test_zero_noise_is_near_exact(self, video):
+        clean = NoisyAnnotator(seed=1, jitter=0.0,
+                               drop_probability=0.0).schedule(video)
+        truth = video.schedule()
+        for label in truth:
+            # rounding at 3 decimals only
+            assert abs(float(clean[label].measure)
+                       - float(truth[label].measure)) < 0.01
+
+    def test_drop_probability_one_drops_everything(self, video):
+        empty = NoisyAnnotator(seed=1, drop_probability=1.0).schedule(video)
+        assert all(fp.is_empty() for fp in empty.values())
+
+    def test_jitter_stays_within_video(self, video):
+        noisy = NoisyAnnotator(seed=3, jitter=30.0).schedule(video)
+        for footprint in noisy.values():
+            if not footprint.is_empty():
+                assert footprint.start >= 0
+                assert footprint.end <= video.duration
+
+    def test_noise_degrades_quality(self, video):
+        truth = video.schedule()
+        noisy_store = GeneralizedIntervalIndex()
+        NoisyAnnotator(seed=3, jitter=2.0,
+                       drop_probability=0.3).fill_store(video, noisy_store)
+        quality = retrieval_quality(noisy_store, truth)
+        assert quality["f1"] < 1.0

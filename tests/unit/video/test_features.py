@@ -1,0 +1,89 @@
+"""Unit tests for frame feature extraction."""
+
+import numpy as np
+import pytest
+
+from vidb.errors import VidbError
+from vidb.video.features import (
+    difference_series,
+    histogram_chi2,
+    histogram_l1,
+    smooth,
+)
+from vidb.video.synthetic import generate_video
+
+
+class TestDistances:
+    def test_l1_identical_is_zero(self):
+        h = np.array([0.5, 0.5])
+        assert histogram_l1(h, h) == 0.0
+
+    def test_l1_disjoint_unit_histograms_is_two(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        assert histogram_l1(a, b) == 2.0
+
+    def test_l1_symmetry(self):
+        a = np.array([0.7, 0.3])
+        b = np.array([0.2, 0.8])
+        assert histogram_l1(a, b) == histogram_l1(b, a)
+
+    def test_chi2_identical_is_zero(self):
+        h = np.array([0.4, 0.6])
+        assert histogram_chi2(h, h) == 0.0
+
+    def test_chi2_handles_zero_bins(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        assert histogram_chi2(a, b) == 2.0  # no division error
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(VidbError):
+            histogram_l1(np.zeros(2), np.zeros(3))
+        with pytest.raises(VidbError):
+            histogram_chi2(np.zeros(2), np.zeros(3))
+
+
+class TestDifferenceSeries:
+    def test_length_is_frames_minus_one(self):
+        video = generate_video(seed=1, duration=5, fps=4, shot_count=2)
+        frames = list(video.frames())
+        series = difference_series(frames)
+        assert series.shape == (len(frames) - 1,)
+
+    def test_cuts_spike(self):
+        video = generate_video(seed=1, duration=20, fps=5, shot_count=4)
+        frames = list(video.frames())
+        series = difference_series(frames)
+        # The cut at time b falls between frame floor(b*fps) and the next
+        # one, i.e. at difference-series index floor(b*fps).
+        cut_indices = {int(b * video.fps) for b in video.shot_boundaries}
+        cut_values = [series[i] for i in cut_indices if 0 <= i < series.size]
+        other = [v for i, v in enumerate(series) if i not in cut_indices]
+        assert min(cut_values) > 5 * (sum(other) / len(other))
+
+    def test_unknown_metric_rejected(self):
+        video = generate_video(seed=1, duration=2, fps=2)
+        with pytest.raises(VidbError):
+            difference_series(list(video.frames()), metric="cosine")
+
+    def test_short_input(self):
+        assert difference_series([]).size == 0
+
+
+class TestSmooth:
+    def test_window_one_is_identity(self):
+        series = np.array([1.0, 5.0, 1.0])
+        assert np.array_equal(smooth(series, 1), series)
+
+    def test_smoothing_reduces_peaks(self):
+        series = np.array([0.0, 0.0, 9.0, 0.0, 0.0])
+        smoothed = smooth(series, 3)
+        assert smoothed[2] == 3.0
+
+    def test_even_window_rejected(self):
+        with pytest.raises(VidbError):
+            smooth(np.zeros(5), 2)
+
+    def test_empty_series(self):
+        assert smooth(np.zeros(0), 3).size == 0

@@ -1,0 +1,76 @@
+"""Unit tests for keyframe extraction and visual similarity."""
+
+import numpy as np
+import pytest
+
+from vidb.errors import VidbError
+from vidb.video.keyframes import (
+    extract_keyframes,
+    find_matching_shot,
+    shot_signatures,
+    similar_shots,
+)
+from vidb.video.synthetic import generate_video
+
+
+@pytest.fixture(scope="module")
+def video():
+    return generate_video(seed=31, duration=40, fps=6, shot_count=6)
+
+
+@pytest.fixture(scope="module")
+def frames(video):
+    return list(video.frames())
+
+
+class TestKeyframes:
+    def test_one_keyframe_per_shot(self, video, frames):
+        keyframes = extract_keyframes(frames)
+        shot_count = len(video.shot_boundaries) + 1
+        assert len(keyframes) == shot_count
+        assert [k.shot for k in keyframes] == list(range(shot_count))
+
+    def test_keyframe_lies_inside_its_shot(self, video, frames):
+        for keyframe in extract_keyframes(frames):
+            assert video.shot_of(keyframe.time) == keyframe.shot
+
+    def test_keyframe_is_nearest_to_mean(self, frames):
+        keyframes = extract_keyframes(frames)
+        signatures = shot_signatures(frames)
+        from vidb.video.features import histogram_l1
+
+        for keyframe in keyframes:
+            members = [f for f in frames if f.shot == keyframe.shot]
+            distances = [histogram_l1(f.histogram,
+                                      signatures[keyframe.shot])
+                         for f in members]
+            assert keyframe.distance_to_mean == pytest.approx(min(distances))
+
+    def test_empty_input(self):
+        assert extract_keyframes([]) == []
+
+
+class TestSimilarity:
+    def test_probe_frame_finds_its_own_shot(self, frames):
+        for probe in (frames[0], frames[len(frames) // 2], frames[-1]):
+            assert find_matching_shot(frames, probe) == probe.shot
+
+    def test_ranking_is_sorted(self, frames):
+        ranked = similar_shots(frames, frames[0].histogram, top=10)
+        distances = [d for __, d in ranked]
+        assert distances == sorted(distances)
+
+    def test_top_limits_results(self, frames):
+        assert len(similar_shots(frames, frames[0].histogram, top=2)) == 2
+
+    def test_bad_top_rejected(self, frames):
+        with pytest.raises(VidbError):
+            similar_shots(frames, frames[0].histogram, top=0)
+
+    def test_empty_frames_rejected(self, frames):
+        with pytest.raises(VidbError):
+            find_matching_shot([], frames[0])
+
+    def test_signatures_normalised(self, frames):
+        for signature in shot_signatures(frames).values():
+            assert signature.sum() == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,71 @@
+"""Unit tests for shot-change detection (E12)."""
+
+import pytest
+
+from vidb.video.shot_detection import (
+    detect_cuts,
+    evaluate_detector,
+    match_boundaries,
+)
+from vidb.video.synthetic import generate_video
+
+
+class TestMatchBoundaries:
+    def test_perfect_match(self):
+        precision, recall = match_boundaries([1.0, 5.0], [1.0, 5.0], 0.2)
+        assert precision == 1.0 and recall == 1.0
+
+    def test_within_tolerance(self):
+        precision, recall = match_boundaries([1.1], [1.0], 0.2)
+        assert precision == 1.0 and recall == 1.0
+
+    def test_outside_tolerance(self):
+        precision, recall = match_boundaries([2.0], [1.0], 0.2)
+        assert precision == 0.0 and recall == 0.0
+
+    def test_one_to_one_matching(self):
+        # Two detections near one truth: only one may claim it.
+        precision, recall = match_boundaries([1.0, 1.05], [1.0], 0.2)
+        assert precision == 0.5 and recall == 1.0
+
+    def test_missed_boundary_costs_recall(self):
+        precision, recall = match_boundaries([1.0], [1.0, 9.0], 0.2)
+        assert precision == 1.0 and recall == 0.5
+
+    def test_empty_edge_cases(self):
+        assert match_boundaries([], [], 0.2) == (1.0, 1.0)
+        assert match_boundaries([], [1.0], 0.2) == (1.0, 0.0)
+        assert match_boundaries([1.0], [], 0.2) == (0.0, 1.0)
+
+
+class TestDetector:
+    def test_detects_planted_cuts(self):
+        video = generate_video(seed=11, duration=60, fps=8, shot_count=8)
+        report = evaluate_detector(video, sensitivity=4.0, tolerance=0.3)
+        assert report.recall >= 0.8
+        assert report.precision >= 0.8
+
+    def test_f1_definition(self):
+        video = generate_video(seed=11, duration=30, fps=8, shot_count=5)
+        report = evaluate_detector(video)
+        if report.precision + report.recall > 0:
+            expected = (2 * report.precision * report.recall
+                        / (report.precision + report.recall))
+            assert abs(report.f1 - expected) < 1e-12
+
+    def test_single_shot_video_has_no_cuts(self):
+        video = generate_video(seed=2, duration=10, fps=8, shot_count=1)
+        frames = list(video.frames())
+        assert video.shot_boundaries == []
+        cuts = detect_cuts(frames, video.fps, sensitivity=6.0)
+        assert cuts == []
+
+    def test_higher_sensitivity_fewer_detections(self):
+        video = generate_video(seed=13, duration=60, fps=8, shot_count=10)
+        frames = list(video.frames())
+        low = detect_cuts(frames, video.fps, sensitivity=2.0)
+        high = detect_cuts(frames, video.fps, sensitivity=8.0)
+        assert len(high) <= len(low)
+
+    def test_empty_frames(self):
+        assert detect_cuts([], 10) == []

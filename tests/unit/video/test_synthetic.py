@@ -1,0 +1,85 @@
+"""Unit tests for the synthetic video generator."""
+
+import numpy as np
+import pytest
+
+from vidb.errors import VidbError
+from vidb.video.synthetic import (
+    HISTOGRAM_BINS,
+    ObjectTrack,
+    SyntheticVideo,
+    generate_video,
+)
+
+
+class TestGenerateVideo:
+    def test_deterministic_in_seed(self):
+        a = generate_video(seed=5, duration=30, fps=5)
+        b = generate_video(seed=5, duration=30, fps=5)
+        assert a.shot_boundaries == b.shot_boundaries
+        assert a.schedule() == b.schedule()
+
+    def test_different_seeds_differ(self):
+        a = generate_video(seed=1, duration=30, fps=5)
+        b = generate_video(seed=2, duration=30, fps=5)
+        assert a.shot_boundaries != b.shot_boundaries
+
+    def test_boundaries_inside_duration(self):
+        video = generate_video(seed=3, duration=50, fps=5, shot_count=10)
+        assert all(0 < b < 50 for b in video.shot_boundaries)
+        assert video.shot_boundaries == sorted(video.shot_boundaries)
+
+    def test_tracks_cover_requested_labels(self):
+        video = generate_video(seed=0, labels=("a", "b"))
+        assert sorted(t.label for t in video.tracks) == ["a", "b"]
+
+    def test_footprints_within_duration(self):
+        video = generate_video(seed=4, duration=40)
+        for track in video.tracks:
+            assert track.footprint.start >= 0
+            assert track.footprint.end <= 40
+
+    def test_invalid_parameters(self):
+        with pytest.raises(VidbError):
+            generate_video(duration=-1)
+        with pytest.raises(VidbError):
+            generate_video(shot_count=0)
+
+
+class TestFrames:
+    @pytest.fixture
+    def video(self):
+        return generate_video(seed=9, duration=10, fps=4, shot_count=3)
+
+    def test_frame_count(self, video):
+        frames = list(video.frames())
+        assert len(frames) == video.frame_count == 40
+
+    def test_histograms_normalised(self, video):
+        for frame in video.frames():
+            assert frame.histogram.shape == (HISTOGRAM_BINS,)
+            assert abs(frame.histogram.sum() - 1.0) < 1e-9
+            assert (frame.histogram >= 0).all()
+
+    def test_shot_assignment_monotone(self, video):
+        shots = [frame.shot for frame in video.frames()]
+        assert shots == sorted(shots)
+        assert shots[0] == 0
+
+    def test_visibility_matches_schedule(self, video):
+        schedule = video.schedule()
+        for frame in video.frames():
+            expected = frozenset(
+                label for label, fp in schedule.items()
+                if fp.contains_point(frame.time))
+            assert frame.visible == expected
+
+    def test_frames_deterministic(self, video):
+        first = [f.histogram for f in video.frames()]
+        second = [f.histogram for f in video.frames()]
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))
+
+    def test_shot_of(self, video):
+        assert video.shot_of(0.0) == 0
+        last = video.shot_of(video.duration)
+        assert last == len(video.shot_boundaries)

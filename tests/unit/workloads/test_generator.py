@@ -1,0 +1,73 @@
+"""Unit tests for the random workload generator."""
+
+import pytest
+
+from vidb.query.engine import QueryEngine
+from vidb.storage.persistence import dumps
+from vidb.workloads.generator import (
+    QUERY_TEMPLATES,
+    WorkloadConfig,
+    random_database,
+    random_queries,
+    scaling_series,
+)
+
+
+class TestRandomDatabase:
+    def test_shape_matches_config(self):
+        config = WorkloadConfig(entities=10, intervals=20, facts=15, seed=1)
+        db = random_database(config)
+        stats = db.stats()
+        assert stats["entities"] == 10
+        assert stats["intervals"] == 20
+        assert 0 < stats["facts"] <= 15  # duplicates may collapse
+
+    def test_deterministic_in_seed(self):
+        config = WorkloadConfig(entities=8, intervals=10, facts=10, seed=42)
+        assert dumps(random_database(config)) == dumps(random_database(config))
+
+    def test_different_seeds_differ(self):
+        a = random_database(WorkloadConfig(seed=1, entities=8, intervals=10))
+        b = random_database(WorkloadConfig(seed=2, entities=8, intervals=10))
+        assert dumps(a) != dumps(b)
+
+    def test_integrity(self):
+        db = random_database(WorkloadConfig(entities=10, intervals=20,
+                                            facts=10, seed=3))
+        assert db.sequence.validate() == []
+
+    def test_every_interval_has_duration_and_entities(self):
+        db = random_database(WorkloadConfig(entities=5, intervals=10, seed=4))
+        for interval in db.intervals():
+            assert interval.has_duration
+            assert len(interval.entities) >= 1
+            assert not interval.footprint().is_empty()
+
+    def test_footprints_within_span(self):
+        config = WorkloadConfig(entities=5, intervals=10, span=100.0, seed=5,
+                                mean_fragment=10.0)
+        db = random_database(config)
+        for interval in db.intervals():
+            assert interval.footprint().start >= 0
+
+
+class TestScalingSeries:
+    def test_sizes_respected(self):
+        series = scaling_series([5, 10], seed=1)
+        assert [size for size, __ in series] == [5, 10]
+        assert series[0][1].stats()["intervals"] == 5
+        assert series[1][1].stats()["intervals"] == 10
+
+
+class TestQueries:
+    def test_templates_run_on_generated_data(self):
+        db = random_database(WorkloadConfig(entities=10, intervals=15,
+                                            facts=10, seed=6))
+        engine = QueryEngine(db)
+        for name, text in QUERY_TEMPLATES.items():
+            engine.query(text)  # must parse, be safe, and evaluate
+
+    def test_random_queries_deterministic(self):
+        assert random_queries(5, seed=1) == random_queries(5, seed=1)
+        assert all(q in QUERY_TEMPLATES.values()
+                   for q in random_queries(10, seed=2))

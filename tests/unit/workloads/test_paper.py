@@ -1,0 +1,110 @@
+"""Unit tests for the paper's worked-example builders."""
+
+from vidb.intervals.generalized import GeneralizedInterval
+from vidb.model.oid import Oid
+from vidb.query.parser import parse_program, parse_query
+from vidb.workloads.paper import (
+    ROPE_GI1_SPAN,
+    ROPE_GI2_SPAN,
+    broadcast_labels,
+    news_schedule,
+    paper_queries,
+    rope_database,
+    section62_rules,
+)
+
+
+class TestRopeDatabase:
+    def test_nine_entities_two_intervals(self):
+        db = rope_database()
+        assert db.stats() == {"entities": 9, "intervals": 2, "facts": 2}
+
+    def test_attribute_values_match_paper(self):
+        db = rope_database()
+        david = db.entity("o1")
+        assert david["name"] == "David" and david["role"] == "Victim"
+        philip = db.entity("o2")
+        assert philip["realname"] == "Farley Granger"
+        rupert = db.entity("o9")
+        assert rupert["realname"] == "James Stewart"
+
+    def test_gi1_structure(self):
+        db = rope_database()
+        gi1 = db.interval("gi1")
+        assert gi1["subject"] == "murder"
+        assert gi1["victim"] == Oid.entity("o1")
+        assert gi1["murderer"] == frozenset({Oid.entity("o2"), Oid.entity("o3")})
+        assert len(gi1.entities) == 4
+
+    def test_gi2_structure(self):
+        db = rope_database()
+        gi2 = db.interval("gi2")
+        assert gi2["subject"] == "Giving a party"
+        assert gi2["host"] == frozenset({Oid.entity("o2"), Oid.entity("o3")})
+        assert len(gi2["guest"]) == 5
+        assert len(gi2.entities) == 9
+
+    def test_durations_are_strict_and_ordered(self):
+        # a1 < b1 < a2 < b2 (the paper's side condition)
+        a1, b1 = ROPE_GI1_SPAN
+        a2, b2 = ROPE_GI2_SPAN
+        assert a1 < b1 < a2 < b2
+        db = rope_database()
+        footprint1 = db.interval("gi1").footprint()
+        assert not footprint1.contains_point(a1)   # strict bound
+        assert footprint1.contains_point((a1 + b1) / 2)
+
+    def test_in_facts(self):
+        db = rope_database()
+        facts = db.facts("in")
+        assert len(facts) == 2
+        for fact in facts:
+            assert fact.args[0] == Oid.entity("o1")
+            assert fact.args[1] == Oid.entity("o4")
+
+    def test_referential_integrity(self):
+        assert rope_database().sequence.validate() == []
+
+
+class TestPaperQueries:
+    def test_all_six_parse(self):
+        queries = paper_queries()
+        assert set(queries) == {"Q1", "Q2", "Q3", "Q4a", "Q4b", "Q5", "Q6"}
+        for text in queries.values():
+            parse_query(text)
+
+    def test_section62_rules_parse(self):
+        program = parse_program(section62_rules())
+        assert program.idb_predicates() == frozenset(
+            {"contains", "same_object_in", "concatenate_gintervals"})
+        constructive = program.rules_for("concatenate_gintervals")[0]
+        assert constructive.is_constructive
+
+
+class TestNewsSchedule:
+    def test_three_objects_of_interest(self):
+        schedule = news_schedule()
+        assert set(schedule) == {"reporter", "minister", "reporter2"}
+
+    def test_reporter_has_three_fragments(self):
+        assert len(news_schedule()["reporter"]) == 3
+
+    def test_overlap_structure(self):
+        schedule = news_schedule()
+        assert schedule["reporter"].overlaps(schedule["minister"])
+        assert schedule["reporter2"].overlaps(schedule["reporter"])
+
+
+class TestBroadcastLabels:
+    def test_figure1_segments_partition(self):
+        segments = broadcast_labels()[:3]
+        assert segments[0][1] == 0 and segments[-1][2] == 180
+        for (_, __, end), (_, start, ___) in zip(segments, segments[1:]):
+            assert end == start
+
+    def test_figure2_strata_overlap(self):
+        strata = broadcast_labels()[3:]
+        spans = {label: (lo, hi) for label, lo, hi in strata}
+        # "taxes" nests inside "finances" nests inside "politics"
+        assert spans["politics"][0] <= spans["finances"][0]
+        assert spans["finances"][1] >= spans["taxes"][1]
