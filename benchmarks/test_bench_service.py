@@ -1,0 +1,81 @@
+"""Service-layer benchmarks: cold vs. cached latency and concurrency.
+
+Three questions the serving PRs care about:
+
+* what does the cache buy? (``test_cold_query`` vs ``test_cached_query``
+  on the same query/database — cached should be orders of magnitude
+  cheaper, since a hit is a dict probe instead of a fixpoint);
+* what does the service wrapper cost on a miss?
+  (``test_cold_query`` vs ``test_engine_baseline``);
+* how does throughput scale with concurrent client threads?
+  (``test_throughput_threads[1/4/8]`` measures a fixed batch of queries
+  split over k threads, mixed hits and misses).
+
+Databases come from the paper workload generator (same shapes as the
+complexity experiments).
+"""
+
+import threading
+
+import pytest
+
+from vidb.query.engine import QueryEngine
+from vidb.service.executor import ServiceExecutor
+from vidb.workloads.generator import QUERY_TEMPLATES
+
+QUERY = QUERY_TEMPLATES["membership"]
+QUERY_MIX = [QUERY_TEMPLATES["membership"], QUERY_TEMPLATES["attribute"],
+             QUERY_TEMPLATES["temporal"]]
+
+
+@pytest.fixture
+def service(medium_db):
+    with ServiceExecutor(medium_db, max_workers=8,
+                         max_in_flight=256, cache_capacity=64) as executor:
+        yield executor
+
+
+def test_engine_baseline(benchmark, medium_db):
+    """The unserved engine: parse + evaluate, no locks, no cache."""
+    engine = QueryEngine(medium_db)
+    benchmark(engine.query, QUERY)
+
+
+def test_cold_query(benchmark, service):
+    """A guaranteed cache miss per call (the cache is cleared first)."""
+
+    def cold():
+        service._cache.clear()
+        return service.execute(QUERY)
+
+    answers = benchmark(cold)
+    assert len(answers) > 0
+
+
+def test_cached_query(benchmark, service):
+    """A guaranteed cache hit per call."""
+    service.execute(QUERY)  # warm
+    answers = benchmark(service.execute, QUERY)
+    assert len(answers) > 0
+    assert service.snapshot()["cache.hits"] > 0
+
+
+@pytest.mark.parametrize("threads", [1, 4, 8])
+def test_throughput_threads(benchmark, service, threads):
+    """A fixed 24-query batch split across k client threads."""
+    batch = 24
+    per_thread = batch // threads
+
+    def run_batch():
+        def client(index):
+            for i in range(per_thread):
+                service.execute(QUERY_MIX[(index + i) % len(QUERY_MIX)])
+
+        workers = [threading.Thread(target=client, args=(i,))
+                   for i in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+    benchmark(run_batch)

@@ -77,6 +77,12 @@ from vidb.query import (
 from vidb.catalog import Archive
 from vidb.presentation import EDL, Cut, Sequencer
 from vidb.schema import AttrSpec, Schema, aggregate
+from vidb.service import (
+    ServiceClient,
+    ServiceExecutor,
+    Session,
+    VideoServer,
+)
 from vidb.storage import VideoDatabase, load, save
 
 __version__ = "1.0.0"
@@ -108,6 +114,9 @@ __all__ = [
     "SafetyError",
     "Schema",
     "Sequencer",
+    "ServiceClient",
+    "ServiceExecutor",
+    "Session",
     "SetConjunction",
     "SetVar",
     "StorageError",
@@ -115,6 +124,7 @@ __all__ = [
     "Var",
     "VideoDatabase",
     "VideoObject",
+    "VideoServer",
     "VideoSequence",
     "VidbError",
     "aggregate",

@@ -8,9 +8,13 @@ Commands::
     vidb facts rope.json contains -r f   materialise rules, print a relation
     vidb explain rope.json "?- ..."      print derivation trees
     vidb edl rope.json "?- ..." G        compile interval answers to an EDL
+    vidb serve rope.json --port 7421     run the JSON-lines query server
+    vidb client query "?- ..."           talk to a running server
 
-Exit status 0 on success, 1 on a vidb error (bad syntax, unsafe rules,
-missing file), 2 on bad command-line usage (argparse's convention).
+Exit status 0 on success, 2 on a user-input error (bad query syntax,
+model violations, missing files — plus argparse's own usage errors),
+1 on any other vidb error.  Errors print as a one-line message on
+stderr, never a traceback.
 
 ``main()`` takes an ``argv`` list and returns the exit status, so the CLI
 is fully testable in-process; the console entry point wraps it.
@@ -24,9 +28,10 @@ from pathlib import Path
 from typing import List, Optional
 
 from vidb.bench.tables import format_table
-from vidb.errors import VidbError
+from vidb.errors import ModelError, QueryError, VidbError
 from vidb.presentation.edl import edl_from_query
 from vidb.query.engine import QueryEngine
+from vidb.service.metrics import format_snapshot
 from vidb.storage.database import VideoDatabase
 from vidb.storage.persistence import load, save
 from vidb.workloads.paper import rope_database
@@ -53,6 +58,8 @@ def _build_parser() -> argparse.ArgumentParser:
     _common_engine_flags(query)
     query.add_argument("--limit", type=int, default=None,
                        help="print at most N answers")
+    query.add_argument("--stats", action="store_true",
+                       help="print evaluation statistics after the answers")
 
     facts = sub.add_parser("facts",
                            help="materialise the rules, print one relation")
@@ -86,6 +93,36 @@ def _build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("--width", type=int, default=48)
     timeline.add_argument("--label", default=None,
                           help="interval attribute to use as the row label")
+
+    serve = sub.add_parser(
+        "serve", help="run the JSON-lines TCP query server")
+    serve.add_argument("database")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7421,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="query worker threads (default 4)")
+    serve.add_argument("--max-in-flight", type=int, default=None,
+                       help="admission-control bound (default workers*4)")
+    serve.add_argument("--cache-capacity", type=int, default=256,
+                       help="result-cache entries (default 256)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="default per-query deadline in seconds")
+    _common_engine_flags(serve)
+
+    client = sub.add_parser(
+        "client", help="talk to a running vidb server")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=7421)
+    client.add_argument("--timeout", type=float, default=30.0,
+                        help="socket timeout in seconds")
+    client.add_argument("--repeat", type=int, default=1,
+                        help="send the request N times (shows cache hits)")
+    client.add_argument(
+        "request", nargs="+", metavar="OP [ARG...]",
+        help="one of: query '?- ...' | metrics | info | ping | "
+             "entity OID [k=v...] | interval OID LO-HI[,LO-HI...] "
+             "[ENTITY...] | relate NAME ARG...")
     return parser
 
 
@@ -107,7 +144,7 @@ def _engine(args: argparse.Namespace, db: VideoDatabase) -> QueryEngine:
 
 def _load(path: str) -> VideoDatabase:
     if not Path(path).exists():
-        raise VidbError(f"no such database snapshot: {path}")
+        raise FileNotFoundError(f"no such database snapshot: {path}")
     return load(path)
 
 
@@ -138,9 +175,13 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_query(args) -> int:
+    import time
+
     db = _load(args.database)
     engine = _engine(args, db)
+    started = time.perf_counter()
     answers = engine.query(args.query)
+    wall_seconds = time.perf_counter() - started
     rows = [
         {variable: str(value)
          for variable, value in answer.as_dict().items()}
@@ -151,6 +192,10 @@ def _cmd_query(args) -> int:
     if rows:
         print(format_table(rows, columns=list(answers.variables)))
     print(f"{len(answers)} answer(s)")
+    if args.stats:
+        stats = answers.stats.as_dict()
+        stats["wall_seconds"] = round(wall_seconds, 6)
+        print(format_snapshot(stats))
     return 0
 
 
@@ -221,6 +266,106 @@ def _cmd_timeline(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from vidb.service.executor import ServiceExecutor
+    from vidb.service.server import VideoServer
+
+    db = _load(args.database)
+    rules_text = "\n".join(Path(p).read_text(encoding="utf-8")
+                           for p in args.rules) or None
+    service = ServiceExecutor(
+        db, rules=rules_text, use_stdlib_rules=args.stdlib,
+        max_workers=args.workers, max_in_flight=args.max_in_flight,
+        cache_capacity=args.cache_capacity, default_timeout=args.timeout,
+        engine_options={"mode": args.mode})
+    with service, VideoServer(service, args.host, args.port) as server:
+        host, port = server.address
+        print(f"vidb serving {db.name!r} on {host}:{port} "
+              f"({args.workers} workers, epoch {db.epoch})", flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _parse_kv(pairs: List[str]) -> dict:
+    out = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise VidbError(f"expected key=value, got {pair!r}")
+        try:
+            out[key] = int(value)
+        except ValueError:
+            try:
+                out[key] = float(value)
+            except ValueError:
+                out[key] = value
+    return out
+
+
+def _parse_pairs(text: str) -> List[List[float]]:
+    pairs = []
+    for chunk in text.split(","):
+        lo, sep, hi = chunk.partition("-")
+        if not sep:
+            raise VidbError(f"expected LO-HI[,LO-HI...], got {text!r}")
+        pairs.append([float(lo), float(hi)])
+    return pairs
+
+
+def _print_answers(response: dict) -> None:
+    variables = response.get("variables", [])
+    rows = [dict(zip(variables, row)) for row in response.get("rows", [])]
+    if rows:
+        print(format_table(rows, columns=variables))
+    print(f"{response.get('count', len(rows))} answer(s)")
+
+
+def _cmd_client(args) -> int:
+    from vidb.service.server import ServiceClient
+
+    op, *rest = args.request
+    with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
+        for __ in range(max(1, args.repeat)):
+            if op == "query":
+                if len(rest) != 1:
+                    raise VidbError("usage: client query '?- ...'")
+                _print_answers(client.query(rest[0]))
+            elif op == "metrics":
+                print(format_snapshot(client.metrics()))
+            elif op == "info":
+                info = client.info()
+                print(f"database: {info['database']}  "
+                      f"epoch: {info['epoch']}")
+                print(format_snapshot(info["stats"]))
+            elif op == "ping":
+                print("pong" if client.ping() else "no answer")
+            elif op == "entity":
+                if not rest:
+                    raise VidbError("usage: client entity OID [k=v...]")
+                reply = client.insert_entity(rest[0], **_parse_kv(rest[1:]))
+                print(f"created {reply['oid']} (epoch {reply['epoch']})")
+            elif op == "interval":
+                if len(rest) < 2:
+                    raise VidbError(
+                        "usage: client interval OID LO-HI[,LO-HI...] "
+                        "[ENTITY...]")
+                reply = client.insert_interval(
+                    rest[0], entities=rest[2:],
+                    duration=_parse_pairs(rest[1]))
+                print(f"created {reply['oid']} (epoch {reply['epoch']})")
+            elif op == "relate":
+                if len(rest) < 2:
+                    raise VidbError("usage: client relate NAME ARG...")
+                reply = client.relate(rest[0], *rest[1:])
+                print(f"asserted {reply['fact']} (epoch {reply['epoch']})")
+            else:
+                raise VidbError(f"unknown client op {op!r}")
+    return 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "info": _cmd_info,
@@ -230,6 +375,8 @@ _COMMANDS = {
     "edl": _cmd_edl,
     "analytics": _cmd_analytics,
     "timeline": _cmd_timeline,
+    "serve": _cmd_serve,
+    "client": _cmd_client,
 }
 
 
@@ -238,7 +385,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except (QueryError, ModelError, FileNotFoundError) as error:
+        # User-input errors: bad query/rule text, data-model violations,
+        # missing snapshot or rule files.  One line, argparse-style code.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except VidbError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        # Network trouble (client against a dead server, port in use).
         print(f"error: {error}", file=sys.stderr)
         return 1
 

@@ -49,6 +49,34 @@ class PersistenceError(StorageError):
     """A database snapshot could not be encoded or decoded."""
 
 
+class ServiceError(VidbError):
+    """Base class for query-serving (``vidb.service``) failures."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a query: too many in-flight requests.
+
+    Raised *fast* at submission time, never after queueing, so clients
+    can shed load or retry with backoff.
+    """
+
+
+class QueryTimeoutError(ServiceError):
+    """A query missed its deadline before (or while) being evaluated."""
+
+
+class ServiceClosedError(ServiceError):
+    """The executor/session was shut down and cannot accept work."""
+
+
+class SessionError(ServiceError):
+    """A client session was misused (unknown prepared query, bad bind...)."""
+
+
+class ProtocolError(ServiceError):
+    """A malformed request or response on the JSON-lines wire protocol."""
+
+
 class QueryError(VidbError):
     """Base class for query-language errors."""
 

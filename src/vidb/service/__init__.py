@@ -1,0 +1,55 @@
+"""vidb.service — the concurrent query-serving layer.
+
+Turns the single-caller library into a servable database:
+
+* :mod:`vidb.service.executor` — thread-pool execution behind a
+  readers–writer lock, with per-query deadlines and admission control;
+* :mod:`vidb.service.cache` — an LRU result cache keyed by
+  ``(program fingerprint, normalized query, database epoch)``;
+* :mod:`vidb.service.session` — client sessions with prepared,
+  parameterized queries compiled once;
+* :mod:`vidb.service.metrics` — counters and latency histograms with a
+  plain-dict snapshot export;
+* :mod:`vidb.service.server` — a stdlib-only JSON-lines TCP server and
+  client (``vidb serve`` / ``vidb client``).
+
+Quickstart::
+
+    from vidb.service import ServiceExecutor
+    from vidb.workloads.paper import rope_database
+
+    with ServiceExecutor(rope_database(), max_workers=4) as service:
+        session = service.open_session()
+        session.prepare("appears",
+                        "?- interval(G), object(O), O in G.entities.",
+                        params=["O"])
+        answers = session.execute("appears", O="o1")   # compiled once
+        answers = session.execute("appears", O="o1")   # served from cache
+        print(service.snapshot()["cache.hits"])
+"""
+
+from vidb.service.cache import CacheKey, ResultCache
+from vidb.service.executor import RWLock, ServiceExecutor
+from vidb.service.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    format_snapshot,
+)
+from vidb.service.server import ServiceClient, VideoServer
+from vidb.service.session import PreparedQuery, Session
+
+__all__ = [
+    "CacheKey",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "PreparedQuery",
+    "RWLock",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceExecutor",
+    "Session",
+    "VideoServer",
+    "format_snapshot",
+]

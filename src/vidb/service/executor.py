@@ -1,0 +1,327 @@
+"""The concurrent query executor: thread pool + RW lock + cache + admission.
+
+This is the heart of the serving layer.  One :class:`ServiceExecutor`
+wraps one :class:`~vidb.storage.database.VideoDatabase` and one shared
+:class:`~vidb.query.engine.QueryEngine` program, and provides:
+
+* **Concurrency** — queries run on a thread pool; a readers–writer lock
+  lets any number of queries read the database simultaneously while
+  mutations get exclusive access.  Writer preference keeps a steady
+  query stream from starving updates.
+* **Result caching** — answers are cached under
+  ``(program fingerprint, normalized query, epoch)``; any mutation bumps
+  the epoch, so hits are always consistent with the data they were
+  computed from (see :mod:`vidb.service.cache`).
+* **Admission control** — at most ``max_in_flight`` queries may be
+  queued or running; beyond that, submission fails *immediately* with
+  :class:`~vidb.errors.ServiceOverloadedError` so clients shed load
+  instead of piling onto an unbounded queue.
+* **Deadlines** — a per-query timeout is converted to a monotonic
+  deadline at submission.  Expiry is checked when a worker picks the
+  query up and again after evaluation; evaluation itself is not
+  preempted (cooperative cancellation), so a timeout bounds *queue wait
+  plus one evaluation*, not CPU time mid-evaluation.
+* **Metrics** — every outcome (served, hit, miss, timeout, rejection,
+  error) is counted and latencies are recorded in a histogram;
+  :meth:`ServiceExecutor.snapshot` exports a plain dict.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Dict, Iterable, Optional, Union
+
+from vidb.errors import (
+    QueryTimeoutError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from vidb.query.ast import Query
+from vidb.query.engine import AnswerSet, QueryEngine
+from vidb.query.parser import parse_query
+from vidb.query.render import normalize_query, program_fingerprint
+from vidb.service.cache import ResultCache
+from vidb.service.metrics import MetricsRegistry
+from vidb.service.session import Session
+from vidb.storage.database import VideoDatabase
+
+
+class RWLock:
+    """A readers–writer lock with writer preference.
+
+    Any number of readers may hold the lock together; a writer waits for
+    them to drain and then holds it exclusively.  Arriving readers queue
+    behind a waiting writer, so writers cannot starve.  Not reentrant.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._waiting_writers = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._waiting_writers:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._waiting_writers += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextlib.contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+def _relabel(cached: AnswerSet, query: Query) -> AnswerSet:
+    """A cached answer set under the caller's own variable names.
+
+    Alpha-equivalent queries share one cache entry; the entry carries the
+    variable names of whichever query populated it, so a hit from a
+    renamed variant rebinds the columns (the rows are shared).
+    """
+    names = tuple(v.name for v in query.answer_variables)
+    if tuple(cached.variables) == names:
+        return cached
+    return AnswerSet(names, cached.rows(), cached.stats)
+
+
+class ServiceExecutor:
+    """Concurrent, cached, admission-controlled access to one database."""
+
+    def __init__(self, db: VideoDatabase,
+                 rules: Optional[str] = None,
+                 use_stdlib_rules: bool = False,
+                 *,
+                 max_workers: int = 4,
+                 max_in_flight: Optional[int] = None,
+                 cache_capacity: int = 256,
+                 default_timeout: Optional[float] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 engine_options: Optional[Dict[str, Any]] = None):
+        self.db = db
+        self.metrics = metrics or MetricsRegistry()
+        for name in ("queries.served", "queries.rejected", "queries.timeout",
+                     "queries.errors", "writes.applied", "sessions.opened"):
+            self.metrics.counter(name)  # stable snapshot shape from birth
+        self.default_timeout = default_timeout
+        self.max_in_flight = max_in_flight or max_workers * 4
+        self._engine = QueryEngine(db, rules=rules,
+                                   use_stdlib_rules=use_stdlib_rules,
+                                   **(engine_options or {}))
+        self._program_fp = program_fingerprint(self._engine.program)
+        self._cache = ResultCache(cache_capacity, metrics=self.metrics)
+        self._lock = RWLock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="vidb-query")
+        self._admission = threading.Lock()
+        self._in_flight = 0
+        self._sessions: Dict[str, Session] = {}
+        self._sessions_lock = threading.Lock()
+        self._closed = False
+
+    # -- program management --------------------------------------------------
+    @property
+    def engine(self) -> QueryEngine:
+        """The shared engine.  Mutate it only via :meth:`add_rules` /
+        :meth:`register_computed` (they take the write lock)."""
+        return self._engine
+
+    def add_rules(self, rules) -> "ServiceExecutor":
+        with self._lock.write_locked():
+            self._engine.add_rules(rules)
+            self._program_fp = program_fingerprint(self._engine.program)
+        return self
+
+    def register_computed(self, name: str, arity: int,
+                          fn) -> "ServiceExecutor":
+        with self._lock.write_locked():
+            self._engine.register_computed(name, arity, fn)
+            # Computed predicates are opaque callables the fingerprint
+            # cannot see; drop everything rather than risk stale answers.
+            self._cache.clear()
+        return self
+
+    # -- query path ----------------------------------------------------------
+    def submit(self, query: Union[str, Query],
+               timeout: Optional[float] = None) -> "Future[AnswerSet]":
+        """Queue a query; returns a future resolving to an AnswerSet.
+
+        Raises :class:`ServiceOverloadedError` immediately when
+        ``max_in_flight`` queries are already queued or running.
+        """
+        if self._closed:
+            raise ServiceClosedError("executor is shut down")
+        if timeout is None:
+            timeout = self.default_timeout
+        with self._admission:
+            if self._in_flight >= self.max_in_flight:
+                self.metrics.inc("queries.rejected")
+                raise ServiceOverloadedError(
+                    f"{self._in_flight} queries in flight "
+                    f"(limit {self.max_in_flight}); retry with backoff")
+            self._in_flight += 1
+        deadline = (time.monotonic() + timeout) if timeout else None
+        try:
+            future = self._pool.submit(self._run, query, deadline)
+        except RuntimeError:
+            with self._admission:
+                self._in_flight -= 1
+            raise ServiceClosedError("executor is shut down") from None
+        future.add_done_callback(self._release_slot)
+        return future
+
+    def execute(self, query: Union[str, Query],
+                timeout: Optional[float] = None) -> AnswerSet:
+        """Submit and wait; the blocking convenience wrapper."""
+        return self.submit(query, timeout=timeout).result()
+
+    def _release_slot(self, _future) -> None:
+        with self._admission:
+            self._in_flight -= 1
+
+    def _run(self, query: Union[str, Query],
+             deadline: Optional[float]) -> AnswerSet:
+        if deadline is not None and time.monotonic() > deadline:
+            self.metrics.inc("queries.timeout")
+            raise QueryTimeoutError("deadline expired while queued")
+        started = time.perf_counter()
+        try:
+            if isinstance(query, str):
+                query = parse_query(query)
+            normalized = normalize_query(query)
+            with self._lock.read_locked():
+                key = self._cache.make_key(
+                    self._program_fp, normalized, self.db.epoch)
+                cached = self._cache.get(key)
+                if cached is None:
+                    answers = self._engine.query(query)
+                    self._cache.put(key, answers)
+                else:
+                    answers = _relabel(cached, query)
+        except QueryTimeoutError:
+            raise
+        except Exception:
+            self.metrics.inc("queries.errors")
+            raise
+        elapsed = time.perf_counter() - started
+        if deadline is not None and time.monotonic() > deadline:
+            # The answer is valid and cached, but this caller asked for
+            # it by a time that has passed; report the miss honestly.
+            self.metrics.inc("queries.timeout")
+            raise QueryTimeoutError(
+                f"evaluation finished {elapsed:.3f}s in, past the deadline")
+        self.metrics.inc("queries.served")
+        self.metrics.observe("queries.latency_seconds", elapsed)
+        return answers
+
+    # -- mutation path -------------------------------------------------------
+    def mutate(self, fn: Callable[[VideoDatabase], Any]) -> Any:
+        """Run ``fn(db)`` with exclusive (writer) access.
+
+        ``fn`` runs inside an undo-log transaction: if it raises, every
+        mutation it made is rolled back (and the epoch restored) before
+        the exception propagates.
+        """
+        with self._lock.write_locked():
+            with self.db.transaction():
+                result = fn(self.db)
+        self.metrics.inc("writes.applied")
+        return result
+
+    def new_entity(self, oid, **attributes):
+        return self.mutate(lambda db: db.new_entity(oid, **attributes))
+
+    def new_interval(self, oid, entities: Iterable = (), duration=None,
+                     **attributes):
+        return self.mutate(lambda db: db.new_interval(
+            oid, entities=entities, duration=duration, **attributes))
+
+    def relate(self, relation, *args):
+        return self.mutate(lambda db: db.relate(relation, *args))
+
+    def remove_object(self, oid):
+        return self.mutate(lambda db: db.remove_object(oid))
+
+    def set_attribute(self, oid, name, value):
+        return self.mutate(lambda db: db.set_attribute(oid, name, value))
+
+    # -- sessions ------------------------------------------------------------
+    def open_session(self) -> Session:
+        if self._closed:
+            raise ServiceClosedError("executor is shut down")
+        session = Session(self)
+        with self._sessions_lock:
+            self._sessions[session.id] = session
+        self.metrics.inc("sessions.opened")
+        return session
+
+    def _forget_session(self, session: Session) -> None:
+        with self._sessions_lock:
+            self._sessions.pop(session.id, None)
+
+    def session_count(self) -> int:
+        with self._sessions_lock:
+            return len(self._sessions)
+
+    # -- introspection / lifecycle -------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Metrics + cache + load state as one JSON-serializable dict."""
+        snap = self.metrics.snapshot()
+        snap["cache.size"] = len(self._cache)
+        snap["cache.capacity"] = self._cache.capacity
+        snap["epoch"] = self.db.epoch
+        snap["in_flight"] = self._in_flight
+        snap["max_in_flight"] = self.max_in_flight
+        snap["sessions.open"] = self.session_count()
+        return snap
+
+    def close(self, wait: bool = True) -> None:
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "ServiceExecutor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return (f"ServiceExecutor({self.db.name!r}, "
+                f"in_flight={self._in_flight}/{self.max_in_flight}, "
+                f"cache={len(self._cache)}/{self._cache.capacity})")

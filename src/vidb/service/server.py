@@ -1,0 +1,342 @@
+"""A stdlib-only JSON-lines TCP server and client for the query service.
+
+Wire protocol: one JSON object per ``\\n``-terminated line, UTF-8.
+Requests carry an ``op`` field; responses carry ``ok`` (bool) plus
+op-specific fields, or ``{"ok": false, "error": <kind>, "message": ...}``.
+
+Operations::
+
+    {"op": "ping"}
+    {"op": "info"}
+    {"op": "query",   "query": "?- object(O).", "timeout": 5, "limit": 10}
+    {"op": "prepare", "name": "q1", "query": "?- ...", "params": ["O"]}
+    {"op": "execute", "name": "q1", "params": {"O": "o1"}}
+    {"op": "insert_entity",   "oid": "o9", "attributes": {"name": "David"}}
+    {"op": "insert_interval", "oid": "gi9", "entities": ["o9"],
+                              "duration": [[0, 10]], "attributes": {}}
+    {"op": "relate",  "relation": "in", "args": ["o1", "o2", "gi1"]}
+    {"op": "metrics"}
+    {"op": "close"}
+
+Each connection gets its own :class:`~vidb.service.session.Session`, so
+prepared queries are per-connection state, exactly like prepared
+statements in a SQL server.  Answer values are serialized as strings
+(the same rendering the CLI prints).
+
+:class:`ServiceClient` is the matching blocking client; it re-raises
+server-side error kinds as the corresponding :mod:`vidb.errors` classes
+so ``except ServiceOverloadedError`` works across the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from vidb.errors import (
+    ModelError,
+    ProtocolError,
+    QueryError,
+    QueryTimeoutError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    SessionError,
+    VidbError,
+)
+from vidb.service.executor import ServiceExecutor
+
+#: error kind <-> exception class, shared by server (encode) and client
+#: (decode).  Unknown kinds decode as plain ServiceError.
+ERROR_KINDS = {
+    "overloaded": ServiceOverloadedError,
+    "timeout": QueryTimeoutError,
+    "closed": ServiceClosedError,
+    "session": SessionError,
+    "protocol": ProtocolError,
+    "service": ServiceError,
+    "query": QueryError,
+    "model": ModelError,
+    "vidb": VidbError,
+}
+
+
+def _error_kind(error: Exception) -> str:
+    for kind, cls in ERROR_KINDS.items():
+        if type(error) is cls:
+            return kind
+    for kind, cls in ERROR_KINDS.items():
+        if isinstance(error, cls) and cls is not VidbError:
+            return kind
+    return "vidb"
+
+
+def _answers_payload(answers, limit: Optional[int]) -> Dict[str, Any]:
+    rows = [[str(value) for value in row] for row in answers.rows()]
+    if limit is not None:
+        rows = rows[:limit]
+    return {
+        "variables": list(answers.variables),
+        "rows": rows,
+        "count": len(answers),
+    }
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One thread per connection; one service session per connection."""
+
+    def handle(self) -> None:
+        service: ServiceExecutor = self.server.service  # type: ignore[attr-defined]
+        session = service.open_session()
+        try:
+            for raw in self.rfile:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line.decode("utf-8"))
+                    if not isinstance(request, dict):
+                        raise ProtocolError("request must be a JSON object")
+                    response, keep_open = self._dispatch(service, session,
+                                                         request)
+                except (ValueError, ProtocolError) as error:
+                    response = {"ok": False, "error": "protocol",
+                                "message": str(error)}
+                    keep_open = True
+                except VidbError as error:
+                    response = {"ok": False, "error": _error_kind(error),
+                                "message": str(error)}
+                    keep_open = True
+                try:
+                    self.wfile.write(
+                        (json.dumps(response) + "\n").encode("utf-8"))
+                    self.wfile.flush()
+                except (BrokenPipeError, ConnectionResetError):
+                    break
+                if not keep_open:
+                    break
+        finally:
+            session.close()
+
+    def _dispatch(self, service: ServiceExecutor, session,
+                  request: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}, True
+        if op == "info":
+            return {"ok": True, "database": service.db.name,
+                    "epoch": service.db.epoch,
+                    "stats": service.db.stats()}, True
+        if op == "query":
+            text = _required(request, "query", str)
+            answers = session.query(text, timeout=request.get("timeout"))
+            payload = _answers_payload(answers, request.get("limit"))
+            payload["ok"] = True
+            return payload, True
+        if op == "prepare":
+            name = _required(request, "name", str)
+            prepared = session.prepare(name,
+                                       _required(request, "query", str),
+                                       params=request.get("params", ()))
+            return {"ok": True, "name": name,
+                    "variables": list(prepared.variables),
+                    "params": list(prepared.params)}, True
+        if op == "execute":
+            name = _required(request, "name", str)
+            params = request.get("params", {})
+            if not isinstance(params, dict):
+                raise ProtocolError("params must be an object")
+            answers = session.execute(name, timeout=request.get("timeout"),
+                                      **params)
+            payload = _answers_payload(answers, request.get("limit"))
+            payload["ok"] = True
+            return payload, True
+        if op == "insert_entity":
+            oid = _required(request, "oid", str)
+            attributes = request.get("attributes", {})
+            obj = service.new_entity(oid, **attributes)
+            return {"ok": True, "oid": str(obj.oid),
+                    "epoch": service.db.epoch}, True
+        if op == "insert_interval":
+            oid = _required(request, "oid", str)
+            duration = request.get("duration")
+            pairs = ([tuple(pair) for pair in duration]
+                     if duration is not None else None)
+            obj = service.new_interval(
+                oid, entities=request.get("entities", ()),
+                duration=pairs, **request.get("attributes", {}))
+            return {"ok": True, "oid": str(obj.oid),
+                    "epoch": service.db.epoch}, True
+        if op == "relate":
+            relation = _required(request, "relation", str)
+            args = request.get("args", [])
+            if not isinstance(args, list):
+                raise ProtocolError("args must be an array")
+            fact = service.relate(relation,
+                                  *[_resolve_arg(service, a) for a in args])
+            return {"ok": True, "fact": str(fact),
+                    "epoch": service.db.epoch}, True
+        if op == "metrics":
+            return {"ok": True, "metrics": service.snapshot()}, True
+        if op == "close":
+            return {"ok": True, "closing": True}, False
+        raise ProtocolError(f"unknown op {op!r}")
+
+
+def _required(request: Dict[str, Any], field: str, kind) -> Any:
+    value = request.get(field)
+    if not isinstance(value, kind):
+        raise ProtocolError(f"op {request.get('op')!r} needs "
+                            f"{kind.__name__} field {field!r}")
+    return value
+
+
+def _resolve_arg(service: ServiceExecutor, value: Any) -> Any:
+    """A relation argument: an existing oid when one matches, else a
+    constant (the same resolution rule symbols get in query text)."""
+    if isinstance(value, str):
+        from vidb.model.oid import Oid
+
+        for oid in (Oid.entity(value), Oid.interval(value)):
+            if service.db.get(oid) is not None:
+                return oid
+    return value
+
+
+class _ThreadingServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class VideoServer:
+    """The TCP front end of a :class:`ServiceExecutor`.
+
+    ``port=0`` binds an ephemeral port; read the actual address from
+    :attr:`address` (the tests and the smoke job rely on this).
+    """
+
+    def __init__(self, service: ServiceExecutor,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self._server = _ThreadingServer((host, port), _Handler)
+        self._server.service = service  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address[:2]
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever(poll_interval=0.1)
+
+    def start_background(self) -> "VideoServer":
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        name="vidb-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "VideoServer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.shutdown()
+        return False
+
+    def __repr__(self) -> str:
+        host, port = self.address
+        return f"VideoServer({host}:{port})"
+
+
+class ServiceClient:
+    """A blocking JSON-lines client for :class:`VideoServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7421,
+                 timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._lock = threading.Lock()
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request, wait for its response; raises on error."""
+        payload = {"op": op, **{k: v for k, v in fields.items()
+                                if v is not None}}
+        with self._lock:
+            self._sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+            line = self._reader.readline()
+        if not line:
+            raise ProtocolError("server closed the connection")
+        try:
+            response = json.loads(line.decode("utf-8"))
+        except ValueError as error:
+            raise ProtocolError(f"bad response line: {error}") from None
+        if not isinstance(response, dict):
+            raise ProtocolError("response must be a JSON object")
+        if not response.get("ok"):
+            kind = response.get("error", "service")
+            message = response.get("message", "server error")
+            raise ERROR_KINDS.get(kind, ServiceError)(message)
+        return response
+
+    # -- convenience wrappers ------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def info(self) -> Dict[str, Any]:
+        return self.request("info")
+
+    def query(self, text: str, timeout: Optional[float] = None,
+              limit: Optional[int] = None) -> Dict[str, Any]:
+        return self.request("query", query=text, timeout=timeout,
+                            limit=limit)
+
+    def prepare(self, name: str, text: str,
+                params: Optional[List[str]] = None) -> Dict[str, Any]:
+        return self.request("prepare", name=name, query=text, params=params)
+
+    def execute(self, name: str, params: Optional[Dict[str, Any]] = None,
+                timeout: Optional[float] = None) -> Dict[str, Any]:
+        return self.request("execute", name=name, params=params or {},
+                            timeout=timeout)
+
+    def insert_entity(self, oid: str, **attributes: Any) -> Dict[str, Any]:
+        return self.request("insert_entity", oid=oid, attributes=attributes)
+
+    def insert_interval(self, oid: str, entities=(), duration=None,
+                        **attributes: Any) -> Dict[str, Any]:
+        return self.request("insert_interval", oid=oid,
+                            entities=list(entities), duration=duration,
+                            attributes=attributes)
+
+    def relate(self, relation: str, *args: Any) -> Dict[str, Any]:
+        return self.request("relate", relation=relation, args=list(args))
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request("metrics")["metrics"]
+
+    def close(self) -> None:
+        try:
+            with self._lock:
+                self._sock.sendall(b'{"op": "close"}\n')
+        except OSError:
+            pass
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,276 @@
+"""Client sessions and prepared queries.
+
+A :class:`Session` belongs to one client of a
+:class:`~vidb.service.executor.ServiceExecutor`.  It offers
+
+* plain evaluation (:meth:`Session.query`) that shares the service's
+  result cache, and
+* *prepared* queries (:meth:`Session.prepare` / :meth:`Session.execute`):
+  the text is parsed and safety-checked **once**; each execution only
+  substitutes parameter values into the compiled AST, skipping the
+  parser entirely.
+
+Parameters are ordinary query variables named at prepare time::
+
+    session.prepare("appearances",
+                    "?- interval(G), object(O), O in G.entities.",
+                    params=["O"])
+    session.execute("appearances", O="o1")     # binds O to the oid o1
+
+A string value binds as a *symbol* (resolved against the database like a
+constant in query text) when it looks like an identifier; wrap it in
+double quotes (``'"David"'``) to force a literal string.  Numbers bind
+as numeric constants.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from vidb.constraints.dense import And, Comparison, Constraint, Or
+from vidb.constraints.terms import Var
+from vidb.errors import SessionError, ServiceClosedError
+from vidb.model.oid import Oid
+from vidb.query.ast import (
+    AttrPath,
+    BodyItem,
+    ComparisonAtom,
+    ConcatTerm,
+    EntailmentAtom,
+    Literal,
+    MembershipAtom,
+    NegatedLiteral,
+    Query,
+    SubsetAtom,
+    Symbol,
+    Term,
+    Variable,
+)
+from vidb.query.parser import parse_query
+from vidb.query.safety import check_query
+
+_IDENT_RE = re.compile(r"^[a-z][A-Za-z0-9_]*$")
+_session_ids = itertools.count(1)
+
+
+def coerce_param(value: Any) -> Term:
+    """A wire/API parameter value as a query term."""
+    if isinstance(value, (Variable, Symbol, Oid)):
+        return value
+    if isinstance(value, bool):
+        raise SessionError("boolean parameters are not supported")
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, str):
+        if len(value) >= 2 and value[0] == '"' and value[-1] == '"':
+            return value[1:-1]
+        if _IDENT_RE.match(value):
+            return Symbol(value)
+        return value
+    raise SessionError(f"cannot bind parameter value {value!r}")
+
+
+def _subst_term(term: Term, binding: Dict[str, Term]) -> Term:
+    if isinstance(term, Variable) and term.name in binding:
+        return binding[term.name]
+    if isinstance(term, ConcatTerm):
+        return ConcatTerm(_subst_term(term.left, binding),
+                          _subst_term(term.right, binding))
+    return term
+
+
+def _subst_path(path: AttrPath, binding: Dict[str, Term]) -> AttrPath:
+    subject = _subst_term(path.subject, binding)
+    if not isinstance(subject, (Variable, Symbol, Oid)):
+        raise SessionError(
+            f"parameter {path.subject!r} is used as an attribute-path "
+            f"subject and must bind to a symbol or oid, not {subject!r}")
+    return AttrPath(subject, path.attr)
+
+
+def _subst_constraint(constraint: Constraint,
+                      binding: Dict[str, Term]) -> Constraint:
+    if isinstance(constraint, Comparison):
+        def side(value):
+            if isinstance(value, Var) and value.name in binding:
+                bound = binding[value.name]
+                if isinstance(bound, (Symbol, Oid)):
+                    raise SessionError(
+                        f"constraint variable {value.name} must bind to a "
+                        f"number, not {bound!r}")
+                return bound
+            return value
+        return Comparison(side(constraint.left), constraint.op,
+                          side(constraint.right))
+    if isinstance(constraint, And):
+        return And([_subst_constraint(p, binding) for p in constraint.parts])
+    if isinstance(constraint, Or):
+        return Or([_subst_constraint(p, binding) for p in constraint.parts])
+    return constraint
+
+
+def _subst_side(side, binding: Dict[str, Term]):
+    if isinstance(side, AttrPath):
+        return _subst_path(side, binding)
+    if isinstance(side, Constraint):
+        return _subst_constraint(side, binding)
+    return _subst_term(side, binding)
+
+
+def _subst_item(item: BodyItem, binding: Dict[str, Term]) -> BodyItem:
+    if isinstance(item, Literal):
+        return Literal(item.predicate,
+                       [_subst_term(a, binding) for a in item.args])
+    if isinstance(item, NegatedLiteral):
+        return NegatedLiteral(_subst_item(item.literal, binding))
+    if isinstance(item, MembershipAtom):
+        return MembershipAtom(_subst_term(item.element, binding),
+                              _subst_path(item.collection, binding))
+    if isinstance(item, SubsetAtom):
+        if isinstance(item.subset, AttrPath):
+            subset = _subst_path(item.subset, binding)
+        else:
+            subset = tuple(_subst_term(t, binding) for t in item.subset)
+        return SubsetAtom(subset, _subst_path(item.superset, binding))
+    if isinstance(item, ComparisonAtom):
+        return ComparisonAtom(_subst_side(item.left, binding), item.op,
+                              _subst_side(item.right, binding))
+    if isinstance(item, EntailmentAtom):
+        return EntailmentAtom(_subst_side(item.left, binding),
+                              _subst_side(item.right, binding))
+    raise SessionError(f"cannot substitute into body item {item!r}")
+
+
+class PreparedQuery:
+    """A query compiled once, re-executable with different parameters."""
+
+    def __init__(self, name: str, text: str,
+                 params: Sequence[str] = ()):
+        self.name = name
+        self.text = text
+        self.query = parse_query(text)
+        check_query(self.query)
+        free = {v.name for item in self.query.body
+                for v in item.variables()}
+        self.params: Tuple[str, ...] = tuple(params)
+        for param in self.params:
+            if param not in free:
+                raise SessionError(
+                    f"prepared query {name!r} has no variable {param!r} "
+                    f"to parameterize (variables: {sorted(free)})")
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """The answer variables of the unbound query."""
+        return tuple(v.name for v in self.query.answer_variables)
+
+    def bind(self, **values: Any) -> Query:
+        """The query with parameters substituted (no re-parse).
+
+        Unbound parameters stay free variables; binding a name that was
+        not declared as a parameter is an error.
+        """
+        unknown = set(values) - set(self.params)
+        if unknown:
+            raise SessionError(
+                f"prepared query {self.name!r} has no parameter(s) "
+                f"{sorted(unknown)}; declared: {list(self.params)}")
+        if not values:
+            return self.query
+        binding = {name: coerce_param(value)
+                   for name, value in values.items()}
+        body = [_subst_item(item, binding) for item in self.query.body]
+        projection = [v for v in self.query.answer_variables
+                      if v.name not in binding]
+        return Query(body, projection)
+
+    def __repr__(self) -> str:
+        return f"PreparedQuery({self.name!r}, params={list(self.params)})"
+
+
+class Session:
+    """One client's handle on the service: prepared queries + evaluation.
+
+    Sessions are cheap; the heavyweight state (thread pool, cache, lock)
+    lives in the executor they share.  A session is itself thread-safe,
+    though the expected pattern is one session per client connection.
+    """
+
+    def __init__(self, executor, session_id: Optional[str] = None):
+        self.executor = executor
+        self.id = session_id or f"s{next(_session_ids)}"
+        self._prepared: Dict[str, PreparedQuery] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self.queries_run = 0
+
+    # -- prepared queries ---------------------------------------------------
+    def prepare(self, name: str, text: str,
+                params: Sequence[str] = ()) -> PreparedQuery:
+        """Compile *text* once under *name*; re-preparing replaces it."""
+        self._check_open()
+        prepared = PreparedQuery(name, text, params)
+        with self._lock:
+            self._prepared[name] = prepared
+        return prepared
+
+    def prepared(self, name: str) -> PreparedQuery:
+        with self._lock:
+            try:
+                return self._prepared[name]
+            except KeyError:
+                raise SessionError(
+                    f"session {self.id} has no prepared query {name!r}"
+                ) from None
+
+    def prepared_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._prepared)
+
+    def execute(self, name: str, timeout: Optional[float] = None,
+                **params: Any):
+        """Run a prepared query with the given parameter values."""
+        self._check_open()
+        query = self.prepared(name).bind(**params)
+        return self._run(query, timeout)
+
+    # -- ad-hoc queries ------------------------------------------------------
+    def query(self, text: Union[str, Query],
+              timeout: Optional[float] = None):
+        """Evaluate an ad-hoc query through the service."""
+        self._check_open()
+        return self._run(text, timeout)
+
+    def _run(self, query, timeout):
+        answers = self.executor.execute(query, timeout=timeout)
+        with self._lock:
+            self.queries_run += 1
+        return answers
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._prepared.clear()
+        self.executor._forget_session(self)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosedError(f"session {self.id} is closed")
+        return None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (f"Session({self.id}, {state}, "
+                f"{len(self._prepared)} prepared, "
+                f"{self.queries_run} queries)")

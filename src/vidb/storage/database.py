@@ -48,6 +48,18 @@ class VideoDatabase:
         self._temporal_index = TemporalIndex()
         self._declared_relations: set = set()
         self._journal: Optional[List] = None  # undo log when inside a transaction
+        #: Monotonic mutation counter.  Every successful mutating operation
+        #: bumps it, so two reads of the database at the same epoch are
+        #: guaranteed to see the same state — the invariant the service
+        #: layer's result cache keys on.  Rolling back a transaction
+        #: restores the epoch it snapshotted (the state is restored too,
+        #: so the invariant holds).
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """The current mutation epoch (see ``vidb.service.cache``)."""
+        return self._epoch
 
     @property
     def name(self) -> str:
@@ -106,6 +118,7 @@ class VideoDatabase:
         else:
             raise ModelError(f"expected an EntityObject or GeneralizedIntervalObject, got {obj!r}")
         self._attribute_index.add(obj)
+        self._epoch += 1
         return obj
 
     def relate(self, relation: Union[str, RelationFact], *args: FactArg) -> RelationFact:
@@ -126,6 +139,7 @@ class VideoDatabase:
         self.sequence.add_fact(fact)
         self._relation_index.add(fact)
         self._log(("remove_fact", fact))
+        self._epoch += 1
         return fact
 
     # -- updates / deletion --------------------------------------------------
@@ -145,6 +159,7 @@ class VideoDatabase:
             raise ModelError(f"cannot replace with {obj!r}")
         self._attribute_index.add(obj)
         self._log(("restore_object", old))
+        self._epoch += 1
         return obj
 
     def set_attribute(self, oid: OidLike, name: str, value) -> VideoObject:
@@ -166,6 +181,7 @@ class VideoDatabase:
         else:
             self.sequence.remove_object(obj.oid)
         self._log(("restore_removed", obj))
+        self._epoch += 1
         return obj
 
     def remove_fact(self, fact: RelationFact) -> None:
@@ -173,6 +189,7 @@ class VideoDatabase:
             self.sequence.remove_fact(fact)
             self._relation_index.remove(fact)
             self._log(("restore_fact", fact))
+            self._epoch += 1
 
     def _deindex(self, obj: VideoObject) -> None:
         self._attribute_index.remove(obj)
@@ -219,7 +236,9 @@ class VideoDatabase:
         it is still empty.
         """
         RelationFact(name, (0,))  # reuse the name validation
-        self._declared_relations.add(name)
+        if name not in self._declared_relations:
+            self._declared_relations.add(name)
+            self._epoch += 1
 
     def relation_names(self) -> FrozenSet[str]:
         return self._relation_index.names() | frozenset(self._declared_relations)

@@ -33,6 +33,7 @@ class Transaction:
         self._journal: Optional[List[Tuple]] = None
         self._closed = False
         self._nested = False
+        self._epoch_snapshot: Optional[int] = None
 
     # -- context protocol ---------------------------------------------------
     def __enter__(self) -> "Transaction":
@@ -46,6 +47,7 @@ class Transaction:
             return self
         self._journal = []
         self._db._journal = self._journal
+        self._epoch_snapshot = self._db._epoch
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -82,6 +84,11 @@ class Transaction:
         self._closed = True
         for entry in reversed(journal):
             self._undo(entry)
+        # The undo replay bumped the epoch once per inverse operation;
+        # the state now equals the snapshot state, so restore the
+        # snapshot epoch too (same state <=> same epoch).
+        if self._epoch_snapshot is not None:
+            self._db._epoch = self._epoch_snapshot
 
     # -- undo interpreter -----------------------------------------------------
     def _undo(self, entry: Tuple) -> None:

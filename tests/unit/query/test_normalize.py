@@ -1,0 +1,79 @@
+"""Unit tests for query normalization and fingerprints (render.py)."""
+
+import pytest
+
+from vidb.query.parser import parse_program, parse_query
+from vidb.query.render import (
+    normalize_query,
+    program_fingerprint,
+    query_fingerprint,
+)
+
+
+class TestNormalizeQuery:
+    def test_alpha_renaming(self):
+        a = normalize_query("?- interval(G), object(O), O in G.entities.")
+        b = normalize_query("?- interval(S), object(X), X in S.entities.")
+        assert a == b
+        assert "V0" in a and "V1" in a
+
+    def test_whitespace_insensitive(self):
+        assert (normalize_query("?-   object( O ).")
+                == normalize_query("?- object(O)."))
+
+    def test_different_bodies_differ(self):
+        assert (normalize_query("?- object(O).")
+                != normalize_query("?- interval(O)."))
+
+    def test_constants_preserved(self):
+        text = normalize_query('?- object(O), O.name = "David".')
+        assert '"David"' in text
+
+    def test_accepts_parsed_queries(self):
+        query = parse_query("?- object(O).")
+        assert normalize_query(query) == normalize_query("?- object(O).")
+
+    def test_inline_constraint_variables_renamed(self):
+        a = normalize_query("?- interval(G), (T >= 10) => G.duration.")
+        b = normalize_query("?- interval(S), (U >= 10) => S.duration.")
+        assert a == b
+
+    def test_subset_and_comparison_atoms(self):
+        a = normalize_query("?- interval(G), {o1, o4} subset G.entities.")
+        b = normalize_query("?- interval(H), {o1, o4} subset H.entities.")
+        assert a == b
+
+    def test_projection_kept_distinct(self):
+        # same body, different variable order => different answer columns
+        a = normalize_query("?- in(X, Y, G).")
+        b = normalize_query("?- in(Y, X, G).")
+        assert a == b  # alpha-equivalent: first-occurrence order matches
+        c = normalize_query("?- object(O), interval(G), O in G.entities.")
+        d = normalize_query("?- interval(G), object(O), O in G.entities.")
+        assert c != d  # literal order differs: bodies are not identical
+
+
+class TestFingerprints:
+    def test_query_fingerprint_stability(self):
+        assert (query_fingerprint("?- object(A).")
+                == query_fingerprint("?- object(B)."))
+        assert (query_fingerprint("?- object(A).")
+                != query_fingerprint("?- interval(A)."))
+
+    def test_fingerprint_is_hex_digest(self):
+        digest = query_fingerprint("?- object(O).")
+        assert len(digest) == 64
+        int(digest, 16)
+
+    def test_program_fingerprint_order_insensitive(self):
+        a = parse_program("p(X) :- object(X).\nq(X) :- interval(X).")
+        b = parse_program("q(X) :- interval(X).\np(X) :- object(X).")
+        assert program_fingerprint(a) == program_fingerprint(b)
+
+    def test_program_fingerprint_sees_rule_changes(self):
+        a = parse_program("p(X) :- object(X).")
+        b = parse_program("p(X) :- interval(X).")
+        assert program_fingerprint(a) != program_fingerprint(b)
+
+    def test_empty_program(self):
+        assert isinstance(program_fingerprint(parse_program("")), str)

@@ -1,0 +1,222 @@
+"""Unit tests for the concurrent executor: locking, caching, admission,
+deadlines."""
+
+import threading
+import time
+
+import pytest
+
+from vidb.errors import (
+    QueryTimeoutError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from vidb.query.engine import QueryEngine
+from vidb.service.executor import RWLock, ServiceExecutor
+from vidb.workloads.paper import rope_database
+
+Q_APPEARS = "?- interval(G), object(o1), o1 in G.entities."
+
+
+@pytest.fixture
+def service():
+    with ServiceExecutor(rope_database(), max_workers=2) as executor:
+        yield executor
+
+
+class TestRWLock:
+    def test_readers_share(self):
+        lock = RWLock()
+        entered = []
+
+        def reader():
+            with lock.read_locked():
+                entered.append(1)
+                time.sleep(0.05)
+
+        threads = [threading.Thread(target=reader) for __ in range(4)]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # four 50ms readers in parallel finish way under 4 * 50ms
+        assert time.perf_counter() - start < 0.15
+        assert len(entered) == 4
+
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        order = []
+        lock.acquire_write()
+
+        def reader():
+            with lock.read_locked():
+                order.append("read")
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        time.sleep(0.05)
+        order.append("write-done")
+        lock.release_write()
+        thread.join()
+        assert order == ["write-done", "read"]
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = RWLock()
+        lock.acquire_read()
+        got_write = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                got_write.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        time.sleep(0.02)
+        # a late reader must queue behind the waiting writer
+        late = threading.Thread(target=lambda: lock.read_locked().__enter__())
+        assert not got_write.is_set()
+        lock.release_read()
+        thread.join()
+        assert got_write.is_set()
+
+
+class TestCaching:
+    def test_repeat_query_hits_cache(self, service):
+        first = service.execute(Q_APPEARS)
+        second = service.execute(Q_APPEARS)
+        snap = service.snapshot()
+        assert snap["cache.hits"] == 1
+        assert snap["cache.misses"] == 1
+        assert first.rows() == second.rows()
+
+    def test_alpha_variant_hits_same_entry(self, service):
+        service.execute("?- object(O).")
+        service.execute("?- object(X).")
+        assert service.snapshot()["cache.hits"] == 1
+
+    def test_mutation_bumps_epoch_and_invalidates(self, service):
+        before = service.execute("?- object(O).")
+        epoch_before = service.db.epoch
+        service.new_entity("o42", name="Visitor")
+        assert service.db.epoch > epoch_before
+        after = service.execute("?- object(O).")
+        assert len(after) == len(before) + 1
+        snap = service.snapshot()
+        assert snap["cache.hits"] == 0
+        assert snap["cache.misses"] == 2
+
+    def test_failed_mutation_rolls_back_and_keeps_epoch(self, service):
+        baseline = service.execute("?- object(O).")
+        epoch = service.db.epoch
+
+        def bad_write(db):
+            db.new_entity("o43", name="Ghost")
+            raise RuntimeError("abort")
+
+        with pytest.raises(RuntimeError):
+            service.mutate(bad_write)
+        assert service.db.epoch == epoch
+        again = service.execute("?- object(O).")
+        assert again.rows() == baseline.rows()
+        # the rolled-back write left the cache entry valid: second read hits
+        assert service.snapshot()["cache.hits"] == 1
+
+    def test_add_rules_changes_fingerprint(self, service):
+        service.execute("?- object(O).")
+        service.add_rules("famous(O) :- object(O), O.role = \"Victim\".")
+        service.execute("?- object(O).")
+        # same query, new program -> second evaluation cannot reuse entry
+        assert service.snapshot()["cache.misses"] == 2
+
+
+class TestAdmissionAndDeadlines:
+    def _blockable(self, db, max_workers, max_in_flight):
+        executor = ServiceExecutor(db, max_workers=max_workers,
+                                   max_in_flight=max_in_flight)
+        gate = threading.Event()
+
+        def blocked(ctx, args):
+            gate.wait(timeout=10)
+            return True
+
+        executor.register_computed("blocked", 1, blocked)
+        return executor, gate
+
+    def test_overload_fast_fails(self):
+        executor, gate = self._blockable(rope_database(),
+                                         max_workers=1, max_in_flight=2)
+        try:
+            futures = [executor.submit("?- object(O), blocked(O).")
+                       for __ in range(2)]
+            with pytest.raises(ServiceOverloadedError):
+                executor.submit("?- object(O).")
+            assert executor.snapshot()["queries.rejected"] == 1
+            gate.set()
+            for future in futures:
+                assert len(future.result(timeout=10)) == 9
+            # slots free again: submission works now
+            assert len(executor.execute("?- object(O).")) == 9
+        finally:
+            gate.set()
+            executor.close()
+
+    def test_deadline_expires_in_queue(self):
+        executor, gate = self._blockable(rope_database(),
+                                         max_workers=1, max_in_flight=4)
+        try:
+            running = executor.submit("?- object(O), blocked(O).")
+            queued = executor.submit("?- interval(G).", timeout=0.05)
+            time.sleep(0.2)
+            gate.set()
+            with pytest.raises(QueryTimeoutError):
+                queued.result(timeout=10)
+            running.result(timeout=10)
+            assert executor.snapshot()["queries.timeout"] == 1
+        finally:
+            gate.set()
+            executor.close()
+
+    def test_deadline_expires_during_evaluation(self):
+        executor = ServiceExecutor(rope_database(), max_workers=1)
+
+        def slow(ctx, args):
+            time.sleep(0.15)
+            return True
+
+        executor.register_computed("slow", 1, slow)
+        try:
+            with pytest.raises(QueryTimeoutError):
+                executor.execute("?- interval(G), slow(G).", timeout=0.05)
+        finally:
+            executor.close()
+
+    def test_no_timeout_by_default(self, service):
+        assert len(service.execute("?- object(O).")) == 9
+
+
+class TestLifecycle:
+    def test_closed_executor_refuses_queries(self):
+        executor = ServiceExecutor(rope_database(), max_workers=1)
+        executor.close()
+        with pytest.raises(ServiceClosedError):
+            executor.submit("?- object(O).")
+
+    def test_closed_executor_refuses_sessions(self):
+        executor = ServiceExecutor(rope_database(), max_workers=1)
+        executor.close()
+        with pytest.raises(ServiceClosedError):
+            executor.open_session()
+
+    def test_service_answers_match_plain_engine(self, service):
+        expected = QueryEngine(rope_database()).query(Q_APPEARS).rows()
+        assert service.execute(Q_APPEARS).rows() == expected
+
+    def test_snapshot_shape(self, service):
+        service.execute("?- object(O).")
+        snap = service.snapshot()
+        for field in ("queries.served", "epoch", "in_flight",
+                      "max_in_flight", "cache.size", "sessions.open"):
+            assert field in snap
+        assert snap["queries.served"] == 1
+        assert snap["queries.latency_seconds"]["count"] == 1

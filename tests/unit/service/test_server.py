@@ -1,0 +1,130 @@
+"""Unit tests for the JSON-lines TCP server and client."""
+
+import json
+import socket
+
+import pytest
+
+from vidb.errors import ProtocolError, QueryError, SessionError
+from vidb.service.executor import ServiceExecutor
+from vidb.service.server import ServiceClient, VideoServer
+from vidb.workloads.paper import rope_database
+
+
+@pytest.fixture
+def server():
+    service = ServiceExecutor(rope_database(), max_workers=2)
+    with service, VideoServer(service, port=0) as srv:
+        srv.start_background()
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    host, port = server.address
+    with ServiceClient(host, port) as c:
+        yield c
+
+
+class TestBasicOps:
+    def test_ping(self, client):
+        assert client.ping() is True
+
+    def test_info(self, client):
+        info = client.info()
+        assert info["database"] == "the-rope"
+        assert info["stats"]["entities"] == 9
+        assert "epoch" in info
+
+    def test_query_rows_are_strings(self, client):
+        reply = client.query(
+            "?- interval(G), object(o1), o1 in G.entities.")
+        assert reply["variables"] == ["G"]
+        assert sorted(reply["rows"]) == [["gi1"], ["gi2"]]
+        assert reply["count"] == 2
+
+    def test_query_limit(self, client):
+        reply = client.query("?- object(O).", limit=3)
+        assert len(reply["rows"]) == 3
+        assert reply["count"] == 9
+
+
+class TestPreparedOverTheWire:
+    def test_prepare_execute(self, client):
+        reply = client.prepare(
+            "appears", "?- interval(G), object(O), O in G.entities.",
+            params=["O"])
+        assert reply["params"] == ["O"]
+        result = client.execute("appears", params={"O": "o1"})
+        assert sorted(r[0] for r in result["rows"]) == ["gi1", "gi2"]
+
+    def test_prepared_state_is_per_connection(self, server, client):
+        client.prepare("mine", "?- object(O).")
+        host, port = server.address
+        with ServiceClient(host, port) as other:
+            with pytest.raises(SessionError):
+                other.execute("mine")
+
+
+class TestMutationsAndCache:
+    def test_acceptance_flow(self, client):
+        """Repeat -> cache hit; insert -> epoch bump -> fresh answers."""
+        query = "?- interval(G), object(O), O in G.entities."
+        first = client.query(query)
+        second = client.query(query)
+        assert second["rows"] == first["rows"]
+        metrics = client.metrics()
+        assert metrics["cache.hits"] >= 1
+        epoch_before = client.info()["epoch"]
+
+        client.insert_entity("o77", name="Latecomer")
+        client.insert_interval("gi77", entities=["o77"],
+                               duration=[[400, 410]])
+        assert client.info()["epoch"] > epoch_before
+
+        third = client.query(query)
+        assert third["count"] == first["count"] + 1
+        assert ["gi77", "o77"] in third["rows"]
+        after = client.metrics()
+        assert after["cache.misses"] > metrics["cache.misses"]
+
+    def test_relate_resolves_oids(self, client):
+        reply = client.relate("in", "o1", "o4", "gi1")
+        assert reply["fact"] == "in(o1, o4, gi1)"
+        result = client.query("?- in(X, Y, G).")
+        assert ["o1", "o4", "gi1"] in result["rows"]
+
+
+class TestErrorsOverTheWire:
+    def test_query_error_round_trips(self, client):
+        with pytest.raises(QueryError):
+            client.query("?- object(O")
+
+    def test_unknown_op(self, client):
+        with pytest.raises(ProtocolError):
+            client.request("frobnicate")
+
+    def test_missing_field(self, client):
+        with pytest.raises(ProtocolError):
+            client.request("query")
+
+    def test_connection_survives_errors(self, client):
+        with pytest.raises(ProtocolError):
+            client.request("frobnicate")
+        assert client.ping() is True
+
+    def test_garbage_line_gets_protocol_error(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(b"this is not json\n")
+            reply = json.loads(sock.makefile("rb").readline())
+        assert reply["ok"] is False
+        assert reply["error"] == "protocol"
+
+    def test_close_op_ends_connection(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=5) as sock:
+            reader = sock.makefile("rb")
+            sock.sendall(b'{"op": "close"}\n')
+            assert json.loads(reader.readline())["closing"] is True
+            assert reader.readline() == b""

@@ -1,0 +1,113 @@
+"""Unit tests for sessions and prepared/parameterized queries."""
+
+import pytest
+
+from vidb.errors import ServiceClosedError, SessionError
+from vidb.query import parser as parser_module
+from vidb.service.executor import ServiceExecutor
+from vidb.service.session import PreparedQuery, coerce_param
+from vidb.query.ast import Symbol
+from vidb.workloads.paper import rope_database
+
+
+@pytest.fixture
+def service():
+    with ServiceExecutor(rope_database(), max_workers=2) as executor:
+        yield executor
+
+
+class TestCoerceParam:
+    def test_identifier_binds_as_symbol(self):
+        assert coerce_param("o1") == Symbol("o1")
+
+    def test_quoted_binds_as_string(self):
+        assert coerce_param('"David"') == "David"
+
+    def test_numbers_pass_through(self):
+        assert coerce_param(42) == 42
+        assert coerce_param(1.5) == 1.5
+
+    def test_non_identifier_string_stays_string(self):
+        assert coerce_param("On the Waterfront") == "On the Waterfront"
+
+    def test_bool_rejected(self):
+        with pytest.raises(SessionError):
+            coerce_param(True)
+
+
+class TestPreparedQuery:
+    def test_unknown_param_at_prepare(self):
+        with pytest.raises(SessionError):
+            PreparedQuery("p", "?- object(O).", params=["Z"])
+
+    def test_unknown_param_at_bind(self):
+        prepared = PreparedQuery("p", "?- object(O).", params=["O"])
+        with pytest.raises(SessionError):
+            prepared.bind(Z="o1")
+
+    def test_bound_variable_leaves_projection(self):
+        prepared = PreparedQuery(
+            "p", "?- interval(G), object(O), O in G.entities.",
+            params=["O"])
+        assert prepared.variables == ("G", "O")
+        query = prepared.bind(O="o1")
+        assert [v.name for v in query.answer_variables] == ["G"]
+
+    def test_bind_nothing_returns_original(self):
+        prepared = PreparedQuery("p", "?- object(O).", params=["O"])
+        assert prepared.bind() is prepared.query
+
+
+class TestSessionExecution:
+    def test_prepared_execution_matches_adhoc(self, service):
+        session = service.open_session()
+        session.prepare("appears",
+                        "?- interval(G), object(O), O in G.entities.",
+                        params=["O"])
+        prepared_rows = session.execute("appears", O="o1").rows()
+        adhoc_rows = session.query(
+            "?- interval(G), object(o1), o1 in G.entities.").rows()
+        assert sorted(map(str, prepared_rows)) == sorted(map(str, adhoc_rows))
+
+    def test_execute_skips_the_parser(self, service, monkeypatch):
+        session = service.open_session()
+        session.prepare("all", "?- object(O).")
+
+        def boom(*a, **k):  # pragma: no cover - would fail the test
+            raise AssertionError("parser called after prepare")
+
+        monkeypatch.setattr(parser_module, "parse_query", boom)
+        assert len(session.execute("all")) == 9
+
+    def test_unknown_prepared_name(self, service):
+        session = service.open_session()
+        with pytest.raises(SessionError):
+            session.execute("nope")
+
+    def test_session_counts_queries(self, service):
+        session = service.open_session()
+        session.query("?- object(O).")
+        session.query("?- interval(G).")
+        assert session.queries_run == 2
+
+    def test_closed_session_refuses_work(self, service):
+        session = service.open_session()
+        session.close()
+        with pytest.raises(ServiceClosedError):
+            session.query("?- object(O).")
+
+    def test_sessions_tracked_by_executor(self, service):
+        before = service.session_count()
+        with service.open_session():
+            assert service.session_count() == before + 1
+        assert service.session_count() == before
+
+    def test_distinct_bindings_distinct_cache_entries(self, service):
+        session = service.open_session()
+        session.prepare("appears",
+                        "?- interval(G), object(O), O in G.entities.",
+                        params=["O"])
+        first = session.execute("appears", O="o1")
+        second = session.execute("appears", O="o9")
+        assert {str(r[0]) for r in first.rows()} == {"gi1", "gi2"}
+        assert {str(r[0]) for r in second.rows()} == {"gi2"}

@@ -1,0 +1,103 @@
+"""The mutation-epoch counter: every mutation bumps it, rollback restores
+it, and equal epochs imply equal database state (the cache invariant)."""
+
+import pytest
+
+from vidb.model.relations import RelationFact
+from vidb.storage.database import VideoDatabase
+
+
+@pytest.fixture
+def db():
+    database = VideoDatabase("epochs")
+    database.new_entity("o1", name="David")
+    database.new_interval("gi1", entities=["o1"], duration=[(0, 10)])
+    return database
+
+
+class TestBumps:
+    def test_fresh_database_at_zero(self):
+        assert VideoDatabase().epoch == 0
+
+    def test_every_constructor_bumps(self):
+        db = VideoDatabase()
+        db.new_entity("o1")
+        assert db.epoch == 1
+        db.new_interval("gi1", entities=["o1"], duration=[(0, 5)])
+        assert db.epoch == 2
+        db.relate("in", "o1", "gi1")
+        assert db.epoch == 3
+
+    def test_duplicate_fact_does_not_bump(self, db):
+        db.relate("in", "o1", "gi1")
+        epoch = db.epoch
+        db.relate("in", "o1", "gi1")
+        assert db.epoch == epoch
+
+    def test_updates_and_removals_bump(self, db):
+        epoch = db.epoch
+        db.set_attribute("o1", "name", "Brandon")
+        assert db.epoch == epoch + 1
+        db.remove_object("gi1")
+        assert db.epoch == epoch + 2
+
+    def test_remove_missing_fact_does_not_bump(self, db):
+        epoch = db.epoch
+        db.remove_fact(RelationFact("nope", (1,)))
+        assert db.epoch == epoch
+
+    def test_declare_relation_bumps_once(self, db):
+        epoch = db.epoch
+        db.declare_relation("speaks")
+        assert db.epoch == epoch + 1
+        db.declare_relation("speaks")
+        assert db.epoch == epoch + 1
+
+
+class TestTransactions:
+    def test_commit_keeps_the_bumped_epoch(self, db):
+        epoch = db.epoch
+        with db.transaction():
+            db.new_entity("o2")
+            db.new_entity("o3")
+        assert db.epoch == epoch + 2
+
+    def test_rollback_restores_the_snapshot_epoch(self, db):
+        epoch = db.epoch
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.new_entity("o2")
+                db.relate("in", "o2", "gi1")
+                assert db.epoch > epoch
+                raise RuntimeError("abort")
+        assert db.epoch == epoch
+        assert db.get(db.entity_oid("o2")) is None
+
+    def test_explicit_rollback_restores(self, db):
+        epoch = db.epoch
+        with db.transaction() as txn:
+            db.new_entity("o2")
+            txn.rollback()
+        assert db.epoch == epoch
+
+    def test_nested_transaction_shares_snapshot(self, db):
+        epoch = db.epoch
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.new_entity("o2")
+                with db.transaction():
+                    db.new_entity("o3")
+                raise RuntimeError("abort")
+        assert db.epoch == epoch
+
+    def test_same_epoch_means_same_state(self, db):
+        """The cache invariant, spelled out: state at an epoch is stable."""
+        stats = db.stats()
+        epoch = db.epoch
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.new_entity("oX")
+                db.remove_object("gi1")
+                raise RuntimeError("abort")
+        assert db.epoch == epoch
+        assert db.stats() == stats

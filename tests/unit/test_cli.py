@@ -29,8 +29,11 @@ class TestInfo:
         assert "entities: 9" in out and "integrity: ok" in out
 
     def test_missing_file(self, capsys):
-        assert main(["info", "/nonexistent/db.json"]) == 1
-        assert "error:" in capsys.readouterr().err
+        # User-input errors (missing files, bad queries) exit 2 with a
+        # one-line message, matching argparse's usage-error convention.
+        assert main(["info", "/nonexistent/db.json"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "Traceback" not in err
 
 
 class TestQuery:
@@ -48,8 +51,25 @@ class TestQuery:
         assert out.count("o") >= 3
 
     def test_parse_error_is_clean_failure(self, snapshot, capsys):
-        assert main(["query", snapshot, "?- interval(G"]) == 1
-        assert "error:" in capsys.readouterr().err
+        assert main(["query", snapshot, "?- interval(G"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "Traceback" not in err
+
+    def test_missing_rules_file_is_clean_failure(self, snapshot, capsys):
+        status = main(["query", snapshot, "?- object(O).",
+                       "--rules", "/nonexistent/rules.vdl"])
+        assert status == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "Traceback" not in err
+
+    def test_stats_flag(self, snapshot, capsys):
+        status = main(["query", snapshot, "?- object(O).", "--stats"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "9 answer(s)" in out
+        assert "iterations" in out
+        assert "derived_facts" in out
+        assert "wall_seconds" in out
 
     def test_rules_file(self, snapshot, tmp_path, capsys):
         rules = tmp_path / "rules.vdl"
@@ -122,3 +142,63 @@ class TestTimeline:
     def test_label_flag(self, snapshot, capsys):
         assert main(["timeline", snapshot, "--label", "subject"]) == 0
         assert "murder" in capsys.readouterr().out
+
+
+class TestServeAndClient:
+    """The service commands, driven against an in-process server."""
+
+    @pytest.fixture
+    def server(self):
+        from vidb.service import ServiceExecutor, VideoServer
+
+        service = ServiceExecutor(rope_database(), max_workers=2)
+        with service, VideoServer(service, port=0) as srv:
+            srv.start_background()
+            yield srv
+
+    def test_serve_missing_database(self, capsys):
+        assert main(["serve", "/nonexistent/db.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_client_ping(self, server, capsys):
+        __, port = server.address
+        assert main(["client", "--port", str(port), "ping"]) == 0
+        assert "pong" in capsys.readouterr().out
+
+    def test_client_query_and_repeat(self, server, capsys):
+        __, port = server.address
+        status = main(["client", "--port", str(port), "--repeat", "2",
+                       "query",
+                       "?- interval(G), object(o1), o1 in G.entities."])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert out.count("2 answer(s)") == 2
+
+    def test_client_insert_then_query(self, server, capsys):
+        __, port = server.address
+        assert main(["client", "--port", str(port),
+                     "entity", "o77", "name=Extra"]) == 0
+        assert main(["client", "--port", str(port),
+                     "interval", "gi77", "300-310", "o77"]) == 0
+        assert main(["client", "--port", str(port), "query",
+                     "?- interval(G), object(o77), o77 in G.entities."]) == 0
+        out = capsys.readouterr().out
+        assert "created o77" in out and "gi77" in out
+        assert "1 answer(s)" in out
+
+    def test_client_metrics(self, server, capsys):
+        __, port = server.address
+        main(["client", "--port", str(port), "query", "?- object(O)."])
+        assert main(["client", "--port", str(port), "metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "queries.served" in out and "cache." in out
+
+    def test_client_connection_refused(self, capsys):
+        # A dead server is an environment error (1), not a usage error.
+        assert main(["client", "--port", "1", "ping"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_client_bad_op(self, server, capsys):
+        __, port = server.address
+        assert main(["client", "--port", str(port), "frobnicate"]) == 1
+        assert "error:" in capsys.readouterr().err
