@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""CI smoke check: the disabled tracer must be (nearly) free.
+
+The observability acceptance bound says instrumentation with tracing
+*disabled* may cost the benchmark suite less than 5%.  The
+pre-instrumentation binary is not available to CI, so this script bounds
+the overhead from first principles instead:
+
+1. micro-benchmark the two disabled-path primitives — the
+   ``current_tracer()``-plus-``enabled`` guard that hot call sites run,
+   and a no-op ``with tracer.span(...)`` block;
+2. run a representative join query traced once, to count how many times
+   those primitives actually fire per query;
+3. assert that (per-call cost x calls per query) is under 5% of the
+   untraced query's wall-clock.
+
+It also sanity-checks the end-to-end ratio of traced to untraced
+execution.  Exits non-zero (with a report) on any violation.
+
+Run as::
+
+    PYTHONPATH=src python benchmarks/tracer_overhead.py
+"""
+
+import sys
+import time
+
+from vidb.obs.tracer import NULL_TRACER, current_tracer
+from vidb.query.engine import QueryEngine
+from vidb.workloads.generator import WorkloadConfig, random_database
+
+QUERY = ("?- interval(G1), interval(G2), object(O), "
+         "O in G1.entities, O in G2.entities.")
+OVERHEAD_BUDGET = 0.05       # the acceptance bound: <5% with tracing off
+TRACED_RATIO_BOUND = 3.0     # traced execution may cost at most 3x
+LOOPS = 100_000
+
+
+def per_call(fn, loops=LOOPS, repeat=5):
+    """Best-of-*repeat* seconds for one call of *fn* (loop-amortized)."""
+    best = float("inf")
+    for __ in range(repeat):
+        start = time.perf_counter()
+        for __ in range(loops):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best / loops
+
+
+def guard():
+    # What an instrumented hot path runs when tracing is off.
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return None
+    return tracer
+
+
+def null_span():
+    with NULL_TRACER.span("stage"):
+        pass
+
+
+def best_of(fn, repeat=5):
+    best = float("inf")
+    for __ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main():
+    db = random_database(WorkloadConfig(
+        entities=100, intervals=200, facts=200, seed=102))
+    engine = QueryEngine(db, use_stdlib_rules=True)
+    engine.query(QUERY)  # warm up
+
+    guard_s = per_call(guard)
+    span_s = per_call(null_span)
+
+    untraced_s = best_of(lambda: engine.execute(QUERY))
+    traced_report = engine.execute(QUERY, trace=True)
+    traced_s = best_of(lambda: engine.execute(QUERY, trace=True))
+
+    # How often the primitives fire in one evaluation of this query.
+    hot_calls = sum(int(agg["count"])
+                    for agg in traced_report.aggregates.values())
+    hot_calls += traced_report.stats.constraint_checks  # guard per check
+    spans = 6 + traced_report.stats.iterations  # stages + per-iteration
+
+    overhead_s = hot_calls * guard_s + spans * span_s
+    fraction = overhead_s / untraced_s
+    ratio = traced_s / untraced_s
+
+    print(f"guard per call:        {guard_s * 1e9:9.1f} ns")
+    print(f"null span per block:   {span_s * 1e9:9.1f} ns")
+    print(f"hot calls per query:   {hot_calls:9d}")
+    print(f"spans per query:       {spans:9d}")
+    print(f"untraced query:        {untraced_s * 1e3:9.3f} ms")
+    print(f"traced query:          {traced_s * 1e3:9.3f} ms")
+    print(f"disabled overhead:     {fraction * 100:9.3f} %  "
+          f"(budget {OVERHEAD_BUDGET * 100:.0f}%)")
+    print(f"traced/untraced ratio: {ratio:9.2f} x  "
+          f"(bound {TRACED_RATIO_BOUND:.1f}x)")
+
+    failures = []
+    if fraction >= OVERHEAD_BUDGET:
+        failures.append(
+            f"disabled-tracer overhead {fraction * 100:.2f}% "
+            f">= {OVERHEAD_BUDGET * 100:.0f}% budget")
+    if ratio >= TRACED_RATIO_BOUND:
+        failures.append(
+            f"traced/untraced ratio {ratio:.2f}x "
+            f">= {TRACED_RATIO_BOUND:.1f}x bound")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("ok: disabled tracing is within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

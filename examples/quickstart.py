@@ -10,8 +10,8 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
+import vidb
 from vidb.bench import print_table
-from vidb.query import QueryEngine
 from vidb.storage import dumps, loads
 from vidb.workloads import paper_queries, rope_database, section62_rules
 
@@ -22,7 +22,9 @@ def main() -> None:
     print()
 
     # --- Section 6.1: the six example queries ---------------------------
-    engine = QueryEngine(db)
+    # vidb.connect() accepts a snapshot path or a live database; prefer
+    # it (and engine.execute) over importing evaluate() directly.
+    engine = vidb.connect(db)
     rows = []
     for name, text in paper_queries().items():
         answers = engine.query(text)
@@ -57,6 +59,16 @@ def main() -> None:
     if derivations:
         print("Why is the first same_object_in answer true?")
         print(derivations[0].render())
+    print()
+
+    # --- profiling -------------------------------------------------------
+    report = engine.execute(
+        "?- interval(G), object(o1), o1 in G.entities.",
+        vidb.ExecutionOptions(trace=True))
+    print(f"execute() traced {len(report.answers)} answer(s) in "
+          f"{report.elapsed_s * 1000:.2f} ms "
+          f"({report.stats.iterations} fixpoint iteration(s)); "
+          f"run `vidb query --profile` for the full breakdown.")
     print()
 
     # --- persistence -----------------------------------------------------------

@@ -66,14 +66,18 @@ from vidb.model import (
     VideoSequence,
     concatenate,
 )
+from vidb.obs import NullTracer, Span, Tracer
 from vidb.query import (
     AnswerSet,
+    ExecutionOptions,
+    ExecutionReport,
     Program,
     QueryEngine,
     Rule,
     parse_program,
     parse_query,
 )
+from vidb.api import connect
 from vidb.catalog import Archive
 from vidb.presentation import EDL, Cut, Sequencer
 from vidb.schema import AttrSpec, Schema, aggregate
@@ -98,11 +102,14 @@ __all__ = [
     "ConstraintError",
     "EntityObject",
     "EvaluationError",
+    "ExecutionOptions",
+    "ExecutionReport",
     "GeneralizedInterval",
     "GeneralizedIntervalObject",
     "Interval",
     "IntervalError",
     "ModelError",
+    "NullTracer",
     "Oid",
     "ParseError",
     "PersistenceError",
@@ -119,7 +126,9 @@ __all__ = [
     "Session",
     "SetConjunction",
     "SetVar",
+    "Span",
     "StorageError",
+    "Tracer",
     "TransactionError",
     "Var",
     "VideoDatabase",
@@ -129,6 +138,7 @@ __all__ = [
     "VidbError",
     "aggregate",
     "concatenate",
+    "connect",
     "entails",
     "load",
     "parse_program",

@@ -1,0 +1,50 @@
+"""Top-level convenience entry points.
+
+:func:`connect` is the one-liner way in: point it at a snapshot path (or
+an already-open :class:`~vidb.storage.database.VideoDatabase`) and get a
+ready :class:`~vidb.query.engine.QueryEngine` back::
+
+    import vidb
+
+    engine = vidb.connect("rope.json", use_stdlib_rules=True)
+    report = engine.execute("?- interval(G), object(o1), o1 in G.entities.",
+                            trace=True)
+    print(report.profile())
+
+Prefer this (and ``engine.execute``) over importing
+:func:`vidb.query.fixpoint.evaluate` directly: ``connect`` + ``execute``
+spell deadlines, tracing and evaluation-mode choices through one
+:class:`~vidb.query.execution.ExecutionOptions` surface shared with the
+service layer and the CLI.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional, Union
+
+from vidb.query.ast import Program, Rule
+from vidb.query.engine import QueryEngine
+from vidb.storage.database import VideoDatabase
+from vidb.storage.persistence import load
+
+__all__ = ["connect"]
+
+
+def connect(source: Union[str, "os.PathLike", VideoDatabase],
+            rules: Union[str, Program, Iterable[Rule], None] = None,
+            use_stdlib_rules: bool = False,
+            **engine_options) -> QueryEngine:
+    """Open a database and wrap it in a :class:`QueryEngine`.
+
+    ``source`` may be a snapshot path (anything :func:`vidb.storage.load`
+    accepts) or a live :class:`VideoDatabase` (used as-is, not copied).
+    Remaining keyword arguments are forwarded to the engine constructor
+    (``mode``, ``max_objects``, ``reorder_joins``, ``prune_rules``, …).
+    """
+    if isinstance(source, VideoDatabase):
+        db = source
+    else:
+        db = load(os.fspath(source))
+    return QueryEngine(db, rules=rules, use_stdlib_rules=use_stdlib_rules,
+                       **engine_options)

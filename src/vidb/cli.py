@@ -31,6 +31,7 @@ from vidb.bench.tables import format_table
 from vidb.errors import ModelError, QueryError, VidbError
 from vidb.presentation.edl import edl_from_query
 from vidb.query.engine import QueryEngine
+from vidb.query.execution import ExecutionOptions
 from vidb.service.metrics import format_snapshot
 from vidb.storage.database import VideoDatabase
 from vidb.storage.persistence import load, save
@@ -60,6 +61,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print at most N answers")
     query.add_argument("--stats", action="store_true",
                        help="print evaluation statistics after the answers")
+    query.add_argument("--profile", action="store_true",
+                       help="run traced and print the per-stage / per-rule "
+                            "execution profile (EXPLAIN ANALYZE style)")
+    query.add_argument("--timeout", type=float, default=None,
+                       help="per-query deadline in seconds")
+    query.add_argument("--no-prune", action="store_true",
+                       help="disable relevance-based rule pruning")
 
     facts = sub.add_parser("facts",
                            help="materialise the rules, print one relation")
@@ -120,7 +128,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="send the request N times (shows cache hits)")
     client.add_argument(
         "request", nargs="+", metavar="OP [ARG...]",
-        help="one of: query '?- ...' | metrics | info | ping | "
+        help="one of: query '?- ...' | metrics | trace [N] | info | ping | "
              "entity OID [k=v...] | interval OID LO-HI[,LO-HI...] "
              "[ENTITY...] | relate NAME ARG...")
     return parser
@@ -175,13 +183,15 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_query(args) -> int:
-    import time
-
     db = _load(args.database)
     engine = _engine(args, db)
-    started = time.perf_counter()
-    answers = engine.query(args.query)
-    wall_seconds = time.perf_counter() - started
+    options = ExecutionOptions(
+        timeout_s=args.timeout,
+        trace=args.profile,
+        prune_rules=False if args.no_prune else None,
+    )
+    report = engine.execute(args.query, options)
+    answers = report.answers
     rows = [
         {variable: str(value)
          for variable, value in answer.as_dict().items()}
@@ -192,10 +202,10 @@ def _cmd_query(args) -> int:
     if rows:
         print(format_table(rows, columns=list(answers.variables)))
     print(f"{len(answers)} answer(s)")
-    if args.stats:
-        stats = answers.stats.as_dict()
-        stats["wall_seconds"] = round(wall_seconds, 6)
-        print(format_snapshot(stats))
+    if args.profile:
+        print(report.profile())
+    elif args.stats:
+        print(format_snapshot(report.stats.as_dict()))
     return 0
 
 
@@ -335,6 +345,14 @@ def _cmd_client(args) -> int:
                 _print_answers(client.query(rest[0]))
             elif op == "metrics":
                 print(format_snapshot(client.metrics()))
+            elif op == "trace":
+                reply = client.trace(limit=int(rest[0]) if rest else None)
+                print(format_snapshot(reply["metrics"]))
+                for entry in reply.get("recent", []):
+                    cached = " (cached)" if entry.get("cached") else ""
+                    print(f"- {entry['query']}  "
+                          f"{entry['elapsed_s']:.6f}s  "
+                          f"{entry['answers']} answer(s){cached}")
             elif op == "info":
                 info = client.info()
                 print(f"database: {info['database']}  "

@@ -29,9 +29,11 @@ identities in them (``G.entities``).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set
 
 from vidb.errors import ConstraintError
+from vidb.obs.tracer import current_tracer
 
 Element = Hashable
 
@@ -191,7 +193,15 @@ class SetConjunction:
         for atom in self.atoms:
             if not isinstance(atom, SetAtom):
                 raise ConstraintError(f"not a set-order atom: {atom!r}")
-        self._propagate()
+        tracer = current_tracer()
+        if not tracer.enabled:
+            self._propagate()
+        else:
+            t0 = perf_counter()
+            try:
+                self._propagate()
+            finally:
+                tracer.record("setorder.closure", perf_counter() - t0)
 
     # -- normal form -----------------------------------------------------
     def _propagate(self) -> None:

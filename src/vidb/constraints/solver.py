@@ -26,6 +26,7 @@ evaluation.  This module supplies those procedures:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from vidb.constraints.dense import (
@@ -44,6 +45,7 @@ from vidb.constraints.terms import (
     is_numeric,
 )
 from vidb.errors import ConstraintError
+from vidb.obs.tracer import current_tracer
 
 # ---------------------------------------------------------------------------
 # Conjunction satisfiability: inequality-graph SCC analysis
@@ -206,7 +208,14 @@ def clause_satisfiable(atoms: Sequence[Comparison]) -> bool:
 
 def satisfiable(constraint: Constraint) -> bool:
     """Satisfiability of an arbitrary dense-order constraint."""
-    return any(clause_satisfiable(clause) for clause in constraint.dnf())
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return any(clause_satisfiable(clause) for clause in constraint.dnf())
+    t0 = perf_counter()
+    try:
+        return any(clause_satisfiable(clause) for clause in constraint.dnf())
+    finally:
+        tracer.record("solver.satisfiable", perf_counter() - t0)
 
 
 # ---------------------------------------------------------------------------
@@ -447,7 +456,22 @@ def entails(c1: Constraint, c2: Constraint) -> bool:
     canonical interval form.  The general case falls back to DNF expansion
     of the negation, which is exponential in the number of disjuncts of
     ``c2`` but exact.
+
+    When a tracer is active on this thread, each call's wall-clock is
+    folded into the ``solver.entails`` aggregate (nested ``satisfiable``
+    time is reported under its own name and also included here).
     """
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return _entails(c1, c2)
+    t0 = perf_counter()
+    try:
+        return _entails(c1, c2)
+    finally:
+        tracer.record("solver.entails", perf_counter() - t0)
+
+
+def _entails(c1: Constraint, c2: Constraint) -> bool:
     if c1.is_false() or c2.is_true():
         return True
     if c1.is_true() and c2.is_false():

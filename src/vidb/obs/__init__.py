@@ -1,0 +1,28 @@
+"""vidb.obs — tracing and profiling for the evaluation pipeline.
+
+The observability layer the serving system leans on: nestable wall-clock
+spans with counter payloads (:mod:`vidb.obs.tracer`), a no-op tracer for
+the disabled path, and the ``EXPLAIN ANALYZE``-style profile renderer
+(:mod:`vidb.obs.profile`) behind ``vidb query --profile`` and the
+server's ``trace`` verb.
+"""
+
+from vidb.obs.profile import format_profile
+from vidb.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    activate,
+    current_tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "activate",
+    "current_tracer",
+    "format_profile",
+]

@@ -17,12 +17,14 @@ from vidb.query.ast import (
     Variable,
 )
 from vidb.query.engine import Answer, AnswerSet, Derivation, QueryEngine
+from vidb.query.execution import ExecutionOptions, ExecutionReport
 from vidb.query.fixpoint import (
     EvaluationContext,
     EvaluationStats,
     FixpointResult,
     Relation,
     RulePlan,
+    RuleProfile,
     evaluate,
 )
 from vidb.query.incremental import MaterializedView
@@ -59,6 +61,8 @@ __all__ = [
     "EntailmentAtom",
     "EvaluationContext",
     "EvaluationStats",
+    "ExecutionOptions",
+    "ExecutionReport",
     "FixpointResult",
     "Literal",
     "MaterializedView",
@@ -70,6 +74,7 @@ __all__ = [
     "Relation",
     "Rule",
     "RulePlan",
+    "RuleProfile",
     "STDLIB_RULES",
     "SubsetAtom",
     "Symbol",

@@ -19,6 +19,7 @@ fact, built from the provenance the fixpoint records.
 
 from __future__ import annotations
 
+import time
 from typing import (
     Any,
     Dict,
@@ -34,7 +35,13 @@ from typing import (
 
 from vidb.errors import QueryError
 from vidb.model.oid import Oid
+from vidb.obs.tracer import NULL_TRACER, Tracer, activate
 from vidb.query import stdlib
+from vidb.query.execution import (
+    ExecutionOptions,
+    ExecutionReport,
+    StageTimer,
+)
 from vidb.query.ast import (
     Literal,
     Program,
@@ -267,34 +274,91 @@ class QueryEngine:
             reorder_joins=self.reorder_joins, provenance=provenance,
         )
 
+    def execute(self, query: Union[str, Query],
+                options: Optional[ExecutionOptions] = None,
+                **overrides) -> ExecutionReport:
+        """Run one query end to end under one set of options.
+
+        This is the single execution path: parsing, the safety check,
+        rule pruning, fixpoint evaluation and answer collection all run
+        (and are timed) here; ``query()``, ``ask()``, the service layer
+        and the CLI are thin wrappers over it.  Options may be passed as
+        an :class:`ExecutionOptions` value, as keyword overrides, or
+        both (keywords win)::
+
+            report = engine.execute("?- object(O).", trace=True)
+            report.answers           # the AnswerSet
+            report.stats.elapsed_s   # wall-clock
+            print(report.profile())  # EXPLAIN ANALYZE-style table
+        """
+        options = ExecutionOptions.coerce(options, **overrides)
+        tracer = Tracer() if options.trace else NULL_TRACER
+        deadline = (time.monotonic() + options.timeout_s
+                    if options.timeout_s is not None else None)
+        stages: Dict[str, float] = {}
+
+        def stage(name: str):
+            return StageTimer(stages, tracer, name)
+
+        started = time.perf_counter()
+        with activate(tracer), tracer.span("query.execute"):
+            with stage("parse"):
+                if isinstance(query, str):
+                    query = parse_query(query)
+            with stage("safety"):
+                check_query(query)
+            answer_vars = query.answer_variables
+            if answer_vars:
+                head = Literal(ANSWER_PREDICATE, list(answer_vars))
+            else:
+                # Boolean query: project an arbitrary constant.
+                head = Literal(ANSWER_PREDICATE, [0])
+            anonymous = Rule(head, query.body, name="query")
+            prune = (self.prune_rules if options.prune_rules is None
+                     else options.prune_rules)
+            with stage("prune"):
+                base = self.program
+                if prune:
+                    base = relevant_rules(base, _goal_predicates(query.body))
+                program = base.extend([anonymous])
+            with stage("evaluate"):
+                result = evaluate(
+                    self.db, program,
+                    mode=options.mode or self.mode,
+                    computed=self.computed,
+                    max_objects=self.max_objects,
+                    extended_domain=self.extended_domain,
+                    reorder_joins=self.reorder_joins,
+                    provenance=options.provenance,
+                    deadline=deadline,
+                    tracer=tracer,
+                )
+            with stage("collect"):
+                rows = result.relation(ANSWER_PREDICATE)
+                answers = AnswerSet([v.name for v in answer_vars], rows,
+                                    result.stats)
+        stats = result.stats
+        stats.elapsed_s = time.perf_counter() - started
+        stats.stages = dict(stages)
+        return ExecutionReport(
+            answers=answers, stats=stats, options=options,
+            trace=tracer.root() if options.trace else None,
+            aggregates=dict(tracer.aggregates) if options.trace else {},
+        )
+
     def query(self, query: Union[str, Query],
               provenance: Optional[Dict] = None) -> AnswerSet:
-        """Evaluate a conjunctive query; returns an :class:`AnswerSet`."""
-        if isinstance(query, str):
-            query = parse_query(query)
-        check_query(query)
-        answer_vars = query.answer_variables
-        if answer_vars:
-            head = Literal(ANSWER_PREDICATE, list(answer_vars))
-        else:
-            # Boolean query: project an arbitrary constant.
-            head = Literal(ANSWER_PREDICATE, [0])
-        anonymous = Rule(head, query.body, name="query")
-        base = self.program
-        if self.prune_rules:
-            base = relevant_rules(base, _goal_predicates(query.body))
-        program = base.extend([anonymous])
-        result = evaluate(
-            self.db, program, mode=self.mode, computed=self.computed,
-            max_objects=self.max_objects, extended_domain=self.extended_domain,
-            reorder_joins=self.reorder_joins, provenance=provenance,
-        )
-        rows = result.relation(ANSWER_PREDICATE)
-        return AnswerSet([v.name for v in answer_vars], rows, result.stats)
+        """Evaluate a conjunctive query; returns an :class:`AnswerSet`.
 
-    def ask(self, query: Union[str, Query]) -> bool:
+        Thin alias for :meth:`execute` kept for the established API; the
+        report's statistics remain reachable via ``answers.stats``.
+        """
+        return self.execute(query, provenance=provenance).answers
+
+    def ask(self, query: Union[str, Query],
+            options: Optional[ExecutionOptions] = None) -> bool:
         """Does the query have at least one answer?"""
-        return bool(self.query(query))
+        return bool(self.execute(query, options).answers)
 
     def facts(self, predicate: str) -> FrozenSet[GroundTuple]:
         """Materialise the program and return one derived relation."""

@@ -29,7 +29,8 @@ Definition 19:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
@@ -48,7 +49,12 @@ from typing import (
 from vidb.constraints import solver
 from vidb.constraints.dense import Constraint
 from vidb.constraints.terms import Var, constants_comparable, is_constant
-from vidb.errors import EvaluationError, UnknownPredicateError
+from vidb.errors import (
+    EvaluationError,
+    QueryTimeoutError,
+    UnknownPredicateError,
+)
+from vidb.obs.tracer import NULL_TRACER, current_tracer
 from vidb.model.concat import concatenate, pairwise_extension
 from vidb.model.objects import GeneralizedIntervalObject, VideoObject
 from vidb.model.oid import Oid
@@ -153,8 +159,36 @@ def _matches(row: GroundTuple, pattern: Sequence[Optional[GroundValue]]) -> bool
 
 
 @dataclass
+class RuleProfile:
+    """Per-rule cost attribution, accumulated across fixpoint rounds."""
+
+    seconds: float = 0.0
+    firings: int = 0
+    derived_facts: int = 0
+    constraint_checks: int = 0
+    created_objects: int = 0
+
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        return {
+            "seconds": round(self.seconds, 6),
+            "firings": self.firings,
+            "derived_facts": self.derived_facts,
+            "constraint_checks": self.constraint_checks,
+            "created_objects": self.created_objects,
+        }
+
+
+@dataclass
 class EvaluationStats:
-    """Counters describing one fixpoint run."""
+    """Counters and timings describing one fixpoint run.
+
+    ``elapsed_s`` is the wall-clock of the evaluation (the engine widens
+    it to the full parse-to-answers pipeline for ``execute()``);
+    ``iteration_seconds`` has one entry per fixpoint round;
+    ``stages``/``rules`` break the time down by pipeline stage and by
+    rule (``rules`` keys are rule names, the head predicate when unnamed,
+    disambiguated with ``#n`` suffixes).
+    """
 
     iterations: int = 0
     derived_facts: int = 0
@@ -162,16 +196,71 @@ class EvaluationStats:
     rule_firings: int = 0
     constraint_checks: int = 0
     mode: str = "seminaive"
+    elapsed_s: float = 0.0
+    iteration_seconds: List[float] = field(default_factory=list)
+    stages: Dict[str, float] = field(default_factory=dict)
+    rules: Dict[str, RuleProfile] = field(default_factory=dict)
 
-    def as_dict(self) -> Dict[str, Union[int, str]]:
-        return {
+    def rule_profile(self, label: str) -> RuleProfile:
+        profile = self.rules.get(label)
+        if profile is None:
+            profile = self.rules[label] = RuleProfile()
+        return profile
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
             "mode": self.mode,
             "iterations": self.iterations,
             "derived_facts": self.derived_facts,
             "created_objects": self.created_objects,
             "rule_firings": self.rule_firings,
             "constraint_checks": self.constraint_checks,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "iteration_seconds": [round(s, 6)
+                                  for s in self.iteration_seconds],
         }
+        if self.stages:
+            out["stages"] = {name: round(s, 6)
+                             for name, s in self.stages.items()}
+        if self.rules:
+            out["rules"] = {label: profile.as_dict()
+                            for label, profile in self.rules.items()}
+        return out
+
+
+class _RuleMeter:
+    """Context manager attributing one per-rule evaluation block.
+
+    Snapshots the global counters on entry and credits the deltas (plus
+    the wall-clock) to the rule's :class:`RuleProfile` on exit; nothing
+    changes about how the counters themselves are maintained.
+    """
+
+    __slots__ = ("_stats", "_profile", "_t0", "_checks", "_firings",
+                 "_derived", "_objects")
+
+    def __init__(self, stats: EvaluationStats, label: str):
+        self._stats = stats
+        self._profile = stats.rule_profile(label)
+
+    def __enter__(self) -> "_RuleMeter":
+        stats = self._stats
+        self._checks = stats.constraint_checks
+        self._firings = stats.rule_firings
+        self._derived = stats.derived_facts
+        self._objects = stats.created_objects
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        stats = self._stats
+        profile = self._profile
+        profile.seconds += time.perf_counter() - self._t0
+        profile.constraint_checks += stats.constraint_checks - self._checks
+        profile.firings += stats.rule_firings - self._firings
+        profile.derived_facts += stats.derived_facts - self._derived
+        profile.created_objects += stats.created_objects - self._objects
+        return False
 
 
 class EvaluationContext:
@@ -191,6 +280,9 @@ class EvaluationContext:
         self.objects: Dict[Oid, VideoObject] = {}
         self.computed = dict(computed or {})
         self.stats = EvaluationStats()
+        #: The tracer evaluation reports into; ``evaluate`` replaces the
+        #: null default when the caller asked for tracing.
+        self.tracer = NULL_TRACER
         self._load_edb(extended_domain)
 
     # -- EDB loading -------------------------------------------------------
@@ -565,7 +657,13 @@ def _instantiate_head_arg(arg: Term, binding: Binding,
                 not isinstance(right_obj, GeneralizedIntervalObject):
             raise EvaluationError("'++' operands must be interval objects "
                                   "in the extended active domain")
-        combined = concatenate(left_obj, right_obj)
+        tracer = ctx.tracer
+        if tracer.enabled:
+            t0 = time.perf_counter()
+            combined = concatenate(left_obj, right_obj)
+            tracer.record("concat.create", time.perf_counter() - t0)
+        else:
+            combined = concatenate(left_obj, right_obj)
         oid, new_facts = ctx.register_interval(combined)
         return oid, facts_left + facts_right + new_facts
     return eval_term(arg, binding, ctx), []
@@ -587,6 +685,30 @@ class FixpointResult:
         return frozenset(rel.tuples) if rel else frozenset()
 
 
+def rule_labels(program: Program) -> Dict[int, str]:
+    """A stable display label per rule: its name (or head predicate),
+    with ``#n`` suffixes disambiguating repeats.  Keyed by ``id(rule)``
+    (rules are not hashable by value here and identity is what the
+    evaluation loop holds)."""
+    seen: Dict[str, int] = {}
+    labels: Dict[int, str] = {}
+    for rule in program:
+        base = rule.name or rule.head.predicate
+        count = seen.get(base, 0) + 1
+        seen[base] = count
+        labels[id(rule)] = base if count == 1 else f"{base}#{count}"
+    return labels
+
+
+def _check_deadline(deadline: Optional[float],
+                    ctx: EvaluationContext) -> None:
+    if deadline is not None and time.monotonic() > deadline:
+        raise QueryTimeoutError(
+            f"evaluation exceeded its deadline after "
+            f"{ctx.stats.iterations} iteration(s), "
+            f"{ctx.stats.derived_facts} derived fact(s)")
+
+
 def evaluate(db: VideoDatabase, program: Program,
              mode: str = "seminaive",
              computed: Optional[Dict[str, Tuple[int, ComputedPredicate]]] = None,
@@ -594,7 +716,9 @@ def evaluate(db: VideoDatabase, program: Program,
              max_iterations: int = 100_000,
              extended_domain: str = "lazy",
              reorder_joins: bool = True,
-             provenance: Optional[Dict] = None) -> FixpointResult:
+             provenance: Optional[Dict] = None,
+             deadline: Optional[float] = None,
+             tracer=None) -> FixpointResult:
     """Compute the least fixpoint of ``T_P`` over the database.
 
     Parameters
@@ -612,7 +736,19 @@ def evaluate(db: VideoDatabase, program: Program,
         Optional dict; when given it is filled with
         ``(predicate, tuple) -> (rule, binding)`` for each first
         derivation.
+    deadline:
+        Absolute ``time.monotonic()`` instant; checked cooperatively at
+        every iteration boundary, raising
+        :class:`~vidb.errors.QueryTimeoutError` once passed.
+    tracer:
+        A :class:`~vidb.obs.tracer.Tracer`; defaults to the thread's
+        current (usually null) tracer.  Per-rule/per-iteration timings in
+        ``stats`` are collected either way — the tracer adds the span
+        tree and hot-path aggregates.
     """
+    started = time.perf_counter()
+    if tracer is None:
+        tracer = current_tracer()
     check_program(program, edb_relations=db.relation_names())
     if mode not in ("seminaive", "naive"):
         raise EvaluationError(f"unknown evaluation mode {mode!r}")
@@ -620,6 +756,8 @@ def evaluate(db: VideoDatabase, program: Program,
     ctx = EvaluationContext(db, computed=computed, max_objects=max_objects,
                             extended_domain=extended_domain)
     ctx.stats.mode = mode
+    ctx.tracer = tracer
+    labels = rule_labels(program)
     for rule in program:
         ctx._relation(rule.head.predicate)  # ensure presence
 
@@ -639,9 +777,12 @@ def evaluate(db: VideoDatabase, program: Program,
             for rule in group
         ]
         if mode == "seminaive":
-            _run_seminaive(ctx, plans, max_iterations, provenance)
+            _run_seminaive(ctx, plans, labels, max_iterations, provenance,
+                           deadline)
         else:
-            _run_naive(ctx, plans, max_iterations, provenance)
+            _run_naive(ctx, plans, labels, max_iterations, provenance,
+                       deadline)
+    ctx.stats.elapsed_s = time.perf_counter() - started
     return FixpointResult(ctx, ctx.stats)
 
 
@@ -666,9 +807,18 @@ def _fire(plan: RulePlan, binding: Binding, ctx: EvaluationContext,
     return new_facts
 
 
+def _label_of(plan: RulePlan, labels: Dict[int, str]) -> str:
+    label = labels.get(id(plan.rule))
+    if label is None:
+        label = plan.rule.name or plan.rule.head.predicate
+    return label
+
+
 def _run_seminaive(ctx: EvaluationContext, plans: List[RulePlan],
-                   max_iterations: int,
-                   provenance: Optional[Dict]) -> None:
+                   labels: Dict[int, str], max_iterations: int,
+                   provenance: Optional[Dict],
+                   deadline: Optional[float]) -> None:
+    tracer = ctx.tracer
     # Round 0: every rule evaluated in full (EDB relations are the input).
     delta: Dict[str, Set[GroundTuple]] = {}
 
@@ -678,47 +828,73 @@ def _run_seminaive(ctx: EvaluationContext, plans: List[RulePlan],
             into.setdefault(name, set()).add(row)
             ctx.stats.derived_facts += 1
 
-    for plan in plans:
-        # Materialise bindings before firing: head instantiation mutates
-        # the relations the join is reading.
-        for binding in list(_join(plan, ctx)):
-            note(_fire(plan, binding, ctx, provenance), delta)
+    _check_deadline(deadline, ctx)
+    round_started = time.perf_counter()
+    with tracer.span("fixpoint.iteration", index=ctx.stats.iterations) as span:
+        for plan in plans:
+            # Materialise bindings before firing: head instantiation
+            # mutates the relations the join is reading.
+            with _RuleMeter(ctx.stats, _label_of(plan, labels)):
+                for binding in list(_join(plan, ctx)):
+                    note(_fire(plan, binding, ctx, provenance), delta)
+        span.annotate(derived=sum(len(rows) for rows in delta.values()))
+    ctx.stats.iteration_seconds.append(time.perf_counter() - round_started)
     ctx.stats.iterations += 1
 
     while delta:
         if ctx.stats.iterations >= max_iterations:
             raise EvaluationError(f"fixpoint did not converge within "
                                   f"{max_iterations} iterations")
+        _check_deadline(deadline, ctx)
+        round_started = time.perf_counter()
         next_delta: Dict[str, Set[GroundTuple]] = {}
-        for plan in plans:
-            for position, literal in enumerate(plan.literals):
-                rows = delta.get(literal.predicate)
-                if not rows:
-                    continue
-                bindings = list(_join(plan, ctx, delta_position=position,
-                                      delta_rows=rows))
-                for binding in bindings:
-                    note(_fire(plan, binding, ctx, provenance), next_delta)
+        with tracer.span("fixpoint.iteration",
+                         index=ctx.stats.iterations) as span:
+            for plan in plans:
+                with _RuleMeter(ctx.stats, _label_of(plan, labels)):
+                    for position, literal in enumerate(plan.literals):
+                        rows = delta.get(literal.predicate)
+                        if not rows:
+                            continue
+                        bindings = list(_join(plan, ctx,
+                                              delta_position=position,
+                                              delta_rows=rows))
+                        for binding in bindings:
+                            note(_fire(plan, binding, ctx, provenance),
+                                 next_delta)
+            span.annotate(derived=sum(len(rows)
+                                      for rows in next_delta.values()))
         delta = next_delta
+        ctx.stats.iteration_seconds.append(time.perf_counter() - round_started)
         ctx.stats.iterations += 1
 
 
 def _run_naive(ctx: EvaluationContext, plans: List[RulePlan],
-               max_iterations: int, provenance: Optional[Dict]) -> None:
+               labels: Dict[int, str], max_iterations: int,
+               provenance: Optional[Dict],
+               deadline: Optional[float]) -> None:
+    tracer = ctx.tracer
     while True:
         if ctx.stats.iterations >= max_iterations:
             raise EvaluationError(f"fixpoint did not converge within "
                                   f"{max_iterations} iterations")
+        _check_deadline(deadline, ctx)
+        round_started = time.perf_counter()
         ctx.stats.iterations += 1
         changed = False
-        for plan in plans:
-            # Materialise bindings first: naive T_P applies to the *current*
-            # interpretation, and firing mutates relations.
-            bindings = list(_join(plan, ctx))
-            for binding in bindings:
-                facts = _fire(plan, binding, ctx, provenance)
-                if facts:
-                    changed = True
-                    ctx.stats.derived_facts += len(facts)
+        with tracer.span("fixpoint.iteration",
+                         index=ctx.stats.iterations - 1) as span:
+            for plan in plans:
+                # Materialise bindings first: naive T_P applies to the
+                # *current* interpretation, and firing mutates relations.
+                with _RuleMeter(ctx.stats, _label_of(plan, labels)):
+                    bindings = list(_join(plan, ctx))
+                    for binding in bindings:
+                        facts = _fire(plan, binding, ctx, provenance)
+                        if facts:
+                            changed = True
+                            ctx.stats.derived_facts += len(facts)
+            span.annotate(changed=changed)
+        ctx.stats.iteration_seconds.append(time.perf_counter() - round_started)
         if not changed:
             return

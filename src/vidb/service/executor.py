@@ -31,8 +31,9 @@ from __future__ import annotations
 import contextlib
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Callable, Dict, Iterable, Optional, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
 from vidb.errors import (
     QueryTimeoutError,
@@ -41,6 +42,7 @@ from vidb.errors import (
 )
 from vidb.query.ast import Query
 from vidb.query.engine import AnswerSet, QueryEngine
+from vidb.query.execution import ExecutionOptions, ExecutionReport
 from vidb.query.parser import parse_query
 from vidb.query.render import normalize_query, program_fingerprint
 from vidb.service.cache import ResultCache
@@ -132,7 +134,8 @@ class ServiceExecutor:
                  cache_capacity: int = 256,
                  default_timeout: Optional[float] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 engine_options: Optional[Dict[str, Any]] = None):
+                 engine_options: Optional[Dict[str, Any]] = None,
+                 recent_capacity: int = 64):
         self.db = db
         self.metrics = metrics or MetricsRegistry()
         for name in ("queries.served", "queries.rejected", "queries.timeout",
@@ -152,6 +155,10 @@ class ServiceExecutor:
         self._in_flight = 0
         self._sessions: Dict[str, Session] = {}
         self._sessions_lock = threading.Lock()
+        #: Ring of recent per-query execution summaries (the server's
+        #: ``trace`` verb reads it).  Appends on a deque are atomic, so
+        #: worker threads write without extra locking.
+        self._recent: "deque[Dict[str, Any]]" = deque(maxlen=recent_capacity)
         self._closed = False
 
     # -- program management --------------------------------------------------
@@ -177,17 +184,25 @@ class ServiceExecutor:
         return self
 
     # -- query path ----------------------------------------------------------
-    def submit(self, query: Union[str, Query],
-               timeout: Optional[float] = None) -> "Future[AnswerSet]":
-        """Queue a query; returns a future resolving to an AnswerSet.
+    def submit_report(self, query: Union[str, Query],
+                      options: Optional[ExecutionOptions] = None,
+                      timeout: Optional[float] = None
+                      ) -> "Future[ExecutionReport]":
+        """Queue a query; returns a future resolving to an
+        :class:`ExecutionReport`.
 
-        Raises :class:`ServiceOverloadedError` immediately when
-        ``max_in_flight`` queries are already queued or running.
+        The deadline is ``timeout``, else ``options.timeout_s``, else the
+        service default; it covers queue wait plus evaluation, and the
+        fixpoint additionally checks it cooperatively at every iteration
+        boundary.  Raises :class:`ServiceOverloadedError` immediately
+        when ``max_in_flight`` queries are already queued or running.
         """
         if self._closed:
             raise ServiceClosedError("executor is shut down")
+        options = options or ExecutionOptions()
         if timeout is None:
-            timeout = self.default_timeout
+            timeout = (options.timeout_s if options.timeout_s is not None
+                       else self.default_timeout)
         with self._admission:
             if self._in_flight >= self.max_in_flight:
                 self.metrics.inc("queries.rejected")
@@ -197,7 +212,7 @@ class ServiceExecutor:
             self._in_flight += 1
         deadline = (time.monotonic() + timeout) if timeout else None
         try:
-            future = self._pool.submit(self._run, query, deadline)
+            future = self._pool.submit(self._run, query, deadline, options)
         except RuntimeError:
             with self._admission:
                 self._in_flight -= 1
@@ -205,17 +220,48 @@ class ServiceExecutor:
         future.add_done_callback(self._release_slot)
         return future
 
+    def execute_report(self, query: Union[str, Query],
+                       options: Optional[ExecutionOptions] = None,
+                       timeout: Optional[float] = None) -> ExecutionReport:
+        """Submit and wait for the full execution report."""
+        return self.submit_report(query, options=options,
+                                  timeout=timeout).result()
+
+    def submit(self, query: Union[str, Query],
+               timeout: Optional[float] = None,
+               options: Optional[ExecutionOptions] = None
+               ) -> "Future[AnswerSet]":
+        """Queue a query; returns a future resolving to an AnswerSet.
+
+        Thin alias over :meth:`submit_report` kept for the established
+        answers-only API.
+        """
+        inner = self.submit_report(query, options=options, timeout=timeout)
+        outer: "Future[AnswerSet]" = Future()
+
+        def _unwrap(done: "Future[ExecutionReport]") -> None:
+            error = done.exception()
+            if error is not None:
+                outer.set_exception(error)
+            else:
+                outer.set_result(done.result().answers)
+
+        inner.add_done_callback(_unwrap)
+        return outer
+
     def execute(self, query: Union[str, Query],
-                timeout: Optional[float] = None) -> AnswerSet:
+                timeout: Optional[float] = None,
+                options: Optional[ExecutionOptions] = None) -> AnswerSet:
         """Submit and wait; the blocking convenience wrapper."""
-        return self.submit(query, timeout=timeout).result()
+        return self.execute_report(query, options=options,
+                                   timeout=timeout).answers
 
     def _release_slot(self, _future) -> None:
         with self._admission:
             self._in_flight -= 1
 
-    def _run(self, query: Union[str, Query],
-             deadline: Optional[float]) -> AnswerSet:
+    def _run(self, query: Union[str, Query], deadline: Optional[float],
+             options: ExecutionOptions) -> ExecutionReport:
         if deadline is not None and time.monotonic() > deadline:
             self.metrics.inc("queries.timeout")
             raise QueryTimeoutError("deadline expired while queued")
@@ -227,13 +273,22 @@ class ServiceExecutor:
             with self._lock.read_locked():
                 key = self._cache.make_key(
                     self._program_fp, normalized, self.db.epoch)
-                cached = self._cache.get(key)
+                # Traced runs bypass the cache read (a hit has no trace to
+                # hand back) but still populate it for later queries.
+                cached = None if options.trace else self._cache.get(key)
                 if cached is None:
-                    answers = self._engine.query(query)
-                    self._cache.put(key, answers)
+                    remaining = (max(0.0, deadline - time.monotonic())
+                                 if deadline is not None else None)
+                    report = self._engine.execute(
+                        query, options.merged(timeout_s=remaining))
+                    self._cache.put(key, report.answers)
                 else:
                     answers = _relabel(cached, query)
+                    report = ExecutionReport(
+                        answers=answers, stats=cached.stats,
+                        options=options, cached=True)
         except QueryTimeoutError:
+            self.metrics.inc("queries.timeout")
             raise
         except Exception:
             self.metrics.inc("queries.errors")
@@ -247,7 +302,31 @@ class ServiceExecutor:
                 f"evaluation finished {elapsed:.3f}s in, past the deadline")
         self.metrics.inc("queries.served")
         self.metrics.observe("queries.latency_seconds", elapsed)
-        return answers
+        self._note_recent(normalized, report, elapsed)
+        return report
+
+    def _note_recent(self, normalized: str, report: ExecutionReport,
+                     elapsed: float) -> None:
+        entry: Dict[str, Any] = {
+            "query": normalized,
+            "elapsed_s": round(elapsed, 6),
+            "cached": report.cached,
+            "answers": len(report.answers),
+            "iterations": report.stats.iterations,
+            "derived_facts": report.stats.derived_facts,
+        }
+        if report.trace is not None:
+            entry["spans"] = report.trace.as_dict()
+        self._recent.append(entry)
+
+    def recent_traces(self, limit: Optional[int] = None
+                      ) -> List[Dict[str, Any]]:
+        """Most-recent-first summaries of recently executed queries."""
+        entries = list(self._recent)
+        entries.reverse()
+        if limit is not None:
+            entries = entries[:max(0, limit)]
+        return entries
 
     # -- mutation path -------------------------------------------------------
     def mutate(self, fn: Callable[[VideoDatabase], Any]) -> Any:

@@ -8,7 +8,8 @@ Operations::
 
     {"op": "ping"}
     {"op": "info"}
-    {"op": "query",   "query": "?- object(O).", "timeout": 5, "limit": 10}
+    {"op": "query",   "query": "?- object(O).", "timeout": 5, "limit": 10,
+                      "profile": true}
     {"op": "prepare", "name": "q1", "query": "?- ...", "params": ["O"]}
     {"op": "execute", "name": "q1", "params": {"O": "o1"}}
     {"op": "insert_entity",   "oid": "o9", "attributes": {"name": "David"}}
@@ -16,7 +17,14 @@ Operations::
                               "duration": [[0, 10]], "attributes": {}}
     {"op": "relate",  "relation": "in", "args": ["o1", "o2", "gi1"]}
     {"op": "metrics"}
+    {"op": "trace",   "limit": 10}
     {"op": "close"}
+
+A query with ``"profile": true`` runs traced (bypassing the result
+cache) and its response additionally carries ``stats``, ``profile``
+(the rendered EXPLAIN ANALYZE-style text) and the span tree under
+``trace``.  The ``trace`` op returns the service metrics snapshot plus
+summaries of the most recently executed queries.
 
 Each connection gets its own :class:`~vidb.service.session.Session`, so
 prepared queries are per-connection state, exactly like prepared
@@ -47,6 +55,7 @@ from vidb.errors import (
     SessionError,
     VidbError,
 )
+from vidb.query.execution import ExecutionOptions
 from vidb.service.executor import ServiceExecutor
 
 #: error kind <-> exception class, shared by server (encode) and client
@@ -132,9 +141,17 @@ class _Handler(socketserver.StreamRequestHandler):
                     "stats": service.db.stats()}, True
         if op == "query":
             text = _required(request, "query", str)
-            answers = session.query(text, timeout=request.get("timeout"))
-            payload = _answers_payload(answers, request.get("limit"))
+            profile = bool(request.get("profile"))
+            report = session.run(
+                text, options=ExecutionOptions(trace=profile),
+                timeout=request.get("timeout"))
+            payload = _answers_payload(report.answers, request.get("limit"))
             payload["ok"] = True
+            if profile:
+                payload["stats"] = report.stats.as_dict()
+                payload["profile"] = report.profile()
+                if report.trace is not None:
+                    payload["trace"] = report.trace.as_dict()
             return payload, True
         if op == "prepare":
             name = _required(request, "name", str)
@@ -181,6 +198,10 @@ class _Handler(socketserver.StreamRequestHandler):
                     "epoch": service.db.epoch}, True
         if op == "metrics":
             return {"ok": True, "metrics": service.snapshot()}, True
+        if op == "trace":
+            return {"ok": True, "metrics": service.snapshot(),
+                    "recent": service.recent_traces(
+                        limit=request.get("limit"))}, True
         if op == "close":
             return {"ok": True, "closing": True}, False
         raise ProtocolError(f"unknown op {op!r}")
@@ -295,9 +316,10 @@ class ServiceClient:
         return self.request("info")
 
     def query(self, text: str, timeout: Optional[float] = None,
-              limit: Optional[int] = None) -> Dict[str, Any]:
+              limit: Optional[int] = None,
+              profile: bool = False) -> Dict[str, Any]:
         return self.request("query", query=text, timeout=timeout,
-                            limit=limit)
+                            limit=limit, profile=profile or None)
 
     def prepare(self, name: str, text: str,
                 params: Optional[List[str]] = None) -> Dict[str, Any]:
@@ -322,6 +344,10 @@ class ServiceClient:
 
     def metrics(self) -> Dict[str, Any]:
         return self.request("metrics")["metrics"]
+
+    def trace(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """Service metrics plus summaries of recently executed queries."""
+        return self.request("trace", limit=limit)
 
     def close(self) -> None:
         try:

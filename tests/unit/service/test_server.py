@@ -128,3 +128,32 @@ class TestErrorsOverTheWire:
             sock.sendall(b'{"op": "close"}\n')
             assert json.loads(reader.readline())["closing"] is True
             assert reader.readline() == b""
+
+
+class TestObservabilityOps:
+    def test_query_profile_payload(self, client):
+        reply = client.query("?- object(O).", profile=True)
+        assert reply["count"] == 9
+        assert "== execution profile ==" in reply["profile"]
+        assert reply["stats"]["iterations"] >= 1
+        assert reply["trace"]["name"] == "query.execute"
+        json.dumps(reply)  # the whole payload stays JSON-clean
+
+    def test_plain_query_has_no_profile(self, client):
+        reply = client.query("?- object(O).")
+        assert "profile" not in reply and "trace" not in reply
+
+    def test_trace_op_lists_recent_queries(self, client):
+        client.query("?- object(O).")
+        client.query("?- interval(G).", profile=True)
+        reply = client.trace()
+        assert reply["metrics"]["queries.served"] == 2
+        recent = reply["recent"]
+        assert len(recent) == 2
+        assert "spans" in recent[0]      # profiled query, most recent
+        assert "spans" not in recent[1]
+
+    def test_trace_op_limit(self, client):
+        for __ in range(3):
+            client.query("?- object(O).")
+        assert len(client.trace(limit=2)["recent"]) == 2

@@ -69,7 +69,50 @@ class TestQuery:
         assert "9 answer(s)" in out
         assert "iterations" in out
         assert "derived_facts" in out
-        assert "wall_seconds" in out
+        assert "elapsed_s" in out
+
+    def test_profile_flag_golden_shape(self, snapshot, capsys):
+        """The --profile report prints every expected section, in order."""
+        status = main(["query", snapshot, "--stdlib", "--profile",
+                       "?- interval(G), object(O), O in G.entities."])
+        assert status == 0
+        out = capsys.readouterr().out
+        markers = [
+            "13 answer(s)",
+            "== execution profile ==",
+            "mode seminaive",
+            "-- stages --",
+            "parse",
+            "safety",
+            "prune",
+            "evaluate",
+            "collect",
+            "(total)",
+            "-- rules --",
+            "query",
+            "iteration times (ms):",
+            "-- span tree --",
+            "query.execute",
+            "fixpoint.iteration",
+        ]
+        position = -1
+        for marker in markers:
+            found = out.find(marker, position + 1)
+            assert found > position, f"missing or out of order: {marker!r}"
+            position = found
+
+    def test_timeout_flag_expires(self, snapshot, capsys):
+        status = main(["query", snapshot, "?- object(O).",
+                       "--timeout", "0"])
+        assert status == 1
+        err = capsys.readouterr().err
+        assert "deadline" in err and "Traceback" not in err
+
+    def test_no_prune_flag_same_answers(self, snapshot, capsys):
+        status = main(["query", snapshot, "--stdlib", "--no-prune",
+                       "?- interval(G), object(o1), o1 in G.entities."])
+        assert status == 0
+        assert "2 answer(s)" in capsys.readouterr().out
 
     def test_rules_file(self, snapshot, tmp_path, capsys):
         rules = tmp_path / "rules.vdl"

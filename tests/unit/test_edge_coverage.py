@@ -56,7 +56,8 @@ class TestEvaluationStats:
         assert data["iterations"] == 3
         assert set(data) == {"mode", "iterations", "derived_facts",
                              "created_objects", "rule_firings",
-                             "constraint_checks"}
+                             "constraint_checks", "elapsed_s",
+                             "iteration_seconds"}
 
 
 class TestGeneralizedIntervalMisc:
