@@ -1,0 +1,56 @@
+"""Durability benchmarks: WAL append throughput, checkpoint, recovery.
+
+These quantify the price of the classical database services the paper
+leans on ("persistence, transactions, recovery"): what one journaled
+mutation costs under each fsync policy, what a checkpoint costs, and
+how fast a data directory comes back.
+"""
+
+import pytest
+
+from vidb.durability.durable import DurableDatabase
+from vidb.durability.recovery import recover
+from vidb.durability.wal import WalWriter, read_wal
+from vidb.storage.persistence import dumps, loads
+
+
+@pytest.mark.parametrize("policy", ["never", "interval"])
+def test_wal_append(benchmark, tmp_path, policy):
+    writer = WalWriter(tmp_path / "wal.log", fsync=policy)
+    benchmark(writer.append, "add", {"oid": "o1", "attributes": {"x": 1}})
+    writer.close()
+
+
+def test_wal_scan(benchmark, tmp_path):
+    path = tmp_path / "wal.log"
+    with WalWriter(path, fsync="never") as writer:
+        for i in range(2000):
+            writer.append("add", {"i": i})
+    result = benchmark(read_wal, path)
+    assert len(result.records) == 2000
+
+
+def test_journaled_mutation(benchmark, tmp_path):
+    with DurableDatabase(tmp_path, fsync="never") as durable:
+        counter = iter(range(10_000_000))
+
+        def mutate():
+            durable.db.new_entity(f"o{next(counter)}")
+
+        benchmark(mutate)
+
+
+def test_checkpoint(benchmark, medium_db, tmp_path):
+    # copy the session fixture: seeding binds the journal to the seed
+    seed = loads(dumps(medium_db))
+    with DurableDatabase(tmp_path, seed=seed, fsync="never") as durable:
+        benchmark(durable.checkpoint)
+
+
+def test_recover_snapshot_plus_tail(benchmark, medium_db, tmp_path):
+    seed = loads(dumps(medium_db))
+    with DurableDatabase(tmp_path, seed=seed, fsync="never") as durable:
+        for i in range(200):
+            durable.db.new_entity(f"tail{i}")
+    result = benchmark(recover, tmp_path)
+    assert result.db.stats()["entities"] == medium_db.stats()["entities"] + 200

@@ -45,6 +45,7 @@ from vidb.constraints import (
 )
 from vidb.errors import (
     ConstraintError,
+    DurabilityError,
     EvaluationError,
     IntervalError,
     ModelError,
@@ -79,6 +80,7 @@ from vidb.query import (
 )
 from vidb.api import connect
 from vidb.catalog import Archive
+from vidb.durability import DurableDatabase, Replica, recover
 from vidb.presentation import EDL, Cut, Sequencer
 from vidb.schema import AttrSpec, Schema, aggregate
 from vidb.service import (
@@ -100,6 +102,8 @@ __all__ = [
     "EDL",
     "Constraint",
     "ConstraintError",
+    "DurabilityError",
+    "DurableDatabase",
     "EntityObject",
     "EvaluationError",
     "ExecutionOptions",
@@ -117,6 +121,7 @@ __all__ = [
     "QueryEngine",
     "QueryError",
     "RelationFact",
+    "Replica",
     "Rule",
     "SafetyError",
     "Schema",
@@ -143,6 +148,7 @@ __all__ = [
     "load",
     "parse_program",
     "parse_query",
+    "recover",
     "satisfiable",
     "save",
     "__version__",

@@ -9,6 +9,9 @@ Commands::
     vidb explain rope.json "?- ..."      print derivation trees
     vidb edl rope.json "?- ..." G        compile interval answers to an EDL
     vidb serve rope.json --port 7421     run the JSON-lines query server
+    vidb serve --data-dir state          serve durably (WAL + snapshots)
+    vidb recover state                   inspect/replay a data directory
+    vidb replicate state --once          follow a primary's WAL locally
     vidb client query "?- ..."           talk to a running server
 
 Exit status 0 on success, 2 on a user-input error (bad query syntax,
@@ -104,7 +107,19 @@ def _build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve", help="run the JSON-lines TCP query server")
-    serve.add_argument("database")
+    serve.add_argument("database", nargs="?", default=None,
+                       help="snapshot to serve (seeds --data-dir when the "
+                            "directory is empty)")
+    serve.add_argument("--data-dir", default=None,
+                       help="durable data directory: recover on start, "
+                            "journal every mutation to a WAL")
+    serve.add_argument("--fsync", choices=["always", "interval", "never"],
+                       default="interval",
+                       help="WAL fsync policy (default interval)")
+    serve.add_argument("--fsync-interval", type=float, default=0.1,
+                       help="seconds between fsyncs under --fsync interval")
+    serve.add_argument("--checkpoint-every", type=int, default=1000,
+                       help="WAL records between snapshots (default 1000)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7421,
                        help="TCP port (0 picks an ephemeral port)")
@@ -117,6 +132,31 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--timeout", type=float, default=None,
                        help="default per-query deadline in seconds")
     _common_engine_flags(serve)
+
+    recover_p = sub.add_parser(
+        "recover", help="recover a durable data directory and report")
+    recover_p.add_argument("data_dir")
+    recover_p.add_argument("--out", default=None,
+                           help="also write the recovered database as a "
+                                "JSON snapshot")
+    recover_p.add_argument("--profile", action="store_true",
+                           help="print the recovery span tree")
+
+    replicate = sub.add_parser(
+        "replicate", help="follow a primary's WAL as a read replica")
+    replicate.add_argument("data_dir", nargs="?", default=None,
+                           help="the primary's data directory (filesystem "
+                                "log shipping)")
+    replicate.add_argument("--server", default=None, metavar="HOST:PORT",
+                           help="pull the WAL from a running durable "
+                                "server instead of a directory")
+    replicate.add_argument("--once", action="store_true",
+                           help="poll once, report, and exit")
+    replicate.add_argument("--interval", type=float, default=1.0,
+                           help="seconds between polls (default 1)")
+    replicate.add_argument("--out", default=None,
+                           help="write the replica state as a JSON "
+                                "snapshot after each poll")
 
     client = sub.add_parser(
         "client", help="talk to a running vidb server")
@@ -280,23 +320,113 @@ def _cmd_serve(args) -> int:
     from vidb.service.executor import ServiceExecutor
     from vidb.service.server import VideoServer
 
-    db = _load(args.database)
+    if args.database is None and args.data_dir is None:
+        raise VidbError("serve needs a database snapshot, a --data-dir, "
+                        "or both")
+    if args.data_dir is not None:
+        from vidb.durability import DurableDatabase
+
+        seed = _load(args.database) if args.database is not None else None
+        durable = DurableDatabase(
+            args.data_dir, seed=seed, fsync=args.fsync,
+            fsync_interval_s=args.fsync_interval,
+            checkpoint_every=args.checkpoint_every)
+        recovery = durable.recovery
+        if durable.seeded:
+            print(f"seeded {args.data_dir} from {args.database}",
+                  flush=True)
+        elif not recovery.empty:
+            print(f"recovered {args.data_dir}: snapshot lsn "
+                  f"{recovery.snapshot_lsn}, replayed {recovery.replayed} "
+                  f"record(s)"
+                  + (" (torn tail dropped)" if recovery.torn else ""),
+                  flush=True)
+        db: VideoDatabase = durable.db
+        serving: object = durable
+    else:
+        db = _load(args.database)
+        serving = db
     rules_text = "\n".join(Path(p).read_text(encoding="utf-8")
                            for p in args.rules) or None
     service = ServiceExecutor(
-        db, rules=rules_text, use_stdlib_rules=args.stdlib,
+        serving, rules=rules_text, use_stdlib_rules=args.stdlib,
         max_workers=args.workers, max_in_flight=args.max_in_flight,
         cache_capacity=args.cache_capacity, default_timeout=args.timeout,
         engine_options={"mode": args.mode})
     with service, VideoServer(service, args.host, args.port) as server:
         host, port = server.address
+        durably = (f", durable in {args.data_dir}"
+                   if args.data_dir is not None else "")
         print(f"vidb serving {db.name!r} on {host}:{port} "
-              f"({args.workers} workers, epoch {db.epoch})", flush=True)
+              f"({args.workers} workers, epoch {db.epoch}{durably})",
+              flush=True)
         try:
             server.serve_forever()
         except KeyboardInterrupt:
             print("shutting down", file=sys.stderr)
     return 0
+
+
+def _cmd_recover(args) -> int:
+    from vidb.durability import recover
+    from vidb.obs import Tracer
+
+    tracer = Tracer() if args.profile else None
+    result = recover(args.data_dir, tracer=tracer)
+    summary = dict(result.summary())
+    summary["epoch"] = result.db.epoch
+    print(format_snapshot(summary))
+    for path, reason in result.skipped_snapshots:
+        print(f"skipped snapshot {path}: {reason}", file=sys.stderr)
+    stats = result.db.stats()
+    print(f"recovered: {stats['entities']} entities, "
+          f"{stats['intervals']} intervals, {stats['facts']} facts")
+    if args.profile and tracer is not None and tracer.root() is not None:
+        print(tracer.root().render())
+    if args.out:
+        save(result.db, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_replicate(args) -> int:
+    from vidb.durability import Replica
+
+    if (args.data_dir is None) == (args.server is None):
+        raise VidbError(
+            "replicate needs exactly one source: a primary data "
+            "directory, or --server HOST:PORT")
+    if args.server is not None:
+        from vidb.service.server import ServiceClient
+
+        host, _, port = args.server.rpartition(":")
+        if not host or not port.isdigit():
+            raise VidbError(f"--server expects HOST:PORT, got {args.server!r}")
+        with ServiceClient(host, int(port)) as client:
+            replica = Replica.from_client(client)
+            return _replica_loop(replica, args)
+    replica = Replica.from_data_dir(args.data_dir)
+    return _replica_loop(replica, args)
+
+
+def _replica_loop(replica, args) -> int:
+    import time as _time
+
+    while True:
+        applied = replica.poll()
+        stats = replica.db.stats()
+        print(f"applied {applied} record(s), lsn "
+              f"{replica.applied_lsn}, lag {replica.lag()}; "
+              f"{stats['entities']} entities, {stats['intervals']} "
+              f"intervals, {stats['facts']} facts", flush=True)
+        if args.out:
+            save(replica.db, args.out)
+        if args.once:
+            return 0
+        try:
+            _time.sleep(max(0.05, args.interval))
+        except KeyboardInterrupt:
+            return 0
 
 
 def _parse_kv(pairs: List[str]) -> dict:
@@ -394,6 +524,8 @@ _COMMANDS = {
     "analytics": _cmd_analytics,
     "timeline": _cmd_timeline,
     "serve": _cmd_serve,
+    "recover": _cmd_recover,
+    "replicate": _cmd_replicate,
     "client": _cmd_client,
 }
 

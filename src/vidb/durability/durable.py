@@ -1,0 +1,240 @@
+"""The durable database: a live :class:`VideoDatabase` bound to a WAL.
+
+``DurableDatabase(data_dir)`` recovers whatever the directory holds
+(latest valid snapshot + committed WAL tail), then journals every
+subsequent mutation — including :class:`Transaction` commit/rollback as
+atomic begin/commit/abort frames — through a
+:class:`~vidb.durability.wal.WalWriter`.  Periodic checkpoints install
+a fresh snapshot atomically and truncate the WAL, bounding both
+recovery time and disk growth.
+
+The wrapper *delegates* reads: ``durable.entities()``,
+``durable.epoch``, ``durable.transaction()`` and friends all reach the
+inner database, so it can stand in for a plain ``VideoDatabase`` in
+most code.  The service layer unwraps it (``ServiceExecutor`` detects a
+``DurableDatabase`` and serves queries off ``.db`` directly) while
+surfacing :meth:`stats` in its metrics snapshot.
+
+Single-writer discipline is assumed — the service executor's write lock
+already serializes mutations; an internal lock additionally keeps
+checkpoints and log shipping consistent with concurrent appends.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from vidb.errors import DurabilityError
+from vidb.obs import current_tracer
+from vidb.storage.database import VideoDatabase
+
+from vidb.durability.records import (
+    CHECKPOINT,
+    TXN_ABORT,
+    TXN_BEGIN,
+    TXN_COMMIT,
+    encode_event,
+)
+from vidb.durability.recovery import RecoveryResult, recover
+from vidb.durability.snapshot import (
+    list_snapshots,
+    prune_snapshots,
+    wal_path,
+    write_snapshot,
+)
+from vidb.durability.wal import read_wal, WalWriter
+
+
+class DurableDatabase:
+    """A recovered, WAL-journaled video database rooted in a directory."""
+
+    def __init__(self, data_dir: Union[str, Path], *,
+                 seed: Optional[VideoDatabase] = None,
+                 fsync: str = "interval",
+                 fsync_interval_s: float = 0.1,
+                 checkpoint_every: int = 1000,
+                 keep_snapshots: int = 2,
+                 name: str = "video",
+                 tracer=None):
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self.checkpoint_every = max(1, checkpoint_every)
+        self.keep_snapshots = max(1, keep_snapshots)
+        self.recovery: RecoveryResult = recover(
+            self.data_dir, default_name=name, tracer=tracer)
+        self.seeded = False
+        if seed is not None and self.recovery.empty:
+            # A fresh directory primed from an existing database: the
+            # seed state becomes the initial snapshot (recovered state
+            # always wins over the seed otherwise).
+            self.recovery.db = seed
+            self.seeded = True
+        self._db = self.recovery.db
+        self._writer = WalWriter(
+            wal_path(self.data_dir), fsync=fsync,
+            fsync_interval_s=fsync_interval_s,
+            next_lsn=self.recovery.last_lsn + 1)
+        self._in_txn = False
+        self._records_since_checkpoint = self.recovery.replayed
+        self._snapshot_lsn = self.recovery.snapshot_lsn
+        self._snapshots_taken = 0
+        self._ships = 0
+        self._closed = False
+        if self.seeded or not list_snapshots(self.data_dir):
+            # Every data directory keeps at least one snapshot so
+            # replicas (and recovery) always have a base to load.
+            self.checkpoint()
+        self._db.add_mutation_observer(self._on_mutation)
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def db(self) -> VideoDatabase:
+        """The live, in-memory database this directory persists."""
+        return self._db
+
+    @property
+    def last_lsn(self) -> int:
+        return self._writer.last_lsn
+
+    @property
+    def snapshot_lsn(self) -> int:
+        """LSN covered by the most recent installed snapshot."""
+        return self._snapshot_lsn
+
+    def __getattr__(self, name: str) -> Any:
+        # Reads (entities(), facts(), epoch, transaction(), ...) reach
+        # the inner database, so the wrapper is drop-in for most code.
+        try:
+            db = object.__getattribute__(self, "_db")
+        except AttributeError:
+            raise AttributeError(name) from None
+        return getattr(db, name)
+
+    # -- journaling --------------------------------------------------------
+    def _on_mutation(self, event: Tuple) -> None:
+        with self._lock:
+            if self._closed:
+                raise DurabilityError(
+                    f"durable database {self.data_dir} is closed; "
+                    f"refusing to lose a mutation")
+            type_, data = encode_event(event)
+            self._writer.append(type_, data)
+            self._records_since_checkpoint += 1
+            if type_ == TXN_BEGIN:
+                self._in_txn = True
+            elif type_ in (TXN_COMMIT, TXN_ABORT):
+                self._in_txn = False
+            if (not self._in_txn
+                    and self._records_since_checkpoint >= self.checkpoint_every):
+                self.checkpoint()
+
+    def sync(self) -> None:
+        """Force buffered WAL frames to stable storage."""
+        with self._lock:
+            self._writer.sync()
+
+    # -- checkpointing -----------------------------------------------------
+    def checkpoint(self) -> Path:
+        """Install a snapshot of the current state and truncate the WAL."""
+        with self._lock:
+            if self._in_txn:
+                raise DurabilityError(
+                    "cannot checkpoint inside an open transaction")
+            if self._closed:
+                raise DurabilityError("durable database is closed")
+            with current_tracer().span("durability.checkpoint") as span:
+                self._writer.sync()
+                lsn = self._writer.last_lsn
+                path = write_snapshot(self._db, self.data_dir, lsn)
+                self._writer.truncate()
+                # The first frame of the fresh log names its base, so a
+                # bare WAL is self-describing.
+                self._writer.append(CHECKPOINT, {"snapshot_lsn": lsn})
+                self._writer.sync()
+                prune_snapshots(self.data_dir, keep=self.keep_snapshots)
+                self._snapshot_lsn = lsn
+                self._snapshots_taken += 1
+                self._records_since_checkpoint = 0
+                span.annotate(lsn=lsn, epoch=self._db.epoch)
+            return path
+
+    # -- log shipping ------------------------------------------------------
+    def ship(self, after_lsn: int = 0,
+             limit: Optional[int] = None) -> Dict[str, Any]:
+        """Records for a follower holding everything up to *after_lsn*.
+
+        When the follower is behind the latest checkpoint (its records
+        were truncated away) the reply instead carries the newest
+        on-disk snapshot under ``"snapshot"`` plus the records after it
+        — a full resync.  Purely disk-based, so it needs no query lock.
+        """
+        with self._lock:
+            if self._closed:
+                raise DurabilityError("durable database is closed")
+            self._writer.flush()
+            self._ships += 1
+            snapshot_lsn = self._snapshot_lsn
+            last = self._writer.last_lsn
+        reply: Dict[str, Any] = {"last_lsn": last,
+                                 "snapshot_lsn": snapshot_lsn}
+        base = after_lsn
+        if after_lsn < snapshot_lsn:
+            snapshots = list_snapshots(self.data_dir)
+            if not snapshots:  # pragma: no cover - checkpoint guarantees one
+                raise DurabilityError("no snapshot available for resync")
+            lsn, path = snapshots[0]
+            reply["snapshot"] = json.loads(path.read_text(encoding="utf-8"))
+            reply["resync"] = True
+            base = lsn
+        scan = read_wal(wal_path(self.data_dir))
+        records = [r.as_dict() for r in scan.records if r.lsn > base]
+        if limit is not None:
+            records = records[:max(0, limit)]
+        reply["records"] = records
+        return reply
+
+    # -- introspection -----------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Flat, JSON-ready durability counters (service metrics merge
+        these under their dotted names)."""
+        with self._lock:
+            return {
+                "wal.last_lsn": self._writer.last_lsn,
+                "wal.records": self._writer.records_written,
+                "wal.bytes": self._writer.bytes_written,
+                "wal.syncs": self._writer.sync_count,
+                "wal.since_checkpoint": self._records_since_checkpoint,
+                "wal.ships": self._ships,
+                "snapshots.taken": self._snapshots_taken,
+                "snapshots.lsn": self._snapshot_lsn,
+                "recovery.replayed": self.recovery.replayed,
+                "recovery.discarded": self.recovery.discarded,
+                "recovery.torn_tail": int(self.recovery.torn),
+            }
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self, checkpoint: bool = False) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            if checkpoint and not self._in_txn:
+                self.checkpoint()
+            self._db.remove_mutation_observer(self._on_mutation)
+            self._writer.close()
+            self._closed = True
+
+    def __enter__(self) -> "DurableDatabase":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return (f"DurableDatabase({str(self.data_dir)!r}, "
+                f"last_lsn={self._writer.last_lsn}, "
+                f"snapshot_lsn={self._snapshot_lsn})")

@@ -1,0 +1,126 @@
+"""Typed mutation records: the logical payloads inside WAL frames.
+
+The storage layer emits mutation *events* (see
+``VideoDatabase.add_mutation_observer``) as plain tuples; this module
+turns them into JSON-ready record payloads and back, reusing the value
+codec from :mod:`vidb.storage.persistence` so every model value (oids,
+fractions, sets, constraints) survives the round trip.
+
+Record types::
+
+    add               a new entity/interval object
+    replace           an object swapped wholesale (attribute updates)
+    remove_object     an object dropped (by oid)
+    relate            a relation fact asserted
+    remove_fact       a relation fact retracted
+    declare_relation  an empty relation registered
+    txn_begin         an undo-log transaction opened
+    txn_commit        ... committed (everything since begin is atomic)
+    txn_abort         ... rolled back (everything since begin is void)
+    checkpoint        a snapshot was installed (no-op on replay)
+
+Replay applies records through the ordinary ``VideoDatabase`` mutation
+methods, so each applied record bumps the epoch exactly as the original
+mutation did — a recovered database matches the primary epoch-for-epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from vidb.errors import RecoveryError
+from vidb.model.objects import (
+    EntityObject,
+    GeneralizedIntervalObject,
+    VideoObject,
+)
+from vidb.model.relations import RelationFact
+from vidb.storage.database import VideoDatabase
+from vidb.storage.persistence import decode_value, encode_value
+
+from vidb.durability.wal import WalRecord
+
+#: Record types that frame transactions rather than mutate state.
+TXN_BEGIN = "txn_begin"
+TXN_COMMIT = "txn_commit"
+TXN_ABORT = "txn_abort"
+CHECKPOINT = "checkpoint"
+
+#: Record types replay ignores (they carry no state change).
+CONTROL_TYPES = frozenset({TXN_BEGIN, TXN_COMMIT, TXN_ABORT, CHECKPOINT})
+
+
+# -- object codec ----------------------------------------------------------
+
+def encode_object(obj: VideoObject) -> Dict[str, Any]:
+    kind = "interval" if isinstance(obj, GeneralizedIntervalObject) else "entity"
+    return {
+        "kind": kind,
+        "oid": encode_value(obj.oid),
+        "attributes": {k: encode_value(v) for k, v in sorted(obj.items())},
+    }
+
+
+def decode_object(data: Dict[str, Any]) -> VideoObject:
+    oid = decode_value(data["oid"])
+    attrs = {k: decode_value(v) for k, v in data.get("attributes", {}).items()}
+    if data.get("kind") == "interval":
+        return GeneralizedIntervalObject(oid, attrs)
+    return EntityObject(oid, attrs)
+
+
+def _encode_fact(fact: RelationFact) -> Dict[str, Any]:
+    return {"name": fact.name, "args": [encode_value(a) for a in fact.args]}
+
+
+def _decode_fact(data: Dict[str, Any]) -> RelationFact:
+    return RelationFact(data["name"],
+                        tuple(decode_value(a) for a in data["args"]))
+
+
+# -- event <-> record payload ---------------------------------------------
+
+def encode_event(event: Tuple) -> Tuple[str, Dict[str, Any]]:
+    """A storage mutation event as a ``(record type, payload)`` pair."""
+    kind = event[0]
+    if kind in ("add", "replace"):
+        return kind, encode_object(event[1])
+    if kind == "remove_object":
+        return kind, {"oid": encode_value(event[1])}
+    if kind in ("relate", "remove_fact"):
+        return kind, _encode_fact(event[1])
+    if kind == "declare_relation":
+        return kind, {"name": event[1]}
+    if kind in CONTROL_TYPES:
+        return kind, {}
+    raise RecoveryError(f"unknown mutation event {event!r}")
+
+
+def apply_record(db: VideoDatabase, record: WalRecord) -> None:
+    """Replay one mutation record against *db* (control frames no-op)."""
+    kind = record.type
+    if kind in CONTROL_TYPES:
+        return
+    data = record.data
+    try:
+        if kind == "add":
+            db.add(decode_object(data))
+        elif kind == "replace":
+            db.replace(decode_object(data))
+        elif kind == "remove_object":
+            db.remove_object(decode_value(data["oid"]))
+        elif kind == "relate":
+            db.relate(_decode_fact(data))
+        elif kind == "remove_fact":
+            db.remove_fact(_decode_fact(data))
+        elif kind == "declare_relation":
+            db.declare_relation(data["name"])
+        else:
+            raise RecoveryError(
+                f"WAL record lsn={record.lsn} has unknown type {kind!r}")
+    except RecoveryError:
+        raise
+    except Exception as error:
+        raise RecoveryError(
+            f"WAL record lsn={record.lsn} ({kind}) failed to apply: "
+            f"{error}") from error

@@ -1,0 +1,258 @@
+"""Log-shipping read replicas.
+
+A replica bootstraps from the primary's newest snapshot, then *tails*
+the WAL and applies committed records to a local copy.  Two transports
+ship the log:
+
+:class:`FileWalSource`
+    reads the primary's data directory straight off the (shared)
+    filesystem — byte-offset tailing, with rotation detection when the
+    primary checkpoints and truncates the log;
+:class:`ServerWalSource`
+    pulls over the JSON-lines wire protocol's ``wal`` op from a running
+    ``vidb serve --data-dir`` primary, receiving a full snapshot when
+    it has fallen behind the latest checkpoint (resync).
+
+Transaction frames get the same treatment as crash recovery: a segment
+applies only at its commit frame, so a replica never exposes a
+half-applied transaction — its state is always some committed prefix of
+the primary's history.  :meth:`Replica.lag` reports how many log
+records the replica still trails by; it reaches zero once a
+:meth:`Replica.poll` has consumed everything the primary has made
+visible.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from vidb.errors import ReplicationError, WalCorruptionError
+from vidb.obs import current_tracer
+from vidb.storage.database import VideoDatabase
+from vidb.storage.persistence import PersistenceError, database_from_dict
+
+from vidb.durability.records import (
+    CHECKPOINT,
+    TXN_ABORT,
+    TXN_BEGIN,
+    TXN_COMMIT,
+    apply_record,
+)
+from vidb.durability.snapshot import list_snapshots, load_snapshot, wal_path
+from vidb.durability.wal import WalRecord, head_lsn, read_wal
+
+
+class ShipBatch:
+    """One fetch from a WAL source."""
+
+    __slots__ = ("records", "last_lsn", "resync_db", "resync_lsn")
+
+    def __init__(self, records: List[WalRecord], last_lsn: int,
+                 resync_db: Optional[VideoDatabase] = None,
+                 resync_lsn: int = 0):
+        self.records = records
+        #: Highest LSN the source has made visible (lag denominator).
+        self.last_lsn = last_lsn
+        #: When set, the follower must replace its state with this
+        #: database (covering ``resync_lsn``) before applying records.
+        self.resync_db = resync_db
+        self.resync_lsn = resync_lsn
+
+
+class FileWalSource:
+    """Tail a primary's data directory through the filesystem."""
+
+    def __init__(self, data_dir: Union[str, Path]):
+        self.data_dir = Path(data_dir)
+        if not self.data_dir.is_dir():
+            raise ReplicationError(f"no such data directory: {self.data_dir}")
+        self._offset = 0
+        self._head_lsn: Optional[int] = None
+
+    def bootstrap(self) -> ShipBatch:
+        """The newest snapshot as a resync batch (empty dir → nothing)."""
+        snapshots = list_snapshots(self.data_dir)
+        if not snapshots:
+            return ShipBatch([], 0)
+        _, path = snapshots[0]
+        db, lsn = load_snapshot(path)
+        return ShipBatch([], lsn, resync_db=db, resync_lsn=lsn)
+
+    def fetch(self, after_lsn: int) -> ShipBatch:
+        path = wal_path(self.data_dir)
+        if not path.exists():
+            return ShipBatch([], after_lsn)
+        head = head_lsn(path)
+        if self._offset and (path.stat().st_size < self._offset
+                             or head != self._head_lsn):
+            # Shrunk, or a different first frame: the primary
+            # checkpointed and truncated under us — our byte offset
+            # points into a younger log generation.  Rewind.
+            return self._resync(after_lsn)
+        try:
+            scan = read_wal(path, self._offset)
+        except WalCorruptionError:
+            if self._offset:
+                return self._resync(after_lsn)
+            raise
+        records = [r for r in scan.records if r.lsn > after_lsn]
+        if records and records[0].lsn > after_lsn + 1:
+            # LSNs are contiguous in the stream, so a gap means frames
+            # between our position and the log head were truncated away
+            # by a checkpoint — only a snapshot can close it.
+            return self._resync(after_lsn)
+        self._offset = scan.offset
+        if head is not None:
+            self._head_lsn = head
+        last = max(after_lsn, scan.last_lsn)
+        return ShipBatch(records, last)
+
+    def _resync(self, after_lsn: int) -> ShipBatch:
+        self._offset = 0
+        snapshots = list_snapshots(self.data_dir)
+        base_lsn, base_db = 0, None
+        if snapshots:
+            lsn, snap = snapshots[0]
+            if lsn > after_lsn:
+                # We genuinely missed truncated records; reload wholesale.
+                base_db, base_lsn = load_snapshot(snap)[0], lsn
+        scan = read_wal(wal_path(self.data_dir))
+        self._offset = scan.offset
+        self._head_lsn = scan.records[0].lsn if scan.records else None
+        floor = base_lsn if base_db is not None else after_lsn
+        records = [r for r in scan.records if r.lsn > floor]
+        last = max(floor, scan.last_lsn)
+        if base_db is not None:
+            return ShipBatch(records, last, resync_db=base_db,
+                             resync_lsn=base_lsn)
+        return ShipBatch(records, last)
+
+
+class ServerWalSource:
+    """Pull the log from a running server's ``wal`` op."""
+
+    def __init__(self, client):
+        self._client = client
+
+    def bootstrap(self) -> ShipBatch:
+        return self.fetch(-1)  # "before everything": forces a resync reply
+
+    def fetch(self, after_lsn: int) -> ShipBatch:
+        reply = self._client.request("wal", after=max(-1, after_lsn))
+        records = [WalRecord.from_dict(r) for r in reply.get("records", [])]
+        last = reply.get("last_lsn", after_lsn)
+        if reply.get("resync"):
+            try:
+                db = database_from_dict(reply["snapshot"])
+            except (KeyError, PersistenceError) as error:
+                raise ReplicationError(
+                    f"primary sent an unusable resync snapshot: {error}"
+                ) from error
+            return ShipBatch(records, last, resync_db=db,
+                             resync_lsn=reply.get("snapshot_lsn", 0))
+        return ShipBatch(records, last)
+
+
+class Replica:
+    """A follower applying a primary's committed WAL records locally."""
+
+    def __init__(self, source, *, name: str = "video"):
+        self._source = source
+        self._db = VideoDatabase(name)
+        self._position = 0       # last LSN consumed from the stream
+        self._visible = 0        # last LSN the source has shown us
+        self._pending: Optional[List[WalRecord]] = None
+        self.records_applied = 0
+        self.records_discarded = 0
+        self.polls = 0
+        self.resyncs = 0
+        batch = source.bootstrap()
+        self._ingest(batch)
+
+    # -- construction helpers ---------------------------------------------
+    @classmethod
+    def from_data_dir(cls, data_dir: Union[str, Path], *,
+                      name: str = "video") -> "Replica":
+        return cls(FileWalSource(data_dir), name=name)
+
+    @classmethod
+    def from_client(cls, client, *, name: str = "video") -> "Replica":
+        return cls(ServerWalSource(client), name=name)
+
+    # -- the follower loop -------------------------------------------------
+    def poll(self) -> int:
+        """Fetch and apply whatever the primary has shipped; returns the
+        number of records applied."""
+        with current_tracer().span("replica.poll") as span:
+            self.polls += 1
+            before = self.records_applied
+            batch = self._source.fetch(self._position)
+            self._ingest(batch)
+            applied = self.records_applied - before
+            span.annotate(applied=applied, lag=self.lag())
+        return applied
+
+    def _ingest(self, batch: ShipBatch) -> None:
+        if batch.resync_db is not None:
+            self._db = batch.resync_db
+            self._position = batch.resync_lsn
+            self._pending = None
+            self.resyncs += 1
+        for record in batch.records:
+            if record.lsn <= self._position:
+                continue
+            self._apply(record)
+            self._position = record.lsn
+        self._visible = max(self._visible, batch.last_lsn, self._position)
+
+    def _apply(self, record: WalRecord) -> None:
+        if record.type == CHECKPOINT:
+            return
+        if record.type == TXN_BEGIN:
+            if self._pending:
+                self.records_discarded += len(self._pending)
+            self._pending = []
+        elif record.type == TXN_COMMIT:
+            for buffered in self._pending or ():
+                apply_record(self._db, buffered)
+                self.records_applied += 1
+            self._pending = None
+        elif record.type == TXN_ABORT:
+            self.records_discarded += len(self._pending or ())
+            self._pending = None
+        elif self._pending is not None:
+            self._pending.append(record)
+        else:
+            apply_record(self._db, record)
+            self.records_applied += 1
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def db(self) -> VideoDatabase:
+        """The replica's local database (read it, don't mutate it)."""
+        return self._db
+
+    @property
+    def applied_lsn(self) -> int:
+        return self._position
+
+    def lag(self) -> int:
+        """Log records the replica still trails the primary by (as of
+        the last poll)."""
+        return max(0, self._visible - self._position)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "replica.applied_lsn": self._position,
+            "replica.visible_lsn": self._visible,
+            "replica.lag": self.lag(),
+            "replica.records_applied": self.records_applied,
+            "replica.records_discarded": self.records_discarded,
+            "replica.polls": self.polls,
+            "replica.resyncs": self.resyncs,
+        }
+
+    def __repr__(self) -> str:
+        return (f"Replica(applied_lsn={self._position}, lag={self.lag()}, "
+                f"resyncs={self.resyncs})")

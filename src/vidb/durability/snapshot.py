@@ -1,0 +1,124 @@
+"""Durability snapshots: full-state checkpoints of a data directory.
+
+A data directory holds one WAL (``wal.log``) plus zero or more
+snapshot files named ``snapshot-<LSN 16 digits>.json``, where the LSN
+is the last WAL record the snapshot already includes.  Recovery loads
+the newest readable snapshot and replays only records with a higher
+LSN.
+
+Snapshot installation is crash-atomic: the document is written to a
+temp file in the same directory, fsynced, then moved over the final
+name with ``os.replace`` (and the directory entry fsynced,
+best-effort).  A crash at any point leaves either the old set of
+snapshots or the old set plus one complete new one — never a
+half-written file under a valid snapshot name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from vidb.errors import PersistenceError, SnapshotError
+from vidb.storage.database import VideoDatabase
+from vidb.storage.persistence import database_from_dict, database_to_dict
+
+WAL_NAME = "wal.log"
+SNAPSHOT_PREFIX = "snapshot-"
+SNAPSHOT_SUFFIX = ".json"
+
+
+def wal_path(data_dir: Union[str, Path]) -> Path:
+    return Path(data_dir) / WAL_NAME
+
+
+def snapshot_path(data_dir: Union[str, Path], lsn: int) -> Path:
+    return Path(data_dir) / f"{SNAPSHOT_PREFIX}{lsn:016d}{SNAPSHOT_SUFFIX}"
+
+
+def _snapshot_lsn(path: Path) -> int:
+    stem = path.name[len(SNAPSHOT_PREFIX):-len(SNAPSHOT_SUFFIX)]
+    try:
+        return int(stem)
+    except ValueError:
+        raise SnapshotError(f"not a snapshot filename: {path.name}") from None
+
+
+def list_snapshots(data_dir: Union[str, Path]) -> List[Tuple[int, Path]]:
+    """``(lsn, path)`` pairs, newest (highest LSN) first."""
+    directory = Path(data_dir)
+    if not directory.is_dir():
+        return []
+    found = []
+    for path in directory.glob(f"{SNAPSHOT_PREFIX}*{SNAPSHOT_SUFFIX}"):
+        try:
+            found.append((_snapshot_lsn(path), path))
+        except SnapshotError:
+            continue  # a stray file; not ours to judge
+    found.sort(key=lambda pair: pair[0], reverse=True)
+    return found
+
+
+def fsync_directory(directory: Union[str, Path]) -> None:
+    """Persist directory entries (rename durability); best-effort on
+    filesystems that reject opening directories."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_snapshot(db: VideoDatabase, data_dir: Union[str, Path],
+                   lsn: int) -> Path:
+    """Atomically install a snapshot covering the WAL up to *lsn*."""
+    directory = Path(data_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    final = snapshot_path(directory, lsn)
+    payload = database_to_dict(db)
+    payload["wal_lsn"] = lsn
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    tmp = directory / f".{final.name}.tmp"
+    with tmp.open("w", encoding="utf-8") as f:
+        f.write(text)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, final)
+    fsync_directory(directory)
+    return final
+
+
+def load_snapshot(path: Union[str, Path]) -> Tuple[VideoDatabase, int]:
+    """Decode one snapshot file into ``(database, covered LSN)``."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        raise SnapshotError(f"unreadable snapshot {path}: {error}") from error
+    try:
+        db = database_from_dict(data)
+    except PersistenceError as error:
+        raise SnapshotError(f"malformed snapshot {path}: {error}") from error
+    lsn = data.get("wal_lsn", 0)
+    if not isinstance(lsn, int) or lsn < 0:
+        raise SnapshotError(f"snapshot {path} has invalid wal_lsn {lsn!r}")
+    return db, lsn
+
+
+def prune_snapshots(data_dir: Union[str, Path], keep: int = 2) -> int:
+    """Delete all but the *keep* newest snapshots; returns how many."""
+    removed = 0
+    for _, path in list_snapshots(data_dir)[max(1, keep):]:
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:  # pragma: no cover - racing cleanup is fine
+            pass
+    return removed

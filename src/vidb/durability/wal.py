@@ -1,0 +1,291 @@
+"""The write-ahead log: length-prefixed, checksummed JSON frames.
+
+Every frame on disk is::
+
+    +----------------+----------------+------------------------+
+    | length (4B BE) | CRC32  (4B BE) | payload (JSON, UTF-8)  |
+    +----------------+----------------+------------------------+
+
+where the payload is ``{"lsn": int, "type": str, "data": {...}}``.
+LSNs are assigned by the writer and strictly monotonic across the life
+of a data directory — a checkpoint truncates the file but the sequence
+continues, so a record's LSN orders it against every snapshot.
+
+Reading tolerates a *torn tail*: a crash mid-append leaves an
+incomplete (or checksum-failing) final frame, which is reported as
+``torn`` and simply ignored — everything before it is intact.  A frame
+that fails its CRC with valid bytes *after* it is different: the log is
+damaged in the middle, and :func:`read_wal` raises
+:class:`~vidb.errors.WalCorruptionError` rather than replay past it.
+
+Durability is controlled by the fsync policy:
+
+``always``
+    ``fsync`` after every append — a completed append survives power
+    loss (the slowest, safest setting).
+``interval``
+    ``fsync`` at most once per ``fsync_interval_s`` — bounds the data
+    loss window without paying a sync per record (the default).
+``never``
+    flush to the OS only; a kernel crash may lose the tail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+import zlib
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from vidb.errors import DurabilityError, WalCorruptionError
+
+_HEADER = struct.Struct(">II")
+
+#: Accepted fsync policies, in decreasing order of durability.
+FSYNC_POLICIES = ("always", "interval", "never")
+
+
+class WalRecord:
+    """One logged mutation: an LSN, a type tag, and a JSON payload."""
+
+    __slots__ = ("lsn", "type", "data")
+
+    def __init__(self, lsn: int, type: str, data: Optional[Dict[str, Any]] = None):
+        self.lsn = lsn
+        self.type = type
+        self.data: Dict[str, Any] = data or {}
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"lsn": self.lsn, "type": self.type, "data": self.data}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "WalRecord":
+        try:
+            lsn = payload["lsn"]
+            type_ = payload["type"]
+        except (TypeError, KeyError):
+            raise WalCorruptionError(
+                f"WAL payload missing lsn/type: {payload!r}") from None
+        if not isinstance(lsn, int) or not isinstance(type_, str):
+            raise WalCorruptionError(f"malformed WAL payload: {payload!r}")
+        data = payload.get("data") or {}
+        if not isinstance(data, dict):
+            raise WalCorruptionError(f"malformed WAL data: {data!r}")
+        return cls(lsn, type_, data)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, WalRecord) and self.lsn == other.lsn
+                and self.type == other.type and self.data == other.data)
+
+    def __repr__(self) -> str:
+        return f"WalRecord(lsn={self.lsn}, type={self.type!r})"
+
+
+def encode_frame(record: WalRecord) -> bytes:
+    """The on-disk bytes of one record."""
+    payload = json.dumps(record.as_dict(), sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class WalReadResult:
+    """Everything :func:`read_wal` learned in one scan."""
+
+    __slots__ = ("records", "offset", "torn", "last_lsn")
+
+    def __init__(self, records: List[WalRecord], offset: int, torn: bool):
+        self.records = records
+        #: Byte offset just past the last intact frame (resume point).
+        self.offset = offset
+        #: True when the file ends in an incomplete/checksum-failing frame.
+        self.torn = torn
+        self.last_lsn = records[-1].lsn if records else 0
+
+    def __repr__(self) -> str:
+        return (f"WalReadResult({len(self.records)} records, "
+                f"offset={self.offset}, torn={self.torn})")
+
+
+def read_wal(path: Union[str, Path], offset: int = 0) -> WalReadResult:
+    """Scan frames from *offset*; tolerate a torn tail, reject corruption.
+
+    A missing file reads as empty (a fresh data directory has no WAL
+    yet).  ``offset`` must sit on a frame boundary — it is where a
+    previous scan stopped.
+    """
+    path = Path(path)
+    if not path.exists():
+        return WalReadResult([], 0, False)
+    records: List[WalRecord] = []
+    with path.open("rb") as f:
+        if offset:
+            f.seek(offset)
+        good_offset = offset
+        while True:
+            header = f.read(_HEADER.size)
+            if not header:
+                return WalReadResult(records, good_offset, False)
+            if len(header) < _HEADER.size:
+                return WalReadResult(records, good_offset, True)
+            length, crc = _HEADER.unpack(header)
+            payload = f.read(length)
+            if len(payload) < length:
+                return WalReadResult(records, good_offset, True)
+            if zlib.crc32(payload) != crc:
+                if f.read(1):
+                    raise WalCorruptionError(
+                        f"{path}: CRC mismatch at offset {good_offset} with "
+                        f"intact frames after it — the log is damaged")
+                return WalReadResult(records, good_offset, True)
+            try:
+                record = WalRecord.from_dict(json.loads(payload.decode("utf-8")))
+            except ValueError:
+                if f.read(1):
+                    raise WalCorruptionError(
+                        f"{path}: undecodable frame at offset {good_offset} "
+                        f"with intact frames after it") from None
+                return WalReadResult(records, good_offset, True)
+            records.append(record)
+            good_offset = f.tell()
+
+
+class WalWriter:
+    """Appends framed records to one WAL file.
+
+    Not thread-safe by itself; callers (the :class:`DurableDatabase`)
+    serialize appends.  ``next_lsn`` seeds the LSN sequence — pass
+    ``recovered.last_lsn + 1`` so LSNs never repeat within a data
+    directory.
+    """
+
+    def __init__(self, path: Union[str, Path], *,
+                 fsync: str = "interval",
+                 fsync_interval_s: float = 0.1,
+                 next_lsn: int = 1):
+        if fsync not in FSYNC_POLICIES:
+            raise DurabilityError(
+                f"unknown fsync policy {fsync!r} (use one of {FSYNC_POLICIES})")
+        self.path = Path(path)
+        self.fsync_policy = fsync
+        self.fsync_interval_s = fsync_interval_s
+        self._next_lsn = next_lsn
+        self._file = self.path.open("ab")
+        self._last_sync = time.monotonic()
+        self._closed = False
+        self.records_written = 0
+        self.bytes_written = 0
+        self.sync_count = 0
+
+    # -- lsn bookkeeping ---------------------------------------------------
+    @property
+    def next_lsn(self) -> int:
+        return self._next_lsn
+
+    @property
+    def last_lsn(self) -> int:
+        """The LSN of the most recently appended record."""
+        return self._next_lsn - 1
+
+    # -- writing -----------------------------------------------------------
+    def append(self, type: str, data: Optional[Dict[str, Any]] = None) -> int:
+        """Frame and append one record; returns its LSN."""
+        if self._closed:
+            raise DurabilityError("WAL writer is closed")
+        record = WalRecord(self._next_lsn, type, data)
+        frame = encode_frame(record)
+        self._file.write(frame)
+        self._next_lsn += 1
+        self.records_written += 1
+        self.bytes_written += len(frame)
+        if self.fsync_policy == "always":
+            self.sync()
+        elif self.fsync_policy == "interval":
+            now = time.monotonic()
+            if now - self._last_sync >= self.fsync_interval_s:
+                self.sync()
+            else:
+                self._file.flush()
+        else:
+            self._file.flush()
+        return record.lsn
+
+    def flush(self) -> None:
+        """Push buffered frames to the OS (visible to readers) without
+        paying an fsync."""
+        if not self._closed:
+            self._file.flush()
+
+    def sync(self) -> None:
+        """Flush buffered frames and fsync them to stable storage."""
+        if self._closed:
+            return
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._last_sync = time.monotonic()
+        self.sync_count += 1
+
+    def truncate(self) -> None:
+        """Drop every frame (after a checkpoint); LSNs keep counting."""
+        if self._closed:
+            raise DurabilityError("WAL writer is closed")
+        self._file.close()
+        self._file = self.path.open("wb")
+        self.sync()
+
+    def tail_size(self) -> int:
+        """Current byte size of the log file (buffered bytes included)."""
+        self._file.flush()
+        return self.path.stat().st_size
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._file.close()
+        self._closed = True
+
+    def __enter__(self) -> "WalWriter":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return (f"WalWriter({str(self.path)!r}, next_lsn={self._next_lsn}, "
+                f"fsync={self.fsync_policy!r})")
+
+
+def last_lsn(path: Union[str, Path]) -> Tuple[int, bool]:
+    """(LSN of the last intact record, torn?) for a WAL file on disk."""
+    result = read_wal(path)
+    return result.last_lsn, result.torn
+
+
+def head_lsn(path: Union[str, Path]) -> Optional[int]:
+    """The LSN of the first intact frame, or ``None``.
+
+    Because LSNs are strictly monotonic and every truncation starts the
+    file over with a fresh checkpoint frame, the head LSN identifies the
+    log *generation*: a follower that remembers it can detect rotation
+    even when the new log has grown past its old byte offset.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    with path.open("rb") as f:
+        header = f.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            return None
+        length, crc = _HEADER.unpack(header)
+        payload = f.read(length)
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            return None
+        try:
+            return WalRecord.from_dict(json.loads(payload.decode("utf-8"))).lsn
+        except (ValueError, WalCorruptionError):
+            return None

@@ -49,6 +49,32 @@ class PersistenceError(StorageError):
     """A database snapshot could not be encoded or decoded."""
 
 
+class DurabilityError(StorageError):
+    """Base class for write-ahead-log / snapshot / recovery failures."""
+
+
+class WalCorruptionError(DurabilityError):
+    """A WAL frame in the *middle* of the log failed its CRC check.
+
+    A torn (incomplete) *final* frame is expected after a crash and is
+    tolerated by recovery; a bad frame with valid data after it means
+    the log itself is damaged and replaying past it would load
+    silently-wrong state.
+    """
+
+
+class SnapshotError(DurabilityError):
+    """A durability snapshot file is missing, unreadable or malformed."""
+
+
+class RecoveryError(DurabilityError):
+    """Crash recovery could not reconstruct a consistent database."""
+
+
+class ReplicationError(DurabilityError):
+    """A log-shipping replica could not follow its primary."""
+
+
 class ServiceError(VidbError):
     """Base class for query-serving (``vidb.service``) failures."""
 

@@ -35,6 +35,7 @@ from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
+from vidb.durability.durable import DurableDatabase
 from vidb.errors import (
     QueryTimeoutError,
     ServiceClosedError,
@@ -123,9 +124,17 @@ def _relabel(cached: AnswerSet, query: Query) -> AnswerSet:
 
 
 class ServiceExecutor:
-    """Concurrent, cached, admission-controlled access to one database."""
+    """Concurrent, cached, admission-controlled access to one database.
 
-    def __init__(self, db: VideoDatabase,
+    Accepts either a bare :class:`VideoDatabase` or a
+    :class:`~vidb.durability.DurableDatabase`; a durable database is
+    unwrapped for the query path (queries read the live in-memory
+    state), while its WAL/snapshot counters join the metrics snapshot
+    and mutations — which already run under the write lock, inside a
+    transaction — are journaled by the wrapper's observer.
+    """
+
+    def __init__(self, db: Union[VideoDatabase, DurableDatabase],
                  rules: Optional[str] = None,
                  use_stdlib_rules: bool = False,
                  *,
@@ -136,6 +145,10 @@ class ServiceExecutor:
                  metrics: Optional[MetricsRegistry] = None,
                  engine_options: Optional[Dict[str, Any]] = None,
                  recent_capacity: int = 64):
+        self.durability: Optional[DurableDatabase] = None
+        if isinstance(db, DurableDatabase):
+            self.durability = db
+            db = db.db
         self.db = db
         self.metrics = metrics or MetricsRegistry()
         for name in ("queries.served", "queries.rejected", "queries.timeout",
@@ -387,11 +400,15 @@ class ServiceExecutor:
         snap["in_flight"] = self._in_flight
         snap["max_in_flight"] = self.max_in_flight
         snap["sessions.open"] = self.session_count()
+        if self.durability is not None:
+            snap.update(self.durability.stats())
         return snap
 
     def close(self, wait: bool = True) -> None:
         self._closed = True
         self._pool.shutdown(wait=wait)
+        if self.durability is not None:
+            self.durability.close()
 
     def __enter__(self) -> "ServiceExecutor":
         return self

@@ -18,7 +18,14 @@ Operations::
     {"op": "relate",  "relation": "in", "args": ["o1", "o2", "gi1"]}
     {"op": "metrics"}
     {"op": "trace",   "limit": 10}
+    {"op": "wal",     "after": 42, "limit": 1000}
     {"op": "close"}
+
+The ``wal`` op ships write-ahead-log records after the given LSN to a
+log-shipping replica (see :mod:`vidb.durability.replica`); it answers
+with a full snapshot (``"resync": true``) when the follower is older
+than the latest checkpoint, and fails with a ``service`` error when the
+server is not running durably (no ``--data-dir``).
 
 A query with ``"profile": true`` runs traced (bypassing the result
 cache) and its response additionally carries ``stats``, ``profile``
@@ -202,6 +209,20 @@ class _Handler(socketserver.StreamRequestHandler):
             return {"ok": True, "metrics": service.snapshot(),
                     "recent": service.recent_traces(
                         limit=request.get("limit"))}, True
+        if op == "wal":
+            if service.durability is None:
+                raise ServiceError(
+                    "server is not durable (start it with --data-dir "
+                    "to enable log shipping)")
+            after = request.get("after", 0)
+            if not isinstance(after, int):
+                raise ProtocolError("'after' must be an integer LSN")
+            limit = request.get("limit")
+            if limit is not None and not isinstance(limit, int):
+                raise ProtocolError("'limit' must be an integer")
+            reply = service.durability.ship(after, limit=limit)
+            reply["ok"] = True
+            return reply, True
         if op == "close":
             return {"ok": True, "closing": True}, False
         raise ProtocolError(f"unknown op {op!r}")
@@ -348,6 +369,11 @@ class ServiceClient:
     def trace(self, limit: Optional[int] = None) -> Dict[str, Any]:
         """Service metrics plus summaries of recently executed queries."""
         return self.request("trace", limit=limit)
+
+    def wal(self, after: int = 0,
+            limit: Optional[int] = None) -> Dict[str, Any]:
+        """Ship WAL records after LSN *after* (replica pull)."""
+        return self.request("wal", after=after, limit=limit)
 
     def close(self) -> None:
         try:

@@ -48,6 +48,11 @@ class VideoDatabase:
         self._temporal_index = TemporalIndex()
         self._declared_relations: set = set()
         self._journal: Optional[List] = None  # undo log when inside a transaction
+        #: Mutation observers (see :meth:`add_mutation_observer`): each
+        #: successful mutation — and transaction begin/commit/abort —
+        #: is announced as a plain tuple.  The durability layer's WAL
+        #: hangs off this.
+        self._observers: List = []
         #: Monotonic mutation counter.  Every successful mutating operation
         #: bumps it, so two reads of the database at the same epoch are
         #: guaranteed to see the same state — the invariant the service
@@ -119,6 +124,7 @@ class VideoDatabase:
             raise ModelError(f"expected an EntityObject or GeneralizedIntervalObject, got {obj!r}")
         self._attribute_index.add(obj)
         self._epoch += 1
+        self._emit(("add", obj))
         return obj
 
     def relate(self, relation: Union[str, RelationFact], *args: FactArg) -> RelationFact:
@@ -140,6 +146,7 @@ class VideoDatabase:
         self._relation_index.add(fact)
         self._log(("remove_fact", fact))
         self._epoch += 1
+        self._emit(("relate", fact))
         return fact
 
     # -- updates / deletion --------------------------------------------------
@@ -160,6 +167,7 @@ class VideoDatabase:
         self._attribute_index.add(obj)
         self._log(("restore_object", old))
         self._epoch += 1
+        self._emit(("replace", obj))
         return obj
 
     def set_attribute(self, oid: OidLike, name: str, value) -> VideoObject:
@@ -182,6 +190,7 @@ class VideoDatabase:
             self.sequence.remove_object(obj.oid)
         self._log(("restore_removed", obj))
         self._epoch += 1
+        self._emit(("remove_object", obj.oid))
         return obj
 
     def remove_fact(self, fact: RelationFact) -> None:
@@ -190,6 +199,7 @@ class VideoDatabase:
             self._relation_index.remove(fact)
             self._log(("restore_fact", fact))
             self._epoch += 1
+            self._emit(("remove_fact", fact))
 
     def _deindex(self, obj: VideoObject) -> None:
         self._attribute_index.remove(obj)
@@ -239,6 +249,7 @@ class VideoDatabase:
         if name not in self._declared_relations:
             self._declared_relations.add(name)
             self._epoch += 1
+            self._emit(("declare_relation", name))
 
     def relation_names(self) -> FrozenSet[str]:
         return self._relation_index.names() | frozenset(self._declared_relations)
@@ -284,6 +295,29 @@ class VideoDatabase:
     def _log(self, entry) -> None:
         if self._journal is not None:
             self._journal.append(entry)
+
+    # -- mutation observers ----------------------------------------------------
+    def add_mutation_observer(self, observer) -> None:
+        """Subscribe ``observer(event_tuple)`` to every mutation.
+
+        Events mirror the epoch: an event fires exactly when the epoch
+        bumps (plus ``("txn_begin",)`` / ``("txn_commit",)`` /
+        ``("txn_abort",)`` frames from :class:`Transaction`), which is
+        what lets a WAL replay reproduce the epoch exactly.  Observers
+        must not mutate the database.
+        """
+        self._observers.append(observer)
+
+    def remove_mutation_observer(self, observer) -> None:
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    def _emit(self, event: Tuple) -> None:
+        if self._observers:
+            for observer in tuple(self._observers):
+                observer(event)
 
     # -- stats ----------------------------------------------------------------
     def __len__(self) -> int:

@@ -22,6 +22,7 @@ integration tests verify.
 from __future__ import annotations
 
 import json
+import os
 from fractions import Fraction
 from pathlib import Path
 from typing import Any, Dict, Union
@@ -109,6 +110,7 @@ def database_to_dict(db: VideoDatabase) -> Dict[str, Any]:
     return {
         "format": FORMAT_VERSION,
         "name": db.name,
+        "epoch": db.epoch,
         "entities": [
             {
                 "oid": encode_value(obj.oid),
@@ -156,6 +158,13 @@ def database_from_dict(data: Dict[str, Any]) -> VideoDatabase:
     for record in data.get("facts", ()):
         args = tuple(decode_value(a) for a in record["args"])
         db.relate(RelationFact(record["name"], args))
+    # Restore the mutation epoch the snapshot was taken at, so a reload
+    # does not silently restart cache-keying epochs (older snapshots
+    # without the field keep the rebuild count, which is still
+    # monotonic from zero).
+    epoch = data.get("epoch")
+    if isinstance(epoch, int) and epoch >= 0:
+        db._epoch = epoch
     return db
 
 
@@ -174,8 +183,19 @@ def loads(text: str) -> VideoDatabase:
 
 
 def save(db: VideoDatabase, path: Union[str, Path]) -> None:
-    """Write a snapshot to *path*."""
-    Path(path).write_text(dumps(db), encoding="utf-8")
+    """Write a snapshot to *path* atomically.
+
+    The document goes to a temp file in the same directory, is fsynced,
+    then moved over *path* with ``os.replace`` — a crash mid-save can
+    truncate only the temp file, never an existing store.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp")
+    with tmp.open("w", encoding="utf-8") as f:
+        f.write(dumps(db))
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
 
 
 def load(path: Union[str, Path]) -> VideoDatabase:

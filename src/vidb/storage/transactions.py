@@ -48,6 +48,7 @@ class Transaction:
         self._journal = []
         self._db._journal = self._journal
         self._epoch_snapshot = self._db._epoch
+        self._db._emit(("txn_begin",))
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -71,6 +72,7 @@ class Transaction:
         self._db._journal = None
         self._journal = None
         self._closed = True
+        self._db._emit(("txn_commit",))
 
     def rollback(self) -> None:
         if self._nested:
@@ -89,6 +91,10 @@ class Transaction:
         # snapshot epoch too (same state <=> same epoch).
         if self._epoch_snapshot is not None:
             self._db._epoch = self._epoch_snapshot
+        # The inverse operations above were announced to mutation
+        # observers too; the abort frame voids the whole segment, so a
+        # WAL replay skips both the forward and the inverse records.
+        self._db._emit(("txn_abort",))
 
     # -- undo interpreter -----------------------------------------------------
     def _undo(self, entry: Tuple) -> None:

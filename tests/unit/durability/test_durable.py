@@ -1,0 +1,172 @@
+"""Unit tests for DurableDatabase: journaling, checkpoints, shipping."""
+
+import pytest
+
+from vidb.durability.durable import DurableDatabase
+from vidb.durability.recovery import recover
+from vidb.durability.snapshot import list_snapshots, wal_path
+from vidb.errors import DurabilityError
+from vidb.model.oid import Oid
+from vidb.storage.database import VideoDatabase
+
+
+def seed_db():
+    db = VideoDatabase("seed")
+    db.new_entity("a", name="Ana")
+    db.new_interval("g1", entities=["a"], duration=[(0, 10)])
+    return db
+
+
+def assert_same_state(left, right):
+    assert left.stats() == right.stats()
+    assert left.epoch == right.epoch
+    assert set(left.entities()) == set(right.entities())
+    assert set(left.intervals()) == set(right.intervals())
+    assert left.facts() == right.facts()
+
+
+class TestJournaling:
+    def test_reopen_reproduces_state_and_epoch(self, tmp_path):
+        with DurableDatabase(tmp_path, seed=seed_db(), fsync="never") as d:
+            d.db.new_entity("b", name="Ben")
+            d.db.relate("in", d.db.entity("b"), d.db.interval("g1"))
+            d.db.set_attribute("a", "name", "Ana2")
+            d.db.remove_object(Oid.entity("b"))
+            primary = d.db
+        result = recover(tmp_path)
+        assert_same_state(primary, result.db)
+
+    def test_committed_transaction_survives(self, tmp_path):
+        with DurableDatabase(tmp_path, seed=seed_db(), fsync="never") as d:
+            with d.db.transaction():
+                d.db.new_entity("t1")
+                d.db.new_entity("t2")
+            primary = d.db
+        recovered = recover(tmp_path).db
+        assert_same_state(primary, recovered)
+        assert recovered.stats()["entities"] == 3
+
+    def test_rolled_back_transaction_is_void(self, tmp_path):
+        with DurableDatabase(tmp_path, seed=seed_db(), fsync="never") as d:
+            with pytest.raises(RuntimeError):
+                with d.db.transaction():
+                    d.db.new_entity("ghost")
+                    d.db.set_attribute("a", "name", "Zoe")
+                    raise RuntimeError("boom")
+            primary = d.db
+        result = recover(tmp_path)
+        assert result.discarded > 0
+        assert_same_state(primary, result.db)
+        assert result.db.get(Oid.entity("ghost")) is None
+        assert result.db.entity("a")["name"] == "Ana"
+
+    def test_mutation_after_close_raises(self, tmp_path):
+        d = DurableDatabase(tmp_path, fsync="never")
+        db = d.db
+        d.close()
+        db.new_entity("fine-after-detach")  # observer was removed: allowed
+        d2 = DurableDatabase(tmp_path, fsync="never")
+        d2._closed = True  # simulate a race: observer fires after close
+        with pytest.raises(DurabilityError):
+            d2.db.new_entity("lost")
+
+
+class TestSeeding:
+    def test_seed_populates_fresh_directory(self, tmp_path):
+        with DurableDatabase(tmp_path, seed=seed_db(), fsync="never") as d:
+            assert d.seeded
+            assert d.db.stats()["entities"] == 1
+        assert list_snapshots(tmp_path)  # initial snapshot installed
+
+    def test_recovered_state_beats_seed(self, tmp_path):
+        with DurableDatabase(tmp_path, seed=seed_db(), fsync="never") as d:
+            d.db.new_entity("kept")
+        other = VideoDatabase("other")
+        with DurableDatabase(tmp_path, seed=other, fsync="never") as d:
+            assert not d.seeded
+            assert d.db.get(Oid.entity("kept")) is not None
+
+    def test_fresh_directory_without_seed_is_empty(self, tmp_path):
+        with DurableDatabase(tmp_path, name="blank", fsync="never") as d:
+            assert d.db.name == "blank"
+            assert d.db.epoch == 0
+
+
+class TestCheckpoints:
+    def test_auto_checkpoint_truncates_wal(self, tmp_path):
+        with DurableDatabase(tmp_path, fsync="never",
+                             checkpoint_every=3) as d:
+            for i in range(7):
+                d.db.new_entity(f"o{i}")
+            assert d.stats()["snapshots.taken"] >= 2
+            assert d.stats()["wal.since_checkpoint"] < 3
+        recovered = recover(tmp_path).db
+        assert recovered.stats()["entities"] == 7
+
+    def test_no_checkpoint_inside_transaction(self, tmp_path):
+        with DurableDatabase(tmp_path, fsync="never",
+                             checkpoint_every=2) as d:
+            with d.db.transaction():
+                for i in range(10):  # would trip checkpoint_every mid-txn
+                    d.db.new_entity(f"o{i}")
+                with pytest.raises(DurabilityError):
+                    d.checkpoint()
+            d.checkpoint()  # fine once committed
+        assert recover(tmp_path).db.stats()["entities"] == 10
+
+    def test_checkpoint_prunes_old_snapshots(self, tmp_path):
+        with DurableDatabase(tmp_path, fsync="never",
+                             keep_snapshots=2) as d:
+            for i in range(4):
+                d.db.new_entity(f"o{i}")
+                d.checkpoint()
+            assert len(list_snapshots(tmp_path)) <= 2
+
+
+class TestShipping:
+    def test_up_to_date_follower_gets_nothing(self, tmp_path):
+        with DurableDatabase(tmp_path, seed=seed_db(), fsync="never") as d:
+            reply = d.ship(after_lsn=d.last_lsn)
+            assert reply["records"] == []
+            assert "snapshot" not in reply
+
+    def test_stale_follower_gets_resync(self, tmp_path):
+        with DurableDatabase(tmp_path, seed=seed_db(), fsync="never") as d:
+            d.db.new_entity("x")
+            d.checkpoint()
+            reply = d.ship(after_lsn=-1)
+            assert reply["resync"] is True
+            assert reply["snapshot"]["wal_lsn"] == d.snapshot_lsn
+
+    def test_limit_caps_records(self, tmp_path):
+        with DurableDatabase(tmp_path, fsync="never") as d:
+            for i in range(5):
+                d.db.new_entity(f"o{i}")
+            reply = d.ship(after_lsn=d.snapshot_lsn, limit=2)
+            assert len(reply["records"]) == 2
+
+
+class TestWrapper:
+    def test_reads_delegate_to_inner_database(self, tmp_path):
+        with DurableDatabase(tmp_path, seed=seed_db(), fsync="never") as d:
+            assert d.entity("a")["name"] == "Ana"
+            assert d.epoch == d.db.epoch
+            assert d.stats()["wal.last_lsn"] == d.last_lsn  # stats NOT delegated
+
+    def test_stats_keys(self, tmp_path):
+        with DurableDatabase(tmp_path, fsync="never") as d:
+            stats = d.stats()
+        for key in ("wal.last_lsn", "wal.records", "wal.bytes", "wal.syncs",
+                    "wal.since_checkpoint", "wal.ships", "snapshots.taken",
+                    "snapshots.lsn", "recovery.replayed",
+                    "recovery.discarded", "recovery.torn_tail"):
+            assert key in stats
+
+    def test_close_with_checkpoint(self, tmp_path):
+        d = DurableDatabase(tmp_path, fsync="never")
+        d.db.new_entity("x")
+        d.close(checkpoint=True)
+        assert wal_path(tmp_path).stat().st_size > 0  # checkpoint frame
+        result = recover(tmp_path)
+        assert result.replayed == 0  # everything inside the snapshot
+        assert result.db.stats()["entities"] == 1

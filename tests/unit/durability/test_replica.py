@@ -1,0 +1,156 @@
+"""Unit tests for log-shipping replicas (file and server transports)."""
+
+import pytest
+
+from vidb.durability.durable import DurableDatabase
+from vidb.durability.replica import Replica
+from vidb.errors import ReplicationError
+from vidb.model.oid import Oid
+from vidb.storage.database import VideoDatabase
+
+
+def seed_db():
+    db = VideoDatabase("seed")
+    db.new_entity("a", name="Ana")
+    db.new_interval("g1", entities=["a"], duration=[(0, 10)])
+    return db
+
+
+def assert_converged(replica, primary):
+    assert replica.lag() == 0
+    assert replica.db.stats() == primary.db.stats()
+    assert replica.db.epoch == primary.db.epoch
+    assert set(replica.db.entities()) == set(primary.db.entities())
+    assert replica.db.facts() == primary.db.facts()
+
+
+@pytest.fixture
+def primary(tmp_path):
+    with DurableDatabase(tmp_path / "data", seed=seed_db(),
+                         fsync="never") as d:
+        yield d
+
+
+class TestFileReplica:
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ReplicationError):
+            Replica.from_data_dir(tmp_path / "nope")
+
+    def test_bootstrap_loads_snapshot(self, primary):
+        replica = Replica.from_data_dir(primary.data_dir)
+        assert replica.db.entity("a")["name"] == "Ana"
+        assert replica.resyncs == 1
+
+    def test_tailing_converges(self, primary):
+        replica = Replica.from_data_dir(primary.data_dir)
+        primary.db.new_entity("b", name="Ben")
+        primary.db.relate("in", primary.db.entity("b"),
+                          primary.db.interval("g1"))
+        replica.poll()
+        assert_converged(replica, primary)
+        # idempotent: nothing new applied on a quiet log
+        assert replica.poll() == 0
+        assert replica.lag() == 0
+
+    def test_rotation_triggers_resync_only_when_behind(self, primary):
+        replica = Replica.from_data_dir(primary.data_dir)
+        primary.db.new_entity("b")
+        replica.poll()
+        position = replica.applied_lsn
+        primary.checkpoint()               # truncates the WAL under us
+        primary.db.new_entity("c")
+        replica.poll()
+        assert_converged(replica, primary)
+        # the replica had everything up to the checkpoint already, so it
+        # should have rewound its offset, not reloaded the snapshot
+        assert replica.resyncs == 1
+        assert replica.applied_lsn > position
+
+    def test_rotation_resync_when_records_were_truncated(self, primary):
+        replica = Replica.from_data_dir(primary.data_dir)
+        primary.db.new_entity("b")
+        primary.checkpoint()               # replica never saw lsn of "b"
+        primary.db.new_entity("c")
+        replica.poll()
+        assert_converged(replica, primary)
+        assert replica.resyncs == 2        # bootstrap + genuine resync
+
+    def test_aborted_transactions_never_surface(self, primary):
+        replica = Replica.from_data_dir(primary.data_dir)
+        with pytest.raises(RuntimeError):
+            with primary.db.transaction():
+                primary.db.new_entity("ghost")
+                raise RuntimeError("boom")
+        with primary.db.transaction():
+            primary.db.new_entity("real")
+        replica.poll()
+        assert_converged(replica, primary)
+        assert replica.db.get(Oid.entity("ghost")) is None
+        assert replica.records_discarded > 0
+
+    def test_stats_shape(self, primary):
+        replica = Replica.from_data_dir(primary.data_dir)
+        stats = replica.stats()
+        for key in ("replica.applied_lsn", "replica.visible_lsn",
+                    "replica.lag", "replica.records_applied",
+                    "replica.records_discarded", "replica.polls",
+                    "replica.resyncs"):
+            assert key in stats
+
+
+class TestServerReplica:
+    @pytest.fixture
+    def served(self, tmp_path):
+        from vidb.service.executor import ServiceExecutor
+        from vidb.service.server import ServiceClient, VideoServer
+
+        durable = DurableDatabase(tmp_path / "data", seed=seed_db(),
+                                  fsync="never")
+        service = ServiceExecutor(durable, max_workers=2)
+        server = VideoServer(service).start_background()
+        client = ServiceClient(*server.address)
+        try:
+            yield durable, client
+        finally:
+            client.close()
+            server.shutdown()
+            service.close()
+
+    def test_bootstrap_and_tail_over_the_wire(self, served):
+        durable, client = served
+        client.insert_entity("b", name="Ben")
+        replica = Replica.from_client(client)
+        assert replica.resyncs == 1        # bootstrap is a forced resync
+        client.insert_entity("c", name="Cy")
+        replica.poll()
+        assert replica.lag() == 0
+        assert replica.db.entity("c")["name"] == "Cy"
+        assert replica.db.stats() == durable.db.stats()
+        assert replica.db.epoch == durable.db.epoch
+
+    def test_follower_behind_checkpoint_gets_snapshot(self, served):
+        durable, client = served
+        replica = Replica.from_client(client)
+        client.insert_entity("b")
+        durable.checkpoint()
+        client.insert_entity("c")
+        replica.poll()
+        assert replica.lag() == 0
+        assert replica.db.get(Oid.entity("b")) is not None
+        assert replica.db.get(Oid.entity("c")) is not None
+
+    def test_wal_op_requires_durable_service(self, tmp_path):
+        from vidb.errors import ServiceError
+        from vidb.service.executor import ServiceExecutor
+        from vidb.service.server import ServiceClient, VideoServer
+
+        service = ServiceExecutor(seed_db(), max_workers=2)
+        server = VideoServer(service).start_background()
+        client = ServiceClient(*server.address)
+        try:
+            with pytest.raises(ServiceError):
+                client.wal(after=0)
+        finally:
+            client.close()
+            server.shutdown()
+            service.close()

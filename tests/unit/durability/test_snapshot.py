@@ -1,0 +1,90 @@
+"""Unit tests for atomic snapshot install, listing, and pruning."""
+
+import pytest
+
+from vidb.durability.snapshot import (
+    list_snapshots,
+    load_snapshot,
+    prune_snapshots,
+    snapshot_path,
+    wal_path,
+    write_snapshot,
+)
+from vidb.errors import SnapshotError
+from vidb.storage.database import VideoDatabase
+
+
+@pytest.fixture
+def db():
+    database = VideoDatabase("snap")
+    database.new_entity("a", name="Ana")
+    database.new_interval("g1", entities=["a"], duration=[(0, 10)])
+    database.relate("in", database.entity("a"), database.interval("g1"))
+    return database
+
+
+class TestPaths:
+    def test_snapshot_name_is_sortable(self, tmp_path):
+        assert snapshot_path(tmp_path, 42).name == f"snapshot-{42:016d}.json"
+        assert wal_path(tmp_path).name == "wal.log"
+
+
+class TestWriteLoad:
+    def test_roundtrip_state_epoch_and_lsn(self, tmp_path, db):
+        path = write_snapshot(db, tmp_path, 17)
+        restored, lsn = load_snapshot(path)
+        assert lsn == 17
+        assert restored.stats() == db.stats()
+        assert restored.epoch == db.epoch
+        assert restored.entity("a") == db.entity("a")
+
+    def test_install_leaves_no_temp_files(self, tmp_path, db):
+        write_snapshot(db, tmp_path, 1)
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_creates_data_directory(self, tmp_path, db):
+        target = tmp_path / "deep" / "dir"
+        write_snapshot(db, target, 1)
+        assert list_snapshots(target)
+
+    def test_unreadable_snapshot_raises(self, tmp_path):
+        path = snapshot_path(tmp_path, 3)
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+        with pytest.raises(SnapshotError):
+            load_snapshot(tmp_path / "absent.json")
+
+    def test_invalid_wal_lsn_raises(self, tmp_path, db):
+        path = write_snapshot(db, tmp_path, 1)
+        import json
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["wal_lsn"] = "seven"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+
+class TestListingAndPruning:
+    def test_newest_first_and_strays_ignored(self, tmp_path, db):
+        for lsn in (3, 11, 7):
+            write_snapshot(db, tmp_path, lsn)
+        (tmp_path / "snapshot-oops.json").write_text("{}", encoding="utf-8")
+        assert [lsn for lsn, _ in list_snapshots(tmp_path)] == [11, 7, 3]
+
+    def test_missing_directory_lists_empty(self, tmp_path):
+        assert list_snapshots(tmp_path / "nope") == []
+
+    def test_prune_keeps_newest(self, tmp_path, db):
+        for lsn in range(5):
+            write_snapshot(db, tmp_path, lsn)
+        removed = prune_snapshots(tmp_path, keep=2)
+        assert removed == 3
+        assert [lsn for lsn, _ in list_snapshots(tmp_path)] == [4, 3]
+
+    def test_prune_always_keeps_at_least_one(self, tmp_path, db):
+        write_snapshot(db, tmp_path, 1)
+        assert prune_snapshots(tmp_path, keep=0) == 0
+        assert list_snapshots(tmp_path)

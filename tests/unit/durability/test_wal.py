@@ -1,0 +1,162 @@
+"""Unit tests for the WAL frame format, writer, and fault tolerance."""
+
+import struct
+
+import pytest
+
+from vidb.durability.wal import (
+    FSYNC_POLICIES,
+    WalRecord,
+    WalWriter,
+    encode_frame,
+    last_lsn,
+    read_wal,
+)
+from vidb.errors import DurabilityError, WalCorruptionError
+
+
+@pytest.fixture
+def wal(tmp_path):
+    return tmp_path / "wal.log"
+
+
+def write_records(path, n, fsync="never"):
+    with WalWriter(path, fsync=fsync) as writer:
+        for i in range(n):
+            writer.append("add", {"i": i})
+    return path
+
+
+class TestFrameCodec:
+    def test_roundtrip(self, wal):
+        record = WalRecord(7, "add", {"oid": "o1", "x": [1, 2]})
+        wal.write_bytes(encode_frame(record))
+        result = read_wal(wal)
+        assert result.records == [record]
+        assert not result.torn
+        assert result.offset == wal.stat().st_size
+
+    def test_record_equality_and_repr(self):
+        a = WalRecord(1, "add", {"x": 1})
+        assert a == WalRecord(1, "add", {"x": 1})
+        assert a != WalRecord(2, "add", {"x": 1})
+        assert "lsn=1" in repr(a)
+
+    @pytest.mark.parametrize("payload", [
+        [],                       # not a dict
+        {},                       # missing lsn/type
+        {"lsn": "x", "type": "add"},
+        {"lsn": 1, "type": 2},
+        {"lsn": 1, "type": "add", "data": "nope"},
+    ])
+    def test_from_dict_rejects_malformed(self, payload):
+        with pytest.raises(WalCorruptionError):
+            WalRecord.from_dict(payload)
+
+    def test_missing_file_reads_empty(self, wal):
+        result = read_wal(wal)
+        assert result.records == [] and result.offset == 0 and not result.torn
+
+
+class TestWriter:
+    def test_lsns_are_monotonic(self, wal):
+        with WalWriter(wal, fsync="never") as writer:
+            assert [writer.append("add", {}) for _ in range(3)] == [1, 2, 3]
+            assert writer.next_lsn == 4
+            assert writer.last_lsn == 3
+        assert [r.lsn for r in read_wal(wal).records] == [1, 2, 3]
+
+    def test_next_lsn_seed_continues_sequence(self, wal):
+        with WalWriter(wal, fsync="never", next_lsn=41) as writer:
+            assert writer.append("add", {}) == 41
+
+    def test_unknown_fsync_policy_rejected(self, wal):
+        assert FSYNC_POLICIES == ("always", "interval", "never")
+        with pytest.raises(DurabilityError):
+            WalWriter(wal, fsync="sometimes")
+
+    def test_always_syncs_every_append(self, wal):
+        with WalWriter(wal, fsync="always") as writer:
+            writer.append("add", {})
+            writer.append("add", {})
+            assert writer.sync_count == 2
+
+    def test_interval_policy_skips_fresh_syncs(self, wal):
+        with WalWriter(wal, fsync="interval", fsync_interval_s=3600) as writer:
+            writer.append("add", {})
+            writer.append("add", {})
+            assert writer.sync_count == 0  # interval not yet elapsed
+
+    def test_truncate_drops_frames_but_keeps_lsns(self, wal):
+        with WalWriter(wal, fsync="never") as writer:
+            writer.append("add", {})
+            writer.append("add", {})
+            writer.truncate()
+            assert read_wal(wal).records == []
+            assert writer.append("add", {}) == 3
+
+    def test_append_after_close_raises(self, wal):
+        writer = WalWriter(wal, fsync="never")
+        writer.close()
+        with pytest.raises(DurabilityError):
+            writer.append("add", {})
+        writer.close()  # idempotent
+
+    def test_counters_and_tail_size(self, wal):
+        with WalWriter(wal, fsync="never") as writer:
+            writer.append("add", {"k": "v"})
+            assert writer.records_written == 1
+            assert writer.bytes_written == writer.tail_size()
+
+
+class TestFaultTolerance:
+    def test_torn_header_is_tolerated(self, wal):
+        write_records(wal, 3)
+        with wal.open("ab") as f:
+            f.write(b"\x00\x00")  # half a header
+        result = read_wal(wal)
+        assert [r.data["i"] for r in result.records] == [0, 1, 2]
+        assert result.torn
+
+    def test_torn_payload_is_tolerated(self, wal):
+        write_records(wal, 2)
+        good = wal.stat().st_size
+        with wal.open("ab") as f:
+            f.write(struct.pack(">II", 500, 0) + b"short")
+        result = read_wal(wal)
+        assert len(result.records) == 2
+        assert result.torn
+        assert result.offset == good
+
+    def test_corrupt_final_frame_is_torn_not_fatal(self, wal):
+        write_records(wal, 2)
+        blob = bytearray(wal.read_bytes())
+        blob[-1] ^= 0xFF  # flip a byte inside the last payload
+        wal.write_bytes(bytes(blob))
+        result = read_wal(wal)
+        assert len(result.records) == 1
+        assert result.torn
+
+    def test_corruption_mid_log_raises(self, wal):
+        write_records(wal, 3)
+        first = len(encode_frame(WalRecord(1, "add", {"i": 0})))
+        blob = bytearray(wal.read_bytes())
+        blob[first - 1] ^= 0xFF  # damage frame 1; frames 2-3 intact after
+        wal.write_bytes(bytes(blob))
+        with pytest.raises(WalCorruptionError):
+            read_wal(wal)
+
+    def test_resume_from_offset(self, wal):
+        write_records(wal, 2)
+        first_scan = read_wal(wal)
+        with WalWriter(wal, fsync="never", next_lsn=3) as writer:
+            writer.append("add", {"i": 2})
+        resumed = read_wal(wal, offset=first_scan.offset)
+        assert [r.lsn for r in resumed.records] == [3]
+
+    def test_last_lsn_helper(self, wal):
+        assert last_lsn(wal) == (0, False)
+        write_records(wal, 2)
+        with wal.open("ab") as f:
+            f.write(b"\x01")
+        assert last_lsn(wal) == (2, True)

@@ -297,3 +297,39 @@ class TestExecutionReports:
             assert len(report.answers) == 2
             assert session.query(Q_APPEARS).rows() == report.answers.rows()
             assert session.queries_run == 2
+
+
+class TestDurableService:
+    def test_executor_unwraps_durable_database(self, tmp_path):
+        from vidb.durability.durable import DurableDatabase
+
+        durable = DurableDatabase(tmp_path, seed=rope_database(),
+                                  fsync="never")
+        service = ServiceExecutor(durable, max_workers=2)
+        try:
+            assert service.db is durable.db  # queries run on the inner db
+            service.new_entity("fresh", name="New")
+            assert durable.last_lsn > 0
+            snap = service.snapshot()
+            assert snap["wal.last_lsn"] == durable.last_lsn
+            assert "snapshots.taken" in snap
+        finally:
+            service.close()
+
+    def test_close_closes_the_durable_wrapper(self, tmp_path):
+        from vidb.durability.durable import DurableDatabase
+
+        durable = DurableDatabase(tmp_path, fsync="never")
+        service = ServiceExecutor(durable, max_workers=2)
+        service.close()
+        from vidb.errors import DurabilityError
+        with pytest.raises(DurabilityError):
+            durable.checkpoint()
+
+    def test_plain_database_has_no_durability(self):
+        service = ServiceExecutor(rope_database(), max_workers=2)
+        try:
+            assert service.durability is None
+            assert "wal.last_lsn" not in service.snapshot()
+        finally:
+            service.close()

@@ -116,3 +116,43 @@ class TestDatabaseCodec:
         empty = VideoDatabase("empty")
         restored = loads(dumps(empty))
         assert len(restored) == 0 and restored.name == "empty"
+
+
+class TestEpochPersistence:
+    def test_epoch_survives_roundtrip(self, db):
+        db.set_attribute("a", "name", "Renamed")
+        restored = loads(dumps(db))
+        assert restored.epoch == db.epoch
+
+    def test_legacy_snapshot_without_epoch_loads(self, db):
+        # pre-epoch snapshots decode fine; the epoch is whatever the
+        # rebuild produced (one bump per restored mutation)
+        data = database_to_dict(db)
+        del data["epoch"]
+        restored = database_from_dict(data)
+        assert restored.stats() == db.stats()
+        assert restored.epoch > 0
+
+    def test_bogus_epoch_ignored(self, db):
+        data = database_to_dict(db)
+        data["epoch"] = "many"
+        restored = database_from_dict(data)
+        assert restored.stats() == db.stats()
+
+    def test_stored_epoch_overrides_rebuild_count(self, db):
+        data = database_to_dict(db)
+        data["epoch"] = 1234
+        assert database_from_dict(data).epoch == 1234
+
+
+class TestAtomicSave:
+    def test_save_leaves_no_temp_file(self, db, tmp_path):
+        path = tmp_path / "db.json"
+        save(db, path)
+        assert [p.name for p in tmp_path.iterdir()] == ["db.json"]
+
+    def test_save_replaces_existing_file(self, db, tmp_path):
+        path = tmp_path / "db.json"
+        path.write_text("old garbage", encoding="utf-8")
+        save(db, path)
+        assert load(path).stats() == db.stats()

@@ -118,3 +118,56 @@ class TestProtocol:
         with pytest.raises(ValueError):
             with db.transaction():
                 raise ValueError("original error kept")
+
+
+class TestEpochAndEdgeCases:
+    def test_reentering_an_open_transaction_is_nested_use(self, db):
+        # Entering the same Transaction object again piggybacks like any
+        # nested scope: the inner exit must not settle the outer journal.
+        tx = db.transaction()
+        with tx:
+            db.new_entity("b")
+            with tx:
+                db.new_entity("c")
+            assert db._journal is not None  # still open after inner exit
+        assert db.stats()["entities"] == 3
+
+    def test_rollback_after_partial_multi_mutation(self, db):
+        fact = db.relate("in", Oid.entity("a"), Oid.interval("g1"))
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.new_entity("b", name="Ben")
+                db.set_attribute("a", "name", "Renamed")
+                db.new_interval("g2", entities=["b"], duration=[(5, 9)])
+                db.remove_fact(fact)
+                raise RuntimeError("midway")
+        assert db.stats() == {"entities": 1, "intervals": 1, "facts": 1}
+        assert db.entity("a")["name"] == "Ana"
+        assert fact in db.facts("in")
+        assert [str(i.oid) for i in db.intervals_at(7)] == ["g1"]
+
+    def test_epoch_restored_on_exit_with_exception(self, db):
+        before = db.epoch
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.new_entity("b")
+                db.set_attribute("b", "name", "Ben")
+                assert db.epoch > before
+                raise RuntimeError("boom")
+        # same state <=> same epoch: the undo replay must not leave the
+        # epoch inflated, or epoch-keyed caches would miss forever
+        assert db.epoch == before
+
+    def test_epoch_advances_on_commit(self, db):
+        before = db.epoch
+        with db.transaction():
+            db.new_entity("b")
+        assert db.epoch == before + 1
+
+    def test_explicit_rollback_restores_epoch(self, db):
+        before = db.epoch
+        tx = db.transaction()
+        with tx:
+            db.new_entity("b")
+            tx.rollback()
+        assert db.epoch == before
