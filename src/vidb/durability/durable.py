@@ -77,7 +77,11 @@ class DurableDatabase:
         self._writer = WalWriter(
             wal_path(self.data_dir), fsync=fsync,
             fsync_interval_s=fsync_interval_s,
-            next_lsn=self.recovery.last_lsn + 1)
+            next_lsn=self.recovery.last_lsn + 1,
+            # Cut off a torn tail before appending: new frames after the
+            # fragment would turn a tolerated torn *end* into mid-log
+            # corruption the next recovery refuses to replay past.
+            truncate_to=self.recovery.wal_offset)
         self._in_txn = False
         self._records_since_checkpoint = self.recovery.replayed
         self._snapshot_lsn = self.recovery.snapshot_lsn
@@ -170,32 +174,40 @@ class DurableDatabase:
         When the follower is behind the latest checkpoint (its records
         were truncated away) the reply instead carries the newest
         on-disk snapshot under ``"snapshot"`` plus the records after it
-        — a full resync.  Purely disk-based, so it needs no query lock.
+        — a full resync.  Disk-based, so it needs no query lock, but it
+        holds the durability lock throughout: a concurrent checkpoint
+        could otherwise install a snapshot and truncate the WAL between
+        the LSN capture and the scan, shipping records with a silent
+        gap past the new checkpoint.
         """
         with self._lock:
             if self._closed:
                 raise DurabilityError("durable database is closed")
-            self._writer.flush()
+            # Ship only durable records.  A merely-flushed tail can be
+            # lost in a crash, after which the writer reuses those LSNs
+            # for different mutations — a follower that applied the
+            # originals would skip the replacements and diverge.
+            self._writer.sync()
             self._ships += 1
             snapshot_lsn = self._snapshot_lsn
             last = self._writer.last_lsn
-        reply: Dict[str, Any] = {"last_lsn": last,
-                                 "snapshot_lsn": snapshot_lsn}
-        base = after_lsn
-        if after_lsn < snapshot_lsn:
-            snapshots = list_snapshots(self.data_dir)
-            if not snapshots:  # pragma: no cover - checkpoint guarantees one
-                raise DurabilityError("no snapshot available for resync")
-            lsn, path = snapshots[0]
-            reply["snapshot"] = json.loads(path.read_text(encoding="utf-8"))
-            reply["resync"] = True
-            base = lsn
-        scan = read_wal(wal_path(self.data_dir))
-        records = [r.as_dict() for r in scan.records if r.lsn > base]
-        if limit is not None:
-            records = records[:max(0, limit)]
-        reply["records"] = records
-        return reply
+            reply: Dict[str, Any] = {"last_lsn": last,
+                                     "snapshot_lsn": snapshot_lsn}
+            base = after_lsn
+            if after_lsn < snapshot_lsn:
+                snapshots = list_snapshots(self.data_dir)
+                if not snapshots:  # pragma: no cover - checkpoint guarantees one
+                    raise DurabilityError("no snapshot available for resync")
+                lsn, path = snapshots[0]
+                reply["snapshot"] = json.loads(path.read_text(encoding="utf-8"))
+                reply["resync"] = True
+                base = lsn
+            scan = read_wal(wal_path(self.data_dir))
+            records = [r.as_dict() for r in scan.records if r.lsn > base]
+            if limit is not None:
+                records = records[:max(0, limit)]
+            reply["records"] = records
+            return reply
 
     # -- introspection -----------------------------------------------------
     def stats(self) -> Dict[str, Any]:

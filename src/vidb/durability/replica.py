@@ -193,12 +193,24 @@ class Replica:
             span.annotate(applied=applied, lag=self.lag())
         return applied
 
-    def _ingest(self, batch: ShipBatch) -> None:
+    def _ingest(self, batch: ShipBatch, *, refetched: bool = False) -> None:
         if batch.resync_db is not None:
             self._db = batch.resync_db
             self._position = batch.resync_lsn
             self._pending = None
             self.resyncs += 1
+        elif batch.records and batch.records[0].lsn > self._position + 1:
+            # LSN gap: the records between our position and this batch
+            # were truncated away by a checkpoint the source missed.
+            # Applying past the gap would silently diverge — only a
+            # snapshot resync can close it, so force one.
+            if refetched:
+                raise ReplicationError(
+                    f"source shipped records starting at LSN "
+                    f"{batch.records[0].lsn} but the replica holds "
+                    f"{self._position} and no snapshot closes the gap")
+            self._ingest(self._source.fetch(-1), refetched=True)
+            return
         for record in batch.records:
             if record.lsn <= self._position:
                 continue

@@ -159,16 +159,30 @@ class WalWriter:
     serialize appends.  ``next_lsn`` seeds the LSN sequence — pass
     ``recovered.last_lsn + 1`` so LSNs never repeat within a data
     directory.
+
+    ``truncate_to`` discards any bytes past that offset before the
+    first append — pass the recovery scan's resume offset so a torn
+    final frame (crash mid-append) is physically removed.  Appending
+    after a torn fragment would otherwise leave a corrupt frame
+    *mid*-log with intact frames after it, which a later
+    :func:`read_wal` must reject wholesale.
     """
 
     def __init__(self, path: Union[str, Path], *,
                  fsync: str = "interval",
                  fsync_interval_s: float = 0.1,
-                 next_lsn: int = 1):
+                 next_lsn: int = 1,
+                 truncate_to: Optional[int] = None):
         if fsync not in FSYNC_POLICIES:
             raise DurabilityError(
                 f"unknown fsync policy {fsync!r} (use one of {FSYNC_POLICIES})")
         self.path = Path(path)
+        if (truncate_to is not None and self.path.exists()
+                and self.path.stat().st_size > truncate_to):
+            with self.path.open("r+b") as f:
+                f.truncate(truncate_to)
+                f.flush()
+                os.fsync(f.fileno())
         self.fsync_policy = fsync
         self.fsync_interval_s = fsync_interval_s
         self._next_lsn = next_lsn

@@ -60,6 +60,24 @@ class TestJournaling:
         assert result.db.get(Oid.entity("ghost")) is None
         assert result.db.entity("a")["name"] == "Ana"
 
+    def test_append_after_torn_tail_stays_recoverable(self, tmp_path):
+        # recover → append → recover: the torn fragment must be cut off
+        # before new frames land, otherwise the second recovery sees a
+        # corrupt frame mid-log and refuses to start.
+        with DurableDatabase(tmp_path, seed=seed_db(), fsync="never") as d:
+            d.db.new_entity("before-crash")
+        with wal_path(tmp_path).open("ab") as f:
+            f.write(b"\x00\x00\x00\x99TORN")  # crash mid-append
+        with DurableDatabase(tmp_path, fsync="never") as d:
+            assert d.recovery.torn
+            d.db.new_entity("after-crash")
+            primary = d.db
+        result = recover(tmp_path)
+        assert not result.torn
+        assert_same_state(primary, result.db)
+        assert result.db.get(Oid.entity("before-crash")) is not None
+        assert result.db.get(Oid.entity("after-crash")) is not None
+
     def test_mutation_after_close_raises(self, tmp_path):
         d = DurableDatabase(tmp_path, fsync="never")
         db = d.db
@@ -137,6 +155,15 @@ class TestShipping:
             reply = d.ship(after_lsn=-1)
             assert reply["resync"] is True
             assert reply["snapshot"]["wal_lsn"] == d.snapshot_lsn
+
+    def test_ship_fsyncs_before_exposing_records(self, tmp_path):
+        # A follower must only ever see durable LSNs: a flushed-but-lost
+        # tail would be reassigned to different mutations after a crash.
+        with DurableDatabase(tmp_path, fsync="never") as d:
+            d.db.new_entity("x")
+            before = d.stats()["wal.syncs"]
+            d.ship(after_lsn=d.snapshot_lsn)
+            assert d.stats()["wal.syncs"] == before + 1
 
     def test_limit_caps_records(self, tmp_path):
         with DurableDatabase(tmp_path, fsync="never") as d:

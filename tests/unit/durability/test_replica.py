@@ -3,7 +3,8 @@
 import pytest
 
 from vidb.durability.durable import DurableDatabase
-from vidb.durability.replica import Replica
+from vidb.durability.replica import Replica, ShipBatch
+from vidb.durability.wal import WalRecord
 from vidb.errors import ReplicationError
 from vidb.model.oid import Oid
 from vidb.storage.database import VideoDatabase
@@ -96,6 +97,59 @@ class TestFileReplica:
                     "replica.records_discarded", "replica.polls",
                     "replica.resyncs"):
             assert key in stats
+
+
+def _rel(lsn, name):
+    return WalRecord(lsn, "declare_relation", {"name": name})
+
+
+class GappySource:
+    """Ships a batch with an LSN gap; serves a resync on ``fetch(-1)``.
+
+    Models the race the durability lock now prevents on the primary: a
+    checkpoint truncating records between the follower's position and
+    the shipped batch.  The replica must notice the gap and force a
+    resync rather than silently skip the truncated records.
+    """
+
+    def __init__(self):
+        self.resync_requests = 0
+
+    def bootstrap(self):
+        return ShipBatch([_rel(1, "r1")], 1)
+
+    def fetch(self, after_lsn):
+        if after_lsn == -1:
+            self.resync_requests += 1
+            db = VideoDatabase("snap")
+            db.declare_relation("r1")
+            db.declare_relation("r2")  # the record the gap would skip
+            return ShipBatch([_rel(4, "r3")], 4, resync_db=db, resync_lsn=3)
+        return ShipBatch([_rel(4, "r3")], 4)  # gap: follower holds LSN 1
+
+
+class StubbornGapSource(GappySource):
+    def fetch(self, after_lsn):  # never closes the gap, even on resync
+        return ShipBatch([_rel(4, "r3")], 4)
+
+
+class TestGapDetection:
+    def test_lsn_gap_forces_resync(self):
+        source = GappySource()
+        replica = Replica(source)
+        assert replica.applied_lsn == 1
+        replica.poll()
+        assert source.resync_requests == 1
+        assert replica.resyncs == 1
+        assert replica.applied_lsn == 4
+        assert replica.lag() == 0
+        # the truncated record arrived via the snapshot, not skipped
+        assert replica.db.relation_names() >= {"r1", "r2", "r3"}
+
+    def test_unclosable_gap_raises(self):
+        replica = Replica(StubbornGapSource())
+        with pytest.raises(ReplicationError):
+            replica.poll()
 
 
 class TestServerReplica:

@@ -146,6 +146,26 @@ class TestFaultTolerance:
         with pytest.raises(WalCorruptionError):
             read_wal(wal)
 
+    def test_truncate_to_cuts_torn_tail_before_appending(self, wal):
+        write_records(wal, 2)
+        good = wal.stat().st_size
+        with wal.open("ab") as f:
+            f.write(struct.pack(">II", 500, 0) + b"short")  # torn frame
+        with WalWriter(wal, fsync="never", next_lsn=3,
+                       truncate_to=good) as writer:
+            writer.append("add", {"i": 2})
+        result = read_wal(wal)  # would raise mid-log corruption untruncated
+        assert [r.lsn for r in result.records] == [1, 2, 3]
+        assert not result.torn
+
+    def test_truncate_to_full_size_is_a_noop(self, wal):
+        write_records(wal, 2)
+        size = wal.stat().st_size
+        with WalWriter(wal, fsync="never", next_lsn=3, truncate_to=size):
+            pass
+        assert wal.stat().st_size == size
+        assert len(read_wal(wal).records) == 2
+
     def test_resume_from_offset(self, wal):
         write_records(wal, 2)
         first_scan = read_wal(wal)
