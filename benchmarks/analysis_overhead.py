@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""CI smoke check: prepare-time analysis must be (nearly) free when warm.
+
+The analyzer acceptance bound says running the static analyzer on every
+``QueryEngine.execute`` may cost a clean program's *warm* path (analysis
+cached) less than 5%.  This script measures it directly:
+
+1. time a representative join query with analysis disabled
+   (``ExecutionOptions(analyze=False)``);
+2. time the same query with analysis on, after one warm-up execution so
+   the per-(program, query) cache entry exists;
+3. assert the warm analyzed path costs < 5% over the disabled path, and
+   that the cache actually served the repeats (hits grow, misses don't).
+
+Run as::
+
+    PYTHONPATH=src python benchmarks/analysis_overhead.py
+"""
+
+import sys
+import time
+
+from vidb.query.engine import QueryEngine
+from vidb.query.execution import ExecutionOptions
+from vidb.workloads.generator import WorkloadConfig, random_database
+
+QUERY = ("?- interval(G1), interval(G2), object(O), "
+         "O in G1.entities, O in G2.entities.")
+OVERHEAD_BUDGET = 0.05   # the acceptance bound: <5% on the warm path
+REPEAT = 5
+
+
+def best_of(fn, repeat=REPEAT, inner=1):
+    best = float("inf")
+    for __ in range(repeat):
+        start = time.perf_counter()
+        for __ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return best
+
+
+def main():
+    db = random_database(WorkloadConfig(
+        entities=100, intervals=200, facts=200, seed=102))
+    engine = QueryEngine(db, use_stdlib_rules=True)
+    off = ExecutionOptions(analyze=False)
+    on = ExecutionOptions(analyze=True)
+
+    engine.execute(QUERY, on)   # warm: fixpoint caches + analysis cache
+    engine.execute(QUERY, off)
+
+    disabled_s = best_of(lambda: engine.execute(QUERY, off))
+    misses_before = engine._analyzer.misses
+    hits_before = engine._analyzer.hits
+    analyzed_s = best_of(lambda: engine.execute(QUERY, on))
+
+    overhead = analyzed_s / disabled_s - 1.0
+    served_from_cache = (engine._analyzer.misses == misses_before
+                         and engine._analyzer.hits > hits_before)
+
+    print(f"analysis off:       {disabled_s * 1e3:9.3f} ms")
+    print(f"analysis on (warm): {analyzed_s * 1e3:9.3f} ms")
+    print(f"warm overhead:      {overhead * 100:9.3f} %  "
+          f"(budget {OVERHEAD_BUDGET * 100:.0f}%)")
+    print(f"cache hits/misses:  {engine._analyzer.hits}/"
+          f"{engine._analyzer.misses}")
+
+    failures = []
+    if overhead >= OVERHEAD_BUDGET:
+        failures.append(
+            f"warm analysis overhead {overhead * 100:.2f}% "
+            f">= {OVERHEAD_BUDGET * 100:.0f}% budget")
+    if not served_from_cache:
+        failures.append("analysis cache did not serve the warm repeats")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("ok: warm-path analysis is within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""File-level linting: parse a rule/query document, analyze, report.
+
+This is the shared backend of the ``vidb lint`` CLI command and the
+service server's ``lint`` op.  Unlike the engine's prepare-time analysis
+it defaults to an **open world** — a standalone file may legitimately
+reference database relations (``in``, ``before``, ...) that only exist
+at serve time — so undefined predicates are warnings unless a database
+is supplied.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from vidb.analysis.analyzer import analyze
+from vidb.analysis.diagnostics import AnalysisResult, make
+from vidb.errors import ParseError, QueryError
+from vidb.query.ast import SourceSpan
+from vidb.query.parser import parse_document
+
+
+def lint_text(text: str, *, edb: Iterable[str] = (),
+              computed: Optional[Dict[str, int]] = None,
+              extra: Optional[Dict[str, Optional[int]]] = None,
+              closed_world: bool = False) -> AnalysisResult:
+    """Lint one source document (rules and ``?-`` queries interleaved).
+
+    Parse failures become ``VDB001`` diagnostics instead of exceptions,
+    so a lint run always yields a result.
+    """
+    try:
+        program, queries = parse_document(text)
+    except ParseError as exc:
+        span = SourceSpan(exc.line, exc.column) if exc.line else None
+        return AnalysisResult((make("VDB001", str(exc), span=span),))
+    except QueryError as exc:
+        # A structurally invalid construct the AST layer rejected.
+        return AnalysisResult((make("VDB001", str(exc)),))
+    return analyze(program, queries, edb=edb, computed=computed,
+                   extra=extra, closed_world=closed_world)
+
+
+def lint_file(path: str, *, edb: Iterable[str] = (),
+              computed: Optional[Dict[str, int]] = None,
+              extra: Optional[Dict[str, Optional[int]]] = None,
+              closed_world: bool = False) -> AnalysisResult:
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return lint_text(text, edb=edb, computed=computed, extra=extra,
+                     closed_world=closed_world)
+
+
+def summarize(result: AnalysisResult) -> str:
+    """``2 errors, 1 warning`` — the trailing human summary line."""
+    parts: List[str] = []
+    for label, group in (("error", result.errors),
+                         ("warning", result.warnings),
+                         ("info", result.infos)):
+        count = len(group)
+        if count:
+            plural = "" if count == 1 else "s"
+            parts.append(f"{count} {label}{plural}")
+    return ", ".join(parts) if parts else "clean"
+
+
+def exit_code(result: AnalysisResult, strict: bool = False) -> int:
+    """The ``vidb lint`` exit-code contract: 0 clean, 1 warnings under
+    ``--strict``, 2 errors."""
+    if result.has_errors:
+        return 2
+    if strict and result.warnings:
+        return 1
+    return 0

@@ -1,0 +1,216 @@
+"""Abstraction of rule bodies into the two decidable constraint theories.
+
+The analyzer asks the existing solvers whether a rule body can ever be
+satisfied.  To do that soundly it maps body constraint atoms into
+
+* dense-order formulas over :class:`vidb.constraints.terms.Var`
+  (comparison atoms and ground entailments), and
+* set-order atoms over :class:`vidb.constraints.setorder.SetVar`
+  (membership and subset atoms),
+
+using one abstract variable per rule variable and per attribute path.
+Atoms the abstraction cannot represent faithfully (symbols whose value
+depends on the database, variable set elements, path-valued entailments)
+are **dropped**, which only ever weakens the conjunction.  That keeps the
+analysis sound: if the abstraction is unsatisfiable, the concrete body is
+too, so "dead rule" findings are never false positives.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple, Union
+
+from vidb.constraints import solver
+from vidb.constraints.dense import Comparison, Constraint, conjoin, fold_ground
+from vidb.constraints.setorder import (
+    Member,
+    SetAtom,
+    SetConjunction,
+    SetVar,
+    SubsetVar,
+    SupersetConst,
+)
+from vidb.constraints.terms import Var
+from vidb.errors import ConstraintError
+from vidb.model.oid import Oid
+from vidb.query.ast import (
+    AttrPath,
+    BodyItem,
+    ComparisonAtom,
+    EntailmentAtom,
+    MembershipAtom,
+    SubsetAtom,
+    Symbol,
+    Variable,
+)
+
+_NUMERIC = (int, float, Fraction)
+
+
+def path_key(path: AttrPath) -> str:
+    """A stable abstract-variable name for an attribute path.
+
+    Rule variable names cannot contain dots, so ``X`` and ``X.attr``
+    never collide.
+    """
+    subject = path.subject
+    if isinstance(subject, (Variable, Symbol)):
+        base = subject.name
+    else:  # Oid
+        base = f"<{subject.kind}:{subject.name}>"
+    return f"{base}.{path.attr}"
+
+
+def dense_side(side: Union[AttrPath, object]) -> Optional[Union[Var, int, float, Fraction, str]]:
+    """Map one comparison side to a dense term, or None when unmappable.
+
+    Symbols and oids resolve against the database at runtime, so their
+    dense value is unknown statically; atoms mentioning them are skipped.
+    """
+    if isinstance(side, AttrPath):
+        return Var(path_key(side))
+    if isinstance(side, Variable):
+        return Var(side.name)
+    if isinstance(side, bool):
+        return None
+    if isinstance(side, _NUMERIC) or isinstance(side, str):
+        return side
+    return None
+
+
+def dense_atom(item: ComparisonAtom) -> Optional[Constraint]:
+    """The dense-order image of a comparison atom, or None when skipped."""
+    left = dense_side(item.left)
+    right = dense_side(item.right)
+    if left is None or right is None:
+        return None
+    try:
+        if not isinstance(left, Var) and not isinstance(right, Var):
+            return fold_ground(left, item.op, right)
+        return Comparison(left, item.op, right)
+    except ConstraintError:
+        return None
+
+
+def _inline_rule_variables(constraint: Constraint) -> bool:
+    """Does an inline constraint mention rule variables (uppercase)?"""
+    return any(var.name[:1].isupper() for var in constraint.variables())
+
+
+def entailment_truth(item: EntailmentAtom) -> Optional[bool]:
+    """Statically decide an entailment atom, when both sides are ground
+    inline constraints (no rule variables, no attribute paths)."""
+    left, right = item.left, item.right
+    if not isinstance(left, Constraint) or not isinstance(right, Constraint):
+        return None
+    if _inline_rule_variables(left) or _inline_rule_variables(right):
+        return None
+    try:
+        return solver.entails(left, right)
+    except ConstraintError:
+        return None
+
+
+def entailment_rhs_unsatisfiable(item: EntailmentAtom) -> bool:
+    """True when the atom's right side is an inline constraint that no
+    assignment satisfies: the atom then only holds for subjects whose own
+    constraint is already unsatisfiable — almost certainly a typo."""
+    right = item.right
+    if not isinstance(right, Constraint) or _inline_rule_variables(right):
+        return False
+    if not isinstance(item.left, AttrPath):
+        return False  # the ground-ground case is decided exactly instead
+    try:
+        return not solver.satisfiable(right)
+    except ConstraintError:
+        return False
+
+
+def set_element_key(term: object) -> Optional[object]:
+    """The abstract element a ground set member denotes, or None.
+
+    Symbols and oids are keyed by *name*: distinct names may still denote
+    the same runtime value (a symbol resolves to an oid or a bare
+    string), so collapsing by name only merges abstract elements — which
+    weakens lower bounds and can never manufacture an unsatisfiable or
+    entailed conjunction that the concrete body lacks.
+    """
+    if isinstance(term, Symbol):
+        return term.name
+    if isinstance(term, Oid):
+        return term.name
+    if isinstance(term, bool):
+        return None
+    if isinstance(term, _NUMERIC) or isinstance(term, str):
+        return term
+    return None  # Variables: the element is unconstrained statically
+
+
+def set_atom(item: BodyItem) -> Optional[SetAtom]:
+    """The set-order image of a membership/subset atom, or None."""
+    if isinstance(item, MembershipAtom):
+        key = set_element_key(item.element)
+        if key is None:
+            return None
+        return Member(key, SetVar(path_key(item.collection)))
+    if isinstance(item, SubsetAtom):
+        superset = SetVar(path_key(item.superset))
+        if isinstance(item.subset, AttrPath):
+            return SubsetVar(SetVar(path_key(item.subset)), superset)
+        keys = [set_element_key(term) for term in item.subset]
+        ground = [key for key in keys if key is not None]
+        if not ground:
+            return None
+        return SupersetConst(ground, superset)
+    return None
+
+
+def abstract_body(body: Sequence[BodyItem]) -> Tuple[
+        List[Tuple[BodyItem, Constraint]],
+        List[Tuple[BodyItem, SetAtom]],
+        List[Tuple[EntailmentAtom, bool]]]:
+    """Abstract a rule/query body into the two theories.
+
+    Returns ``(dense, sets, entailments)`` where *dense* maps comparison
+    atoms to their dense-order images, *sets* maps membership/subset
+    atoms to set-order images, and *entailments* lists the entailment
+    atoms that could be decided statically with their truth value.
+    """
+    dense: List[Tuple[BodyItem, Constraint]] = []
+    sets: List[Tuple[BodyItem, SetAtom]] = []
+    entailments: List[Tuple[EntailmentAtom, bool]] = []
+    for item in body:
+        if isinstance(item, ComparisonAtom):
+            image = dense_atom(item)
+            if image is not None:
+                dense.append((item, image))
+        elif isinstance(item, (MembershipAtom, SubsetAtom)):
+            image = set_atom(item)
+            if image is not None:
+                sets.append((item, image))
+        elif isinstance(item, EntailmentAtom):
+            truth = entailment_truth(item)
+            if truth is not None:
+                entailments.append((item, truth))
+    return dense, sets, entailments
+
+
+def dense_satisfiable(images: Sequence[Constraint]) -> bool:
+    """Satisfiability of the conjoined dense images (True when unknown)."""
+    if not images:
+        return True
+    try:
+        return solver.satisfiable(conjoin(*images))
+    except ConstraintError:
+        return True  # mixed domains the solver rejects: stay sound
+
+
+def set_satisfiable(atoms: Sequence[SetAtom]) -> bool:
+    """Satisfiability of the conjoined set-order images (True when unknown)."""
+    if not atoms:
+        return True
+    try:
+        return SetConjunction(atoms).satisfiable()
+    except ConstraintError:
+        return True

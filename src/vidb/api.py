@@ -21,7 +21,7 @@ service layer and the CLI.
 from __future__ import annotations
 
 import os
-from typing import Iterable, Optional, Union
+from typing import Iterable, Union
 
 from vidb.query.ast import Program, Rule
 from vidb.query.engine import QueryEngine

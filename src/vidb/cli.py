@@ -7,6 +7,7 @@ Commands::
     vidb query rope.json "?- ..."        evaluate a query, print the answers
     vidb facts rope.json contains -r f   materialise rules, print a relation
     vidb explain rope.json "?- ..."      print derivation trees
+    vidb lint rules.vdb                  static analysis: VDB0xx diagnostics
     vidb edl rope.json "?- ..." G        compile interval answers to an EDL
     vidb serve rope.json --port 7421     run the JSON-lines query server
     vidb serve --data-dir state          serve durably (WAL + snapshots)
@@ -17,7 +18,8 @@ Commands::
 Exit status 0 on success, 2 on a user-input error (bad query syntax,
 model violations, missing files — plus argparse's own usage errors),
 1 on any other vidb error.  Errors print as a one-line message on
-stderr, never a traceback.
+stderr, never a traceback.  ``lint`` has its own contract: 0 clean,
+1 warnings under ``--strict``, 2 errors.
 
 ``main()`` takes an ``argv`` list and returns the exit status, so the CLI
 is fully testable in-process; the console entry point wraps it.
@@ -82,6 +84,19 @@ def _build_parser() -> argparse.ArgumentParser:
     explain.add_argument("database")
     explain.add_argument("query")
     _common_engine_flags(explain)
+
+    lint = sub.add_parser(
+        "lint", help="statically analyze rule/query files (no evaluation)")
+    lint.add_argument("files", nargs="+", metavar="FILE",
+                      help="rule/query document(s) to analyze")
+    lint.add_argument("--database", "-d", default=None,
+                      help="snapshot whose relations count as defined; "
+                           "makes undefined predicates errors "
+                           "(closed world) instead of warnings")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit 1 when warnings were found")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit diagnostics as one JSON object")
 
     edl = sub.add_parser("edl", help="compile interval answers into an EDL")
     edl.add_argument("database")
@@ -269,6 +284,40 @@ def _cmd_explain(args) -> int:
         print()
     print(f"{len(derivations)} derivation(s)")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    import json
+
+    from vidb.analysis import exit_code, lint_file, summarize
+    from vidb.query import stdlib
+
+    computed = {name: arity
+                for name, (arity, _) in stdlib.computed_predicates().items()}
+    edb: frozenset = frozenset()
+    closed_world = False
+    if args.database is not None:
+        db = _load(args.database)
+        edb = db.relation_names()
+        closed_world = True
+    worst = 0
+    payload = {}
+    for path in args.files:
+        if not Path(path).exists():
+            raise FileNotFoundError(f"no such file: {path}")
+        result = lint_file(path, edb=edb, computed=computed,
+                           closed_world=closed_world)
+        worst = max(worst, exit_code(result, strict=args.strict))
+        if args.as_json:
+            payload[path] = {"diagnostics": list(result.as_dicts()),
+                             "summary": summarize(result)}
+        else:
+            for diagnostic in result.diagnostics:
+                print(diagnostic.render(path))
+            print(f"{path}: {summarize(result)}")
+    if args.as_json:
+        print(json.dumps({"files": payload, "exit": worst}, indent=2))
+    return worst
 
 
 def _cmd_edl(args) -> int:
@@ -520,6 +569,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "facts": _cmd_facts,
     "explain": _cmd_explain,
+    "lint": _cmd_lint,
     "edl": _cmd_edl,
     "analytics": _cmd_analytics,
     "timeline": _cmd_timeline,

@@ -188,7 +188,7 @@ class Comparison(Constraint):
             out.add(self.right)
         return frozenset(out)
 
-    def negate(self) -> Constraint:
+    def negate(self) -> "Comparison":
         return Comparison(self.left, negate_op(self.op), self.right)
 
     def substitute(self, binding: Dict[Var, Term]) -> Constraint:

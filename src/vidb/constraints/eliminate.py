@@ -41,7 +41,6 @@ from vidb.constraints.dense import (
     fold_ground,
 )
 from vidb.constraints.terms import ConstantValue, Var
-from vidb.errors import ConstraintError
 
 Term = Union[Var, ConstantValue]
 

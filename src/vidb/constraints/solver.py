@@ -34,7 +34,6 @@ from vidb.constraints.dense import (
     TRUE,
     Comparison,
     Constraint,
-    Or,
     conjoin,
     disjoin,
 )
@@ -496,7 +495,7 @@ def equivalent(c1: Constraint, c2: Constraint) -> bool:
 
 def implied_by_clause(clause: Sequence[Comparison], atom: Comparison) -> bool:
     """Does the conjunction *clause* entail the single *atom*?"""
-    return not clause_satisfiable(list(clause) + [atom.negate()])  # type: ignore[list-item]
+    return not clause_satisfiable(list(clause) + [atom.negate()])
 
 
 def simplify(constraint: Constraint) -> Constraint:

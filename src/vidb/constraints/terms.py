@@ -98,11 +98,11 @@ def is_numeric(value: object) -> bool:
 
 def check_constant(value: object) -> ConstantValue:
     """Validate *value* as a constraint constant and return it unchanged."""
-    if isinstance(value, bool) or not is_constant(value):
+    if isinstance(value, bool) or not isinstance(value, (int, float, Fraction, str)):
         raise ConstraintError(
             f"unsupported constant {value!r}; expected int, float, Fraction or str"
         )
-    return value  # type: ignore[return-value]
+    return value
 
 
 def constants_comparable(a: ConstantValue, b: ConstantValue) -> bool:
@@ -116,8 +116,10 @@ def compare_constants(a: ConstantValue, b: ConstantValue) -> int:
     Returns -1, 0 or 1.  Raises :class:`ConstraintError` when the constants
     are not order-comparable (e.g. a number against a string).
     """
-    if not constants_comparable(a, b):
-        raise ConstraintError(f"constants {a!r} and {b!r} are not order-comparable")
-    if a == b:
-        return 0
-    return -1 if a < b else 1  # type: ignore[operator]
+    if isinstance(a, str) and isinstance(b, str):
+        return (a > b) - (a < b)
+    if (isinstance(a, (int, float, Fraction)) and not isinstance(a, bool)
+            and isinstance(b, (int, float, Fraction))
+            and not isinstance(b, bool)):
+        return (a > b) - (a < b)
+    raise ConstraintError(f"constants {a!r} and {b!r} are not order-comparable")

@@ -129,7 +129,7 @@ def _load_latest_snapshot(data_dir: Union[str, Path], default_name: str
                           ) -> Tuple[VideoDatabase, int, Optional[Path],
                                      List[Tuple[Path, str]]]:
     skipped: List[Tuple[Path, str]] = []
-    for lsn, path in list_snapshots(data_dir):
+    for _lsn, path in list_snapshots(data_dir):
         try:
             db, covered = load_snapshot(path)
             return db, covered, path, skipped

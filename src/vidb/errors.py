@@ -130,7 +130,37 @@ class SafetyError(QueryError):
     The paper requires rules to be *range-restricted* (Definition 11): every
     variable of a rule must occur in a positive body literal.  It also
     restricts constructive ``++`` terms to rule heads.
+
+    Attributes
+    ----------
+    kind:
+        Machine-readable failure class: ``"range"``, ``"redefine"``,
+        ``"arity"``, ``"constructive"`` or ``"stratify"`` (``None`` for
+        ad-hoc failures).
+    rule_index, rule_name, predicate:
+        Position of the offending rule in its program (0-based), the
+        rule's optional name, and the predicate involved — attached so
+        failures are actionable without a debugger.
     """
+
+    def __init__(self, message: str, *, kind: "str | None" = None,
+                 rule_index: "int | None" = None,
+                 rule_name: "str | None" = None,
+                 predicate: "str | None" = None):
+        where = []
+        if predicate is not None:
+            where.append(f"predicate {predicate!r}")
+        if rule_name is not None:
+            where.append(f"rule {rule_name!r}")
+        elif rule_index is not None:
+            where.append(f"rule #{rule_index}")
+        if where:
+            message = f"{message} [{', '.join(where)}]"
+        super().__init__(message)
+        self.kind = kind
+        self.rule_index = rule_index
+        self.rule_name = rule_name
+        self.predicate = predicate
 
 
 class EvaluationError(QueryError):

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Hashable
 
 from vidb.intervals.generalized import GeneralizedInterval
-from vidb.intervals.interval import Interval, Number
+from vidb.intervals.interval import Number
 
 Descriptor = Hashable
 

@@ -15,7 +15,7 @@ indexing layer to the query language.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Set
+from typing import Dict, FrozenSet
 
 from vidb.indexing.base import AnnotationStore, Descriptor
 from vidb.intervals.generalized import GeneralizedInterval
@@ -77,7 +77,7 @@ def to_database(index: GeneralizedIntervalIndex,
     picture, one interval object per object of interest.
     """
     db = VideoDatabase(name)
-    for position, descriptor in enumerate(sorted(index.descriptors(), key=str)):
+    for descriptor in sorted(index.descriptors(), key=str):
         label = str(descriptor)
         entity = db.new_entity(f"o_{label}", label=label)
         db.new_interval(

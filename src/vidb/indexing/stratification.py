@@ -11,7 +11,7 @@ close).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Tuple
 
 from vidb.indexing.base import AnnotationStore, Descriptor
 from vidb.intervals.generalized import GeneralizedInterval

@@ -92,9 +92,10 @@ class VideoObject:
 
     # -- value semantics ----------------------------------------------------
     def __eq__(self, other: object) -> bool:
-        return (type(self) is type(other)
-                and self.oid == other.oid
-                and self._attributes == other._attributes)  # type: ignore[union-attr]
+        if not isinstance(other, VideoObject) or type(self) is not type(other):
+            return False
+        return (self.oid == other.oid
+                and self._attributes == other._attributes)
 
     def __hash__(self) -> int:
         return hash((type(self).__name__, self.oid,

@@ -20,10 +20,11 @@ All AST nodes are immutable value objects.
 from __future__ import annotations
 
 import re
+from fractions import Fraction
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from vidb.constraints.dense import Constraint
-from vidb.constraints.terms import ConstantValue, is_constant
+from vidb.constraints.terms import ConstantValue
 from vidb.errors import QueryError
 from vidb.model.oid import Oid
 
@@ -37,17 +38,57 @@ ANYOBJECT_PRED = "anyobject"
 CLASS_PREDICATES = frozenset({INTERVAL_PRED, OBJECT_PRED, ANYOBJECT_PRED})
 
 
+class SourceSpan:
+    """A 1-based (line, column) position in the source text.
+
+    Spans are carried on AST nodes as an optional annotation: the parser
+    fills them in, programmatic construction leaves them ``None``.  They
+    never participate in equality or hashing, so two occurrences of the
+    same variable still compare equal.
+    """
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int, column: int):
+        self.line = int(line)
+        self.column = int(column)
+
+    def as_dict(self) -> dict:
+        return {"line": self.line, "column": self.column}
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, SourceSpan) and self.line == other.line
+                and self.column == other.column)
+
+    def __hash__(self) -> int:
+        return hash(("SourceSpan", self.line, self.column))
+
+    def __repr__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+def spanned(node, span: Optional[SourceSpan]):
+    """Attach ``span`` to ``node`` (if the node supports one) and return it."""
+    if span is not None:
+        try:
+            node.span = span
+        except (AttributeError, TypeError):
+            pass  # plain constants carry no span
+    return node
+
+
 class Variable:
     """A rule variable.  The paper splits variables into object/value
     variables (X, Y, ...) and generalized-interval variables (S, T, ...);
     vidb keeps one class and lets the class predicates do the sorting."""
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "span")
 
     def __init__(self, name: str):
         if not _IDENT_RE.match(name or ""):
             raise QueryError(f"invalid variable name {name!r}")
         self.name = name
+        self.span: Optional[SourceSpan] = None
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Variable) and self.name == other.name
@@ -64,12 +105,13 @@ class Symbol:
     evaluation time: an entity oid if one matches, else an interval oid,
     else the bare string."""
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "span")
 
     def __init__(self, name: str):
         if not _IDENT_RE.match(name or ""):
             raise QueryError(f"invalid symbol {name!r}")
         self.name = name
+        self.span: Optional[SourceSpan] = None
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Symbol) and self.name == other.name
@@ -84,7 +126,7 @@ class Symbol:
 class ConcatTerm:
     """A constructive term ``left ++ right`` (head positions only)."""
 
-    __slots__ = ("left", "right")
+    __slots__ = ("left", "right", "span")
 
     def __init__(self, left: "Term", right: "Term"):
         for operand in (left, right):
@@ -98,6 +140,7 @@ class ConcatTerm:
             )
         self.left = left
         self.right = right
+        self.span: Optional[SourceSpan] = None
 
     def variables(self) -> FrozenSet[Variable]:
         out: Set[Variable] = set()
@@ -134,15 +177,15 @@ def term_variables(term: Term) -> FrozenSet[Variable]:
 def check_term(term: object) -> Term:
     if isinstance(term, (Variable, Symbol, Oid, ConcatTerm)):
         return term
-    if is_constant(term):
-        return term  # type: ignore[return-value]
+    if isinstance(term, (int, float, Fraction, str)):
+        return term
     raise QueryError(f"{term!r} is not a valid term")
 
 
 class AttrPath:
     """An attribute access ``subject.attr`` (``G.entities``, ``O.name``)."""
 
-    __slots__ = ("subject", "attr")
+    __slots__ = ("subject", "attr", "span")
 
     def __init__(self, subject: Union[Variable, Symbol, Oid], attr: str):
         if not isinstance(subject, (Variable, Symbol, Oid)):
@@ -152,6 +195,7 @@ class AttrPath:
             raise QueryError(f"invalid attribute name {attr!r}")
         self.subject = subject
         self.attr = attr
+        self.span: Optional[SourceSpan] = None
 
     def variables(self) -> FrozenSet[Variable]:
         return term_variables(self.subject)
@@ -181,7 +225,7 @@ class Literal(BodyItem):
     range-restriction counts occurrences in body literals exclusively.
     """
 
-    __slots__ = ("predicate", "args")
+    __slots__ = ("predicate", "args", "span")
 
     def __init__(self, predicate: str, args: Iterable[Term]):
         if not _IDENT_RE.match(predicate or "") or predicate[0].isupper():
@@ -192,6 +236,7 @@ class Literal(BodyItem):
         self.args: Tuple[Term, ...] = tuple(check_term(a) for a in args)
         if not self.args:
             raise QueryError(f"literal {predicate!r} needs at least one argument")
+        self.span: Optional[SourceSpan] = None
 
     @property
     def arity(self) -> int:
@@ -228,7 +273,7 @@ class NegatedLiteral(BodyItem):
     (checked by :func:`vidb.query.safety.stratify_with_negation`).
     """
 
-    __slots__ = ("literal",)
+    __slots__ = ("literal", "span")
 
     def __init__(self, literal: Literal):
         if not isinstance(literal, Literal):
@@ -236,6 +281,7 @@ class NegatedLiteral(BodyItem):
         if literal.has_concat():
             raise QueryError("constructive terms cannot appear under negation")
         self.literal = literal
+        self.span: Optional[SourceSpan] = None
 
     @property
     def predicate(self) -> str:
@@ -257,7 +303,7 @@ class NegatedLiteral(BodyItem):
 class MembershipAtom(BodyItem):
     """``element in collection`` where collection is an attribute path."""
 
-    __slots__ = ("element", "collection")
+    __slots__ = ("element", "collection", "span")
 
     def __init__(self, element: Term, collection: AttrPath):
         self.element = check_term(element)
@@ -266,6 +312,7 @@ class MembershipAtom(BodyItem):
         if not isinstance(collection, AttrPath):
             raise QueryError(f"membership needs an attribute path, got {collection!r}")
         self.collection = collection
+        self.span: Optional[SourceSpan] = None
 
     def variables(self) -> FrozenSet[Variable]:
         return term_variables(self.element) | self.collection.variables()
@@ -284,7 +331,7 @@ class MembershipAtom(BodyItem):
 class SubsetAtom(BodyItem):
     """``{t1, ..., tk} subset path`` or ``path subset path``."""
 
-    __slots__ = ("subset", "superset")
+    __slots__ = ("subset", "superset", "span")
 
     def __init__(self, subset: Union[Tuple[Term, ...], AttrPath],
                  superset: AttrPath):
@@ -298,6 +345,7 @@ class SubsetAtom(BodyItem):
         if not isinstance(superset, AttrPath):
             raise QueryError(f"subset needs an attribute path on the right, got {superset!r}")
         self.superset = superset
+        self.span: Optional[SourceSpan] = None
 
     def variables(self) -> FrozenSet[Variable]:
         out: Set[Variable] = set(self.superset.variables())
@@ -331,7 +379,7 @@ class ComparisonAtom(BodyItem):
     be bound by body literals.
     """
 
-    __slots__ = ("left", "op", "right")
+    __slots__ = ("left", "op", "right", "span")
 
     _OPS = ("=", "!=", "<", "<=", ">", ">=")
 
@@ -345,6 +393,7 @@ class ComparisonAtom(BodyItem):
         self.left = left if isinstance(left, AttrPath) else check_term(left)
         self.op = op
         self.right = right if isinstance(right, AttrPath) else check_term(right)
+        self.span: Optional[SourceSpan] = None
 
     def variables(self) -> FrozenSet[Variable]:
         out: Set[Variable] = set()
@@ -375,7 +424,7 @@ class EntailmentAtom(BodyItem):
     substituted with their bound values before the entailment check.
     """
 
-    __slots__ = ("left", "right")
+    __slots__ = ("left", "right", "span")
 
     def __init__(self, left: Union[AttrPath, Constraint],
                  right: Union[AttrPath, Constraint]):
@@ -387,6 +436,7 @@ class EntailmentAtom(BodyItem):
                 )
         self.left = left
         self.right = right
+        self.span: Optional[SourceSpan] = None
 
     def variables(self) -> FrozenSet[Variable]:
         out: Set[Variable] = set()
@@ -418,7 +468,7 @@ ConstraintAtom = (MembershipAtom, SubsetAtom, ComparisonAtom, EntailmentAtom)
 class Rule:
     """``head :- body`` (Definition 10), optionally named."""
 
-    __slots__ = ("head", "body", "name")
+    __slots__ = ("head", "body", "name", "span")
 
     def __init__(self, head: Literal, body: Sequence[BodyItem] = (),
                  name: Optional[str] = None):
@@ -435,6 +485,7 @@ class Rule:
                     f"(offending literal: {item!r})"
                 )
         self.name = name
+        self.span: Optional[SourceSpan] = None
 
     @property
     def is_fact(self) -> bool:
@@ -515,7 +566,7 @@ class Query:
     occurrence (or an explicit projection, when given).
     """
 
-    __slots__ = ("body", "answer_variables")
+    __slots__ = ("body", "answer_variables", "span")
 
     def __init__(self, body: Sequence[BodyItem],
                  answer_variables: Optional[Sequence[Variable]] = None):
@@ -534,6 +585,7 @@ class Query:
                             seen.append(arg)
             answer_variables = seen
         self.answer_variables: Tuple[Variable, ...] = tuple(answer_variables)
+        self.span: Optional[SourceSpan] = None
 
     def __repr__(self) -> str:
         inner = ", ".join(map(repr, self.body))

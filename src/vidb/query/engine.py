@@ -33,7 +33,9 @@ from typing import (
     Union,
 )
 
-from vidb.errors import QueryError
+from vidb.analysis.analyzer import ProgramAnalyzer
+from vidb.analysis.diagnostics import Diagnostic
+from vidb.errors import QueryError, SafetyError, UnknownPredicateError
 from vidb.model.oid import Oid
 from vidb.obs.tracer import NULL_TRACER, Tracer, activate
 from vidb.query import stdlib
@@ -223,7 +225,8 @@ class QueryEngine:
                  extended_domain: str = "lazy",
                  max_objects: int = 50_000,
                  reorder_joins: bool = True,
-                 prune_rules: bool = True):
+                 prune_rules: bool = True,
+                 analyze: bool = True):
         self.db = db
         self.mode = mode
         self.extended_domain = extended_domain
@@ -233,6 +236,11 @@ class QueryEngine:
         #: per-query pruning of rules unreachable from the query goals.
         self.reorder_joins = reorder_joins
         self.prune_rules = prune_rules
+        #: Prepare-time static analysis (warnings on the report, errors
+        #: raised before the fixpoint); results are cached per program
+        #: fingerprint + normalized query, so the warm path is a lookup.
+        self.analyze = analyze
+        self._analyzer = ProgramAnalyzer()
         self.program = Program()
         self.computed: Dict[str, Tuple[int, ComputedPredicate]] = (
             stdlib.computed_predicates()
@@ -307,6 +315,14 @@ class QueryEngine:
                     query = parse_query(query)
             with stage("safety"):
                 check_query(query)
+            prune = (self.prune_rules if options.prune_rules is None
+                     else options.prune_rules)
+            diagnostics: Tuple[Diagnostic, ...] = ()
+            analyze = (self.analyze if options.analyze is None
+                       else options.analyze)
+            with stage("analyze"):
+                if analyze:
+                    diagnostics = self._prepare_analysis(query, prune)
             answer_vars = query.answer_variables
             if answer_vars:
                 head = Literal(ANSWER_PREDICATE, list(answer_vars))
@@ -314,8 +330,6 @@ class QueryEngine:
                 # Boolean query: project an arbitrary constant.
                 head = Literal(ANSWER_PREDICATE, [0])
             anonymous = Rule(head, query.body, name="query")
-            prune = (self.prune_rules if options.prune_rules is None
-                     else options.prune_rules)
             with stage("prune"):
                 base = self.program
                 if prune:
@@ -344,7 +358,41 @@ class QueryEngine:
             answers=answers, stats=stats, options=options,
             trace=tracer.root() if options.trace else None,
             aggregates=dict(tracer.aggregates) if options.trace else {},
+            diagnostics=diagnostics,
         )
+
+    def _prepare_analysis(self, query: Query,
+                          prune: bool) -> Tuple[Diagnostic, ...]:
+        """Prepare-time static analysis for one query.
+
+        Raises on blocking errors (so broken queries fail before the
+        fixpoint spends any time) and returns the remaining diagnostics
+        for the report.  An error that lives inside a rule the evaluation
+        will prune away does not block — the fixpoint would never have
+        reached it — but is still surfaced as a diagnostic.
+        """
+        try:
+            analysis = self._analyzer.analyze(
+                self.program, query,
+                edb=self.db.relation_names(),
+                computed={name: arity
+                          for name, (arity, _) in self.computed.items()},
+            )
+        except Exception:
+            # The analyzer is advisory infrastructure: a defect in it must
+            # never take down query execution.
+            return ()
+        rules = self.program.rules
+        reachable = analysis.reachable
+        for diag in analysis.errors:
+            if diag.rule_index is not None and prune and reachable is not None:
+                if (diag.rule_index < len(rules) and
+                        rules[diag.rule_index].head.predicate not in reachable):
+                    continue
+            if diag.code == "VDB006":
+                raise UnknownPredicateError(diag.message)
+            raise SafetyError(diag.message)
+        return analysis.diagnostics
 
     def query(self, query: Union[str, Query],
               provenance: Optional[Dict] = None) -> AnswerSet:

@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from vidb.errors import EvaluationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from vidb.analysis.diagnostics import Diagnostic
     from vidb.obs.tracer import Span
     from vidb.query.engine import AnswerSet
     from vidb.query.fixpoint import EvaluationStats
@@ -46,6 +47,11 @@ class ExecutionOptions:
     provenance:
         Optional dict filled with ``fact -> (rule, binding)`` for
         ``explain()``-style derivation trees.
+    analyze:
+        Per-query override of the engine's prepare-time static analysis
+        (``None`` = engine default, which is on).  When on, analyzer
+        warnings are attached to the report as ``diagnostics`` and
+        blocking errors raise before the fixpoint runs.
     """
 
     timeout_s: Optional[float] = None
@@ -53,6 +59,7 @@ class ExecutionOptions:
     mode: Optional[str] = None
     prune_rules: Optional[bool] = None
     provenance: Optional[Dict] = None
+    analyze: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -122,6 +129,9 @@ class ExecutionReport:
     trace: Optional["Span"] = None
     aggregates: Dict[str, Dict[str, float]] = field(default_factory=dict)
     cached: bool = False
+    #: Static-analysis findings from prepare time (warnings/infos only:
+    #: errors raise instead of producing a report).
+    diagnostics: Tuple["Diagnostic", ...] = ()
 
     @property
     def elapsed_s(self) -> float:
@@ -146,6 +156,8 @@ class ExecutionReport:
             "cached": self.cached,
             "stats": self.stats.as_dict(),
         }
+        if self.diagnostics:
+            out["diagnostics"] = [d.as_dict() for d in self.diagnostics]
         if self.trace is not None:
             out["trace"] = self.trace.as_dict()
         if self.aggregates:

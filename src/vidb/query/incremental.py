@@ -36,7 +36,6 @@ from vidb.model.objects import (
     GeneralizedIntervalObject,
     VideoObject,
 )
-from vidb.model.oid import Oid
 from vidb.model.relations import FactArg
 from vidb.query.ast import (
     ANYOBJECT_PRED,

@@ -37,7 +37,7 @@ Conventions:
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
 from vidb.constraints.dense import (
     Comparison as DenseComparison,
@@ -59,10 +59,12 @@ from vidb.query.ast import (
     Program,
     Query,
     Rule,
+    SourceSpan,
     SubsetAtom,
     Symbol,
     Term,
     Variable,
+    spanned,
 )
 
 # ---------------------------------------------------------------------------
@@ -255,6 +257,10 @@ class _Parser:
         return ParseError(message + f" (found {token.kind} {token.value!r})",
                           token.line, token.column)
 
+    def span_here(self) -> SourceSpan:
+        token = self.peek()
+        return SourceSpan(token.line, token.column)
+
     # -- statements --------------------------------------------------------------
     def program(self) -> Program:
         rules: List[Rule] = []
@@ -266,6 +272,7 @@ class _Parser:
         return Program(rules)
 
     def rule(self) -> Rule:
+        span = self.span_here()
         name = None
         if (self.peek().kind == "IDENT" and self.peek(1).kind == "COLON"):
             name = self.next().value
@@ -275,13 +282,25 @@ class _Parser:
         if self.accept("ARROW"):
             body = self.body()
         self.expect("DOT")
-        return Rule(head, body, name=name)
+        return spanned(Rule(head, body, name=name), span)
 
     def query(self) -> Query:
+        span = self.span_here()
         self.accept("QUERY")  # optional "?-" prefix
         body = self.body()
         self.expect("DOT")
-        return Query(body)
+        return spanned(Query(body), span)
+
+    def document(self) -> Tuple[Program, List[Query]]:
+        """Parse a *document*: rules and ``?-`` queries interleaved."""
+        rules: List[Rule] = []
+        queries: List[Query] = []
+        while self.peek().kind != "EOF":
+            if self.peek().kind == "QUERY":
+                queries.append(self.query())
+            else:
+                rules.append(self.rule())
+        return Program(rules), queries
 
     def body(self) -> List[BodyItem]:
         items = [self.body_item()]
@@ -291,6 +310,10 @@ class _Parser:
 
     # -- body items ---------------------------------------------------------------
     def body_item(self) -> BodyItem:
+        span = self.span_here()
+        return spanned(self._body_item(), span)
+
+    def _body_item(self) -> BodyItem:
         kind = self.peek().kind
         if (self.at_word("not") and self.peek(1).kind == "IDENT"
                 and self.peek(2).kind == "LPAREN"):
@@ -357,15 +380,17 @@ class _Parser:
         while self.accept("COMMA"):
             args.append(self.term(allow_concat=allow_concat))
         self.expect("RPAREN")
-        return Literal(name_token.value, args)
+        return spanned(Literal(name_token.value, args),
+                       SourceSpan(name_token.line, name_token.column))
 
     def term(self, allow_concat: bool = False) -> Term:
+        span = self.span_here()
         term = self.simple_term()
         while self.peek().kind == "CONCAT":
             if not allow_concat:
                 raise self.error("'++' terms are only allowed in rule heads")
             self.next()
-            term = ConcatTerm(term, self.simple_term())
+            term = spanned(ConcatTerm(term, self.simple_term()), span)
         return term
 
     def simple_term(self) -> Term:
@@ -376,9 +401,10 @@ class _Parser:
             return self.next().value
         if token.kind == "IDENT":
             self.next()
+            span = SourceSpan(token.line, token.column)
             if token.value[0].isupper():
-                return Variable(token.value)
-            return Symbol(token.value)
+                return spanned(Variable(token.value), span)
+            return spanned(Symbol(token.value), span)
         raise self.error("expected a term")
 
     def operand(self) -> Union[AttrPath, Term]:
@@ -386,14 +412,15 @@ class _Parser:
         token = self.peek()
         if token.kind == "IDENT" and self.peek(1).kind == "PATHDOT":
             subject_token = self.next()
+            span = SourceSpan(subject_token.line, subject_token.column)
             subject: Union[Variable, Symbol]
             if subject_token.value[0].isupper():
-                subject = Variable(subject_token.value)
+                subject = spanned(Variable(subject_token.value), span)
             else:
-                subject = Symbol(subject_token.value)
+                subject = spanned(Symbol(subject_token.value), span)
             self.next()  # PATHDOT
             attr = self.expect("IDENT").value
-            return AttrPath(subject, attr)
+            return spanned(AttrPath(subject, attr), span)
         return self.simple_term()
 
     def attr_path(self) -> AttrPath:
@@ -467,6 +494,17 @@ def parse_query(text: str) -> Query:
     query = parser.query()
     parser.expect("EOF")
     return query
+
+
+def parse_document(text: str) -> Tuple[Program, List[Query]]:
+    """Parse rules and ``?-`` queries interleaved in one source file.
+
+    Unlike :func:`parse_program`, queries are allowed; they are returned
+    separately, in source order.  This is the entry point the lint pass
+    uses, so a file can ship rules together with the queries that
+    exercise them.
+    """
+    return _Parser(text).document()
 
 
 def parse_constraint(text: str) -> Constraint:

@@ -31,7 +31,6 @@ from vidb.query.ast import (
     ConcatTerm,
     INTERVAL_PRED,
     Literal,
-    NegatedLiteral,
     Program,
     Query,
     Rule,
@@ -47,28 +46,34 @@ def bound_variables(rule: Rule) -> FrozenSet[Variable]:
     return frozenset(out)
 
 
-def check_rule(rule: Rule, edb_relations: Iterable[str] = ()) -> None:
+def check_rule(rule: Rule, edb_relations: Iterable[str] = (),
+               rule_index: "int | None" = None) -> None:
     """Raise :class:`SafetyError` if *rule* violates a safety condition."""
     edb = frozenset(edb_relations)
     bound = bound_variables(rule)
+    context = dict(rule_index=rule_index, rule_name=rule.name,
+                   predicate=rule.head.predicate)
 
     unbound = rule.variables() - bound
     if unbound:
         names = ", ".join(sorted(v.name for v in unbound))
         raise SafetyError(
             f"rule {rule!r} is not range-restricted: variable(s) {names} "
-            "do not occur in any body literal"
+            "do not occur in any body literal",
+            kind="range", **context,
         )
 
     if rule.head.predicate in CLASS_PREDICATES:
         raise SafetyError(
             f"rule head may not redefine the class predicate "
-            f"{rule.head.predicate!r}"
+            f"{rule.head.predicate!r}",
+            kind="redefine", **context,
         )
     if rule.head.predicate in edb:
         raise SafetyError(
             f"rule head may not redefine the database relation "
-            f"{rule.head.predicate!r}"
+            f"{rule.head.predicate!r}",
+            kind="redefine", **context,
         )
 
     for arg in rule.head.args:
@@ -77,7 +82,8 @@ def check_rule(rule: Rule, edb_relations: Iterable[str] = ()) -> None:
                 if variable not in bound:
                     raise SafetyError(
                         f"constructive term operand {variable!r} is unbound "
-                        f"in rule {rule!r}"
+                        f"in rule {rule!r}",
+                        kind="constructive", **context,
                     )
 
 
@@ -85,13 +91,15 @@ def check_program(program: Program, edb_relations: Iterable[str] = ()) -> None:
     """Check every rule of a program; also enforces consistent arity per
     head predicate."""
     arities: Dict[str, int] = {}
-    for rule in program:
-        check_rule(rule, edb_relations)
+    for index, rule in enumerate(program):
+        check_rule(rule, edb_relations, rule_index=index)
         known = arities.setdefault(rule.head.predicate, rule.head.arity)
         if known != rule.head.arity:
             raise SafetyError(
                 f"predicate {rule.head.predicate!r} is defined with arities "
-                f"{known} and {rule.head.arity}"
+                f"{known} and {rule.head.arity}",
+                kind="arity", rule_index=index, rule_name=rule.name,
+                predicate=rule.head.predicate,
             )
 
 
@@ -108,7 +116,8 @@ def check_query(query: Query) -> None:
         names = ", ".join(sorted(v.name for v in unbound))
         raise SafetyError(
             f"query {query!r} is not range-restricted: variable(s) {names} "
-            "do not occur in any literal"
+            "do not occur in any literal",
+            kind="range",
         )
 
 
@@ -164,7 +173,6 @@ def stratify(program: Program) -> List[FrozenSet[str]]:
     # whose remaining dependencies are already assigned.
     remaining = dict(graph)
     strata: List[FrozenSet[str]] = []
-    assigned: Set[str] = set()
     while remaining:
         layer = {
             p for p, deps in remaining.items()
@@ -175,7 +183,6 @@ def stratify(program: Program) -> List[FrozenSet[str]]:
             # Mutual recursion: group one strongly connected cluster.
             layer = _one_scc(remaining, idb)
         strata.append(frozenset(layer))
-        assigned |= layer
         for p in layer:
             remaining.pop(p, None)
     return strata
@@ -223,7 +230,7 @@ def stratify_with_negation(program: Program) -> List[List[Rule]]:
     changed = True
     while changed:
         changed = False
-        for rule in program:
+        for index, rule in enumerate(program):
             head = rule.head.predicate
             for p in body_predicates(rule, negated=False):
                 if stratum[head] < stratum[p]:
@@ -239,7 +246,9 @@ def stratify_with_negation(program: Program) -> List[List[Rule]]:
                 raise SafetyError(
                     f"program is not stratifiable: predicate "
                     f"{head!r} negates {offenders!r} inside a recursive "
-                    "component"
+                    "component",
+                    kind="stratify", rule_index=index, rule_name=rule.name,
+                    predicate=head,
                 )
 
     groups: Dict[int, List[Rule]] = {}

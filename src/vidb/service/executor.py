@@ -35,6 +35,8 @@ from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
+from vidb.analysis.diagnostics import AnalysisResult
+from vidb.analysis.lint import lint_text
 from vidb.durability.durable import DurableDatabase
 from vidb.errors import (
     QueryTimeoutError,
@@ -340,6 +342,24 @@ class ServiceExecutor:
         if limit is not None:
             entries = entries[:max(0, limit)]
         return entries
+
+    # -- linting -------------------------------------------------------------
+    def lint(self, text: str) -> AnalysisResult:
+        """Statically analyze a rule/query document against this service.
+
+        The document is analyzed, not installed.  The service's database
+        relations, computed predicates and already-installed rule heads
+        all count as defined (closed world), so a clean result means the
+        document would also load cleanly via :meth:`add_rules`.
+        """
+        with self._lock.read_locked():
+            extra = {rule.head.predicate: rule.head.arity
+                     for rule in self._engine.program.rules}
+            computed = {name: arity for name, (arity, _)
+                        in self._engine.computed.items()}
+            edb = self.db.relation_names()
+        return lint_text(text, edb=edb, computed=computed, extra=extra,
+                         closed_world=True)
 
     # -- mutation path -------------------------------------------------------
     def mutate(self, fn: Callable[[VideoDatabase], Any]) -> Any:

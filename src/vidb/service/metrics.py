@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 #: Default latency buckets in seconds (upper bounds, cumulative).
 DEFAULT_BUCKETS: Tuple[float, ...] = (

@@ -16,6 +16,7 @@ Operations::
     {"op": "insert_interval", "oid": "gi9", "entities": ["o9"],
                               "duration": [[0, 10]], "attributes": {}}
     {"op": "relate",  "relation": "in", "args": ["o1", "o2", "gi1"]}
+    {"op": "lint",    "text": "big(G) :- interval(G), G.start < 1."}
     {"op": "metrics"}
     {"op": "trace",   "limit": 10}
     {"op": "wal",     "after": 42, "limit": 1000}
@@ -26,6 +27,11 @@ log-shipping replica (see :mod:`vidb.durability.replica`); it answers
 with a full snapshot (``"resync": true``) when the follower is older
 than the latest checkpoint, and fails with a ``service`` error when the
 server is not running durably (no ``--data-dir``).
+
+The ``lint`` op statically analyzes a rule/query document against the
+server's database and installed program without installing it (see
+:mod:`vidb.analysis`); the response carries ``diagnostics`` (structured
+``VDB0xx`` findings), ``summary`` and ``ok_to_load``.
 
 A query with ``"profile": true`` runs traced (bypassing the result
 cache) and its response additionally carries ``stats``, ``profile``
@@ -49,7 +55,7 @@ import json
 import socket
 import socketserver
 import threading
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, cast
 
 from vidb.errors import (
     ModelError,
@@ -62,6 +68,7 @@ from vidb.errors import (
     SessionError,
     VidbError,
 )
+from vidb.analysis.lint import summarize as lint_summary
 from vidb.query.execution import ExecutionOptions
 from vidb.service.executor import ServiceExecutor
 
@@ -105,7 +112,7 @@ class _Handler(socketserver.StreamRequestHandler):
     """One thread per connection; one service session per connection."""
 
     def handle(self) -> None:
-        service: ServiceExecutor = self.server.service  # type: ignore[attr-defined]
+        service = cast("_ThreadingServer", self.server).service
         session = service.open_session()
         try:
             for raw in self.rfile:
@@ -203,6 +210,13 @@ class _Handler(socketserver.StreamRequestHandler):
                                   *[_resolve_arg(service, a) for a in args])
             return {"ok": True, "fact": str(fact),
                     "epoch": service.db.epoch}, True
+        if op == "lint":
+            text = _required(request, "text", str)
+            result = service.lint(text)
+            return {"ok": True,
+                    "diagnostics": list(result.as_dicts()),
+                    "summary": lint_summary(result),
+                    "ok_to_load": not result.has_errors}, True
         if op == "metrics":
             return {"ok": True, "metrics": service.snapshot()}, True
         if op == "trace":
@@ -251,6 +265,7 @@ def _resolve_arg(service: ServiceExecutor, value: Any) -> Any:
 class _ThreadingServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
+    service: ServiceExecutor
 
 
 class VideoServer:
@@ -264,7 +279,7 @@ class VideoServer:
                  host: str = "127.0.0.1", port: int = 0):
         self.service = service
         self._server = _ThreadingServer((host, port), _Handler)
-        self._server.service = service  # type: ignore[attr-defined]
+        self._server.service = service
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -362,6 +377,13 @@ class ServiceClient:
 
     def relate(self, relation: str, *args: Any) -> Dict[str, Any]:
         return self.request("relate", relation=relation, args=list(args))
+
+    def lint(self, text: str) -> Dict[str, Any]:
+        """Statically analyze a rule/query document server-side.
+
+        Returns ``diagnostics`` (list of structured findings), a human
+        ``summary`` and ``ok_to_load`` (no errors)."""
+        return self.request("lint", text=text)
 
     def metrics(self) -> Dict[str, Any]:
         return self.request("metrics")["metrics"]

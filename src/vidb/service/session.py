@@ -28,7 +28,7 @@ from __future__ import annotations
 import itertools
 import re
 import threading
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from vidb.constraints.dense import And, Comparison, Constraint, Or
 from vidb.constraints.terms import Var
@@ -48,6 +48,7 @@ from vidb.query.ast import (
     Symbol,
     Term,
     Variable,
+    spanned,
 )
 from vidb.query.parser import parse_query
 from vidb.query.safety import check_query
@@ -77,8 +78,9 @@ def _subst_term(term: Term, binding: Dict[str, Term]) -> Term:
     if isinstance(term, Variable) and term.name in binding:
         return binding[term.name]
     if isinstance(term, ConcatTerm):
-        return ConcatTerm(_subst_term(term.left, binding),
-                          _subst_term(term.right, binding))
+        return spanned(ConcatTerm(_subst_term(term.left, binding),
+                                  _subst_term(term.right, binding)),
+                       term.span)
     return term
 
 
@@ -88,7 +90,7 @@ def _subst_path(path: AttrPath, binding: Dict[str, Term]) -> AttrPath:
         raise SessionError(
             f"parameter {path.subject!r} is used as an attribute-path "
             f"subject and must bind to a symbol or oid, not {subject!r}")
-    return AttrPath(subject, path.attr)
+    return spanned(AttrPath(subject, path.attr), path.span)
 
 
 def _subst_constraint(constraint: Constraint,
@@ -121,26 +123,39 @@ def _subst_side(side, binding: Dict[str, Term]):
 
 
 def _subst_item(item: BodyItem, binding: Dict[str, Term]) -> BodyItem:
+    # ``spanned`` keeps the original source position on the rebuilt node,
+    # so analyzer diagnostics against a bound query still point into the
+    # prepared text.
     if isinstance(item, Literal):
-        return Literal(item.predicate,
-                       [_subst_term(a, binding) for a in item.args])
+        return spanned(
+            Literal(item.predicate,
+                    [_subst_term(a, binding) for a in item.args]),
+            item.span)
     if isinstance(item, NegatedLiteral):
-        return NegatedLiteral(_subst_item(item.literal, binding))
+        return spanned(NegatedLiteral(_subst_item(item.literal, binding)),
+                       item.span)
     if isinstance(item, MembershipAtom):
-        return MembershipAtom(_subst_term(item.element, binding),
-                              _subst_path(item.collection, binding))
+        return spanned(
+            MembershipAtom(_subst_term(item.element, binding),
+                           _subst_path(item.collection, binding)),
+            item.span)
     if isinstance(item, SubsetAtom):
         if isinstance(item.subset, AttrPath):
             subset = _subst_path(item.subset, binding)
         else:
             subset = tuple(_subst_term(t, binding) for t in item.subset)
-        return SubsetAtom(subset, _subst_path(item.superset, binding))
+        return spanned(SubsetAtom(subset, _subst_path(item.superset, binding)),
+                       item.span)
     if isinstance(item, ComparisonAtom):
-        return ComparisonAtom(_subst_side(item.left, binding), item.op,
-                              _subst_side(item.right, binding))
+        return spanned(
+            ComparisonAtom(_subst_side(item.left, binding), item.op,
+                           _subst_side(item.right, binding)),
+            item.span)
     if isinstance(item, EntailmentAtom):
-        return EntailmentAtom(_subst_side(item.left, binding),
-                              _subst_side(item.right, binding))
+        return spanned(
+            EntailmentAtom(_subst_side(item.left, binding),
+                           _subst_side(item.right, binding)),
+            item.span)
     raise SessionError(f"cannot substitute into body item {item!r}")
 
 
@@ -185,7 +200,7 @@ class PreparedQuery:
         body = [_subst_item(item, binding) for item in self.query.body]
         projection = [v for v in self.query.answer_variables
                       if v.name not in binding]
-        return Query(body, projection)
+        return spanned(Query(body, projection), self.query.span)
 
     def __repr__(self) -> str:
         return f"PreparedQuery({self.name!r}, params={list(self.params)})"

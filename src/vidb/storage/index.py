@@ -182,7 +182,7 @@ class TemporalIndex:
         probe = GeneralizedInterval.from_pairs([(lo, hi)])
         out: Set[Oid] = set()
         limit = bisect.bisect_right(self._starts, hi)
-        for start, end, oid in self._rows[:limit]:
+        for _start, end, oid in self._rows[:limit]:
             if oid in out:
                 continue
             if end < lo:

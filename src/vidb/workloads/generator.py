@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from vidb.intervals.generalized import GeneralizedInterval
 from vidb.storage.database import VideoDatabase
@@ -48,8 +48,9 @@ def _zipf_weights(n: int, skew: float) -> List[float]:
     return [1.0 / (rank ** skew) for rank in range(1, n + 1)]
 
 
-def random_database(config: WorkloadConfig = WorkloadConfig()) -> VideoDatabase:
+def random_database(config: Optional[WorkloadConfig] = None) -> VideoDatabase:
     """Grow a database with the configured shape."""
+    config = config or WorkloadConfig()
     rng = random.Random(config.seed)
     db = VideoDatabase(f"workload-{config.seed}")
 

@@ -1,0 +1,303 @@
+"""Unit tests for the individual analysis passes.
+
+Every seeded defect is asserted with both its ``VDB0xx`` code and its
+source span — the span contract is what makes `vidb lint` output
+navigable, so it is part of the acceptance surface, not a nicety.
+"""
+
+import pytest
+
+from vidb.analysis import analyze
+from vidb.analysis.checks import reachable_predicates
+from vidb.query.parser import parse_document, parse_program, parse_query
+
+
+def lint(text, **kwargs):
+    program, queries = parse_document(text)
+    return analyze(program, queries, **kwargs)
+
+
+def only(result, code):
+    found = [d for d in result.diagnostics if d.code == code]
+    assert len(found) == 1, \
+        f"expected exactly one {code}, got {[d.code for d in result.diagnostics]}"
+    return found[0]
+
+
+class TestDeadRules:
+    def test_dense_order_contradiction_is_vdb020(self):
+        result = lint("dead(G) :- interval(G), G.start < 3, G.start > 5.")
+        diagnostic = only(result, "VDB020")
+        assert diagnostic.severity == "warning"
+        assert diagnostic.span is not None
+        assert (diagnostic.span.line, diagnostic.span.column) == (1, 1)
+        assert diagnostic.rule_index == 0
+        assert diagnostic.predicate == "dead"
+
+    def test_contradiction_through_shared_variable(self):
+        result = lint("""
+            p(G) :- interval(G), G.start = 4, G.start >= 10.
+        """)
+        assert "VDB020" in result.codes()
+
+    def test_transitive_contradiction(self):
+        # a < b, b < c, c < a: unsatisfiable only through the cycle.
+        result = lint(
+            "p(G, H, K) :- interval(G), interval(H), interval(K), "
+            "G.s < H.s, H.s < K.s, K.s < G.s.")
+        assert "VDB020" in result.codes()
+
+    def test_satisfiable_body_is_not_dead(self):
+        result = lint("live(G) :- interval(G), G.start > 3, G.start < 5.")
+        assert "VDB020" not in result.codes()
+
+    def test_set_order_contradiction_is_vdb021(self, monkeypatch):
+        # The surface grammar only produces lower-bound set atoms, which
+        # are always jointly satisfiable — the VDB021 emission path is
+        # defensive, so exercise it by forcing the set solver's verdict.
+        import vidb.analysis.checks as checks
+        monkeypatch.setattr(checks, "set_satisfiable", lambda atoms: False)
+        result = lint(
+            "p(G) :- interval(G), o1 in G.entities, G.start > 2, G.start > 1.")
+        diagnostic = only(result, "VDB021")
+        assert (diagnostic.span.line, diagnostic.span.column) == (1, 1)
+        # A dead rule must not also be reported as redundant.
+        assert "VDB023" not in result.codes()
+
+    def test_dead_rule_suppresses_redundancy_noise(self):
+        # start < 3 entails start < 100 vacuously once the body is
+        # unsatisfiable; reporting VDB023 there would be noise.
+        result = lint(
+            "p(G) :- interval(G), G.start < 3, G.start > 5, G.start < 100.")
+        assert "VDB020" in result.codes()
+        assert "VDB023" not in result.codes()
+
+
+class TestEntailments:
+    def test_statically_false_entailment_is_vdb022(self):
+        result = lint("p(G) :- interval(G), (t > 10) => (t > 20).")
+        diagnostic = only(result, "VDB022")
+        assert diagnostic.severity == "warning"
+        assert diagnostic.span is not None
+        assert diagnostic.span.line == 1
+
+    def test_statically_true_entailment_is_silent(self):
+        result = lint("p(G) :- interval(G), (t > 20) => (t > 10).")
+        assert "VDB022" not in result.codes()
+
+    def test_unsatisfiable_rhs_is_vdb024_info(self):
+        result = lint(
+            "p(G) :- interval(G), G.duration => (t > 5 and t < 3).")
+        diagnostic = only(result, "VDB024")
+        assert diagnostic.severity == "info"
+        assert diagnostic.span is not None
+
+    def test_path_to_path_entailment_is_silent(self):
+        result = lint(
+            "contains(G1, G2) :- interval(G1), interval(G2), "
+            "G2.duration => G1.duration.")
+        assert {"VDB022", "VDB024"} & result.codes() == set()
+
+
+class TestRedundancy:
+    def test_implied_comparison_is_vdb023(self):
+        result = lint(
+            "r(G) :- interval(G), G.start > 10, G.start > 2.")
+        diagnostic = only(result, "VDB023")
+        assert diagnostic.severity == "warning"
+        # The span points at the redundant atom, not the rule head.
+        assert diagnostic.span.column > 1
+
+    def test_redundant_membership_atom(self):
+        result = lint(
+            "r(G) :- interval(G), {o1, o2} subset G.entities, "
+            "o1 in G.entities.")
+        diagnostic = only(result, "VDB023")
+        assert "o1 in G.entities" in diagnostic.message
+
+    def test_independent_constraints_are_kept(self):
+        result = lint(
+            "r(G) :- interval(G), G.start > 2, G.fin < 30.")
+        assert "VDB023" not in result.codes()
+
+    def test_duplicate_atom_reported_once_per_copy(self):
+        result = lint("r(G) :- interval(G), G.start > 2, G.start > 2.")
+        found = [d for d in result.diagnostics if d.code == "VDB023"]
+        assert len(found) == 2  # each copy is implied by the other
+
+
+class TestSafetyDiagnostics:
+    def test_range_restriction_is_vdb002(self):
+        result = lint("p(X, Y) :- object(X).")
+        diagnostic = only(result, "VDB002")
+        assert diagnostic.is_error
+        assert diagnostic.span is not None
+
+    def test_head_redefinition_is_vdb003(self):
+        result = lint("interval(X) :- object(X).")
+        assert only(result, "VDB003").is_error
+
+    def test_arity_conflict_is_vdb004(self):
+        result = lint("""
+            p(X) :- object(X).
+            p(X, Y) :- object(X), object(Y).
+        """)
+        diagnostic = only(result, "VDB004")
+        assert diagnostic.is_error
+        assert diagnostic.span.line == 3
+
+    def test_unstratifiable_program_is_vdb005(self):
+        result = lint("""
+            win(X) :- pos(X), not lose(X).
+            lose(X) :- pos(X), not win(X).
+        """, extra={"pos": 1})
+        diagnostic = only(result, "VDB005")
+        assert diagnostic.is_error
+        assert diagnostic.span is not None
+
+    def test_unsafe_query_is_vdb002(self):
+        result = lint("p(X) :- object(X). ?- p(X), Y = 3.")
+        assert "VDB002" in {d.code for d in result.errors}
+
+
+class TestPredicateUses:
+    def test_undefined_predicate_closed_world_is_error(self):
+        result = lint("q(X) :- nosuch(X).", closed_world=True)
+        diagnostic = only(result, "VDB006")
+        assert diagnostic.is_error
+        assert diagnostic.predicate == "nosuch"
+        assert diagnostic.span is not None
+        assert diagnostic.span.column > 1
+
+    def test_undefined_predicate_open_world_is_warning(self):
+        result = lint("q(X) :- nosuch(X).", closed_world=False)
+        diagnostic = only(result, "VDB006")
+        assert diagnostic.severity == "warning"
+
+    def test_edb_and_computed_and_extra_count_as_defined(self):
+        result = lint(
+            "q(X, G) :- rel(X, G), gi_before(G, G), helper(X).",
+            edb={"rel"}, computed={"gi_before": 2}, extra={"helper": 1})
+        assert "VDB006" not in result.codes()
+
+    def test_arity_of_use_mismatch_is_vdb007(self):
+        result = lint("""
+            p(X) :- object(X).
+            q(A, B) :- p(A, B).
+        """)
+        diagnostic = only(result, "VDB007")
+        assert diagnostic.severity == "warning"
+        assert diagnostic.predicate == "p"
+        assert diagnostic.span.line == 3
+
+    def test_conflicted_definitions_skip_arity_of_use(self):
+        # With p defined at two arities there is no single expectation.
+        result = lint("""
+            p(X) :- object(X).
+            p(X, Y) :- object(X), object(Y).
+            q(A) :- p(A).
+        """)
+        assert "VDB007" not in result.codes()
+
+    def test_undefined_in_query_body_located(self):
+        result = lint("?- missing(X).", closed_world=True)
+        diagnostic = only(result, "VDB006")
+        assert diagnostic.rule_index is None
+        assert diagnostic.span is not None
+
+
+class TestStructuralLints:
+    def test_singleton_variable_is_vdb030(self):
+        result = lint("lonely(X) :- object(X), object(Other).")
+        diagnostic = only(result, "VDB030")
+        assert "Other" in diagnostic.message
+        # Span points at the variable occurrence itself.
+        assert diagnostic.span is not None
+        assert diagnostic.span.column > 20
+
+    def test_underscore_free_variables_both_flagged(self):
+        result = lint("p(X) :- rel(X, Y), other(Z, Z).",
+                      edb={"rel", "other"})
+        found = [d for d in result.diagnostics if d.code == "VDB030"]
+        assert len(found) == 1  # Y once; Z twice is a join with itself
+        assert "Y" in found[0].message
+
+    def test_cartesian_product_is_vdb031(self):
+        result = lint("pairs(A, B) :- object(A), interval(B).")
+        diagnostic = only(result, "VDB031")
+        assert "cartesian" in diagnostic.message
+        assert diagnostic.span is not None
+
+    def test_joined_literals_are_not_cartesian(self):
+        result = lint(
+            "q(O, G) :- object(O), interval(G), O in G.entities.")
+        assert "VDB031" not in result.codes()
+
+    def test_ground_filter_literal_is_not_a_component(self):
+        # object(o1) has no variables: it filters, it does not multiply.
+        result = lint(
+            "q(G) :- interval(G), object(o1), o1 in G.entities.")
+        assert "VDB031" not in result.codes()
+
+
+class TestReachability:
+    def test_unreachable_predicate_is_vdb032(self):
+        result = lint("""
+            used(X) :- object(X).
+            orphan(X) :- object(X).
+            ?- used(X).
+        """)
+        diagnostic = only(result, "VDB032")
+        assert diagnostic.predicate == "orphan"
+        assert diagnostic.span.line == 3
+
+    def test_transitively_reachable_is_silent(self):
+        result = lint("""
+            a(X) :- b(X).
+            b(X) :- object(X).
+            ?- a(X).
+        """)
+        assert "VDB032" not in result.codes()
+
+    def test_no_queries_no_reachability_findings(self):
+        result = lint("orphan(X) :- object(X).")
+        assert "VDB032" not in result.codes()
+
+    def test_constructive_rules_feed_interval_class(self):
+        # A ++ rule grows the interval class, so a query over interval
+        # reaches it even without naming its head predicate.
+        result = lint("""
+            merged(G1 ++ G2) :- linked(G1, G2).
+            ?- interval(G).
+        """, edb={"linked"})
+        assert "VDB032" not in result.codes()
+
+    def test_reachable_predicates_helper(self):
+        program = parse_program("""
+            a(X) :- b(X).
+            b(X) :- object(X).
+            c(X) :- object(X).
+        """)
+        reachable = reachable_predicates(program, {"a"})
+        assert {"a", "b", "object"} <= reachable
+        assert "c" not in reachable
+
+
+class TestQueryLevelFindings:
+    def test_dead_query_body(self):
+        result = lint("?- interval(G), G.start < 1, G.start > 2.")
+        diagnostic = only(result, "VDB020")
+        assert diagnostic.rule_index is None
+        assert "query" in diagnostic.message
+
+    def test_cartesian_query(self):
+        program, queries = parse_document("?- object(A), interval(B).")
+        result = analyze(program, queries)
+        assert "VDB031" in result.codes()
+
+    def test_single_query_object_accepted(self):
+        program = parse_program("p(X) :- object(X).")
+        query = parse_query("?- p(X).")
+        result = analyze(program, query)  # Query, not a sequence
+        assert result.reachable is not None
+        assert "p" in result.reachable

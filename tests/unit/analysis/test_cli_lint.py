@@ -1,0 +1,111 @@
+"""Unit tests for the `vidb lint` CLI command (in-process)."""
+
+import json
+
+import pytest
+
+from vidb.cli import main
+from vidb.storage.persistence import save
+from vidb.workloads.paper import rope_database
+
+FIXTURE = "tests/fixtures/lint_bad.vdb"
+EXAMPLES = ["examples/rules/editing.vdb", "examples/rules/surveillance.vdb"]
+
+CLEAN = """\
+appears(O, G) :- interval(G), object(O), O in G.entities.
+?- appears(O, G).
+"""
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.vdb"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+@pytest.fixture
+def snapshot(tmp_path):
+    path = tmp_path / "rope.json"
+    save(rope_database(), path)
+    return str(path)
+
+
+class TestExitContract:
+    def test_clean_file_is_zero(self, clean_file, capsys):
+        assert main(["lint", clean_file]) == 0
+        out = capsys.readouterr().out
+        assert out.strip().endswith("clean")
+
+    def test_clean_file_strict_is_still_zero(self, clean_file):
+        assert main(["lint", clean_file, "--strict"]) == 0
+
+    def test_warnings_are_zero_without_strict(self, capsys):
+        assert main(["lint", FIXTURE]) == 0
+        assert "7 warnings" in capsys.readouterr().out
+
+    def test_warnings_are_one_with_strict(self, capsys):
+        assert main(["lint", FIXTURE, "--strict"]) == 1
+
+    def test_errors_are_two(self, tmp_path, capsys):
+        bad = tmp_path / "broken.vdb"
+        bad.write_text("p(X) :- object(X)")  # missing period
+        assert main(["lint", str(bad)]) == 2
+        assert "VDB001" in capsys.readouterr().out
+
+    def test_missing_file_is_usage_error(self, capsys):
+        assert main(["lint", "/nonexistent/rules.vdb"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_worst_file_wins_across_many(self, clean_file):
+        assert main(["lint", clean_file, FIXTURE, "--strict"]) == 1
+
+
+class TestOutput:
+    def test_compiler_style_lines_with_spans(self, capsys):
+        main(["lint", FIXTURE])
+        out = capsys.readouterr().out
+        assert f"{FIXTURE}:7:1: warning[VDB020]" in out
+        assert f"{FIXTURE}:10:44: warning[VDB023]" in out
+        assert f"{FIXTURE}:13:32: warning[VDB030]" in out
+        assert f"{FIXTURE}:16:27: warning[VDB031]" in out
+        assert f"{FIXTURE}:19:1: warning[VDB032]" in out
+
+    def test_json_output(self, capsys):
+        main(["lint", FIXTURE, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit"] == 0
+        entry = payload["files"][FIXTURE]
+        assert entry["summary"] == "7 warnings"
+        codes = {d["code"] for d in entry["diagnostics"]}
+        assert {"VDB020", "VDB023", "VDB030", "VDB031", "VDB032"} <= codes
+        spans = [d["span"] for d in entry["diagnostics"]]
+        assert {"line": 7, "column": 1} in spans
+
+    def test_json_strict_reports_exit(self, capsys):
+        assert main(["lint", FIXTURE, "--json", "--strict"]) == 1
+        assert json.loads(capsys.readouterr().out)["exit"] == 1
+
+
+class TestDatabaseFlag:
+    def test_closed_world_flags_unknown_relation(self, tmp_path, snapshot,
+                                                 capsys):
+        path = tmp_path / "uses_rel.vdb"
+        path.write_text("q(X, G) :- nosuchrel(X, G). ?- q(X, G).\n")
+        # Open world: just warnings.
+        assert main(["lint", str(path)]) == 0
+        # Closed world against the Rope snapshot: VDB006 error.
+        assert main(["lint", str(path), "--database", snapshot]) == 2
+        out = capsys.readouterr().out
+        assert "error[VDB006]" in out
+
+    def test_database_relations_count_as_defined(self, tmp_path, snapshot):
+        path = tmp_path / "uses_in.vdb"
+        path.write_text("q(X, Y, G) :- in(X, Y, G). ?- q(X, Y, G).\n")
+        assert main(["lint", str(path), "--database", snapshot,
+                     "--strict"]) == 0
+
+
+class TestShippedExamples:
+    def test_examples_lint_clean_under_strict(self):
+        assert main(["lint", *EXAMPLES, "--strict"]) == 0

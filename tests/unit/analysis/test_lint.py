@@ -1,0 +1,103 @@
+"""Unit tests for document-level linting: lint_text / lint_file,
+the summary line, and the exit-code contract."""
+
+from vidb.analysis import exit_code, lint_file, lint_text, summarize
+from vidb.analysis.diagnostics import AnalysisResult, make
+from vidb.query.ast import SourceSpan
+
+FIXTURE = "tests/fixtures/lint_bad.vdb"
+
+
+class TestLintText:
+    def test_clean_document(self):
+        result = lint_text("""
+            appears(O, G) :- interval(G), object(O), O in G.entities.
+            ?- appears(O, G).
+        """)
+        assert result.diagnostics == ()
+        assert summarize(result) == "clean"
+
+    def test_parse_failure_becomes_vdb001_with_span(self):
+        result = lint_text("p(X) :- object(X)")  # missing final period
+        assert [d.code for d in result.diagnostics] == ["VDB001"]
+        diagnostic = result.diagnostics[0]
+        assert diagnostic.is_error
+        assert diagnostic.span is not None
+        assert diagnostic.span.line == 1
+
+    def test_invalid_construct_becomes_vdb001(self):
+        # `++` in a body is rejected by the AST layer, not the tokenizer.
+        result = lint_text("p(G) :- q(G1 ++ G2).")
+        assert "VDB001" in result.codes()
+        assert result.has_errors
+
+    def test_open_world_by_default(self):
+        result = lint_text("q(X, G) :- in(X, G). ?- q(X, G).")
+        findings = [d for d in result.diagnostics if d.code == "VDB006"]
+        assert findings and all(d.severity == "warning" for d in findings)
+
+    def test_closed_world_with_edb(self):
+        result = lint_text("q(X, G) :- in(X, G). ?- q(X, G).",
+                           edb={"in"}, closed_world=True)
+        assert result.diagnostics == ()
+
+
+class TestSeededFixture:
+    """The acceptance contract: every planted defect is reported with
+    its code AND its source span."""
+
+    def test_expected_codes_and_spans(self):
+        result = lint_file(FIXTURE)
+        located = {(d.code, d.span.line, d.span.column)
+                   for d in result.diagnostics}
+        assert ("VDB020", 7, 1) in located        # dead rule
+        assert ("VDB023", 10, 44) in located      # redundant constraint
+        assert ("VDB030", 13, 32) in located      # singleton Other
+        assert ("VDB031", 16, 27) in located      # cartesian product
+        assert ("VDB032", 19, 1) in located       # unreachable orphan
+
+    def test_fixture_has_warnings_but_no_errors(self):
+        result = lint_file(FIXTURE)
+        assert not result.has_errors
+        assert len(result.warnings) == 7
+        assert summarize(result) == "7 warnings"
+
+    def test_fixture_renders_compiler_style_lines(self):
+        result = lint_file(FIXTURE)
+        lines = result.render(FIXTURE)
+        assert any(line.startswith(f"{FIXTURE}:7:1: warning[VDB020]")
+                   for line in lines)
+
+
+class TestSummaries:
+    def test_counts_and_plurals(self):
+        result = AnalysisResult((
+            make("VDB002", "a", span=SourceSpan(1, 1)),
+            make("VDB005", "b", span=SourceSpan(2, 1)),
+            make("VDB030", "c", span=SourceSpan(3, 1)),
+            make("VDB024", "d", span=SourceSpan(4, 1)),
+        ))
+        assert summarize(result) == "2 errors, 1 warning, 1 info"
+
+
+class TestExitCodes:
+    def _with(self, code):
+        return AnalysisResult((make(code, "x"),))
+
+    def test_clean_is_zero(self):
+        assert exit_code(AnalysisResult()) == 0
+        assert exit_code(AnalysisResult(), strict=True) == 0
+
+    def test_warnings_are_zero_unless_strict(self):
+        result = self._with("VDB030")
+        assert exit_code(result) == 0
+        assert exit_code(result, strict=True) == 1
+
+    def test_infos_never_fail(self):
+        result = self._with("VDB024")
+        assert exit_code(result, strict=True) == 0
+
+    def test_errors_are_two_regardless(self):
+        result = self._with("VDB005")
+        assert exit_code(result) == 2
+        assert exit_code(result, strict=True) == 2

@@ -1,0 +1,88 @@
+"""Unit tests for the service `lint` surface: executor method, wire op,
+and client helper."""
+
+import pytest
+
+from vidb.service.executor import ServiceExecutor
+from vidb.service.server import ServiceClient, VideoServer
+from vidb.workloads.paper import rope_database
+
+
+@pytest.fixture
+def service():
+    with ServiceExecutor(rope_database(), max_workers=2) as executor:
+        yield executor
+
+
+@pytest.fixture
+def client(service):
+    with VideoServer(service, port=0) as server:
+        server.start_background()
+        host, port = server.address
+        with ServiceClient(host, port) as c:
+            yield c
+
+
+class TestExecutorLint:
+    def test_clean_text_against_live_schema(self, service):
+        result = service.lint(
+            "q(X, Y, G) :- in(X, Y, G). ?- q(X, Y, G).")
+        assert result.diagnostics == ()
+        assert not result.has_errors
+
+    def test_closed_world_uses_database_relations(self, service):
+        result = service.lint("q(X) :- nosuchrel(X). ?- q(X).")
+        errors = [d for d in result.errors if d.code == "VDB006"]
+        assert errors and errors[0].span is not None
+
+    def test_engine_rules_count_as_defined(self, service):
+        # Rules already loaded into the serving engine are `extra`
+        # context for the lint, so a fragment may reference them.
+        service.add_rules(
+            "appears(O, G) :- interval(G), object(O), O in G.entities.")
+        result = service.lint("q(O) :- appears(O, G). ?- q(O).")
+        assert "VDB006" not in result.codes()
+
+    def test_dead_rule_flagged_with_span(self, service):
+        result = service.lint(
+            "dead(G) :- interval(G), G.start < 1, G.start > 2.\n"
+            "?- dead(G).")
+        finding = next(d for d in result.diagnostics if d.code == "VDB020")
+        assert (finding.span.line, finding.span.column) == (1, 1)
+
+
+class TestLintOverTheWire:
+    def test_clean_document(self, client):
+        reply = client.lint(
+            "q(X, G) :- interval(G), object(X), X in G.entities. "
+            "?- q(X, G).")
+        assert reply["ok_to_load"] is True
+        assert reply["summary"] == "clean"
+        assert reply["diagnostics"] == []
+
+    def test_bad_document_reports_codes_and_spans(self, client):
+        reply = client.lint(
+            "dead(G) :- interval(G), G.start < 1, G.start > 2.\n"
+            "bad(X) :- nosuchrel(X).\n"
+            "?- dead(G).")
+        assert reply["ok_to_load"] is False
+        codes = {d["code"] for d in reply["diagnostics"]}
+        assert {"VDB020", "VDB006"} <= codes
+        dead = next(d for d in reply["diagnostics"]
+                    if d["code"] == "VDB020")
+        assert dead["span"] == {"line": 1, "column": 1}
+        assert "error" in reply["summary"]
+
+    def test_lint_does_not_mutate_or_block(self, client):
+        before = client.info()["epoch"]
+        client.lint("p(X) :- object(X). ?- p(X).")
+        after = client.info()["epoch"]
+        assert after == before
+        # The service still answers queries normally afterwards.
+        reply = client.query("?- object(o1).")
+        assert reply["count"] == 1
+
+    def test_missing_text_field_is_protocol_error(self, client):
+        from vidb.errors import ProtocolError
+        with pytest.raises(ProtocolError):
+            client.request("lint")

@@ -1,0 +1,128 @@
+"""Source spans: threaded from the parser onto AST nodes, and kept
+alive through AST transforms (prepared-query parameter substitution)."""
+
+from vidb.query.ast import (
+    ComparisonAtom,
+    Literal,
+    MembershipAtom,
+    NegatedLiteral,
+    SourceSpan,
+    Variable,
+    spanned,
+)
+from vidb.query.parser import parse_program, parse_query, parse_rule
+from vidb.service.session import PreparedQuery
+
+
+class TestParserSpans:
+    def test_rule_and_head_spans(self):
+        rule = parse_rule("p(X) :- object(X), X.age > 3.")
+        assert rule.span == SourceSpan(1, 1)
+        assert rule.head.span == SourceSpan(1, 1)
+
+    def test_body_item_spans_are_column_accurate(self):
+        rule = parse_rule("p(X) :- object(X), X.age > 3.")
+        literal, comparison = rule.body
+        assert literal.span == SourceSpan(1, 9)
+        assert comparison.span == SourceSpan(1, 20)
+
+    def test_multiline_program_spans(self):
+        program = parse_program(
+            "a(X) :- object(X).\n\nb(Y) :- interval(Y).")
+        assert program.rules[0].span.line == 1
+        assert program.rules[1].span.line == 3
+
+    def test_variable_occurrence_spans_differ(self):
+        rule = parse_rule("p(X) :- rel(X, X).")
+        occurrences = [arg for arg in rule.body[0].args
+                       if isinstance(arg, Variable)]
+        spans = [v.span for v in occurrences]
+        assert spans[0] != spans[1]
+        assert all(span is not None for span in spans)
+
+    def test_query_spans(self):
+        query = parse_query("?- interval(G), o1 in G.entities.")
+        assert query.span is not None
+        assert query.body[0].span == SourceSpan(1, 4)
+        assert query.body[1].span == SourceSpan(1, 17)
+
+    def test_spans_are_ignored_by_equality_and_hash(self):
+        plain = Literal("p", [Variable("X")])
+        located = spanned(Literal("p", [Variable("X")]), SourceSpan(3, 7))
+        assert plain == located
+        assert hash(plain) == hash(located)
+
+
+class TestSpansSurviveSubstitution:
+    def _prepared(self, text, params):
+        return PreparedQuery("q", text, params=params)
+
+    def test_literal_span_survives_bind(self):
+        prepared = self._prepared(
+            "?- interval(G), object(O), O in G.entities.", ["O"])
+        bound = prepared.bind(O="o1")
+        original = prepared.query
+        for before, after in zip(original.body, bound.body):
+            assert after.span == before.span
+        assert bound.span == original.span
+
+    def test_negated_literal_span_survives(self):
+        prepared = self._prepared(
+            "?- object(O), not vip(O).", ["O"])
+        bound = prepared.bind(O="o1")
+        negated = bound.body[1]
+        assert isinstance(negated, NegatedLiteral)
+        assert negated.span == prepared.query.body[1].span
+        assert negated.span is not None
+
+    def test_comparison_and_membership_spans_survive(self):
+        prepared = self._prepared(
+            "?- interval(G), object(O), O in G.entities, G.start > 2.",
+            ["O"])
+        bound = prepared.bind(O="o7")
+        membership = bound.body[2]
+        comparison = bound.body[3]
+        assert isinstance(membership, MembershipAtom)
+        assert isinstance(comparison, ComparisonAtom)
+        assert membership.span == prepared.query.body[2].span
+        assert comparison.span == prepared.query.body[3].span
+        # The attribute paths inside keep their own spans too.
+        assert membership.collection.span == \
+            prepared.query.body[2].collection.span
+
+    def test_unbound_prepare_returns_original_ast(self):
+        prepared = self._prepared("?- object(O).", [])
+        assert prepared.bind() is prepared.query
+
+    def test_analyzer_locates_findings_in_bound_query(self):
+        # End to end: substitution must not strip the positions the
+        # analyzer reports against.
+        from vidb.analysis import analyze
+        from vidb.query.ast import Program
+
+        prepared = self._prepared(
+            "?- object(A), interval(B), A in B.entities, object(C).",
+            ["C"])
+        bound = prepared.bind(C="o1")
+        result = analyze(Program(), bound, closed_world=True)
+        assert [d.code for d in result.diagnostics] == []
+        # Unbound, object(C) is a disconnected component: VDB031, located
+        # at the second group's literal.
+        unbound = analyze(Program(), prepared.query, closed_world=True)
+        finding = next(d for d in unbound.diagnostics
+                       if d.code == "VDB031")
+        assert finding.span is not None
+        assert finding.span.column == len(
+            "?- object(A), interval(B), A in B.entities, ") + 1
+
+
+class TestSpannedHelper:
+    def test_spanned_sets_and_returns_node(self):
+        node = Literal("p", [Variable("X")])
+        out = spanned(node, SourceSpan(4, 2))
+        assert out is node
+        assert node.span == SourceSpan(4, 2)
+
+    def test_spanned_with_none_is_noop(self):
+        node = Literal("p", [Variable("X")])
+        assert spanned(node, None).span is None

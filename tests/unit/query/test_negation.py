@@ -114,6 +114,102 @@ class TestSafety:
         assert order["merged"] < order["plain"]
 
 
+class TestStratifyEdgeCases:
+    def test_empty_program_has_no_strata(self):
+        assert stratify_with_negation(parse_program("")) == []
+
+    def test_self_negation_rejected_with_context(self):
+        program = parse_program("p(X) :- base(X), not p(X).")
+        with pytest.raises(SafetyError) as excinfo:
+            stratify_with_negation(program)
+        error = excinfo.value
+        assert error.kind == "stratify"
+        assert error.rule_index == 0
+        assert error.predicate == "p"
+
+    def test_negation_chain_orders_strata(self):
+        program = parse_program("""
+            a(X) :- base(X), not b(X).
+            b(X) :- base(X), not c(X).
+            c(X) :- base(X).
+        """)
+        layers = [[rule.head.predicate for rule in layer]
+                  for layer in stratify_with_negation(program)]
+        assert layers == [["c"], ["b"], ["a"]]
+
+    def test_rule_order_does_not_change_stratification(self):
+        forward = parse_program("""
+            low(X) :- base(X).
+            high(X) :- base(X), not low(X).
+        """)
+        backward = parse_program("""
+            high(X) :- base(X), not low(X).
+            low(X) :- base(X).
+        """)
+        def shape(program):
+            return [sorted(rule.head.predicate for rule in layer)
+                    for layer in stratify_with_negation(program)]
+        assert shape(forward) == shape(backward)
+
+    def test_negating_edb_only_predicate_is_one_stratum(self):
+        program = parse_program("q(X) :- object(X), not vip(X).")
+        assert len(stratify_with_negation(program)) == 1
+
+    def test_mutual_positive_recursion_negated_from_outside(self):
+        # The positive SCC {reach} is fine, and negating it from a later
+        # stratum is fine too: negation never enters the cycle.
+        program = parse_program("""
+            reach(X, Y) :- edge(X, Y).
+            reach(X, Z) :- reach(X, Y), edge(Y, Z).
+            isolated(X) :- node(X), not connected(X).
+            connected(X) :- reach(X, Y).
+        """)
+        strata = stratify_with_negation(program)
+        order = {rule.head.predicate: i
+                 for i, layer in enumerate(strata) for rule in layer}
+        assert order["reach"] <= order["connected"] < order["isolated"]
+
+    def test_negation_into_positive_scc_rejected(self):
+        # q negates into the SCC it belongs to via p's recursion.
+        program = parse_program("""
+            p(X) :- base(X), q(X).
+            q(X) :- base(X), not p(X).
+        """)
+        with pytest.raises(SafetyError) as excinfo:
+            stratify_with_negation(program)
+        assert excinfo.value.kind == "stratify"
+
+
+class TestSafetyErrorContext:
+    def test_check_rule_attaches_rule_index_and_predicate(self):
+        with pytest.raises(SafetyError) as excinfo:
+            check_rule(parse_rule("p(X, Y) :- q(X)."), rule_index=4)
+        error = excinfo.value
+        assert error.kind == "range"
+        assert error.rule_index == 4
+        assert error.predicate == "p"
+        assert "rule #4" in str(error)
+
+    def test_named_rule_reported_by_name(self):
+        rule = parse_rule("my_rule: p(X, Y) :- q(X).")
+        with pytest.raises(SafetyError) as excinfo:
+            check_rule(rule, rule_index=0)
+        error = excinfo.value
+        assert error.rule_name == "my_rule"
+        assert "my_rule" in str(error)
+
+    def test_stratify_error_message_names_the_rule(self):
+        program = parse_program("""
+            ok(X) :- base(X).
+            p(X) :- base(X), not p(X).
+        """)
+        with pytest.raises(SafetyError) as excinfo:
+            stratify_with_negation(program)
+        error = excinfo.value
+        assert error.rule_index == 1
+        assert "rule #1" in str(error)
+
+
 class TestEvaluation:
     def test_negation_over_edb(self, db):
         engine = QueryEngine(db)
