@@ -17,7 +17,9 @@ Querying Video Data"* (Decleir, Hacid & Kouloumdjian, ICDE 1999):
   shot detection, annotation pipelines);
 * :mod:`vidb.workloads` — the paper's worked examples plus random
   workload generators;
-* :mod:`vidb.bench` — benchmark harness helpers.
+* :mod:`vidb.bench` — benchmark harness helpers;
+* :mod:`vidb.obs` — observability: tracing, metrics, structured
+  events, and the Prometheus ``/metrics`` exporter.
 
 Quickstart::
 
@@ -67,7 +69,16 @@ from vidb.model import (
     VideoSequence,
     concatenate,
 )
-from vidb.obs import NullTracer, Span, Tracer
+from vidb.obs import (
+    EventLog,
+    Gauge,
+    MetricsExporter,
+    MetricsRegistry,
+    NullTracer,
+    Span,
+    Tracer,
+    format_snapshot,
+)
 from vidb.query import (
     AnswerSet,
     ExecutionOptions,
@@ -106,12 +117,16 @@ __all__ = [
     "DurableDatabase",
     "EntityObject",
     "EvaluationError",
+    "EventLog",
     "ExecutionOptions",
     "ExecutionReport",
+    "Gauge",
     "GeneralizedInterval",
     "GeneralizedIntervalObject",
     "Interval",
     "IntervalError",
+    "MetricsExporter",
+    "MetricsRegistry",
     "ModelError",
     "NullTracer",
     "Oid",
@@ -145,6 +160,7 @@ __all__ = [
     "concatenate",
     "connect",
     "entails",
+    "format_snapshot",
     "load",
     "parse_program",
     "parse_query",

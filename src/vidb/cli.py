@@ -11,9 +11,11 @@ Commands::
     vidb edl rope.json "?- ..." G        compile interval answers to an EDL
     vidb serve rope.json --port 7421     run the JSON-lines query server
     vidb serve --data-dir state          serve durably (WAL + snapshots)
+    vidb serve ... --metrics-port 9464   also expose Prometheus /metrics
     vidb recover state                   inspect/replay a data directory
     vidb replicate state --once          follow a primary's WAL locally
     vidb client query "?- ..."           talk to a running server
+    vidb top --port 7421                 live QPS/latency/cache view
 
 Exit status 0 on success, 2 on a user-input error (bad query syntax,
 model violations, missing files — plus argparse's own usage errors),
@@ -28,6 +30,7 @@ is fully testable in-process; the console entry point wraps it.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -146,6 +149,20 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="result-cache entries (default 256)")
     serve.add_argument("--timeout", type=float, default=None,
                        help="default per-query deadline in seconds")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="expose Prometheus /metrics plus /healthz and "
+                            "/readyz on this HTTP port (0 picks an "
+                            "ephemeral port; default: disabled)")
+    serve.add_argument("--slow-query-ms", type=float, default=None,
+                       metavar="MS",
+                       help="emit a structured slow_query event for "
+                            "queries at or above this many milliseconds "
+                            "(default: disabled)")
+    serve.add_argument("--event-log", default=None, metavar="PATH",
+                       help="append structured JSON events to PATH "
+                            "('-' for stderr; the in-memory ring behind "
+                            "the events op is always on)")
     _common_engine_flags(serve)
 
     recover_p = sub.add_parser(
@@ -172,6 +189,19 @@ def _build_parser() -> argparse.ArgumentParser:
     replicate.add_argument("--out", default=None,
                            help="write the replica state as a JSON "
                                 "snapshot after each poll")
+    replicate.add_argument("--metrics-port", type=int, default=None,
+                           metavar="PORT",
+                           help="expose replica lag and apply counters "
+                                "as Prometheus /metrics on this port")
+
+    top = sub.add_parser(
+        "top", help="live terminal view of a running vidb server")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7421)
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes (default 2)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit")
 
     client = sub.add_parser(
         "client", help="talk to a running vidb server")
@@ -183,7 +213,8 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="send the request N times (shows cache hits)")
     client.add_argument(
         "request", nargs="+", metavar="OP [ARG...]",
-        help="one of: query '?- ...' | metrics | trace [N] | info | ping | "
+        help="one of: query '?- ...' | metrics | trace [N] | "
+             "events [N] [TYPE] | info | ping | "
              "entity OID [k=v...] | interval OID LO-HI[,LO-HI...] "
              "[ENTITY...] | relate NAME ARG...")
     return parser
@@ -366,53 +397,89 @@ def _cmd_timeline(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import contextlib
+
+    from vidb.obs.events import EventLog
+    from vidb.obs.exporter import MetricsExporter
+    from vidb.obs.metrics import MetricsRegistry
     from vidb.service.executor import ServiceExecutor
     from vidb.service.server import VideoServer
 
     if args.database is None and args.data_dir is None:
         raise VidbError("serve needs a database snapshot, a --data-dir, "
                         "or both")
-    if args.data_dir is not None:
-        from vidb.durability import DurableDatabase
+    event_log = EventLog(
+        sink="stderr" if args.event_log == "-" else args.event_log)
+    registry = MetricsRegistry()
+    # The exporter comes up before recovery so /readyz honestly reports
+    # "not yet" while the WAL replays, then flips once serving starts.
+    ready_state = {"service": None,
+                   "recovering": args.data_dir is not None}
 
-        seed = _load(args.database) if args.database is not None else None
-        durable = DurableDatabase(
-            args.data_dir, seed=seed, fsync=args.fsync,
-            fsync_interval_s=args.fsync_interval,
-            checkpoint_every=args.checkpoint_every)
-        recovery = durable.recovery
-        if durable.seeded:
-            print(f"seeded {args.data_dir} from {args.database}",
+    def _ready():
+        service = ready_state["service"]
+        if service is None:
+            return {"recovery": not ready_state["recovering"],
+                    "executor": False}
+        return service.readiness()
+
+    exporter = None
+    if args.metrics_port is not None:
+        exporter = MetricsExporter(registry, port=args.metrics_port,
+                                   ready=_ready).start_background()
+        mhost, mport = exporter.address
+        print(f"metrics on http://{mhost}:{mport}/metrics "
+              f"(health: /healthz, /readyz)", flush=True)
+    cleanup = contextlib.ExitStack()
+    if exporter is not None:
+        cleanup.callback(exporter.close)
+    cleanup.callback(event_log.close)
+    with cleanup:
+        if args.data_dir is not None:
+            from vidb.durability import DurableDatabase
+
+            seed = _load(args.database) if args.database is not None else None
+            durable = DurableDatabase(
+                args.data_dir, seed=seed, fsync=args.fsync,
+                fsync_interval_s=args.fsync_interval,
+                checkpoint_every=args.checkpoint_every,
+                event_log=event_log)
+            recovery = durable.recovery
+            ready_state["recovering"] = False
+            if durable.seeded:
+                print(f"seeded {args.data_dir} from {args.database}",
+                      flush=True)
+            elif not recovery.empty:
+                print(f"recovered {args.data_dir}: snapshot lsn "
+                      f"{recovery.snapshot_lsn}, replayed "
+                      f"{recovery.replayed} record(s)"
+                      + (" (torn tail dropped)" if recovery.torn else ""),
+                      flush=True)
+            db: VideoDatabase = durable.db
+            serving: object = durable
+        else:
+            db = _load(args.database)
+            serving = db
+        rules_text = "\n".join(Path(p).read_text(encoding="utf-8")
+                               for p in args.rules) or None
+        service = ServiceExecutor(
+            serving, rules=rules_text, use_stdlib_rules=args.stdlib,
+            max_workers=args.workers, max_in_flight=args.max_in_flight,
+            cache_capacity=args.cache_capacity, default_timeout=args.timeout,
+            engine_options={"mode": args.mode}, metrics=registry,
+            slow_query_ms=args.slow_query_ms, event_log=event_log)
+        ready_state["service"] = service
+        with service, VideoServer(service, args.host, args.port) as server:
+            host, port = server.address
+            durably = (f", durable in {args.data_dir}"
+                       if args.data_dir is not None else "")
+            print(f"vidb serving {db.name!r} on {host}:{port} "
+                  f"({args.workers} workers, epoch {db.epoch}{durably})",
                   flush=True)
-        elif not recovery.empty:
-            print(f"recovered {args.data_dir}: snapshot lsn "
-                  f"{recovery.snapshot_lsn}, replayed {recovery.replayed} "
-                  f"record(s)"
-                  + (" (torn tail dropped)" if recovery.torn else ""),
-                  flush=True)
-        db: VideoDatabase = durable.db
-        serving: object = durable
-    else:
-        db = _load(args.database)
-        serving = db
-    rules_text = "\n".join(Path(p).read_text(encoding="utf-8")
-                           for p in args.rules) or None
-    service = ServiceExecutor(
-        serving, rules=rules_text, use_stdlib_rules=args.stdlib,
-        max_workers=args.workers, max_in_flight=args.max_in_flight,
-        cache_capacity=args.cache_capacity, default_timeout=args.timeout,
-        engine_options={"mode": args.mode})
-    with service, VideoServer(service, args.host, args.port) as server:
-        host, port = server.address
-        durably = (f", durable in {args.data_dir}"
-                   if args.data_dir is not None else "")
-        print(f"vidb serving {db.name!r} on {host}:{port} "
-              f"({args.workers} workers, epoch {db.epoch}{durably})",
-              flush=True)
-        try:
-            server.serve_forever()
-        except KeyboardInterrupt:
-            print("shutting down", file=sys.stderr)
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                print("shutting down", file=sys.stderr)
     return 0
 
 
@@ -458,24 +525,45 @@ def _cmd_replicate(args) -> int:
     return _replica_loop(replica, args)
 
 
+def _replica_exporter(replica, port: int):
+    """An exporter over the replica's own stats (lag, applied LSN, ...)."""
+    from vidb.obs.exporter import MetricsExporter
+    from vidb.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for key in replica.stats():
+        registry.callback_gauge(key, lambda k=key: replica.stats()[k])
+    exporter = MetricsExporter(
+        registry, port=port,
+        ready=lambda: {"replica": True}).start_background()
+    host, bound = exporter.address
+    print(f"replica metrics on http://{host}:{bound}/metrics", flush=True)
+    return exporter
+
+
 def _replica_loop(replica, args) -> int:
+    import contextlib
     import time as _time
 
-    while True:
-        applied = replica.poll()
-        stats = replica.db.stats()
-        print(f"applied {applied} record(s), lsn "
-              f"{replica.applied_lsn}, lag {replica.lag()}; "
-              f"{stats['entities']} entities, {stats['intervals']} "
-              f"intervals, {stats['facts']} facts", flush=True)
-        if args.out:
-            save(replica.db, args.out)
-        if args.once:
-            return 0
-        try:
-            _time.sleep(max(0.05, args.interval))
-        except KeyboardInterrupt:
-            return 0
+    with contextlib.ExitStack() as cleanup:
+        if getattr(args, "metrics_port", None) is not None:
+            cleanup.callback(
+                _replica_exporter(replica, args.metrics_port).close)
+        while True:
+            applied = replica.poll()
+            stats = replica.db.stats()
+            print(f"applied {applied} record(s), lsn "
+                  f"{replica.applied_lsn}, lag {replica.lag()}; "
+                  f"{stats['entities']} entities, {stats['intervals']} "
+                  f"intervals, {stats['facts']} facts", flush=True)
+            if args.out:
+                save(replica.db, args.out)
+            if args.once:
+                return 0
+            try:
+                _time.sleep(max(0.05, args.interval))
+            except KeyboardInterrupt:
+                return 0
 
 
 def _parse_kv(pairs: List[str]) -> dict:
@@ -558,9 +646,22 @@ def _cmd_client(args) -> int:
                     raise VidbError("usage: client relate NAME ARG...")
                 reply = client.relate(rest[0], *rest[1:])
                 print(f"asserted {reply['fact']} (epoch {reply['epoch']})")
+            elif op == "events":
+                limit = int(rest[0]) if rest else None
+                type_ = rest[1] if len(rest) > 1 else None
+                for event in client.events(limit=limit, type=type_):
+                    print(json.dumps(event, sort_keys=True))
             else:
                 raise VidbError(f"unknown client op {op!r}")
     return 0
+
+
+def _cmd_top(args) -> int:
+    from vidb.service.server import ServiceClient
+    from vidb.service.top import top_loop
+
+    with ServiceClient(args.host, args.port) as client:
+        return top_loop(client, args.interval, once=args.once)
 
 
 _COMMANDS = {
@@ -577,6 +678,7 @@ _COMMANDS = {
     "recover": _cmd_recover,
     "replicate": _cmd_replicate,
     "client": _cmd_client,
+    "top": _cmd_top,
 }
 
 

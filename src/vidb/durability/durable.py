@@ -29,6 +29,7 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 from vidb.errors import DurabilityError
 from vidb.obs import current_tracer
+from vidb.obs.events import EventLog, get_event_log
 from vidb.storage.database import VideoDatabase
 
 from vidb.durability.records import (
@@ -58,14 +59,22 @@ class DurableDatabase:
                  checkpoint_every: int = 1000,
                  keep_snapshots: int = 2,
                  name: str = "video",
-                 tracer=None):
+                 tracer=None,
+                 event_log: Optional[EventLog] = None):
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
+        self.events = event_log if event_log is not None else get_event_log()
         self.checkpoint_every = max(1, checkpoint_every)
         self.keep_snapshots = max(1, keep_snapshots)
         self.recovery: RecoveryResult = recover(
             self.data_dir, default_name=name, tracer=tracer)
+        self.events.emit("recovery",
+                         data_dir=str(self.data_dir),
+                         snapshot_lsn=self.recovery.snapshot_lsn,
+                         replayed=self.recovery.replayed,
+                         discarded=self.recovery.discarded,
+                         torn_tail=self.recovery.torn)
         self.seeded = False
         if seed is not None and self.recovery.empty:
             # A fresh directory primed from an existing database: the
@@ -87,6 +96,7 @@ class DurableDatabase:
         self._snapshot_lsn = self.recovery.snapshot_lsn
         self._snapshots_taken = 0
         self._ships = 0
+        self._follower_lag = 0
         self._closed = False
         if self.seeded or not list_snapshots(self.data_dir):
             # Every data directory keeps at least one snapshot so
@@ -153,6 +163,7 @@ class DurableDatabase:
             with current_tracer().span("durability.checkpoint") as span:
                 self._writer.sync()
                 lsn = self._writer.last_lsn
+                bytes_before = self.wal_size_bytes()
                 path = write_snapshot(self._db, self.data_dir, lsn)
                 self._writer.truncate()
                 # The first frame of the fresh log names its base, so a
@@ -164,6 +175,10 @@ class DurableDatabase:
                 self._snapshots_taken += 1
                 self._records_since_checkpoint = 0
                 span.annotate(lsn=lsn, epoch=self._db.epoch)
+            self.events.emit("checkpoint", lsn=lsn, epoch=self._db.epoch,
+                             snapshot=path.name)
+            self.events.emit("wal.rotate", lsn=lsn,
+                             bytes_truncated=bytes_before)
             return path
 
     # -- log shipping ------------------------------------------------------
@@ -191,6 +206,9 @@ class DurableDatabase:
             self._ships += 1
             snapshot_lsn = self._snapshot_lsn
             last = self._writer.last_lsn
+            # The primary's view of follower lag: how far behind the
+            # most recent pull was (a callback gauge on the exporter).
+            self._follower_lag = max(0, last - max(0, after_lsn))
             reply: Dict[str, Any] = {"last_lsn": last,
                                      "snapshot_lsn": snapshot_lsn}
             base = after_lsn
@@ -210,6 +228,18 @@ class DurableDatabase:
             return reply
 
     # -- introspection -----------------------------------------------------
+    def wal_size_bytes(self) -> int:
+        """The on-disk size of the current WAL generation."""
+        try:
+            return wal_path(self.data_dir).stat().st_size
+        except OSError:
+            return 0
+
+    @property
+    def writable(self) -> bool:
+        """Whether mutations can still be journaled (readiness check)."""
+        return not self._closed
+
     def stats(self) -> Dict[str, Any]:
         """Flat, JSON-ready durability counters (service metrics merge
         these under their dotted names)."""
@@ -218,6 +248,7 @@ class DurableDatabase:
                 "wal.last_lsn": self._writer.last_lsn,
                 "wal.records": self._writer.records_written,
                 "wal.bytes": self._writer.bytes_written,
+                "wal.size_bytes": self.wal_size_bytes(),
                 "wal.syncs": self._writer.sync_count,
                 "wal.since_checkpoint": self._records_since_checkpoint,
                 "wal.ships": self._ships,
@@ -226,6 +257,7 @@ class DurableDatabase:
                 "recovery.replayed": self.recovery.replayed,
                 "recovery.discarded": self.recovery.discarded,
                 "recovery.torn_tail": int(self.recovery.torn),
+                "replica.lag": self._follower_lag,
             }
 
     # -- lifecycle ---------------------------------------------------------

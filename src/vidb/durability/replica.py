@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Optional, Union
 
 from vidb.errors import ReplicationError, WalCorruptionError
 from vidb.obs import current_tracer
+from vidb.obs.events import EventLog, get_event_log
 from vidb.storage.database import VideoDatabase
 from vidb.storage.persistence import PersistenceError, database_from_dict
 
@@ -157,8 +158,10 @@ class ServerWalSource:
 class Replica:
     """A follower applying a primary's committed WAL records locally."""
 
-    def __init__(self, source, *, name: str = "video"):
+    def __init__(self, source, *, name: str = "video",
+                 event_log: Optional[EventLog] = None):
         self._source = source
+        self.events = event_log if event_log is not None else get_event_log()
         self._db = VideoDatabase(name)
         self._position = 0       # last LSN consumed from the stream
         self._visible = 0        # last LSN the source has shown us
@@ -173,12 +176,14 @@ class Replica:
     # -- construction helpers ---------------------------------------------
     @classmethod
     def from_data_dir(cls, data_dir: Union[str, Path], *,
-                      name: str = "video") -> "Replica":
-        return cls(FileWalSource(data_dir), name=name)
+                      name: str = "video",
+                      event_log: Optional[EventLog] = None) -> "Replica":
+        return cls(FileWalSource(data_dir), name=name, event_log=event_log)
 
     @classmethod
-    def from_client(cls, client, *, name: str = "video") -> "Replica":
-        return cls(ServerWalSource(client), name=name)
+    def from_client(cls, client, *, name: str = "video",
+                    event_log: Optional[EventLog] = None) -> "Replica":
+        return cls(ServerWalSource(client), name=name, event_log=event_log)
 
     # -- the follower loop -------------------------------------------------
     def poll(self) -> int:
@@ -199,11 +204,16 @@ class Replica:
             self._position = batch.resync_lsn
             self._pending = None
             self.resyncs += 1
+            self.events.emit("replica.resync", lsn=batch.resync_lsn,
+                             records=len(batch.records))
         elif batch.records and batch.records[0].lsn > self._position + 1:
             # LSN gap: the records between our position and this batch
             # were truncated away by a checkpoint the source missed.
             # Applying past the gap would silently diverge — only a
             # snapshot resync can close it, so force one.
+            self.events.emit("replica.gap", position=self._position,
+                             next_lsn=batch.records[0].lsn,
+                             refetched=refetched)
             if refetched:
                 raise ReplicationError(
                     f"source shipped records starting at LSN "

@@ -1,12 +1,38 @@
-"""vidb.obs — tracing and profiling for the evaluation pipeline.
+"""vidb.obs — tracing, profiling and metrics for the serving pipeline.
 
-The observability layer the serving system leans on: nestable wall-clock
-spans with counter payloads (:mod:`vidb.obs.tracer`), a no-op tracer for
-the disabled path, and the ``EXPLAIN ANALYZE``-style profile renderer
-(:mod:`vidb.obs.profile`) behind ``vidb query --profile`` and the
-server's ``trace`` verb.
+The observability layer the serving system leans on:
+
+* :mod:`vidb.obs.tracer` — nestable wall-clock spans with counter
+  payloads, plus a no-op tracer for the disabled path;
+* :mod:`vidb.obs.profile` — the ``EXPLAIN ANALYZE``-style profile
+  renderer behind ``vidb query --profile`` and the server's ``trace``
+  verb;
+* :mod:`vidb.obs.metrics` — counters, gauges (including callback
+  gauges), histograms and labeled metric families in a
+  :class:`MetricsRegistry`, with a process-global default registry;
+* :mod:`vidb.obs.exporter` — Prometheus text exposition plus
+  ``/healthz``/``/readyz`` over stdlib ``http.server``
+  (``vidb serve --metrics-port``);
+* :mod:`vidb.obs.events` — a bounded structured JSON event log (slow
+  queries, admission rejections, checkpoints, replica resyncs) behind
+  the server's ``events`` op and ``vidb top``.
 """
 
+from vidb.obs.events import EventLog, emit, get_event_log
+from vidb.obs.exporter import MetricsExporter, render_exposition
+from vidb.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    format_number,
+    format_snapshot,
+    get_registry,
+    human_count,
+    human_duration,
+)
 from vidb.obs.profile import format_profile
 from vidb.obs.tracer import (
     NULL_TRACER,
@@ -18,11 +44,27 @@ from vidb.obs.tracer import (
 )
 
 __all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsExporter",
+    "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "Span",
     "Tracer",
     "activate",
     "current_tracer",
+    "emit",
+    "format_number",
     "format_profile",
+    "format_snapshot",
+    "get_event_log",
+    "get_registry",
+    "human_count",
+    "human_duration",
+    "render_exposition",
 ]

@@ -1,0 +1,137 @@
+"""A bounded, thread-safe structured event log.
+
+Operational events — slow queries, admission-control rejections,
+checkpoints, WAL rotations, replica resyncs — are recorded as plain
+dicts with a wall-clock timestamp and a ``type``.  The log keeps the
+most recent ``capacity`` events in memory (the server's ``events`` op
+and ``vidb top`` read them) and can additionally stream every event as
+one JSON object per line to a file or stderr, the standard shape for
+log shippers.
+
+One process-global log (:func:`get_event_log`) is the default sink for
+every component, so ``vidb serve``'s durability layer, executor and
+replicas all land in the same stream; components accept an
+``event_log=`` parameter for isolation (tests, multi-tenant
+embeddings).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Dict, List, Optional, TextIO, Union
+
+
+class EventLog:
+    """The most recent *capacity* structured events, plus an optional
+    JSON-lines sink.
+
+    ``sink`` may be a file-like object (not closed by the log), a path
+    (opened for append, closed by :meth:`close`), or the string
+    ``"stderr"``.
+    """
+
+    def __init__(self, capacity: int = 1024,
+                 sink: Union[None, str, Path, TextIO] = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "deque[Dict[str, Any]]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._stream: Optional[TextIO] = None
+        self._owns_stream = False
+        self.emitted = 0
+        if sink is not None:
+            self._open_sink(sink)
+
+    def _open_sink(self, sink: Union[str, Path, TextIO]) -> None:
+        if sink == "stderr":
+            self._stream = sys.stderr
+        elif isinstance(sink, (str, Path)):
+            self._stream = open(sink, "a", encoding="utf-8")
+            self._owns_stream = True
+        elif isinstance(sink, io.TextIOBase) or hasattr(sink, "write"):
+            self._stream = sink
+        else:
+            raise ValueError(f"cannot use {sink!r} as an event sink")
+
+    # -- emission ----------------------------------------------------------
+    def emit(self, type: str, **fields: Any) -> Dict[str, Any]:
+        """Record one event; returns the stored dict."""
+        event: Dict[str, Any] = {"ts": round(time.time(), 6), "type": type}
+        event.update(fields)
+        with self._lock:
+            self._entries.append(event)
+            self.emitted += 1
+            if self._stream is not None:
+                try:
+                    self._stream.write(
+                        json.dumps(event, default=str) + "\n")
+                    self._stream.flush()
+                except (OSError, ValueError):
+                    # A broken sink (full disk, closed stream) must not
+                    # take the serving path down; keep the in-memory ring.
+                    self._stream = None
+        return event
+
+    # -- reading -----------------------------------------------------------
+    def recent(self, limit: Optional[int] = None,
+               type: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Most-recent-first events, optionally filtered by type."""
+        with self._lock:
+            entries = list(self._entries)
+        entries.reverse()
+        if type is not None:
+            entries = [e for e in entries if e.get("type") == type]
+        if limit is not None:
+            entries = entries[:max(0, limit)]
+        return entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if self._owns_stream and self._stream is not None:
+                try:
+                    self._stream.close()
+                except OSError:
+                    pass
+            self._stream = None
+            self._owns_stream = False
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return (f"EventLog({len(self)}/{self.capacity} buffered, "
+                f"{self.emitted} emitted)")
+
+
+#: The process-global event log every component defaults to.
+_GLOBAL_LOG = EventLog()
+
+
+def get_event_log() -> EventLog:
+    """The process-global :class:`EventLog`."""
+    return _GLOBAL_LOG
+
+
+def emit(type: str, **fields: Any) -> Dict[str, Any]:
+    """Emit one event into the process-global log."""
+    return _GLOBAL_LOG.emit(type, **fields)

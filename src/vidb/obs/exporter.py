@@ -1,0 +1,219 @@
+"""Prometheus exposition and health endpoints over stdlib ``http.server``.
+
+A :class:`MetricsExporter` runs a small threaded HTTP server next to the
+query service:
+
+``GET /metrics``
+    every metric in a :class:`~vidb.obs.metrics.MetricsRegistry` in the
+    Prometheus text exposition format (``# TYPE``/``# HELP`` comments,
+    histogram ``_bucket``/``_sum``/``_count`` series, labeled families);
+``GET /healthz``
+    liveness — answers ``200 ok`` for as long as the process serves HTTP;
+``GET /readyz``
+    readiness — evaluates the ``ready`` callable (a mapping of check
+    name to boolean: recovery finished, executor accepting, WAL
+    writable) and answers ``200`` only when every check passes, ``503``
+    with the failing checks otherwise.
+
+Metric names are sanitized for the exposition format (dots become
+underscores) and prefixed ``vidb_``, so the registry's dotted JSON
+names (``queries.served``) and the scrape names
+(``vidb_queries_served``) stay mechanically related.
+
+Started by ``vidb serve --metrics-port`` (and ``vidb replicate
+--metrics-port``); embedding users can run one against any registry::
+
+    from vidb.obs import MetricsExporter, get_registry
+
+    with MetricsExporter(get_registry(), port=9464) as exporter:
+        print("scrape", exporter.address)
+        ...
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from vidb.obs.metrics import MetricsRegistry, get_registry
+
+#: Readiness source: check name -> passed?  (None = always ready.)
+ReadyCheck = Callable[[], Mapping[str, bool]]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prom_name(name: str, prefix: str = "vidb_") -> str:
+    """A registry name as a legal exposition metric name."""
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    if sanitized.startswith(prefix):
+        return sanitized
+    return prefix + sanitized
+
+
+def _prom_value(value: Any) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _label_str(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_LABEL_NAME_RE.sub("_", k)}="{_escape_label(str(v))}"'
+        for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+def render_exposition(registry: MetricsRegistry,
+                      prefix: str = "vidb_") -> str:
+    """The whole registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, kind, entries in registry.collect():
+        pname = prom_name(name, prefix)
+        lines.append(f"# HELP {pname} vidb metric {name}")
+        lines.append(f"# TYPE {pname} {kind}")
+        for labels, value in entries:
+            if kind == "histogram":
+                for bound, count in value["buckets"]:
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _prom_value(float(bound))
+                    lines.append(f"{pname}_bucket"
+                                 f"{_label_str(bucket_labels)} {count}")
+                lines.append(f"{pname}_sum{_label_str(labels)} "
+                             f"{_prom_value(value['sum'])}")
+                lines.append(f"{pname}_count{_label_str(labels)} "
+                             f"{value['count']}")
+            else:
+                lines.append(f"{pname}{_label_str(labels)} "
+                             f"{_prom_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    exporter: "MetricsExporter"  # set on the subclass by the exporter
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._reply(200, self.exporter.render(),
+                        content_type="text/plain; version=0.0.4; "
+                                     "charset=utf-8")
+        elif path == "/healthz":
+            self._reply(200, "ok\n")
+        elif path == "/readyz":
+            ready, checks = self.exporter.readiness()
+            body = "".join(f"{'ok' if passed else 'fail'} {name}\n"
+                           for name, passed in sorted(checks.items()))
+            self._reply(200 if ready else 503,
+                        (body or "ok\n") if ready else body or "fail\n")
+        else:
+            self._reply(404, "not found (try /metrics, /healthz, "
+                             "/readyz)\n")
+
+    def _reply(self, status: int, body: str,
+               content_type: str = "text/plain; charset=utf-8") -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        try:
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Scrapes arrive every few seconds; stderr noise helps nobody.
+        return
+
+
+class MetricsExporter:
+    """A background HTTP server exposing one registry plus health.
+
+    ``port=0`` binds an ephemeral port; read the actual address from
+    :attr:`address`.  ``ready`` is a callable returning a mapping of
+    check name to boolean (e.g. the service executor's
+    ``readiness()``); omitted, ``/readyz`` always answers 200.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 ready: Optional[ReadyCheck] = None,
+                 prefix: str = "vidb_"):
+        self.registry = registry if registry is not None else get_registry()
+        self.prefix = prefix
+        self._ready = ready
+        handler = type("_BoundHandler", (_Handler,), {"exporter": self})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def render(self) -> str:
+        """The current exposition text (what ``GET /metrics`` serves)."""
+        return render_exposition(self.registry, self.prefix)
+
+    def readiness(self) -> Tuple[bool, Dict[str, bool]]:
+        """(all checks passed, per-check results)."""
+        if self._ready is None:
+            return True, {}
+        try:
+            checks = dict(self._ready())
+        except Exception as error:
+            return False, {f"ready-check ({error})": False}
+        return all(checks.values()), checks
+
+    def start_background(self) -> "MetricsExporter":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="vidb-metrics", daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsExporter":
+        self.start_background()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        host, port = self.address
+        return f"MetricsExporter({host}:{port})"

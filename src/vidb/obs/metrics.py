@@ -1,0 +1,528 @@
+"""Process-global metrics: counters, gauges, histograms, labeled families.
+
+The metric model follows the Prometheus data model without depending on
+any client library:
+
+* a :class:`Counter` is a monotonically increasing integer;
+* a :class:`Gauge` is a settable value (``set``/``inc``/``dec``), with
+  *callback* gauges for values that are cheapest to read at scrape time
+  (cache occupancy, WAL size, replica lag, live sessions);
+* a :class:`Histogram` is a set of cumulative buckets plus running
+  aggregates, from which quantiles are estimated without storing
+  observations;
+* a :class:`MetricFamily` keys any of the above by a tuple of label
+  values (``queries_total{outcome="served"}``), created on first touch.
+
+A :class:`MetricsRegistry` is a named collection of all of these with
+two exports: :meth:`~MetricsRegistry.snapshot` (a plain JSON-ready dict,
+the wire protocol's ``metrics`` op) and :meth:`~MetricsRegistry.collect`
+(typed series for the Prometheus exposition renderer in
+:mod:`vidb.obs.exporter`).
+
+The module keeps one process-global registry (:func:`get_registry`) for
+embedding users and module-level instrumentation; the service executor
+still creates its own registry per instance so tests and multi-tenant
+embeddings stay isolated.
+
+:func:`format_snapshot` renders any snapshot-shaped mapping as aligned
+``name: value`` lines with fixed-precision floats (never scientific
+notation); :func:`human_count` and :func:`human_duration` are the
+unit-suffix helpers ``vidb top`` and the CLI share.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+#: Default latency buckets in seconds (upper bounds, cumulative).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Quantiles every histogram snapshot reports.
+SNAPSHOT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A thread-safe monotonically increasing counter."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A thread-safe value that can go up, down, or be set outright."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value: Number = 0) -> None:
+        self._value = value
+        self._lock = threading.Lock()
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> Number:
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """A fixed-bucket histogram with running sum/min/max.
+
+    Buckets are cumulative upper bounds (Prometheus-style), with an
+    implicit ``+Inf`` bucket, so quantiles can be estimated from the
+    counts without storing observations.
+    """
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("need at least one bucket bound")
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last = +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            index = len(self._bounds)
+            for i, bound in enumerate(self._bounds):
+                if value <= bound:
+                    index = i
+                    break
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def _quantile_locked(self, q: float) -> float:
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        cumulative = 0
+        for i, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if i < len(self._bounds):
+                    return self._bounds[i]
+                return self._max
+        return self._max
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (0..1): the upper bound of the bucket
+        holding the q-th observation (the max for the +Inf bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            return self._quantile_locked(q)
+
+    def quantiles(self, qs: Iterable[float]) -> Tuple[float, ...]:
+        """Several quantiles from *one* locked pass, so they describe a
+        single consistent state even under concurrent ``observe()``."""
+        qs = tuple(qs)
+        for q in qs:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            return tuple(self._quantile_locked(q) for q in qs)
+
+    def export(self) -> Dict[str, Any]:
+        """Raw series for the exposition renderer, read under one lock:
+        cumulative ``(upper_bound, count)`` pairs (the final bound is
+        ``+Inf``), plus ``sum`` and ``count``."""
+        with self._lock:
+            cumulative = 0
+            buckets: List[Tuple[float, int]] = []
+            for bound, bucket_count in zip(self._bounds, self._counts):
+                cumulative += bucket_count
+                buckets.append((bound, cumulative))
+            buckets.append((math.inf, cumulative + self._counts[-1]))
+            return {"buckets": buckets, "sum": self._sum,
+                    "count": self._count}
+
+    def snapshot(self) -> Dict[str, float]:
+        # Aggregates and quantiles come from a single locked pass, so
+        # p50/p95/p99 always agree with count/sum even while other
+        # threads are observing.
+        with self._lock:
+            if self._count == 0:
+                return {"count": 0}
+            quantiles = [self._quantile_locked(q)
+                         for q in SNAPSHOT_QUANTILES]
+            snap = {
+                "count": self._count,
+                "sum": round(self._sum, 6),
+                "mean": round(self._sum / self._count, 6),
+                "min": round(self._min, 6),
+                "max": round(self._max, 6),
+            }
+        for q, value in zip(SNAPSHOT_QUANTILES, quantiles):
+            snap[f"p{int(q * 100)}"] = round(value, 6)
+        return snap
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count})"
+
+
+class MetricFamily:
+    """Labeled metrics: one child per tuple of label values.
+
+    ``family.labels(outcome="served")`` returns (creating on first
+    touch) the child metric for that label combination; the child is an
+    ordinary :class:`Counter`/:class:`Gauge`/:class:`Histogram`, so hot
+    paths can hold onto it and skip the lookup.
+    """
+
+    __slots__ = ("name", "kind", "label_names", "_factory", "_children",
+                 "_lock")
+
+    def __init__(self, name: str, kind: str, label_names: Sequence[str],
+                 factory: Callable[[], Any]):
+        if not label_names:
+            raise ValueError(f"metric family {name!r} needs label names")
+        self.name = name
+        self.kind = kind
+        self.label_names = tuple(label_names)
+        self._factory = factory
+        self._children: Dict[Tuple[str, ...], Any] = {}
+        self._lock = threading.Lock()
+
+    def labels(self, **labels: Any) -> Any:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"family {self.name!r} takes labels "
+                f"{list(self.label_names)}, got {sorted(labels)}")
+        key = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._factory()
+            return child
+
+    def children(self) -> List[Tuple[Dict[str, str], Any]]:
+        """``(labels dict, child metric)`` pairs, in creation order."""
+        with self._lock:
+            items = list(self._children.items())
+        return [(dict(zip(self.label_names, key)), child)
+                for key, child in items]
+
+    def __repr__(self) -> str:
+        with self._lock:
+            n = len(self._children)
+        return (f"MetricFamily({self.name!r}, {self.kind}, "
+                f"labels={list(self.label_names)}, children={n})")
+
+
+def _plain(value: Number) -> Number:
+    """Integral floats as ints, so JSON snapshots stay clean."""
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+def _labeled_key(name: str, labels: Mapping[str, str]) -> str:
+    inner = ",".join(f"{k}={v}" for k, v in labels.items())
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Named counters, gauges, histograms and families, created on
+    first touch.  One name maps to one kind; re-registering a name as a
+    different kind raises :class:`ValueError`."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._callbacks: Dict[str, Callable[[], Number]] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._families: Dict[str, MetricFamily] = {}
+        self._kinds: Dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, name: str, kind: str, store: Dict[str, Any],
+                  build: Callable[[], Any]) -> Any:
+        with self._lock:
+            seen = self._kinds.get(name)
+            if seen is None:
+                self._kinds[name] = kind
+                store[name] = build()
+            elif seen != kind:
+                raise ValueError(
+                    f"metric {name!r} is already registered as {seen}, "
+                    f"cannot re-register as {kind}")
+            return store[name]
+
+    # -- unlabeled metrics -------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        return self._register(name, "counter", self._counters, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._register(name, "gauge", self._gauges, Gauge)
+
+    def callback_gauge(self, name: str,
+                       fn: Callable[[], Number]) -> None:
+        """A gauge read by calling *fn* at snapshot/scrape time.
+        Re-registering the same name replaces the callback."""
+        with self._lock:
+            seen = self._kinds.get(name)
+            if seen not in (None, "callback"):
+                raise ValueError(
+                    f"metric {name!r} is already registered as {seen}, "
+                    f"cannot re-register as callback gauge")
+            self._kinds[name] = "callback"
+            self._callbacks[name] = fn
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._register(name, "histogram", self._histograms,
+                              lambda: Histogram(buckets))
+
+    # -- labeled families --------------------------------------------------
+    def counter_family(self, name: str,
+                       label_names: Sequence[str]) -> MetricFamily:
+        return self._register(
+            name, "counter_family", self._families,
+            lambda: MetricFamily(name, "counter", label_names, Counter))
+
+    def gauge_family(self, name: str,
+                     label_names: Sequence[str]) -> MetricFamily:
+        return self._register(
+            name, "gauge_family", self._families,
+            lambda: MetricFamily(name, "gauge", label_names, Gauge))
+
+    def histogram_family(self, name: str, label_names: Sequence[str],
+                         buckets: Sequence[float] = DEFAULT_BUCKETS
+                         ) -> MetricFamily:
+        return self._register(
+            name, "histogram_family", self._families,
+            lambda: MetricFamily(name, "histogram", label_names,
+                                 lambda: Histogram(buckets)))
+
+    # -- convenience -------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        self.gauge(name).set(value)
+
+    # -- exports -----------------------------------------------------------
+    def _read_callback(self, name: str,
+                       fn: Callable[[], Number]) -> Optional[Number]:
+        try:
+            return fn()
+        except Exception:
+            # A dead callback (closed executor, removed file) must not
+            # take the whole scrape down; the series simply disappears.
+            return None
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain, JSON-serializable dict of every metric.  Labeled
+        children appear under ``name{label=value,...}`` keys."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            callbacks = dict(self._callbacks)
+            histograms = dict(self._histograms)
+            families = dict(self._families)
+        out: Dict[str, Any] = {}
+        for name in sorted(counters):
+            out[name] = counters[name].value
+        for name in sorted(gauges):
+            out[name] = _plain(gauges[name].value)
+        for name in sorted(callbacks):
+            value = self._read_callback(name, callbacks[name])
+            if value is not None:
+                out[name] = _plain(value)
+        for name in sorted(histograms):
+            out[name] = histograms[name].snapshot()
+        for name in sorted(families):
+            family = families[name]
+            for labels, child in family.children():
+                key = _labeled_key(name, labels)
+                if family.kind == "histogram":
+                    out[key] = child.snapshot()
+                else:
+                    out[key] = _plain(child.value)
+        return out
+
+    def collect(self) -> List[Tuple[str, str, List[Tuple[Dict[str, str], Any]]]]:
+        """Typed series for the exposition renderer.
+
+        Yields ``(name, kind, entries)`` with ``kind`` one of
+        ``counter``/``gauge``/``histogram`` (callback gauges collect as
+        gauges) and ``entries`` a list of ``(labels, value)`` pairs —
+        ``value`` is a number, or a :meth:`Histogram.export` dict for
+        histograms.  Unlabeled metrics carry ``{}`` labels.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            callbacks = dict(self._callbacks)
+            histograms = dict(self._histograms)
+            families = dict(self._families)
+        out: List[Tuple[str, str, List[Tuple[Dict[str, str], Any]]]] = []
+        for name in sorted(counters):
+            out.append((name, "counter", [({}, counters[name].value)]))
+        for name in sorted(gauges):
+            out.append((name, "gauge", [({}, gauges[name].value)]))
+        for name in sorted(callbacks):
+            value = self._read_callback(name, callbacks[name])
+            if value is not None:
+                out.append((name, "gauge", [({}, value)]))
+        for name in sorted(histograms):
+            out.append((name, "histogram",
+                        [({}, histograms[name].export())]))
+        for name in sorted(families):
+            family = families[name]
+            entries: List[Tuple[Dict[str, str], Any]] = []
+            for labels, child in family.children():
+                if family.kind == "histogram":
+                    entries.append((labels, child.export()))
+                else:
+                    entries.append((labels, child.value))
+            out.append((name, family.kind, entries))
+        return out
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (f"MetricsRegistry({len(self._counters)} counters, "
+                    f"{len(self._gauges) + len(self._callbacks)} gauges, "
+                    f"{len(self._histograms)} histograms, "
+                    f"{len(self._families)} families)")
+
+
+#: The process-global registry: module-level instrumentation and
+#: embedding users share it; the service executor keeps its own.
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global :class:`MetricsRegistry`."""
+    return _GLOBAL_REGISTRY
+
+
+# -- rendering helpers ---------------------------------------------------------
+
+def format_number(value: Number, precision: int = 6) -> str:
+    """Fixed-precision rendering, never scientific notation.
+
+    Floats keep at most *precision* decimals with trailing zeros
+    trimmed, so ``1e+06`` renders as ``1000000`` and latencies stay
+    exact enough to read (``0.001234``).
+    """
+    if isinstance(value, int):
+        return str(value)
+    text = f"{value:.{precision}f}"
+    if "." in text:
+        text = text.rstrip("0").rstrip(".")
+    return text or "0"
+
+
+_COUNT_SUFFIXES = ((1e9, "G"), (1e6, "M"), (1e3, "k"))
+
+
+def human_count(value: Number) -> str:
+    """A count with a unit suffix: ``1234567`` → ``1.23M``."""
+    magnitude = abs(value)
+    for threshold, suffix in _COUNT_SUFFIXES:
+        if magnitude >= threshold:
+            scaled = value / threshold
+            return f"{format_number(scaled, 2)}{suffix}"
+    return format_number(value, 2)
+
+
+_DURATION_UNITS = ((1.0, "s"), (1e-3, "ms"), (1e-6, "us"))
+
+
+def human_duration(seconds: float) -> str:
+    """A duration with a unit suffix: ``0.00123`` → ``1.23ms``."""
+    magnitude = abs(seconds)
+    if magnitude >= 60.0:
+        return f"{format_number(seconds / 60.0, 1)}m"
+    for threshold, suffix in _DURATION_UNITS:
+        if magnitude >= threshold:
+            return f"{format_number(seconds / threshold, 2)}{suffix}"
+    if seconds == 0:
+        return "0s"
+    return f"{format_number(seconds / 1e-6, 2)}us"
+
+
+def format_snapshot(snapshot: Mapping[str, Any], indent: int = 0) -> str:
+    """Aligned ``name: value`` lines; nested mappings are indented.
+
+    Shared by ``vidb client metrics``, the server logs and the CLI's
+    ``--stats`` flag, so every statistics dump in vidb reads alike.
+    Floats render at fixed precision (see :func:`format_number`), so
+    large sums never collapse to lossy ``1e+06``-style output.
+    """
+    lines: List[str] = []
+    pad = "  " * indent
+    flat = [(k, v) for k, v in snapshot.items() if not isinstance(v, Mapping)]
+    nested = [(k, v) for k, v in snapshot.items() if isinstance(v, Mapping)]
+    width = max((len(str(k)) for k, _ in flat), default=0)
+    for key, value in flat:
+        rendered = (format_number(value) if isinstance(value, float)
+                    else str(value))
+        lines.append(f"{pad}{str(key).ljust(width)} : {rendered}")
+    for key, value in nested:
+        lines.append(f"{pad}{key}:")
+        lines.append(format_snapshot(value, indent + 1))
+    return "\n".join(lines)

@@ -8,10 +8,12 @@ Turns the single-caller library into a servable database:
   ``(program fingerprint, normalized query, database epoch)``;
 * :mod:`vidb.service.session` — client sessions with prepared,
   parameterized queries compiled once;
-* :mod:`vidb.service.metrics` — counters and latency histograms with a
-  plain-dict snapshot export;
+* :mod:`vidb.service.metrics` — compatibility shim over
+  :mod:`vidb.obs.metrics` (counters, gauges, histograms, labeled
+  families, plain-dict snapshot export);
 * :mod:`vidb.service.server` — a stdlib-only JSON-lines TCP server and
-  client (``vidb serve`` / ``vidb client``).
+  client (``vidb serve`` / ``vidb client``);
+* :mod:`vidb.service.top` — the ``vidb top`` live terminal view.
 
 Quickstart::
 
@@ -32,17 +34,22 @@ from vidb.service.cache import CacheKey, ResultCache
 from vidb.service.executor import RWLock, ServiceExecutor
 from vidb.service.metrics import (
     Counter,
+    Gauge,
     Histogram,
+    MetricFamily,
     MetricsRegistry,
     format_snapshot,
 )
 from vidb.service.server import ServiceClient, VideoServer
 from vidb.service.session import PreparedQuery, Session
+from vidb.service.top import render_top, top_loop
 
 __all__ = [
     "CacheKey",
     "Counter",
+    "Gauge",
     "Histogram",
+    "MetricFamily",
     "MetricsRegistry",
     "PreparedQuery",
     "RWLock",
@@ -52,4 +59,6 @@ __all__ = [
     "Session",
     "VideoServer",
     "format_snapshot",
+    "render_top",
+    "top_loop",
 ]

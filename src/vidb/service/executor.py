@@ -22,8 +22,16 @@ wraps one :class:`~vidb.storage.database.VideoDatabase` and one shared
   preempted (cooperative cancellation), so a timeout bounds *queue wait
   plus one evaluation*, not CPU time mid-evaluation.
 * **Metrics** — every outcome (served, hit, miss, timeout, rejection,
-  error) is counted and latencies are recorded in a histogram;
-  :meth:`ServiceExecutor.snapshot` exports a plain dict.
+  error) is counted (plain counters plus the labeled
+  ``queries_total{outcome=}`` family) and latencies are recorded in a
+  histogram; pull-time values (cache occupancy, live sessions, in-flight
+  queries, WAL/replica state) are registered as callback gauges, so
+  :meth:`ServiceExecutor.snapshot` and the Prometheus exporter
+  (:mod:`vidb.obs.exporter`) read one consistent registry.
+* **Events** — slow queries (above ``slow_query_ms``) and admission
+  rejections are emitted as structured events into an
+  :class:`~vidb.obs.events.EventLog` (the server's ``events`` op and
+  ``vidb top`` read them).
 """
 
 from __future__ import annotations
@@ -43,11 +51,16 @@ from vidb.errors import (
     ServiceClosedError,
     ServiceOverloadedError,
 )
+from vidb.obs.events import EventLog, get_event_log
 from vidb.query.ast import Query
 from vidb.query.engine import AnswerSet, QueryEngine
 from vidb.query.execution import ExecutionOptions, ExecutionReport
 from vidb.query.parser import parse_query
-from vidb.query.render import normalize_query, program_fingerprint
+from vidb.query.render import (
+    normalize_query,
+    program_fingerprint,
+    query_fingerprint,
+)
 from vidb.service.cache import ResultCache
 from vidb.service.metrics import MetricsRegistry
 from vidb.service.session import Session
@@ -146,7 +159,9 @@ class ServiceExecutor:
                  default_timeout: Optional[float] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  engine_options: Optional[Dict[str, Any]] = None,
-                 recent_capacity: int = 64):
+                 recent_capacity: int = 64,
+                 slow_query_ms: Optional[float] = None,
+                 event_log: Optional[EventLog] = None):
         self.durability: Optional[DurableDatabase] = None
         if isinstance(db, DurableDatabase):
             self.durability = db
@@ -156,6 +171,14 @@ class ServiceExecutor:
         for name in ("queries.served", "queries.rejected", "queries.timeout",
                      "queries.errors", "writes.applied", "sessions.opened"):
             self.metrics.counter(name)  # stable snapshot shape from birth
+        self._outcomes = self.metrics.counter_family("queries_total",
+                                                     ("outcome",))
+        self.events = event_log if event_log is not None else get_event_log()
+        #: Threshold in seconds above which a query emits a structured
+        #: ``slow_query`` event (None = disabled; the hot-path cost of
+        #: the disabled state is one float comparison).
+        self.slow_query_s = (None if slow_query_ms is None
+                             else max(0.0, slow_query_ms) / 1000.0)
         self.default_timeout = default_timeout
         self.max_in_flight = max_in_flight or max_workers * 4
         self._engine = QueryEngine(db, rules=rules,
@@ -175,6 +198,24 @@ class ServiceExecutor:
         #: worker threads write without extra locking.
         self._recent: "deque[Dict[str, Any]]" = deque(maxlen=recent_capacity)
         self._closed = False
+        self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        """Pull-time state as callback gauges, read at snapshot/scrape
+        time so the registry is the single source for the JSON
+        ``metrics`` op and the Prometheus exporter alike."""
+        reg = self.metrics
+        reg.callback_gauge("cache.size", lambda: len(self._cache))
+        reg.callback_gauge("cache.capacity", lambda: self._cache.capacity)
+        reg.callback_gauge("epoch", lambda: self.db.epoch)
+        reg.callback_gauge("in_flight", lambda: self._in_flight)
+        reg.callback_gauge("max_in_flight", lambda: self.max_in_flight)
+        reg.callback_gauge("sessions.open", self.session_count)
+        if self.durability is not None:
+            durability = self.durability
+            for key in durability.stats():
+                reg.callback_gauge(
+                    key, lambda k=key: durability.stats()[k])
 
     # -- program management --------------------------------------------------
     @property
@@ -221,6 +262,10 @@ class ServiceExecutor:
         with self._admission:
             if self._in_flight >= self.max_in_flight:
                 self.metrics.inc("queries.rejected")
+                self._outcomes.labels(outcome="rejected").inc()
+                self.events.emit("admission.reject",
+                                 in_flight=self._in_flight,
+                                 limit=self.max_in_flight)
                 raise ServiceOverloadedError(
                     f"{self._in_flight} queries in flight "
                     f"(limit {self.max_in_flight}); retry with backoff")
@@ -279,6 +324,7 @@ class ServiceExecutor:
              options: ExecutionOptions) -> ExecutionReport:
         if deadline is not None and time.monotonic() > deadline:
             self.metrics.inc("queries.timeout")
+            self._outcomes.labels(outcome="timeout").inc()
             raise QueryTimeoutError("deadline expired while queued")
         started = time.perf_counter()
         try:
@@ -304,21 +350,42 @@ class ServiceExecutor:
                         options=options, cached=True)
         except QueryTimeoutError:
             self.metrics.inc("queries.timeout")
+            self._outcomes.labels(outcome="timeout").inc()
             raise
         except Exception:
             self.metrics.inc("queries.errors")
+            self._outcomes.labels(outcome="error").inc()
             raise
         elapsed = time.perf_counter() - started
         if deadline is not None and time.monotonic() > deadline:
             # The answer is valid and cached, but this caller asked for
             # it by a time that has passed; report the miss honestly.
             self.metrics.inc("queries.timeout")
+            self._outcomes.labels(outcome="timeout").inc()
             raise QueryTimeoutError(
                 f"evaluation finished {elapsed:.3f}s in, past the deadline")
         self.metrics.inc("queries.served")
+        self._outcomes.labels(outcome="served").inc()
         self.metrics.observe("queries.latency_seconds", elapsed)
+        if self.slow_query_s is not None and elapsed >= self.slow_query_s:
+            self._note_slow(query, normalized, report, elapsed)
         self._note_recent(normalized, report, elapsed)
         return report
+
+    def _note_slow(self, query: Query, normalized: str,
+                   report: ExecutionReport, elapsed: float) -> None:
+        stats = report.stats
+        self.events.emit(
+            "slow_query",
+            fingerprint=query_fingerprint(query),
+            query=normalized,
+            elapsed_ms=round(elapsed * 1000.0, 3),
+            rows=len(report.answers),
+            cached=report.cached,
+            iterations=stats.iterations,
+            derived_facts=stats.derived_facts,
+            stages={name: round(seconds * 1000.0, 3)
+                    for name, seconds in stats.stages.items()})
 
     def _note_recent(self, normalized: str, report: ExecutionReport,
                      elapsed: float) -> None:
@@ -412,17 +479,29 @@ class ServiceExecutor:
 
     # -- introspection / lifecycle -------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
-        """Metrics + cache + load state as one JSON-serializable dict."""
-        snap = self.metrics.snapshot()
-        snap["cache.size"] = len(self._cache)
-        snap["cache.capacity"] = self._cache.capacity
-        snap["epoch"] = self.db.epoch
-        snap["in_flight"] = self._in_flight
-        snap["max_in_flight"] = self.max_in_flight
-        snap["sessions.open"] = self.session_count()
+        """Metrics + cache + load state as one JSON-serializable dict.
+
+        Cache occupancy, session count, in-flight load, the epoch and
+        (when durable) WAL/snapshot/replica state are all registered as
+        callback gauges, so the registry snapshot is complete on its
+        own — the Prometheus exporter serves the same series.
+        """
+        return self.metrics.snapshot()
+
+    def recent_events(self, limit: Optional[int] = None,
+                      type: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Most-recent-first structured events (the ``events`` op)."""
+        return self.events.recent(limit=limit, type=type)
+
+    def readiness(self) -> Dict[str, bool]:
+        """Named readiness checks for ``/readyz``: the executor accepts
+        queries, and (when durable) recovery has finished and the WAL
+        is writable."""
+        checks = {"executor": not self._closed}
         if self.durability is not None:
-            snap.update(self.durability.stats())
-        return snap
+            checks["recovery"] = True  # recovery completes in __init__
+            checks["wal"] = self.durability.writable
+        return checks
 
     def close(self, wait: bool = True) -> None:
         self._closed = True

@@ -1,187 +1,39 @@
-"""Counters and latency histograms for the query service.
+"""Compatibility shim: the metrics implementation lives in
+:mod:`vidb.obs.metrics`.
 
-Deliberately tiny and dependency-free: a :class:`Counter` is an integer
-behind a lock, a :class:`Histogram` is a set of cumulative buckets plus
-running aggregates, and a :class:`MetricsRegistry` is a named collection
-of both with a plain-dict :meth:`~MetricsRegistry.snapshot` export that
-serializes straight to JSON for the wire protocol.
-
-:func:`format_snapshot` renders any snapshot-shaped mapping as aligned
-``name: value`` lines; the CLI reuses it for ``vidb query --stats`` so
-engine statistics and service metrics read the same way.
+The service layer's counters and histograms predate the first-class
+observability facility; when metrics grew gauges, labeled families and
+the Prometheus exposition format, the implementation moved to
+``vidb.obs`` where the tracer already lives.  Every name that was ever
+importable from here still is — ``from vidb.service.metrics import
+MetricsRegistry`` keeps working, and existing metric names are
+unchanged.
 """
 
-from __future__ import annotations
-
-import math
-import threading
-from typing import Dict, List, Mapping, Sequence, Tuple
-
-#: Default latency buckets in seconds (upper bounds, cumulative).
-DEFAULT_BUCKETS: Tuple[float, ...] = (
-    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+from vidb.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    format_number,
+    format_snapshot,
+    get_registry,
+    human_count,
+    human_duration,
 )
 
-
-class Counter:
-    """A thread-safe monotonically increasing counter."""
-
-    __slots__ = ("_value", "_lock")
-
-    def __init__(self) -> None:
-        self._value = 0
-        self._lock = threading.Lock()
-
-    def inc(self, amount: int = 1) -> None:
-        if amount < 0:
-            raise ValueError("counters only go up")
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> int:
-        with self._lock:
-            return self._value
-
-    def __repr__(self) -> str:
-        return f"Counter({self.value})"
-
-
-class Histogram:
-    """A fixed-bucket histogram with running sum/min/max.
-
-    Buckets are cumulative upper bounds (Prometheus-style), with an
-    implicit ``+Inf`` bucket, so quantiles can be estimated from the
-    counts without storing observations.
-    """
-
-    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
-        bounds = tuple(sorted(float(b) for b in buckets))
-        if not bounds:
-            raise ValueError("need at least one bucket bound")
-        self._bounds = bounds
-        self._counts = [0] * (len(bounds) + 1)  # last = +Inf
-        self._sum = 0.0
-        self._count = 0
-        self._min = math.inf
-        self._max = -math.inf
-        self._lock = threading.Lock()
-
-    def observe(self, value: float) -> None:
-        with self._lock:
-            index = len(self._bounds)
-            for i, bound in enumerate(self._bounds):
-                if value <= bound:
-                    index = i
-                    break
-            self._counts[index] += 1
-            self._sum += value
-            self._count += 1
-            self._min = min(self._min, value)
-            self._max = max(self._max, value)
-
-    @property
-    def count(self) -> int:
-        with self._lock:
-            return self._count
-
-    def quantile(self, q: float) -> float:
-        """Estimated q-quantile (0..1): the upper bound of the bucket
-        holding the q-th observation (the max for the +Inf bucket)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
-        with self._lock:
-            if self._count == 0:
-                return 0.0
-            rank = q * self._count
-            cumulative = 0
-            for i, bucket_count in enumerate(self._counts):
-                cumulative += bucket_count
-                if cumulative >= rank and bucket_count:
-                    if i < len(self._bounds):
-                        return self._bounds[i]
-                    return self._max
-            return self._max
-
-    def snapshot(self) -> Dict[str, float]:
-        with self._lock:
-            if self._count == 0:
-                return {"count": 0}
-            snap = {
-                "count": self._count,
-                "sum": round(self._sum, 6),
-                "mean": round(self._sum / self._count, 6),
-                "min": round(self._min, 6),
-                "max": round(self._max, 6),
-            }
-        snap["p50"] = round(self.quantile(0.5), 6)
-        snap["p95"] = round(self.quantile(0.95), 6)
-        snap["p99"] = round(self.quantile(0.99), 6)
-        return snap
-
-    def __repr__(self) -> str:
-        return f"Histogram(count={self.count})"
-
-
-class MetricsRegistry:
-    """Named counters and histograms, created on first touch."""
-
-    def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._histograms: Dict[str, Histogram] = {}
-        self._lock = threading.Lock()
-
-    def counter(self, name: str) -> Counter:
-        with self._lock:
-            if name not in self._counters:
-                self._counters[name] = Counter()
-            return self._counters[name]
-
-    def histogram(self, name: str,
-                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
-        with self._lock:
-            if name not in self._histograms:
-                self._histograms[name] = Histogram(buckets)
-            return self._histograms[name]
-
-    def inc(self, name: str, amount: int = 1) -> None:
-        self.counter(name).inc(amount)
-
-    def observe(self, name: str, value: float) -> None:
-        self.histogram(name).observe(value)
-
-    def snapshot(self) -> Dict[str, object]:
-        """A plain, JSON-serializable dict of every metric."""
-        with self._lock:
-            counters = dict(self._counters)
-            histograms = dict(self._histograms)
-        out: Dict[str, object] = {}
-        for name in sorted(counters):
-            out[name] = counters[name].value
-        for name in sorted(histograms):
-            out[name] = histograms[name].snapshot()
-        return out
-
-    def __repr__(self) -> str:
-        return (f"MetricsRegistry({len(self._counters)} counters, "
-                f"{len(self._histograms)} histograms)")
-
-
-def format_snapshot(snapshot: Mapping[str, object], indent: int = 0) -> str:
-    """Aligned ``name: value`` lines; nested mappings are indented.
-
-    Shared by ``vidb client metrics``, the server logs and the CLI's
-    ``--stats`` flag, so every statistics dump in vidb reads alike.
-    """
-    lines: List[str] = []
-    pad = "  " * indent
-    flat = [(k, v) for k, v in snapshot.items() if not isinstance(v, Mapping)]
-    nested = [(k, v) for k, v in snapshot.items() if isinstance(v, Mapping)]
-    width = max((len(str(k)) for k, _ in flat), default=0)
-    for key, value in flat:
-        rendered = f"{value:g}" if isinstance(value, float) else str(value)
-        lines.append(f"{pad}{str(key).ljust(width)} : {rendered}")
-    for key, value in nested:
-        lines.append(f"{pad}{key}:")
-        lines.append(format_snapshot(value, indent + 1))
-    return "\n".join(lines)
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "format_number",
+    "format_snapshot",
+    "get_registry",
+    "human_count",
+    "human_duration",
+]

@@ -19,8 +19,17 @@ Operations::
     {"op": "lint",    "text": "big(G) :- interval(G), G.start < 1."}
     {"op": "metrics"}
     {"op": "trace",   "limit": 10}
+    {"op": "events",  "limit": 10, "type": "slow_query"}
     {"op": "wal",     "after": 42, "limit": 1000}
     {"op": "close"}
+
+The ``events`` op returns the service's structured event log (slow
+queries above ``--slow-query-ms``, admission rejections, durability
+checkpoints, replica resyncs — see :mod:`vidb.obs.events`), most recent
+first, optionally filtered by event type.  Every request is also
+counted into the labeled ``requests_total{op=,outcome=}`` metric
+family, so per-op error rates show up on the ``metrics`` op and the
+Prometheus exporter.
 
 The ``wal`` op ships write-ahead-log records after the given LSN to a
 log-shipping replica (see :mod:`vidb.durability.replica`); it answers
@@ -114,15 +123,19 @@ class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         service = cast("_ThreadingServer", self.server).service
         session = service.open_session()
+        requests = service.metrics.counter_family("requests_total",
+                                                  ("op", "outcome"))
         try:
             for raw in self.rfile:
                 line = raw.strip()
                 if not line:
                     continue
+                op_label = "?"
                 try:
                     request = json.loads(line.decode("utf-8"))
                     if not isinstance(request, dict):
                         raise ProtocolError("request must be a JSON object")
+                    op_label = str(request.get("op"))
                     response, keep_open = self._dispatch(service, session,
                                                          request)
                 except (ValueError, ProtocolError) as error:
@@ -133,6 +146,9 @@ class _Handler(socketserver.StreamRequestHandler):
                     response = {"ok": False, "error": _error_kind(error),
                                 "message": str(error)}
                     keep_open = True
+                outcome = ("ok" if response.get("ok")
+                           else str(response.get("error", "error")))
+                requests.labels(op=op_label, outcome=outcome).inc()
                 try:
                     self.wfile.write(
                         (json.dumps(response) + "\n").encode("utf-8"))
@@ -223,6 +239,16 @@ class _Handler(socketserver.StreamRequestHandler):
             return {"ok": True, "metrics": service.snapshot(),
                     "recent": service.recent_traces(
                         limit=request.get("limit"))}, True
+        if op == "events":
+            limit = request.get("limit")
+            if limit is not None and not isinstance(limit, int):
+                raise ProtocolError("'limit' must be an integer")
+            type_ = request.get("type")
+            if type_ is not None and not isinstance(type_, str):
+                raise ProtocolError("'type' must be a string")
+            return {"ok": True,
+                    "events": service.recent_events(limit=limit,
+                                                    type=type_)}, True
         if op == "wal":
             if service.durability is None:
                 raise ServiceError(
@@ -391,6 +417,13 @@ class ServiceClient:
     def trace(self, limit: Optional[int] = None) -> Dict[str, Any]:
         """Service metrics plus summaries of recently executed queries."""
         return self.request("trace", limit=limit)
+
+    def events(self, limit: Optional[int] = None,
+               type: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Most-recent-first structured events (slow queries, admission
+        rejections, checkpoints, ...), optionally filtered by type."""
+        reply = self.request("events", limit=limit, type=type)
+        return list(reply.get("events", []))
 
     def wal(self, after: int = 0,
             limit: Optional[int] = None) -> Dict[str, Any]:

@@ -1,0 +1,145 @@
+"""The ``vidb top`` terminal view: live service health at a glance.
+
+A curses-free poller built on :class:`~vidb.service.server.ServiceClient`:
+each tick fetches the ``metrics`` snapshot (and the most recent
+``slow_query`` events), derives rates from the previous tick, and
+renders one screenful — QPS, latency quantiles, cache hit rate, live
+sessions, in-flight load, WAL head LSN and replica lag when the server
+runs durably.
+
+:func:`render_top` is a pure function of two snapshots, so the view is
+unit-testable without a server; :func:`top_loop` is the CLI driver.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, List, Mapping, Optional
+
+from vidb.obs.metrics import format_number, human_count, human_duration
+
+#: ANSI "home + clear screen", printed between frames on a terminal.
+CLEAR = "\x1b[H\x1b[2J"
+
+
+def _rate(current: Mapping[str, Any], previous: Optional[Mapping[str, Any]],
+          key: str, interval_s: Optional[float]) -> Optional[float]:
+    if previous is None or not interval_s or interval_s <= 0:
+        return None
+    now = current.get(key)
+    before = previous.get(key)
+    if not isinstance(now, (int, float)) or not isinstance(before,
+                                                           (int, float)):
+        return None
+    return max(0.0, (now - before) / interval_s)
+
+
+def _num(snapshot: Mapping[str, Any], key: str, default: float = 0) -> float:
+    value = snapshot.get(key, default)
+    return value if isinstance(value, (int, float)) else default
+
+
+def render_top(snapshot: Mapping[str, Any],
+               previous: Optional[Mapping[str, Any]] = None,
+               interval_s: Optional[float] = None,
+               events: Optional[List[Dict[str, Any]]] = None) -> str:
+    """One frame of the ``vidb top`` display.
+
+    ``snapshot`` is a service metrics snapshot (the ``metrics`` op);
+    ``previous``/``interval_s`` enable the rate column (QPS, writes/s);
+    ``events`` is an optional most-recent-first list of ``slow_query``
+    events.
+    """
+    lines: List[str] = []
+    served = int(_num(snapshot, "queries.served"))
+    qps = _rate(snapshot, previous, "queries.served", interval_s)
+    wps = _rate(snapshot, previous, "writes.applied", interval_s)
+
+    lines.append(
+        f"vidb top — epoch {int(_num(snapshot, 'epoch'))}, "
+        f"sessions {int(_num(snapshot, 'sessions.open'))}, "
+        f"in-flight {int(_num(snapshot, 'in_flight'))}"
+        f"/{int(_num(snapshot, 'max_in_flight'))}")
+
+    qps_text = format_number(qps, 1) if qps is not None else "-"
+    wps_text = format_number(wps, 1) if wps is not None else "-"
+    lines.append(
+        f"qps {qps_text}   writes/s {wps_text}   "
+        f"served {human_count(served)}   "
+        f"errors {int(_num(snapshot, 'queries.errors'))}   "
+        f"timeouts {int(_num(snapshot, 'queries.timeout'))}   "
+        f"rejected {int(_num(snapshot, 'queries.rejected'))}")
+
+    latency = snapshot.get("queries.latency_seconds")
+    if isinstance(latency, Mapping) and latency.get("count"):
+        lines.append(
+            f"latency p50 {human_duration(_num(latency, 'p50'))}  "
+            f"p95 {human_duration(_num(latency, 'p95'))}  "
+            f"p99 {human_duration(_num(latency, 'p99'))}  "
+            f"mean {human_duration(_num(latency, 'mean'))}  "
+            f"(n {human_count(int(_num(latency, 'count')))})")
+    else:
+        lines.append("latency (no queries yet)")
+
+    hits = _num(snapshot, "cache.hits")
+    misses = _num(snapshot, "cache.misses")
+    lookups = hits + misses
+    rate_text = (f"{100.0 * hits / lookups:.1f}%" if lookups else "-")
+    lines.append(
+        f"cache {rate_text} hit "
+        f"(hits {human_count(int(hits))}, misses {human_count(int(misses))}, "
+        f"{int(_num(snapshot, 'cache.size'))}"
+        f"/{int(_num(snapshot, 'cache.capacity'))} entries)")
+
+    if "wal.last_lsn" in snapshot:
+        lines.append(
+            f"wal head lsn {int(_num(snapshot, 'wal.last_lsn'))}   "
+            f"size {human_count(int(_num(snapshot, 'wal.size_bytes')))}B   "
+            f"since-checkpoint "
+            f"{int(_num(snapshot, 'wal.since_checkpoint'))}   "
+            f"snapshots {int(_num(snapshot, 'snapshots.taken'))}   "
+            f"replica lag {int(_num(snapshot, 'replica.lag'))}")
+
+    if events:
+        lines.append("recent slow queries:")
+        for event in events[:5]:
+            elapsed_ms = event.get("elapsed_ms", 0)
+            seconds = (elapsed_ms / 1000.0
+                       if isinstance(elapsed_ms, (int, float)) else 0.0)
+            lines.append(
+                f"  {human_duration(seconds):>8}  "
+                f"{event.get('query', '?')}  "
+                f"({event.get('rows', '?')} rows)")
+    return "\n".join(lines)
+
+
+def top_loop(client: Any, interval_s: float = 2.0, *, once: bool = False,
+             clear: Optional[bool] = None, out: Any = None) -> int:
+    """Poll *client* and render frames until interrupted.
+
+    ``once`` renders a single frame (scripts, CI); ``clear`` overrides
+    the terminal-detection for the ANSI clear between frames.
+    """
+    out = out if out is not None else sys.stdout
+    if clear is None:
+        clear = not once and out.isatty()
+    previous: Optional[Dict[str, Any]] = None
+    previous_at: Optional[float] = None
+    while True:
+        snapshot = client.metrics()
+        now = time.monotonic()
+        events = client.events(limit=5, type="slow_query")
+        elapsed = (now - previous_at) if previous_at is not None else None
+        frame = render_top(snapshot, previous, elapsed, events)
+        if clear:
+            out.write(CLEAR)
+        out.write(frame + "\n")
+        out.flush()
+        if once:
+            return 0
+        previous, previous_at = dict(snapshot), now
+        try:
+            time.sleep(max(0.1, interval_s))
+        except KeyboardInterrupt:
+            return 0

@@ -1,0 +1,208 @@
+"""Unit tests for the Prometheus exporter: exposition format, health
+probes, readiness flipping, and scrapes under concurrent load."""
+
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from vidb.obs.exporter import MetricsExporter, prom_name, render_exposition
+from vidb.obs.metrics import MetricsRegistry
+from vidb.service.executor import ServiceExecutor
+from vidb.workloads.paper import rope_database
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8")
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("queries.served").inc(3)
+    reg.gauge("in_flight").set(2)
+    reg.callback_gauge("cache.size", lambda: 7)
+    reg.histogram("queries.latency_seconds",
+                  buckets=[0.01, 0.1, 1.0]).observe(0.05)
+    reg.counter_family("queries_total",
+                       ("outcome",)).labels(outcome="served").inc(3)
+    return reg
+
+
+class TestPromName:
+    def test_dots_become_underscores_with_prefix(self):
+        assert prom_name("queries.served") == "vidb_queries_served"
+
+    def test_existing_prefix_not_doubled(self):
+        assert prom_name("vidb_x") == "vidb_x"
+
+    def test_leading_digit_guarded(self):
+        assert prom_name("9lives", prefix="") == "_9lives"
+
+
+class TestRenderExposition:
+    def test_golden_exposition(self, registry):
+        text = render_exposition(registry)
+        lines = text.splitlines()
+        assert "# HELP vidb_queries_served vidb metric queries.served" in lines
+        assert "# TYPE vidb_queries_served counter" in lines
+        assert "vidb_queries_served 3" in lines
+        assert "# TYPE vidb_in_flight gauge" in lines
+        assert "vidb_in_flight 2" in lines
+        # callback gauges render as gauges, evaluated at render time
+        assert "# TYPE vidb_cache_size gauge" in lines
+        assert "vidb_cache_size 7" in lines
+        # labeled family
+        assert "# TYPE vidb_queries_total counter" in lines
+        assert 'vidb_queries_total{outcome="served"} 3' in lines
+        assert text.endswith("\n")
+
+    def test_every_series_line_is_parseable(self, registry):
+        for line in render_exposition(registry).splitlines():
+            if line.startswith("#"):
+                kind = line.split()
+                assert kind[1] in ("HELP", "TYPE")
+                continue
+            name_and_labels, value = line.rsplit(" ", 1)
+            assert name_and_labels.startswith("vidb_")
+            float(value)  # every sample value must parse
+
+    def test_histogram_buckets_monotone_and_end_at_inf(self, registry):
+        registry.histogram("queries.latency_seconds").observe(5.0)
+        lines = render_exposition(registry).splitlines()
+        buckets = [line for line in lines
+                   if line.startswith("vidb_queries_latency_seconds_bucket")]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)
+        assert 'le="+Inf"' in buckets[-1]
+        count_line = next(
+            line for line in lines
+            if line.startswith("vidb_queries_latency_seconds_count"))
+        assert counts[-1] == int(count_line.rsplit(" ", 1)[1]) == 2
+        assert any(line.startswith("vidb_queries_latency_seconds_sum")
+                   for line in lines)
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter_family("odd", ("q",)).labels(q='say "hi"\n\\x').inc()
+        text = render_exposition(reg)
+        assert 'q="say \\"hi\\"\\n\\\\x"' in text
+
+
+class TestExporterHTTP:
+    def test_metrics_healthz_readyz_and_404(self, registry):
+        with MetricsExporter(registry, port=0) as exporter:
+            status, body = _get(exporter.url + "/metrics")
+            assert status == 200
+            assert "vidb_queries_served 3" in body
+            status, body = _get(exporter.url + "/healthz")
+            assert (status, body) == (200, "ok\n")
+            status, body = _get(exporter.url + "/readyz")
+            assert status == 200  # no ready callable = always ready
+            status, _ = _get(exporter.url + "/nope")
+            assert status == 404
+
+    def test_readyz_reports_each_check(self, registry):
+        checks = {"recovery": False, "executor": True}
+        with MetricsExporter(registry, port=0,
+                             ready=lambda: checks) as exporter:
+            status, body = _get(exporter.url + "/readyz")
+            assert status == 503
+            assert "fail recovery" in body and "ok executor" in body
+            checks["recovery"] = True
+            status, body = _get(exporter.url + "/readyz")
+            assert status == 200
+            assert body == "ok executor\nok recovery\n"
+
+    def test_ready_callable_raising_means_not_ready(self, registry):
+        def boom():
+            raise RuntimeError("probe exploded")
+
+        with MetricsExporter(registry, port=0, ready=boom) as exporter:
+            status, _ = _get(exporter.url + "/readyz")
+            assert status == 503
+
+    def test_concurrent_scrapes_under_write_load(self, registry):
+        counter = registry.counter("queries.served")
+        hist = registry.histogram("queries.latency_seconds")
+        stop = threading.Event()
+
+        def load():
+            while not stop.is_set():
+                counter.inc()
+                hist.observe(0.004)
+
+        writers = [threading.Thread(target=load) for __ in range(4)]
+        for t in writers:
+            t.start()
+        try:
+            with MetricsExporter(registry, port=0) as exporter:
+                def scrape(failures):
+                    for __ in range(20):
+                        status, body = _get(exporter.url + "/metrics")
+                        if status != 200 or "vidb_queries_served" not in body:
+                            failures.append((status, body[:100]))
+
+                failures = []
+                scrapers = [threading.Thread(target=scrape,
+                                             args=(failures,))
+                            for __ in range(4)]
+                for t in scrapers:
+                    t.start()
+                for t in scrapers:
+                    t.join()
+                assert failures == []
+        finally:
+            stop.set()
+            for t in writers:
+                t.join()
+
+    def test_close_is_idempotent(self, registry):
+        exporter = MetricsExporter(registry, port=0).start_background()
+        exporter.close()
+        exporter.close()
+
+
+class TestReadinessAgainstExecutor:
+    def test_readyz_flips_on_executor_shutdown(self):
+        executor = ServiceExecutor(rope_database(), max_workers=1)
+        with MetricsExporter(executor.metrics, port=0,
+                             ready=executor.readiness) as exporter:
+            status, body = _get(exporter.url + "/readyz")
+            assert status == 200
+            assert "ok executor" in body
+            executor.close()
+            status, body = _get(exporter.url + "/readyz")
+            assert status == 503
+            assert "fail executor" in body
+
+    def test_readyz_flips_during_recovery_replay(self):
+        # Model what vidb serve does: the exporter is up before
+        # recovery, readiness delegates to a state that only becomes
+        # the executor's own readiness() once recovery has finished.
+        ready_state = {"service": None, "recovering": True}
+
+        def ready():
+            service = ready_state["service"]
+            if service is None:
+                return {"recovery": not ready_state["recovering"],
+                        "executor": False}
+            return service.readiness()
+
+        with MetricsExporter(MetricsRegistry(), port=0,
+                             ready=ready) as exporter:
+            status, body = _get(exporter.url + "/readyz")
+            assert status == 503
+            assert "fail recovery" in body and "fail executor" in body
+            with ServiceExecutor(rope_database(),
+                                 max_workers=1) as executor:
+                ready_state["recovering"] = False
+                ready_state["service"] = executor
+                status, body = _get(exporter.url + "/readyz")
+                assert status == 200
+                assert "ok executor" in body

@@ -1,0 +1,221 @@
+"""Unit tests for vidb.obs.metrics: gauges, callback gauges, labeled
+families, one-pass quantiles, and the formatting helpers."""
+
+import threading
+
+import pytest
+
+from vidb.obs.metrics import (
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_number,
+    format_snapshot,
+    get_registry,
+    human_count,
+    human_duration,
+)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        assert gauge.value == 0
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_can_go_negative(self):
+        gauge = Gauge()
+        gauge.dec()
+        assert gauge.value == -1
+
+    def test_concurrent_updates_do_not_lose(self):
+        gauge = Gauge()
+
+        def spin():
+            for __ in range(1000):
+                gauge.inc()
+
+        threads = [threading.Thread(target=spin) for __ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert gauge.value == 8000
+
+
+class TestCallbackGauge:
+    def test_evaluated_at_snapshot_time(self):
+        reg = MetricsRegistry()
+        state = {"value": 1}
+        reg.callback_gauge("lag", lambda: state["value"])
+        assert reg.snapshot()["lag"] == 1
+        state["value"] = 7
+        assert reg.snapshot()["lag"] == 7
+
+    def test_dead_callback_is_skipped_not_fatal(self):
+        reg = MetricsRegistry()
+        reg.counter("ok").inc()
+        reg.callback_gauge("broken", lambda: 1 / 0)
+        snap = reg.snapshot()
+        assert snap["ok"] == 1
+        assert "broken" not in snap
+
+    def test_reregistering_replaces_the_callback(self):
+        reg = MetricsRegistry()
+        reg.callback_gauge("x", lambda: 1)
+        reg.callback_gauge("x", lambda: 2)
+        assert reg.snapshot()["x"] == 2
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("n")
+        with pytest.raises(ValueError):
+            reg.callback_gauge("n", lambda: 0)
+        with pytest.raises(ValueError):
+            reg.gauge("n")
+
+
+class TestMetricFamily:
+    def test_children_created_on_first_touch(self):
+        reg = MetricsRegistry()
+        family = reg.counter_family("queries_total", ("outcome",))
+        family.labels(outcome="served").inc(3)
+        family.labels(outcome="error").inc()
+        family.labels(outcome="served").inc()
+        children = {tuple(labels.items()): child.value
+                    for labels, child in family.children()}
+        assert children == {(("outcome", "served"),): 4,
+                            (("outcome", "error"),): 1}
+
+    def test_wrong_label_set_rejected(self):
+        reg = MetricsRegistry()
+        family = reg.counter_family("requests_total", ("op", "outcome"))
+        with pytest.raises(ValueError):
+            family.labels(op="query")
+        with pytest.raises(ValueError):
+            family.labels(op="query", outcome="ok", extra="no")
+
+    def test_snapshot_keys_are_labeled(self):
+        reg = MetricsRegistry()
+        reg.counter_family("requests_total",
+                           ("op", "outcome")).labels(
+                               op="query", outcome="ok").inc(2)
+        snap = reg.snapshot()
+        assert snap["requests_total{op=query,outcome=ok}"] == 2
+
+    def test_gauge_and_histogram_families(self):
+        reg = MetricsRegistry()
+        reg.gauge_family("pool", ("name",)).labels(name="a").set(3)
+        reg.histogram_family("lat", ("op",),
+                             buckets=[1.0]).labels(op="q").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["pool{name=a}"] == 3
+        assert snap["lat{op=q}"]["count"] == 1
+
+    def test_registering_same_name_same_kind_is_idempotent(self):
+        reg = MetricsRegistry()
+        first = reg.counter_family("f", ("a",))
+        assert reg.counter_family("f", ("a",)) is first
+        with pytest.raises(ValueError):
+            reg.gauge_family("f", ("a",))
+
+    def test_collect_carries_labels(self):
+        reg = MetricsRegistry()
+        reg.counter_family("t", ("outcome",)).labels(outcome="ok").inc()
+        series = {name: (kind, entries)
+                  for name, kind, entries in reg.collect()}
+        kind, entries = series["t"]
+        assert kind == "counter"
+        assert entries == [({"outcome": "ok"}, 1)]
+
+
+class TestHistogramQuantiles:
+    def test_quantiles_single_pass_matches_individual(self):
+        hist = Histogram(buckets=[0.01, 0.1, 1.0])
+        for value in (0.005, 0.05, 0.05, 0.5, 2.0):
+            hist.observe(value)
+        qs = (0.5, 0.95, 0.99)
+        assert hist.quantiles(qs) == tuple(hist.quantile(q) for q in qs)
+
+    def test_snapshot_quantiles_consistent_under_concurrent_observe(self):
+        # Regression: quantiles used to be computed by separate locked
+        # quantile() calls after the aggregate pass, so concurrent
+        # observes could land between them and p50 > p99 was possible.
+        hist = Histogram(buckets=[0.001, 0.01, 0.1, 1.0, 10.0])
+        stop = threading.Event()
+
+        def feed():
+            values = (0.0005, 0.005, 0.05, 0.5, 5.0)
+            i = 0
+            while not stop.is_set():
+                hist.observe(values[i % len(values)])
+                i += 1
+
+        threads = [threading.Thread(target=feed) for __ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for __ in range(300):
+                snap = hist.snapshot()
+                if snap["count"] == 0:
+                    continue
+                assert snap["p50"] <= snap["p95"] <= snap["p99"]
+                assert snap["min"] <= snap["mean"] <= snap["max"]
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram().quantiles([0.5, 1.5])
+
+    def test_export_buckets_are_cumulative_and_end_at_inf(self):
+        hist = Histogram(buckets=[0.1, 1.0])
+        for value in (0.05, 0.5, 2.0, 3.0):
+            hist.observe(value)
+        export = hist.export()
+        counts = [count for _, count in export["buckets"]]
+        assert counts == sorted(counts)
+        assert export["buckets"][-1][0] == float("inf")
+        assert export["buckets"][-1][1] == export["count"] == 4
+
+
+class TestFormatting:
+    def test_format_number_never_scientific(self):
+        assert format_number(1e6) == "1000000"
+        assert format_number(0.000123) == "0.000123"
+        assert format_number(1.5) == "1.5"
+        assert format_number(42) == "42"
+        assert format_number(0.0) == "0"
+
+    def test_human_count(self):
+        assert human_count(950) == "950"
+        assert human_count(1234) == "1.23k"
+        assert human_count(2_500_000) == "2.5M"
+        assert human_count(3_000_000_000) == "3G"
+
+    def test_human_duration(self):
+        assert human_duration(0.000_000_5) == "0.5us"
+        assert human_duration(0.000_86) == "860us"
+        assert human_duration(0.012) == "12ms"
+        assert human_duration(1.5) == "1.5s"
+        assert human_duration(90.0) == "1.5m"
+        assert human_duration(0) == "0s"
+
+    def test_format_snapshot_uses_fixed_precision(self):
+        text = format_snapshot({"big": 1234567.0, "tiny": 0.000012})
+        assert "1234567" in text
+        assert "0.000012" in text
+        assert "e+" not in text and "e-" not in text
+
+
+class TestGlobalRegistry:
+    def test_process_global_singleton(self):
+        assert get_registry() is get_registry()
+
+    def test_is_a_registry(self):
+        assert isinstance(get_registry(), MetricsRegistry)

@@ -1,0 +1,108 @@
+"""Unit tests for the ``vidb top`` renderer and poll loop."""
+
+import io
+
+from vidb.service.top import CLEAR, render_top, top_loop
+
+BASE = {
+    "epoch": 13,
+    "sessions.open": 2,
+    "in_flight": 1,
+    "max_in_flight": 16,
+    "queries.served": 100,
+    "queries.errors": 1,
+    "queries.timeout": 2,
+    "queries.rejected": 3,
+    "writes.applied": 10,
+    "cache.hits": 90,
+    "cache.misses": 10,
+    "cache.size": 10,
+    "cache.capacity": 256,
+    "queries.latency_seconds": {
+        "count": 100, "sum": 0.2, "mean": 0.002,
+        "min": 0.001, "max": 0.05,
+        "p50": 0.001, "p95": 0.005, "p99": 0.01,
+    },
+}
+
+
+class TestRenderTop:
+    def test_header_and_counters(self):
+        frame = render_top(BASE)
+        assert "epoch 13" in frame
+        assert "sessions 2" in frame
+        assert "in-flight 1/16" in frame
+        assert "served 100" in frame
+        assert "errors 1" in frame and "timeouts 2" in frame
+        assert "rejected 3" in frame
+
+    def test_rates_need_a_previous_snapshot(self):
+        assert "qps -" in render_top(BASE)
+        previous = dict(BASE, **{"queries.served": 50,
+                                 "writes.applied": 5})
+        frame = render_top(BASE, previous, interval_s=2.0)
+        assert "qps 25" in frame
+        assert "writes/s 2.5" in frame
+
+    def test_latency_line(self):
+        frame = render_top(BASE)
+        assert "p50 1ms" in frame
+        assert "p95 5ms" in frame
+        assert "p99 10ms" in frame
+
+    def test_latency_placeholder_before_any_query(self):
+        empty = dict(BASE, **{"queries.latency_seconds": {"count": 0}})
+        assert "latency (no queries yet)" in render_top(empty)
+
+    def test_cache_hit_rate(self):
+        frame = render_top(BASE)
+        assert "cache 90.0% hit" in frame
+        assert "10/256 entries" in frame
+        cold = dict(BASE, **{"cache.hits": 0, "cache.misses": 0})
+        assert "cache - hit" in render_top(cold)
+
+    def test_wal_line_only_when_durable(self):
+        assert "wal head" not in render_top(BASE)
+        durable = dict(BASE, **{"wal.last_lsn": 42, "wal.size_bytes": 1024,
+                                "wal.since_checkpoint": 7,
+                                "snapshots.taken": 3, "replica.lag": 2})
+        frame = render_top(durable)
+        assert "wal head lsn 42" in frame
+        assert "replica lag 2" in frame
+
+    def test_slow_query_block(self):
+        events = [{"elapsed_ms": 120.0, "query": "?- object(O).",
+                   "rows": 9}]
+        frame = render_top(BASE, events=events)
+        assert "recent slow queries:" in frame
+        assert "120ms" in frame
+        assert "?- object(O)." in frame
+        assert "(9 rows)" in frame
+
+
+class FakeClient:
+    def __init__(self):
+        self.metrics_calls = 0
+
+    def metrics(self):
+        self.metrics_calls += 1
+        return dict(BASE)
+
+    def events(self, limit=None, type=None):
+        assert type == "slow_query"
+        return []
+
+
+class TestTopLoop:
+    def test_once_renders_one_frame(self):
+        out = io.StringIO()
+        client = FakeClient()
+        assert top_loop(client, once=True, out=out) == 0
+        assert client.metrics_calls == 1
+        assert "vidb top" in out.getvalue()
+        assert CLEAR not in out.getvalue()
+
+    def test_clear_override(self):
+        out = io.StringIO()
+        top_loop(FakeClient(), once=True, clear=True, out=out)
+        assert out.getvalue().startswith(CLEAR)
