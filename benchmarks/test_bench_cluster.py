@@ -1,0 +1,117 @@
+"""Cluster benchmarks: read throughput vs replica fleet size.
+
+Measures what the read tier actually buys: queries/second through a
+:class:`~vidb.cluster.router.ClusterRouter` over 1, 2 and 4 serving
+replicas, against the single-node baseline (clients straight at the
+primary).  Each measurement drives the fleet with several concurrent
+client threads over the wire, so the number includes the full protocol
+path — socket, JSON framing, routing, executor, cache.
+
+Besides the per-run pytest output, the suite writes the results to
+``BENCH_cluster.json`` at the repo root — the seed of the cluster perf
+trajectory (compare it across PRs).
+
+Caveat for reading the numbers: everything runs in ONE process here, so
+replicas share the GIL with the primary and the router instead of adding
+machines.  The fleet sizes therefore measure routing/fan-out *overhead*
+(which should stay small and flat), not multi-host scaling.
+"""
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from vidb.cluster import ClusterRouter, ReplicaServer
+from vidb.durability import DurableDatabase
+from vidb.service import ServiceClient, ServiceExecutor, VideoServer
+from vidb.storage.persistence import dumps, loads
+from vidb.workloads.generator import QUERY_TEMPLATES
+
+CLIENT_THREADS = 4
+QUERIES_PER_THREAD = 40
+#: A few query shapes so the result cache doesn't collapse the run
+#: into a single hot entry.
+QUERIES = [QUERY_TEMPLATES["membership"], QUERY_TEMPLATES["attribute"],
+           QUERY_TEMPLATES["temporal"], QUERY_TEMPLATES["join"]]
+
+RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_bench_record():
+    yield
+    if not RESULTS:
+        return
+    path = Path(__file__).resolve().parents[1] / "BENCH_cluster.json"
+    payload = {
+        "benchmark": "cluster_read_throughput",
+        "unit": "queries_per_second",
+        "client_threads": CLIENT_THREADS,
+        "queries_per_thread": QUERIES_PER_THREAD,
+        "results": RESULTS,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def drive(host, port):
+    """Hammer one endpoint from CLIENT_THREADS threads; returns qps."""
+    errors = []
+
+    def worker(index):
+        try:
+            with ServiceClient(host, port) as client:
+                for step in range(QUERIES_PER_THREAD):
+                    client.query(QUERIES[(index + step) % len(QUERIES)])
+        except Exception as error:  # pragma: no cover - surfaced below
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(index,))
+               for index in range(CLIENT_THREADS)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    assert not errors, errors[0]
+    return (CLIENT_THREADS * QUERIES_PER_THREAD) / elapsed
+
+
+@pytest.mark.parametrize("fleet", [0, 1, 2, 4])
+def test_read_throughput_by_fleet_size(tmp_path, small_db, fleet):
+    seed = loads(dumps(small_db))
+    durable = DurableDatabase(tmp_path / "primary", seed=seed,
+                              fsync="never")
+    service = ServiceExecutor(durable, max_workers=4)
+    server = VideoServer(service).start_background()
+    replicas, router = [], None
+    try:
+        if fleet == 0:
+            qps = drive(*server.address)
+            label = "single_node"
+        else:
+            for index in range(fleet):
+                replica = ReplicaServer.from_data_dir(
+                    tmp_path / "primary", poll_interval_s=1.0,
+                    promote_data_dir=tmp_path / f"promoted-{index}")
+                replica.poll_once()
+                replica.start()
+                replicas.append(replica)
+            router = ClusterRouter(server.address,
+                                   [r.address for r in replicas],
+                                   probe_interval_s=1.0).start()
+            qps = drive(*router.address)
+            label = f"replicas_{fleet}"
+        RESULTS[label] = round(qps, 1)
+        assert qps > 0
+    finally:
+        if router is not None:
+            router.close()
+        for replica in replicas:
+            replica.close()
+        server.shutdown()
+        service.close()

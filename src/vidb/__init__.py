@@ -19,7 +19,9 @@ Querying Video Data"* (Decleir, Hacid & Kouloumdjian, ICDE 1999):
   workload generators;
 * :mod:`vidb.bench` — benchmark harness helpers;
 * :mod:`vidb.obs` — observability: tracing, metrics, structured
-  events, and the Prometheus ``/metrics`` exporter.
+  events, and the Prometheus ``/metrics`` exporter;
+* :mod:`vidb.cluster` — the read-serving replica fleet: serving
+  replicas, the routing front end, and failover promotion.
 
 Quickstart::
 
@@ -91,6 +93,7 @@ from vidb.query import (
 )
 from vidb.api import connect
 from vidb.catalog import Archive
+from vidb.cluster import ClusterRouter, Promoter, ReplicaServer
 from vidb.durability import DurableDatabase, Replica, recover
 from vidb.presentation import EDL, Cut, Sequencer
 from vidb.schema import AttrSpec, Schema, aggregate
@@ -108,6 +111,7 @@ __all__ = [
     "AnswerSet",
     "Archive",
     "AttrSpec",
+    "ClusterRouter",
     "Comparison",
     "Cut",
     "EDL",
@@ -133,10 +137,12 @@ __all__ = [
     "ParseError",
     "PersistenceError",
     "Program",
+    "Promoter",
     "QueryEngine",
     "QueryError",
     "RelationFact",
     "Replica",
+    "ReplicaServer",
     "Rule",
     "SafetyError",
     "Schema",

@@ -14,6 +14,9 @@ Commands::
     vidb serve ... --metrics-port 9464   also expose Prometheus /metrics
     vidb recover state                   inspect/replay a data directory
     vidb replicate state --once          follow a primary's WAL locally
+    vidb replicate state --serve-port 0  ...and serve reads while following
+    vidb router --primary H:P --replica H:P   cluster front door
+    vidb promote --replica H:P --data-dir new    failover promotion
     vidb client query "?- ..."           talk to a running server
     vidb top --port 7421                 live QPS/latency/cache view
 
@@ -163,6 +166,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="append structured JSON events to PATH "
                             "('-' for stderr; the in-memory ring behind "
                             "the events op is always on)")
+    serve.add_argument("--read-only", action="store_true",
+                       help="reject every mutation with a read_only "
+                            "error (serve a snapshot as a static "
+                            "read tier)")
     _common_engine_flags(serve)
 
     recover_p = sub.add_parser(
@@ -193,6 +200,61 @@ def _build_parser() -> argparse.ArgumentParser:
                            metavar="PORT",
                            help="expose replica lag and apply counters "
                                 "as Prometheus /metrics on this port")
+    replicate.add_argument("--serve-port", type=int, default=None,
+                           metavar="PORT",
+                           help="also serve reads on this TCP port while "
+                                "following (0 picks an ephemeral port): "
+                                "the cluster's read tier")
+    replicate.add_argument("--serve-host", default="127.0.0.1")
+    replicate.add_argument("--promote-data-dir", default=None, metavar="DIR",
+                           help="data directory this replica would root a "
+                                "new primary generation in if promoted")
+    replicate.add_argument("--lsn-wait", type=float, default=2.0,
+                           metavar="SECONDS",
+                           help="bounded wait for session-consistency "
+                                "(min_lsn) reads before failing with a "
+                                "lagging error (default 2)")
+
+    router = sub.add_parser(
+        "router", help="route one endpoint across a primary and replicas")
+    router.add_argument("--primary", required=True, metavar="HOST:PORT",
+                        help="the write-accepting server")
+    router.add_argument("--replica", action="append", default=[],
+                        metavar="HOST:PORT",
+                        help="read-serving replica (repeatable)")
+    router.add_argument("--host", default="127.0.0.1")
+    router.add_argument("--port", type=int, default=7430,
+                        help="TCP port to listen on (0 picks an ephemeral "
+                             "port; default 7430)")
+    router.add_argument("--probe-interval", type=float, default=0.5,
+                        help="seconds between replica health probes")
+    router.add_argument("--max-lag", type=int, default=None, metavar="LSNS",
+                        help="replicas lagging more than this many LSNs "
+                             "stop taking reads (default: no cap)")
+    router.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="expose router metrics as Prometheus "
+                             "/metrics on this HTTP port")
+    router.add_argument("--event-log", default=None, metavar="PATH",
+                        help="append structured JSON events to PATH "
+                             "('-' for stderr)")
+
+    promote = sub.add_parser(
+        "promote", help="fail over: promote a replica to primary")
+    promote.add_argument("--replica", action="append", default=[],
+                         metavar="HOST:PORT",
+                         help="candidate serving replica (repeatable); "
+                              "the reachable one with the highest applied "
+                              "LSN wins")
+    promote.add_argument("--data-dir", default=None, metavar="DIR",
+                         help="data directory for the new primary "
+                              "generation (defaults to the replica's "
+                              "--promote-data-dir)")
+    promote.add_argument("--router", default=None, metavar="HOST:PORT",
+                         help="repoint this router at the winner")
+    promote.add_argument("--offline", default=None, metavar="OLD_DIR",
+                         help="no surviving replica: recover this old "
+                              "primary directory into --data-dir instead")
 
     top = sub.add_parser(
         "top", help="live terminal view of a running vidb server")
@@ -211,6 +273,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="socket timeout in seconds")
     client.add_argument("--repeat", type=int, default=1,
                         help="send the request N times (shows cache hits)")
+    client.add_argument("--min-lsn", type=int, default=None, metavar="LSN",
+                        help="session-consistency token: hold the read "
+                             "until the server's state covers this LSN "
+                             "(writes print the head_lsn to use here)")
     client.add_argument(
         "request", nargs="+", metavar="OP [ARG...]",
         help="one of: query '?- ...' | metrics | trace [N] | "
@@ -467,12 +533,15 @@ def _cmd_serve(args) -> int:
             max_workers=args.workers, max_in_flight=args.max_in_flight,
             cache_capacity=args.cache_capacity, default_timeout=args.timeout,
             engine_options={"mode": args.mode}, metrics=registry,
-            slow_query_ms=args.slow_query_ms, event_log=event_log)
+            slow_query_ms=args.slow_query_ms, event_log=event_log,
+            read_only=args.read_only)
         ready_state["service"] = service
         with service, VideoServer(service, args.host, args.port) as server:
             host, port = server.address
             durably = (f", durable in {args.data_dir}"
                        if args.data_dir is not None else "")
+            if args.read_only:
+                durably += ", read-only"
             print(f"vidb serving {db.name!r} on {host}:{port} "
                   f"({args.workers} workers, epoch {db.epoch}{durably})",
                   flush=True)
@@ -505,6 +574,13 @@ def _cmd_recover(args) -> int:
     return 0
 
 
+def _parse_hostport(text: str, flag: str):
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise VidbError(f"{flag} expects HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
 def _cmd_replicate(args) -> int:
     from vidb.durability import Replica
 
@@ -512,17 +588,130 @@ def _cmd_replicate(args) -> int:
         raise VidbError(
             "replicate needs exactly one source: a primary data "
             "directory, or --server HOST:PORT")
+    if args.serve_port is not None:
+        return _replica_serve(args)
     if args.server is not None:
         from vidb.service.server import ServiceClient
 
-        host, _, port = args.server.rpartition(":")
-        if not host or not port.isdigit():
-            raise VidbError(f"--server expects HOST:PORT, got {args.server!r}")
-        with ServiceClient(host, int(port)) as client:
+        host, port = _parse_hostport(args.server, "--server")
+        with ServiceClient(host, port) as client:
             replica = Replica.from_client(client)
             return _replica_loop(replica, args)
     replica = Replica.from_data_dir(args.data_dir)
     return _replica_loop(replica, args)
+
+
+def _replica_serve(args) -> int:
+    """``vidb replicate --serve-port``: the cluster's read tier — keep
+    following the primary *and* serve the standard protocol read-only."""
+    import contextlib
+    import time as _time
+
+    from vidb.cluster import ReplicaServer
+    from vidb.obs.events import EventLog
+
+    event_log = EventLog()
+    options = dict(host=args.serve_host, port=args.serve_port,
+                   poll_interval_s=max(0.05, args.interval),
+                   lsn_wait_s=args.lsn_wait,
+                   promote_data_dir=args.promote_data_dir,
+                   event_log=event_log)
+    if args.server is not None:
+        host, port = _parse_hostport(args.server, "--server")
+        server = ReplicaServer.from_primary(host, port, **options)
+    else:
+        server = ReplicaServer.from_data_dir(args.data_dir, **options)
+    with contextlib.ExitStack() as cleanup:
+        cleanup.callback(server.close)
+        cleanup.callback(event_log.close)
+        if args.metrics_port is not None:
+            from vidb.obs.exporter import MetricsExporter
+
+            exporter = MetricsExporter(
+                server.service.metrics, port=args.metrics_port,
+                ready=server.readiness).start_background()
+            cleanup.callback(exporter.close)
+            mhost, mport = exporter.address
+            print(f"replica metrics on http://{mhost}:{mport}/metrics",
+                  flush=True)
+        server.start()
+        host, port = server.address
+        print(f"replica serving reads on {host}:{port} "
+              f"(applied lsn {server.replica.applied_lsn}, "
+              f"poll every {max(0.05, args.interval):g}s)", flush=True)
+        try:
+            while True:
+                _time.sleep(1.0)
+        except KeyboardInterrupt:
+            return 0
+
+
+def _cmd_router(args) -> int:
+    import contextlib
+    import threading
+
+    from vidb.cluster import ClusterRouter
+    from vidb.obs.events import EventLog
+    from vidb.obs.metrics import MetricsRegistry
+
+    primary = _parse_hostport(args.primary, "--primary")
+    replicas = [_parse_hostport(r, "--replica") for r in args.replica]
+    event_log = EventLog(
+        sink="stderr" if args.event_log == "-" else args.event_log)
+    registry = MetricsRegistry()
+    router = ClusterRouter(
+        primary, replicas, host=args.host, port=args.port,
+        probe_interval_s=args.probe_interval, max_lag_lsn=args.max_lag,
+        metrics=registry, event_log=event_log)
+    with contextlib.ExitStack() as cleanup:
+        cleanup.callback(router.close)
+        cleanup.callback(event_log.close)
+        if args.metrics_port is not None:
+            from vidb.obs.exporter import MetricsExporter
+
+            exporter = MetricsExporter(
+                registry, port=args.metrics_port,
+                ready=lambda: {"router": True}).start_background()
+            cleanup.callback(exporter.close)
+            mhost, mport = exporter.address
+            print(f"router metrics on http://{mhost}:{mport}/metrics",
+                  flush=True)
+        router.start()
+        host, port = router.address
+        print(f"vidb router on {host}:{port} "
+              f"(primary {primary[0]}:{primary[1]}, "
+              f"{len(replicas)} replica(s))", flush=True)
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_promote(args) -> int:
+    from vidb.cluster import Promoter, promote_data_dir
+
+    if args.offline is not None:
+        if args.replica:
+            raise VidbError("--offline and --replica are exclusive: "
+                            "offline promotion is for when no serving "
+                            "replica survived")
+        if args.data_dir is None:
+            raise VidbError("offline promotion needs --data-dir for the "
+                            "new primary generation")
+        result = promote_data_dir(args.offline, args.data_dir)
+    else:
+        if not args.replica:
+            raise VidbError(
+                "promote needs --replica HOST:PORT candidates, or "
+                "--offline OLD_DIR when none survived")
+        promoter = Promoter(
+            [_parse_hostport(r, "--replica") for r in args.replica])
+        router = (_parse_hostport(args.router, "--router")
+                  if args.router is not None else None)
+        result = promoter.promote(data_dir=args.data_dir, router=router)
+    print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    return 0
 
 
 def _replica_exporter(replica, port: int):
@@ -592,6 +781,11 @@ def _parse_pairs(text: str) -> List[List[float]]:
     return pairs
 
 
+def _lsn_suffix(reply: dict) -> str:
+    head = reply.get("head_lsn")
+    return f", lsn {head}" if head is not None else ""
+
+
 def _print_answers(response: dict) -> None:
     variables = response.get("variables", [])
     rows = [dict(zip(variables, row)) for row in response.get("rows", [])]
@@ -609,7 +803,7 @@ def _cmd_client(args) -> int:
             if op == "query":
                 if len(rest) != 1:
                     raise VidbError("usage: client query '?- ...'")
-                _print_answers(client.query(rest[0]))
+                _print_answers(client.query(rest[0], min_lsn=args.min_lsn))
             elif op == "metrics":
                 print(format_snapshot(client.metrics()))
             elif op == "trace":
@@ -631,7 +825,8 @@ def _cmd_client(args) -> int:
                 if not rest:
                     raise VidbError("usage: client entity OID [k=v...]")
                 reply = client.insert_entity(rest[0], **_parse_kv(rest[1:]))
-                print(f"created {reply['oid']} (epoch {reply['epoch']})")
+                print(f"created {reply['oid']} (epoch {reply['epoch']}"
+                      + _lsn_suffix(reply) + ")")
             elif op == "interval":
                 if len(rest) < 2:
                     raise VidbError(
@@ -640,17 +835,31 @@ def _cmd_client(args) -> int:
                 reply = client.insert_interval(
                     rest[0], entities=rest[2:],
                     duration=_parse_pairs(rest[1]))
-                print(f"created {reply['oid']} (epoch {reply['epoch']})")
+                print(f"created {reply['oid']} (epoch {reply['epoch']}"
+                      + _lsn_suffix(reply) + ")")
             elif op == "relate":
                 if len(rest) < 2:
                     raise VidbError("usage: client relate NAME ARG...")
                 reply = client.relate(rest[0], *rest[1:])
-                print(f"asserted {reply['fact']} (epoch {reply['epoch']})")
+                print(f"asserted {reply['fact']} (epoch {reply['epoch']}"
+                      + _lsn_suffix(reply) + ")")
             elif op == "events":
                 limit = int(rest[0]) if rest else None
                 type_ = rest[1] if len(rest) > 1 else None
                 for event in client.events(limit=limit, type=type_):
                     print(json.dumps(event, sort_keys=True))
+            elif op == "cluster":
+                reply = client.request("cluster")
+                reply.pop("ok", None)
+                print(json.dumps(reply, indent=2, sort_keys=True))
+            elif op == "wal":
+                reply = client.wal(after=int(rest[0]) if rest else 0)
+                reply.pop("ok", None)
+                reply.pop("records", None)
+                reply.pop("snapshot", None)
+                print(format_snapshot(
+                    {k: v for k, v in reply.items()
+                     if isinstance(v, (int, float, str, bool))}))
             else:
                 raise VidbError(f"unknown client op {op!r}")
     return 0
@@ -677,6 +886,8 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "recover": _cmd_recover,
     "replicate": _cmd_replicate,
+    "router": _cmd_router,
+    "promote": _cmd_promote,
     "client": _cmd_client,
     "top": _cmd_top,
 }

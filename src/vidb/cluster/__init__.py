@@ -1,0 +1,38 @@
+"""vidb.cluster — a read-serving replica fleet with failover.
+
+Promotes replicas from passive WAL sinks (:mod:`vidb.durability.replica`)
+into a queryable read tier, and fronts the fleet with a router (see
+``docs/CLUSTER.md``):
+
+* :mod:`vidb.cluster.replica_server` — :class:`ReplicaServer` runs a
+  read-only :class:`~vidb.service.ServiceExecutor` over a continuously
+  replicating follower, serving the standard JSON-lines protocol
+  (queries, lint, trace, events, ``wal`` position reports) while a
+  background thread tails the primary;
+* :mod:`vidb.cluster.router` — :class:`ClusterRouter` speaks the same
+  wire protocol, forwards writes and session state to the primary and
+  load-balances reads across healthy replicas, honoring each client's
+  read-your-writes LSN token;
+* :mod:`vidb.cluster.promote` — :class:`Promoter` picks the
+  furthest-ahead ready replica when the primary dies, fences the old
+  generation, and flips the winner to accepting writes
+  (``vidb promote``).
+
+Consistency contract: a client's durable writes return ``head_lsn``;
+its subsequent reads carry that token, and a replica either serves the
+read at-or-after the token (bounded wait) or fails with a ``lagging``
+error so the router redirects the read to the primary.  Reads without a
+token see *some* committed prefix of the primary's history.
+"""
+
+from vidb.cluster.promote import PromotionResult, Promoter, promote_data_dir
+from vidb.cluster.replica_server import ReplicaServer
+from vidb.cluster.router import ClusterRouter
+
+__all__ = [
+    "ClusterRouter",
+    "PromotionResult",
+    "Promoter",
+    "ReplicaServer",
+    "promote_data_dir",
+]

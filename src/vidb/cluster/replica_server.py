@@ -1,0 +1,283 @@
+"""A replica that serves reads while it follows the primary.
+
+:class:`ReplicaServer` composes the existing pieces into the cluster's
+read tier:
+
+* a :class:`~vidb.durability.replica.Replica` tailing the primary's WAL
+  (filesystem or wire transport),
+* a read-only :class:`~vidb.service.executor.ServiceExecutor` over the
+  replica's database — queries, lint, trace and events work exactly as
+  on the primary; mutations fail with a ``read_only`` error,
+* a :class:`~vidb.service.server.VideoServer` speaking the standard
+  JSON-lines protocol, and
+* a background poll thread that fetches WAL batches *outside* the
+  executor's writer lock and applies them *inside* it, so replication
+  never blocks reads longer than one apply.
+
+The executor's ``wal`` op reports the replica's position
+(``applied_lsn`` / ``lag_lsn``) — the router's balance signal and the
+promotion ballot.  :meth:`ReplicaServer.promote` flips this process to
+primary in place: it drains what it still can from the old source,
+fences the old generation when the old data directory is reachable,
+seeds a fresh :class:`~vidb.durability.DurableDatabase` whose LSN
+sequence continues where replication stopped, and re-arms the executor
+for writes — all under one exclusive lock, so no read ever sees the
+half-promoted state.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from vidb.durability.durable import DurableDatabase
+from vidb.durability.replica import FileWalSource, Replica
+from vidb.durability.wal import head_lsn, write_fence
+from vidb.errors import ClusterError, ReplicationError
+from vidb.obs.events import EventLog, get_event_log
+from vidb.service.executor import ServiceExecutor
+from vidb.service.server import ServiceClient, VideoServer
+from vidb.durability.snapshot import wal_path
+
+
+class ReplicaServer:
+    """A serving read replica: follower + read-only executor + server."""
+
+    def __init__(self, replica: Replica, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 poll_interval_s: float = 0.2,
+                 lsn_wait_s: float = 2.0,
+                 promote_data_dir: Optional[Union[str, Path]] = None,
+                 source_data_dir: Optional[Union[str, Path]] = None,
+                 rules: Optional[str] = None,
+                 use_stdlib_rules: bool = False,
+                 max_workers: int = 4,
+                 engine_options: Optional[Dict[str, Any]] = None,
+                 metrics=None,
+                 event_log: Optional[EventLog] = None):
+        self.replica = replica
+        self.events = event_log if event_log is not None else get_event_log()
+        self.poll_interval_s = max(0.01, poll_interval_s)
+        #: Where :meth:`promote` roots the new primary generation when
+        #: the caller does not name a directory explicitly.
+        self.promote_data_dir = (Path(promote_data_dir)
+                                 if promote_data_dir is not None else None)
+        #: The old primary's data directory, when it is reachable on
+        #: this filesystem — promotion fences it so a zombie primary
+        #: cannot keep accepting writes against superseded history.
+        self.source_data_dir = (Path(source_data_dir)
+                                if source_data_dir is not None
+                                else getattr(replica._source, "data_dir",
+                                             None))
+        self.service = ServiceExecutor(
+            replica.db, rules=rules, use_stdlib_rules=use_stdlib_rules,
+            max_workers=max_workers, engine_options=engine_options,
+            metrics=metrics, event_log=event_log,
+            read_only=True, replica=replica, lsn_wait_s=lsn_wait_s)
+        self.service.promote_hook = self.promote
+        self.server = VideoServer(self.service, host, port)
+        self.promoted = False
+        self._source_ok = True
+        self._stop = threading.Event()
+        self._poll_thread: Optional[threading.Thread] = None
+        self._promote_lock = threading.Lock()
+
+    # -- construction helpers ------------------------------------------------
+    @classmethod
+    def from_data_dir(cls, data_dir: Union[str, Path],
+                      **options: Any) -> "ReplicaServer":
+        """Follow a primary's data directory over the filesystem."""
+        replica = Replica.from_data_dir(
+            data_dir, event_log=options.get("event_log"))
+        options.setdefault("source_data_dir", data_dir)
+        return cls(replica, **options)
+
+    @classmethod
+    def from_primary(cls, host: str, port: int, *,
+                     connect_timeout: float = 10.0,
+                     **options: Any) -> "ReplicaServer":
+        """Follow a running primary over the wire (``wal`` op pulls)."""
+        client = ServiceClient(host, port, timeout=connect_timeout)
+        replica = Replica.from_client(
+            client, event_log=options.get("event_log"))
+        return cls(replica, **options)
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def address(self):
+        return self.server.address
+
+    def start(self) -> "ReplicaServer":
+        self.server.start_background()
+        self._poll_thread = threading.Thread(
+            target=self._poll_loop, name="vidb-replica-poll", daemon=True)
+        self._poll_thread.start()
+        return self
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._poll_thread is not None:
+            self._poll_thread.join(timeout=5)
+            self._poll_thread = None
+        self.server.shutdown()
+        self.service.close()
+
+    def __enter__(self) -> "ReplicaServer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- the replication loop ------------------------------------------------
+    def poll_once(self) -> int:
+        """One fetch + apply cycle; returns records applied.
+
+        The fetch (possibly a network pull) runs outside the executor's
+        writer lock; only the apply — and, after a resync, the engine
+        rebind — takes it.
+        """
+        batch = self.replica.fetch()
+        if not batch.records and batch.resync_db is None:
+            # Nothing to apply; just advance the visibility watermark
+            # (position bookkeeping has its own lock).
+            self.replica.ingest(batch)
+            return 0
+        return self.service.apply_replication(
+            lambda: self.replica.ingest(batch))
+
+    def _poll_loop(self) -> None:
+        backoff = self.poll_interval_s
+        while not self._stop.is_set():
+            try:
+                self.poll_once()
+            except ReplicationError as error:
+                self._note_source(False, error)
+                backoff = min(5.0, backoff * 2)
+            except OSError as error:
+                # The primary died or the network dropped: keep serving
+                # reads from the state we have, keep retrying the source.
+                self._note_source(False, error)
+                backoff = min(5.0, backoff * 2)
+            except Exception as error:  # pragma: no cover - defensive
+                self._note_source(False, error)
+                backoff = min(5.0, backoff * 2)
+            else:
+                self._note_source(True, None)
+                backoff = self.poll_interval_s
+            if self.promoted:
+                return
+            self._stop.wait(backoff)
+
+    def _note_source(self, ok: bool, error: Optional[Exception]) -> None:
+        if ok and not self._source_ok:
+            self.events.emit("replica.source_up",
+                             applied_lsn=self.replica.applied_lsn)
+        elif not ok and self._source_ok:
+            self.events.emit("replica.source_down", error=str(error),
+                             applied_lsn=self.replica.applied_lsn)
+        self._source_ok = ok
+
+    def readiness(self) -> Dict[str, bool]:
+        """Executor readiness plus whether the WAL source is answering
+        (a replica still *serves* with the source down — stale reads
+        beat no reads — but /readyz shows the degradation)."""
+        checks = dict(self.service.readiness())
+        checks["source"] = self._source_ok
+        return checks
+
+    # -- failover ------------------------------------------------------------
+    def promote(self, data_dir: Optional[Union[str, Path]] = None
+                ) -> Dict[str, Any]:
+        """Take over as primary; returns a summary for the caller.
+
+        The sequence (see ``docs/CLUSTER.md`` for the runbook):
+
+        1. stop following — the poll loop exits;
+        2. drain: one final fetch from the old source picks up any
+           committed tail records still reachable (a dead primary just
+           fails this step — what we have is what was replicated);
+        3. fence the old generation — when the old data directory is on
+           this filesystem, a ``fence.json`` marker makes any surviving
+           or restarted primary refuse writes;
+        4. re-root: a fresh :class:`DurableDatabase` seeded from the
+           replica's state whose LSN sequence *continues* at
+           ``applied_lsn + 1``, so the new generation's head LSN
+           supersedes everything the old primary shipped;
+        5. flip the executor: writes accepted, journaled to the new WAL.
+
+        Steps 4–5 run under the executor's exclusive lock; a concurrent
+        read sees either the follower or the finished primary.
+        """
+        with self._promote_lock:
+            if self.promoted:
+                raise ClusterError("this server was already promoted")
+            target = Path(data_dir) if data_dir is not None \
+                else self.promote_data_dir
+            if target is None:
+                raise ClusterError(
+                    "promotion needs a data directory for the new "
+                    "primary generation (data_dir)")
+            if (self.source_data_dir is not None
+                    and target.resolve() == Path(
+                        self.source_data_dir).resolve()):
+                raise ClusterError(
+                    "the new primary needs its own data directory; "
+                    f"{target} is the old primary's (it gets fenced)")
+            self._stop.set()
+            if self._poll_thread is not None:
+                self._poll_thread.join(timeout=5)
+                self._poll_thread = None
+            try:
+                drained = self.poll_once()
+            except Exception:
+                drained = 0  # the primary is gone; proceed with what we have
+            applied = self.replica.applied_lsn
+            fenced = False
+            old_generation = None
+            if self.source_data_dir is not None:
+                try:
+                    old_generation = head_lsn(wal_path(self.source_data_dir))
+                    write_fence(self.source_data_dir, at_lsn=applied,
+                                generation=old_generation or 0,
+                                promoted_to=str(target))
+                    fenced = True
+                except OSError:
+                    fenced = False
+            with self.service.exclusive() as db:
+                durable = DurableDatabase(
+                    target, seed=db, start_lsn=applied + 1,
+                    event_log=self.events)
+                self.service.attach_durability(durable)
+            self.promoted = True
+            self.events.emit("failover.promoted", lsn=applied,
+                             drained=drained, fenced=fenced,
+                             old_generation=old_generation,
+                             generation=durable.generation,
+                             data_dir=str(target))
+            return {"promoted": True, "lsn": applied,
+                    "generation": durable.generation, "fenced": fenced,
+                    "drained": drained, "data_dir": str(target)}
+
+    def __repr__(self) -> str:
+        role = "primary" if self.promoted else "replica"
+        return (f"ReplicaServer({role}, "
+                f"applied_lsn={self.replica.applied_lsn}, "
+                f"lag={self.replica.lag_lsn})")
+
+
+def fence_stale_source(source_data_dir: Union[str, Path],
+                       promoted_lsn: int,
+                       promoted_to: Union[str, Path]) -> Dict[str, Any]:
+    """Fence an old primary directory after an out-of-band promotion.
+
+    The operator's tool for the case where ``vidb promote`` ran while
+    the old directory was unreachable: once the disk comes back, fence
+    it *before* anything restarts a server on it.
+    """
+    marker = write_fence(Path(source_data_dir), at_lsn=promoted_lsn,
+                         generation=head_lsn(
+                             wal_path(Path(source_data_dir))) or 0,
+                         promoted_to=str(promoted_to))
+    return marker

@@ -1,0 +1,462 @@
+"""The cluster's front door: one address, primary + replica fan-out.
+
+:class:`ClusterRouter` speaks the same JSON-lines protocol as
+:class:`~vidb.service.server.VideoServer`, so every existing client —
+``vidb client``, ``vidb top``, :class:`ServiceClient` — can point at
+the router instead of a single server and transparently gain read
+scaling:
+
+* **Writes, transactions, session state** (inserts, ``relate``,
+  ``prepare``/``execute``, ``wal`` shipping) forward to the primary
+  over a per-client-connection backend connection, preserving the
+  per-connection session semantics (prepared queries live where they
+  were prepared).
+* **Stateless reads** (``query``, ``lint``) round-robin across healthy
+  replicas.  Health is probed in the background: the replica's ``wal``
+  op reports ``applied_lsn``/``lag_lsn`` (replicas above
+  ``max_lag_lsn`` stop taking reads), and an optional ``/readyz`` URL
+  per replica gates on the exporter's readiness checks.
+* **Session consistency** passes through untouched: the client's
+  ``min_lsn`` token rides inside the forwarded request, and a replica
+  that cannot reach the token within its bounded wait answers with a
+  ``lagging`` error — the router then *re-serves that read from the
+  primary* instead of surfacing the error.
+* **Failure handling**: a transport error against a replica marks it
+  down (the prober brings it back), and the read moves to the next
+  healthy replica, then to the primary.  A dead primary surfaces as a
+  ``cluster`` error until ``vidb promote`` repoints the router via the
+  ``repoint`` op.
+
+Router-specific ops::
+
+    {"op": "cluster"}                      topology + health + counters
+    {"op": "repoint", "host": H, "port": P}   new primary after failover
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+import time
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple, cast
+
+from vidb.errors import ClusterError, ProtocolError
+from vidb.obs.events import EventLog, get_event_log
+from vidb.obs.metrics import MetricsRegistry
+
+#: Ops the router load-balances across replicas: stateless reads whose
+#: answer depends only on committed data (plus the client's LSN token).
+#: Everything else — writes, per-connection session state, log shipping,
+#: introspection of *the primary* — goes to the primary connection.
+REPLICA_OPS = frozenset({"query", "lint"})
+
+
+class _Backend:
+    """One raw JSON-lines connection to a backend server.
+
+    Deliberately *not* a :class:`ServiceClient`: the router forwards
+    responses verbatim (including errors), so it must not decode error
+    kinds into exceptions or track session tokens of its own.
+    """
+
+    def __init__(self, address: Tuple[str, int], timeout: float):
+        self.address = address
+        self._sock = socket.create_connection(address, timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    def forward(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self._sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionResetError("backend closed the connection")
+        response = json.loads(line.decode("utf-8"))
+        if not isinstance(response, dict):
+            raise ProtocolError("backend response must be a JSON object")
+        return response
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class ReplicaState:
+    """Shared health/lag bookkeeping for one replica (prober writes,
+    request handlers read; all under the router's state lock)."""
+
+    def __init__(self, address: Tuple[str, int]):
+        self.address = address
+        self.healthy = False   # pessimistic until the first probe
+        self.probed = False
+        self.applied_lsn = 0
+        self.lag_lsn = 0
+        self.last_error: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"address": f"{self.address[0]}:{self.address[1]}",
+                "healthy": self.healthy,
+                "applied_lsn": self.applied_lsn,
+                "lag_lsn": self.lag_lsn,
+                "last_error": self.last_error}
+
+
+class _RouterHandler(socketserver.StreamRequestHandler):
+    """One client connection: lazy backend connections, verbatim
+    forwarding, replica fallback."""
+
+    def setup(self) -> None:
+        super().setup()
+        self.router = cast("_RouterServer", self.server).router
+        self._primary: Optional[_Backend] = None
+        self._primary_version = -1
+        self._replica_conns: Dict[Tuple[str, int], _Backend] = {}
+
+    def finish(self) -> None:
+        if self._primary is not None:
+            self._primary.close()
+        for conn in self._replica_conns.values():
+            conn.close()
+        super().finish()
+
+    def handle(self) -> None:
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            request: Dict[str, Any] = {}
+            try:
+                request = json.loads(line.decode("utf-8"))
+                if not isinstance(request, dict):
+                    raise ProtocolError("request must be a JSON object")
+                response = self.router.route(self, request)
+            except (ValueError, ProtocolError) as error:
+                response = {"ok": False, "error": "protocol",
+                            "message": str(error)}
+            except ClusterError as error:
+                response = {"ok": False, "error": "cluster",
+                            "message": str(error)}
+            try:
+                self.wfile.write(
+                    (json.dumps(response) + "\n").encode("utf-8"))
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                break
+            if request.get("op") == "close":
+                break
+
+    # -- backend connections -------------------------------------------------
+    def primary_conn(self) -> _Backend:
+        version = self.router.primary_version
+        if self._primary is not None and self._primary_version != version:
+            # The router was repointed (failover): this connection's
+            # primary is the old generation — reconnect to the new one.
+            self._primary.close()
+            self._primary = None
+        if self._primary is None:
+            self._primary = _Backend(self.router.primary,
+                                     self.router.request_timeout)
+            self._primary_version = version
+        return self._primary
+
+    def drop_primary(self) -> None:
+        if self._primary is not None:
+            self._primary.close()
+            self._primary = None
+
+    def replica_conn(self, address: Tuple[str, int]) -> _Backend:
+        conn = self._replica_conns.get(address)
+        if conn is None:
+            conn = _Backend(address, self.router.request_timeout)
+            self._replica_conns[address] = conn
+        return conn
+
+    def drop_replica(self, address: Tuple[str, int]) -> None:
+        conn = self._replica_conns.pop(address, None)
+        if conn is not None:
+            conn.close()
+
+
+class _RouterServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    router: "ClusterRouter"
+
+
+class ClusterRouter:
+    """Route one protocol endpoint across a primary and its replicas."""
+
+    def __init__(self, primary: Tuple[str, int],
+                 replicas: Optional[List[Tuple[str, int]]] = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 probe_interval_s: float = 0.5,
+                 max_lag_lsn: Optional[int] = None,
+                 readyz_urls: Optional[Dict[Tuple[str, int], str]] = None,
+                 connect_timeout: float = 5.0,
+                 request_timeout: float = 30.0,
+                 metrics: Optional[MetricsRegistry] = None,
+                 event_log: Optional[EventLog] = None):
+        self.primary = (primary[0], int(primary[1]))
+        #: Bumped on :meth:`repoint`; client handlers compare it to know
+        #: their cached primary connection points at a dead generation.
+        self.primary_version = 0
+        self.request_timeout = request_timeout
+        self.connect_timeout = connect_timeout
+        self.probe_interval_s = max(0.05, probe_interval_s)
+        #: Replicas lagging more than this many LSNs stop taking reads
+        #: (None = any lag is acceptable; the LSN-token wait still
+        #: guarantees read-your-writes).
+        self.max_lag_lsn = max_lag_lsn
+        self.readyz_urls = dict(readyz_urls or {})
+        self.events = event_log if event_log is not None else get_event_log()
+        self.metrics = metrics or MetricsRegistry()
+        self._reads = self.metrics.counter_family("router_reads_total",
+                                                  ("replica",))
+        for name in ("router.requests", "router.reads_balanced",
+                     "router.fallbacks", "router.replica_errors",
+                     "router.primary_errors"):
+            self.metrics.counter(name)
+        self._state_lock = threading.Lock()
+        self._replicas: List[ReplicaState] = [
+            ReplicaState((h, int(p))) for h, p in (replicas or [])]
+        self._rr = 0
+        self._server = _RouterServer((host, port), _RouterHandler)
+        self._server.router = self
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._prober: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address[:2]
+
+    def start(self) -> "ClusterRouter":
+        self.probe()  # synchronous first pass: start with a real view
+        self._prober = threading.Thread(target=self._probe_loop,
+                                        name="vidb-router-probe", daemon=True)
+        self._prober.start()
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        name="vidb-router", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever(poll_interval=0.1)
+
+    def close(self) -> None:
+        self._stop.set()
+        self._server.shutdown()
+        self._server.server_close()
+        if self._prober is not None:
+            self._prober.join(timeout=5)
+            self._prober = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "ClusterRouter":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- health probing ------------------------------------------------------
+    def _probe_loop(self) -> None:
+        while not self._stop.wait(self.probe_interval_s):
+            self.probe()
+
+    def probe(self) -> None:
+        """One health pass over every replica (and the readyz gates)."""
+        for state in self._replicas:
+            self._probe_one(state)
+
+    def _probe_one(self, state: ReplicaState) -> None:
+        healthy, error = True, None
+        applied = lag = None
+        try:
+            conn = _Backend(state.address, self.connect_timeout)
+            try:
+                reply = conn.forward({"op": "wal"})
+            finally:
+                conn.close()
+            if not reply.get("ok"):
+                healthy, error = False, str(reply.get("message"))
+            else:
+                applied = int(reply.get("applied_lsn",
+                                        reply.get("last_lsn", 0)))
+                lag = int(reply.get("lag_lsn", 0))
+                if (self.max_lag_lsn is not None
+                        and lag > self.max_lag_lsn):
+                    healthy, error = False, f"lagging {lag} LSNs"
+        except (OSError, ValueError, ProtocolError) as exc:
+            healthy, error = False, str(exc)
+        if healthy and state.address in self.readyz_urls:
+            try:
+                with urllib.request.urlopen(
+                        self.readyz_urls[state.address],
+                        timeout=self.connect_timeout) as response:
+                    if response.status != 200:
+                        healthy, error = False, f"/readyz {response.status}"
+            except OSError as exc:
+                healthy, error = False, f"/readyz: {exc}"
+        with self._state_lock:
+            was_healthy, was_probed = state.healthy, state.probed
+            state.healthy, state.probed = healthy, True
+            state.last_error = error
+            if applied is not None:
+                state.applied_lsn = applied
+            if lag is not None:
+                state.lag_lsn = lag
+        if healthy and (not was_healthy or not was_probed):
+            self.events.emit("router.replica_up",
+                             replica=f"{state.address[0]}:{state.address[1]}")
+        elif not healthy and (was_healthy or not was_probed):
+            self.events.emit("router.replica_down",
+                             replica=f"{state.address[0]}:{state.address[1]}",
+                             error=error)
+
+    def mark_down(self, address: Tuple[str, int], error: str) -> None:
+        with self._state_lock:
+            for state in self._replicas:
+                if state.address == address and state.healthy:
+                    state.healthy = False
+                    state.last_error = error
+                    break
+            else:
+                return
+        self.events.emit("router.replica_down",
+                         replica=f"{address[0]}:{address[1]}", error=error)
+
+    def healthy_replicas(self) -> List[ReplicaState]:
+        with self._state_lock:
+            return [s for s in self._replicas if s.healthy]
+
+    def _next_replicas(self) -> List[ReplicaState]:
+        """Healthy replicas in round-robin order (rotating start)."""
+        with self._state_lock:
+            healthy = [s for s in self._replicas if s.healthy]
+            if not healthy:
+                return []
+            start = self._rr % len(healthy)
+            self._rr += 1
+            return healthy[start:] + healthy[:start]
+
+    # -- routing -------------------------------------------------------------
+    def route(self, handler: _RouterHandler,
+              request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        self.metrics.inc("router.requests")
+        if op == "cluster":
+            return self.topology()
+        if op == "repoint":
+            host = request.get("host")
+            port = request.get("port")
+            if not isinstance(host, str) or not isinstance(port, int):
+                raise ProtocolError(
+                    "repoint needs string 'host' and integer 'port'")
+            self.repoint((host, port))
+            return {"ok": True, "primary": f"{host}:{port}"}
+        if op == "close":
+            return {"ok": True, "closing": True}
+        if op in REPLICA_OPS:
+            return self._route_read(handler, request)
+        return self._route_primary(handler, request)
+
+    def _route_primary(self, handler: _RouterHandler,
+                       request: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            return handler.primary_conn().forward(request)
+        except (OSError, ProtocolError, ValueError) as error:
+            handler.drop_primary()
+            self.metrics.inc("router.primary_errors")
+            host, port = self.primary
+            raise ClusterError(
+                f"primary {host}:{port} unreachable ({error}); "
+                f"promote a replica and repoint the router") from None
+
+    def _route_read(self, handler: _RouterHandler,
+                    request: Dict[str, Any]) -> Dict[str, Any]:
+        for state in self._next_replicas():
+            address = state.address
+            try:
+                response = handler.replica_conn(address).forward(request)
+            except (OSError, ProtocolError, ValueError) as error:
+                handler.drop_replica(address)
+                self.mark_down(address, str(error))
+                self.metrics.inc("router.replica_errors")
+                continue
+            if (not response.get("ok")
+                    and response.get("error") in ("lagging", "read_only")):
+                # The replica cannot serve this read consistently (the
+                # client's LSN token outran it); the primary always can.
+                self.metrics.inc("router.fallbacks")
+                break
+            self.metrics.inc("router.reads_balanced")
+            self._reads.labels(
+                replica=f"{address[0]}:{address[1]}").inc()
+            return response
+        else:
+            if self._replicas:
+                self.metrics.inc("router.fallbacks")
+        response = self._route_primary(handler, request)
+        self._reads.labels(replica="primary").inc()
+        return response
+
+    # -- failover ------------------------------------------------------------
+    def repoint(self, primary: Tuple[str, int]) -> None:
+        """Point writes at a newly promoted primary.
+
+        Also drops the new primary from the read pool if it was one of
+        the replicas, and wakes every client handler's cached primary
+        connection via the version bump.
+        """
+        new = (primary[0], int(primary[1]))
+        with self._state_lock:
+            old = self.primary
+            self.primary = new
+            self.primary_version += 1
+            self._replicas = [s for s in self._replicas if s.address != new]
+        self.events.emit("failover.repoint",
+                         old_primary=f"{old[0]}:{old[1]}",
+                         new_primary=f"{new[0]}:{new[1]}")
+
+    def add_replica(self, address: Tuple[str, int],
+                    readyz_url: Optional[str] = None) -> None:
+        """Add a replica to the read pool (it joins after its first
+        successful probe)."""
+        addr = (address[0], int(address[1]))
+        with self._state_lock:
+            if any(s.address == addr for s in self._replicas):
+                return
+            self._replicas.append(ReplicaState(addr))
+        if readyz_url is not None:
+            self.readyz_urls[addr] = readyz_url
+
+    # -- introspection -------------------------------------------------------
+    def topology(self) -> Dict[str, Any]:
+        with self._state_lock:
+            replicas = [s.as_dict() for s in self._replicas]
+            primary = self.primary
+        return {"ok": True,
+                "primary": f"{primary[0]}:{primary[1]}",
+                "replicas": replicas,
+                "metrics": self.metrics.snapshot(),
+                "time": time.time()}
+
+    def __repr__(self) -> str:
+        host, port = self.address
+        healthy = len(self.healthy_replicas())
+        with self._state_lock:
+            total = len(self._replicas)
+        return (f"ClusterRouter({host}:{port}, "
+                f"primary={self.primary[0]}:{self.primary[1]}, "
+                f"replicas={healthy}/{total} healthy)")

@@ -39,8 +39,12 @@ from vidb.durability.wal import (
     WalReadResult,
     WalRecord,
     WalWriter,
+    check_fence,
+    fence_path,
     head_lsn,
+    read_fence,
     read_wal,
+    write_fence,
 )
 
 __all__ = [
@@ -55,9 +59,13 @@ __all__ = [
     "WalRecord",
     "WalWriter",
     "apply_record",
+    "check_fence",
     "encode_event",
+    "fence_path",
     "head_lsn",
     "list_snapshots",
+    "read_fence",
+    "write_fence",
     "load_snapshot",
     "prune_snapshots",
     "read_wal",

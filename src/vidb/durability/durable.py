@@ -46,7 +46,7 @@ from vidb.durability.snapshot import (
     wal_path,
     write_snapshot,
 )
-from vidb.durability.wal import read_wal, WalWriter
+from vidb.durability.wal import check_fence, head_lsn, read_wal, WalWriter
 
 
 class DurableDatabase:
@@ -60,9 +60,13 @@ class DurableDatabase:
                  keep_snapshots: int = 2,
                  name: str = "video",
                  tracer=None,
-                 event_log: Optional[EventLog] = None):
+                 event_log: Optional[EventLog] = None,
+                 start_lsn: Optional[int] = None):
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
+        # A fenced directory belongs to a superseded primary generation;
+        # accepting writes here again would fork history (split brain).
+        check_fence(self.data_dir)
         self._lock = threading.RLock()
         self.events = event_log if event_log is not None else get_event_log()
         self.checkpoint_every = max(1, checkpoint_every)
@@ -83,10 +87,19 @@ class DurableDatabase:
             self.recovery.db = seed
             self.seeded = True
         self._db = self.recovery.db
+        if start_lsn is not None and not self.recovery.empty:
+            raise DurabilityError(
+                f"start_lsn is only valid for a fresh data directory; "
+                f"{self.data_dir} already holds LSNs up to "
+                f"{self.recovery.last_lsn}")
         self._writer = WalWriter(
             wal_path(self.data_dir), fsync=fsync,
             fsync_interval_s=fsync_interval_s,
-            next_lsn=self.recovery.last_lsn + 1,
+            # ``start_lsn`` continues another directory's LSN sequence —
+            # promotion seeds the new primary generation with it so the
+            # new WAL's head LSN exceeds everything the old one shipped.
+            next_lsn=(start_lsn if start_lsn is not None
+                      else self.recovery.last_lsn + 1),
             # Cut off a torn tail before appending: new frames after the
             # fragment would turn a tolerated torn *end* into mid-log
             # corruption the next recovery refuses to replay past.
@@ -118,6 +131,17 @@ class DurableDatabase:
     def snapshot_lsn(self) -> int:
         """LSN covered by the most recent installed snapshot."""
         return self._snapshot_lsn
+
+    @property
+    def generation(self) -> int:
+        """The log-generation marker: the head LSN of the current WAL.
+
+        Strictly monotonic LSNs make the first frame of each truncation
+        identify the log generation; promotion continues the sequence,
+        so a higher generation always means a newer primary.
+        """
+        head = head_lsn(wal_path(self.data_dir))
+        return head if head is not None else 0
 
     def __getattr__(self, name: str) -> Any:
         # Reads (entities(), facts(), epoch, transaction(), ...) reach
@@ -160,6 +184,10 @@ class DurableDatabase:
                     "cannot checkpoint inside an open transaction")
             if self._closed:
                 raise DurabilityError("durable database is closed")
+            # A primary fenced while running must stop journaling: the
+            # next checkpoint (reached from the mutation path) is where
+            # a live-but-superseded primary finds out.
+            check_fence(self.data_dir)
             with current_tracer().span("durability.checkpoint") as span:
                 self._writer.sync()
                 lsn = self._writer.last_lsn
@@ -198,6 +226,9 @@ class DurableDatabase:
         with self._lock:
             if self._closed:
                 raise DurabilityError("durable database is closed")
+            # A fenced primary must stop shipping: followers move to the
+            # new generation instead of tailing superseded history.
+            check_fence(self.data_dir)
             # Ship only durable records.  A merely-flushed tail can be
             # lost in a crash, after which the writer reuses those LSNs
             # for different mutations — a follower that applied the
@@ -210,7 +241,8 @@ class DurableDatabase:
             # most recent pull was (a callback gauge on the exporter).
             self._follower_lag = max(0, last - max(0, after_lsn))
             reply: Dict[str, Any] = {"last_lsn": last,
-                                     "snapshot_lsn": snapshot_lsn}
+                                     "snapshot_lsn": snapshot_lsn,
+                                     "generation": self.generation}
             base = after_lsn
             if after_lsn < snapshot_lsn:
                 snapshots = list_snapshots(self.data_dir)

@@ -24,6 +24,7 @@ visible.
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
@@ -166,6 +167,12 @@ class Replica:
         self._position = 0       # last LSN consumed from the stream
         self._visible = 0        # last LSN the source has shown us
         self._pending: Optional[List[WalRecord]] = None
+        #: Guards the LSN counters so the serving tier (router probes,
+        #: session-consistency waits) can read ``applied_lsn``/``lag_lsn``
+        #: from any thread while the poll loop advances them.  The
+        #: database itself is protected separately (the replica server's
+        #: writer lock), this lock only covers the position bookkeeping.
+        self._state_lock = threading.Lock()
         self.records_applied = 0
         self.records_discarded = 0
         self.polls = 0
@@ -192,16 +199,33 @@ class Replica:
         with current_tracer().span("replica.poll") as span:
             self.polls += 1
             before = self.records_applied
-            batch = self._source.fetch(self._position)
+            batch = self._source.fetch(self.applied_lsn)
             self._ingest(batch)
             applied = self.records_applied - before
-            span.annotate(applied=applied, lag=self.lag())
+            span.annotate(applied=applied, lag=self.lag_lsn)
         return applied
+
+    def fetch(self) -> ShipBatch:
+        """Pull the next batch without applying it.
+
+        The serving tier splits :meth:`poll` so the (possibly slow)
+        network fetch happens outside the database writer lock and only
+        :meth:`ingest` runs inside it.
+        """
+        self.polls += 1
+        return self._source.fetch(self.applied_lsn)
+
+    def ingest(self, batch: ShipBatch) -> int:
+        """Apply a batch from :meth:`fetch`; returns records applied."""
+        before = self.records_applied
+        self._ingest(batch)
+        return self.records_applied - before
 
     def _ingest(self, batch: ShipBatch, *, refetched: bool = False) -> None:
         if batch.resync_db is not None:
             self._db = batch.resync_db
-            self._position = batch.resync_lsn
+            with self._state_lock:
+                self._position = batch.resync_lsn
             self._pending = None
             self.resyncs += 1
             self.events.emit("replica.resync", lsn=batch.resync_lsn,
@@ -225,8 +249,11 @@ class Replica:
             if record.lsn <= self._position:
                 continue
             self._apply(record)
-            self._position = record.lsn
-        self._visible = max(self._visible, batch.last_lsn, self._position)
+            with self._state_lock:
+                self._position = record.lsn
+        with self._state_lock:
+            self._visible = max(self._visible, batch.last_lsn,
+                                self._position)
 
     def _apply(self, record: WalRecord) -> None:
         if record.type == CHECKPOINT:
@@ -257,18 +284,37 @@ class Replica:
 
     @property
     def applied_lsn(self) -> int:
-        return self._position
+        """Last LSN applied locally (thread-safe)."""
+        with self._state_lock:
+            return self._position
+
+    @property
+    def visible_lsn(self) -> int:
+        """Last LSN the source has made visible (thread-safe)."""
+        with self._state_lock:
+            return self._visible
+
+    @property
+    def lag_lsn(self) -> int:
+        """LSNs the replica still trails the primary by, as data: the
+        router's balance signal and the session-consistency wait both
+        read it (thread-safe)."""
+        with self._state_lock:
+            return max(0, self._visible - self._position)
 
     def lag(self) -> int:
         """Log records the replica still trails the primary by (as of
-        the last poll)."""
-        return max(0, self._visible - self._position)
+        the last poll).  Alias of :attr:`lag_lsn`."""
+        return self.lag_lsn
 
     def stats(self) -> Dict[str, Any]:
+        with self._state_lock:
+            position, visible = self._position, self._visible
         return {
-            "replica.applied_lsn": self._position,
-            "replica.visible_lsn": self._visible,
-            "replica.lag": self.lag(),
+            "replica.applied_lsn": position,
+            "replica.visible_lsn": visible,
+            "replica.lag": max(0, visible - position),
+            "replica.lag_lsn": max(0, visible - position),
             "replica.records_applied": self.records_applied,
             "replica.records_discarded": self.records_discarded,
             "replica.polls": self.polls,
@@ -276,5 +322,5 @@ class Replica:
         }
 
     def __repr__(self) -> str:
-        return (f"Replica(applied_lsn={self._position}, lag={self.lag()}, "
-                f"resyncs={self.resyncs})")
+        return (f"Replica(applied_lsn={self.applied_lsn}, "
+                f"lag={self.lag_lsn}, resyncs={self.resyncs})")

@@ -40,9 +40,14 @@ import zlib
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from vidb.errors import DurabilityError, WalCorruptionError
+from vidb.errors import DurabilityError, FencedError, WalCorruptionError
 
 _HEADER = struct.Struct(">II")
+
+#: Marker file a promotion writes into the *old* primary's data
+#: directory.  Its presence means a newer log generation exists
+#: elsewhere; see :func:`write_fence`.
+FENCE_NAME = "fence.json"
 
 #: Accepted fsync policies, in decreasing order of durability.
 FSYNC_POLICIES = ("always", "interval", "never")
@@ -303,3 +308,78 @@ def head_lsn(path: Union[str, Path]) -> Optional[int]:
             return WalRecord.from_dict(json.loads(payload.decode("utf-8"))).lsn
         except (ValueError, WalCorruptionError):
             return None
+
+
+# -- generation fencing --------------------------------------------------------
+#
+# Because LSNs are strictly monotonic within a data directory and every
+# truncation restarts the file with a fresh checkpoint frame, the head
+# LSN of a WAL identifies its *generation*.  Promotion continues the LSN
+# sequence in a new directory (so the new generation's head LSN is
+# strictly greater than anything the old one shipped) and fences the old
+# directory so it can never accept writes again.
+
+def fence_path(data_dir: Union[str, Path]) -> Path:
+    return Path(data_dir) / FENCE_NAME
+
+
+def write_fence(data_dir: Union[str, Path], *, at_lsn: int,
+                generation: int, reason: str = "promotion",
+                promoted_to: Optional[str] = None) -> Dict[str, Any]:
+    """Fence a data directory: mark its log generation superseded.
+
+    ``at_lsn`` is the last LSN of the fenced generation that the new
+    generation's history includes; ``generation`` is the new
+    generation's head LSN.  The marker is written atomically
+    (temp file + rename + fsync) so a crash mid-fence leaves either no
+    fence or a complete one.
+    """
+    directory = Path(data_dir)
+    marker = {
+        "fenced": True,
+        "at_lsn": at_lsn,
+        "generation": generation,
+        "reason": reason,
+        "ts": time.time(),
+    }
+    if promoted_to is not None:
+        marker["promoted_to"] = promoted_to
+    tmp = directory / (FENCE_NAME + ".tmp")
+    with tmp.open("w", encoding="utf-8") as f:
+        json.dump(marker, f, sort_keys=True)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, fence_path(directory))
+    return marker
+
+
+def read_fence(data_dir: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """The fence marker of a data directory, or ``None`` when unfenced.
+
+    An unreadable marker still counts as fenced (fail safe: a damaged
+    fence must not let a stale primary resurrect itself).
+    """
+    path = fence_path(data_dir)
+    if not path.exists():
+        return None
+    try:
+        marker = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {"fenced": True, "unreadable": True}
+    if isinstance(marker, dict) and marker.get("fenced"):
+        return marker
+    return {"fenced": True, "unreadable": True}
+
+
+def check_fence(data_dir: Union[str, Path]) -> None:
+    """Raise :class:`~vidb.errors.FencedError` when the directory is
+    fenced; the primary-side write path calls this at recovery, at every
+    checkpoint and before every ship."""
+    marker = read_fence(data_dir)
+    if marker is not None:
+        raise FencedError(
+            f"data directory {data_dir} was fenced at LSN "
+            f"{marker.get('at_lsn', '?')} (superseded by generation "
+            f"{marker.get('generation', '?')}); it must not accept "
+            f"writes — rejoin the cluster as a replica of the new "
+            f"primary")

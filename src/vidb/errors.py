@@ -75,6 +75,15 @@ class ReplicationError(DurabilityError):
     """A log-shipping replica could not follow its primary."""
 
 
+class FencedError(DurabilityError):
+    """The data directory was fenced by a promotion.
+
+    A newer primary generation exists; this directory must never accept
+    writes again (it may be recovered read-only, or its host may rejoin
+    the cluster as a replica of the new primary).
+    """
+
+
 class ServiceError(VidbError):
     """Base class for query-serving (``vidb.service``) failures."""
 
@@ -101,6 +110,27 @@ class SessionError(ServiceError):
 
 class ProtocolError(ServiceError):
     """A malformed request or response on the JSON-lines wire protocol."""
+
+
+class ReadOnlyError(ServiceError):
+    """A mutation was sent to a read-only server (a serving replica).
+
+    Writes belong on the primary; the cluster router forwards them
+    there automatically.
+    """
+
+
+class ReplicaLagError(ServiceError):
+    """An LSN-token read timed out waiting for replication.
+
+    The replica's applied LSN did not reach the client's session token
+    within the bounded wait; the caller (typically the cluster router)
+    should redirect the read to the primary.
+    """
+
+
+class ClusterError(ServiceError):
+    """A cluster-layer failure (routing, promotion, topology)."""
 
 
 class QueryError(VidbError):

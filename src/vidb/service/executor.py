@@ -46,8 +46,10 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 from vidb.analysis.diagnostics import AnalysisResult
 from vidb.analysis.lint import lint_text
 from vidb.durability.durable import DurableDatabase
+from vidb.durability.replica import Replica
 from vidb.errors import (
     QueryTimeoutError,
+    ReadOnlyError,
     ServiceClosedError,
     ServiceOverloadedError,
 )
@@ -161,12 +163,31 @@ class ServiceExecutor:
                  engine_options: Optional[Dict[str, Any]] = None,
                  recent_capacity: int = 64,
                  slow_query_ms: Optional[float] = None,
-                 event_log: Optional[EventLog] = None):
+                 event_log: Optional[EventLog] = None,
+                 read_only: bool = False,
+                 replica: Optional[Replica] = None,
+                 lsn_wait_s: float = 2.0):
         self.durability: Optional[DurableDatabase] = None
         if isinstance(db, DurableDatabase):
             self.durability = db
             db = db.db
         self.db = db
+        #: A read-only executor rejects every mutation with
+        #: :class:`ReadOnlyError` — the serving mode of a replica.
+        self.read_only = read_only
+        #: When serving a log-shipping replica, the follower whose
+        #: database this executor reads; its ``applied_lsn`` drives the
+        #: session-consistency wait and the lag gauges.
+        self.replica = replica
+        #: Default bounded wait for LSN-token reads (seconds); a replica
+        #: holds a read this long for ``applied_lsn`` to reach the
+        #: client's token before failing with ``ReplicaLagError``.
+        self.lsn_wait_s = max(0.0, lsn_wait_s)
+        self._lsn_cond = threading.Condition()
+        #: Set by a serving replica (:class:`vidb.cluster.ReplicaServer`)
+        #: so the wire protocol's ``promote`` op can flip this process to
+        #: primary; ``None`` everywhere else.
+        self.promote_hook: Optional[Callable[..., Any]] = None
         self.metrics = metrics or MetricsRegistry()
         for name in ("queries.served", "queries.rejected", "queries.timeout",
                      "queries.errors", "writes.applied", "sessions.opened"):
@@ -181,9 +202,12 @@ class ServiceExecutor:
                              else max(0.0, slow_query_ms) / 1000.0)
         self.default_timeout = default_timeout
         self.max_in_flight = max_in_flight or max_workers * 4
+        #: Kept so a replica resync (which replaces the follower's whole
+        #: database object) can rebuild the engine against the new one.
+        self._engine_options = dict(engine_options or {})
         self._engine = QueryEngine(db, rules=rules,
                                    use_stdlib_rules=use_stdlib_rules,
-                                   **(engine_options or {}))
+                                   **self._engine_options)
         self._program_fp = program_fingerprint(self._engine.program)
         self._cache = ResultCache(cache_capacity, metrics=self.metrics)
         self._lock = RWLock()
@@ -216,6 +240,11 @@ class ServiceExecutor:
             for key in durability.stats():
                 reg.callback_gauge(
                     key, lambda k=key: durability.stats()[k])
+        if self.replica is not None:
+            replica = self.replica
+            for key in replica.stats():
+                reg.callback_gauge(
+                    key, lambda k=key: replica.stats()[k])
 
     # -- program management --------------------------------------------------
     @property
@@ -428,6 +457,104 @@ class ServiceExecutor:
         return lint_text(text, edb=edb, computed=computed, extra=extra,
                          closed_world=True)
 
+    # -- replication / session consistency -----------------------------------
+    def applied_lsn(self) -> Optional[int]:
+        """The LSN this server's state covers: the replica's applied
+        LSN, the primary's WAL head, or ``None`` when LSN tokens are
+        meaningless here (a plain in-memory service)."""
+        if self.replica is not None:
+            return self.replica.applied_lsn
+        if self.durability is not None:
+            return self.durability.last_lsn
+        return None
+
+    def wait_for_lsn(self, lsn: Optional[int],
+                     timeout_s: Optional[float] = None) -> bool:
+        """Block (bounded) until this server's state covers *lsn*.
+
+        The read-your-writes wait: a client that wrote at LSN *n* on
+        the primary sends ``min_lsn = n`` with its reads, and a replica
+        holds the read until replication catches up — or reports
+        ``False`` so the caller can redirect to the primary.
+        """
+        if not lsn or lsn <= 0:
+            return True
+        timeout = self.lsn_wait_s if timeout_s is None else max(0.0, timeout_s)
+        deadline = time.monotonic() + timeout
+        with self._lsn_cond:
+            while True:
+                applied = self.applied_lsn()
+                if applied is None:
+                    return True
+                if applied >= lsn:
+                    return True
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                # Short slices double as a poll for states that advance
+                # without a notify (the primary's own WAL head).
+                self._lsn_cond.wait(min(remaining, 0.05))
+
+    def notify_applied(self) -> None:
+        """Wake LSN-token waiters after replication applied records."""
+        with self._lsn_cond:
+            self._lsn_cond.notify_all()
+
+    def apply_replication(self, fn: Callable[[], Any]) -> Any:
+        """Run the replication apply path with exclusive writer access.
+
+        Unlike :meth:`mutate` this bypasses the read-only guard and the
+        transaction wrapper (shipped WAL records carry their own
+        transaction framing) and, when the replica resynced to a whole
+        new database object, rebinds the engine to it before readers
+        return.
+        """
+        with self._lock.write_locked():
+            result = fn()
+            if self.replica is not None and self.replica.db is not self.db:
+                self._rebind_locked(self.replica.db)
+        self.notify_applied()
+        return result
+
+    @contextlib.contextmanager
+    def exclusive(self):
+        """Exclusive (writer) access to the live database, with no
+        transaction wrapper — the replication and promotion paths."""
+        with self._lock.write_locked():
+            yield self.db
+
+    def _rebind_locked(self, db: VideoDatabase) -> None:
+        """Serve *db* from now on (caller holds the write lock).
+
+        A resync replaces the replica's whole database object, so the
+        engine (bound at construction) is rebuilt over the same program
+        and the cache dropped — the epoch of a different object means
+        nothing to the old entries.
+        """
+        computed = dict(self._engine.computed)
+        engine = QueryEngine(db, **self._engine_options)
+        engine.computed = computed
+        engine.add_rules(self._engine.program)
+        self.db = db
+        self._engine = engine
+        self._program_fp = program_fingerprint(engine.program)
+        self._cache.clear()
+
+    def attach_durability(self, durable: DurableDatabase) -> None:
+        """Flip a serving replica to primary (caller holds the write
+        lock via :meth:`exclusive`): journal mutations through
+        *durable*, accept writes, stop being a follower."""
+        if durable.db is not self.db:
+            self._rebind_locked(durable.db)
+        self.durability = durable
+        self.replica = None
+        self.read_only = False
+        self.promote_hook = None
+        for key in durable.stats():
+            self.metrics.callback_gauge(
+                key, lambda k=key: durable.stats()[k])
+        self.notify_applied()
+
     # -- mutation path -------------------------------------------------------
     def mutate(self, fn: Callable[[VideoDatabase], Any]) -> Any:
         """Run ``fn(db)`` with exclusive (writer) access.
@@ -436,6 +563,10 @@ class ServiceExecutor:
         mutation it made is rolled back (and the epoch restored) before
         the exception propagates.
         """
+        if self.read_only:
+            raise ReadOnlyError(
+                "this server is a read-only replica; "
+                "send writes to the primary")
         with self._lock.write_locked():
             with self.db.transaction():
                 result = fn(self.db)
@@ -501,6 +632,10 @@ class ServiceExecutor:
         if self.durability is not None:
             checks["recovery"] = True  # recovery completes in __init__
             checks["wal"] = self.durability.writable
+        if self.replica is not None:
+            # Bootstrapped in Replica.__init__; a serving replica whose
+            # source went away flips this via its own ready state.
+            checks["replica"] = True
         return checks
 
     def close(self, wait: bool = True) -> None:

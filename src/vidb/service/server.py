@@ -61,16 +61,22 @@ so ``except ServiceOverloadedError`` works across the wire.
 from __future__ import annotations
 
 import json
+import random
 import socket
 import socketserver
 import threading
+import time
 from typing import Any, Dict, List, Optional, Tuple, cast
 
 from vidb.errors import (
+    ClusterError,
+    FencedError,
     ModelError,
     ProtocolError,
     QueryError,
     QueryTimeoutError,
+    ReadOnlyError,
+    ReplicaLagError,
     ServiceClosedError,
     ServiceError,
     ServiceOverloadedError,
@@ -89,11 +95,24 @@ ERROR_KINDS = {
     "closed": ServiceClosedError,
     "session": SessionError,
     "protocol": ProtocolError,
+    "read_only": ReadOnlyError,
+    "lagging": ReplicaLagError,
+    "fenced": FencedError,
+    "cluster": ClusterError,
     "service": ServiceError,
     "query": QueryError,
     "model": ModelError,
     "vidb": VidbError,
 }
+
+#: Side-effect-free ops a client may safely resend after a transient
+#: transport failure (connection reset mid-flight); everything else
+#: might have been applied before the failure and must not be retried
+#: blindly.
+IDEMPOTENT_OPS = frozenset({
+    "ping", "info", "query", "execute", "lint", "metrics", "trace",
+    "events", "wal", "cluster",
+})
 
 
 def _error_kind(error: Exception) -> str:
@@ -166,12 +185,26 @@ class _Handler(socketserver.StreamRequestHandler):
         if op == "ping":
             return {"ok": True, "pong": True}, True
         if op == "info":
-            return {"ok": True, "database": service.db.name,
-                    "epoch": service.db.epoch,
-                    "stats": service.db.stats()}, True
+            if service.replica is not None:
+                role = "replica"
+            elif service.durability is not None:
+                role = "primary"
+            else:
+                role = "standalone"
+            payload = {"ok": True, "database": service.db.name,
+                       "epoch": service.db.epoch,
+                       "role": role, "read_only": service.read_only,
+                       "stats": service.db.stats()}
+            lsn = service.applied_lsn()
+            if lsn is not None:
+                payload["lsn"] = lsn
+            if service.durability is not None:
+                payload["generation"] = service.durability.generation
+            return payload, True
         if op == "query":
             text = _required(request, "query", str)
             profile = bool(request.get("profile"))
+            _await_token(service, request)
             report = session.run(
                 text, options=ExecutionOptions(trace=profile),
                 timeout=request.get("timeout"))
@@ -196,6 +229,7 @@ class _Handler(socketserver.StreamRequestHandler):
             params = request.get("params", {})
             if not isinstance(params, dict):
                 raise ProtocolError("params must be an object")
+            _await_token(service, request)
             answers = session.execute(name, timeout=request.get("timeout"),
                                       **params)
             payload = _answers_payload(answers, request.get("limit"))
@@ -205,8 +239,7 @@ class _Handler(socketserver.StreamRequestHandler):
             oid = _required(request, "oid", str)
             attributes = request.get("attributes", {})
             obj = service.new_entity(oid, **attributes)
-            return {"ok": True, "oid": str(obj.oid),
-                    "epoch": service.db.epoch}, True
+            return _write_reply(service, oid=str(obj.oid)), True
         if op == "insert_interval":
             oid = _required(request, "oid", str)
             duration = request.get("duration")
@@ -215,8 +248,7 @@ class _Handler(socketserver.StreamRequestHandler):
             obj = service.new_interval(
                 oid, entities=request.get("entities", ()),
                 duration=pairs, **request.get("attributes", {}))
-            return {"ok": True, "oid": str(obj.oid),
-                    "epoch": service.db.epoch}, True
+            return _write_reply(service, oid=str(obj.oid)), True
         if op == "relate":
             relation = _required(request, "relation", str)
             args = request.get("args", [])
@@ -224,8 +256,7 @@ class _Handler(socketserver.StreamRequestHandler):
                 raise ProtocolError("args must be an array")
             fact = service.relate(relation,
                                   *[_resolve_arg(service, a) for a in args])
-            return {"ok": True, "fact": str(fact),
-                    "epoch": service.db.epoch}, True
+            return _write_reply(service, fact=str(fact)), True
         if op == "lint":
             text = _required(request, "text", str)
             result = service.lint(text)
@@ -250,6 +281,15 @@ class _Handler(socketserver.StreamRequestHandler):
                     "events": service.recent_events(limit=limit,
                                                     type=type_)}, True
         if op == "wal":
+            if service.replica is not None:
+                # A serving replica has no shippable WAL of its own; the
+                # op instead reports its replication position — the
+                # router's lag signal and ``vidb promote``'s ballot.
+                replica = service.replica
+                return {"ok": True, "role": "replica", "read_only": True,
+                        "applied_lsn": replica.applied_lsn,
+                        "visible_lsn": replica.visible_lsn,
+                        "lag_lsn": replica.lag_lsn}, True
             if service.durability is None:
                 raise ServiceError(
                     "server is not durable (start it with --data-dir "
@@ -263,9 +303,56 @@ class _Handler(socketserver.StreamRequestHandler):
             reply = service.durability.ship(after, limit=limit)
             reply["ok"] = True
             return reply, True
+        if op == "promote":
+            hook = service.promote_hook
+            if hook is None:
+                raise ClusterError(
+                    "this server is not a promotable replica "
+                    "(start it with 'vidb replicate --serve-port')")
+            data_dir = request.get("data_dir")
+            if data_dir is not None and not isinstance(data_dir, str):
+                raise ProtocolError("'data_dir' must be a string path")
+            result = hook(data_dir=data_dir)
+            reply = dict(result or {})
+            reply["ok"] = True
+            return reply, True
         if op == "close":
             return {"ok": True, "closing": True}, False
         raise ProtocolError(f"unknown op {op!r}")
+
+
+def _await_token(service: ServiceExecutor, request: Dict[str, Any]) -> None:
+    """Honor a session-consistency token (``min_lsn``) on a read.
+
+    Holds the read until this server's state covers the token, bounded
+    by ``wait_s`` (default: the executor's ``lsn_wait_s``); past the
+    bound the read fails with a ``lagging`` error so the caller — the
+    router, usually — redirects it to the primary instead of returning
+    stale data.
+    """
+    min_lsn = request.get("min_lsn")
+    if min_lsn is None:
+        return
+    if not isinstance(min_lsn, int):
+        raise ProtocolError("'min_lsn' must be an integer LSN")
+    wait_s = request.get("wait_s")
+    if wait_s is not None and not isinstance(wait_s, (int, float)):
+        raise ProtocolError("'wait_s' must be a number of seconds")
+    if not service.wait_for_lsn(min_lsn, timeout_s=wait_s):
+        raise ReplicaLagError(
+            f"replica applied LSN {service.applied_lsn()} has not "
+            f"reached the session token {min_lsn}; "
+            f"read from the primary")
+
+
+def _write_reply(service: ServiceExecutor, **fields: Any) -> Dict[str, Any]:
+    """A mutation response: op fields, the new epoch and — when durable
+    — the WAL head LSN, the client's read-your-writes session token."""
+    reply: Dict[str, Any] = {"ok": True, **fields,
+                             "epoch": service.db.epoch}
+    if service.durability is not None:
+        reply["head_lsn"] = service.durability.last_lsn
+    return reply
 
 
 def _required(request: Dict[str, Any], field: str, kind) -> Any:
@@ -341,23 +428,69 @@ class VideoServer:
 
 
 class ServiceClient:
-    """A blocking JSON-lines client for :class:`VideoServer`."""
+    """A blocking JSON-lines client for :class:`VideoServer`.
+
+    Session consistency: every durable write response carries
+    ``head_lsn``; the client remembers the highest one as
+    :attr:`session_lsn` and threads it into subsequent ``query`` /
+    ``execute`` calls as ``min_lsn``, so reads routed to a replica
+    (see :mod:`vidb.cluster`) never observe state older than this
+    client's own writes.
+
+    Transport resilience: a request whose connection dies mid-flight is
+    retried **once** — after a reconnect and a short jittered backoff —
+    but only for idempotent read ops (:data:`IDEMPOTENT_OPS`); a write
+    might have been applied before the failure, so it surfaces the
+    error instead.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7421,
                  timeout: float = 30.0):
+        self._address = (host, port)
+        self._timeout = timeout
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._reader = self._sock.makefile("rb")
         self._lock = threading.Lock()
+        #: Highest WAL LSN any of this client's writes reached — the
+        #: read-your-writes token (0 until the first durable write).
+        self.session_lsn = 0
+
+    def _reconnect(self) -> None:
+        try:
+            self._reader.close()
+            self._sock.close()
+        except OSError:
+            pass
+        self._sock = socket.create_connection(self._address,
+                                              timeout=self._timeout)
+        self._reader = self._sock.makefile("rb")
+
+    def _roundtrip(self, payload: Dict[str, Any]) -> bytes:
+        """One send + one response line; b"" when the peer closed."""
+        with self._lock:
+            self._sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+            return self._reader.readline()
 
     def request(self, op: str, **fields: Any) -> Dict[str, Any]:
         """Send one request, wait for its response; raises on error."""
         payload = {"op": op, **{k: v for k, v in fields.items()
                                 if v is not None}}
-        with self._lock:
-            self._sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
-            line = self._reader.readline()
-        if not line:
-            raise ProtocolError("server closed the connection")
+        try:
+            line = self._roundtrip(payload)
+            if not line:
+                raise ConnectionResetError("server closed the connection")
+        except (ConnectionResetError, BrokenPipeError):
+            if op not in IDEMPOTENT_OPS:
+                raise ProtocolError("server closed the connection") from None
+            # Jitter keeps a fleet of clients from stampeding a server
+            # that just restarted.
+            time.sleep(random.uniform(0.02, 0.1))
+            with self._lock:
+                self._reconnect()
+            line = self._roundtrip(payload)
+            if not line:
+                raise ProtocolError(
+                    "server closed the connection (after retry)") from None
         try:
             response = json.loads(line.decode("utf-8"))
         except ValueError as error:
@@ -368,6 +501,9 @@ class ServiceClient:
             kind = response.get("error", "service")
             message = response.get("message", "server error")
             raise ERROR_KINDS.get(kind, ServiceError)(message)
+        head = response.get("head_lsn")
+        if isinstance(head, int) and head > self.session_lsn:
+            self.session_lsn = head
         return response
 
     # -- convenience wrappers ------------------------------------------------
@@ -379,18 +515,26 @@ class ServiceClient:
 
     def query(self, text: str, timeout: Optional[float] = None,
               limit: Optional[int] = None,
-              profile: bool = False) -> Dict[str, Any]:
+              profile: bool = False,
+              min_lsn: Optional[int] = None,
+              wait_s: Optional[float] = None) -> Dict[str, Any]:
+        if min_lsn is None and self.session_lsn:
+            min_lsn = self.session_lsn
         return self.request("query", query=text, timeout=timeout,
-                            limit=limit, profile=profile or None)
+                            limit=limit, profile=profile or None,
+                            min_lsn=min_lsn or None, wait_s=wait_s)
 
     def prepare(self, name: str, text: str,
                 params: Optional[List[str]] = None) -> Dict[str, Any]:
         return self.request("prepare", name=name, query=text, params=params)
 
     def execute(self, name: str, params: Optional[Dict[str, Any]] = None,
-                timeout: Optional[float] = None) -> Dict[str, Any]:
+                timeout: Optional[float] = None,
+                min_lsn: Optional[int] = None) -> Dict[str, Any]:
+        if min_lsn is None and self.session_lsn:
+            min_lsn = self.session_lsn
         return self.request("execute", name=name, params=params or {},
-                            timeout=timeout)
+                            timeout=timeout, min_lsn=min_lsn or None)
 
     def insert_entity(self, oid: str, **attributes: Any) -> Dict[str, Any]:
         return self.request("insert_entity", oid=oid, attributes=attributes)
@@ -427,8 +571,14 @@ class ServiceClient:
 
     def wal(self, after: int = 0,
             limit: Optional[int] = None) -> Dict[str, Any]:
-        """Ship WAL records after LSN *after* (replica pull)."""
+        """Ship WAL records after LSN *after* (replica pull).  Against
+        a serving replica this instead reports its replication position
+        (``applied_lsn`` / ``lag_lsn``)."""
         return self.request("wal", after=after, limit=limit)
+
+    def promote(self, data_dir: Optional[str] = None) -> Dict[str, Any]:
+        """Ask a serving replica to take over as primary (failover)."""
+        return self.request("promote", data_dir=data_dir)
 
     def close(self) -> None:
         try:

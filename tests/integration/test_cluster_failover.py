@@ -1,0 +1,239 @@
+"""Cluster end-to-end: routing, session consistency, kill-the-primary.
+
+The headline contract of ``vidb.cluster``:
+
+* a client writing through the router and immediately reading with its
+  session LSN token **never sees stale data**, no matter which replica
+  serves the read;
+* after SIGKILL of the primary, ``vidb promote`` elects the
+  furthest-ahead replica, fences the old generation, repoints the
+  router, and **no committed (acknowledged) write is lost**.
+
+The primary runs as a real ``vidb serve --data-dir --fsync always``
+subprocess so SIGKILL means SIGKILL; replicas and the router run
+in-process for determinism and speed.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from vidb.cli import main as vidb_main
+from vidb.cluster import ClusterRouter, ReplicaServer
+from vidb.durability import DurableDatabase
+from vidb.errors import ClusterError, FencedError
+from vidb.service.server import ServiceClient
+
+SRC_DIR = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture
+def free_port():
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def start_primary(data_dir, port):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "vidb.cli", "serve",
+         "--data-dir", str(data_dir), "--fsync", "always",
+         "--port", str(port)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    deadline = time.time() + 20
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError("primary exited before accepting")
+        try:
+            socket.create_connection(("127.0.0.1", port),
+                                     timeout=0.5).close()
+            return proc
+        except OSError:
+            time.sleep(0.1)
+    proc.kill()
+    raise RuntimeError("primary never came up")
+
+
+class TestClusterEndToEnd:
+    def test_failover_preserves_acknowledged_writes(self, tmp_path,
+                                                    free_port):
+        data_dir = tmp_path / "primary"
+        proc = start_primary(data_dir, free_port)
+        replicas, router = [], None
+        try:
+            replicas = [
+                ReplicaServer.from_data_dir(
+                    data_dir, poll_interval_s=0.05, lsn_wait_s=2.0,
+                    promote_data_dir=tmp_path / f"promoted-{index}"
+                ).start()
+                for index in range(2)
+            ]
+            router = ClusterRouter(
+                ("127.0.0.1", free_port),
+                [r.address for r in replicas],
+                probe_interval_s=0.1).start()
+            host, port = router.address
+
+            # -- session consistency under live replication ------------
+            acknowledged = []
+            with ServiceClient(host, port) as client:
+                for index in range(8):
+                    reply = client.insert_entity(f"o{index}", seq=index)
+                    acknowledged.append(reply["head_lsn"])
+                    assert client.session_lsn == reply["head_lsn"]
+                    # Immediate read-your-writes: the LSN token makes a
+                    # lagging replica wait or the router fall back —
+                    # stale answers are a failure either way.
+                    count = client.query("?- object(O).")["count"]
+                    assert count == index + 1, (
+                        f"stale read after write {index}")
+                topology = client.request("cluster")
+            assert len(topology["replicas"]) == 2
+
+            # -- kill the primary --------------------------------------
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=10)
+            # Give the replicas a beat to notice the source died.
+            time.sleep(0.3)
+
+            with ServiceClient(host, port) as client:
+                with pytest.raises(ClusterError):
+                    client.insert_entity("while-down")
+
+            # -- promote via the CLI, repointing the router ------------
+            candidates = []
+            for replica in replicas:
+                rhost, rport = replica.address
+                candidates += ["--replica", f"{rhost}:{rport}"]
+            exit_code = vidb_main(
+                ["promote", *candidates,
+                 "--router", f"{host}:{port}"])
+            assert exit_code == 0
+
+            promoted = [r for r in replicas if r.promoted]
+            assert len(promoted) == 1
+            winner = promoted[0]
+
+            # The old generation is fenced on disk.
+            with pytest.raises(FencedError):
+                DurableDatabase(data_dir)
+
+            # -- writes resume through the router; nothing was lost ----
+            with ServiceClient(host, port) as client:
+                reply = client.insert_entity("resumed")
+                assert reply["head_lsn"] > max(acknowledged)
+                count = client.query("?- object(O).")["count"]
+            assert count == 9  # 8 acknowledged + 1 resumed
+            for index in range(8):
+                assert winner.service.db.entity(f"o{index}")["seq"] == index
+        finally:
+            if router is not None:
+                router.close()
+            for replica in replicas:
+                replica.close()
+            if proc.poll() is None:
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.wait(timeout=10)
+
+    def test_lsn_token_read_times_out_to_primary(self, tmp_path,
+                                                 free_port):
+        """A replica that stops replicating cannot serve token reads;
+        the router must transparently re-serve them from the primary."""
+        data_dir = tmp_path / "primary"
+        proc = start_primary(data_dir, free_port)
+        replica, router = None, None
+        try:
+            replica = ReplicaServer.from_data_dir(
+                data_dir, lsn_wait_s=0.05,
+                promote_data_dir=tmp_path / "promoted")
+            replica.server.start_background()  # serving, never polling
+            router = ClusterRouter(
+                ("127.0.0.1", free_port), [replica.address],
+                probe_interval_s=0.1).start()
+            host, port = router.address
+            with ServiceClient(host, port) as client:
+                client.insert_entity("fresh")
+                assert client.session_lsn > 0
+                reply = client.query("?- object(O).")
+                assert reply["count"] == 1
+            snapshot = router.metrics.snapshot()
+            assert snapshot["router.fallbacks"] >= 1
+        finally:
+            if router is not None:
+                router.close()
+            if replica is not None:
+                replica.close()
+            if proc.poll() is None:
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.wait(timeout=10)
+
+    def test_promotion_after_wal_gap_resyncs_first(self, tmp_path):
+        """A replica that missed truncated WAL records (checkpoint gap)
+        must resync from a snapshot before it can be promoted — and the
+        promoted state must carry the full history."""
+        data_dir = tmp_path / "primary"
+        durable = DurableDatabase(data_dir, fsync="never",
+                                  checkpoint_every=4)
+        replica = None
+        try:
+            durable.db.new_entity("seed")
+            replica = ReplicaServer.from_data_dir(
+                data_dir, promote_data_dir=tmp_path / "promoted")
+            replica.server.start_background()
+            replica.poll_once()
+            # Enough writes to checkpoint at least twice: the records
+            # between the replica's position and the head are gone.
+            for index in range(10):
+                durable.db.new_entity(f"bulk{index}")
+            durable.checkpoint()
+            durable.close()
+            result = replica.promote()
+            assert result["promoted"] is True
+            assert replica.replica.resyncs >= 1
+            stats = replica.service.db.stats()
+            assert stats["entities"] == 11  # seed + 10 bulk, none skipped
+        finally:
+            if replica is not None:
+                replica.close()
+
+    def test_stale_primary_rejoins_as_replica(self, tmp_path):
+        """A fenced old primary cannot serve, but its machine rejoins
+        the cluster as a follower of the new generation."""
+        data_dir = tmp_path / "primary"
+        durable = DurableDatabase(data_dir, fsync="never")
+        durable.db.new_entity("a")
+        replica = ReplicaServer.from_data_dir(
+            data_dir, promote_data_dir=tmp_path / "promoted")
+        replica.server.start_background()
+        try:
+            replica.poll_once()
+            durable.close()
+            replica.promote()
+            # The old directory is fenced...
+            with pytest.raises(FencedError):
+                DurableDatabase(data_dir)
+            # ...so the old host follows the new primary instead.
+            rejoined = ReplicaServer.from_data_dir(
+                replica.service.durability.data_dir)
+            rejoined.server.start_background()
+            try:
+                rejoined.poll_once()
+                host, port = replica.address
+                with ServiceClient(host, port) as client:
+                    client.insert_entity("post-failover")
+                rejoined.poll_once()
+                assert rejoined.replica.db.entity(
+                    "post-failover") is not None
+                assert rejoined.replica.lag() == 0
+            finally:
+                rejoined.close()
+        finally:
+            replica.close()

@@ -1,0 +1,251 @@
+"""Unit tests for the cluster router (balancing, health, failover)."""
+
+import pytest
+
+from vidb.cluster import ClusterRouter, ReplicaServer
+from vidb.durability import DurableDatabase
+from vidb.errors import ClusterError, ProtocolError
+from vidb.service import ServiceClient, ServiceExecutor, VideoServer
+from vidb.storage.database import VideoDatabase
+
+
+def seed_db():
+    db = VideoDatabase("seed")
+    db.new_entity("a", name="Ana")
+    db.new_interval("g1", entities=["a"], duration=[(0, 10)])
+    return db
+
+
+@pytest.fixture
+def primary(tmp_path):
+    durable = DurableDatabase(tmp_path / "data", seed=seed_db(),
+                              fsync="never")
+    service = ServiceExecutor(durable)
+    server = VideoServer(service).start_background()
+    yield server
+    server.shutdown()
+    service.close()
+
+
+def make_replica(primary, tmp_path, name, lsn_wait_s=0.05):
+    """A serving replica driven manually (no poll thread)."""
+    data_dir = primary.service.durability.data_dir
+    server = ReplicaServer.from_data_dir(
+        data_dir, lsn_wait_s=lsn_wait_s,
+        promote_data_dir=tmp_path / f"promoted-{name}")
+    server.server.start_background()
+    return server
+
+
+def make_router(primary, replicas, **options):
+    options.setdefault("probe_interval_s", 0.05)
+    router = ClusterRouter(primary.address,
+                           [r.address for r in replicas], **options)
+    return router.start()
+
+
+class TestRouting:
+    def test_writes_reach_the_primary(self, primary, tmp_path):
+        replica = make_replica(primary, tmp_path, "r1")
+        router = make_router(primary, [replica])
+        try:
+            host, port = router.address
+            with ServiceClient(host, port) as client:
+                reply = client.insert_entity("b")
+                assert reply["ok"] and "head_lsn" in reply
+            assert primary.service.db.entity("b") is not None
+        finally:
+            router.close()
+            replica.close()
+
+    def test_reads_balance_across_replicas(self, primary, tmp_path):
+        replicas = [make_replica(primary, tmp_path, f"r{i}")
+                    for i in range(2)]
+        for replica in replicas:
+            replica.poll_once()
+        router = make_router(primary, replicas)
+        try:
+            host, port = router.address
+            with ServiceClient(host, port) as client:
+                for __ in range(4):
+                    assert client.query("?- object(O).")["count"] == 1
+            snapshot = router.metrics.snapshot()
+            for replica in replicas:
+                rhost, rport = replica.address
+                key = f"router_reads_total{{replica={rhost}:{rport}}}"
+                assert snapshot.get(key, 0) >= 1
+            assert snapshot["router.reads_balanced"] == 4
+        finally:
+            router.close()
+            for replica in replicas:
+                replica.close()
+
+    def test_no_replicas_serves_reads_from_primary(self, primary):
+        router = make_router(primary, [])
+        try:
+            host, port = router.address
+            with ServiceClient(host, port) as client:
+                assert client.query("?- object(O).")["count"] == 1
+            snapshot = router.metrics.snapshot()
+            assert snapshot.get(
+                "router_reads_total{replica=primary}", 0) == 1
+        finally:
+            router.close()
+
+    def test_session_state_sticks_to_the_primary(self, primary, tmp_path):
+        replica = make_replica(primary, tmp_path, "r1")
+        replica.poll_once()
+        router = make_router(primary, [replica])
+        try:
+            host, port = router.address
+            with ServiceClient(host, port) as client:
+                client.prepare("byname", "?- object(O).")
+                assert client.execute("byname")["count"] == 1
+        finally:
+            router.close()
+            replica.close()
+
+    def test_unknown_op_passes_through_backend_error(self, primary):
+        router = make_router(primary, [])
+        try:
+            host, port = router.address
+            with ServiceClient(host, port) as client:
+                with pytest.raises(ProtocolError):
+                    client.request("frobnicate")
+        finally:
+            router.close()
+
+
+class TestConsistencyFallback:
+    def test_lagging_replica_read_falls_back_to_primary(self, primary,
+                                                        tmp_path):
+        replica = make_replica(primary, tmp_path, "r1", lsn_wait_s=0.05)
+        replica.poll_once()
+        router = make_router(primary, [replica])
+        try:
+            host, port = router.address
+            with ServiceClient(host, port) as client:
+                client.insert_entity("b")  # replica never polls this
+                # The client's session token outruns the replica: the
+                # router must re-serve the read from the primary, not
+                # surface the lagging error or stale data.
+                reply = client.query("?- object(O).")
+                assert reply["count"] == 2
+            snapshot = router.metrics.snapshot()
+            assert snapshot["router.fallbacks"] >= 1
+            assert snapshot.get(
+                "router_reads_total{replica=primary}", 0) >= 1
+        finally:
+            router.close()
+            replica.close()
+
+
+class TestHealth:
+    def test_dead_replica_is_marked_down_and_skipped(self, primary,
+                                                     tmp_path):
+        replica = make_replica(primary, tmp_path, "r1")
+        replica.poll_once()
+        router = make_router(primary, [replica])
+        try:
+            assert len(router.healthy_replicas()) == 1
+            replica.close()
+            host, port = router.address
+            with ServiceClient(host, port) as client:
+                # Served despite the dead replica (fallback path).
+                assert client.query("?- object(O).")["count"] == 1
+            router.probe()
+            assert router.healthy_replicas() == []
+            events = [e["type"] for e in router.events.recent()]
+            assert "router.replica_down" in events
+        finally:
+            router.close()
+
+    def test_lag_cap_removes_replica_from_pool(self, primary, tmp_path):
+        replica = make_replica(primary, tmp_path, "r1")
+        replica.poll_once()
+        router = make_router(primary, [replica], max_lag_lsn=0)
+        try:
+            assert len(router.healthy_replicas()) == 1
+            from vidb.durability.replica import ShipBatch
+
+            # Visible watermark advances with nothing applied: lag > 0.
+            replica.replica.ingest(
+                ShipBatch([], replica.replica.applied_lsn + 3))
+            router.probe()
+            assert router.healthy_replicas() == []
+        finally:
+            router.close()
+            replica.close()
+
+    def test_topology_reports_state(self, primary, tmp_path):
+        replica = make_replica(primary, tmp_path, "r1")
+        replica.poll_once()
+        router = make_router(primary, [replica])
+        try:
+            host, port = router.address
+            with ServiceClient(host, port) as client:
+                topology = client.request("cluster")
+            phost, pport = primary.address
+            assert topology["primary"] == f"{phost}:{pport}"
+            assert len(topology["replicas"]) == 1
+            assert topology["replicas"][0]["healthy"] is True
+        finally:
+            router.close()
+            replica.close()
+
+
+class TestFailover:
+    def test_dead_primary_surfaces_cluster_error(self, tmp_path):
+        durable = DurableDatabase(tmp_path / "data", seed=seed_db(),
+                                  fsync="never")
+        service = ServiceExecutor(durable)
+        server = VideoServer(service).start_background()
+        router = ClusterRouter(server.address, []).start()
+        try:
+            address = server.address
+            server.shutdown()
+            service.close()
+            host, port = router.address
+            with ServiceClient(host, port) as client:
+                with pytest.raises(ClusterError):
+                    client.insert_entity("b")
+            assert router.primary == address
+        finally:
+            router.close()
+
+    def test_repoint_moves_writes_to_new_primary(self, primary, tmp_path):
+        replica = make_replica(primary, tmp_path, "r1")
+        replica.poll_once()
+        router = make_router(primary, [replica])
+        try:
+            host, port = router.address
+            with ServiceClient(host, port) as client:
+                client.insert_entity("before")
+                replica.poll_once()
+                replica.promote()
+                rhost, rport = replica.address
+                client.request("repoint", host=rhost, port=rport)
+                reply = client.insert_entity("after")
+                assert reply["ok"] is True
+            # The write landed on the promoted replica, not the old
+            # primary; the promoted node left the read pool.
+            from vidb.model.oid import Oid
+
+            assert replica.service.db.entity("after") is not None
+            assert primary.service.db.get(Oid.entity("after")) is None
+            assert router.healthy_replicas() == []
+            events = [e["type"] for e in router.events.recent()]
+            assert "failover.repoint" in events
+        finally:
+            router.close()
+            replica.close()
+
+    def test_repoint_validates_fields(self, primary):
+        router = make_router(primary, [])
+        try:
+            host, port = router.address
+            with ServiceClient(host, port) as client:
+                with pytest.raises(ProtocolError):
+                    client.request("repoint", host=1, port="x")
+        finally:
+            router.close()
