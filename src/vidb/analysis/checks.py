@@ -12,9 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from vidb.constraints import solver
 from vidb.constraints.dense import TRUE, conjoin
-from vidb.constraints.setorder import SetConjunction
+from vidb.constraints.kernel import default_kernel
 from vidb.errors import ConstraintError, SafetyError
 from vidb.query import safety
 from vidb.query.ast import (
@@ -270,7 +269,8 @@ def _analyze_body(body: Sequence[BodyItem], span: Optional[SourceSpan],
     for position, (atom, image) in enumerate(dense):
         rest = [other for i, (_, other) in enumerate(dense) if i != position]
         try:
-            if solver.entails(conjoin(*rest) if rest else TRUE, image):
+            kernel = default_kernel()
+            if kernel.entails(conjoin(*rest) if rest else TRUE, image):
                 out.append(make(
                     "VDB023",
                     f"constraint {atom!r} in {where} is implied by the rest "
@@ -281,8 +281,8 @@ def _analyze_body(body: Sequence[BodyItem], span: Optional[SourceSpan],
     for position, (atom, image) in enumerate(sets):
         rest = [other for i, (_, other) in enumerate(sets) if i != position]
         try:
-            others = SetConjunction(rest)
-            if others.satisfiable() and others.entails_atom(image):
+            kernel = default_kernel()
+            if kernel.set_satisfiable(rest) and kernel.set_entails(rest, [image]):
                 out.append(make(
                     "VDB023",
                     f"constraint {atom!r} in {where} is implied by the rest "

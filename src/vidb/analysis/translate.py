@@ -21,12 +21,11 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import List, Optional, Sequence, Tuple, Union
 
-from vidb.constraints import solver
 from vidb.constraints.dense import Comparison, Constraint, conjoin, fold_ground
+from vidb.constraints.kernel import default_kernel
 from vidb.constraints.setorder import (
     Member,
     SetAtom,
-    SetConjunction,
     SetVar,
     SubsetVar,
     SupersetConst,
@@ -107,7 +106,7 @@ def entailment_truth(item: EntailmentAtom) -> Optional[bool]:
     if _inline_rule_variables(left) or _inline_rule_variables(right):
         return None
     try:
-        return solver.entails(left, right)
+        return default_kernel().entails(left, right)
     except ConstraintError:
         return None
 
@@ -122,7 +121,7 @@ def entailment_rhs_unsatisfiable(item: EntailmentAtom) -> bool:
     if not isinstance(item.left, AttrPath):
         return False  # the ground-ground case is decided exactly instead
     try:
-        return not solver.satisfiable(right)
+        return not default_kernel().satisfiable(right)
     except ConstraintError:
         return False
 
@@ -201,7 +200,7 @@ def dense_satisfiable(images: Sequence[Constraint]) -> bool:
     if not images:
         return True
     try:
-        return solver.satisfiable(conjoin(*images))
+        return default_kernel().satisfiable(conjoin(*images))
     except ConstraintError:
         return True  # mixed domains the solver rejects: stay sound
 
@@ -211,6 +210,6 @@ def set_satisfiable(atoms: Sequence[SetAtom]) -> bool:
     if not atoms:
         return True
     try:
-        return SetConjunction(atoms).satisfiable()
+        return default_kernel().set_satisfiable(atoms)
     except ConstraintError:
         return True

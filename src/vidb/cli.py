@@ -39,7 +39,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from vidb.bench.tables import format_table
-from vidb.errors import ModelError, QueryError, VidbError
+from vidb.errors import ConstraintError, ModelError, QueryError, VidbError
 from vidb.presentation.edl import edl_from_query
 from vidb.query.engine import QueryEngine
 from vidb.query.execution import ExecutionOptions
@@ -293,10 +293,15 @@ def _common_engine_flags(parser: argparse.ArgumentParser) -> None:
                         help="load the contains/same_object_in rules")
     parser.add_argument("--mode", choices=["seminaive", "naive"],
                         default="seminaive")
+    parser.add_argument("--kernel", default=None, metavar="NAME",
+                        help="constraint kernel backend ('interned' or "
+                             "'reference'; default: VIDB_KERNEL env var "
+                             "or 'interned')")
 
 
 def _engine(args: argparse.Namespace, db: VideoDatabase) -> QueryEngine:
-    engine = QueryEngine(db, use_stdlib_rules=args.stdlib, mode=args.mode)
+    engine = QueryEngine(db, use_stdlib_rules=args.stdlib, mode=args.mode,
+                         kernel=args.kernel)
     for path in args.rules:
         engine.add_rules(Path(path).read_text(encoding="utf-8"))
     return engine
@@ -532,7 +537,8 @@ def _cmd_serve(args) -> int:
             serving, rules=rules_text, use_stdlib_rules=args.stdlib,
             max_workers=args.workers, max_in_flight=args.max_in_flight,
             cache_capacity=args.cache_capacity, default_timeout=args.timeout,
-            engine_options={"mode": args.mode}, metrics=registry,
+            engine_options={"mode": args.mode, "kernel": args.kernel},
+            metrics=registry,
             slow_query_ms=args.slow_query_ms, event_log=event_log,
             read_only=args.read_only)
         ready_state["service"] = service
@@ -816,8 +822,10 @@ def _cmd_client(args) -> int:
                           f"{entry['answers']} answer(s){cached}")
             elif op == "info":
                 info = client.info()
+                kernel = (f"  kernel: {info['kernel']}"
+                          if "kernel" in info else "")
                 print(f"database: {info['database']}  "
-                      f"epoch: {info['epoch']}")
+                      f"epoch: {info['epoch']}{kernel}")
                 print(format_snapshot(info["stats"]))
             elif op == "ping":
                 print("pong" if client.ping() else "no answer")
@@ -898,9 +906,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (QueryError, ModelError, FileNotFoundError) as error:
+    except (QueryError, ModelError, ConstraintError,
+            FileNotFoundError) as error:
         # User-input errors: bad query/rule text, data-model violations,
-        # missing snapshot or rule files.  One line, argparse-style code.
+        # unknown --kernel names, missing snapshot or rule files.  One
+        # line, argparse-style code.
         print(f"error: {error}", file=sys.stderr)
         return 2
     except VidbError as error:

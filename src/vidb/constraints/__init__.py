@@ -11,6 +11,17 @@ Two constraint classes, exactly as in the paper:
 
 :mod:`vidb.constraints.domains` supplies the concrete domains
 (Definition 1) the constants are drawn from.
+
+Decision procedures are served by a pluggable **constraint kernel**
+(:mod:`vidb.constraints.kernel`): get one with :func:`default_kernel`
+(or :func:`get_kernel` / :func:`make_kernel` by name) and call
+``satisfiable`` / ``entails`` / ``equivalent`` / ``simplify`` /
+``set_satisfiable`` / ``set_entails`` on it — plus the batched
+``satisfiable_many`` / ``entails_many`` used on the fixpoint hot path.
+Two backends ship in-tree: ``"reference"`` (the original pure-Python
+procedures) and ``"interned"`` (hash-consed canonical forms + bitset
+closure, the default).  The module-level ``solver.satisfiable`` etc.
+remain as deprecated shims that delegate to the default kernel.
 """
 
 from vidb.constraints.dense import (
@@ -27,6 +38,20 @@ from vidb.constraints.dense import (
     interval_constraint,
 )
 from vidb.constraints.eliminate import eliminate_variable, project
+from vidb.constraints.kernel import (
+    DEFAULT_KERNEL_NAME,
+    KERNEL_ENV_VAR,
+    ConstraintKernel,
+    KernelSpec,
+    available_kernels,
+    default_kernel,
+    default_kernel_name,
+    get_kernel,
+    make_kernel,
+    register_kernel,
+    resolve_kernel,
+    set_default_kernel,
+)
 from vidb.constraints.domains import (
     INTEGERS,
     RATIONALS,
@@ -61,7 +86,11 @@ __all__ = [
     "Comparison",
     "ConcreteDomain",
     "Constraint",
+    "ConstraintKernel",
+    "DEFAULT_KERNEL_NAME",
     "FALSE",
+    "KERNEL_ENV_VAR",
+    "KernelSpec",
     "INTEGERS",
     "Member",
     "Or",
@@ -77,8 +106,11 @@ __all__ = [
     "SupersetConst",
     "TRUE",
     "Var",
+    "available_kernels",
     "clause_satisfiable",
     "conjoin",
+    "default_kernel",
+    "default_kernel_name",
     "disjoin",
     "domain_of",
     "eliminate_variable",
@@ -86,11 +118,16 @@ __all__ = [
     "equivalent",
     "fold_ground",
     "from_dnf",
+    "get_kernel",
     "interval_constraint",
     "is_constant",
     "is_numeric",
+    "make_kernel",
     "project",
+    "register_kernel",
+    "resolve_kernel",
     "satisfiable",
+    "set_default_kernel",
     "simplify",
     "solution_set_1var",
     "spans_subset",

@@ -1,0 +1,54 @@
+"""The reference kernel backend: the original pure-Python procedures.
+
+Thin delegation into :mod:`vidb.constraints.solver` (SCC-based clause
+satisfiability, span-based single-variable entailment) and
+:mod:`vidb.constraints.setorder` (bound-propagation closure).  No
+caching, no interning: every call recomputes from scratch.  This is the
+semantic baseline — the property parity suite holds every other backend
+to exactly this behaviour — and the ablation baseline the solver
+benchmarks measure speedups against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from vidb.constraints.dense import Constraint
+from vidb.constraints.kernel import ConstraintKernel, register_kernel
+from vidb.constraints.setorder import SetAtom, SetConjunction
+from vidb.constraints.solver import (
+    core_entails,
+    core_equivalent,
+    core_satisfiable,
+    core_simplify,
+)
+
+
+class ReferenceKernel(ConstraintKernel):
+    """The original decision procedures behind the kernel interface."""
+
+    name = "reference"
+
+    # -- dense-order --------------------------------------------------------
+    def satisfiable(self, constraint: Constraint) -> bool:
+        return core_satisfiable(constraint)
+
+    def entails(self, c1: Constraint, c2: Constraint) -> bool:
+        return core_entails(c1, c2)
+
+    def equivalent(self, c1: Constraint, c2: Constraint) -> bool:
+        return core_equivalent(c1, c2)
+
+    def simplify(self, constraint: Constraint) -> Constraint:
+        return core_simplify(constraint)
+
+    # -- set-order ----------------------------------------------------------
+    def set_satisfiable(self, atoms: Iterable[SetAtom]) -> bool:
+        return SetConjunction(atoms).satisfiable()
+
+    def set_entails(self, premise: Iterable[SetAtom],
+                    conclusion: Iterable[SetAtom]) -> bool:
+        return SetConjunction(premise).entails(SetConjunction(conclusion))
+
+
+register_kernel("reference", ReferenceKernel)

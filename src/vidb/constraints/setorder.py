@@ -29,6 +29,7 @@ identities in them (``G.entities``).
 
 from __future__ import annotations
 
+import warnings
 from time import perf_counter
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set
 
@@ -331,11 +332,24 @@ class SetConjunction:
         return "SetConjunction(" + ", ".join(map(repr, self.atoms)) + ")"
 
 
+def _warn_deprecated(name: str, kernel_name: str) -> None:
+    warnings.warn(
+        f"vidb.constraints.setorder.{name}() is deprecated; use the kernel "
+        f"API: vidb.constraints.default_kernel().{kernel_name}(...)",
+        DeprecationWarning, stacklevel=3)
+
+
 def satisfiable(atoms: Iterable[SetAtom]) -> bool:
-    """Convenience wrapper: satisfiability of a conjunction of atoms."""
-    return SetConjunction(atoms).satisfiable()
+    """Deprecated shim: delegates to the default constraint kernel."""
+    _warn_deprecated("satisfiable", "set_satisfiable")
+    from vidb.constraints.kernel import default_kernel
+
+    return default_kernel().set_satisfiable(atoms)
 
 
 def entails(premise: Iterable[SetAtom], conclusion: Iterable[SetAtom]) -> bool:
-    """Convenience wrapper: conjunction-level entailment."""
-    return SetConjunction(premise).entails(SetConjunction(conclusion))
+    """Deprecated shim: delegates to the default constraint kernel."""
+    _warn_deprecated("entails", "set_entails")
+    from vidb.constraints.kernel import default_kernel
+
+    return default_kernel().set_entails(premise, conclusion)

@@ -25,9 +25,10 @@ evaluation.  This module supplies those procedures:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from vidb.constraints.dense import (
     FALSE,
@@ -205,8 +206,13 @@ def clause_satisfiable(atoms: Sequence[Comparison]) -> bool:
     return True
 
 
-def satisfiable(constraint: Constraint) -> bool:
-    """Satisfiability of an arbitrary dense-order constraint."""
+def core_satisfiable(constraint: Constraint) -> bool:
+    """Satisfiability of an arbitrary dense-order constraint.
+
+    This is the reference implementation the ``"reference"`` kernel
+    backend serves; most callers should go through a
+    :class:`~vidb.constraints.kernel.ConstraintKernel` instead.
+    """
     tracer = current_tracer()
     if not tracer.enabled:
         return any(clause_satisfiable(clause) for clause in constraint.dnf())
@@ -447,7 +453,7 @@ def _all_numeric_constants(constraint: Constraint) -> bool:
     return True
 
 
-def entails(c1: Constraint, c2: Constraint) -> bool:
+def core_entails(c1: Constraint, c2: Constraint) -> bool:
     """Does ``c1 => c2`` hold, i.e. is ``c1 AND NOT c2`` unsatisfiable?
 
     The single-variable numeric case — which covers every ``duration``
@@ -485,12 +491,12 @@ def _entails(c1: Constraint, c2: Constraint) -> bool:
         except ConstraintError:
             pass  # fall through to the generic procedure
 
-    return not satisfiable(conjoin(c1, c2.negate()))
+    return not core_satisfiable(conjoin(c1, c2.negate()))
 
 
-def equivalent(c1: Constraint, c2: Constraint) -> bool:
-    """Mutual entailment."""
-    return entails(c1, c2) and entails(c2, c1)
+def core_equivalent(c1: Constraint, c2: Constraint) -> bool:
+    """Mutual entailment (reference implementation)."""
+    return core_entails(c1, c2) and core_entails(c2, c1)
 
 
 def implied_by_clause(clause: Sequence[Comparison], atom: Comparison) -> bool:
@@ -498,8 +504,10 @@ def implied_by_clause(clause: Sequence[Comparison], atom: Comparison) -> bool:
     return not clause_satisfiable(list(clause) + [atom.negate()])
 
 
-def simplify(constraint: Constraint) -> Constraint:
-    """Light-weight simplification.
+def simplify_using(clause_sat: Callable[[Sequence[Comparison]], bool],
+                   constraint: Constraint) -> Constraint:
+    """The simplification algorithm, parameterised by the clause
+    satisfiability procedure (so kernel backends can plug their own).
 
     Drops unsatisfiable DNF clauses and, within each clause, atoms already
     implied by the remaining ones.  The result is logically equivalent to
@@ -507,13 +515,13 @@ def simplify(constraint: Constraint) -> Constraint:
     """
     kept_clauses: List[Tuple[Comparison, ...]] = []
     for clause in constraint.dnf():
-        if not clause_satisfiable(clause):
+        if not clause_sat(clause):
             continue
         atoms = list(clause)
         pruned: List[Comparison] = []
         for i, atom in enumerate(atoms):
             rest = pruned + atoms[i + 1:]
-            if rest and implied_by_clause(rest, atom):
+            if rest and not clause_sat(list(rest) + [atom.negate()]):
                 continue
             pruned.append(atom)
         kept_clauses.append(tuple(pruned))
@@ -523,3 +531,51 @@ def simplify(constraint: Constraint) -> Constraint:
     for clause in kept_clauses:
         disjuncts.append(conjoin(*clause) if clause else TRUE)
     return disjoin(*disjuncts)
+
+
+def core_simplify(constraint: Constraint) -> Constraint:
+    """Light-weight simplification (reference implementation)."""
+    return simplify_using(clause_satisfiable, constraint)
+
+
+# ---------------------------------------------------------------------------
+# Deprecated module-level API (kept for established imports)
+# ---------------------------------------------------------------------------
+
+def _warn_deprecated(name: str) -> None:
+    warnings.warn(
+        f"vidb.constraints.solver.{name}() is deprecated; use the kernel "
+        f"API: vidb.constraints.default_kernel().{name}(...)",
+        DeprecationWarning, stacklevel=3)
+
+
+def satisfiable(constraint: Constraint) -> bool:
+    """Deprecated shim: delegates to the default constraint kernel."""
+    _warn_deprecated("satisfiable")
+    from vidb.constraints.kernel import default_kernel
+
+    return default_kernel().satisfiable(constraint)
+
+
+def entails(c1: Constraint, c2: Constraint) -> bool:
+    """Deprecated shim: delegates to the default constraint kernel."""
+    _warn_deprecated("entails")
+    from vidb.constraints.kernel import default_kernel
+
+    return default_kernel().entails(c1, c2)
+
+
+def equivalent(c1: Constraint, c2: Constraint) -> bool:
+    """Deprecated shim: delegates to the default constraint kernel."""
+    _warn_deprecated("equivalent")
+    from vidb.constraints.kernel import default_kernel
+
+    return default_kernel().equivalent(c1, c2)
+
+
+def simplify(constraint: Constraint) -> Constraint:
+    """Deprecated shim: delegates to the default constraint kernel."""
+    _warn_deprecated("simplify")
+    from vidb.constraints.kernel import default_kernel
+
+    return default_kernel().simplify(constraint)

@@ -17,6 +17,7 @@ from vidb.bench.tables import format_table
 _KNOWN_AGGREGATES = (
     "solver.entails",
     "solver.satisfiable",
+    "kernel.entails_many",
     "setorder.closure",
     "concat.create",
 )
@@ -87,8 +88,9 @@ def format_profile(report) -> str:
     """The full profile text for one execution report."""
     stats = report.stats
     total = stats.elapsed_s
+    kernel = f" · kernel {stats.kernel}" if stats.kernel else ""
     header = (f"== execution profile ==\n"
-              f"total {total:.6f} s · mode {stats.mode} · "
+              f"total {total:.6f} s · mode {stats.mode}{kernel} · "
               f"{stats.iterations} iteration(s) · "
               f"{len(report.answers)} answer(s) · "
               f"{stats.derived_facts} derived · "

@@ -35,6 +35,7 @@ from typing import (
 
 from vidb.analysis.analyzer import ProgramAnalyzer
 from vidb.analysis.diagnostics import Diagnostic
+from vidb.constraints.kernel import KernelSpec, resolve_kernel
 from vidb.errors import QueryError, SafetyError, UnknownPredicateError
 from vidb.model.oid import Oid
 from vidb.obs.tracer import NULL_TRACER, Tracer, activate
@@ -226,11 +227,16 @@ class QueryEngine:
                  max_objects: int = 50_000,
                  reorder_joins: bool = True,
                  prune_rules: bool = True,
-                 analyze: bool = True):
+                 analyze: bool = True,
+                 kernel: KernelSpec = None):
         self.db = db
         self.mode = mode
         self.extended_domain = extended_domain
         self.max_objects = max_objects
+        #: The constraint kernel backend every evaluation of this engine
+        #: uses (a name, an instance, or None = the process default).
+        #: Per-query override: ``ExecutionOptions(kernel="reference")``.
+        self.kernel = resolve_kernel(kernel)
         #: Optimiser switches (kept togglable for the ablation benchmarks):
         #: greedy selectivity-based join reordering inside each rule, and
         #: per-query pruning of rules unreachable from the query goals.
@@ -280,6 +286,7 @@ class QueryEngine:
             self.db, self.program, mode=self.mode, computed=self.computed,
             max_objects=self.max_objects, extended_domain=self.extended_domain,
             reorder_joins=self.reorder_joins, provenance=provenance,
+            kernel=self.kernel,
         )
 
     def execute(self, query: Union[str, Query],
@@ -346,6 +353,8 @@ class QueryEngine:
                     provenance=options.provenance,
                     deadline=deadline,
                     tracer=tracer,
+                    kernel=(options.kernel if options.kernel is not None
+                            else self.kernel),
                 )
             with stage("collect"):
                 rows = result.relation(ANSWER_PREDICATE)

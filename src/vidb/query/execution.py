@@ -52,6 +52,11 @@ class ExecutionOptions:
         (``None`` = engine default, which is on).  When on, analyzer
         warnings are attached to the report as ``diagnostics`` and
         blocking errors raise before the fixpoint runs.
+    kernel:
+        Per-query constraint kernel backend name (``"interned"``,
+        ``"reference"``, or any registered backend; ``None`` = the
+        engine's kernel).  The name is resolved against the registry when
+        the query runs, so an unknown name fails at execution, not here.
     """
 
     timeout_s: Optional[float] = None
@@ -60,6 +65,7 @@ class ExecutionOptions:
     prune_rules: Optional[bool] = None
     provenance: Optional[Dict] = None
     analyze: Optional[bool] = None
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -68,6 +74,9 @@ class ExecutionOptions:
         if self.timeout_s is not None and self.timeout_s < 0:
             raise EvaluationError(
                 f"timeout_s must be non-negative, got {self.timeout_s!r}")
+        if self.kernel is not None and not isinstance(self.kernel, str):
+            raise EvaluationError(
+                f"kernel must be a backend name or None, got {self.kernel!r}")
 
     def merged(self, **overrides: Any) -> "ExecutionOptions":
         """A copy with the given fields replaced."""

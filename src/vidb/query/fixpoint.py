@@ -46,8 +46,8 @@ from typing import (
     Union,
 )
 
-from vidb.constraints import solver
 from vidb.constraints.dense import Constraint
+from vidb.constraints.kernel import KernelSpec, resolve_kernel
 from vidb.constraints.terms import Var, constants_comparable, is_constant
 from vidb.errors import (
     EvaluationError,
@@ -196,6 +196,7 @@ class EvaluationStats:
     rule_firings: int = 0
     constraint_checks: int = 0
     mode: str = "seminaive"
+    kernel: str = ""
     elapsed_s: float = 0.0
     iteration_seconds: List[float] = field(default_factory=list)
     stages: Dict[str, float] = field(default_factory=dict)
@@ -219,6 +220,8 @@ class EvaluationStats:
             "iteration_seconds": [round(s, 6)
                                   for s in self.iteration_seconds],
         }
+        if self.kernel:
+            out["kernel"] = self.kernel
         if self.stages:
             out["stages"] = {name: round(s, 6)
                              for name, s in self.stages.items()}
@@ -269,13 +272,17 @@ class EvaluationContext:
     def __init__(self, db: VideoDatabase,
                  computed: Optional[Dict[str, Tuple[int, ComputedPredicate]]] = None,
                  max_objects: int = 50_000,
-                 extended_domain: str = "lazy"):
+                 extended_domain: str = "lazy",
+                 kernel: KernelSpec = None):
         if extended_domain not in ("lazy", "eager"):
             raise EvaluationError(
                 f"extended_domain must be 'lazy' or 'eager', got {extended_domain!r}"
             )
         self.db = db
         self.max_objects = max_objects
+        #: The constraint kernel serving every satisfiability/entailment
+        #: decision of this evaluation (Definition 21's condition).
+        self.kernel = resolve_kernel(kernel)
         self.relations: Dict[str, Relation] = {}
         self.objects: Dict[Oid, VideoObject] = {}
         self.computed = dict(computed or {})
@@ -415,7 +422,7 @@ def check_constraint(atom: BodyItem, binding: Binding,
         right = _entail_side(atom.right, binding, ctx)
         if left is None or right is None:
             return False
-        return solver.entails(left, right)
+        return ctx.kernel.entails(left, right)
     if isinstance(atom, NegatedLiteral):
         return not _positive_holds(atom.literal, binding, ctx)
     raise EvaluationError(f"unknown constraint atom {atom!r}")
@@ -487,20 +494,33 @@ class RulePlan:
 
     ``checks_after[i]`` lists the constraint atoms whose variables are all
     bound once literals ``0..i`` have been joined (index -1 = ground
-    constraints checked before any join).
+    constraints checked before any join).  ``deferred`` holds entailment
+    atoms pulled out of the final join position: they would prune nothing
+    during the join (every literal is already bound), so the drivers
+    check them *after* the join as one batched
+    :meth:`~vidb.constraints.kernel.ConstraintKernel.entails_many` call,
+    letting the kernel compute each distinct canonical pair once.
     """
 
     rule: Rule
     literals: Tuple[Literal, ...]
     checks_after: Dict[int, Tuple[BodyItem, ...]]
+    deferred: Tuple[EntailmentAtom, ...] = ()
 
     @classmethod
     def compile(cls, rule: Rule,
-                size_of: Optional[Callable[[str], int]] = None) -> "RulePlan":
+                size_of: Optional[Callable[[str], int]] = None,
+                defer_entailments: bool = True) -> "RulePlan":
         """Compile a rule; with *size_of* (predicate → cardinality
         estimate) the body literals are greedily reordered for
         selectivity (most-bound-variables first, smaller relations as
-        tie-break).  Join order never changes answers — only cost."""
+        tie-break).  Join order never changes answers — only cost.
+
+        With *defer_entailments* (the default), entailment atoms that
+        only become ground at the last literal are moved to ``deferred``
+        for batched checking; atoms ground earlier stay inline so their
+        pruning power during the join is kept.
+        """
         literals = list(rule.literals())
         if size_of is not None and len(literals) > 1:
             literals = _reorder_literals(literals, size_of)
@@ -518,8 +538,20 @@ class RulePlan:
             raise EvaluationError(
                 f"constraints {remaining!r} never become ground in {rule!r}"
             )
+        deferred: List[EntailmentAtom] = []
+        final = len(literals) - 1
+        if defer_entailments and final >= 0 and final in checks:
+            stay = [c for c in checks[final]
+                    if not isinstance(c, EntailmentAtom)]
+            deferred = [c for c in checks[final]
+                        if isinstance(c, EntailmentAtom)]
+            if stay:
+                checks[final] = stay
+            else:
+                del checks[final]
         return cls(rule, tuple(literals),
-                   {i: tuple(cs) for i, cs in checks.items()})
+                   {i: tuple(cs) for i, cs in checks.items()},
+                   tuple(deferred))
 
 
 def _reorder_literals(literals: List[Literal],
@@ -639,6 +671,42 @@ def _join(plan: RulePlan, ctx: EvaluationContext,
     yield from backtrack(0, binding)
 
 
+def _bindings(plan: RulePlan, ctx: EvaluationContext,
+              delta_position: Optional[int] = None,
+              delta_rows: Optional[Iterable[GroundTuple]] = None
+              ) -> List[Binding]:
+    """Materialised body bindings with deferred entailments batch-checked.
+
+    The join runs first (bindings must be materialised anyway: head
+    instantiation mutates the relations being read); then every deferred
+    entailment atom of every surviving binding is evaluated through one
+    :meth:`~vidb.constraints.kernel.ConstraintKernel.entails_many` call,
+    so a backend sees the whole rule iteration's workload at once.
+    """
+    bindings = list(_join(plan, ctx, delta_position=delta_position,
+                          delta_rows=delta_rows))
+    if not plan.deferred or not bindings:
+        return bindings
+    keep = [True] * len(bindings)
+    pairs: List[Tuple[Constraint, Constraint]] = []
+    owners: List[int] = []
+    for i, binding in enumerate(bindings):
+        for atom in plan.deferred:
+            ctx.stats.constraint_checks += 1
+            left = _entail_side(atom.left, binding, ctx)
+            right = _entail_side(atom.right, binding, ctx)
+            if left is None or right is None:
+                keep[i] = False
+                break
+            pairs.append((left, right))
+            owners.append(i)
+    if pairs:
+        for i, verdict in zip(owners, ctx.kernel.entails_many(pairs)):
+            if not verdict:
+                keep[i] = False
+    return [binding for i, binding in enumerate(bindings) if keep[i]]
+
+
 def _instantiate_head_arg(arg: Term, binding: Binding,
                           ctx: EvaluationContext
                           ) -> Tuple[GroundValue, List[Tuple[str, GroundTuple]]]:
@@ -718,7 +786,8 @@ def evaluate(db: VideoDatabase, program: Program,
              reorder_joins: bool = True,
              provenance: Optional[Dict] = None,
              deadline: Optional[float] = None,
-             tracer=None) -> FixpointResult:
+             tracer=None,
+             kernel: KernelSpec = None) -> FixpointResult:
     """Compute the least fixpoint of ``T_P`` over the database.
 
     Parameters
@@ -745,6 +814,11 @@ def evaluate(db: VideoDatabase, program: Program,
         current (usually null) tracer.  Per-rule/per-iteration timings in
         ``stats`` are collected either way — the tracer adds the span
         tree and hot-path aggregates.
+    kernel:
+        The constraint kernel serving satisfiability/entailment checks: a
+        backend name (``"interned"``, ``"reference"``), a
+        :class:`~vidb.constraints.kernel.ConstraintKernel` instance, or
+        ``None`` for the process default.
     """
     started = time.perf_counter()
     if tracer is None:
@@ -754,8 +828,9 @@ def evaluate(db: VideoDatabase, program: Program,
         raise EvaluationError(f"unknown evaluation mode {mode!r}")
     strata = stratify_with_negation(program)
     ctx = EvaluationContext(db, computed=computed, max_objects=max_objects,
-                            extended_domain=extended_domain)
+                            extended_domain=extended_domain, kernel=kernel)
     ctx.stats.mode = mode
+    ctx.stats.kernel = ctx.kernel.name
     ctx.tracer = tracer
     labels = rule_labels(program)
     for rule in program:
@@ -835,7 +910,7 @@ def _run_seminaive(ctx: EvaluationContext, plans: List[RulePlan],
             # Materialise bindings before firing: head instantiation
             # mutates the relations the join is reading.
             with _RuleMeter(ctx.stats, _label_of(plan, labels)):
-                for binding in list(_join(plan, ctx)):
+                for binding in _bindings(plan, ctx):
                     note(_fire(plan, binding, ctx, provenance), delta)
         span.annotate(derived=sum(len(rows) for rows in delta.values()))
     ctx.stats.iteration_seconds.append(time.perf_counter() - round_started)
@@ -856,9 +931,9 @@ def _run_seminaive(ctx: EvaluationContext, plans: List[RulePlan],
                         rows = delta.get(literal.predicate)
                         if not rows:
                             continue
-                        bindings = list(_join(plan, ctx,
-                                              delta_position=position,
-                                              delta_rows=rows))
+                        bindings = _bindings(plan, ctx,
+                                             delta_position=position,
+                                             delta_rows=rows)
                         for binding in bindings:
                             note(_fire(plan, binding, ctx, provenance),
                                  next_delta)
@@ -888,7 +963,7 @@ def _run_naive(ctx: EvaluationContext, plans: List[RulePlan],
                 # Materialise bindings first: naive T_P applies to the
                 # *current* interpretation, and firing mutates relations.
                 with _RuleMeter(ctx.stats, _label_of(plan, labels)):
-                    bindings = list(_join(plan, ctx))
+                    bindings = _bindings(plan, ctx)
                     for binding in bindings:
                         facts = _fire(plan, binding, ctx, provenance)
                         if facts:

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Set, Tuple
 
+from vidb.constraints.kernel import KernelSpec
 from vidb.errors import EvaluationError
 from vidb.model.objects import (
     EntityObject,
@@ -48,8 +49,8 @@ from vidb.query.fixpoint import (
     FixpointResult,
     GroundTuple,
     RulePlan,
+    _bindings,
     _fire,
-    _join,
     evaluate,
 )
 from vidb.storage.database import VideoDatabase
@@ -59,7 +60,8 @@ class MaterializedView:
     """A saturated program kept up to date under fact insertion."""
 
     def __init__(self, db: VideoDatabase, program: Program,
-                 computed=None, max_objects: int = 50_000):
+                 computed=None, max_objects: int = 50_000,
+                 kernel: KernelSpec = None):
         for rule in program:
             if rule.negated_literals():
                 raise EvaluationError(
@@ -69,7 +71,7 @@ class MaterializedView:
         self.program = program
         self._result: FixpointResult = evaluate(
             db, program, mode="seminaive", computed=computed,
-            max_objects=max_objects,
+            max_objects=max_objects, kernel=kernel,
         )
         self._ctx: EvaluationContext = self._result.context
         self._plans: List[RulePlan] = [RulePlan.compile(r) for r in program]
@@ -131,9 +133,9 @@ class MaterializedView:
                     rows = delta.get(literal.predicate)
                     if not rows:
                         continue
-                    bindings = list(_join(plan, self._ctx,
-                                          delta_position=position,
-                                          delta_rows=rows))
+                    bindings = _bindings(plan, self._ctx,
+                                         delta_position=position,
+                                         delta_rows=rows)
                     for binding in bindings:
                         for fact in _fire(plan, binding, self._ctx, None):
                             next_delta.setdefault(fact[0], set()).add(fact[1])

@@ -235,6 +235,14 @@ class ServiceExecutor:
         reg.callback_gauge("in_flight", lambda: self._in_flight)
         reg.callback_gauge("max_in_flight", lambda: self.max_in_flight)
         reg.callback_gauge("sessions.open", self.session_count)
+        # Active constraint kernel: name as an info-style labeled gauge
+        # plus the backend's own cache counters (hit/miss/sizing).
+        kernel_info = reg.gauge_family("kernel_info", ("kernel",))
+        kernel_info.labels(kernel=self._engine.kernel.name).set(1)
+        for key in self._engine.kernel.counters():
+            reg.callback_gauge(
+                f"kernel.{key}",
+                lambda k=key: self._engine.kernel.counters().get(k, 0))
         if self.durability is not None:
             durability = self.durability
             for key in durability.stats():

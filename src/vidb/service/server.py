@@ -194,6 +194,7 @@ class _Handler(socketserver.StreamRequestHandler):
             payload = {"ok": True, "database": service.db.name,
                        "epoch": service.db.epoch,
                        "role": role, "read_only": service.read_only,
+                       "kernel": service.engine.kernel.name,
                        "stats": service.db.stats()}
             lsn = service.applied_lsn()
             if lsn is not None:

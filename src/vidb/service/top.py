@@ -40,6 +40,16 @@ def _num(snapshot: Mapping[str, Any], key: str, default: float = 0) -> float:
     return value if isinstance(value, (int, float)) else default
 
 
+def _kernel_name(snapshot: Mapping[str, Any]) -> Optional[str]:
+    """The active constraint kernel, read off the ``kernel_info{kernel=}``
+    labeled gauge the executor registers."""
+    prefix = "kernel_info{kernel="
+    for key in snapshot:
+        if isinstance(key, str) and key.startswith(prefix) and key.endswith("}"):
+            return key[len(prefix):-1]
+    return None
+
+
 def render_top(snapshot: Mapping[str, Any],
                previous: Optional[Mapping[str, Any]] = None,
                interval_s: Optional[float] = None,
@@ -56,11 +66,14 @@ def render_top(snapshot: Mapping[str, Any],
     qps = _rate(snapshot, previous, "queries.served", interval_s)
     wps = _rate(snapshot, previous, "writes.applied", interval_s)
 
+    kernel = _kernel_name(snapshot)
+    kernel_text = f", kernel {kernel}" if kernel else ""
     lines.append(
         f"vidb top — epoch {int(_num(snapshot, 'epoch'))}, "
         f"sessions {int(_num(snapshot, 'sessions.open'))}, "
         f"in-flight {int(_num(snapshot, 'in_flight'))}"
-        f"/{int(_num(snapshot, 'max_in_flight'))}")
+        f"/{int(_num(snapshot, 'max_in_flight'))}"
+        f"{kernel_text}")
 
     qps_text = format_number(qps, 1) if qps is not None else "-"
     wps_text = format_number(wps, 1) if wps is not None else "-"
@@ -91,6 +104,19 @@ def render_top(snapshot: Mapping[str, Any],
         f"(hits {human_count(int(hits))}, misses {human_count(int(misses))}, "
         f"{int(_num(snapshot, 'cache.size'))}"
         f"/{int(_num(snapshot, 'cache.capacity'))} entries)")
+
+    if "kernel.forms" in snapshot:
+        ent_hits = _num(snapshot, "kernel.entails.hits")
+        ent_misses = _num(snapshot, "kernel.entails.misses")
+        ent_total = ent_hits + ent_misses
+        ent_text = (f"{100.0 * ent_hits / ent_total:.1f}%" if ent_total
+                    else "-")
+        lines.append(
+            f"kernel entails {ent_text} hit "
+            f"(hits {human_count(int(ent_hits))}, "
+            f"misses {human_count(int(ent_misses))}, "
+            f"{human_count(int(_num(snapshot, 'kernel.forms')))} forms "
+            f"interned)")
 
     if "wal.last_lsn" in snapshot:
         lines.append(
