@@ -1,0 +1,108 @@
+"""Streaming benchmarks: ingest throughput and notification latency.
+
+Replays a synthetic detector dump through the embedded service path
+(:func:`vidb.stream.ingest.ingest_local` — batched transactions, the
+same shape ``vidb ingest`` drives over the wire) while 0, 1, 4 or 16
+standing queries are subscribed, and measures
+
+* **ingest throughput** (records/second): what keeping N answer views
+  current costs the write path, since subscriptions are fed
+  synchronously at commit time;
+* **notification latency** (milliseconds): commit-to-queued time for a
+  single fact insert, i.e. how long after a commit a subscriber's
+  ``poll`` can see the batch.
+
+Results are written to ``BENCH_stream.json`` at the repo root — the
+seed of the streaming perf trajectory (compare it across PRs).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from vidb.service.executor import ServiceExecutor
+from vidb.storage.database import VideoDatabase
+from vidb.stream.ingest import generate_dump, ingest_local
+
+SUBSCRIPTION_COUNTS = [0, 1, 4, 16]
+ENTITIES = 10
+INTERVALS = 150
+BATCH_SIZE = 50
+LATENCY_SAMPLES = 30
+
+RESULTS = {"ingest_records_per_s": {}, "notify_latency_ms": {}}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_bench_record():
+    yield
+    if not any(RESULTS.values()):
+        return
+    path = Path(__file__).resolve().parents[1] / "BENCH_stream.json"
+    payload = {
+        "benchmark": "stream_ingest_and_notify",
+        "units": {"ingest_records_per_s": "records_per_second",
+                  "notify_latency_ms": "milliseconds_mean"},
+        "entities": ENTITIES,
+        "intervals": INTERVALS,
+        "batch_size": BATCH_SIZE,
+        "latency_samples": LATENCY_SAMPLES,
+        "results": RESULTS,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def fresh_service(subscriptions):
+    db = VideoDatabase("bench-stream")
+    db.declare_relation("appears")
+    service = ServiceExecutor(db, max_workers=2, max_subscriptions=32)
+    subs = []
+    for index in range(subscriptions):
+        # Distinct filters so each subscription does its own matching.
+        target = f"o{(index % ENTITIES) + 1}"
+        subs.append(service.subscribe("?- appears(O, G).",
+                                      filter={"O": target}))
+    return service, subs
+
+
+@pytest.mark.parametrize("subscriptions", SUBSCRIPTION_COUNTS)
+def test_ingest_throughput(subscriptions):
+    records = generate_dump(entities=ENTITIES, intervals=INTERVALS, seed=5)
+    service, subs = fresh_service(subscriptions)
+    with service:
+        report = ingest_local(service, records, batch_size=BATCH_SIZE)
+        assert report.records == len(records)
+        # Every subscription heard every batch that matched its filter,
+        # and nothing from any other source.
+        for sub in subs:
+            heard = [row for batch in sub.poll() for row in batch["rows"]]
+            assert all(row[0] == sub.filter["O"] for row in heard)
+    RESULTS["ingest_records_per_s"][f"subs_{subscriptions}"] = round(
+        report.records_per_s, 1)
+    assert report.records_per_s > 0
+
+
+@pytest.mark.parametrize("subscriptions", [1, 4, 16])
+def test_notification_latency(subscriptions):
+    service, subs = fresh_service(subscriptions)
+    watched = subs[0]
+    target = watched.filter["O"]
+    with service:
+        for i in range(1, ENTITIES + 1):
+            service.new_entity(f"o{i}")
+        total = 0.0
+        for sample in range(LATENCY_SAMPLES):
+            oid = f"gi{sample + 1}"
+            service.mutate(lambda db, oid=oid: db.new_interval(
+                oid, entities=[target], duration=[(sample, sample + 1)]))
+            started = time.perf_counter()
+            service.relate("appears", target, oid)
+            batches = watched.poll(wait_s=2.0)
+            total += time.perf_counter() - started
+            assert batches and batches[-1]["rows"][0][1] == oid
+        mean_ms = (total / LATENCY_SAMPLES) * 1000.0
+    RESULTS["notify_latency_ms"][f"subs_{subscriptions}"] = round(mean_ms, 3)
+    assert mean_ms < 1000.0

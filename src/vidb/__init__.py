@@ -21,7 +21,9 @@ Querying Video Data"* (Decleir, Hacid & Kouloumdjian, ICDE 1999):
 * :mod:`vidb.obs` — observability: tracing, metrics, structured
   events, and the Prometheus ``/metrics`` exporter;
 * :mod:`vidb.cluster` — the read-serving replica fleet: serving
-  replicas, the routing front end, and failover promotion.
+  replicas, the routing front end, and failover promotion;
+* :mod:`vidb.stream` — standing queries over live annotation streams:
+  observer-fed materialized views, server push, and bulk ingest.
 
 Quickstart::
 
@@ -104,6 +106,12 @@ from vidb.service import (
     VideoServer,
 )
 from vidb.storage import VideoDatabase, load, save
+from vidb.stream import (
+    StreamHub,
+    Subscription,
+    SubscriptionManager,
+    ViewRegistry,
+)
 
 __version__ = "1.0.0"
 
@@ -154,6 +162,9 @@ __all__ = [
     "SetVar",
     "Span",
     "StorageError",
+    "StreamHub",
+    "Subscription",
+    "SubscriptionManager",
     "Tracer",
     "TransactionError",
     "Var",
@@ -161,6 +172,7 @@ __all__ = [
     "VideoObject",
     "VideoServer",
     "VideoSequence",
+    "ViewRegistry",
     "VidbError",
     "aggregate",
     "concatenate",

@@ -18,6 +18,10 @@ Commands::
     vidb router --primary H:P --replica H:P   cluster front door
     vidb promote --replica H:P --data-dir new    failover promotion
     vidb client query "?- ..."           talk to a running server
+    vidb client subscribe "?- ..."       register a standing query
+    vidb client listen "?- ..."          subscribe + stream push batches
+    vidb ingest dump.jsonl --port 7421   bulk-load an annotation dump
+    vidb ingest --generate --out d.jsonl write a synthetic dump
     vidb top --port 7421                 live QPS/latency/cache view
 
 Exit status 0 on success, 2 on a user-input error (bad query syntax,
@@ -170,7 +174,46 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="reject every mutation with a read_only "
                             "error (serve a snapshot as a static "
                             "read tier)")
+    serve.add_argument("--max-subscriptions", type=int, default=64,
+                       help="standing-query admission bound (default 64)")
+    serve.add_argument("--subscription-queue", type=int, default=256,
+                       metavar="BATCHES",
+                       help="notification batches buffered per "
+                            "subscription before lagging (default 256)")
+    serve.add_argument("--no-streaming", action="store_true",
+                       help="disable the streaming layer (no standing "
+                            "queries, no observer-fed views)")
     _common_engine_flags(serve)
+
+    ingest = sub.add_parser(
+        "ingest", help="bulk-load a timestamp-ordered JSON-lines "
+                       "annotation dump through batched transactions")
+    ingest.add_argument("dump", nargs="?", default=None,
+                        help="the dump file ('-' for stdin)")
+    ingest.add_argument("--host", default="127.0.0.1")
+    ingest.add_argument("--port", type=int, default=7421)
+    ingest.add_argument("--batch-size", type=int, default=100,
+                        help="records per transaction — each batch is one "
+                             "atomic commit and one standing-query "
+                             "notification round (default 100)")
+    ingest.add_argument("--progress-every", type=int, default=0, metavar="N",
+                        help="print a progress line every N batches")
+    ingest.add_argument("--generate", action="store_true",
+                        help="write a synthetic detector-style dump "
+                             "instead of ingesting")
+    ingest.add_argument("--entities", type=int, default=10,
+                        help="with --generate: tracked subjects (default 10)")
+    ingest.add_argument("--intervals", type=int, default=100,
+                        help="with --generate: appearance intervals "
+                             "(default 100)")
+    ingest.add_argument("--relation", default="appears",
+                        help="with --generate: linking relation name "
+                             "(default appears)")
+    ingest.add_argument("--seed", type=int, default=0,
+                        help="with --generate: RNG seed (default 0)")
+    ingest.add_argument("--out", default=None,
+                        help="with --generate: output path "
+                             "(default stdout)")
 
     recover_p = sub.add_parser(
         "recover", help="recover a durable data directory and report")
@@ -277,12 +320,18 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="session-consistency token: hold the read "
                              "until the server's state covers this LSN "
                              "(writes print the head_lsn to use here)")
+    client.add_argument("--max-batches", type=int, default=0, metavar="N",
+                        help="with the listen op: exit after N push "
+                             "batches (default: stream until the server "
+                             "closes)")
     client.add_argument(
         "request", nargs="+", metavar="OP [ARG...]",
         help="one of: query '?- ...' | metrics | trace [N] | "
              "events [N] [TYPE] | info | ping | "
              "entity OID [k=v...] | interval OID LO-HI[,LO-HI...] "
-             "[ENTITY...] | relate NAME ARG...")
+             "[ENTITY...] | relate NAME ARG... | declare NAME | "
+             "subscribe '?- ...' | unsubscribe ID | poll ID [WAIT_S] | "
+             "subscriptions | listen '?- ...'")
     return parser
 
 
@@ -540,7 +589,10 @@ def _cmd_serve(args) -> int:
             engine_options={"mode": args.mode, "kernel": args.kernel},
             metrics=registry,
             slow_query_ms=args.slow_query_ms, event_log=event_log,
-            read_only=args.read_only)
+            read_only=args.read_only,
+            streaming=not args.no_streaming,
+            max_subscriptions=args.max_subscriptions,
+            subscription_queue=args.subscription_queue)
         ready_state["service"] = service
         with service, VideoServer(service, args.host, args.port) as server:
             host, port = server.address
@@ -868,8 +920,102 @@ def _cmd_client(args) -> int:
                 print(format_snapshot(
                     {k: v for k, v in reply.items()
                      if isinstance(v, (int, float, str, bool))}))
+            elif op == "declare":
+                if len(rest) != 1:
+                    raise VidbError("usage: client declare NAME")
+                reply = client.declare_relation(rest[0])
+                print(f"declared {reply['relation']} "
+                      f"(epoch {reply['epoch']}" + _lsn_suffix(reply) + ")")
+            elif op == "subscribe":
+                if len(rest) != 1:
+                    raise VidbError("usage: client subscribe '?- ...'")
+                # One-shot clients disconnect right away, so detach the
+                # subscription from this session: poll / unsubscribe it
+                # by id from any later connection.
+                reply = client.subscribe(rest[0], detach=True)
+                print(f"subscribed {reply['id']} "
+                      f"(variables {' '.join(reply['variables'])}, "
+                      f"epoch {reply['epoch']}, detached)")
+            elif op == "unsubscribe":
+                if len(rest) != 1:
+                    raise VidbError("usage: client unsubscribe ID")
+                print("removed" if client.unsubscribe(rest[0])
+                      else "already gone")
+            elif op == "poll":
+                if not rest or len(rest) > 2:
+                    raise VidbError("usage: client poll ID [WAIT_S]")
+                wait_s = float(rest[1]) if len(rest) > 1 else None
+                reply = client.poll(rest[0], wait_s=wait_s)
+                for batch in reply["batches"]:
+                    print(json.dumps(batch, sort_keys=True))
+                print(f"pending: {reply['pending']}", file=sys.stderr)
+            elif op == "subscriptions":
+                for entry in client.subscriptions():
+                    print(json.dumps(entry, sort_keys=True))
+            elif op == "listen":
+                if len(rest) != 1:
+                    raise VidbError("usage: client listen '?- ...'")
+                sub = client.subscribe(rest[0])
+                print(f"listening on {sub['id']} "
+                      f"(epoch {sub['epoch']})", file=sys.stderr)
+                received = 0
+                for batch in client.listen(sub["id"]):
+                    print(json.dumps(batch, sort_keys=True), flush=True)
+                    received += 1
+                    if args.max_batches and received >= args.max_batches:
+                        break
             else:
                 raise VidbError(f"unknown client op {op!r}")
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    from vidb.stream.ingest import (generate_dump, ingest_records,
+                                    iter_dump, write_dump)
+
+    if args.generate:
+        records = generate_dump(entities=args.entities,
+                                intervals=args.intervals,
+                                relation=args.relation, seed=args.seed)
+        if args.out:
+            with Path(args.out).open("w", encoding="utf-8") as out:
+                count = write_dump(records, out)
+            print(f"wrote {args.out}: {count} record(s)")
+        else:
+            write_dump(records, sys.stdout)
+        return 0
+
+    if args.dump is None:
+        raise VidbError("usage: vidb ingest DUMP [--port N] "
+                        "(or --generate [--out FILE])")
+
+    from vidb.service.server import ServiceClient
+
+    def records():
+        if args.dump == "-":
+            return iter_dump(sys.stdin)
+        if not Path(args.dump).exists():
+            raise FileNotFoundError(f"no such dump: {args.dump}")
+        return iter_dump(Path(args.dump).open(encoding="utf-8"))
+
+    progress = None
+    if args.progress_every:
+        def progress(report):
+            if report.batches % args.progress_every == 0:
+                print(f"  batch {report.batches}: {report.records} "
+                      f"record(s), {report.records_per_s:.0f} rec/s",
+                      file=sys.stderr, flush=True)
+
+    with ServiceClient(args.host, args.port) as client:
+        report = ingest_records(client, records(),
+                                batch_size=args.batch_size,
+                                progress=progress)
+    print(f"ingested {report.records} record(s) in {report.batches} "
+          f"transaction(s), {report.elapsed_s:.3f}s "
+          f"({report.records_per_s:.0f} rec/s), "
+          f"epoch {report.final_epoch}"
+          + (f", lsn {report.head_lsn}"
+             if report.head_lsn is not None else ""))
     return 0
 
 
@@ -898,6 +1044,7 @@ _COMMANDS = {
     "promote": _cmd_promote,
     "client": _cmd_client,
     "top": _cmd_top,
+    "ingest": _cmd_ingest,
 }
 
 

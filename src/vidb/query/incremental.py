@@ -12,11 +12,20 @@ from-scratch evaluation would (property-tested).
 Limitations, stated plainly:
 
 * insertions only — deletions would need DRed-style over-deletion and
-  re-derivation, which this engine does not implement;
+  re-derivation, which this engine does not implement; a view fed by
+  :class:`vidb.stream.ViewRegistry` falls back to :meth:`refresh` (a
+  from-scratch rebuild) when a committed delta removes or rewrites
+  state, so correctness is preserved at the cost of incrementality;
 * positive programs only — a stratified program with negation must be
   re-evaluated (the view refuses to build otherwise);
-* the view reads the database at build time and tracks *its own* insert
-  API; out-of-band writes to the underlying database are not observed.
+* out-of-band writes: a *standalone* view reads the database at build
+  time and tracks its own insert API.  When the view is registered with
+  a :class:`vidb.stream.ViewRegistry`, the registry **seals** it — the
+  registry feeds it committed deltas from the mutation-observer stream,
+  direct ``insert_*`` calls raise :class:`~vidb.errors.EvaluationError`
+  (diagnostic ``VDB050``), and writes the observer never saw are
+  detected by epoch checksum (``VDB051``) instead of silently
+  diverging.
 
 Usage::
 
@@ -28,7 +37,7 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from vidb.constraints.kernel import KernelSpec
 from vidb.errors import EvaluationError
@@ -69,14 +78,36 @@ class MaterializedView:
                     f"only; rule {rule!r} uses negation"
                 )
         self.program = program
-        self._result: FixpointResult = evaluate(
-            db, program, mode="seminaive", computed=computed,
-            max_objects=max_objects, kernel=kernel,
-        )
-        self._ctx: EvaluationContext = self._result.context
+        self._db = db
+        self._computed = computed
+        self._max_objects = max_objects
+        self._kernel = kernel
         self._plans: List[RulePlan] = [RulePlan.compile(r) for r in program]
         self.inserted_facts = 0
         self.propagated_facts = 0
+        self.rebuilds = 0
+        #: When set (by :meth:`seal`), direct insert calls raise unless
+        #: the owner is feeding (see :meth:`feeding`) — the view's
+        #: content is then maintained exclusively from the mutation
+        #: observer stream and an out-of-band write would diverge it.
+        self._sealed_by: Optional[str] = None
+        self._feeding = False
+        #: Derived facts produced by the most recent insert (the seed
+        #: facts plus everything propagation fired), keyed by predicate.
+        #: Standing queries read their incremental answers from here.
+        self.last_delta: Dict[str, Set[GroundTuple]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        self._result: FixpointResult = evaluate(
+            self._db, self.program, mode="seminaive",
+            computed=self._computed, max_objects=self._max_objects,
+            kernel=self._kernel,
+        )
+        self._ctx: EvaluationContext = self._result.context
+        #: The database epoch the view content corresponds to, advanced
+        #: by the feeding registry as it applies committed deltas.
+        self.source_epoch = self._db.epoch
 
     # -- reads ---------------------------------------------------------------
     def relation(self, name: str) -> FrozenSet[GroundTuple]:
@@ -86,12 +117,62 @@ class MaterializedView:
     def context(self) -> EvaluationContext:
         return self._ctx
 
+    @property
+    def sealed(self) -> bool:
+        return self._sealed_by is not None
+
+    # -- observer-fed lifecycle ----------------------------------------------
+    def seal(self, owner: str) -> None:
+        """Mark this view as fed exclusively by *owner* (a registry).
+
+        Once sealed, direct ``insert_fact`` / ``insert_object`` calls
+        raise :class:`EvaluationError` (``VDB050``) unless made inside
+        the owner's :meth:`feeding` window — mixing hand-pushed deltas
+        with observer-fed ones would double-count or diverge.
+        """
+        self._sealed_by = owner
+
+    def unseal(self) -> None:
+        self._sealed_by = None
+
+    def feeding(self) -> "_FeedingWindow":
+        """Context manager the sealing owner uses to push deltas."""
+        return _FeedingWindow(self)
+
+    def refresh(self) -> None:
+        """Rebuild the view from the current database state.
+
+        The escape hatch for everything incremental maintenance cannot
+        express: deletions, replacements, or out-of-band writes.  The
+        result is exactly a from-scratch evaluation.
+        """
+        self.rebuilds += 1
+        self.last_delta = {}
+        self._build()
+
+    def rebind(self, db: VideoDatabase) -> None:
+        """Rebuild against a different database object (replica resync
+        replaced the whole store).  Owner-level: allowed while sealed."""
+        self._db = db
+        self.refresh()
+
+    def _check_unsealed(self) -> None:
+        if self._sealed_by is not None and not self._feeding:
+            raise EvaluationError(
+                f"VDB050 out-of-band write to observer-fed view: this "
+                f"view is maintained by {self._sealed_by!r} from the "
+                f"database mutation stream; mutate the database (the "
+                f"view updates on commit) instead of calling its insert "
+                f"API directly")
+
     # -- insert API ------------------------------------------------------------
     def insert_fact(self, name: str, *args: FactArg) -> bool:
         """Insert one EDB fact and propagate; returns False if known."""
+        self._check_unsealed()
         row = tuple(a.oid if isinstance(a, VideoObject) else a for a in args)
         relation = self._ctx._relation(name)
         if not relation.add(row):
+            self.last_delta = {}
             return False
         self.inserted_facts += 1
         self._propagate([(name, row)])
@@ -100,7 +181,9 @@ class MaterializedView:
     def insert_object(self, obj: VideoObject) -> bool:
         """Register a new entity or interval object and propagate the
         class facts it makes true."""
+        self._check_unsealed()
         if obj.oid in self._ctx.objects:
+            self.last_delta = {}
             return False
         self._ctx.objects[obj.oid] = obj
         new_facts: List[Tuple[str, GroundTuple]] = []
@@ -123,9 +206,11 @@ class MaterializedView:
 
     # -- the delta loop -----------------------------------------------------------
     def _propagate(self, seed: List[Tuple[str, GroundTuple]]) -> None:
+        derived: Dict[str, Set[GroundTuple]] = {}
         delta: Dict[str, Set[GroundTuple]] = {}
         for name, row in seed:
             delta.setdefault(name, set()).add(row)
+            derived.setdefault(name, set()).add(row)
         while delta:
             next_delta: Dict[str, Set[GroundTuple]] = {}
             for plan in self._plans:
@@ -139,10 +224,29 @@ class MaterializedView:
                     for binding in bindings:
                         for fact in _fire(plan, binding, self._ctx, None):
                             next_delta.setdefault(fact[0], set()).add(fact[1])
+                            derived.setdefault(fact[0], set()).add(fact[1])
                             self.propagated_facts += 1
             delta = next_delta
+        self.last_delta = derived
 
     def __repr__(self) -> str:
         derived = sum(len(r.tuples) for r in self._ctx.relations.values())
+        sealed = f", sealed by {self._sealed_by!r}" if self._sealed_by else ""
         return (f"MaterializedView({len(self.program)} rules, "
-                f"{derived} tuples, {self.inserted_facts} inserts)")
+                f"{derived} tuples, {self.inserted_facts} inserts{sealed})")
+
+
+class _FeedingWindow:
+    """Reentrancy-safe window during which a sealed view accepts inserts."""
+
+    def __init__(self, view: MaterializedView):
+        self._view = view
+        self._was_feeding = False
+
+    def __enter__(self) -> MaterializedView:
+        self._was_feeding = self._view._feeding
+        self._view._feeding = True
+        return self._view
+
+    def __exit__(self, *exc_info) -> None:
+        self._view._feeding = self._was_feeding

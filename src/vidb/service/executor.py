@@ -67,6 +67,9 @@ from vidb.service.cache import ResultCache
 from vidb.service.metrics import MetricsRegistry
 from vidb.service.session import Session
 from vidb.storage.database import VideoDatabase
+from vidb.stream.hub import StreamHub
+from vidb.stream.standing import Subscription, SubscriptionManager
+from vidb.stream.views import ViewRegistry
 
 
 class RWLock:
@@ -166,7 +169,10 @@ class ServiceExecutor:
                  event_log: Optional[EventLog] = None,
                  read_only: bool = False,
                  replica: Optional[Replica] = None,
-                 lsn_wait_s: float = 2.0):
+                 lsn_wait_s: float = 2.0,
+                 streaming: bool = True,
+                 max_subscriptions: int = 64,
+                 subscription_queue: int = 256):
         self.durability: Optional[DurableDatabase] = None
         if isinstance(db, DurableDatabase):
             self.durability = db
@@ -222,6 +228,33 @@ class ServiceExecutor:
         #: worker threads write without extra locking.
         self._recent: "deque[Dict[str, Any]]" = deque(maxlen=recent_capacity)
         self._closed = False
+        #: The streaming layer (see :mod:`vidb.stream`): a hub turning
+        #: mutation-observer events into committed deltas, a registry of
+        #: observer-fed views, and the standing-query subscriptions.
+        #: ``streaming=False`` turns the whole layer off (no observer is
+        #: attached; ``subscribe`` raises).
+        self.stream_hub: Optional[StreamHub] = None
+        self.views: Optional[ViewRegistry] = None
+        self.subscriptions: Optional[SubscriptionManager] = None
+        if streaming:
+            self.stream_hub = StreamHub(self.db)
+            self.views = ViewRegistry(self.stream_hub)
+            notifications = self.metrics.counter_family(
+                "stream_notifications_total", ("subscription",))
+            notified_rows = self.metrics.counter_family(
+                "stream_notified_rows_total", ("subscription",))
+
+            def _on_notify(sub: Subscription, batch: Dict[str, Any]) -> None:
+                self.metrics.inc("stream.notifications")
+                notifications.labels(subscription=sub.id).inc()
+                notified_rows.labels(subscription=sub.id).inc(batch["count"])
+
+            self.subscriptions = SubscriptionManager(
+                self.stream_hub,
+                max_subscriptions=max_subscriptions,
+                default_max_queue=subscription_queue,
+                on_notify=_on_notify)
+            self.metrics.counter("stream.notifications")
         self._register_gauges()
 
     def _register_gauges(self) -> None:
@@ -243,6 +276,19 @@ class ServiceExecutor:
             reg.callback_gauge(
                 f"kernel.{key}",
                 lambda k=key: self._engine.kernel.counters().get(k, 0))
+        if self.subscriptions is not None:
+            subs = self.subscriptions
+            hub = self.stream_hub
+            assert hub is not None
+            reg.callback_gauge("stream.subscriptions", subs.count)
+            reg.callback_gauge("stream.max_subscriptions",
+                               lambda: subs.max_subscriptions)
+            reg.callback_gauge("stream.queue_depth", subs.total_queue_depth)
+            reg.callback_gauge("stream.lag_events", subs.total_lag_events)
+            reg.callback_gauge("stream.deltas",
+                               lambda: hub.deltas_delivered)
+            reg.callback_gauge("stream.aborted_segments",
+                               lambda: hub.aborted_segments)
         if self.durability is not None:
             durability = self.durability
             for key in durability.stats():
@@ -547,6 +593,15 @@ class ServiceExecutor:
         self._engine = engine
         self._program_fp = program_fingerprint(engine.program)
         self._cache.clear()
+        if self.stream_hub is not None:
+            # A resync replaced the whole database object: follow it and
+            # rebuild every fed state against the new object (standing
+            # query views snapshot a database that no longer exists).
+            self.stream_hub.rebind(db)
+            if self.views is not None:
+                self.views.refresh_all()
+            if self.subscriptions is not None:
+                self.subscriptions.rebind(self._engine)
 
     def attach_durability(self, durable: DurableDatabase) -> None:
         """Flip a serving replica to primary (caller holds the write
@@ -598,6 +653,54 @@ class ServiceExecutor:
     def set_attribute(self, oid, name, value):
         return self.mutate(lambda db: db.set_attribute(oid, name, value))
 
+    # -- standing queries ----------------------------------------------------
+    def subscribe(self, query: Union[str, Query], *,
+                  filter: Optional[Dict[str, Any]] = None,
+                  max_queue: Optional[int] = None,
+                  session_id: Optional[str] = None,
+                  detached: bool = False) -> Subscription:
+        """Register a standing query (see :mod:`vidb.stream`).
+
+        Runs under the read lock: writers are excluded while the
+        subscription's view snapshots the database and activates, so
+        its first notification is exactly the first commit after
+        registration — nothing missed, nothing double-counted.
+        """
+        manager = self._require_streaming()
+        with self._lock.read_locked():
+            return manager.subscribe(
+                query, self._engine, filter=filter, max_queue=max_queue,
+                session_id=session_id, detached=detached)
+
+    def unsubscribe(self, sub_id: str) -> bool:
+        manager = self._require_streaming()
+        return manager.unsubscribe(sub_id)
+
+    def subscription(self, sub_id: str) -> Subscription:
+        return self._require_streaming().get(sub_id)
+
+    def describe_subscriptions(self) -> List[Dict[str, Any]]:
+        if self.subscriptions is None:
+            return []
+        return self.subscriptions.describe()
+
+    def _require_streaming(self) -> SubscriptionManager:
+        if self.subscriptions is None:
+            from vidb.errors import ServiceError
+
+            raise ServiceError(
+                "streaming is disabled on this server "
+                "(started with streaming=False)")
+        return self.subscriptions
+
+    def apply_batch(self, fn: Callable[[VideoDatabase], int]) -> int:
+        """Apply a multi-record batch atomically: one write-lock hold,
+        one transaction, one committed delta on the mutation stream —
+        so standing queries notify once per batch.  ``fn`` returns the
+        number of records it applied; any failure rolls the whole batch
+        back (subscribers see nothing from it)."""
+        return self.mutate(fn)
+
     # -- sessions ------------------------------------------------------------
     def open_session(self) -> Session:
         if self._closed:
@@ -648,6 +751,10 @@ class ServiceExecutor:
 
     def close(self, wait: bool = True) -> None:
         self._closed = True
+        if self.subscriptions is not None:
+            self.subscriptions.close()
+        if self.stream_hub is not None:
+            self.stream_hub.detach()
         self._pool.shutdown(wait=wait)
         if self.durability is not None:
             self.durability.close()

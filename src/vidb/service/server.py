@@ -21,7 +21,34 @@ Operations::
     {"op": "trace",   "limit": 10}
     {"op": "events",  "limit": 10, "type": "slow_query"}
     {"op": "wal",     "after": 42, "limit": 1000}
+    {"op": "declare_relation", "name": "appears"}
+    {"op": "batch",   "ops": [{"op": "insert_entity", "oid": "o9",
+                               "attributes": {}}, ...]}
+    {"op": "subscribe",   "query": "?- appears(O, G).",
+                          "filter": {"O": "o1"}, "max_queue": 256,
+                          "detach": false}
+    {"op": "unsubscribe", "id": "sub1"}
+    {"op": "poll",        "id": "sub1", "wait_s": 1.0, "max_batches": 10}
+    {"op": "subscriptions"}
+    {"op": "listen",      "id": "sub1"}
     {"op": "close"}
+
+Streaming (see :mod:`vidb.stream` and docs/STREAMING.md): ``batch``
+applies its sub-ops (``insert_entity`` / ``insert_interval`` /
+``relate`` / ``declare_relation``) in **one** transaction — one atomic
+commit, one notification round for standing queries, full rollback on
+any failure.  ``subscribe`` registers a standing query and returns a
+subscription id; each later commit's *new* answers arrive as ordered
+batches (``seq``, post-commit ``epoch``, rendered ``rows``) that the
+client drains with ``poll`` (``wait_s`` bounds a blocking wait).
+Queues are bounded: a slow consumer loses oldest batches first and the
+oldest surviving batch carries ``"lagged": true`` plus cumulative drop
+counts — loss is explicit, never silent.  ``listen`` switches the
+connection to push mode: after the ack, the server streams each batch
+as its own ``{"push": true, ...}`` line until the subscription closes
+(the connection serves nothing else afterwards).  Subscriptions die
+with the session/connection that created them unless ``detach`` was
+set; ``subscriptions`` lists live ones (the ``vidb top`` panel).
 
 The ``events`` op returns the service's structured event log (slow
 queries above ``--slow-query-ms``, admission rejections, durability
@@ -111,7 +138,7 @@ ERROR_KINDS = {
 #: blindly.
 IDEMPOTENT_OPS = frozenset({
     "ping", "info", "query", "execute", "lint", "metrics", "trace",
-    "events", "wal", "cluster",
+    "events", "wal", "cluster", "subscriptions",
 })
 
 
@@ -138,6 +165,10 @@ def _answers_payload(answers, limit: Optional[int]) -> Dict[str, Any]:
 
 class _Handler(socketserver.StreamRequestHandler):
     """One thread per connection; one service session per connection."""
+
+    #: Set by a ``listen`` dispatch: after the ack is written, the
+    #: connection flips to push mode for this subscription.
+    _listen_sub = None
 
     def handle(self) -> None:
         service = cast("_ThreadingServer", self.server).service
@@ -174,10 +205,36 @@ class _Handler(socketserver.StreamRequestHandler):
                     self.wfile.flush()
                 except (BrokenPipeError, ConnectionResetError):
                     break
+                if self._listen_sub is not None:
+                    subscription, self._listen_sub = self._listen_sub, None
+                    self._push_loop(subscription)
+                    break
                 if not keep_open:
                     break
         finally:
             session.close()
+
+    def _push_loop(self, subscription) -> None:
+        """Push mode: stream each notification batch as its own line
+        until the subscription closes or the client goes away.  The
+        connection is dedicated to pushes from here on."""
+        try:
+            while True:
+                batches = subscription.poll(wait_s=0.5)
+                for batch in batches:
+                    line = json.dumps({"push": True, "id": subscription.id,
+                                       **batch})
+                    self.wfile.write((line + "\n").encode("utf-8"))
+                if batches:
+                    self.wfile.flush()
+                elif subscription.closed:
+                    self.wfile.write((json.dumps(
+                        {"push": True, "id": subscription.id,
+                         "closed": True}) + "\n").encode("utf-8"))
+                    self.wfile.flush()
+                    return
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return
 
     def _dispatch(self, service: ServiceExecutor, session,
                   request: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
@@ -256,8 +313,71 @@ class _Handler(socketserver.StreamRequestHandler):
             if not isinstance(args, list):
                 raise ProtocolError("args must be an array")
             fact = service.relate(relation,
-                                  *[_resolve_arg(service, a) for a in args])
+                                  *[_resolve_arg(service.db, a) for a in args])
             return _write_reply(service, fact=str(fact)), True
+        if op == "declare_relation":
+            name = _required(request, "name", str)
+            service.mutate(lambda db: db.declare_relation(name))
+            return _write_reply(service, relation=name), True
+        if op == "batch":
+            ops = _required(request, "ops", list)
+
+            def _apply(db, ops=ops):
+                count = 0
+                for index, sub_op in enumerate(ops):
+                    if not isinstance(sub_op, dict):
+                        raise ProtocolError(
+                            f"batch item {index} must be an object")
+                    _apply_batch_op(db, sub_op, index)
+                    count += 1
+                return count
+
+            applied = service.apply_batch(_apply)
+            return _write_reply(service, applied=applied), True
+        if op == "subscribe":
+            text = _required(request, "query", str)
+            filter_ = request.get("filter")
+            if filter_ is not None and not isinstance(filter_, dict):
+                raise ProtocolError("'filter' must be an object")
+            max_queue = request.get("max_queue")
+            if max_queue is not None and not isinstance(max_queue, int):
+                raise ProtocolError("'max_queue' must be an integer")
+            subscription = service.subscribe(
+                text, filter=filter_, max_queue=max_queue,
+                session_id=session.id, detached=bool(request.get("detach")))
+            session.subscription_ids.append(subscription.id)
+            return {"ok": True, "id": subscription.id,
+                    "variables": list(subscription.variables),
+                    "epoch": service.db.epoch,
+                    "detached": subscription.detached}, True
+        if op == "unsubscribe":
+            sub_id = _required(request, "id", str)
+            return {"ok": True, "id": sub_id,
+                    "removed": service.unsubscribe(sub_id)}, True
+        if op == "poll":
+            sub_id = _required(request, "id", str)
+            wait_s = request.get("wait_s")
+            if wait_s is not None and not isinstance(wait_s, (int, float)):
+                raise ProtocolError("'wait_s' must be a number of seconds")
+            max_batches = request.get("max_batches")
+            if max_batches is not None and not isinstance(max_batches, int):
+                raise ProtocolError("'max_batches' must be an integer")
+            subscription = service.subscription(sub_id)
+            batches = subscription.poll(
+                max_batches=max_batches,
+                wait_s=min(wait_s, 60.0) if wait_s else None)
+            return {"ok": True, "id": subscription.id, "batches": batches,
+                    "pending": subscription.queue_depth(),
+                    "closed": subscription.closed}, True
+        if op == "subscriptions":
+            return {"ok": True,
+                    "subscriptions": service.describe_subscriptions()}, True
+        if op == "listen":
+            sub_id = _required(request, "id", str)
+            subscription = service.subscription(sub_id)
+            self._listen_sub = subscription
+            return {"ok": True, "id": subscription.id,
+                    "listening": True}, True
         if op == "lint":
             text = _required(request, "text", str)
             result = service.lint(text)
@@ -364,16 +484,52 @@ def _required(request: Dict[str, Any], field: str, kind) -> Any:
     return value
 
 
-def _resolve_arg(service: ServiceExecutor, value: Any) -> Any:
+def _resolve_arg(db, value: Any) -> Any:
     """A relation argument: an existing oid when one matches, else a
     constant (the same resolution rule symbols get in query text)."""
     if isinstance(value, str):
         from vidb.model.oid import Oid
 
         for oid in (Oid.entity(value), Oid.interval(value)):
-            if service.db.get(oid) is not None:
+            if db.get(oid) is not None:
                 return oid
     return value
+
+
+def _apply_batch_op(db, sub_op: Dict[str, Any], index: int) -> None:
+    """One ``batch`` sub-op against the in-transaction database."""
+    kind = sub_op.get("op")
+    if kind == "insert_entity":
+        oid = sub_op.get("oid")
+        if not isinstance(oid, str):
+            raise ProtocolError(f"batch item {index}: string 'oid' required")
+        db.new_entity(oid, **sub_op.get("attributes", {}))
+    elif kind == "insert_interval":
+        oid = sub_op.get("oid")
+        if not isinstance(oid, str):
+            raise ProtocolError(f"batch item {index}: string 'oid' required")
+        duration = sub_op.get("duration")
+        pairs = ([tuple(pair) for pair in duration]
+                 if duration is not None else None)
+        db.new_interval(oid, entities=sub_op.get("entities", ()),
+                        duration=pairs, **sub_op.get("attributes", {}))
+    elif kind == "relate":
+        relation = sub_op.get("relation")
+        args = sub_op.get("args")
+        if not isinstance(relation, str) or not isinstance(args, list):
+            raise ProtocolError(
+                f"batch item {index}: 'relation' (string) and 'args' "
+                f"(array) required")
+        db.relate(relation, *[_resolve_arg(db, a) for a in args])
+    elif kind == "declare_relation":
+        name = sub_op.get("name")
+        if not isinstance(name, str):
+            raise ProtocolError(f"batch item {index}: string 'name' required")
+        db.declare_relation(name)
+    else:
+        raise ProtocolError(
+            f"batch item {index}: unknown sub-op {kind!r} (supported: "
+            f"insert_entity, insert_interval, relate, declare_relation)")
 
 
 class _ThreadingServer(socketserver.ThreadingTCPServer):
@@ -548,6 +704,58 @@ class ServiceClient:
 
     def relate(self, relation: str, *args: Any) -> Dict[str, Any]:
         return self.request("relate", relation=relation, args=list(args))
+
+    def declare_relation(self, name: str) -> Dict[str, Any]:
+        return self.request("declare_relation", name=name)
+
+    def batch(self, ops: List[Dict[str, Any]]) -> Dict[str, Any]:
+        """Apply mutation sub-ops atomically in one transaction (one
+        commit, one standing-query notification round; all-or-nothing)."""
+        return self.request("batch", ops=list(ops))
+
+    def subscribe(self, query: str,
+                  filter: Optional[Dict[str, Any]] = None,
+                  max_queue: Optional[int] = None,
+                  detach: bool = False) -> Dict[str, Any]:
+        """Register a standing query; returns its ``id`` and answer
+        ``variables``.  Non-detached subscriptions close with this
+        connection."""
+        return self.request("subscribe", query=query, filter=filter,
+                            max_queue=max_queue, detach=detach or None)
+
+    def unsubscribe(self, sub_id: str) -> bool:
+        return bool(self.request("unsubscribe", id=sub_id).get("removed"))
+
+    def poll(self, sub_id: str, wait_s: Optional[float] = None,
+             max_batches: Optional[int] = None) -> Dict[str, Any]:
+        """Drain queued notification batches (oldest first), blocking
+        up to ``wait_s`` when the queue is empty."""
+        return self.request("poll", id=sub_id, wait_s=wait_s,
+                            max_batches=max_batches)
+
+    def subscriptions(self) -> List[Dict[str, Any]]:
+        """Status rows of the server's live standing queries."""
+        reply = self.request("subscriptions")
+        return list(reply.get("subscriptions", []))
+
+    def listen(self, sub_id: str):
+        """Switch this connection to push mode; yields each batch as it
+        arrives until the subscription closes or the server goes away.
+        The connection serves nothing else afterwards — use a dedicated
+        client for listening."""
+        self.request("listen", id=sub_id)
+        while True:
+            with self._lock:
+                line = self._reader.readline()
+            if not line:
+                return
+            try:
+                payload = json.loads(line.decode("utf-8"))
+            except ValueError as error:
+                raise ProtocolError(f"bad push line: {error}") from None
+            if payload.get("closed"):
+                return
+            yield payload
 
     def lint(self, text: str) -> Dict[str, Any]:
         """Statically analyze a rule/query document server-side.

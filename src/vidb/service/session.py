@@ -221,6 +221,10 @@ class Session:
         self._lock = threading.Lock()
         self._closed = False
         self.queries_run = 0
+        #: Ids of standing-query subscriptions this session created;
+        #: non-detached ones are closed with the session (prepared
+        #: statements and subscriptions share the lifecycle).
+        self.subscription_ids: List[str] = []
 
     # -- prepared queries ---------------------------------------------------
     def prepare(self, name: str, text: str,
@@ -280,6 +284,9 @@ class Session:
         with self._lock:
             self._closed = True
             self._prepared.clear()
+        manager = getattr(self.executor, "subscriptions", None)
+        if manager is not None:
+            manager.close_session(self.id)
         self.executor._forget_session(self)
 
     def _check_open(self) -> None:

@@ -5,7 +5,8 @@ each tick fetches the ``metrics`` snapshot (and the most recent
 ``slow_query`` events), derives rates from the previous tick, and
 renders one screenful — QPS, latency quantiles, cache hit rate, live
 sessions, in-flight load, WAL head LSN and replica lag when the server
-runs durably.
+runs durably, and a standing-query panel (subscription ids, sequence
+numbers, queue depth, lag) when the streaming layer is active.
 
 :func:`render_top` is a pure function of two snapshots, so the view is
 unit-testable without a server; :func:`top_loop` is the CLI driver.
@@ -53,13 +54,15 @@ def _kernel_name(snapshot: Mapping[str, Any]) -> Optional[str]:
 def render_top(snapshot: Mapping[str, Any],
                previous: Optional[Mapping[str, Any]] = None,
                interval_s: Optional[float] = None,
-               events: Optional[List[Dict[str, Any]]] = None) -> str:
+               events: Optional[List[Dict[str, Any]]] = None,
+               subscriptions: Optional[List[Dict[str, Any]]] = None) -> str:
     """One frame of the ``vidb top`` display.
 
     ``snapshot`` is a service metrics snapshot (the ``metrics`` op);
     ``previous``/``interval_s`` enable the rate column (QPS, writes/s);
     ``events`` is an optional most-recent-first list of ``slow_query``
-    events.
+    events; ``subscriptions`` is the server's standing-query status list
+    (the ``subscriptions`` op) for the streaming panel.
     """
     lines: List[str] = []
     served = int(_num(snapshot, "queries.served"))
@@ -127,6 +130,31 @@ def render_top(snapshot: Mapping[str, Any],
             f"snapshots {int(_num(snapshot, 'snapshots.taken'))}   "
             f"replica lag {int(_num(snapshot, 'replica.lag'))}")
 
+    if "stream.subscriptions" in snapshot:
+        nps = _rate(snapshot, previous, "stream.notifications", interval_s)
+        nps_text = format_number(nps, 1) if nps is not None else "-"
+        lines.append(
+            f"streaming {int(_num(snapshot, 'stream.subscriptions'))}"
+            f"/{int(_num(snapshot, 'stream.max_subscriptions'))} subs   "
+            f"notify/s {nps_text}   "
+            f"notified {human_count(int(_num(snapshot, 'stream.notifications')))}   "
+            f"queued {int(_num(snapshot, 'stream.queue_depth'))}   "
+            f"lagged {int(_num(snapshot, 'stream.lag_events'))}   "
+            f"deltas {human_count(int(_num(snapshot, 'stream.deltas')))}   "
+            f"aborted {int(_num(snapshot, 'stream.aborted_segments'))}")
+
+    if subscriptions:
+        lines.append("standing queries:")
+        for sub in subscriptions[:8]:
+            lag = int(sub.get("lag_events", 0) or 0)
+            lag_text = f"  LAG {lag}" if lag else ""
+            lines.append(
+                f"  {sub.get('id', '?'):<8} seq {sub.get('seq', 0):<6} "
+                f"rows {human_count(int(sub.get('rows', 0) or 0)):<8} "
+                f"queue {sub.get('queue_depth', 0)}"
+                f"/{sub.get('max_queue', '?')}{lag_text}  "
+                f"{sub.get('query', '?')}")
+
     if events:
         lines.append("recent slow queries:")
         for event in events[:5]:
@@ -156,8 +184,14 @@ def top_loop(client: Any, interval_s: float = 2.0, *, once: bool = False,
         snapshot = client.metrics()
         now = time.monotonic()
         events = client.events(limit=5, type="slow_query")
+        try:
+            subscriptions = client.subscriptions()
+        except Exception:
+            # Older servers (or streaming disabled): no panel, no fuss.
+            subscriptions = None
         elapsed = (now - previous_at) if previous_at is not None else None
-        frame = render_top(snapshot, previous, elapsed, events)
+        frame = render_top(snapshot, previous, elapsed, events,
+                           subscriptions=subscriptions)
         if clear:
             out.write(CLEAR)
         out.write(frame + "\n")

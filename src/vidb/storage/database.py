@@ -70,6 +70,11 @@ class VideoDatabase:
     def name(self) -> str:
         return self.sequence.name
 
+    @property
+    def in_transaction(self) -> bool:
+        """True while an undo-log transaction is open on this database."""
+        return self._journal is not None
+
     # -- oid coercion ------------------------------------------------------
     @staticmethod
     def entity_oid(oid: OidLike) -> Oid:

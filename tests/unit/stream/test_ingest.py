@@ -1,0 +1,135 @@
+"""Unit tests for the annotation-dump codec and batched ingest driver."""
+
+import io
+import json
+
+import pytest
+
+from vidb.errors import ProtocolError
+from vidb.service.executor import ServiceExecutor
+from vidb.stream.ingest import (
+    IngestReport,
+    apply_record,
+    generate_dump,
+    ingest_local,
+    iter_dump,
+    parse_record,
+    record_to_op,
+    write_dump,
+)
+from vidb.storage.database import VideoDatabase
+
+
+def as_lines(records):
+    return [json.dumps(record) for record in records]
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        records = generate_dump(entities=2, intervals=3, seed=7)
+        out = io.StringIO()
+        assert write_dump(records, out) == len(records)
+        assert list(iter_dump(out.getvalue().splitlines())) == records
+
+    def test_blank_and_comment_lines_skipped(self):
+        text = [
+            "",
+            "# a comment",
+            json.dumps({"t": 0, "kind": "entity", "oid": "o1"}),
+        ]
+        assert len(list(iter_dump(text))) == 1
+
+    def test_backwards_timestamp_rejected(self):
+        lines = as_lines([
+            {"t": 5.0, "kind": "entity", "oid": "o1"},
+            {"t": 4.0, "kind": "entity", "oid": "o2"},
+        ])
+        with pytest.raises(ProtocolError, match="goes backwards"):
+            list(iter_dump(lines))
+
+    @pytest.mark.parametrize("bad", [
+        "not json",
+        json.dumps(["a", "list"]),
+        json.dumps({"t": 0, "kind": "mystery", "oid": "o1"}),
+        json.dumps({"kind": "entity", "oid": "o1"}),
+        json.dumps({"t": 0, "kind": "entity"}),
+        json.dumps({"t": 0, "kind": "fact", "args": ["o1"]}),
+        json.dumps({"t": 0, "kind": "fact", "relation": "r", "args": []}),
+    ])
+    def test_bad_records_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            parse_record(bad, lineno=3)
+
+    def test_generate_is_deterministic_and_ordered(self):
+        first = generate_dump(entities=3, intervals=10, seed=42)
+        second = generate_dump(entities=3, intervals=10, seed=42)
+        assert first == second
+        stamps = [record["t"] for record in first]
+        assert stamps == sorted(stamps)
+        kinds = {record["kind"] for record in first}
+        assert kinds == {"entity", "interval", "fact"}
+
+
+class TestApplyRecord:
+    def test_records_build_a_database(self):
+        db = VideoDatabase("apply")
+        db.declare_relation("appears")
+        for record in generate_dump(entities=2, intervals=2, seed=1):
+            apply_record(db, record)
+        stats = db.stats()
+        assert stats["entities"] == 2
+        assert stats["intervals"] == 2
+        assert stats["facts"] >= 2
+
+    def test_fact_args_resolve_to_oids(self):
+        db = VideoDatabase("resolve")
+        db.declare_relation("appears")
+        apply_record(db, {"t": 0, "kind": "entity", "oid": "o1"})
+        apply_record(db, {"t": 1, "kind": "interval", "oid": "gi1",
+                          "entities": ["o1"], "duration": [[0, 5]]})
+        apply_record(db, {"t": 1, "kind": "fact", "relation": "appears",
+                          "args": ["o1", "gi1"]})
+        [fact] = db.facts("appears")
+        assert all(hasattr(arg, "name") for arg in fact.args)
+
+
+class TestRecordToOp:
+    def test_sub_ops_match_wire_shapes(self):
+        assert record_to_op(
+            {"t": 0, "kind": "entity", "oid": "o1",
+             "attributes": {"name": "x"}}) == \
+            {"op": "insert_entity", "oid": "o1", "attributes": {"name": "x"}}
+        op = record_to_op({"t": 1, "kind": "interval", "oid": "gi1",
+                           "entities": ["o1"], "duration": [[0, 5]]})
+        assert op["op"] == "insert_interval" and op["duration"] == [[0, 5]]
+        assert record_to_op(
+            {"t": 1, "kind": "fact", "relation": "appears",
+             "args": ["o1", "gi1"]}) == \
+            {"op": "relate", "relation": "appears", "args": ["o1", "gi1"]}
+
+
+class TestIngestLocal:
+    def test_batched_commits_one_delta_each(self):
+        db = VideoDatabase("ingest")
+        db.declare_relation("appears")
+        with ServiceExecutor(db, max_workers=1) as service:
+            records = generate_dump(entities=3, intervals=10, seed=3)
+            report = ingest_local(service, records, batch_size=8)
+            assert report.records == len(records)
+            assert report.batches == -(-len(records) // 8)  # ceil division
+            assert report.final_epoch == service.db.epoch
+            assert service.stream_hub.deltas_delivered == report.batches
+            assert report.records_per_s > 0
+
+    def test_bad_batch_size_rejected(self):
+        db = VideoDatabase("ingest2")
+        with ServiceExecutor(db, max_workers=1) as service:
+            with pytest.raises(ProtocolError, match="batch_size"):
+                ingest_local(service, [], batch_size=0)
+
+    def test_report_as_dict(self):
+        report = IngestReport()
+        report.records, report.batches, report.elapsed_s = 10, 2, 0.5
+        snapshot = report.as_dict()
+        assert snapshot["records"] == 10
+        assert snapshot["records_per_s"] == 20.0
