@@ -16,7 +16,18 @@ Entry points:
 """
 
 from vidb.analysis.analyzer import ProgramAnalyzer, analyze
-from vidb.analysis.checks import AnalysisContext, reachable_predicates
+from vidb.analysis.checks import (
+    AnalysisContext,
+    check_streaming_safety,
+    reachable_predicates,
+)
+from vidb.analysis.cost import CostReport, Stats, estimate_program
+from vidb.analysis.dataflow import (
+    DataflowResult,
+    Interval,
+    PredicateSummary,
+    analyze_dataflow,
+)
 from vidb.analysis.diagnostics import (
     CODES,
     AnalysisResult,
@@ -26,22 +37,40 @@ from vidb.analysis.diagnostics import (
     WARNING,
     make,
 )
+from vidb.analysis.fix import (
+    FixOutcome,
+    fix_file,
+    fix_text,
+    verify_equivalent,
+)
 from vidb.analysis.lint import exit_code, lint_file, lint_text, summarize
 
 __all__ = [
     "AnalysisContext",
     "AnalysisResult",
     "CODES",
+    "CostReport",
+    "DataflowResult",
     "Diagnostic",
     "ERROR",
+    "FixOutcome",
     "INFO",
+    "Interval",
+    "PredicateSummary",
     "ProgramAnalyzer",
+    "Stats",
     "WARNING",
     "analyze",
+    "analyze_dataflow",
+    "check_streaming_safety",
+    "estimate_program",
     "exit_code",
+    "fix_text",
+    "fix_file",
     "lint_file",
     "lint_text",
     "make",
     "reachable_predicates",
     "summarize",
+    "verify_equivalent",
 ]

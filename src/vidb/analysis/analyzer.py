@@ -17,16 +17,20 @@ from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple, Union
 from vidb.analysis.checks import (
     AnalysisContext,
     check_constraints,
+    check_dataflow,
     check_joins,
     check_predicate_uses,
+    check_query_dataflow,
     check_query_safety,
     check_reachability,
     check_safety,
     check_singletons,
+    check_streaming_safety,
     conflicted_arities,
     query_goals,
     reachable_predicates,
 )
+from vidb.analysis.dataflow import DataflowResult
 from vidb.analysis.diagnostics import (
     AnalysisResult,
     Diagnostic,
@@ -47,17 +51,22 @@ def _context(program: Program, edb: Iterable[str],
     )
 
 
-def _program_diagnostics(ctx: AnalysisContext) -> Tuple[Diagnostic, ...]:
+def _program_diagnostics(ctx: AnalysisContext, annotate_bounds: bool
+                         ) -> Tuple[Tuple[Diagnostic, ...], DataflowResult]:
     diagnostics, conflicted = check_safety(ctx)
     diagnostics += check_predicate_uses(ctx, conflicted)
     diagnostics += check_constraints(ctx)
     diagnostics += check_singletons(ctx)
     diagnostics += check_joins(ctx)
-    return sort_diagnostics(diagnostics)
+    flow_diags, flow = check_dataflow(ctx, annotate_bounds=annotate_bounds)
+    diagnostics += flow_diags
+    return sort_diagnostics(diagnostics), flow
 
 
-def _query_diagnostics(ctx: AnalysisContext, queries: Sequence[Query]
-                       ) -> Tuple[Tuple[Diagnostic, ...], FrozenSet[str]]:
+def _query_diagnostics(ctx: AnalysisContext, queries: Sequence[Query],
+                       flow: DataflowResult, streaming: bool
+                       ) -> Tuple[Tuple[Diagnostic, ...], FrozenSet[str],
+                                  Tuple[Dict[str, object], ...]]:
     conflicted = conflicted_arities(ctx.program)
     diagnostics = []
     for query in queries:
@@ -71,9 +80,16 @@ def _query_diagnostics(ctx: AnalysisContext, queries: Sequence[Query]
         extra=ctx.extra, closed_world=ctx.closed_world)
     diagnostics += check_constraints(query_ctx, queries)
     diagnostics += check_joins(query_ctx, queries)
+    diagnostics += check_query_dataflow(flow, queries)
+    classifications = []
+    if streaming:
+        for query in queries:
+            stream_diags, classification = check_streaming_safety(ctx, query)
+            diagnostics += stream_diags
+            classifications.append(classification)
     reachable = reachable_predicates(ctx.program, query_goals(queries))
     diagnostics += check_reachability(ctx, queries, reachable)
-    return sort_diagnostics(diagnostics), reachable
+    return sort_diagnostics(diagnostics), reachable, tuple(classifications)
 
 
 def analyze(program: Program,
@@ -81,7 +97,9 @@ def analyze(program: Program,
             *, edb: Iterable[str] = (),
             computed: Optional[Dict[str, int]] = None,
             extra: Optional[Dict[str, Optional[int]]] = None,
-            closed_world: bool = True) -> AnalysisResult:
+            closed_world: bool = True,
+            annotate_bounds: bool = False,
+            streaming: bool = False) -> AnalysisResult:
     """Run every analysis pass over *program* (and optional queries).
 
     ``edb`` names the database relations, ``computed`` the registered
@@ -89,18 +107,25 @@ def analyze(program: Program,
     defined elsewhere (name -> arity, or None when the arity is unknown).
     Under ``closed_world`` an undefined predicate is an error; otherwise
     it is a warning (standalone lint without a database).
+    ``annotate_bounds`` additionally emits VDB044 infos for every
+    non-trivial inferred predicate bound; ``streaming`` runs the
+    standing-query safety pass (VDB06x) over the given queries.
     """
     if isinstance(queries, Query):
         queries = (queries,)
     queries = tuple(queries or ())
     ctx = _context(program, edb, computed, extra, closed_world)
-    diagnostics = list(_program_diagnostics(ctx))
+    program_diags, flow = _program_diagnostics(ctx, annotate_bounds)
+    diagnostics = list(program_diags)
     reachable: Optional[FrozenSet[str]] = None
+    classifications: Tuple[Dict[str, object], ...] = ()
     if queries:
-        query_diags, reachable = _query_diagnostics(ctx, queries)
+        query_diags, reachable, classifications = _query_diagnostics(
+            ctx, queries, flow, streaming)
         diagnostics += query_diags
     deduped = tuple(dict.fromkeys(diagnostics))
-    return AnalysisResult(sort_diagnostics(deduped), reachable=reachable)
+    return AnalysisResult(sort_diagnostics(deduped), reachable=reachable,
+                          dataflow=flow, streaming=classifications)
 
 
 class _LruCache:
@@ -155,7 +180,8 @@ class ProgramAnalyzer:
     def _base_key(program: Program, edb: FrozenSet[str],
                   computed: Optional[Dict[str, int]],
                   extra: Optional[Dict[str, Optional[int]]],
-                  closed_world: bool):
+                  closed_world: bool, annotate_bounds: bool,
+                  streaming: bool):
         return (
             program_fingerprint(program),
             edb,
@@ -163,15 +189,20 @@ class ProgramAnalyzer:
             tuple(sorted((extra or {}).items(),
                          key=lambda pair: pair[0])),
             closed_world,
+            annotate_bounds,
+            streaming,
         )
 
     def analyze(self, program: Program, query: Optional[Query] = None,
                 *, edb: Iterable[str] = (),
                 computed: Optional[Dict[str, int]] = None,
                 extra: Optional[Dict[str, Optional[int]]] = None,
-                closed_world: bool = True) -> AnalysisResult:
+                closed_world: bool = True,
+                annotate_bounds: bool = False,
+                streaming: bool = False) -> AnalysisResult:
         edb = frozenset(edb)
-        base_key = self._base_key(program, edb, computed, extra, closed_world)
+        base_key = self._base_key(program, edb, computed, extra,
+                                  closed_world, annotate_bounds, streaming)
         if query is None:
             cached = self._program_cache.get(base_key)
             if cached is not None:
@@ -179,7 +210,8 @@ class ProgramAnalyzer:
                 return cached
             self.misses += 1
             result = analyze(program, edb=edb, computed=computed,
-                             extra=extra, closed_world=closed_world)
+                             extra=extra, closed_world=closed_world,
+                             annotate_bounds=annotate_bounds)
             self._program_cache.put(base_key, result)
             return result
 
@@ -190,7 +222,9 @@ class ProgramAnalyzer:
             return cached
         self.misses += 1
         result = analyze(program, query, edb=edb, computed=computed,
-                         extra=extra, closed_world=closed_world)
+                         extra=extra, closed_world=closed_world,
+                         annotate_bounds=annotate_bounds,
+                         streaming=streaming)
         self._query_cache.put(key, result)
         return result
 

@@ -34,6 +34,7 @@ from vidb.query.ast import (
     SubsetAtom,
     Variable,
 )
+from vidb.analysis.dataflow import DataflowResult, analyze_dataflow
 from vidb.analysis.diagnostics import Diagnostic, make
 from vidb.analysis.translate import (
     abstract_body,
@@ -306,6 +307,176 @@ def check_constraints(ctx: AnalysisContext,
             dict(rule_index=None, rule_name=None, predicate=None),
             "query"))
     return out
+
+
+# ---------------------------------------------------------------------------
+# (g) whole-program interval dataflow — VDB040/VDB041/VDB044
+# ---------------------------------------------------------------------------
+
+def check_dataflow(ctx: AnalysisContext, *, annotate_bounds: bool = False
+                   ) -> Tuple[List[Diagnostic], DataflowResult]:
+    """Cross-rule findings from the interval dataflow fixpoint.
+
+    * ``VDB040``: every defining rule of a derived predicate is dead, so
+      the predicate is provably empty.
+    * ``VDB041``: a rule's body is satisfiable on its own but becomes
+      unsatisfiable once a consumed derived predicate's inferred bounds
+      are intersected in — an inter-rule contradiction the per-rule
+      passes cannot see.
+    * ``VDB044`` (only when ``annotate_bounds``): the non-trivial bounds
+      themselves, as informational annotations.
+    """
+    flow = analyze_dataflow(ctx.program)
+    out: List[Diagnostic] = []
+    first_rule: Dict[str, Tuple[int, object]] = {}
+    for index, rule in enumerate(ctx.program):
+        first_rule.setdefault(rule.head.predicate, (index, rule))
+    for predicate in flow.empty_predicates():
+        index, rule = first_rule[predicate]
+        out.append(make(
+            "VDB040",
+            f"derived predicate {predicate!r} is provably empty: no "
+            "defining rule can ever produce a fact",
+            span=rule.head.span or rule.span,
+            **_rule_context(rule, index)))
+    for rule_flow in flow.flows:
+        if rule_flow.dead_local or rule_flow.contradicts is None:
+            continue
+        where = _where(rule_flow.index, rule_flow.rule.name)
+        if rule_flow.producer_empty:
+            message = (f"{where} consumes derived predicate "
+                       f"{rule_flow.contradicts!r}, which is provably "
+                       "empty; the rule can never fire")
+        else:
+            message = (f"{where} constrains {rule_flow.contradicts!r} "
+                       "outside the bounds its defining rules can "
+                       "produce; the rule can never fire")
+        out.append(make("VDB041", message, span=rule_flow.rule.span,
+                        **_rule_context(rule_flow.rule, rule_flow.index)))
+    if annotate_bounds:
+        for summary in flow.narrowed():
+            index, rule = first_rule[summary.predicate]
+            out.append(make(
+                "VDB044", f"inferred bounds: {summary.render()}",
+                span=rule.head.span or rule.span,
+                **_rule_context(rule, index)))
+    return out, flow
+
+
+def check_query_dataflow(flow: DataflowResult,
+                         queries: Sequence[Query]) -> List[Diagnostic]:
+    """VDB041 for query bodies consuming empty/contradicting producers."""
+    from vidb.analysis.dataflow import _body_cells, _consume_summaries
+    out: List[Diagnostic] = []
+    for query in queries:
+        cells, _ = _body_cells(query.body)
+        if cells.empty:
+            continue  # the per-body passes report dead queries already
+        producer, empty = _consume_summaries(cells, query.body,
+                                             flow.summaries)
+        if producer is None:
+            continue
+        if empty:
+            message = (f"query consumes derived predicate {producer!r}, "
+                       "which is provably empty; it can never have "
+                       "answers")
+        else:
+            message = (f"query constrains {producer!r} outside the "
+                       "bounds its defining rules can produce; it can "
+                       "never have answers")
+        out.append(make("VDB041", message, span=query.span,
+                        predicate=producer))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# (h) streaming safety for standing queries — VDB060/VDB061/VDB062
+# ---------------------------------------------------------------------------
+
+#: Maintenance classifications, as reported in ``Subscription.describe``.
+MAINT_INCREMENTAL = "incremental"
+MAINT_REJECTED = "rejected"
+
+
+def check_streaming_safety(ctx: AnalysisContext, query: Query
+                           ) -> Tuple[List[Diagnostic], Dict[str, object]]:
+    """Classify a standing query for incremental maintenance.
+
+    Returns the diagnostics plus a classification dict with keys
+    ``maintenance`` (``incremental`` / ``rejected``),
+    ``deletion_sensitive`` (a deletion anywhere in the joined relations
+    forces a from-scratch rebuild) and ``unbounded_growth`` (reachable
+    constructive rules mint new intervals every commit, so the retained
+    answer set can grow without bound).
+    """
+    out: List[Diagnostic] = []
+    reachable = reachable_predicates(ctx.program, query_goals((query,)))
+    relevant = [(index, rule) for index, rule in enumerate(ctx.program)
+                if rule.head.predicate in reachable]
+
+    rejected = False
+    for item in query.body:
+        if isinstance(item, NegatedLiteral):
+            rejected = True
+            out.append(make(
+                "VDB060",
+                f"standing query negates {item.literal.predicate!r}: "
+                "negation is non-monotone, so the answer view cannot be "
+                "maintained incrementally",
+                span=item.span or query.span,
+                predicate=item.literal.predicate))
+    for index, rule in relevant:
+        negated = list(rule.negated_literals())
+        if negated:
+            rejected = True
+            out.append(make(
+                "VDB060",
+                f"standing query depends on {_where(index, rule.name)}, "
+                f"which negates {negated[0].predicate!r}: negation is "
+                "non-monotone, so the answer view cannot be maintained "
+                "incrementally",
+                span=rule.span, **_rule_context(rule, index)))
+
+    unbounded = False
+    for index, rule in relevant:
+        if rule.is_constructive:
+            unbounded = True
+            out.append(make(
+                "VDB061",
+                f"standing query depends on constructive "
+                f"{_where(index, rule.name)}: concatenation mints a new "
+                "interval per joined pair, so the retained answer set "
+                "can grow without bound as commits arrive",
+                span=rule.span, **_rule_context(rule, index)))
+
+    deletion_sensitive = False
+    joined_bodies: List[Tuple[Sequence[BodyItem], Optional[SourceSpan],
+                              dict, str]] = [
+        (query.body, query.span,
+         dict(rule_index=None, rule_name=None, predicate=None),
+         "standing query")]
+    joined_bodies += [
+        (rule.body, rule.span, _rule_context(rule, index),
+         _where(index, rule.name)) for index, rule in relevant]
+    for body, span, context, where in joined_bodies:
+        literals = [item for item in body if isinstance(item, Literal)]
+        if len(literals) >= 2:
+            deletion_sensitive = True
+            out.append(make(
+                "VDB062",
+                f"{where} joins {len(literals)} relations: a deletion in "
+                "any of them invalidates joined answers, so deletions "
+                "trigger a full view rebuild rather than an incremental "
+                "delta",
+                span=span, **context))
+            break  # one classification note is enough
+
+    classification: Dict[str, object] = {
+        "maintenance": MAINT_REJECTED if rejected else MAINT_INCREMENTAL,
+        "deletion_sensitive": deletion_sensitive,
+        "unbounded_growth": unbounded,
+    }
+    return out, classification
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,317 @@
+"""Cost and cardinality estimation for rule bodies (VDB042/VDB043).
+
+A classic System-R-flavoured estimator over the rule language: every
+body literal contributes its relation's row count (from live database
+statistics), a join on an already-bound variable keeps the running
+cardinality flat (foreign-key assumption: distinct count = relation
+size), and a literal sharing *no* variable with what came before
+multiplies — the cartesian blowup this pass exists to flag.  Derived
+predicates are sized bottom-up through the dependency graph with a few
+rounds of iteration so recursive programs converge to a (capped) fixed
+point.
+
+The numbers are advisories, not guarantees: they drive the VDB042
+cartesian-blowup warning, the VDB043 literal-reordering suggestion, and
+the ``-- cost --`` section of EXPLAIN profiles.  Estimation runs only
+when statistics are supplied (``vidb lint --database``, or the engine's
+prepare path, which snapshots them per epoch), so plain file lints are
+unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from vidb.analysis.diagnostics import Diagnostic, make
+from vidb.query.ast import (
+    CLASS_PREDICATES,
+    Literal,
+    NegatedLiteral,
+    Program,
+    Query,
+    Rule,
+    SourceSpan,
+    Variable,
+)
+
+#: Cardinality assumed for predicates the statistics know nothing about
+#: (service-declared stream relations before their first fact, etc.).
+DEFAULT_SIZE = 32.0
+
+#: Selectivity of a constraint atom / computed predicate / negation.
+FILTER_SELECTIVITY = 0.5
+
+#: Estimates are capped here so recursive programs cannot overflow.
+SIZE_CAP = 1e12
+
+#: VDB042 fires when the estimated peak intermediate reaches this many
+#: rows *and* exceeds the largest single input by ``BLOWUP_FACTOR``.
+BLOWUP_ROWS = 1000.0
+BLOWUP_FACTOR = 8.0
+
+#: VDB043 fires when the greedy reordering at least halves the peak.
+REORDER_GAIN = 2.0
+
+_SIZING_ROUNDS = 4
+
+
+@dataclass(frozen=True)
+class Stats:
+    """A cardinality snapshot of one database."""
+
+    relations: Mapping[str, int] = field(default_factory=dict)
+    entities: int = 0
+    intervals: int = 0
+
+    @staticmethod
+    def from_database(db) -> "Stats":
+        relations = {name: len(db.facts(name))
+                     for name in db.relation_names()}
+        return Stats(relations=relations,
+                     entities=len(db.entities()),
+                     intervals=len(db.intervals()))
+
+    def size_of(self, predicate: str) -> Optional[float]:
+        """Base size of an EDB/class predicate, or None when unknown."""
+        if predicate == "interval":
+            return float(self.intervals)
+        if predicate in CLASS_PREDICATES:
+            return float(self.entities)
+        if predicate in self.relations:
+            return float(self.relations[predicate])
+        return None
+
+
+@dataclass(frozen=True)
+class RuleCost:
+    """The estimate for one rule body (or the query body)."""
+
+    label: str
+    rule_index: Optional[int]
+    span: Optional[SourceSpan]
+    estimate: float
+    peak: float
+    largest_input: float
+    order: Tuple[str, ...]
+    suggested_order: Tuple[str, ...]
+    suggested_peak: float
+    rule_name: Optional[str] = None
+    predicate: Optional[str] = None
+
+    @property
+    def blowup(self) -> float:
+        return self.peak / max(self.largest_input, 1.0)
+
+    @property
+    def reorder_gain(self) -> float:
+        return self.peak / max(self.suggested_peak, 1.0)
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Per-rule cost estimates plus derived-predicate sizes."""
+
+    costs: Tuple[RuleCost, ...] = ()
+    sizes: Mapping[str, float] = field(default_factory=dict)
+
+    def diagnostics(self) -> Tuple[Diagnostic, ...]:
+        out: List[Diagnostic] = []
+        for cost in self.costs:
+            if cost.peak >= BLOWUP_ROWS and cost.blowup >= BLOWUP_FACTOR:
+                out.append(make(
+                    "VDB042",
+                    f"{cost.label}: estimated peak intermediate of "
+                    f"~{_fmt(cost.peak)} rows is {_fmt(cost.blowup)}x the "
+                    f"largest input ({_fmt(cost.largest_input)} rows); "
+                    "a join is close to a cartesian product",
+                    span=cost.span, rule_index=cost.rule_index,
+                    rule_name=cost.rule_name, predicate=cost.predicate))
+            if (cost.peak >= BLOWUP_ROWS
+                    and cost.suggested_order != cost.order
+                    and cost.reorder_gain >= REORDER_GAIN):
+                order = ", ".join(cost.suggested_order)
+                out.append(make(
+                    "VDB043",
+                    f"{cost.label}: reordering body literals as "
+                    f"({order}) cuts the estimated peak from "
+                    f"~{_fmt(cost.peak)} to ~{_fmt(cost.suggested_peak)} "
+                    "rows",
+                    span=cost.span, rule_index=cost.rule_index,
+                    rule_name=cost.rule_name, predicate=cost.predicate))
+        return tuple(out)
+
+    def rows(self) -> List[Tuple[str, str, str, str, str]]:
+        """``(label, est, peak, blowup, hint)`` rows for the profile."""
+        out = []
+        for cost in self.costs:
+            hint = ""
+            if (cost.suggested_order != cost.order
+                    and cost.reorder_gain >= REORDER_GAIN):
+                hint = "reorder: " + ", ".join(cost.suggested_order)
+            out.append((cost.label, _fmt(cost.estimate), _fmt(cost.peak),
+                        f"{cost.blowup:.1f}x", hint))
+        return out
+
+
+def _fmt(value: float) -> str:
+    if value != value or value >= SIZE_CAP:  # NaN guard / cap
+        return "inf"
+    if value >= 1000:
+        return f"{value:.3g}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def _literal_vars(literal: Literal) -> Tuple[str, ...]:
+    return tuple(arg.name for arg in literal.args
+                 if isinstance(arg, Variable))
+
+
+def _body_shape(body) -> Tuple[List[Literal], int, int]:
+    """Positive literals, negation count, and constraint-atom count."""
+    positives: List[Literal] = []
+    negations = 0
+    filters = 0
+    for item in body:
+        if isinstance(item, Literal):
+            positives.append(item)
+        elif isinstance(item, NegatedLiteral):
+            negations += 1
+        else:
+            filters += 1
+    return positives, negations, filters
+
+
+class _Estimator:
+    def __init__(self, stats: Stats, computed: frozenset,
+                 sizes: Dict[str, float]):
+        self.stats = stats
+        self.computed = computed
+        self.sizes = sizes
+
+    def size_of(self, predicate: str) -> Optional[float]:
+        if predicate in self.computed:
+            return None  # filter, not a generator
+        if predicate in self.sizes:
+            return min(self.sizes[predicate], SIZE_CAP)
+        base = self.stats.size_of(predicate)
+        if base is None:
+            return DEFAULT_SIZE
+        return base
+
+    def walk(self, literals: Sequence[Literal]
+             ) -> Tuple[float, float, float]:
+        """``(final rows, peak rows, largest input)`` for one order."""
+        rows = 1.0
+        peak = 1.0
+        largest = 0.0
+        bound: set = set()
+        for literal in literals:
+            size = self.size_of(literal.predicate)
+            if size is None:  # computed predicate: pure filter
+                rows *= FILTER_SELECTIVITY
+                continue
+            largest = max(largest, size)
+            variables = _literal_vars(literal)
+            joins = sum(1 for name in set(variables) if name in bound)
+            joins += sum(1 for arg in literal.args
+                         if not isinstance(arg, Variable))
+            rows *= size / max(size, 1.0) ** min(joins, 2)
+            rows = min(rows, SIZE_CAP)
+            peak = max(peak, rows)
+            bound.update(variables)
+        return rows, peak, largest
+
+    def estimate_body(self, body) -> Tuple[float, float, float,
+                                           Tuple[str, ...],
+                                           Tuple[str, ...], float]:
+        positives, negations, filters = _body_shape(body)
+        rows, peak, largest = self.walk(positives)
+        rows *= FILTER_SELECTIVITY ** (negations + filters)
+        order = tuple(lit.predicate for lit in positives)
+        suggested, suggested_peak = self.reorder(positives)
+        return rows, peak, largest, order, suggested, suggested_peak
+
+    def reorder(self, positives: Sequence[Literal]
+                ) -> Tuple[Tuple[str, ...], float]:
+        """Greedy smallest-growth order over the positive literals."""
+        remaining = list(range(len(positives)))
+        chosen: List[int] = []
+        bound: set = set()
+        rows = 1.0
+        peak = 1.0
+        while remaining:
+            best = None
+            best_rows = None
+            for index in remaining:
+                literal = positives[index]
+                size = self.size_of(literal.predicate)
+                if size is None:
+                    candidate = rows * FILTER_SELECTIVITY
+                else:
+                    variables = _literal_vars(literal)
+                    joins = sum(1 for name in set(variables)
+                                if name in bound)
+                    joins += sum(1 for arg in literal.args
+                                 if not isinstance(arg, Variable))
+                    candidate = rows * size / max(size, 1.0) ** min(joins, 2)
+                if best_rows is None or candidate < best_rows:
+                    best, best_rows = index, candidate
+            assert best is not None and best_rows is not None
+            chosen.append(best)
+            remaining.remove(best)
+            rows = min(best_rows, SIZE_CAP)
+            peak = max(peak, rows)
+            bound.update(_literal_vars(positives[best]))
+        return tuple(positives[i].predicate for i in chosen), peak
+
+
+def estimate_program(program: Program, stats: Stats, *,
+                     computed: Sequence[str] = (),
+                     queries: Sequence[Query] = (),
+                     relevant: Optional[frozenset] = None) -> CostReport:
+    """Estimate every (relevant) rule body and query body.
+
+    ``relevant`` restricts the per-rule advisories to rules whose head
+    predicate the queries can reach; derived-predicate *sizes* are still
+    computed over the whole program so consumers see correct inputs.
+    """
+    computed_set = frozenset(computed)
+    derived = program.idb_predicates() - CLASS_PREDICATES
+    sizes: Dict[str, float] = {name: 0.0 for name in derived}
+    estimator = _Estimator(stats, computed_set, sizes)
+    for _ in range(_SIZING_ROUNDS):
+        changed = False
+        totals: Dict[str, float] = {name: 0.0 for name in derived}
+        for rule in program:
+            name = rule.head.predicate
+            if name not in totals:
+                continue
+            rows, _, _, _, _, _ = estimator.estimate_body(rule.body)
+            totals[name] = min(totals[name] + rows, SIZE_CAP)
+        for name, total in totals.items():
+            if sizes.get(name) != total:
+                sizes[name] = total
+                changed = True
+        if not changed:
+            break
+    costs: List[RuleCost] = []
+    for index, rule in enumerate(program):
+        if relevant is not None and rule.head.predicate not in relevant:
+            continue
+        rows, peak, largest, order, suggested, s_peak = (
+            estimator.estimate_body(rule.body))
+        label = rule.name or f"rule #{index} ({rule.head.predicate})"
+        costs.append(RuleCost(label, index, rule.span, rows, peak, largest,
+                              order, suggested, s_peak,
+                              rule_name=rule.name,
+                              predicate=rule.head.predicate))
+    for position, query in enumerate(queries):
+        rows, peak, largest, order, suggested, s_peak = (
+            estimator.estimate_body(query.body))
+        label = "query" if len(queries) == 1 else f"query #{position}"
+        costs.append(RuleCost(label, None, query.span, rows, peak, largest,
+                              order, suggested, s_peak))
+    return CostReport(tuple(costs), dict(sizes))

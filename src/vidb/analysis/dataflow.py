@@ -1,0 +1,517 @@
+"""Interval dataflow across rule dependencies (the whole-program pass).
+
+PR 4's analyzer decided each rule body in isolation.  This pass makes
+the analysis *whole-program*: it infers, for every derived predicate,
+per-argument **dense-order bounds** (a numeric interval the argument
+always lies in) and **set-order lower bounds** (elements an attribute's
+set value must contain), by propagating constraint atoms through the
+rule dependency graph — a derived predicate's summary is the join
+(interval hull / member intersection) of what its defining rules can
+produce, and a rule consuming a derived predicate inherits the
+producer's summary into its own body.
+
+The abstraction is an over-approximation computed as a least fixpoint
+from bottom, so every verdict is sound:
+
+* if a rule's body bounds are empty only *after* intersecting a
+  producer summary, the rule can never fire — an **inter-rule
+  contradiction** (``VDB041``) the per-rule passes cannot see;
+* if every defining rule of a predicate is dead, the predicate is
+  **provably empty** (``VDB040``) and positive consumers are dead too
+  (the emptiness cascades through the fixpoint);
+* non-trivial summaries are surfaced as narrowed-bound annotations
+  (``VDB044``, on request) and in EXPLAIN profiles.
+
+Only numeric constants tighten bounds; strings, symbols and anything
+the abstraction cannot see keep the unconstrained TOP interval, which
+only ever weakens verdicts — the same soundness argument as
+:mod:`vidb.analysis.translate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from vidb.analysis.translate import abstract_body, path_key, set_element_key
+from vidb.constraints.dense import Comparison, flip_op
+from vidb.constraints.terms import Var
+from vidb.query.ast import (
+    CLASS_PREDICATES,
+    AttrPath,
+    Literal,
+    MembershipAtom,
+    Program,
+    Query,
+    Rule,
+    SubsetAtom,
+    Variable,
+)
+
+_NUMERIC = (int, float, Fraction)
+
+#: Fixpoint iteration cap: bounds are drawn from the finite pool of
+#: program constants, so convergence is guaranteed; the cap is a
+#: defensive backstop that degrades to TOP, never to unsoundness.
+_MAX_ROUNDS = 64
+
+
+class Interval:
+    """A (possibly open-ended) numeric interval: the dense-order bound
+    lattice.  ``lo``/``hi`` of ``None`` mean unbounded on that side."""
+
+    __slots__ = ("lo", "lo_open", "hi", "hi_open")
+
+    def __init__(self, lo=None, hi=None, lo_open: bool = False,
+                 hi_open: bool = False):
+        self.lo = lo
+        self.hi = hi
+        self.lo_open = bool(lo_open) if lo is not None else False
+        self.hi_open = bool(hi_open) if hi is not None else False
+
+    # -- constructors --------------------------------------------------------
+    @staticmethod
+    def top() -> "Interval":
+        return Interval()
+
+    @staticmethod
+    def point(value) -> "Interval":
+        return Interval(value, value)
+
+    @staticmethod
+    def from_op(op: str, value) -> "Interval":
+        """The interval ``{x : x op value}`` (TOP for ``!=``)."""
+        if op == "=":
+            return Interval(value, value)
+        if op == "<":
+            return Interval(None, value, hi_open=True)
+        if op == "<=":
+            return Interval(None, value)
+        if op == ">":
+            return Interval(value, None, lo_open=True)
+        if op == ">=":
+            return Interval(value, None)
+        return Interval.top()  # "!="
+
+    # -- lattice -------------------------------------------------------------
+    @property
+    def is_top(self) -> bool:
+        return self.lo is None and self.hi is None
+
+    @property
+    def is_empty(self) -> bool:
+        if self.lo is None or self.hi is None:
+            return False
+        if self.lo > self.hi:
+            return True
+        return self.lo == self.hi and (self.lo_open or self.hi_open)
+
+    def intersect(self, other: "Interval") -> "Interval":
+        lo, lo_open = self.lo, self.lo_open
+        if other.lo is not None and (lo is None or other.lo > lo
+                                     or (other.lo == lo and other.lo_open)):
+            lo, lo_open = other.lo, other.lo_open
+        hi, hi_open = self.hi, self.hi_open
+        if other.hi is not None and (hi is None or other.hi < hi
+                                     or (other.hi == hi and other.hi_open)):
+            hi, hi_open = other.hi, other.hi_open
+        return Interval(lo, hi, lo_open, hi_open)
+
+    def hull(self, other: "Interval") -> "Interval":
+        """The join: smallest interval containing both."""
+        lo, lo_open = self.lo, self.lo_open
+        if lo is not None and (other.lo is None or other.lo < lo
+                               or (other.lo == lo and not other.lo_open)):
+            lo, lo_open = other.lo, other.lo_open
+        hi, hi_open = self.hi, self.hi_open
+        if hi is not None and (other.hi is None or other.hi > hi
+                               or (other.hi == hi and not other.hi_open)):
+            hi, hi_open = other.hi, other.hi_open
+        return Interval(lo, hi, lo_open, hi_open)
+
+    def contains(self, value) -> bool:
+        if self.lo is not None:
+            if value < self.lo or (value == self.lo and self.lo_open):
+                return False
+        if self.hi is not None:
+            if value > self.hi or (value == self.hi and self.hi_open):
+                return False
+        return True
+
+    # -- value semantics -----------------------------------------------------
+    def _key(self):
+        return (self.lo, self.lo_open, self.hi, self.hi_open)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Interval) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(("Interval",) + self._key())
+
+    def render(self) -> str:
+        left = "(" if (self.lo is None or self.lo_open) else "["
+        right = ")" if (self.hi is None or self.hi_open) else "]"
+        lo = "-inf" if self.lo is None else _render_value(self.lo)
+        hi = "+inf" if self.hi is None else _render_value(self.hi)
+        return f"{left}{lo}, {hi}{right}"
+
+    def __repr__(self) -> str:
+        return self.render()
+
+
+def _render_value(value) -> str:
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return str(value.numerator)
+        return str(float(value))
+    return str(value)
+
+
+@dataclass(frozen=True)
+class ArgSummary:
+    """What is known about one argument position of a predicate: a
+    dense bound on the value itself, dense bounds on its attributes,
+    and required set members per (set-valued) attribute."""
+
+    bound: Interval = field(default_factory=Interval.top)
+    attrs: Mapping[str, Interval] = field(default_factory=dict)
+    members: Mapping[str, FrozenSet] = field(default_factory=dict)
+
+    @property
+    def is_top(self) -> bool:
+        return self.bound.is_top and not self.attrs and not self.members
+
+    def join(self, other: "ArgSummary") -> "ArgSummary":
+        attrs = {name: self.attrs[name].hull(other.attrs[name])
+                 for name in self.attrs if name in other.attrs}
+        attrs = {name: bound for name, bound in attrs.items()
+                 if not bound.is_top}
+        members = {name: self.members[name] & other.members[name]
+                   for name in self.members if name in other.members}
+        members = {name: elems for name, elems in members.items() if elems}
+        return ArgSummary(self.bound.hull(other.bound), attrs, members)
+
+    def render(self, name: str) -> List[str]:
+        parts = []
+        if not self.bound.is_top:
+            parts.append(f"{name} in {self.bound.render()}")
+        for attr in sorted(self.attrs):
+            parts.append(f"{name}.{attr} in {self.attrs[attr].render()}")
+        for attr in sorted(self.members):
+            elems = ", ".join(sorted(map(str, self.members[attr])))
+            parts.append(f"{name}.{attr} >= {{{elems}}}")
+        return parts
+
+
+@dataclass(frozen=True)
+class PredicateSummary:
+    """The join over all live defining rules of one derived predicate."""
+
+    predicate: str
+    arity: int
+    args: Tuple[ArgSummary, ...] = ()
+    #: True while no defining rule can contribute answers (bottom).
+    empty: bool = True
+
+    @property
+    def is_top(self) -> bool:
+        return not self.empty and all(arg.is_top for arg in self.args)
+
+    def join_rule(self, args: Sequence[ArgSummary]) -> "PredicateSummary":
+        if self.empty:
+            return PredicateSummary(self.predicate, self.arity,
+                                    tuple(args), empty=False)
+        joined = tuple(mine.join(theirs)
+                       for mine, theirs in zip(self.args, args))
+        return PredicateSummary(self.predicate, self.arity, joined,
+                                empty=False)
+
+    def render(self) -> str:
+        if self.empty:
+            return f"{self.predicate}/{self.arity}: empty"
+        names = [f"arg{i}" for i in range(self.arity)]
+        parts: List[str] = []
+        for name, arg in zip(names, self.args):
+            parts.extend(arg.render(name))
+        detail = "; ".join(parts) if parts else "no bounds"
+        return f"{self.predicate}/{self.arity}: {detail}"
+
+
+@dataclass(frozen=True)
+class RuleFlow:
+    """The dataflow verdict for one rule under the final summaries."""
+
+    index: int
+    rule: Rule
+    #: Bounds per abstract variable ("X" / "X.attr"), post-propagation.
+    bounds: Mapping[str, Interval] = field(default_factory=dict)
+    members: Mapping[str, FrozenSet] = field(default_factory=dict)
+    #: True when the body is unsatisfiable using only its own atoms
+    #: (the per-rule passes report that as VDB020/021 already).
+    dead_local: bool = False
+    #: The derived predicate whose summary killed the body, if any.
+    contradicts: Optional[str] = None
+    #: The producer is provably empty (vs. bound-incompatible).
+    producer_empty: bool = False
+
+    @property
+    def dead(self) -> bool:
+        return self.dead_local or self.contradicts is not None
+
+
+@dataclass(frozen=True)
+class DataflowResult:
+    """Whole-program dataflow: per-predicate summaries + per-rule flows."""
+
+    summaries: Mapping[str, PredicateSummary]
+    flows: Tuple[RuleFlow, ...]
+    converged: bool = True
+
+    def summary(self, predicate: str) -> Optional[PredicateSummary]:
+        return self.summaries.get(predicate)
+
+    def empty_predicates(self) -> Tuple[str, ...]:
+        return tuple(sorted(name for name, summary in self.summaries.items()
+                            if summary.empty))
+
+    def narrowed(self) -> Tuple[PredicateSummary, ...]:
+        """Summaries carrying real information, for annotation/EXPLAIN."""
+        out = [summary for _, summary in sorted(self.summaries.items())
+               if not summary.empty and not summary.is_top]
+        return tuple(out)
+
+
+class _Cells:
+    """Mutable bound/member cells for one rule body inference."""
+
+    def __init__(self) -> None:
+        self.bounds: Dict[str, Interval] = {}
+        self.members: Dict[str, set] = {}
+
+    def narrow(self, key: str, interval: Interval) -> None:
+        current = self.bounds.get(key)
+        self.bounds[key] = (interval if current is None
+                            else current.intersect(interval))
+
+    def require(self, key: str, elems) -> None:
+        self.members.setdefault(key, set()).update(elems)
+
+    def get(self, key: str) -> Interval:
+        return self.bounds.get(key, Interval.top())
+
+    @property
+    def empty(self) -> bool:
+        return any(bound.is_empty for bound in self.bounds.values())
+
+
+def _dense_key(term) -> Optional[str]:
+    if isinstance(term, Var):
+        return term.name
+    return None
+
+
+def _apply_dense(cells: _Cells, image: Comparison) -> None:
+    left_key = _dense_key(image.left)
+    right_key = _dense_key(image.right)
+    if left_key is not None and right_key is None:
+        if isinstance(image.right, _NUMERIC) and not isinstance(
+                image.right, bool):
+            cells.narrow(left_key, Interval.from_op(image.op, image.right))
+    elif right_key is not None and left_key is None:
+        if isinstance(image.left, _NUMERIC) and not isinstance(
+                image.left, bool):
+            cells.narrow(right_key,
+                         Interval.from_op(flip_op(image.op), image.left))
+
+
+def _propagate_var_pairs(cells: _Cells,
+                         pairs: Sequence[Tuple[str, str, str]]) -> None:
+    """Transfer bounds across ``X op Y`` atoms until stable (bounded)."""
+    for _ in range(max(1, len(pairs)) * 2):
+        changed = False
+        for left, op, right in pairs:
+            lo_l, hi_l = cells.get(left), cells.get(right)
+            before = (cells.get(left), cells.get(right))
+            if op in ("=",):
+                cells.narrow(left, cells.get(right))
+                cells.narrow(right, cells.get(left))
+            elif op in ("<", "<="):
+                strict = op == "<"
+                upper = cells.get(right)
+                if upper.hi is not None:
+                    cells.narrow(left, Interval(
+                        None, upper.hi, hi_open=strict or upper.hi_open))
+                lower = cells.get(left)
+                if lower.lo is not None:
+                    cells.narrow(right, Interval(
+                        lower.lo, None, lo_open=strict or lower.lo_open))
+            elif op in (">", ">="):
+                strict = op == ">"
+                lower = cells.get(right)
+                if lower.lo is not None:
+                    cells.narrow(left, Interval(
+                        lower.lo, None, lo_open=strict or lower.lo_open))
+                upper = cells.get(left)
+                if upper.hi is not None:
+                    cells.narrow(right, Interval(
+                        None, upper.hi, hi_open=strict or upper.hi_open))
+            if (cells.get(left), cells.get(right)) != before:
+                changed = True
+            del lo_l, hi_l
+        if not changed:
+            return
+
+
+def _body_cells(body) -> Tuple[_Cells, List[Tuple[str, str, str]]]:
+    """Bounds from a body's own constraint atoms (no producer input)."""
+    cells = _Cells()
+    dense, sets, _ = abstract_body(body)
+    pairs: List[Tuple[str, str, str]] = []
+    for _, image in dense:
+        if not isinstance(image, Comparison):
+            continue
+        left_key = _dense_key(image.left)
+        right_key = _dense_key(image.right)
+        if left_key is not None and right_key is not None:
+            pairs.append((left_key, image.op, right_key))
+        else:
+            _apply_dense(cells, image)
+    for item in body:
+        if isinstance(item, MembershipAtom):
+            key = set_element_key(item.element)
+            if key is not None:
+                cells.require(path_key(item.collection), (key,))
+        elif isinstance(item, SubsetAtom) and not isinstance(
+                item.subset, AttrPath):
+            keys = [set_element_key(term) for term in item.subset]
+            cells.require(path_key(item.superset),
+                          [key for key in keys if key is not None])
+    del sets
+    _propagate_var_pairs(cells, pairs)
+    return cells, pairs
+
+
+def _consume_summaries(cells: _Cells, rule_body,
+                       summaries: Mapping[str, PredicateSummary]
+                       ) -> Tuple[Optional[str], bool]:
+    """Intersect producer summaries into the body cells.
+
+    Returns ``(predicate, empty)`` naming the first derived predicate
+    whose summary makes the body unsatisfiable (``empty`` distinguishes
+    a provably-empty producer from a bound contradiction), or
+    ``(None, False)``.
+    """
+    for item in rule_body:
+        if not isinstance(item, Literal):
+            continue
+        summary = summaries.get(item.predicate)
+        if summary is None:
+            continue
+        if summary.empty:
+            return item.predicate, True
+        if len(summary.args) != len(item.args):
+            continue
+        for arg, info in zip(item.args, summary.args):
+            if isinstance(arg, Variable):
+                if not info.bound.is_top:
+                    cells.narrow(arg.name, info.bound)
+                for attr, bound in info.attrs.items():
+                    cells.narrow(f"{arg.name}.{attr}", bound)
+                for attr, elems in info.members.items():
+                    cells.require(f"{arg.name}.{attr}", elems)
+            elif isinstance(arg, _NUMERIC) and not isinstance(arg, bool):
+                if not info.bound.contains(arg):
+                    return item.predicate, False
+        if cells.empty:
+            return item.predicate, False
+    return None, False
+
+
+def _head_args(rule: Rule, cells: _Cells) -> List[ArgSummary]:
+    out: List[ArgSummary] = []
+    for arg in rule.head.args:
+        if isinstance(arg, Variable):
+            prefix = arg.name + "."
+            attrs = {key[len(prefix):]: bound
+                     for key, bound in cells.bounds.items()
+                     if key.startswith(prefix) and not bound.is_top}
+            members = {key[len(prefix):]: frozenset(elems)
+                       for key, elems in cells.members.items()
+                       if key.startswith(prefix) and elems}
+            out.append(ArgSummary(cells.get(arg.name), attrs, members))
+        elif isinstance(arg, _NUMERIC) and not isinstance(arg, bool):
+            out.append(ArgSummary(Interval.point(arg)))
+        else:
+            out.append(ArgSummary())
+    return out
+
+
+def analyze_dataflow(program: Program) -> DataflowResult:
+    """Run the whole-program interval dataflow to its least fixpoint."""
+    derived = program.idb_predicates() - CLASS_PREDICATES
+    summaries: Dict[str, PredicateSummary] = {
+        name: PredicateSummary(name, _predicate_arity(program, name))
+        for name in derived
+    }
+    converged = False
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        for rule in program:
+            cells, _ = _body_cells(rule.body)
+            if cells.empty:
+                continue  # locally dead: contributes bottom
+            producer, _ = _consume_summaries(cells, rule.body, summaries)
+            if producer is not None or cells.empty:
+                continue
+            current = summaries.get(rule.head.predicate)
+            if current is None or current.arity != rule.head.arity:
+                continue  # conflicting arity: stay silent (VDB004 owns it)
+            joined = current.join_rule(_head_args(rule, cells))
+            if joined != current:
+                summaries[rule.head.predicate] = joined
+                changed = True
+        if not changed:
+            converged = True
+            break
+    if not converged:
+        # Degrade to TOP for everything still unstable: sound, quiet.
+        summaries = {
+            name: PredicateSummary(
+                name, summary.arity,
+                tuple(ArgSummary() for _ in range(summary.arity)),
+                empty=False)
+            for name, summary in summaries.items()
+        }
+    flows = []
+    for index, rule in enumerate(program):
+        cells, _ = _body_cells(rule.body)
+        if cells.empty:
+            flows.append(RuleFlow(index, rule, dict(cells.bounds),
+                                  {k: frozenset(v) for k, v
+                                   in cells.members.items()},
+                                  dead_local=True))
+            continue
+        producer, empty = _consume_summaries(cells, rule.body, summaries)
+        flows.append(RuleFlow(
+            index, rule, dict(cells.bounds),
+            {k: frozenset(v) for k, v in cells.members.items()},
+            contradicts=producer, producer_empty=empty))
+    return DataflowResult(summaries, tuple(flows), converged=converged)
+
+
+def _predicate_arity(program: Program, predicate: str) -> int:
+    for rule in program:
+        if rule.head.predicate == predicate:
+            return rule.head.arity
+    return 0
+
+
+def query_bounds(query: Query, program_flow: DataflowResult
+                 ) -> Dict[str, Interval]:
+    """Answer-variable bounds for one query body under the program's
+    final summaries (the EXPLAIN-profile annotation input)."""
+    cells, _ = _body_cells(query.body)
+    _consume_summaries(cells, query.body, program_flow.summaries)
+    return {name: bound for name, bound in cells.bounds.items()
+            if not bound.is_top}

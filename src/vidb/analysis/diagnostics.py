@@ -12,14 +12,26 @@ came from the parser) a source span.  Codes are grouped:
   atoms.
 * ``VDB03x`` — structural lints: singleton variables, cartesian
   products, unreachable predicates.
+* ``VDB04x`` — whole-program findings: interval-dataflow results
+  (provably-empty predicates, inter-rule contradictions, narrowed-bound
+  annotations) and cost/cardinality advisories estimated from database
+  statistics.
+* ``VDB06x`` — streaming-safety findings for standing queries, checked
+  at ``subscribe`` time: non-monotone operators (rejected), unbounded
+  answer-set growth, deletion-sensitive joins.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from typing import TYPE_CHECKING
 
 from vidb.query.ast import SourceSpan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from vidb.analysis.dataflow import DataflowResult
 
 #: Severities, ordered from worst to mildest.
 ERROR = "error"
@@ -46,6 +58,15 @@ CODES: Dict[str, Tuple[str, str]] = {
     "VDB030": (WARNING, "singleton variable"),
     "VDB031": (WARNING, "cartesian product between body literals"),
     "VDB032": (WARNING, "predicate is unreachable from the query"),
+    "VDB040": (WARNING, "derived predicate is provably empty"),
+    "VDB041": (WARNING, "inter-rule contradiction: producer bounds are "
+                        "incompatible with this body"),
+    "VDB042": (WARNING, "estimated cartesian blowup in join"),
+    "VDB043": (INFO, "a cheaper literal ordering exists"),
+    "VDB044": (INFO, "narrowed bounds inferred for derived predicate"),
+    "VDB060": (ERROR, "standing query uses a non-monotone operator"),
+    "VDB061": (WARNING, "standing query answer set can grow without bound"),
+    "VDB062": (INFO, "standing query join is deletion-sensitive"),
 }
 
 
@@ -127,6 +148,13 @@ class AnalysisResult:
 
     diagnostics: Tuple[Diagnostic, ...] = ()
     reachable: Optional[FrozenSet[str]] = field(default=None, compare=False)
+    #: Whole-program interval dataflow (summaries + per-rule flows), when
+    #: the dataflow pass ran; consumed by EXPLAIN profiles and ``--fix``.
+    dataflow: Optional["DataflowResult"] = field(default=None, compare=False)
+    #: One streaming-safety classification dict per analyzed query
+    #: (maintenance strategy / deletion sensitivity / growth), filled only
+    #: when the run's streaming pass was on; consumed by subscriptions.
+    streaming: Tuple[Dict[str, Any], ...] = field(default=(), compare=False)
 
     @property
     def errors(self) -> Tuple[Diagnostic, ...]:
@@ -155,7 +183,9 @@ class AnalysisResult:
                 seen.add(diagnostic)
                 merged.append(diagnostic)
         return AnalysisResult(tuple(sorted(merged, key=_sort_key)),
-                              reachable=self.reachable)
+                              reachable=self.reachable,
+                              dataflow=self.dataflow,
+                              streaming=self.streaming)
 
     def as_dicts(self) -> List[dict]:
         return [d.as_dict() for d in self.diagnostics]

@@ -1,0 +1,483 @@
+"""``vidb lint --fix``: verified autofixes for VDB020/021/022/023.
+
+Two fix shapes, both *semantics-preserving by construction*:
+
+* **drop a dead rule** — a rule whose body the solvers prove
+  unsatisfiable contributes no facts, so removing it cannot change any
+  computed relation;
+* **drop a redundant constraint atom** — an atom entailed by the rest
+  of its (satisfiable) body filters nothing, so removing it leaves the
+  body's answer set unchanged.
+
+Every candidate is re-proved against the **reference** kernel before it
+is applied (the interned kernel may have produced the finding; the
+reference backend is the parity oracle), and is then accepted only if
+the re-linted document is *strictly cleaner* — no diagnostic code gets
+more findings and the total shrinks — which keeps ``--fix`` from
+trading a warning for a new one (e.g. minting a singleton variable by
+deleting an atom, or an undefined-predicate error by deleting the last
+surviving definition a consumer needs).
+
+Fixes are applied as line-level surgery on the original source using
+the parser's spans, so comments and layout outside the touched rules
+survive; an edited rule is re-rendered canonically on its own lines.
+Mutually-redundant atom pairs are handled by iterating one accepted fix
+at a time to a fixpoint (dropping both at once would change semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Counter as CounterType
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from vidb.analysis.analyzer import analyze
+from vidb.analysis.diagnostics import AnalysisResult
+from vidb.analysis.translate import abstract_body
+from vidb.constraints.dense import TRUE, conjoin
+from vidb.constraints.kernel import ConstraintKernel, get_kernel
+from vidb.errors import ConstraintError, ParseError, QueryError
+from vidb.query.ast import BodyItem, Program, Query, Rule
+from vidb.query.parser import parse_document
+from vidb.query.render import render_query, render_rule
+
+#: Upper bound on fix passes; each pass applies at most one fix, so this
+#: also bounds the number of applied fixes per document.
+MAX_PASSES = 32
+
+#: The kernel every fix is re-proved against before being applied.
+VERIFY_KERNEL = "reference"
+
+
+@dataclass(frozen=True)
+class AppliedFix:
+    """One accepted autofix, for reporting."""
+
+    kind: str  # "drop-rule" | "drop-atom"
+    line: Optional[int]
+    description: str
+
+    def render(self, path: Optional[str] = None) -> str:
+        location = path or ""
+        if self.line is not None:
+            location += f":{self.line}"
+        prefix = f"{location}: " if location else ""
+        return f"{prefix}fixed: {self.description}"
+
+
+@dataclass(frozen=True)
+class FixOutcome:
+    """The result of one ``fix_text`` run."""
+
+    text: str
+    changed: bool
+    fixes: Tuple[AppliedFix, ...] = ()
+    result: Optional[AnalysisResult] = None  # post-fix lint result
+
+
+# ---------------------------------------------------------------------------
+# solver-backed proofs (against an explicit kernel)
+# ---------------------------------------------------------------------------
+
+def _body_dead(body: Sequence[BodyItem], kernel: ConstraintKernel) -> bool:
+    """Can this body never be satisfied?  Proved, not pattern-matched."""
+    dense, sets, entailments = abstract_body(body)
+    for _, truth in entailments:
+        if not truth:
+            return True
+    try:
+        images = [image for _, image in dense]
+        if images and not kernel.satisfiable(conjoin(*images)):
+            return True
+        atoms = [image for _, image in sets]
+        if atoms and not kernel.set_satisfiable(atoms):
+            return True
+    except ConstraintError:
+        return False
+    return False
+
+
+def _redundant_atoms(body: Sequence[BodyItem],
+                     kernel: ConstraintKernel) -> List[BodyItem]:
+    """Atoms provably implied by the rest of a satisfiable body."""
+    out: List[BodyItem] = []
+    dense, sets, _ = abstract_body(body)
+    for position, (atom, image) in enumerate(dense):
+        rest = [other for i, (_, other) in enumerate(dense) if i != position]
+        try:
+            if kernel.entails(conjoin(*rest) if rest else TRUE, image):
+                out.append(atom)
+        except ConstraintError:
+            continue
+    for position, (atom, image) in enumerate(sets):
+        rest = [other for i, (_, other) in enumerate(sets) if i != position]
+        try:
+            if kernel.set_satisfiable(rest) and kernel.set_entails(
+                    rest, [image]):
+                out.append(atom)
+        except ConstraintError:
+            continue
+    return out
+
+
+# ---------------------------------------------------------------------------
+# candidate generation and acceptance
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Candidate:
+    kind: str
+    rule_index: Optional[int]  # None: the fix targets a query
+    query_index: Optional[int]
+    atom: Optional[BodyItem]
+    description: str
+    line: Optional[int]
+
+
+def _candidates(program: Program, queries: Sequence[Query],
+                kernel: ConstraintKernel) -> List[_Candidate]:
+    out: List[_Candidate] = []
+    for index, rule in enumerate(program):
+        if rule.body and _body_dead(rule.body, kernel):
+            where = f"rule {rule.name!r}" if rule.name else f"rule #{index}"
+            out.append(_Candidate(
+                "drop-rule", index, None, None,
+                f"dropped dead {where} ({rule.head.predicate}): its body "
+                "is unsatisfiable",
+                rule.span.line if rule.span else None))
+            continue  # atoms of a dead rule go with the rule
+        for atom in _redundant_atoms(rule.body, kernel):
+            where = f"rule {rule.name!r}" if rule.name else f"rule #{index}"
+            out.append(_Candidate(
+                "drop-atom", index, None, atom,
+                f"removed redundant constraint in {where}: it is implied "
+                "by the rest of the body",
+                atom.span.line if atom.span else (
+                    rule.span.line if rule.span else None)))
+    for q_index, query in enumerate(queries):
+        if _body_dead(query.body, kernel):
+            continue  # never delete a user's query, even a dead one
+        for atom in _redundant_atoms(query.body, kernel):
+            out.append(_Candidate(
+                "drop-atom", None, q_index, atom,
+                "removed redundant constraint in query: it is implied by "
+                "the rest of the body",
+                atom.span.line if atom.span else (
+                    query.span.line if query.span else None)))
+    return out
+
+
+def _without_atom(body: Sequence[BodyItem], atom: BodyItem
+                  ) -> Tuple[BodyItem, ...]:
+    return tuple(item for item in body if item is not atom)
+
+
+def _apply(program: Program, queries: Sequence[Query],
+           candidate: _Candidate
+           ) -> Optional[Tuple[Program, Tuple[Query, ...],
+                               Optional[Rule], Optional[Query]]]:
+    """The document with the candidate applied, plus the edited node
+    (None for a drop-rule).  Returns None when the AST rejects the
+    edit (e.g. a projection variable would lose its binding)."""
+    try:
+        if candidate.kind == "drop-rule":
+            rules = [rule for index, rule in enumerate(program)
+                     if index != candidate.rule_index]
+            return Program(rules), tuple(queries), None, None
+        if candidate.rule_index is not None:
+            old = program.rules[candidate.rule_index]
+            assert candidate.atom is not None
+            new_rule = Rule(old.head,
+                            _without_atom(old.body, candidate.atom),
+                            name=old.name)
+            new_rule.span = old.span
+            rules = [new_rule if index == candidate.rule_index else rule
+                     for index, rule in enumerate(program)]
+            return Program(rules), tuple(queries), new_rule, None
+        assert candidate.query_index is not None
+        assert candidate.atom is not None
+        old_query = queries[candidate.query_index]
+        new_query = Query(_without_atom(old_query.body, candidate.atom),
+                          old_query.answer_variables)
+        new_query.span = old_query.span
+        out_queries = tuple(new_query if index == candidate.query_index
+                            else query
+                            for index, query in enumerate(queries))
+        return program, out_queries, None, new_query
+    except QueryError:
+        return None
+
+
+def _code_counts(result: AnalysisResult) -> CounterType[str]:
+    return Counter(diag.code for diag in result.diagnostics)
+
+
+def _strictly_cleaner(before: CounterType[str],
+                      after: CounterType[str]) -> bool:
+    if sum(after.values()) >= sum(before.values()):
+        return False
+    return all(after[code] <= before[code] for code in after)
+
+
+# ---------------------------------------------------------------------------
+# span-driven source surgery
+# ---------------------------------------------------------------------------
+
+def _owned_ranges(program: Program, queries: Sequence[Query],
+                  total_lines: int) -> Optional[Dict[object, Tuple[int, int]]]:
+    """Map each rule/query to the 1-based source line range it owns.
+
+    An item owns the lines from its start to just before the next item,
+    minus trailing blank/comment lines (those belong to what follows).
+    Returns None when spans are missing or items share a line — the
+    caller falls back to a whole-document re-render.
+    """
+    items: List[Tuple[int, object]] = []
+    for rule in program:
+        if rule.span is None:
+            return None
+        items.append((rule.span.line, rule))
+    for query in queries:
+        if query.span is None:
+            return None
+        items.append((query.span.line, query))
+    items.sort(key=lambda pair: pair[0])
+    starts = [line for line, _ in items]
+    if len(set(starts)) != len(starts):
+        return None
+    out: Dict[object, Tuple[int, int]] = {}
+    for position, (start, item) in enumerate(items):
+        end = (items[position + 1][0] - 1 if position + 1 < len(items)
+               else total_lines)
+        out[item] = (start, end)
+    return out
+
+
+def _trim_trailing(lines: Sequence[str], start: int, end: int) -> int:
+    """Shrink *end* past trailing blank/comment lines (1-based, incl.)."""
+    while end > start:
+        stripped = lines[end - 1].strip()
+        if stripped and not stripped.startswith("%"):
+            break
+        end -= 1
+    return end
+
+
+def _rewrite(text: str, program: Program, queries: Sequence[Query],
+             candidate: _Candidate, edited_rule: Optional[Rule],
+             edited_query: Optional[Query]) -> Optional[str]:
+    lines = text.splitlines()
+    ranges = _owned_ranges(program, queries, len(lines))
+    if ranges is None:
+        return None
+    if candidate.kind == "drop-rule":
+        assert candidate.rule_index is not None
+        target: object = program.rules[candidate.rule_index]
+        replacement: List[str] = []
+    elif candidate.rule_index is not None:
+        target = program.rules[candidate.rule_index]
+        assert edited_rule is not None
+        replacement = [render_rule(edited_rule)]
+    else:
+        assert candidate.query_index is not None
+        target = queries[candidate.query_index]
+        assert edited_query is not None
+        replacement = [render_query(edited_query)]
+    start, end = ranges[target]
+    end = _trim_trailing(lines, start, end)
+    new_lines = lines[:start - 1] + replacement + lines[end:]
+    out = "\n".join(new_lines)
+    if text.endswith("\n"):
+        out += "\n"
+    return out
+
+
+def _render_document(program: Program, queries: Sequence[Query]) -> str:
+    parts = [render_rule(rule) for rule in program]
+    parts += [render_query(query) for query in queries]
+    return "\n".join(parts) + ("\n" if parts else "")
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+def fix_text(text: str, *, edb: Iterable[str] = (),
+             computed: Optional[Dict[str, int]] = None,
+             extra: Optional[Dict[str, Optional[int]]] = None,
+             closed_world: bool = False) -> FixOutcome:
+    """Apply verified autofixes to one source document.
+
+    The returned text parses, is kernel-equivalent to the input, and
+    re-lints strictly cleaner (or is the input, unchanged).
+    """
+    kernel = get_kernel(VERIFY_KERNEL)
+    edb = frozenset(edb)
+
+    def lint(program: Program, queries: Sequence[Query]) -> AnalysisResult:
+        return analyze(program, tuple(queries), edb=edb, computed=computed,
+                       extra=extra, closed_world=closed_world)
+
+    try:
+        program, queries = parse_document(text)
+    except (ParseError, QueryError):
+        return FixOutcome(text, changed=False)
+
+    fixes: List[AppliedFix] = []
+    current = text
+    result = lint(program, queries)
+    for _ in range(MAX_PASSES):
+        before = _code_counts(result)
+        applied = False
+        for candidate in _candidates(program, queries, kernel):
+            applied_doc = _apply(program, queries, candidate)
+            if applied_doc is None:
+                continue
+            new_program, new_queries, edited_rule, edited_query = applied_doc
+            new_result = lint(new_program, new_queries)
+            if not _strictly_cleaner(before, _code_counts(new_result)):
+                continue
+            new_text = _rewrite(current, program, queries, candidate,
+                                edited_rule, edited_query)
+            if new_text is None:
+                new_text = _render_document(new_program, new_queries)
+            try:
+                reparsed = parse_document(new_text)
+            except (ParseError, QueryError):
+                continue  # surgery produced garbage: skip this candidate
+            fixes.append(AppliedFix(candidate.kind, candidate.line,
+                                    candidate.description))
+            current = new_text
+            program, queries = reparsed
+            result = lint(program, queries)
+            applied = True
+            break
+        if not applied:
+            break
+    return FixOutcome(current, changed=bool(fixes), fixes=tuple(fixes),
+                      result=result)
+
+
+def fix_file(path: str, *, edb: Iterable[str] = (),
+             computed: Optional[Dict[str, int]] = None,
+             extra: Optional[Dict[str, Optional[int]]] = None,
+             closed_world: bool = False, write: bool = True) -> FixOutcome:
+    """Fix one file in place (unless ``write=False``)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    outcome = fix_text(text, edb=edb, computed=computed, extra=extra,
+                       closed_world=closed_world)
+    if write and outcome.changed:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(outcome.text)
+    return outcome
+
+
+def verify_equivalent(original: str, fixed: str,
+                      kernel_name: str = VERIFY_KERNEL) -> bool:
+    """Prove (at the abstraction level) that *fixed* is equivalent to
+    *original*: queries unchanged, every edited rule only lost atoms the
+    remaining body entails, every dropped rule had an unsatisfiable
+    body.  The test-suite oracle for the ``--fix`` round-trip property.
+    """
+    kernel = get_kernel(kernel_name)
+    try:
+        old_program, old_queries = parse_document(original)
+        new_program, new_queries = parse_document(fixed)
+    except (ParseError, QueryError):
+        return False
+
+    old_q = sorted(render_query(q) for q in old_queries)
+    new_q = [render_query(q) for q in new_queries]
+    for rendered_new in new_q:
+        if rendered_new in old_q:
+            old_q.remove(rendered_new)
+            continue
+        # An edited query: find an original whose body is a superset.
+        if not _matches_edited(rendered_new, old_queries, new_queries,
+                               kernel):
+            return False
+    # Walk rules with two pointers: fixes preserve order, only dropping
+    # rules or atoms, so every new rule matches the next compatible old.
+    position = 0
+    old_rules = list(old_program.rules)
+    for new_rule in new_program:
+        matched = False
+        while position < len(old_rules):
+            old_rule = old_rules[position]
+            position += 1
+            if _rule_matches(old_rule, new_rule, kernel):
+                matched = True
+                break
+            if not _body_dead(old_rule.body, kernel):
+                return False  # a live rule disappeared
+        if not matched:
+            return False
+    for old_rule in old_rules[position:]:
+        if not _body_dead(old_rule.body, kernel):
+            return False
+    return True
+
+
+def _rule_matches(old_rule: Rule, new_rule: Rule,
+                  kernel: ConstraintKernel) -> bool:
+    if render_rule(old_rule) == render_rule(new_rule):
+        return True
+    if old_rule.name != new_rule.name:
+        return False
+    from vidb.query.render import render_body_item
+    if render_body_item(old_rule.head) != render_body_item(new_rule.head):
+        return False
+    return _body_shrunk(old_rule.body, new_rule.body, kernel)
+
+
+def _body_shrunk(old_body: Sequence[BodyItem],
+                 new_body: Sequence[BodyItem],
+                 kernel: ConstraintKernel) -> bool:
+    """new_body ⊆ old_body and every dropped atom is entailed by it."""
+    from vidb.query.render import render_body_item
+    remaining = [render_body_item(item) for item in new_body]
+    dropped: List[BodyItem] = []
+    for item in old_body:
+        rendered = render_body_item(item)
+        if rendered in remaining:
+            remaining.remove(rendered)
+        else:
+            dropped.append(item)
+    if remaining:
+        return False  # the fix added something: not a shrink
+    if not dropped:
+        return True
+    dense, sets, _ = abstract_body(list(new_body) + dropped)
+    kept_dense = [image for atom, image in dense
+                  if not any(atom is d for d in dropped)]
+    kept_sets = [image for atom, image in sets
+                 if not any(atom is d for d in dropped)]
+    for atom in dropped:
+        match_dense = [image for a, image in dense if a is atom]
+        match_sets = [image for a, image in sets if a is atom]
+        try:
+            if match_dense:
+                base = conjoin(*kept_dense) if kept_dense else TRUE
+                if not kernel.entails(base, match_dense[0]):
+                    return False
+            elif match_sets:
+                if not kernel.set_entails(kept_sets, match_sets):
+                    return False
+            else:
+                return False  # dropped something the abstraction can't see
+        except ConstraintError:
+            return False
+    return True
+
+
+def _matches_edited(rendered_new: str, old_queries: Sequence[Query],
+                    new_queries: Sequence[Query],
+                    kernel: ConstraintKernel) -> bool:
+    new_query = next(q for q in new_queries
+                     if render_query(q) == rendered_new)
+    for old_query in old_queries:
+        if _body_shrunk(old_query.body, new_query.body, kernel):
+            return True
+    return False

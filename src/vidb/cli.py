@@ -43,7 +43,13 @@ from pathlib import Path
 from typing import List, Optional
 
 from vidb.bench.tables import format_table
-from vidb.errors import ConstraintError, ModelError, QueryError, VidbError
+from vidb.errors import (
+    ConstraintError,
+    ModelError,
+    QueryError,
+    StandingQueryError,
+    VidbError,
+)
 from vidb.presentation.edl import edl_from_query
 from vidb.query.engine import QueryEngine
 from vidb.query.execution import ExecutionOptions
@@ -107,6 +113,14 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="exit 1 when warnings were found")
     lint.add_argument("--json", action="store_true", dest="as_json",
                       help="emit diagnostics as one JSON object")
+    lint.add_argument("--fix", action="store_true",
+                      help="apply verified autofixes in place (drop dead "
+                           "rules, remove redundant constraints) before "
+                           "reporting; every fix is proved "
+                           "kernel-equivalent first")
+    lint.add_argument("--dry-run", action="store_true",
+                      help="with --fix: report the fixes without writing "
+                           "the files back")
 
     edl = sub.add_parser("edl", help="compile interval answers into an EDL")
     edl.add_argument("database")
@@ -456,16 +470,47 @@ def _cmd_lint(args) -> int:
     for path in args.files:
         if not Path(path).exists():
             raise FileNotFoundError(f"no such file: {path}")
-        result = lint_file(path, edb=edb, computed=computed,
-                           closed_world=closed_world)
+        fixes = ()
+        if args.fix:
+            from vidb.analysis import fix_file
+
+            outcome = fix_file(path, edb=edb, computed=computed,
+                               closed_world=closed_world,
+                               write=not args.dry_run)
+            fixes = outcome.fixes
+            if outcome.result is not None:
+                # Report the post-fix state: the diagnostics that remain
+                # after the accepted fixes, whether or not they were
+                # written back (--dry-run).
+                result = outcome.result
+            else:
+                result = lint_file(path, edb=edb, computed=computed,
+                                   closed_world=closed_world)
+        else:
+            result = lint_file(path, edb=edb, computed=computed,
+                               closed_world=closed_world)
         worst = max(worst, exit_code(result, strict=args.strict))
         if args.as_json:
-            payload[path] = {"diagnostics": list(result.as_dicts()),
-                             "summary": summarize(result)}
+            entry = {"diagnostics": list(result.as_dicts()),
+                     "summary": summarize(result)}
+            if args.fix:
+                entry["fixes"] = [
+                    {"kind": fix.kind, "line": fix.line,
+                     "description": fix.description}
+                    for fix in fixes
+                ]
+                entry["fixed"] = bool(fixes) and not args.dry_run
+            payload[path] = entry
         else:
+            for fix in fixes:
+                print(fix.render(path))
             for diagnostic in result.diagnostics:
                 print(diagnostic.render(path))
-            print(f"{path}: {summarize(result)}")
+            summary = summarize(result)
+            if fixes:
+                applied = ("would apply" if args.dry_run else "applied")
+                summary += f" ({applied} {len(fixes)} fix(es))"
+            print(f"{path}: {summary}")
     if args.as_json:
         print(json.dumps({"files": payload, "exit": worst}, indent=2))
     return worst
@@ -1053,10 +1098,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (QueryError, ModelError, ConstraintError,
+    except (QueryError, ModelError, ConstraintError, StandingQueryError,
             FileNotFoundError) as error:
         # User-input errors: bad query/rule text, data-model violations,
-        # unknown --kernel names, missing snapshot or rule files.  One
+        # unknown --kernel names, missing snapshot or rule files,
+        # standing queries rejected by the streaming-safety pass.  One
         # line, argparse-style code.
         print(f"error: {error}", file=sys.stderr)
         return 2

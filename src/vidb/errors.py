@@ -112,6 +112,19 @@ class ProtocolError(ServiceError):
     """A malformed request or response on the JSON-lines wire protocol."""
 
 
+class StandingQueryError(SessionError):
+    """A standing query was rejected by subscribe-time analysis.
+
+    Carries the located diagnostics (``VDB06x`` streaming-safety errors
+    and any other error-severity findings) so the server can return them
+    over the wire with spans instead of a bare message.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
 class ReadOnlyError(ServiceError):
     """A mutation was sent to a read-only server (a serving replica).
 

@@ -84,6 +84,17 @@ def format_iterations(iteration_seconds: List[float], limit: int = 12) -> str:
             if shown else "iteration times (ms): (none)")
 
 
+def format_cost_table(cost) -> str:
+    """The prepare-time cost advisories as a table."""
+    rows = [
+        {"body": label, "est_rows": est, "peak_rows": peak,
+         "blowup": blowup, "hint": hint}
+        for label, est, peak, blowup, hint in cost.rows()
+    ]
+    return format_table(rows, columns=["body", "est_rows", "peak_rows",
+                                       "blowup", "hint"])
+
+
 def format_profile(report) -> str:
     """The full profile text for one execution report."""
     stats = report.stats
@@ -105,6 +116,18 @@ def format_profile(report) -> str:
     if report.aggregates:
         sections.append("-- hot calls --\n"
                         + format_aggregate_table(report.aggregates))
+    cost = getattr(report, "cost", None)
+    if cost is not None and cost.costs:
+        sections.append("-- cost (estimated) --\n" + format_cost_table(cost))
+    bounds = getattr(report, "bounds", ())
+    if bounds:
+        sections.append("-- inferred bounds --\n"
+                        + "\n".join(bounds))
+    advisories = [d for d in getattr(report, "diagnostics", ())
+                  if d.code in ("VDB042", "VDB043")]
+    if advisories:
+        sections.append("-- advisories --\n"
+                        + "\n".join(d.render() for d in advisories))
     sections.append(format_iterations(stats.iteration_seconds))
     if report.trace is not None:
         sections.append("-- span tree --\n" + report.trace.render())

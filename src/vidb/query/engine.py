@@ -33,10 +33,18 @@ from typing import (
     Union,
 )
 
-from vidb.analysis.analyzer import ProgramAnalyzer
-from vidb.analysis.diagnostics import Diagnostic
+from vidb.analysis.analyzer import ProgramAnalyzer, _LruCache
+from vidb.analysis.checks import reachable_predicates
+from vidb.analysis.cost import CostReport, Stats, estimate_program
+from vidb.analysis.dataflow import query_bounds
+from vidb.analysis.diagnostics import AnalysisResult, Diagnostic
 from vidb.constraints.kernel import KernelSpec, resolve_kernel
-from vidb.errors import QueryError, SafetyError, UnknownPredicateError
+from vidb.errors import (
+    QueryError,
+    SafetyError,
+    StandingQueryError,
+    UnknownPredicateError,
+)
 from vidb.model.oid import Oid
 from vidb.obs.tracer import NULL_TRACER, Tracer, activate
 from vidb.query import stdlib
@@ -60,6 +68,7 @@ from vidb.query.fixpoint import (
     evaluate,
 )
 from vidb.query.parser import parse_program, parse_query
+from vidb.query.render import normalize_query
 from vidb.query.safety import check_program, check_query
 from vidb.storage.database import VideoDatabase
 
@@ -247,6 +256,11 @@ class QueryEngine:
         #: fingerprint + normalized query, so the warm path is a lookup.
         self.analyze = analyze
         self._analyzer = ProgramAnalyzer()
+        #: Cost/cardinality advisories, cached per (program version,
+        #: normalized query, database epoch) — the epoch key means the
+        #: warm path re-estimates only after an actual mutation.
+        self._cost_cache = _LruCache(256)
+        self._program_version = 0
         self.program = Program()
         self.computed: Dict[str, Tuple[int, ComputedPredicate]] = (
             stdlib.computed_predicates()
@@ -271,13 +285,30 @@ class QueryEngine:
         candidate = self.program.extend(addition)
         check_program(candidate, edb_relations=self.db.relation_names())
         self.program = candidate
+        self._program_version += 1
         return self
 
     def register_computed(self, name: str, arity: int,
                           fn: ComputedPredicate) -> "QueryEngine":
         """Register a filter-only computed predicate."""
         self.computed[name] = (arity, fn)
+        self._program_version += 1
         return self
+
+    def invalidate_analysis(self) -> None:
+        """Drop every cached analysis and cost result.
+
+        Cache keys are value-based (program fingerprint, EDB relation
+        names, database epoch), so stale hits are impossible even
+        without this call — but schema-affecting mutations such as
+        ``declare_relation`` should still invalidate explicitly so dead
+        entries are reclaimed and the closed-world undefined-predicate
+        contract is visibly re-evaluated.  The service executor calls
+        this whenever a transaction changes the set of relation names.
+        """
+        self._analyzer.clear()
+        self._cost_cache.clear()
+        self._program_version += 1
 
     # -- evaluation -----------------------------------------------------------
     def materialize(self, provenance: Optional[Dict] = None) -> FixpointResult:
@@ -325,11 +356,19 @@ class QueryEngine:
             prune = (self.prune_rules if options.prune_rules is None
                      else options.prune_rules)
             diagnostics: Tuple[Diagnostic, ...] = ()
+            cost: Optional[CostReport] = None
+            bounds: Tuple[str, ...] = ()
             analyze = (self.analyze if options.analyze is None
                        else options.analyze)
             with stage("analyze"):
                 if analyze:
-                    diagnostics = self._prepare_analysis(query, prune)
+                    analysis = self._prepare_analysis(query, prune)
+                    if analysis is not None:
+                        diagnostics = analysis.diagnostics
+                        bounds = self._bounds_lines(query, analysis)
+                    cost, cost_diags = self._cost_estimate(query, prune)
+                    if cost_diags:
+                        diagnostics = tuple(diagnostics) + cost_diags
             answer_vars = query.answer_variables
             if answer_vars:
                 head = Literal(ANSWER_PREDICATE, list(answer_vars))
@@ -367,18 +406,19 @@ class QueryEngine:
             answers=answers, stats=stats, options=options,
             trace=tracer.root() if options.trace else None,
             aggregates=dict(tracer.aggregates) if options.trace else {},
-            diagnostics=diagnostics,
+            diagnostics=diagnostics, cost=cost, bounds=bounds,
         )
 
     def _prepare_analysis(self, query: Query,
-                          prune: bool) -> Tuple[Diagnostic, ...]:
+                          prune: bool) -> Optional[AnalysisResult]:
         """Prepare-time static analysis for one query.
 
         Raises on blocking errors (so broken queries fail before the
-        fixpoint spends any time) and returns the remaining diagnostics
-        for the report.  An error that lives inside a rule the evaluation
-        will prune away does not block — the fixpoint would never have
-        reached it — but is still surfaced as a diagnostic.
+        fixpoint spends any time) and returns the analysis result whose
+        diagnostics go on the report.  An error that lives inside a rule
+        the evaluation will prune away does not block — the fixpoint
+        would never have reached it — but is still surfaced as a
+        diagnostic.
         """
         try:
             analysis = self._analyzer.analyze(
@@ -390,7 +430,11 @@ class QueryEngine:
         except Exception:
             # The analyzer is advisory infrastructure: a defect in it must
             # never take down query execution.
-            return ()
+            return None
+        self._raise_blocking(analysis, prune)
+        return analysis
+
+    def _raise_blocking(self, analysis: AnalysisResult, prune: bool) -> None:
         rules = self.program.rules
         reachable = analysis.reachable
         for diag in analysis.errors:
@@ -400,8 +444,76 @@ class QueryEngine:
                     continue
             if diag.code == "VDB006":
                 raise UnknownPredicateError(diag.message)
+            if diag.code.startswith("VDB06"):
+                raise StandingQueryError(diag.message,
+                                         diagnostics=analysis.diagnostics)
             raise SafetyError(diag.message)
-        return analysis.diagnostics
+
+    def _cost_estimate(self, query: Query, prune: bool
+                       ) -> Tuple[Optional[CostReport],
+                                  Tuple[Diagnostic, ...]]:
+        """Cost advisories for one query, cached per database epoch."""
+        try:
+            key = (self._program_version, normalize_query(query),
+                   self.db.epoch, prune)
+        except Exception:
+            return None, ()
+        cached = self._cost_cache.get(key)
+        if cached is not None:
+            return cached
+        try:
+            stats = Stats.from_database(self.db)
+            relevant = None
+            if prune:
+                relevant = reachable_predicates(
+                    self.program, _goal_predicates(query.body))
+            report = estimate_program(
+                self.program, stats, computed=tuple(self.computed),
+                queries=(query,), relevant=relevant)
+            value = (report, report.diagnostics())
+        except Exception:
+            # Advisory infrastructure: estimation defects must never
+            # take down query execution.
+            value = (None, ())
+        self._cost_cache.put(key, value)
+        return value
+
+    def _bounds_lines(self, query: Query, analysis: AnalysisResult
+                      ) -> Tuple[str, ...]:
+        """Rendered dataflow bounds for the profile (query-relevant)."""
+        flow = analysis.dataflow
+        if flow is None:
+            return ()
+        reachable = analysis.reachable
+        lines = [summary.render() for summary in flow.narrowed()
+                 if reachable is None or summary.predicate in reachable]
+        try:
+            for name, interval in sorted(query_bounds(query, flow).items()):
+                lines.append(f"query: {name} in {interval.render()}")
+        except Exception:
+            pass
+        return tuple(lines)
+
+    def analyze_standing(self, query: Union[str, Query]) -> AnalysisResult:
+        """Full prepare-time analysis for a *standing* query.
+
+        Runs every regular pass plus the streaming-safety pass (VDB06x)
+        and raises :class:`~vidb.errors.StandingQueryError` on any
+        error-severity finding, carrying the located diagnostics — the
+        subscribe-time contract mirroring ``execute``'s prepare path.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        check_query(query)
+        analysis = self._analyzer.analyze(
+            self.program, query,
+            edb=self.db.relation_names(),
+            computed={name: arity
+                      for name, (arity, _) in self.computed.items()},
+            streaming=True,
+        )
+        self._raise_blocking(analysis, self.prune_rules)
+        return analysis
 
     def query(self, query: Union[str, Query],
               provenance: Optional[Dict] = None) -> AnswerSet:

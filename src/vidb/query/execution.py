@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 from vidb.errors import EvaluationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from vidb.analysis.cost import CostReport
     from vidb.analysis.diagnostics import Diagnostic
     from vidb.obs.tracer import Span
     from vidb.query.engine import AnswerSet
@@ -141,6 +142,11 @@ class ExecutionReport:
     #: Static-analysis findings from prepare time (warnings/infos only:
     #: errors raise instead of producing a report).
     diagnostics: Tuple["Diagnostic", ...] = ()
+    #: Cost/cardinality estimates from prepare time (None when analysis
+    #: or estimation was off); rendered as the profile's cost section.
+    cost: Optional["CostReport"] = None
+    #: Rendered interval-dataflow bounds relevant to this query.
+    bounds: Tuple[str, ...] = ()
 
     @property
     def elapsed_s(self) -> float:
@@ -167,6 +173,14 @@ class ExecutionReport:
         }
         if self.diagnostics:
             out["diagnostics"] = [d.as_dict() for d in self.diagnostics]
+        if self.cost is not None and self.cost.costs:
+            out["cost"] = [
+                {"label": c.label, "estimate": round(c.estimate, 2),
+                 "peak": round(c.peak, 2), "blowup": round(c.blowup, 2)}
+                for c in self.cost.costs
+            ]
+        if self.bounds:
+            out["bounds"] = list(self.bounds)
         if self.trace is not None:
             out["trace"] = self.trace.as_dict()
         if self.aggregates:

@@ -631,8 +631,16 @@ class ServiceExecutor:
                 "this server is a read-only replica; "
                 "send writes to the primary")
         with self._lock.write_locked():
+            before = frozenset(self.db.relation_names())
             with self.db.transaction():
                 result = fn(self.db)
+            if frozenset(self.db.relation_names()) != before:
+                # The EDB schema changed (declare_relation, first fact of
+                # a new relation, ...): drop the cached analysis so the
+                # closed-world undefined-predicate verdicts — and the
+                # cost estimates built on the old relation set — are
+                # recomputed against the new schema.
+                self._engine.invalidate_analysis()
         self.metrics.inc("writes.applied")
         return result
 

@@ -108,6 +108,7 @@ from vidb.errors import (
     ServiceError,
     ServiceOverloadedError,
     SessionError,
+    StandingQueryError,
     VidbError,
 )
 from vidb.analysis.lint import summarize as lint_summary
@@ -120,6 +121,7 @@ ERROR_KINDS = {
     "overloaded": ServiceOverloadedError,
     "timeout": QueryTimeoutError,
     "closed": ServiceClosedError,
+    "standing": StandingQueryError,
     "session": SessionError,
     "protocol": ProtocolError,
     "read_only": ReadOnlyError,
@@ -342,14 +344,29 @@ class _Handler(socketserver.StreamRequestHandler):
             max_queue = request.get("max_queue")
             if max_queue is not None and not isinstance(max_queue, int):
                 raise ProtocolError("'max_queue' must be an integer")
-            subscription = service.subscribe(
-                text, filter=filter_, max_queue=max_queue,
-                session_id=session.id, detached=bool(request.get("detach")))
+            try:
+                subscription = service.subscribe(
+                    text, filter=filter_, max_queue=max_queue,
+                    session_id=session.id,
+                    detached=bool(request.get("detach")))
+            except StandingQueryError as error:
+                # Rejected by subscribe-time streaming-safety analysis:
+                # ship the located diagnostics so the client can point
+                # at the offending rule/query spans.
+                return {"ok": False, "error": "standing",
+                        "message": str(error),
+                        "diagnostics": [d.as_dict()
+                                        for d in error.diagnostics]}, True
             session.subscription_ids.append(subscription.id)
             return {"ok": True, "id": subscription.id,
                     "variables": list(subscription.variables),
                     "epoch": service.db.epoch,
-                    "detached": subscription.detached}, True
+                    "detached": subscription.detached,
+                    "maintenance":
+                        subscription.classification.get("maintenance"),
+                    "diagnostics": [d.as_dict()
+                                    for d in subscription.diagnostics
+                                    if d.code.startswith("VDB06")]}, True
         if op == "unsubscribe":
             sub_id = _required(request, "id", str)
             return {"ok": True, "id": sub_id,
@@ -657,7 +674,12 @@ class ServiceClient:
         if not response.get("ok"):
             kind = response.get("error", "service")
             message = response.get("message", "server error")
-            raise ERROR_KINDS.get(kind, ServiceError)(message)
+            error = ERROR_KINDS.get(kind, ServiceError)(message)
+            if isinstance(error, StandingQueryError):
+                # Re-attach the located diagnostics (as wire dicts) so
+                # callers can render the spans the server pointed at.
+                error.diagnostics = tuple(response.get("diagnostics") or ())
+            raise error
         head = response.get("head_lsn")
         if isinstance(head, int) and head > self.session_lsn:
             self.session_lsn = head

@@ -70,6 +70,16 @@ class Subscription:
         else:
             self.text = repr(query)
         check_query(query)
+        # Subscribe-time streaming-safety analysis: error-severity
+        # findings (VDB06x non-monotone operators, VDB006 unknown
+        # predicates, safety errors) raise here, *before* any view is
+        # built, and the subscribe op ships the located diagnostics to
+        # the client.  The classification (incremental maintenance,
+        # deletion sensitivity, growth) is surfaced via describe().
+        analysis = engine.analyze_standing(query)
+        self.diagnostics = analysis.diagnostics
+        self.classification: Dict[str, Any] = dict(
+            analysis.streaming[0]) if analysis.streaming else {}
         answer_vars = query.answer_variables
         if answer_vars:
             head = Literal(ANSWER_PREDICATE, list(answer_vars))
@@ -218,6 +228,10 @@ class Subscription:
             "lag_events": self.lag_events,
             "rebuilds": self.view.rebuilds,
             "closed": self.closed,
+            "maintenance": self.classification.get("maintenance"),
+            "deletion_sensitive":
+                self.classification.get("deletion_sensitive"),
+            "unbounded_growth": self.classification.get("unbounded_growth"),
         }
 
     def __repr__(self) -> str:

@@ -42,7 +42,7 @@ class TestExitContract:
 
     def test_warnings_are_zero_without_strict(self, capsys):
         assert main(["lint", FIXTURE]) == 0
-        assert "7 warnings" in capsys.readouterr().out
+        assert "9 warnings" in capsys.readouterr().out
 
     def test_warnings_are_one_with_strict(self, capsys):
         assert main(["lint", FIXTURE, "--strict"]) == 1
@@ -76,7 +76,7 @@ class TestOutput:
         payload = json.loads(capsys.readouterr().out)
         assert payload["exit"] == 0
         entry = payload["files"][FIXTURE]
-        assert entry["summary"] == "7 warnings"
+        assert entry["summary"] == "9 warnings"
         codes = {d["code"] for d in entry["diagnostics"]}
         assert {"VDB020", "VDB023", "VDB030", "VDB031", "VDB032"} <= codes
         spans = [d["span"] for d in entry["diagnostics"]]
@@ -109,3 +109,57 @@ class TestDatabaseFlag:
 class TestShippedExamples:
     def test_examples_lint_clean_under_strict(self):
         assert main(["lint", *EXAMPLES, "--strict"]) == 0
+
+
+FIXABLE = """\
+% a redundant atom the fixer can drop
+warm(G) :- interval(G), G.start > 10, G.start > 2.
+?- warm(G).
+"""
+
+
+class TestFixFlag:
+    @pytest.fixture
+    def fixable_file(self, tmp_path):
+        path = tmp_path / "fixable.vdb"
+        path.write_text(FIXABLE)
+        return path
+
+    def test_fix_rewrites_in_place(self, fixable_file, capsys):
+        assert main(["lint", str(fixable_file), "--fix"]) == 0
+        out = capsys.readouterr().out
+        assert "fixed:" in out
+        assert "applied 1 fix(es)" in out
+        rewritten = fixable_file.read_text()
+        assert "G.start > 2" not in rewritten
+        assert "G.start > 10" in rewritten
+        assert "% a redundant atom" in rewritten  # comments survive
+
+    def test_dry_run_leaves_file_alone(self, fixable_file, capsys):
+        assert main(["lint", str(fixable_file), "--fix", "--dry-run"]) == 0
+        assert "would apply 1 fix(es)" in capsys.readouterr().out
+        assert fixable_file.read_text() == FIXABLE
+
+    def test_fixed_file_lints_clean_under_strict(self, fixable_file):
+        main(["lint", str(fixable_file), "--fix"])
+        assert main(["lint", str(fixable_file), "--strict"]) == 0
+
+    def test_fix_reports_remaining_diagnostics(self, fixable_file, capsys):
+        # Post-fix state is what gets reported: the fixed file has no
+        # VDB023 left.
+        main(["lint", str(fixable_file), "--fix"])
+        out = capsys.readouterr().out
+        assert "VDB023" not in out
+
+    def test_fix_json_payload(self, fixable_file, capsys):
+        assert main(["lint", str(fixable_file), "--fix", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        entry = payload["files"][str(fixable_file)]
+        assert entry["fixed"] is True
+        assert entry["fixes"][0]["kind"] == "drop-atom"
+        assert entry["fixes"][0]["line"] == 2
+
+    def test_fix_on_clean_file_is_noop(self, clean_file, capsys):
+        assert main(["lint", clean_file, "--fix"]) == 0
+        out = capsys.readouterr().out
+        assert "fixed:" not in out

@@ -1,0 +1,184 @@
+"""Unit tests for the cost/cardinality estimator (VDB042/VDB043)."""
+
+from vidb.analysis.cost import (
+    CostReport,
+    Stats,
+    estimate_program,
+)
+from vidb.query.parser import parse_document, parse_program, parse_query
+from vidb.storage.database import VideoDatabase
+
+
+def stats(**relations):
+    entities = relations.pop("entities", 100)
+    intervals = relations.pop("intervals", 100)
+    return Stats(relations=relations, entities=entities, intervals=intervals)
+
+
+def codes(report: CostReport):
+    return [d.code for d in report.diagnostics()]
+
+
+class TestStats:
+    def test_from_database(self):
+        db = VideoDatabase("cost-test")
+        db.declare_relation("appears")
+        entity = db.new_entity("o1")
+        db.new_interval("gi1", entities=[entity.oid], duration=[(0, 10)])
+        db.relate("appears", "o1", "gi1")
+        snapshot = Stats.from_database(db)
+        assert snapshot.entities == 1
+        assert snapshot.intervals == 1
+        assert snapshot.relations["appears"] == 1
+
+    def test_size_of_class_predicates(self):
+        snapshot = stats(appears=7, entities=3, intervals=5)
+        assert snapshot.size_of("object") == 3.0
+        assert snapshot.size_of("interval") == 5.0
+        assert snapshot.size_of("appears") == 7.0
+        assert snapshot.size_of("nonexistent") is None
+
+
+class TestVDB042CartesianBlowup:
+    def test_cartesian_pair_blows_up(self):
+        program = parse_program(
+            "pair(X, Y) :- appears(X, G), appears(Y, H).")
+        report = estimate_program(program, stats(appears=200))
+        diags = report.diagnostics()
+        assert [d.code for d in diags if d.code == "VDB042"]
+        blowup = [d for d in diags if d.code == "VDB042"][0]
+        assert blowup.severity == "warning"
+        assert blowup.span is not None
+        assert blowup.rule_index == 0
+
+    def test_joined_body_does_not_blow_up(self):
+        program = parse_program(
+            "joined(X, G) :- appears(X, G), starts(G, T).")
+        report = estimate_program(program, stats(appears=200, starts=200))
+        assert "VDB042" not in codes(report)
+
+    def test_small_inputs_stay_quiet(self):
+        # 10 x 10 = 100 < BLOWUP_ROWS: too small to be worth a warning.
+        program = parse_program(
+            "pair(X, Y) :- appears(X, G), appears(Y, H).")
+        report = estimate_program(program, stats(appears=10))
+        assert "VDB042" not in codes(report)
+
+    def test_query_body_is_estimated_too(self):
+        query = parse_query("?- appears(X, G), appears(Y, H).")
+        report = estimate_program(parse_program(""), stats(appears=200),
+                                  queries=(query,))
+        found = [d for d in report.diagnostics() if d.code == "VDB042"]
+        assert found and found[0].rule_index is None
+
+
+class TestVDB043Reordering:
+    def test_selective_literal_first_is_suggested(self):
+        # big first then a selective filter via the tiny relation:
+        # putting `tiny` first bounds X before the big scan.
+        program = parse_program(
+            "slow(X, Y) :- big(X, Y), tiny(X).")
+        report = estimate_program(program, stats(big=100000, tiny=2))
+        found = [d for d in report.diagnostics() if d.code == "VDB043"]
+        assert found
+        assert found[0].severity == "info"
+        assert "tiny" in found[0].message
+
+    def test_already_optimal_order_stays_quiet(self):
+        program = parse_program(
+            "fast(X, Y) :- tiny(X), big(X, Y).")
+        report = estimate_program(program, stats(big=100000, tiny=2))
+        assert "VDB043" not in codes(report)
+
+    def test_pure_cartesian_has_no_reorder_fix(self):
+        # No order fixes a genuine cartesian product: VDB042 without a
+        # spurious VDB043.
+        program = parse_program(
+            "pair(X, Y) :- appears(X, G), appears(Y, H).")
+        report = estimate_program(program, stats(appears=200))
+        assert "VDB042" in codes(report)
+        assert "VDB043" not in codes(report)
+
+
+class TestDerivedSizing:
+    def test_derived_predicate_sizes_propagate(self):
+        program = parse_program("""
+            seen(X) :- appears(X, G).
+            popular(X) :- seen(X), starred(X).
+        """)
+        report = estimate_program(program, stats(appears=500, starred=10))
+        assert report.sizes["seen"] > 0
+        assert "popular" in report.sizes
+
+    def test_relevant_filter_skips_unreachable_rules(self):
+        program = parse_program("""
+            pair(X, Y) :- appears(X, G), appears(Y, H).
+            seen(X) :- appears(X, G).
+        """)
+        report = estimate_program(program, stats(appears=200),
+                                  relevant=frozenset({"seen"}))
+        labels = [cost.label for cost in report.costs]
+        assert not any("pair" in label for label in labels)
+        # sizes still cover the whole program
+        assert "pair" in report.sizes
+
+
+class TestProfileRows:
+    def test_rows_render_reorder_hint(self):
+        program = parse_program("slow(X, Y) :- big(X, Y), tiny(X).")
+        report = estimate_program(program, stats(big=100000, tiny=2))
+        rows = report.rows()
+        assert rows
+        hints = [hint for (_, _, _, _, hint) in rows]
+        assert any(hint.startswith("reorder:") for hint in hints)
+
+
+class TestEngineIntegration:
+    def build_engine(self):
+        from vidb.query.engine import QueryEngine
+
+        db = VideoDatabase("cost-engine")
+        db.declare_relation("appears")
+        for i in range(40):
+            entity = db.new_entity(f"o{i}")
+            db.new_interval(f"gi{i}", entities=[entity.oid],
+                            duration=[(i, i + 1)])
+            db.relate("appears", f"o{i}", f"gi{i}")
+        return QueryEngine(db, rules="pair(X, Y) :- appears(X, G), "
+                                     "appears(Y, H).")
+
+    def test_report_carries_cost_and_advisories(self):
+        engine = self.build_engine()
+        report = engine.execute("?- pair(X, Y).")
+        assert report.cost is not None
+        assert report.cost.costs
+        assert any(d.code == "VDB042" for d in report.diagnostics)
+
+    def test_cost_cache_hits_on_warm_path(self):
+        engine = self.build_engine()
+        engine.execute("?- pair(X, Y).")
+        cached = len(engine._cost_cache)
+        engine.execute("?- pair(X, Y).")
+        assert len(engine._cost_cache) == cached  # same key, no growth
+
+    def test_cost_cache_invalidated_by_epoch(self):
+        engine = self.build_engine()
+        engine.execute("?- pair(X, Y).")
+        before = len(engine._cost_cache)
+        engine.db.new_entity("fresh")
+        engine.execute("?- pair(X, Y).")
+        assert len(engine._cost_cache) == before + 1
+
+    def test_profile_renders_cost_section(self):
+        engine = self.build_engine()
+        report = engine.execute("?- pair(X, Y).", trace=True)
+        profile = report.profile()
+        assert "-- cost (estimated) --" in profile
+        assert "-- advisories --" in profile
+        assert "VDB042" in profile
+
+    def test_as_dict_exposes_cost(self):
+        engine = self.build_engine()
+        payload = engine.execute("?- pair(X, Y).").as_dict()
+        assert "cost" in payload
+        assert payload["cost"][0]["peak"] > 0

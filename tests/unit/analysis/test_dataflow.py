@@ -1,0 +1,195 @@
+"""Unit tests for the interval-dataflow pass (VDB040/041/044).
+
+Every seeded defect is asserted with its ``VDB0xx`` code, severity and
+source span — same acceptance surface as the per-rule passes.
+"""
+
+from vidb.analysis import analyze
+from vidb.analysis.dataflow import (
+    Interval,
+    analyze_dataflow,
+    query_bounds,
+)
+from vidb.query.parser import parse_document, parse_program, parse_query
+
+
+def lint(text, **kwargs):
+    program, queries = parse_document(text)
+    return analyze(program, queries, **kwargs)
+
+
+def only(result, code):
+    found = [d for d in result.diagnostics if d.code == code]
+    assert len(found) == 1, \
+        f"expected exactly one {code}, got {[d.code for d in result.diagnostics]}"
+    return found[0]
+
+
+class TestInterval:
+    def test_point_and_containment(self):
+        point = Interval.point(5)
+        assert point.contains(5)
+        assert not point.contains(6)
+        assert not point.is_empty
+
+    def test_intersect_disjoint_is_empty(self):
+        above = Interval.from_op(">", 100)
+        below = Interval.from_op("<", 50)
+        assert above.intersect(below).is_empty
+
+    def test_intersect_open_endpoints_meet_empty(self):
+        # (10, inf) ∩ (-inf, 10) is empty; so is [10, inf) ∩ (-inf, 10).
+        assert Interval.from_op(">", 10).intersect(
+            Interval.from_op("<", 10)).is_empty
+        assert Interval.from_op(">=", 10).intersect(
+            Interval.from_op("<", 10)).is_empty
+        assert not Interval.from_op(">=", 10).intersect(
+            Interval.from_op("<=", 10)).is_empty
+
+    def test_hull_is_join(self):
+        low = Interval.from_op("<", 5)
+        high = Interval.from_op(">", 100)
+        hull = low.hull(high)
+        assert hull.contains(0) and hull.contains(1000) and hull.contains(50)
+
+    def test_top_absorbs(self):
+        top = Interval.top()
+        narrow = Interval.from_op(">", 3)
+        assert top.intersect(narrow) == narrow
+        assert top.hull(narrow).is_top
+
+    def test_render_ascii(self):
+        assert Interval.from_op(">", 100).render() == "(100, +inf)"
+        assert Interval.point(5).render() == "[5, 5]"
+
+
+class TestDataflowFixpoint:
+    RULES = """
+        hot(X) :- object(X), X.temp > 100.
+        cold(X) :- object(X), X.temp < 0.
+        warm(X) :- hot(X), X.temp < 50.
+        both(X) :- hot(X), X.temp < 200.
+    """
+
+    def test_narrowed_summaries(self):
+        program = parse_program(self.RULES)
+        flow = analyze_dataflow(program)
+        assert flow.converged
+        names = {s.predicate for s in flow.narrowed()}
+        assert "hot" in names and "both" in names
+
+    def test_contradicting_consumer_is_flagged(self):
+        program = parse_program(self.RULES)
+        flow = analyze_dataflow(program)
+        warm = [f for f in flow.flows if f.rule.head.predicate == "warm"]
+        assert warm and warm[0].contradicts
+        assert not warm[0].dead_local  # dead only via hot's bounds
+
+    def test_empty_predicates(self):
+        program = parse_program(self.RULES)
+        flow = analyze_dataflow(program)
+        assert "warm" in flow.empty_predicates()
+        assert "hot" not in flow.empty_predicates()
+
+
+class TestVDB040:
+    def test_provably_empty_predicate(self):
+        result = lint("""
+            hot(X) :- object(X), X.temp > 100.
+            warm(X) :- hot(X), X.temp < 50.
+            ?- warm(X).
+        """)
+        diagnostic = only(result, "VDB040")
+        assert diagnostic.severity == "warning"
+        assert diagnostic.predicate == "warm"
+        assert diagnostic.span is not None
+        assert diagnostic.span.line == 3
+
+    def test_negative_compatible_bounds(self):
+        result = lint("""
+            hot(X) :- object(X), X.temp > 100.
+            hotter(X) :- hot(X), X.temp > 200.
+            ?- hotter(X).
+        """)
+        assert "VDB040" not in result.codes()
+        assert "VDB041" not in result.codes()
+
+
+class TestVDB041:
+    def test_inter_rule_contradiction_span_points_at_consumer(self):
+        result = lint("""
+            hot(X) :- object(X), X.temp > 100.
+            warm(X) :- hot(X), X.temp < 50.
+            ?- warm(X).
+        """)
+        found = [d for d in result.diagnostics if d.code == "VDB041"]
+        rule_level = [d for d in found if d.rule_index == 1]
+        assert rule_level, [d.as_dict() for d in found]
+        assert rule_level[0].severity == "warning"
+        assert rule_level[0].span.line == 3
+
+    def test_query_consuming_empty_predicate(self):
+        result = lint("""
+            hot(X) :- object(X), X.temp > 100.
+            never(X) :- hot(X), X.temp < 50.
+            ?- never(X).
+        """)
+        query_level = [d for d in result.diagnostics
+                       if d.code == "VDB041" and d.rule_index is None]
+        assert query_level
+        assert query_level[0].span.line == 4
+
+    def test_no_contradiction_no_vdb041(self):
+        result = lint("""
+            hot(X) :- object(X), X.temp > 100.
+            sauna(X) :- hot(X), X.temp < 500.
+            ?- sauna(X).
+        """)
+        assert "VDB041" not in result.codes()
+
+    def test_empty_producer_flavor(self):
+        # The producer is empty for its own local reasons (VDB020);
+        # consumers get the empty-producer flavor of VDB041.
+        result = lint("""
+            dead(G) :- interval(G), G.start < 3, G.start > 5.
+            user(G) :- dead(G).
+            ?- user(G).
+        """)
+        found = [d for d in result.diagnostics
+                 if d.code == "VDB041" and d.rule_index == 1]
+        assert found
+        assert "empty" in found[0].message
+
+
+class TestVDB044:
+    def test_annotate_bounds_emits_infos(self):
+        program, queries = parse_document(
+            "hot(X) :- object(X), X.temp > 100.\n?- hot(X).\n")
+        result = analyze(program, queries, annotate_bounds=True)
+        diagnostic = only(result, "VDB044")
+        assert diagnostic.severity == "info"
+        assert "(100, +inf)" in diagnostic.message
+
+    def test_off_by_default(self):
+        result = lint("hot(X) :- object(X), X.temp > 100.\n?- hot(X).\n")
+        assert "VDB044" not in result.codes()
+
+
+class TestQueryBounds:
+    def test_bounds_for_query_variables(self):
+        program = parse_program("hot(X) :- object(X), X.temp > 100.")
+        flow = analyze_dataflow(program)
+        query = parse_query("?- hot(X), X.temp < 200.")
+        bounds = query_bounds(query, flow)
+        key = [k for k in bounds if "temp" in k]
+        assert key, bounds
+        interval = bounds[key[0]]
+        assert interval.contains(150)
+        assert not interval.contains(50)
+        assert not interval.contains(250)
+
+    def test_unbounded_query_has_no_entries(self):
+        program = parse_program("seen(X) :- object(X).")
+        flow = analyze_dataflow(program)
+        bounds = query_bounds(parse_query("?- seen(X)."), flow)
+        assert not any(not v.is_top for v in bounds.values())

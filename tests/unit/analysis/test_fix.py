@@ -1,0 +1,164 @@
+"""Unit + property tests for the ``vidb lint --fix`` autofixer.
+
+Invariants (checked both on goldens and property-generated programs):
+the fixed text parses, re-lints strictly cleaner (or is unchanged), and
+is kernel-equivalent to the input.
+"""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from vidb.analysis import fix_text, verify_equivalent
+from vidb.analysis.lint import lint_text
+from vidb.query.parser import parse_document
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[3] / "examples" / "rules").glob("*.vdb"))
+
+
+def counts(text, **kwargs):
+    from collections import Counter
+
+    return Counter(d.code for d in lint_text(text, **kwargs).diagnostics)
+
+
+class TestDropDeadRule:
+    TEXT = (
+        "% the dead one\n"
+        "dead(G) :- interval(G), G.start < 3, G.start > 5.\n"
+        "live(G) :- interval(G), G.start > 0.\n"
+        "?- live(G).\n"
+    )
+
+    def test_dead_rule_dropped(self):
+        outcome = fix_text(self.TEXT)
+        assert outcome.changed
+        assert "dead(G)" not in outcome.text
+        assert "live(G)" in outcome.text
+        assert any(fix.kind == "drop-rule" for fix in outcome.fixes)
+
+    def test_fix_reports_line(self):
+        outcome = fix_text(self.TEXT)
+        drop = [fix for fix in outcome.fixes if fix.kind == "drop-rule"][0]
+        assert drop.line == 2
+
+    def test_result_is_post_fix_lint(self):
+        outcome = fix_text(self.TEXT)
+        assert outcome.result is not None
+        assert "VDB020" not in {d.code for d in outcome.result.diagnostics}
+
+    def test_equivalence_verified(self):
+        outcome = fix_text(self.TEXT)
+        assert verify_equivalent(self.TEXT, outcome.text)
+
+
+class TestDropRedundantAtom:
+    TEXT = (
+        "warm(G) :- interval(G), G.start > 10, G.start > 2.\n"
+        "?- warm(G).\n"
+    )
+
+    def test_redundant_atom_removed(self):
+        outcome = fix_text(self.TEXT)
+        assert outcome.changed
+        assert "G.start > 2" not in outcome.text
+        assert "G.start > 10" in outcome.text
+        assert any(fix.kind == "drop-atom" for fix in outcome.fixes)
+
+    def test_strictly_cleaner(self):
+        before = counts(self.TEXT)
+        outcome = fix_text(self.TEXT)
+        after = counts(outcome.text)
+        assert sum(after.values()) < sum(before.values())
+        assert all(after[code] <= before[code] for code in before)
+
+
+class TestConservatism:
+    def test_clean_document_is_untouched(self):
+        text = "live(G) :- interval(G), G.start > 0.\n?- live(G).\n"
+        outcome = fix_text(text)
+        assert not outcome.changed
+        assert outcome.text == text
+
+    def test_unparseable_document_is_untouched(self):
+        text = "this is not a rule document"
+        outcome = fix_text(text)
+        assert not outcome.changed
+        assert outcome.text == text
+
+    def test_queried_dead_rule_kept_when_drop_would_mint_warning(self):
+        # Dropping the only defining rule of a queried predicate would
+        # mint an undefined-predicate finding: not strictly cleaner, so
+        # the fixer must leave it alone.
+        text = ("dead(G) :- interval(G), G.start < 3, G.start > 5.\n"
+                "?- dead(G).\n")
+        outcome = fix_text(text)
+        assert "dead(G)" in outcome.text
+
+    def test_comments_and_layout_survive(self):
+        text = (
+            "% keep me\n"
+            "warm(G) :- interval(G), G.start > 10, G.start > 2.\n"
+            "\n"
+            "% me too\n"
+            "?- warm(G).\n"
+        )
+        outcome = fix_text(text)
+        assert outcome.changed
+        assert "% keep me" in outcome.text
+        assert "% me too" in outcome.text
+
+
+class TestExampleCorpus:
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_examples_round_trip(self, path):
+        original = path.read_text(encoding="utf-8")
+        outcome = fix_text(original)
+        # The shipped examples lint clean, so --fix must not touch them.
+        assert outcome.text == original
+        parse_document(outcome.text)  # and the output always parses
+        assert verify_equivalent(original, outcome.text)
+
+
+# -- property test -----------------------------------------------------------
+
+_OPS = ("<", "<=", ">", ">=")
+
+
+@st.composite
+def rule_documents(draw):
+    """Small rule documents with seeded contradictions/redundancies."""
+    lines = []
+    n_rules = draw(st.integers(min_value=1, max_value=4))
+    for index in range(n_rules):
+        atoms = ["interval(G)"]
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            op = draw(st.sampled_from(_OPS))
+            value = draw(st.integers(min_value=0, max_value=20))
+            atoms.append(f"G.start {op} {value}")
+        lines.append(f"p{index}(G) :- {', '.join(atoms)}.")
+    queried = draw(st.integers(min_value=0, max_value=n_rules - 1))
+    lines.append(f"?- p{queried}(G).")
+    return "\n".join(lines) + "\n"
+
+
+class TestFixProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(rule_documents())
+    def test_fix_invariants(self, text):
+        outcome = fix_text(text)
+        # 1. the output always parses
+        parse_document(outcome.text)
+        # 2. re-lint is never worse, strictly cleaner when changed
+        before = counts(text)
+        after = counts(outcome.text)
+        assert all(after[code] <= before[code] for code in after)
+        if outcome.changed:
+            assert sum(after.values()) < sum(before.values())
+        else:
+            assert outcome.text == text
+        # 3. kernel equivalence
+        assert verify_equivalent(text, outcome.text)

@@ -59,8 +59,8 @@ class TestSeededFixture:
     def test_fixture_has_warnings_but_no_errors(self):
         result = lint_file(FIXTURE)
         assert not result.has_errors
-        assert len(result.warnings) == 7
-        assert summarize(result) == "7 warnings"
+        assert len(result.warnings) == 9
+        assert summarize(result) == "9 warnings"
 
     def test_fixture_renders_compiler_style_lines(self):
         result = lint_file(FIXTURE)

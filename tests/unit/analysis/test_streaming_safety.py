@@ -1,0 +1,147 @@
+"""Unit tests for the streaming-safety pass (VDB060/061/062) and the
+subscribe-time rejection contract."""
+
+import pytest
+
+from vidb.analysis import analyze
+from vidb.analysis.checks import MAINT_INCREMENTAL, MAINT_REJECTED
+from vidb.errors import StandingQueryError
+from vidb.query.engine import QueryEngine
+from vidb.query.parser import parse_document
+from vidb.storage.database import VideoDatabase
+
+
+def lint_streaming(text, **kwargs):
+    program, queries = parse_document(text)
+    kwargs.setdefault("closed_world", False)
+    return analyze(program, queries, streaming=True, **kwargs)
+
+
+def build_db():
+    db = VideoDatabase("streaming-safety")
+    db.declare_relation("appears")
+    entity = db.new_entity("o1")
+    db.new_interval("gi1", entities=[entity.oid], duration=[(0, 10)])
+    return db
+
+
+class TestVDB060NonMonotone:
+    def test_negated_query_is_error(self):
+        result = lint_streaming(
+            "?- interval(G), object(O), not appears(O, G).")
+        found = [d for d in result.diagnostics if d.code == "VDB060"]
+        assert found
+        assert found[0].severity == "error"
+        assert found[0].span is not None
+
+    def test_negation_in_relevant_rule_is_error(self):
+        result = lint_streaming("""
+            absent(O, G) :- interval(G), object(O), not appears(O, G).
+            ?- absent(O, G).
+        """)
+        found = [d for d in result.diagnostics if d.code == "VDB060"]
+        rule_level = [d for d in found if d.rule_index is not None]
+        assert rule_level
+        assert rule_level[0].span.line == 2
+
+    def test_negation_in_irrelevant_rule_does_not_block(self):
+        # The negated rule is unreachable from the standing query; the
+        # classification stays incremental.
+        result = lint_streaming("""
+            absent(O, G) :- interval(G), object(O), not appears(O, G).
+            seen(O) :- appears(O, G).
+            ?- seen(O).
+        """)
+        assert "VDB060" not in result.codes()
+
+    def test_monotone_query_is_clean(self):
+        result = lint_streaming("?- appears(O, G).")
+        assert "VDB060" not in result.codes()
+
+
+class TestVDB061UnboundedGrowth:
+    def test_constructive_rule_warns(self):
+        result = lint_streaming("""
+            merged(G ++ H) :- appears(O, G), appears(O, H).
+            ?- merged(K).
+        """)
+        found = [d for d in result.diagnostics if d.code == "VDB061"]
+        assert found
+        assert found[0].severity == "warning"
+
+    def test_plain_rules_stay_quiet(self):
+        result = lint_streaming("""
+            seen(O) :- appears(O, G).
+            ?- seen(O).
+        """)
+        assert "VDB061" not in result.codes()
+
+
+class TestVDB062DeletionSensitivity:
+    def test_multi_literal_join_is_info(self):
+        result = lint_streaming("?- appears(O, G), appears(O, H).")
+        found = [d for d in result.diagnostics if d.code == "VDB062"]
+        assert found
+        assert found[0].severity == "info"
+
+    def test_single_literal_query_stays_quiet(self):
+        result = lint_streaming("?- appears(O, G).")
+        assert "VDB062" not in result.codes()
+
+
+class TestClassification:
+    def test_incremental_classification(self):
+        result = lint_streaming("?- appears(O, G).")
+        assert result.streaming
+        assert result.streaming[0]["maintenance"] == MAINT_INCREMENTAL
+
+    def test_rejected_classification(self):
+        result = lint_streaming(
+            "?- interval(G), object(O), not appears(O, G).")
+        assert result.streaming[0]["maintenance"] == MAINT_REJECTED
+
+    def test_deletion_sensitivity_flag(self):
+        result = lint_streaming("?- appears(O, G), appears(O, H).")
+        assert result.streaming[0]["deletion_sensitive"] is True
+
+
+class TestAnalyzeStanding:
+    def test_clean_standing_query_returns_analysis(self):
+        engine = QueryEngine(build_db())
+        analysis = engine.analyze_standing("?- appears(O, G).")
+        assert analysis.streaming
+        assert analysis.streaming[0]["maintenance"] == MAINT_INCREMENTAL
+
+    def test_non_monotone_standing_query_raises(self):
+        engine = QueryEngine(build_db())
+        with pytest.raises(StandingQueryError) as exc:
+            engine.analyze_standing(
+                "?- interval(G), object(O), not appears(O, G).")
+        assert exc.value.diagnostics  # located diagnostics ride along
+        assert any(d.code == "VDB060" for d in exc.value.diagnostics)
+
+    def test_subscription_rejected_before_view_build(self):
+        from vidb.stream.hub import StreamHub
+        from vidb.stream.standing import SubscriptionManager
+
+        db = build_db()
+        engine = QueryEngine(db)
+        hub = StreamHub(db)
+        manager = SubscriptionManager(hub)
+        with pytest.raises(StandingQueryError):
+            manager.subscribe(
+                "?- interval(G), object(O), not appears(O, G).", engine)
+        assert manager.count() == 0
+
+    def test_accepted_subscription_describes_classification(self):
+        from vidb.stream.hub import StreamHub
+        from vidb.stream.standing import SubscriptionManager
+
+        db = build_db()
+        engine = QueryEngine(db)
+        hub = StreamHub(db)
+        manager = SubscriptionManager(hub)
+        sub = manager.subscribe("?- appears(O, G).", engine)
+        entry = sub.describe()
+        assert entry["maintenance"] == MAINT_INCREMENTAL
+        assert entry["deletion_sensitive"] is False

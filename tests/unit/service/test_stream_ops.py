@@ -6,7 +6,13 @@ import time
 
 import pytest
 
-from vidb.errors import ModelError, ProtocolError, ServiceError, SessionError
+from vidb.errors import (
+    ModelError,
+    ProtocolError,
+    ServiceError,
+    SessionError,
+    StandingQueryError,
+)
 from vidb.service.executor import ServiceExecutor
 from vidb.service.server import ServiceClient, VideoServer
 from vidb.storage.database import VideoDatabase
@@ -131,6 +137,64 @@ class TestSubscribeOverTheWire:
         with pytest.raises(ProtocolError):
             client.request("subscribe", query="?- appears(O, G).",
                            filter=["not", "a", "dict"])
+
+
+class TestSubscribeAnalysis:
+    """Subscribe-time streaming-safety analysis over the wire."""
+
+    NEGATED = "?- interval(G), object(O), not appears(O, G)."
+
+    def test_non_monotone_query_rejected_with_diagnostics(self, client):
+        with pytest.raises(StandingQueryError) as exc:
+            client.subscribe(self.NEGATED)
+        diagnostics = exc.value.diagnostics
+        assert diagnostics, "rejection must carry located diagnostics"
+        codes = [d["code"] for d in diagnostics]
+        assert "VDB060" in codes
+        located = [d for d in diagnostics if d["code"] == "VDB060"][0]
+        assert located["severity"] == "error"
+        assert located["span"]["line"] >= 1  # span survives the wire
+
+    def test_rejection_registers_no_subscription(self, client):
+        with pytest.raises(StandingQueryError):
+            client.subscribe(self.NEGATED)
+        assert client.subscriptions() == []
+
+    def test_accepted_subscription_reports_classification(self, client):
+        sub = client.subscribe("?- appears(O, G).")
+        assert sub["maintenance"] == "incremental"
+        [entry] = client.subscriptions()
+        assert entry["maintenance"] == "incremental"
+        assert entry["deletion_sensitive"] is False
+
+    def test_deletion_sensitive_join_warns_but_subscribes(self, client):
+        sub = client.subscribe("?- appears(O, G), appears(O, H).")
+        codes = [d["code"] for d in sub.get("diagnostics", ())]
+        assert "VDB062" in codes
+        [entry] = client.subscriptions()
+        assert entry["deletion_sensitive"] is True
+
+
+class TestSchemaInvalidation:
+    """declare_relation must invalidate the engine's cached analysis."""
+
+    def test_unknown_relation_then_declared(self, client):
+        from vidb.errors import QueryError
+
+        with pytest.raises(QueryError):
+            client.query("?- meets(G, H).")
+        client.declare_relation("meets")
+        reply = client.query("?- meets(G, H).")
+        assert reply["count"] == 0  # declared, empty: runs clean now
+
+    def test_subscribe_after_declare(self, client):
+        from vidb.errors import QueryError
+
+        with pytest.raises(QueryError):
+            client.subscribe("?- follows(A, B).")
+        client.declare_relation("follows")
+        sub = client.subscribe("?- follows(A, B).")
+        assert sub["variables"] == ["A", "B"]
 
 
 class TestSessionLifecycle:

@@ -1,0 +1,155 @@
+"""Tests for tools/lint_concurrency.py (the CI concurrency gate)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[3]
+TOOL = REPO / "tools" / "lint_concurrency.py"
+
+spec = importlib.util.spec_from_file_location("lint_concurrency", TOOL)
+assert spec is not None and spec.loader is not None
+lint_concurrency = importlib.util.module_from_spec(spec)
+sys.modules.setdefault("lint_concurrency", lint_concurrency)
+spec.loader.exec_module(lint_concurrency)
+
+
+def run_on(tmp_path, source):
+    path = tmp_path / "sample.py"
+    path.write_text(source)
+    findings = []
+    edges = {}
+    lint_concurrency.lint_file(path, findings, edges)
+    for (a, b) in lint_concurrency.find_cycles(edges):
+        at, line = edges[(a, b)]
+        findings.append(lint_concurrency.Finding(
+            at, line, "(module)", "lock-order-inversion", f"{a} <-> {b}"))
+    return findings
+
+
+class TestBlockingUnderWriteLock:
+    def test_sleep_under_write_lock_flagged(self, tmp_path):
+        findings = run_on(tmp_path, """
+import time
+
+class Svc:
+    def bad(self):
+        with self._lock.write_locked():
+            time.sleep(1)
+""")
+        rules = [f.rule for f in findings]
+        assert "blocking-under-write-lock" in rules
+
+    def test_sleep_under_read_lock_is_fine(self, tmp_path):
+        findings = run_on(tmp_path, """
+import time
+
+class Svc:
+    def ok(self):
+        with self._lock.read_locked():
+            time.sleep(1)
+""")
+        assert not [f for f in findings
+                    if f.rule == "blocking-under-write-lock"]
+
+    def test_socket_recv_under_write_lock_flagged(self, tmp_path):
+        findings = run_on(tmp_path, """
+class Svc:
+    def bad(self):
+        with self._lock.write_locked():
+            self.sock.recv(4096)
+""")
+        assert [f for f in findings
+                if f.rule == "blocking-under-write-lock"]
+
+    def test_nested_function_body_not_charged(self, tmp_path):
+        # A closure defined (not called) under the lock runs later.
+        findings = run_on(tmp_path, """
+import time
+
+class Svc:
+    def ok(self):
+        with self._lock.write_locked():
+            def later():
+                time.sleep(1)
+            self.defer(later)
+""")
+        assert not [f for f in findings
+                    if f.rule == "blocking-under-write-lock"]
+
+
+class TestLockOrderInversion:
+    ABBA = """
+class Svc:
+    def a(self):
+        with self._alock:
+            with self._block:
+                pass
+
+    def b(self):
+        with self._block:
+            with self._alock:
+                pass
+"""
+
+    def test_abba_cycle_flagged(self, tmp_path):
+        findings = run_on(tmp_path, self.ABBA)
+        assert [f for f in findings if f.rule == "lock-order-inversion"]
+
+    def test_consistent_order_is_fine(self, tmp_path):
+        findings = run_on(tmp_path, """
+class Svc:
+    def a(self):
+        with self._alock:
+            with self._block:
+                pass
+
+    def b(self):
+        with self._alock:
+            with self._block:
+                pass
+""")
+        assert not [f for f in findings
+                    if f.rule == "lock-order-inversion"]
+
+    def test_same_named_locks_of_other_classes_not_conflated(self, tmp_path):
+        findings = run_on(tmp_path, """
+class A:
+    def fwd(self):
+        with self._alock:
+            with self._block:
+                pass
+
+class B:
+    def rev(self):
+        with self._block:
+            with self._alock:
+                pass
+""")
+        assert not [f for f in findings
+                    if f.rule == "lock-order-inversion"]
+
+
+class TestRepoGate:
+    def test_src_vidb_is_clean(self, capsys):
+        assert lint_concurrency.main([]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_allowlist_suppresses(self, tmp_path, monkeypatch, capsys):
+        bad = tmp_path / "svc.py"
+        bad.write_text("""
+import time
+
+class Svc:
+    def bad(self):
+        with self._lock.write_locked():
+            time.sleep(1)
+""")
+        allow = tmp_path / "allow.txt"
+        monkeypatch.setattr(lint_concurrency, "ALLOWLIST", allow)
+        assert lint_concurrency.main([str(bad)]) == 1
+        capsys.readouterr()
+        allow.write_text(
+            f"{bad.as_posix()}::Svc.bad::blocking-under-write-lock\n")
+        assert lint_concurrency.main([str(bad)]) == 0
+        assert "1 allowlisted" in capsys.readouterr().out
