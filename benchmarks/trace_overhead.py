@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""CI smoke check: distributed tracing with sampling off must be free.
+
+The distributed-tracing acceptance bound says the wire hot path with
+``--trace-sample 0`` (and no client-sent traceparent header) may cost
+less than 5%.  The pre-instrumentation binary is not available to CI,
+so — like ``tracer_overhead.py`` — this bounds the overhead from first
+principles:
+
+1. micro-benchmark the three primitives the unsampled path runs — the
+   header-absent sampling decision in ``_traced_dispatch`` (a dict get,
+   a frozenset test, a rate-0 ``should_sample`` that never touches the
+   RNG), the forced-retention timing pair around a traced-eligible op
+   (two ``perf_counter`` calls plus ``is_slow``), and the ambient
+   ``current_context()`` probe the stream hub runs per committed delta;
+2. measure a representative query through a real
+   :class:`~vidb.service.executor.ServiceExecutor`;
+3. assert the per-request primitive cost is under 5% of that query.
+
+Exits non-zero (with a report) on any violation.  Run as::
+
+    PYTHONPATH=src python benchmarks/trace_overhead.py
+"""
+
+import sys
+import time
+
+from vidb.obs.trace import FlightRecorder, current_context
+from vidb.service.executor import ServiceExecutor
+from vidb.workloads.generator import WorkloadConfig, random_database
+
+QUERY = ("?- interval(G1), interval(G2), object(O), "
+         "O in G1.entities, O in G2.entities.")
+OVERHEAD_BUDGET = 0.05   # the acceptance bound: <5% with sampling at 0
+LOOPS = 100_000
+
+_TRACED_OPS = frozenset({"query", "execute"})
+REQUEST = {"op": "query", "query": QUERY}
+
+
+def per_call(fn, loops=LOOPS, repeat=5):
+    """Best-of-*repeat* seconds for one call of *fn* (loop-amortized)."""
+    best = float("inf")
+    for __ in range(repeat):
+        start = time.perf_counter()
+        for __ in range(loops):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best / loops
+
+
+def best_of(fn, repeat=5):
+    best = float("inf")
+    for __ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main():
+    recorder = FlightRecorder(capacity=16, sample_rate=0.0,
+                              slow_threshold_s=0.25)
+
+    def decision():
+        # What _traced_dispatch runs for a header-less request at rate 0.
+        header = REQUEST.get("trace")
+        if header is not None:
+            return True
+        if REQUEST["op"] in _TRACED_OPS:
+            return recorder.should_sample()
+        return False
+
+    def timing():
+        # The forced-retention bracket around a traced-eligible op.
+        began = time.perf_counter()
+        duration = time.perf_counter() - began
+        return recorder.is_slow(duration)
+
+    def ambient():
+        # The stream hub's per-delta trace stamp probe.
+        return current_context()
+
+    decision_s = per_call(decision)
+    timing_s = per_call(timing)
+    ambient_s = per_call(ambient)
+
+    db = random_database(WorkloadConfig(
+        entities=100, intervals=200, facts=200, seed=102))
+    with ServiceExecutor(db, use_stdlib_rules=True,
+                         trace_sample=0.0) as service:
+        service.execute(QUERY)  # warm up
+        query_s = best_of(lambda: service.execute(QUERY))
+
+    # One request pays the decision and the timing bracket; a write
+    # additionally pays one ambient probe per committed delta.
+    overhead_s = decision_s + timing_s + ambient_s
+    fraction = overhead_s / query_s
+
+    print(f"sampling decision:     {decision_s * 1e9:9.1f} ns")
+    print(f"timing bracket:        {timing_s * 1e9:9.1f} ns")
+    print(f"ambient probe:         {ambient_s * 1e9:9.1f} ns")
+    print(f"query via executor:    {query_s * 1e3:9.3f} ms")
+    print(f"disabled overhead:     {fraction * 100:9.4f} %  "
+          f"(budget {OVERHEAD_BUDGET * 100:.0f}%)")
+
+    if fraction >= OVERHEAD_BUDGET:
+        print(f"FAIL: unsampled tracing overhead {fraction * 100:.3f}% "
+              f">= {OVERHEAD_BUDGET * 100:.0f}% budget", file=sys.stderr)
+        return 1
+    print("ok: unsampled distributed tracing is within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,10 @@ Commands::
     vidb ingest dump.jsonl --port 7421   bulk-load an annotation dump
     vidb ingest --generate --out d.jsonl write a synthetic dump
     vidb top --port 7421                 live QPS/latency/cache view
+    vidb top --cluster H:P               fleet view via a router
+    vidb client --cluster --trace query ...   traced query via a router
+    vidb trace --cluster H:P             recent distributed traces
+    vidb trace TRACE_ID --cluster H:P    render one cross-process tree
 
 Exit status 0 on success, 2 on a user-input error (bad query syntax,
 model violations, missing files — plus argparse's own usage errors),
@@ -194,6 +198,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="BATCHES",
                        help="notification batches buffered per "
                             "subscription before lagging (default 256)")
+    _trace_flags(serve)
     serve.add_argument("--no-streaming", action="store_true",
                        help="disable the streaming layer (no standing "
                             "queries, no observer-fed views)")
@@ -271,6 +276,7 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="bounded wait for session-consistency "
                                 "(min_lsn) reads before failing with a "
                                 "lagging error (default 2)")
+    _trace_flags(replicate)
 
     router = sub.add_parser(
         "router", help="route one endpoint across a primary and replicas")
@@ -295,6 +301,19 @@ def _build_parser() -> argparse.ArgumentParser:
     router.add_argument("--event-log", default=None, metavar="PATH",
                         help="append structured JSON events to PATH "
                              "('-' for stderr)")
+    router.add_argument("--scrape-interval", type=float, default=2.0,
+                        metavar="SECONDS",
+                        help="seconds between fleet telemetry scrapes "
+                             "(the aggregated per-node /metrics and "
+                             "cluster_health views; default 2)")
+    router.add_argument("--trace-sample", type=float, default=0.0,
+                        metavar="RATE",
+                        help="head-sampling rate for requests arriving "
+                             "without a traceparent header (default 0; "
+                             "client-sampled requests are always traced)")
+    router.add_argument("--trace-capacity", type=int, default=256,
+                        metavar="N",
+                        help="flight-recorder ring size (default 256)")
 
     promote = sub.add_parser(
         "promote", help="fail over: promote a replica to primary")
@@ -321,11 +340,23 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="seconds between refreshes (default 2)")
     top.add_argument("--once", action="store_true",
                      help="render a single frame and exit")
+    top.add_argument("--cluster", nargs="?", const="127.0.0.1:7430",
+                     default=None, metavar="HOST:PORT",
+                     help="render the fleet view from a router's "
+                          "cluster_health op instead of one server "
+                          "(default router 127.0.0.1:7430)")
 
     client = sub.add_parser(
         "client", help="talk to a running vidb server")
     client.add_argument("--host", default="127.0.0.1")
     client.add_argument("--port", type=int, default=7421)
+    client.add_argument("--cluster", nargs="?", const="127.0.0.1:7430",
+                        default=None, metavar="HOST:PORT",
+                        help="talk to a cluster router instead of one "
+                             "server (default router 127.0.0.1:7430)")
+    client.add_argument("--trace", action="store_true",
+                        help="send a sampled traceparent header and print "
+                             "the trace id (inspect with 'vidb trace')")
     client.add_argument("--timeout", type=float, default=30.0,
                         help="socket timeout in seconds")
     client.add_argument("--repeat", type=int, default=1,
@@ -345,8 +376,42 @@ def _build_parser() -> argparse.ArgumentParser:
              "entity OID [k=v...] | interval OID LO-HI[,LO-HI...] "
              "[ENTITY...] | relate NAME ARG... | declare NAME | "
              "subscribe '?- ...' | unsubscribe ID | poll ID [WAIT_S] | "
-             "subscriptions | listen '?- ...'")
+             "subscriptions | listen '?- ...' | cluster_health")
+
+    trace_p = sub.add_parser(
+        "trace", help="list or render distributed traces from a flight "
+                      "recorder")
+    trace_p.add_argument("trace_id", nargs="?", default=None,
+                         help="render this trace as a cross-process span "
+                              "tree (omit to list recent traces)")
+    trace_p.add_argument("--host", default="127.0.0.1")
+    trace_p.add_argument("--port", type=int, default=7421)
+    trace_p.add_argument("--cluster", nargs="?", const="127.0.0.1:7430",
+                         default=None, metavar="HOST:PORT",
+                         help="ask a router, which fans the fetch out "
+                              "across the whole fleet (default router "
+                              "127.0.0.1:7430)")
+    trace_p.add_argument("--limit", type=int, default=20,
+                         help="recent traces to list (default 20)")
+    trace_p.add_argument("--json", action="store_true", dest="as_json",
+                         help="print raw segments as JSON")
     return parser
+
+
+def _trace_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-sample", type=float, default=0.0,
+                        metavar="RATE",
+                        help="head-sampling rate for requests arriving "
+                             "without a traceparent header (0..1, default "
+                             "0; errored and slow requests are always "
+                             "retained, client-sampled requests always "
+                             "traced)")
+    parser.add_argument("--trace-capacity", type=int, default=256,
+                        metavar="N",
+                        help="flight-recorder ring size (default 256)")
+    parser.add_argument("--trace-sink", default=None, metavar="PATH",
+                        help="also append every retained trace segment "
+                             "as a JSON line to PATH")
 
 
 def _common_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -637,7 +702,10 @@ def _cmd_serve(args) -> int:
             read_only=args.read_only,
             streaming=not args.no_streaming,
             max_subscriptions=args.max_subscriptions,
-            subscription_queue=args.subscription_queue)
+            subscription_queue=args.subscription_queue,
+            trace_sample=args.trace_sample,
+            trace_capacity=args.trace_capacity,
+            trace_sink=args.trace_sink)
         ready_state["service"] = service
         with service, VideoServer(service, args.host, args.port) as server:
             host, port = server.address
@@ -718,7 +786,10 @@ def _replica_serve(args) -> int:
                    poll_interval_s=max(0.05, args.interval),
                    lsn_wait_s=args.lsn_wait,
                    promote_data_dir=args.promote_data_dir,
-                   event_log=event_log)
+                   event_log=event_log,
+                   trace_sample=args.trace_sample,
+                   trace_capacity=args.trace_capacity,
+                   trace_sink=args.trace_sink)
     if args.server is not None:
         host, port = _parse_hostport(args.server, "--server")
         server = ReplicaServer.from_primary(host, port, **options)
@@ -765,16 +836,21 @@ def _cmd_router(args) -> int:
     router = ClusterRouter(
         primary, replicas, host=args.host, port=args.port,
         probe_interval_s=args.probe_interval, max_lag_lsn=args.max_lag,
-        metrics=registry, event_log=event_log)
+        metrics=registry, event_log=event_log,
+        trace_sample=args.trace_sample, trace_capacity=args.trace_capacity,
+        scrape_interval_s=args.scrape_interval)
     with contextlib.ExitStack() as cleanup:
         cleanup.callback(router.close)
         cleanup.callback(event_log.close)
         if args.metrics_port is not None:
             from vidb.obs.exporter import MetricsExporter
 
+            # The router's own counters plus the federated per-node
+            # series the scrape loop aggregates, in one exposition.
             exporter = MetricsExporter(
                 registry, port=args.metrics_port,
-                ready=lambda: {"router": True}).start_background()
+                ready=lambda: {"router": True},
+                extra_render=router.fleet_exposition).start_background()
             cleanup.callback(exporter.close)
             mhost, mport = exporter.address
             print(f"router metrics on http://{mhost}:{mport}/metrics",
@@ -897,11 +973,25 @@ def _print_answers(response: dict) -> None:
     print(f"{response.get('count', len(rows))} answer(s)")
 
 
+def _cluster_endpoint(args):
+    """``--cluster [HOST:PORT]`` overrides ``--host``/``--port``."""
+    if args.cluster is not None:
+        return _parse_hostport(args.cluster, "--cluster")
+    return args.host, args.port
+
+
 def _cmd_client(args) -> int:
     from vidb.service.server import ServiceClient
 
+    host, port = _cluster_endpoint(args)
+    trace_context = None
+    if args.trace:
+        from vidb.obs.trace import TraceContext
+
+        trace_context = TraceContext.new(sampled=True)
     op, *rest = args.request
-    with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
+    with ServiceClient(host, port, timeout=args.timeout,
+                       trace_context=trace_context) as client:
         for __ in range(max(1, args.repeat)):
             if op == "query":
                 if len(rest) != 1:
@@ -955,6 +1045,10 @@ def _cmd_client(args) -> int:
                     print(json.dumps(event, sort_keys=True))
             elif op == "cluster":
                 reply = client.request("cluster")
+                reply.pop("ok", None)
+                print(json.dumps(reply, indent=2, sort_keys=True))
+            elif op == "cluster_health":
+                reply = client.cluster_health()
                 reply.pop("ok", None)
                 print(json.dumps(reply, indent=2, sort_keys=True))
             elif op == "wal":
@@ -1011,6 +1105,8 @@ def _cmd_client(args) -> int:
                         break
             else:
                 raise VidbError(f"unknown client op {op!r}")
+    if trace_context is not None:
+        print(f"trace {trace_context.trace_id}")
     return 0
 
 
@@ -1066,10 +1162,49 @@ def _cmd_ingest(args) -> int:
 
 def _cmd_top(args) -> int:
     from vidb.service.server import ServiceClient
-    from vidb.service.top import top_loop
+    from vidb.service.top import cluster_top_loop, top_loop
 
-    with ServiceClient(args.host, args.port) as client:
+    host, port = _cluster_endpoint(args)
+    with ServiceClient(host, port) as client:
+        if args.cluster is not None:
+            return cluster_top_loop(client, args.interval, once=args.once)
         return top_loop(client, args.interval, once=args.once)
+
+
+def _cmd_trace(args) -> int:
+    from vidb.obs.trace import node_label, render_trace
+    from vidb.service.server import ServiceClient
+
+    host, port = _cluster_endpoint(args)
+    with ServiceClient(host, port) as client:
+        if args.trace_id is None:
+            rows = client.traces(limit=args.limit)
+            if args.as_json:
+                print(json.dumps(rows, indent=2, sort_keys=True))
+            elif not rows:
+                print("(no traces recorded — sample with --trace-sample "
+                      "or 'vidb client --trace')")
+            else:
+                for row in rows:
+                    duration = row.get("duration_ms", 0.0)
+                    spans = "  +spans" if row.get("spans") else ""
+                    print(f"{row.get('trace_id', '?')}  "
+                          f"{duration:>10.3f} ms  "
+                          f"{row.get('status', '?'):<5} "
+                          f"{row.get('op', '?'):<10} "
+                          f"@ {node_label(row.get('node', {}))}{spans}")
+            return 0
+        reply = client.trace(id=args.trace_id)
+        segments = reply.get("segments") or []
+        if not segments:
+            raise VidbError(
+                f"no segments for trace {args.trace_id!r}: it was never "
+                f"sampled, or the flight recorder evicted it")
+        if args.as_json:
+            print(json.dumps(segments, indent=2, sort_keys=True))
+        else:
+            print(render_trace(segments, trace_id=args.trace_id))
+    return 0
 
 
 _COMMANDS = {
@@ -1089,6 +1224,7 @@ _COMMANDS = {
     "promote": _cmd_promote,
     "client": _cmd_client,
     "top": _cmd_top,
+    "trace": _cmd_trace,
     "ingest": _cmd_ingest,
 }
 

@@ -55,7 +55,10 @@ class ReplicaServer:
                  max_workers: int = 4,
                  engine_options: Optional[Dict[str, Any]] = None,
                  metrics=None,
-                 event_log: Optional[EventLog] = None):
+                 event_log: Optional[EventLog] = None,
+                 trace_sample: float = 0.0,
+                 trace_capacity: int = 256,
+                 trace_sink: Optional[str] = None):
         self.replica = replica
         self.events = event_log if event_log is not None else get_event_log()
         self.poll_interval_s = max(0.01, poll_interval_s)
@@ -74,7 +77,9 @@ class ReplicaServer:
             replica.db, rules=rules, use_stdlib_rules=use_stdlib_rules,
             max_workers=max_workers, engine_options=engine_options,
             metrics=metrics, event_log=event_log,
-            read_only=True, replica=replica, lsn_wait_s=lsn_wait_s)
+            read_only=True, replica=replica, lsn_wait_s=lsn_wait_s,
+            trace_sample=trace_sample, trace_capacity=trace_capacity,
+            trace_sink=trace_sink)
         self.service.promote_hook = self.promote
         self.server = VideoServer(self.service, host, port)
         self.promoted = False

@@ -30,7 +30,22 @@ scaling:
 Router-specific ops::
 
     {"op": "cluster"}                      topology + health + counters
+    {"op": "cluster_health"}               fleet summary: nodes + rollups
+    {"op": "traces"}                       fleet-wide trace summaries
+    {"op": "trace", "id": "<trace_id>"}    fan-out segment fetch
     {"op": "repoint", "host": H, "port": P}   new primary after failover
+
+Observability (see docs/OBSERVABILITY.md): the router participates in
+distributed tracing — a request carrying a sampled traceparent header
+gets a router *segment* (``router.<op>`` wrapping a ``router.forward``
+span per backend attempt) recorded into the router's own flight
+recorder, and the forwarded request carries the router segment's
+context so the backend's spans nest under it.  A background scrape
+loop collects every member's ``metrics`` snapshot into a
+:class:`~vidb.obs.fleet.FleetAggregator`; ``vidb router
+--metrics-port`` serves the federated per-node exposition next to the
+router's own counters, and ``cluster_health`` summarizes the fleet for
+``vidb top --cluster``.
 """
 
 from __future__ import annotations
@@ -45,7 +60,10 @@ from typing import Any, Dict, List, Optional, Tuple, cast
 
 from vidb.errors import ClusterError, ProtocolError
 from vidb.obs.events import EventLog, get_event_log
+from vidb.obs.fleet import FleetAggregator, render_fleet_exposition
 from vidb.obs.metrics import MetricsRegistry
+from vidb.obs.trace import FlightRecorder, parse_traceparent
+from vidb.obs.tracer import Tracer, current_tracer
 
 #: Ops the router load-balances across replicas: stateless reads whose
 #: answer depends only on committed data (plus the client's LSN token).
@@ -202,7 +220,10 @@ class ClusterRouter:
                  connect_timeout: float = 5.0,
                  request_timeout: float = 30.0,
                  metrics: Optional[MetricsRegistry] = None,
-                 event_log: Optional[EventLog] = None):
+                 event_log: Optional[EventLog] = None,
+                 trace_sample: float = 0.0,
+                 trace_capacity: int = 256,
+                 scrape_interval_s: float = 2.0):
         self.primary = (primary[0], int(primary[1]))
         #: Bumped on :meth:`repoint`; client handlers compare it to know
         #: their cached primary connection points at a dead generation.
@@ -223,6 +244,15 @@ class ClusterRouter:
                      "router.fallbacks", "router.replica_errors",
                      "router.primary_errors"):
             self.metrics.counter(name)
+        #: Router-side trace segments (see :mod:`vidb.obs.trace`).  The
+        #: router never head-samples on its own — ``trace_sample`` here
+        #: only matters for requests that arrive without any header —
+        #: it mostly honors the sampling decision the client made.
+        self.flight_recorder = FlightRecorder(capacity=trace_capacity,
+                                              sample_rate=trace_sample)
+        #: Federated member telemetry, fed by the scrape loop.
+        self.fleet = FleetAggregator()
+        self.scrape_interval_s = max(0.25, scrape_interval_s)
         self._state_lock = threading.Lock()
         self._replicas: List[ReplicaState] = [
             ReplicaState((h, int(p))) for h, p in (replicas or [])]
@@ -232,6 +262,7 @@ class ClusterRouter:
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._prober: Optional[threading.Thread] = None
+        self._scraper: Optional[threading.Thread] = None
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -240,9 +271,14 @@ class ClusterRouter:
 
     def start(self) -> "ClusterRouter":
         self.probe()  # synchronous first pass: start with a real view
+        self.scrape()  # ...and a populated fleet view from birth
         self._prober = threading.Thread(target=self._probe_loop,
                                         name="vidb-router-probe", daemon=True)
         self._prober.start()
+        self._scraper = threading.Thread(target=self._scrape_loop,
+                                         name="vidb-router-scrape",
+                                         daemon=True)
+        self._scraper.start()
         self._thread = threading.Thread(target=self.serve_forever,
                                         name="vidb-router", daemon=True)
         self._thread.start()
@@ -258,9 +294,13 @@ class ClusterRouter:
         if self._prober is not None:
             self._prober.join(timeout=5)
             self._prober = None
+        if self._scraper is not None:
+            self._scraper.join(timeout=5)
+            self._scraper = None
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+        self.flight_recorder.close()
 
     def __enter__(self) -> "ClusterRouter":
         return self
@@ -357,6 +397,13 @@ class ClusterRouter:
         self.metrics.inc("router.requests")
         if op == "cluster":
             return self.topology()
+        if op == "cluster_health":
+            return self.cluster_health()
+        if op == "traces":
+            limit = request.get("limit")
+            return self.cluster_traces(limit if isinstance(limit, int) else 20)
+        if op == "trace" and isinstance(request.get("id"), str):
+            return self.cluster_trace(request["id"])
         if op == "repoint":
             host = request.get("host")
             port = request.get("port")
@@ -367,42 +414,95 @@ class ClusterRouter:
             return {"ok": True, "primary": f"{host}:{port}"}
         if op == "close":
             return {"ok": True, "closing": True}
+        return self._traced_route(handler, request, op)
+
+    def _traced_route(self, handler: _RouterHandler, request: Dict[str, Any],
+                      op: Any) -> Dict[str, Any]:
+        """Forward ``request``, recording a router trace segment when the
+        request carries a sampled traceparent header.
+
+        The forwarded copy carries the *router segment's* header (not a
+        further child), so the backend's segment parents to the router
+        and the assembled tree reads client → router → backend.
+        """
+        header = request.get("trace")
+        parent = parse_traceparent(header) if isinstance(header, str) else None
+        if parent is None or not parent.sampled:
+            return self._forward_op(handler, request, op)
+        context = parent.child()
+        request = dict(request)
+        request["trace"] = context.to_header()
+        tracer = Tracer()
+        status: str = "ok"
+        error_text: Optional[str] = None
+        started_at = time.time()
+        began = time.perf_counter()
+        try:
+            with tracer.activate():
+                with tracer.span(f"router.{op}", op=str(op)):
+                    response = self._forward_op(handler, request, op)
+        except Exception as error:
+            status, error_text = "error", str(error)
+            raise
+        finally:
+            self.flight_recorder.record(
+                context, root=tracer.root(), node=self.node_identity(),
+                op=str(op), parent_span_id=parent.span_id, status=status,
+                error=error_text, started_at=started_at,
+                duration_s=time.perf_counter() - began)
+        response.setdefault("trace", context.to_header())
+        return response
+
+    def _forward_op(self, handler: _RouterHandler, request: Dict[str, Any],
+                    op: Any) -> Dict[str, Any]:
         if op in REPLICA_OPS:
             return self._route_read(handler, request)
         return self._route_primary(handler, request)
 
     def _route_primary(self, handler: _RouterHandler,
                        request: Dict[str, Any]) -> Dict[str, Any]:
-        try:
-            return handler.primary_conn().forward(request)
-        except (OSError, ProtocolError, ValueError) as error:
-            handler.drop_primary()
-            self.metrics.inc("router.primary_errors")
-            host, port = self.primary
-            raise ClusterError(
-                f"primary {host}:{port} unreachable ({error}); "
-                f"promote a replica and repoint the router") from None
+        host, port = self.primary
+        with current_tracer().span("router.forward",
+                                   backend=f"{host}:{port}",
+                                   role="primary") as span:
+            try:
+                response = handler.primary_conn().forward(request)
+            except (OSError, ProtocolError, ValueError) as error:
+                handler.drop_primary()
+                self.metrics.inc("router.primary_errors")
+                span.annotate(outcome="transport_error")
+                raise ClusterError(
+                    f"primary {host}:{port} unreachable ({error}); "
+                    f"promote a replica and repoint the router") from None
+            span.annotate(outcome="served")
+            return response
 
     def _route_read(self, handler: _RouterHandler,
                     request: Dict[str, Any]) -> Dict[str, Any]:
+        tracer = current_tracer()
         for state in self._next_replicas():
             address = state.address
-            try:
-                response = handler.replica_conn(address).forward(request)
-            except (OSError, ProtocolError, ValueError) as error:
-                handler.drop_replica(address)
-                self.mark_down(address, str(error))
-                self.metrics.inc("router.replica_errors")
-                continue
-            if (not response.get("ok")
-                    and response.get("error") in ("lagging", "read_only")):
-                # The replica cannot serve this read consistently (the
-                # client's LSN token outran it); the primary always can.
-                self.metrics.inc("router.fallbacks")
-                break
+            backend = f"{address[0]}:{address[1]}"
+            with tracer.span("router.forward", backend=backend,
+                             role="replica") as span:
+                try:
+                    response = handler.replica_conn(address).forward(request)
+                except (OSError, ProtocolError, ValueError) as error:
+                    handler.drop_replica(address)
+                    self.mark_down(address, str(error))
+                    self.metrics.inc("router.replica_errors")
+                    span.annotate(outcome="transport_error")
+                    continue
+                if (not response.get("ok")
+                        and response.get("error") in ("lagging", "read_only")):
+                    # The replica cannot serve this read consistently (the
+                    # client's LSN token outran it); the primary always can.
+                    self.metrics.inc("router.fallbacks")
+                    span.annotate(outcome=str(response.get("error")))
+                    break
+                span.annotate(outcome="served")
             self.metrics.inc("router.reads_balanced")
-            self._reads.labels(
-                replica=f"{address[0]}:{address[1]}").inc()
+            self._reads.labels(replica=backend).inc()
             return response
         else:
             if self._replicas:
@@ -410,6 +510,111 @@ class ClusterRouter:
         response = self._route_primary(handler, request)
         self._reads.labels(replica="primary").inc()
         return response
+
+    # -- fleet telemetry -----------------------------------------------------
+    def node_identity(self) -> Dict[str, Any]:
+        host, port = self.address
+        return {"role": "router", "host": host, "port": port}
+
+    def _members(self) -> List[Tuple[str, Tuple[str, int]]]:
+        """``(role, address)`` for every cluster member, primary first."""
+        with self._state_lock:
+            members = [("primary", self.primary)]
+            members.extend(("replica", s.address) for s in self._replicas)
+        return members
+
+    def _scrape_loop(self) -> None:
+        while not self._stop.wait(self.scrape_interval_s):
+            self.scrape()
+
+    def scrape(self) -> None:
+        """One telemetry pass: pull every member's metrics snapshot into
+        the fleet aggregator (failures keep the last good snapshot and
+        mark the node down)."""
+        for role, address in self._members():
+            name = f"{address[0]}:{address[1]}"
+            try:
+                conn = _Backend(address, self.connect_timeout)
+                try:
+                    reply = conn.forward({"op": "metrics"})
+                finally:
+                    conn.close()
+            except (OSError, ValueError, ProtocolError) as error:
+                self.fleet.mark_failed(name, role, str(error))
+                continue
+            snapshot = reply.get("metrics")
+            if reply.get("ok") and isinstance(snapshot, dict):
+                self.fleet.update(name, role, snapshot)
+            else:
+                self.fleet.mark_failed(
+                    name, role, str(reply.get("message", "bad metrics reply")))
+
+    def fleet_exposition(self) -> str:
+        """The federated per-node Prometheus text (appended to the
+        router's own exposition by ``vidb router --metrics-port``)."""
+        return render_fleet_exposition(self.fleet)
+
+    def cluster_health(self) -> Dict[str, Any]:
+        """Fleet summary: per-node rows + cluster rollups + topology."""
+        health = self.fleet.health()
+        with self._state_lock:
+            primary = self.primary
+            replicas = [s.as_dict() for s in self._replicas]
+        host, port = self.address
+        return {"ok": True,
+                "router": f"{host}:{port}",
+                "primary": f"{primary[0]}:{primary[1]}",
+                "replicas": replicas,
+                "nodes": health["nodes"],
+                "rollups": health["rollups"],
+                "time": health["time"]}
+
+    # -- trace fan-out -------------------------------------------------------
+    def _fanout(self, request: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """Forward ``request`` to every member over one-shot connections,
+        collecting the ``ok`` replies (unreachable members are skipped —
+        a killed primary must not break trace assembly)."""
+        replies = []
+        for _role, address in self._members():
+            try:
+                conn = _Backend(address, self.connect_timeout)
+                try:
+                    reply = conn.forward(request)
+                finally:
+                    conn.close()
+            except (OSError, ValueError, ProtocolError):
+                continue
+            if reply.get("ok"):
+                replies.append(reply)
+        return replies
+
+    def cluster_trace(self, trace_id: str) -> Dict[str, Any]:
+        """Assemble one trace's segments from the whole fleet: the
+        router's own flight recorder plus every reachable member's."""
+        segments = self.flight_recorder.get(trace_id)
+        for reply in self._fanout({"op": "trace", "id": trace_id}):
+            segments.extend(reply.get("segments") or ())
+        return {"ok": True, "id": trace_id, "segments": segments}
+
+    def cluster_traces(self, limit: int = 20) -> Dict[str, Any]:
+        """Most-recent trace summaries across the fleet, merged by
+        trace_id (one row per trace, earliest segment's summary wins)."""
+        limit = max(1, limit)
+        rows = self.flight_recorder.summaries(limit)
+        for reply in self._fanout({"op": "traces", "limit": limit}):
+            rows.extend(reply.get("traces") or ())
+        merged: Dict[str, Dict[str, Any]] = {}
+        for row in rows:
+            trace_id = row.get("trace_id")
+            if not isinstance(trace_id, str):
+                continue
+            kept = merged.get(trace_id)
+            if kept is None or row.get("started_at", 0) < kept.get(
+                    "started_at", 0):
+                merged[trace_id] = row
+        ordered = sorted(merged.values(),
+                         key=lambda r: r.get("started_at", 0), reverse=True)
+        return {"ok": True, "traces": ordered[:limit]}
 
     # -- failover ------------------------------------------------------------
     def repoint(self, primary: Tuple[str, int]) -> None:

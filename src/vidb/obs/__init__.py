@@ -15,11 +15,20 @@ The observability layer the serving system leans on:
   (``vidb serve --metrics-port``);
 * :mod:`vidb.obs.events` — a bounded structured JSON event log (slow
   queries, admission rejections, checkpoints, replica resyncs) behind
-  the server's ``events`` op and ``vidb top``.
+  the server's ``events`` op and ``vidb top``;
+* :mod:`vidb.obs.trace` — distributed tracing: W3C-traceparent-style
+  :class:`TraceContext` propagation over the wire, a bounded
+  :class:`FlightRecorder` segment ring, and cross-process trace
+  assembly/rendering (``vidb trace``);
+* :mod:`vidb.obs.fleet` — the cluster telemetry plane: the router's
+  :class:`FleetAggregator` of scraped member snapshots, federated
+  per-node Prometheus exposition and cluster rollups
+  (``vidb top --cluster``).
 """
 
 from vidb.obs.events import EventLog, emit, get_event_log
 from vidb.obs.exporter import MetricsExporter, render_exposition
+from vidb.obs.fleet import FleetAggregator, render_fleet_exposition
 from vidb.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -34,6 +43,15 @@ from vidb.obs.metrics import (
     human_duration,
 )
 from vidb.obs.profile import format_profile
+from vidb.obs.trace import (
+    FlightRecorder,
+    TraceContext,
+    assemble_trace,
+    current_context,
+    parse_traceparent,
+    render_trace,
+    use_context,
+)
 from vidb.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -47,6 +65,8 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Counter",
     "EventLog",
+    "FleetAggregator",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricFamily",
@@ -55,8 +75,11 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "Span",
+    "TraceContext",
     "Tracer",
     "activate",
+    "assemble_trace",
+    "current_context",
     "current_tracer",
     "emit",
     "format_number",
@@ -66,5 +89,8 @@ __all__ = [
     "get_registry",
     "human_count",
     "human_duration",
+    "parse_traceparent",
     "render_exposition",
+    "render_fleet_exposition",
+    "use_context",
 ]

@@ -32,6 +32,7 @@ Started by ``vidb serve --metrics-port`` (and ``vidb replicate
 
 from __future__ import annotations
 
+import gzip
 import math
 import re
 import threading
@@ -112,7 +113,8 @@ class _Handler(BaseHTTPRequestHandler):
         if path == "/metrics":
             self._reply(200, self.exporter.render(),
                         content_type="text/plain; version=0.0.4; "
-                                     "charset=utf-8")
+                                     "charset=utf-8",
+                        compressible=True)
         elif path == "/healthz":
             self._reply(200, "ok\n")
         elif path == "/readyz":
@@ -125,11 +127,20 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(404, "not found (try /metrics, /healthz, "
                              "/readyz)\n")
 
+    def _accepts_gzip(self) -> bool:
+        accepted = self.headers.get("Accept-Encoding", "")
+        return any(token.split(";", 1)[0].strip().lower() == "gzip"
+                   for token in accepted.split(","))
+
     def _reply(self, status: int, body: str,
-               content_type: str = "text/plain; charset=utf-8") -> None:
+               content_type: str = "text/plain; charset=utf-8",
+               compressible: bool = False) -> None:
         payload = body.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", content_type)
+        if compressible and self._accepts_gzip():
+            payload = gzip.compress(payload)
+            self.send_header("Content-Encoding", "gzip")
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         try:
@@ -154,10 +165,12 @@ class MetricsExporter:
     def __init__(self, registry: Optional[MetricsRegistry] = None, *,
                  host: str = "127.0.0.1", port: int = 0,
                  ready: Optional[ReadyCheck] = None,
-                 prefix: str = "vidb_"):
+                 prefix: str = "vidb_",
+                 extra_render: Optional[Callable[[], str]] = None):
         self.registry = registry if registry is not None else get_registry()
         self.prefix = prefix
         self._ready = ready
+        self._extra_render = extra_render
         handler = type("_BoundHandler", (_Handler,), {"exporter": self})
         self._server = ThreadingHTTPServer((host, port), handler)
         self._server.daemon_threads = True
@@ -175,8 +188,19 @@ class MetricsExporter:
         return f"http://{host}:{port}"
 
     def render(self) -> str:
-        """The current exposition text (what ``GET /metrics`` serves)."""
-        return render_exposition(self.registry, self.prefix)
+        """The current exposition text (what ``GET /metrics`` serves).
+
+        ``extra_render`` output (the router's federated fleet series —
+        see :func:`vidb.obs.fleet.render_fleet_exposition`) is appended
+        after the registry's own series; a failing extra renderer never
+        takes the scrape down."""
+        text = render_exposition(self.registry, self.prefix)
+        if self._extra_render is not None:
+            try:
+                text += self._extra_render()
+            except Exception:
+                pass
+        return text
 
     def readiness(self) -> Tuple[bool, Dict[str, bool]]:
         """(all checks passed, per-check results)."""

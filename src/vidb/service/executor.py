@@ -54,6 +54,7 @@ from vidb.errors import (
     ServiceOverloadedError,
 )
 from vidb.obs.events import EventLog, get_event_log
+from vidb.obs.trace import FlightRecorder
 from vidb.query.ast import Query
 from vidb.query.engine import AnswerSet, QueryEngine
 from vidb.query.execution import ExecutionOptions, ExecutionReport
@@ -172,7 +173,10 @@ class ServiceExecutor:
                  lsn_wait_s: float = 2.0,
                  streaming: bool = True,
                  max_subscriptions: int = 64,
-                 subscription_queue: int = 256):
+                 subscription_queue: int = 256,
+                 trace_sample: float = 0.0,
+                 trace_capacity: int = 256,
+                 trace_sink: Optional[str] = None):
         self.durability: Optional[DurableDatabase] = None
         if isinstance(db, DurableDatabase):
             self.durability = db
@@ -206,6 +210,14 @@ class ServiceExecutor:
         #: the disabled state is one float comparison).
         self.slow_query_s = (None if slow_query_ms is None
                              else max(0.0, slow_query_ms) / 1000.0)
+        #: Distributed-tracing segment ring (see :mod:`vidb.obs.trace`):
+        #: head-samples requests without an incoming context at
+        #: ``trace_sample``, always honors a sampled incoming context,
+        #: and retains slow-over-threshold and errored requests even
+        #: when unsampled.
+        self.flight_recorder = FlightRecorder(
+            capacity=trace_capacity, sample_rate=trace_sample,
+            slow_threshold_s=self.slow_query_s, sink=trace_sink)
         self.default_timeout = default_timeout
         self.max_in_flight = max_in_flight or max_workers * 4
         #: Kept so a replica resync (which replaces the follower's whole
@@ -243,17 +255,26 @@ class ServiceExecutor:
                 "stream_notifications_total", ("subscription",))
             notified_rows = self.metrics.counter_family(
                 "stream_notified_rows_total", ("subscription",))
+            notify_latency = self.metrics.histogram_family(
+                "stream_notify_latency_seconds", ("subscription",),
+                buckets=(0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                         0.1, 0.25, 0.5, 1.0, 2.5))
 
             def _on_notify(sub: Subscription, batch: Dict[str, Any]) -> None:
                 self.metrics.inc("stream.notifications")
                 notifications.labels(subscription=sub.id).inc()
                 notified_rows.labels(subscription=sub.id).inc(batch["count"])
+                latency_ms = batch.get("latency_ms")
+                if isinstance(latency_ms, (int, float)):
+                    notify_latency.labels(subscription=sub.id).observe(
+                        latency_ms / 1000.0)
 
             self.subscriptions = SubscriptionManager(
                 self.stream_hub,
                 max_subscriptions=max_subscriptions,
                 default_max_queue=subscription_queue,
-                on_notify=_on_notify)
+                on_notify=_on_notify,
+                event_log=self.events)
             self.metrics.counter("stream.notifications")
         self._register_gauges()
 
@@ -299,6 +320,9 @@ class ServiceExecutor:
             for key in replica.stats():
                 reg.callback_gauge(
                     key, lambda k=key: replica.stats()[k])
+        recorder = self.flight_recorder
+        reg.callback_gauge("trace.recorded", lambda: recorder.recorded)
+        reg.callback_gauge("trace.depth", lambda: len(recorder))
 
     # -- program management --------------------------------------------------
     @property
@@ -727,6 +751,25 @@ class ServiceExecutor:
         with self._sessions_lock:
             return len(self._sessions)
 
+    def node_identity(self) -> Dict[str, Any]:
+        """This process's identity as stamped onto trace segments:
+        role (primary / replica / standalone), durable generation and
+        current LSN position.  Derived live, so a promotion flips the
+        role and generation of every segment recorded afterwards."""
+        if self.replica is not None:
+            role = "replica"
+        elif self.durability is not None:
+            role = "primary"
+        else:
+            role = "standalone"
+        node: Dict[str, Any] = {"role": role}
+        if self.durability is not None:
+            node["generation"] = self.durability.generation
+        lsn = self.applied_lsn()
+        if lsn is not None:
+            node["lsn"] = lsn
+        return node
+
     # -- introspection / lifecycle -------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         """Metrics + cache + load state as one JSON-serializable dict.
@@ -764,6 +807,7 @@ class ServiceExecutor:
         if self.stream_hub is not None:
             self.stream_hub.detach()
         self._pool.shutdown(wait=wait)
+        self.flight_recorder.close()
         if self.durability is not None:
             self.durability.close()
 

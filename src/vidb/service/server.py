@@ -19,6 +19,8 @@ Operations::
     {"op": "lint",    "text": "big(G) :- interval(G), G.start < 1."}
     {"op": "metrics"}
     {"op": "trace",   "limit": 10}
+    {"op": "trace",   "id": "4bf92f3577b34da6a3ce929d0e0e4736"}
+    {"op": "traces",  "limit": 20}
     {"op": "events",  "limit": 10, "type": "slow_query"}
     {"op": "wal",     "after": 42, "limit": 1000}
     {"op": "declare_relation", "name": "appears"}
@@ -72,8 +74,26 @@ server's database and installed program without installing it (see
 A query with ``"profile": true`` runs traced (bypassing the result
 cache) and its response additionally carries ``stats``, ``profile``
 (the rendered EXPLAIN ANALYZE-style text) and the span tree under
-``trace``.  The ``trace`` op returns the service metrics snapshot plus
-summaries of the most recently executed queries.
+``trace``.  The ``trace`` op without an ``id`` returns the service
+metrics snapshot plus summaries of the most recently executed queries;
+with an ``id`` it returns this process's retained flight-recorder
+segments of that distributed trace, and ``traces`` lists recent
+segment summaries (see below).
+
+Distributed tracing (see :mod:`vidb.obs.trace` and
+docs/OBSERVABILITY.md): every request may carry an optional ``"trace"``
+field holding a W3C-traceparent-style header
+(``00-<trace_id>-<span_id>-<flags>``).  A sampled header makes the
+handler record the request as a flight-recorder *segment* — node
+identity (role / host / port / generation), wall-clock timing, and a
+local span tree (``server.query`` wrapping ``wait_for_lsn`` and the
+engine's own evaluation spans) parented to the sender's span id — and
+the successful response echoes this process's own header under
+``"trace"``.  Requests without a header are head-sampled at
+``--trace-sample`` rate; slow-over-threshold and errored requests are
+retained even unsampled.  Mutating requests run under the ambient
+trace context, so the commit deltas they produce (and the standing-
+query notification batches those cause) carry the trace header too.
 
 Each connection gets its own :class:`~vidb.service.session.Session`, so
 prepared queries are per-connection state, exactly like prepared
@@ -112,6 +132,8 @@ from vidb.errors import (
     VidbError,
 )
 from vidb.analysis.lint import summarize as lint_summary
+from vidb.obs.trace import TraceContext, parse_traceparent, use_context
+from vidb.obs.tracer import Tracer, current_tracer
 from vidb.query.execution import ExecutionOptions
 from vidb.service.executor import ServiceExecutor
 
@@ -140,8 +162,15 @@ ERROR_KINDS = {
 #: blindly.
 IDEMPOTENT_OPS = frozenset({
     "ping", "info", "query", "execute", "lint", "metrics", "trace",
-    "events", "wal", "cluster", "subscriptions",
+    "traces", "events", "wal", "cluster", "cluster_health",
+    "subscriptions",
 })
+
+#: Ops eligible for head-based sampling (and slow/error forced
+#: retention) when no trace context arrives with the request.  A
+#: request that *does* carry a sampled context is traced whatever its
+#: op — mutations included, so their commit deltas get stamped.
+_TRACED_OPS = frozenset({"query", "execute"})
 
 
 def _error_kind(error: Exception) -> str:
@@ -188,8 +217,8 @@ class _Handler(socketserver.StreamRequestHandler):
                     if not isinstance(request, dict):
                         raise ProtocolError("request must be a JSON object")
                     op_label = str(request.get("op"))
-                    response, keep_open = self._dispatch(service, session,
-                                                         request)
+                    response, keep_open = self._traced_dispatch(
+                        service, session, request)
                 except (ValueError, ProtocolError) as error:
                     response = {"ok": False, "error": "protocol",
                                 "message": str(error)}
@@ -238,6 +267,80 @@ class _Handler(socketserver.StreamRequestHandler):
         except (BrokenPipeError, ConnectionResetError, OSError):
             return
 
+    def _node(self, service: ServiceExecutor) -> Dict[str, Any]:
+        """The node identity stamped onto this process's segments."""
+        node = service.node_identity()
+        address = self.server.server_address[:2]
+        node["host"] = str(address[0])
+        node["port"] = int(address[1])
+        return node
+
+    def _traced_dispatch(self, service: ServiceExecutor, session,
+                         request: Dict[str, Any]
+                         ) -> Tuple[Dict[str, Any], bool]:
+        """Adopt the request's trace context (or head-sample one) around
+        :meth:`_dispatch`; see the module docstring for the contract."""
+        op = str(request.get("op"))
+        recorder = service.flight_recorder
+        parent = (parse_traceparent(request.get("trace"))
+                  if "trace" in request else None)
+        context: Optional[TraceContext] = None
+        if parent is not None and parent.sampled:
+            context = parent.child()
+        elif parent is None and op in _TRACED_OPS and recorder.should_sample():
+            context = TraceContext.new()
+        if context is None:
+            if op not in _TRACED_OPS:
+                return self._dispatch(service, session, request)
+            # Untraced, but still black-box recorded when it turns out
+            # slow or errored (an unsampled parent keeps the trace id).
+            started_at = time.time()
+            began = time.perf_counter()
+            try:
+                response, keep_open = self._dispatch(service, session,
+                                                     request)
+            except Exception as error:
+                recorder.record(
+                    parent.child() if parent is not None else None,
+                    node=self._node(service), op=op,
+                    parent_span_id=(parent.span_id if parent is not None
+                                    else None),
+                    status="error", error=str(error), started_at=started_at,
+                    duration_s=time.perf_counter() - began)
+                raise
+            duration_s = time.perf_counter() - began
+            if recorder.is_slow(duration_s):
+                recorder.record(
+                    parent.child() if parent is not None else None,
+                    node=self._node(service), op=op,
+                    parent_span_id=(parent.span_id if parent is not None
+                                    else None),
+                    started_at=started_at, duration_s=duration_s,
+                    forced=True)
+            return response, keep_open
+        tracer = Tracer()
+        node = self._node(service)
+        started_at = time.time()
+        began = time.perf_counter()
+        status, error_text = "ok", None
+        try:
+            with use_context(context), tracer.activate():
+                with tracer.span(f"server.{op}", op=op):
+                    response, keep_open = self._dispatch(service, session,
+                                                         request)
+        except Exception as error:
+            status, error_text = "error", str(error)
+            raise
+        finally:
+            recorder.record(
+                context, root=tracer.root(), node=node, op=op,
+                parent_span_id=(parent.span_id if parent is not None
+                                else None),
+                status=status, error=error_text, started_at=started_at,
+                duration_s=time.perf_counter() - began)
+        response.setdefault("trace", context.to_header())
+        return response, keep_open
+
     def _dispatch(self, service: ServiceExecutor, session,
                   request: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
         op = request.get("op")
@@ -264,10 +367,19 @@ class _Handler(socketserver.StreamRequestHandler):
         if op == "query":
             text = _required(request, "query", str)
             profile = bool(request.get("profile"))
+            tracer = current_tracer()
             _await_token(service, request)
             report = session.run(
-                text, options=ExecutionOptions(trace=profile),
+                text, options=ExecutionOptions(trace=profile
+                                               or tracer.enabled),
                 timeout=request.get("timeout"))
+            if tracer.enabled and report.trace is not None:
+                # Graft the engine's span tree (built on the worker
+                # thread) under this request's wire-level span, so the
+                # flight-recorder segment carries the full picture.
+                wire_span = tracer.current()
+                if wire_span is not None:
+                    wire_span.children.append(report.trace)
             payload = _answers_payload(report.answers, request.get("limit"))
             payload["ok"] = True
             if profile:
@@ -405,9 +517,23 @@ class _Handler(socketserver.StreamRequestHandler):
         if op == "metrics":
             return {"ok": True, "metrics": service.snapshot()}, True
         if op == "trace":
+            trace_id = request.get("id")
+            if trace_id is not None:
+                if not isinstance(trace_id, str):
+                    raise ProtocolError("'id' must be a trace id string")
+                return {"ok": True, "id": trace_id,
+                        "segments":
+                            service.flight_recorder.get(trace_id)}, True
             return {"ok": True, "metrics": service.snapshot(),
                     "recent": service.recent_traces(
                         limit=request.get("limit"))}, True
+        if op == "traces":
+            limit = request.get("limit")
+            if limit is not None and not isinstance(limit, int):
+                raise ProtocolError("'limit' must be an integer")
+            return {"ok": True,
+                    "traces": service.flight_recorder.summaries(
+                        limit if limit is not None else 20)}, True
         if op == "events":
             limit = request.get("limit")
             if limit is not None and not isinstance(limit, int):
@@ -476,7 +602,10 @@ def _await_token(service: ServiceExecutor, request: Dict[str, Any]) -> None:
     wait_s = request.get("wait_s")
     if wait_s is not None and not isinstance(wait_s, (int, float)):
         raise ProtocolError("'wait_s' must be a number of seconds")
-    if not service.wait_for_lsn(min_lsn, timeout_s=wait_s):
+    with current_tracer().span("wait_for_lsn", min_lsn=min_lsn) as span:
+        reached = service.wait_for_lsn(min_lsn, timeout_s=wait_s)
+        span.annotate(applied=service.applied_lsn(), reached=reached)
+    if not reached:
         raise ReplicaLagError(
             f"replica applied LSN {service.applied_lsn()} has not "
             f"reached the session token {min_lsn}; "
@@ -619,7 +748,8 @@ class ServiceClient:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7421,
-                 timeout: float = 30.0):
+                 timeout: float = 30.0,
+                 trace_context: Optional[TraceContext] = None):
         self._address = (host, port)
         self._timeout = timeout
         self._sock = socket.create_connection((host, port), timeout=timeout)
@@ -628,6 +758,11 @@ class ServiceClient:
         #: Highest WAL LSN any of this client's writes reached — the
         #: read-your-writes token (0 until the first durable write).
         self.session_lsn = 0
+        #: Root trace context: when set, every request carries a child
+        #: traceparent header of it, so everything this client touches
+        #: (router hops, replica waits, commit notifications) shares one
+        #: trace id — the client-visible root of the assembled tree.
+        self.trace_context = trace_context
 
     def _reconnect(self) -> None:
         try:
@@ -649,6 +784,8 @@ class ServiceClient:
         """Send one request, wait for its response; raises on error."""
         payload = {"op": op, **{k: v for k, v in fields.items()
                                 if v is not None}}
+        if self.trace_context is not None and "trace" not in payload:
+            payload["trace"] = self.trace_context.to_header()
         try:
             line = self._roundtrip(payload)
             if not line:
@@ -789,9 +926,21 @@ class ServiceClient:
     def metrics(self) -> Dict[str, Any]:
         return self.request("metrics")["metrics"]
 
-    def trace(self, limit: Optional[int] = None) -> Dict[str, Any]:
-        """Service metrics plus summaries of recently executed queries."""
-        return self.request("trace", limit=limit)
+    def trace(self, limit: Optional[int] = None,
+              id: Optional[str] = None) -> Dict[str, Any]:
+        """Without ``id``: service metrics plus summaries of recently
+        executed queries.  With ``id``: the flight-recorder segments of
+        that distributed trace (the router fans this out fleet-wide)."""
+        return self.request("trace", limit=limit, id=id)
+
+    def traces(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Most-recent-first flight-recorder segment summaries."""
+        reply = self.request("traces", limit=limit)
+        return list(reply.get("traces", []))
+
+    def cluster_health(self) -> Dict[str, Any]:
+        """The router's fleet summary (per-node rows + rollups)."""
+        return self.request("cluster_health")
 
     def events(self, limit: Optional[int] = None,
                type: Optional[str] = None) -> List[Dict[str, Any]]:

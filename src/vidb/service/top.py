@@ -51,6 +51,22 @@ def _kernel_name(snapshot: Mapping[str, Any]) -> Optional[str]:
     return None
 
 
+def _notify_latency_text(snapshot: Mapping[str, Any],
+                         sub: Mapping[str, Any]) -> str:
+    """Commit→notify latency for one subscription row: the p50/p95 of
+    its ``stream_notify_latency_seconds{subscription=}`` histogram when
+    the server exports one, else the last observed batch latency."""
+    histogram = snapshot.get(
+        f"stream_notify_latency_seconds{{subscription={sub.get('id')}}}")
+    if isinstance(histogram, Mapping) and histogram.get("count"):
+        return (f" notify p50 {human_duration(_num(histogram, 'p50'))}"
+                f"/p95 {human_duration(_num(histogram, 'p95'))}")
+    last = sub.get("last_latency_ms")
+    if isinstance(last, (int, float)):
+        return f" notify {human_duration(last / 1000.0)}"
+    return ""
+
+
 def render_top(snapshot: Mapping[str, Any],
                previous: Optional[Mapping[str, Any]] = None,
                interval_s: Optional[float] = None,
@@ -148,11 +164,12 @@ def render_top(snapshot: Mapping[str, Any],
         for sub in subscriptions[:8]:
             lag = int(sub.get("lag_events", 0) or 0)
             lag_text = f"  LAG {lag}" if lag else ""
+            notify_text = _notify_latency_text(snapshot, sub)
             lines.append(
                 f"  {sub.get('id', '?'):<8} seq {sub.get('seq', 0):<6} "
                 f"rows {human_count(int(sub.get('rows', 0) or 0)):<8} "
                 f"queue {sub.get('queue_depth', 0)}"
-                f"/{sub.get('max_queue', '?')}{lag_text}  "
+                f"/{sub.get('max_queue', '?')}{notify_text}{lag_text}  "
                 f"{sub.get('query', '?')}")
 
     if events:
@@ -166,6 +183,91 @@ def render_top(snapshot: Mapping[str, Any],
                 f"{event.get('query', '?')}  "
                 f"({event.get('rows', '?')} rows)")
     return "\n".join(lines)
+
+
+def render_cluster_top(health: Mapping[str, Any],
+                       previous: Optional[Mapping[str, Any]] = None,
+                       interval_s: Optional[float] = None) -> str:
+    """One frame of ``vidb top --cluster``: the router's fleet view.
+
+    ``health`` is a ``cluster_health`` reply (router identity, topology,
+    per-node rows from the fleet aggregator, cluster rollups);
+    ``previous``/``interval_s`` enable the cluster-wide read-QPS rate.
+    """
+    lines: List[str] = []
+    rollups = health.get("rollups")
+    rollups = rollups if isinstance(rollups, Mapping) else {}
+    previous_rollups: Optional[Mapping[str, Any]] = None
+    if isinstance(previous, Mapping):
+        candidate = previous.get("rollups")
+        if isinstance(candidate, Mapping):
+            previous_rollups = candidate
+    lines.append(
+        f"vidb top --cluster — router {health.get('router', '?')}, "
+        f"primary {health.get('primary', '?')}, "
+        f"nodes {int(_num(rollups, 'nodes_up'))}"
+        f"/{int(_num(rollups, 'nodes'))} up")
+    qps = _rate(rollups, previous_rollups, "queries_served", interval_s)
+    qps_text = format_number(qps, 1) if qps is not None else "-"
+    lines.append(
+        f"cluster qps {qps_text}   "
+        f"served {human_count(int(_num(rollups, 'queries_served')))}   "
+        f"rejected {int(_num(rollups, 'queries_rejected'))}   "
+        f"in-flight {int(_num(rollups, 'in_flight'))}   "
+        f"max lag {int(_num(rollups, 'max_replica_lag'))}   "
+        f"head lsn {int(_num(rollups, 'head_lsn'))}   "
+        f"subs {int(_num(rollups, 'subscriptions'))} "
+        f"(queued {int(_num(rollups, 'subscription_queue_depth'))})")
+    nodes = health.get("nodes")
+    if isinstance(nodes, list) and nodes:
+        lines.append("nodes:")
+        for node in nodes:
+            if not isinstance(node, Mapping):
+                continue
+            up = "up" if node.get("up") else "DOWN"
+            p95 = node.get("p95_ms")
+            p95_text = (f"  p95 {human_duration(p95 / 1000.0)}"
+                        if isinstance(p95, (int, float)) else "")
+            error = node.get("error")
+            error_text = f"  ({error})" if up == "DOWN" and error else ""
+            lines.append(
+                f"  {str(node.get('node', '?')):<21} "
+                f"{str(node.get('role', '?')):<8} {up:<4} "
+                f"served {human_count(int(_num(node, 'served'))):<8} "
+                f"lag {int(_num(node, 'lag')):<5} "
+                f"lsn {int(_num(node, 'lsn')):<6} "
+                f"queue {int(_num(node, 'queue_depth'))}"
+                f"{p95_text}{error_text}")
+    else:
+        lines.append("nodes: (no members scraped yet)")
+    return "\n".join(lines)
+
+
+def cluster_top_loop(client: Any, interval_s: float = 2.0, *,
+                     once: bool = False, clear: Optional[bool] = None,
+                     out: Any = None) -> int:
+    """Poll a router's ``cluster_health`` op and render fleet frames."""
+    out = out if out is not None else sys.stdout
+    if clear is None:
+        clear = not once and out.isatty()
+    previous: Optional[Dict[str, Any]] = None
+    previous_at: Optional[float] = None
+    while True:
+        health = client.cluster_health()
+        now = time.monotonic()
+        elapsed = (now - previous_at) if previous_at is not None else None
+        frame = render_cluster_top(health, previous, elapsed)
+        if clear:
+            out.write(CLEAR)
+        out.write(frame + "\n")
+        out.flush()
+        if once:
+            return 0
+        previous, previous_at = dict(health), now
+        try:
+            time.sleep(max(0.1, interval_s))
+        except KeyboardInterrupt:
+            return 0
 
 
 def top_loop(client: Any, interval_s: float = 2.0, *, once: bool = False,

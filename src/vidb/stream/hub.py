@@ -33,9 +33,11 @@ diverge.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, List, Optional, Tuple
 
 from vidb.errors import EvaluationError
+from vidb.obs.trace import current_context
 from vidb.storage.database import VideoDatabase
 
 #: One raw mutation-observer event (see
@@ -57,16 +59,31 @@ TXN_EVENTS = frozenset({"txn_begin", "txn_commit", "txn_abort"})
 class CommittedDelta:
     """One committed batch of mutation events, in application order."""
 
-    __slots__ = ("events", "epoch", "pre_epoch")
+    __slots__ = ("events", "epoch", "pre_epoch", "origin_ts", "origin_pc",
+                 "trace")
 
     def __init__(self, events: List[MutationEvent], epoch: int,
-                 pre_epoch: int):
+                 pre_epoch: int, origin_ts: Optional[float] = None,
+                 origin_pc: Optional[float] = None,
+                 trace: Optional[str] = None):
         #: The committed events, in the order they were applied.
         self.events = events
         #: The database epoch *after* this delta committed.
         self.epoch = epoch
         #: The database epoch *before* the first event of this delta.
         self.pre_epoch = pre_epoch
+        #: Commit wall-clock time (``time.time()``) — for operators.
+        self.origin_ts = time.time() if origin_ts is None else origin_ts
+        #: Commit monotonic time (``perf_counter``) — the origin point
+        #: the commit→notify latency histograms measure against.  Only
+        #: meaningful inside the committing process.
+        self.origin_pc = (time.perf_counter() if origin_pc is None
+                          else origin_pc)
+        #: Traceparent header of the mutating request, when the commit
+        #: happened under an ambient trace context (see
+        #: :mod:`vidb.obs.trace`); notification batches carry it so a
+        #: write can be joined to the notifications it caused.
+        self.trace = trace
 
     @property
     def monotone(self) -> bool:
@@ -189,6 +206,10 @@ class StreamHub:
         self._deliver(CommittedDelta([event], self.mirror_epoch, pre))
 
     def _deliver(self, delta: CommittedDelta) -> None:
+        if delta.trace is None:
+            context = current_context()
+            if context is not None:
+                delta.trace = context.to_header()
         self.deltas_delivered += 1
         with self._lock:
             consumers = tuple(self._consumers)

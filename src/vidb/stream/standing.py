@@ -62,7 +62,8 @@ class Subscription:
                  *, filter: Optional[Dict[str, Any]] = None,
                  max_queue: int = 256,
                  session_id: Optional[str] = None,
-                 detached: bool = False):
+                 detached: bool = False,
+                 event_log: Optional[Any] = None):
         self.id = f"sub{next(_subscription_ids)}"
         if isinstance(query, str):
             self.text: str = query
@@ -122,6 +123,9 @@ class Subscription:
         self.dropped_batches = 0
         self.dropped_rows = 0
         self.lag_events = 0
+        #: Commit→notify latency of the most recent batch (see feed()).
+        self.last_latency_ms: Optional[float] = None
+        self._event_log = event_log
 
     # -- fed by the manager (hub thread, serialized) -------------------------
     def feed(self, delta: CommittedDelta) -> Optional[Batch]:
@@ -143,11 +147,21 @@ class Subscription:
             if not rows:
                 return None
         rendered = sorted([str(value) for value in row] for row in rows)
+        # Commit→notify latency: from the delta's commit timestamp to
+        # the moment the batch is queued for the consumer.  Both ends
+        # are perf_counter readings in the committing process (delivery
+        # runs synchronously on the mutating thread), so the measure is
+        # monotone and immune to wall-clock steps.
+        latency_ms = max(0.0, (time.perf_counter() - delta.origin_pc) * 1000)
+        lagged_event: Optional[Dict[str, Any]] = None
         with self._cond:
             if self.closed:
                 return None
             batch: Batch = {"seq": self._next_seq, "epoch": delta.epoch,
-                            "rows": rendered, "count": len(rendered)}
+                            "rows": rendered, "count": len(rendered),
+                            "latency_ms": round(latency_ms, 3)}
+            if delta.trace is not None:
+                batch["trace"] = delta.trace
             self._next_seq += 1
             if len(self._queue) >= self.max_queue:
                 dropped = self._queue.pop(0)
@@ -161,10 +175,22 @@ class Subscription:
                 survivor["lagged"] = True
                 survivor["dropped_batches"] = self.dropped_batches
                 survivor["dropped_rows"] = self.dropped_rows
+                lagged_event = {
+                    "subscription": self.id,
+                    "dropped_seq": dropped["seq"],
+                    "seq_gap": survivor["seq"] - dropped["seq"],
+                    "dropped_batches": self.dropped_batches,
+                    "dropped_rows": self.dropped_rows,
+                    "max_queue": self.max_queue,
+                }
             self._queue.append(batch)
             self.batches_emitted += 1
             self.rows_emitted += len(rendered)
+            self.last_latency_ms = batch["latency_ms"]
             self._cond.notify_all()
+        if lagged_event is not None and self._event_log is not None:
+            # Outside the condition lock: the event sink may do file IO.
+            self._event_log.emit("subscription.lagged", **lagged_event)
         return batch
 
     def _matches(self, row: GroundTuple) -> bool:
@@ -226,6 +252,7 @@ class Subscription:
             "dropped_batches": self.dropped_batches,
             "dropped_rows": self.dropped_rows,
             "lag_events": self.lag_events,
+            "last_latency_ms": self.last_latency_ms,
             "rebuilds": self.view.rebuilds,
             "closed": self.closed,
             "maintenance": self.classification.get("maintenance"),
@@ -254,10 +281,13 @@ class SubscriptionManager:
                  max_subscriptions: int = 64,
                  default_max_queue: int = 256,
                  on_notify: Optional[Callable[[Subscription, Batch],
-                                              None]] = None):
+                                              None]] = None,
+                 event_log: Optional[Any] = None):
         self.hub = hub
         self.max_subscriptions = max_subscriptions
         self.default_max_queue = default_max_queue
+        #: Structured sink for ``subscription.lagged`` drop events.
+        self.event_log = event_log
         self._lock = threading.RLock()
         self._subs: Dict[str, Subscription] = {}
         #: Optional callback fired per queued batch (metrics/event hook).
@@ -288,7 +318,8 @@ class SubscriptionManager:
             sub = Subscription(
                 query, engine, filter=filter,
                 max_queue=max_queue or self.default_max_queue,
-                session_id=session_id, detached=detached)
+                session_id=session_id, detached=detached,
+                event_log=self.event_log)
             self._subs[sub.id] = sub
             self.subscriptions_opened += 1
             return sub

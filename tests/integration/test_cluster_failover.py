@@ -28,6 +28,7 @@ from vidb.cli import main as vidb_main
 from vidb.cluster import ClusterRouter, ReplicaServer
 from vidb.durability import DurableDatabase
 from vidb.errors import ClusterError, FencedError
+from vidb.obs.trace import TraceContext, assemble_trace
 from vidb.service.server import ServiceClient
 
 SRC_DIR = str(Path(__file__).resolve().parents[2] / "src")
@@ -134,6 +135,84 @@ class TestClusterEndToEnd:
             assert count == 9  # 8 acknowledged + 1 resumed
             for index in range(8):
                 assert winner.service.db.entity(f"o{index}")["seq"] == index
+        finally:
+            if router is not None:
+                router.close()
+            for replica in replicas:
+                replica.close()
+            if proc.poll() is None:
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.wait(timeout=10)
+
+    def test_traced_reads_survive_failover_with_new_generation(
+            self, tmp_path, free_port):
+        """Distributed traces stay whole across a failover: a traced
+        session-consistent read after SIGKILL + promote assembles into
+        one tree (no orphaned segments) whose serving node identity
+        carries the *new* primary generation."""
+        data_dir = tmp_path / "primary"
+        proc = start_primary(data_dir, free_port)
+        replicas, router = [], None
+        try:
+            replicas = [
+                ReplicaServer.from_data_dir(
+                    data_dir, poll_interval_s=0.05, lsn_wait_s=2.0,
+                    promote_data_dir=tmp_path / f"promoted-{index}"
+                ).start()
+                for index in range(2)
+            ]
+            router = ClusterRouter(
+                ("127.0.0.1", free_port),
+                [r.address for r in replicas],
+                probe_interval_s=0.1).start()
+            host, port = router.address
+
+            # -- a traced read pair before the failover ----------------
+            before = TraceContext.new(sampled=True)
+            with ServiceClient(host, port,
+                               trace_context=before) as client:
+                client.insert_entity("pre-failover")
+                assert client.query("?- object(O).")["count"] == 1
+                segments = client.trace(id=before.trace_id)["segments"]
+            assert segments, "sampled request left no trace segments"
+            old_generations = {
+                s["node"].get("generation") for s in segments
+                if s["node"].get("role") in ("primary", "replica")
+            }
+
+            # -- SIGKILL + promote -------------------------------------
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=10)
+            time.sleep(0.3)
+            candidates = []
+            for replica in replicas:
+                rhost, rport = replica.address
+                candidates += ["--replica", f"{rhost}:{rport}"]
+            assert vidb_main(["promote", *candidates,
+                              "--router", f"{host}:{port}"]) == 0
+            winner = next(r for r in replicas if r.promoted)
+            new_generation = winner.service.durability.generation
+            assert new_generation not in old_generations
+
+            # -- a traced read pair after the failover -----------------
+            after = TraceContext.new(sampled=True)
+            with ServiceClient(host, port, trace_context=after) as client:
+                client.insert_entity("post-failover")
+                assert client.query("?- object(O).")["count"] == 2
+                segments = client.trace(id=after.trace_id)["segments"]
+
+            # One tree, rooted at the client's span: nothing orphaned.
+            roots = assemble_trace(segments)
+            assert roots, "post-failover trace is empty"
+            assert all(root["parent_span_id"] == after.span_id
+                       for root in roots), (
+                "a segment was orphaned from the client root")
+            # The new generation is stamped on the serving node(s).
+            served_by = {
+                (s["node"].get("role"), s["node"].get("generation"))
+                for s in segments if s["node"].get("role") != "router"
+            }
+            assert ("primary", new_generation) in served_by
         finally:
             if router is not None:
                 router.close()

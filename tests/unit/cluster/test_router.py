@@ -5,6 +5,7 @@ import pytest
 from vidb.cluster import ClusterRouter, ReplicaServer
 from vidb.durability import DurableDatabase
 from vidb.errors import ClusterError, ProtocolError
+from vidb.obs.trace import TraceContext, assemble_trace
 from vidb.service import ServiceClient, ServiceExecutor, VideoServer
 from vidb.storage.database import VideoDatabase
 
@@ -247,5 +248,100 @@ class TestFailover:
             with ServiceClient(host, port) as client:
                 with pytest.raises(ProtocolError):
                     client.request("repoint", host=1, port="x")
+        finally:
+            router.close()
+
+
+class TestClusterTelemetry:
+    def test_scrape_feeds_cluster_health(self, primary, tmp_path):
+        replica = make_replica(primary, tmp_path, "r1")
+        replica.poll_once()
+        router = make_router(primary, [replica], scrape_interval_s=30.0)
+        try:
+            # start() already ran one synchronous scrape pass.
+            host, port = router.address
+            with ServiceClient(host, port) as client:
+                health = client.cluster_health()
+            assert health["router"] == f"{host}:{port}"
+            assert health["rollups"]["nodes"] == 2
+            assert health["rollups"]["nodes_up"] == 2
+            roles = {row["role"] for row in health["nodes"]}
+            assert roles == {"primary", "replica"}
+            assert all(row["up"] for row in health["nodes"])
+        finally:
+            router.close()
+            replica.close()
+
+    def test_dead_member_marked_down_keeps_last_snapshot(self, primary,
+                                                         tmp_path):
+        replica = make_replica(primary, tmp_path, "r1")
+        replica.poll_once()
+        router = make_router(primary, [replica], scrape_interval_s=30.0)
+        try:
+            rhost, rport = replica.address
+            replica.close()
+            router.scrape()
+            health = router.cluster_health()
+            assert health["rollups"]["nodes_up"] == 1
+            down = next(row for row in health["nodes"]
+                        if row["node"] == f"{rhost}:{rport}")
+            assert down["up"] is False and "error" in down
+        finally:
+            router.close()
+
+    def test_fleet_exposition_labels_every_member(self, primary, tmp_path):
+        replica = make_replica(primary, tmp_path, "r1")
+        replica.poll_once()
+        router = make_router(primary, [replica], scrape_interval_s=30.0)
+        try:
+            text = router.fleet_exposition()
+            phost, pport = primary.address
+            rhost, rport = replica.address
+            assert (f'vidb_cluster_node_up{{node="{phost}:{pport}",'
+                    'role="primary"} 1') in text
+            assert (f'vidb_cluster_node_up{{node="{rhost}:{rport}",'
+                    'role="replica"} 1') in text
+            assert "vidb_cluster_nodes_up 2" in text
+        finally:
+            router.close()
+            replica.close()
+
+    def test_traced_query_assembles_across_processes(self, primary,
+                                                     tmp_path):
+        replica = make_replica(primary, tmp_path, "r1")
+        replica.poll_once()
+        router = make_router(primary, [replica], scrape_interval_s=30.0)
+        try:
+            host, port = router.address
+            context = TraceContext.new(sampled=True)
+            with ServiceClient(host, port,
+                               trace_context=context) as client:
+                assert client.query("?- object(O).")["count"] == 1
+                segments = client.trace(id=context.trace_id)["segments"]
+                rows = client.traces()
+            # Router + serving backend each contributed a segment...
+            roles = {s["node"]["role"] for s in segments}
+            assert "router" in roles
+            assert roles & {"replica", "primary"}
+            # ...and they assemble into one tree under the client span.
+            roots = assemble_trace(segments)
+            assert len(roots) == 1
+            assert roots[0]["parent_span_id"] == context.span_id
+            assert roots[0]["node"]["role"] == "router"
+            assert roots[0]["children"], "backend segment not parented"
+            # The fleet-wide summary list merges to one row per trace.
+            assert [r["trace_id"] for r in rows] == [context.trace_id]
+        finally:
+            router.close()
+            replica.close()
+
+    def test_unsampled_requests_leave_no_segments(self, primary):
+        router = make_router(primary, [], scrape_interval_s=30.0)
+        try:
+            host, port = router.address
+            with ServiceClient(host, port) as client:
+                client.query("?- object(O).")
+                assert client.traces() == []
+            assert len(router.flight_recorder) == 0
         finally:
             router.close()

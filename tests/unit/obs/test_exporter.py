@@ -1,6 +1,7 @@
 """Unit tests for the Prometheus exporter: exposition format, health
 probes, readiness flipping, and scrapes under concurrent load."""
 
+import gzip
 import threading
 import urllib.error
 import urllib.request
@@ -166,6 +167,87 @@ class TestExporterHTTP:
         exporter = MetricsExporter(registry, port=0).start_background()
         exporter.close()
         exporter.close()
+
+
+def _get_raw(url, headers=None):
+    request = urllib.request.Request(url, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=5) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+class TestContentTypeAndGzip:
+    """Golden scrape contract: exact Prometheus content type, and gzip
+    only when the scraper advertises it."""
+
+    PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+    def test_metrics_content_type_is_exact_prometheus_string(self, registry):
+        with MetricsExporter(registry, port=0) as exporter:
+            __, headers, __ = _get_raw(exporter.url + "/metrics")
+            assert headers["Content-Type"] == self.PROM_CONTENT_TYPE
+
+    def test_plain_scrape_is_identity_encoded(self, registry):
+        with MetricsExporter(registry, port=0) as exporter:
+            status, headers, body = _get_raw(exporter.url + "/metrics")
+            assert status == 200
+            assert "Content-Encoding" not in headers
+            assert b"vidb_queries_served 3" in body
+            assert int(headers["Content-Length"]) == len(body)
+
+    def test_gzip_negotiated_scrape_round_trips(self, registry):
+        with MetricsExporter(registry, port=0) as exporter:
+            status, headers, body = _get_raw(
+                exporter.url + "/metrics",
+                headers={"Accept-Encoding": "gzip"})
+            assert status == 200
+            assert headers["Content-Encoding"] == "gzip"
+            assert headers["Content-Type"] == self.PROM_CONTENT_TYPE
+            text = gzip.decompress(body).decode("utf-8")
+            assert "vidb_queries_served 3" in text
+            assert int(headers["Content-Length"]) == len(body)
+
+    def test_gzip_accepted_among_other_encodings(self, registry):
+        with MetricsExporter(registry, port=0) as exporter:
+            __, headers, body = _get_raw(
+                exporter.url + "/metrics",
+                headers={"Accept-Encoding": "deflate, gzip;q=0.8, br"})
+            assert headers.get("Content-Encoding") == "gzip"
+            assert b"vidb_queries_served" in gzip.decompress(body)
+
+    def test_unsupported_encodings_fall_back_to_identity(self, registry):
+        with MetricsExporter(registry, port=0) as exporter:
+            __, headers, body = _get_raw(
+                exporter.url + "/metrics",
+                headers={"Accept-Encoding": "deflate, br"})
+            assert "Content-Encoding" not in headers
+            assert b"vidb_queries_served 3" in body
+
+    def test_health_probes_never_gzip(self, registry):
+        with MetricsExporter(registry, port=0) as exporter:
+            __, headers, body = _get_raw(
+                exporter.url + "/healthz",
+                headers={"Accept-Encoding": "gzip"})
+            assert "Content-Encoding" not in headers
+            assert body == b"ok\n"
+
+    def test_extra_render_is_appended_to_exposition(self, registry):
+        with MetricsExporter(registry, port=0,
+                             extra_render=lambda: "fleet_extra 1\n"
+                             ) as exporter:
+            __, __, body = _get_raw(exporter.url + "/metrics")
+            text = body.decode("utf-8")
+            assert "vidb_queries_served 3" in text
+            assert "fleet_extra 1" in text
+
+    def test_extra_render_failure_does_not_break_scrape(self, registry):
+        def boom():
+            raise RuntimeError("fleet not ready")
+
+        with MetricsExporter(registry, port=0,
+                             extra_render=boom) as exporter:
+            status, __, body = _get_raw(exporter.url + "/metrics")
+            assert status == 200
+            assert b"vidb_queries_served 3" in body
 
 
 class TestReadinessAgainstExecutor:

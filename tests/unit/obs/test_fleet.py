@@ -1,0 +1,126 @@
+"""Fleet aggregation: per-node snapshots, rollups, federated exposition."""
+
+from vidb.obs.fleet import FleetAggregator, render_fleet_exposition
+
+PRIMARY_SNAPSHOT = {
+    "queries.served": 100,
+    "queries.rejected": 2,
+    "writes.applied": 40,
+    "in_flight": 1,
+    "epoch": 44,
+    "wal.last_lsn": 40,
+    "stream.subscriptions": 3,
+    "stream.queue_depth": 5,
+    "queries.latency_seconds": {"count": 100, "sum": 0.5, "mean": 0.005,
+                                "min": 0.001, "max": 0.02, "p50": 0.004,
+                                "p95": 0.01, "p99": 0.02},
+    "requests_total{op=query,outcome=ok}": 98,
+}
+
+REPLICA_SNAPSHOT = {
+    "queries.served": 250,
+    "in_flight": 2,
+    "epoch": 44,
+    "replica.lag": 3,
+    "replica.applied_lsn": 37,
+    "stream.subscriptions": 1,
+    "stream.queue_depth": 2,
+}
+
+
+def fed():
+    fleet = FleetAggregator()
+    fleet.update("10.0.0.1:7421", "primary", PRIMARY_SNAPSHOT)
+    fleet.update("10.0.0.2:7442", "replica", REPLICA_SNAPSHOT)
+    return fleet
+
+
+class TestFleetAggregator:
+    def test_rollups_sum_and_max(self):
+        rollups = fed().rollups()
+        assert rollups["nodes"] == 2
+        assert rollups["nodes_up"] == 2
+        assert rollups["queries_served"] == 350
+        assert rollups["queries_rejected"] == 2
+        assert rollups["writes_applied"] == 40
+        assert rollups["in_flight"] == 3
+        assert rollups["max_replica_lag"] == 3
+        assert rollups["subscriptions"] == 4
+        assert rollups["subscription_queue_depth"] == 7
+        assert rollups["head_lsn"] == 40  # max over wal/replica positions
+
+    def test_failed_scrape_keeps_last_snapshot(self):
+        fleet = fed()
+        fleet.mark_failed("10.0.0.2:7442", "replica", "connection refused")
+        rollups = fleet.rollups()
+        assert rollups["nodes_up"] == 1
+        # The dead node's lag holds its final value instead of vanishing.
+        assert rollups["max_replica_lag"] == 3
+        (down,) = [n for n in fleet.nodes() if not n.ok]
+        assert down.error == "connection refused"
+        assert down.failures == 1
+
+    def test_health_rows(self):
+        health = fed().health()
+        assert {row["node"] for row in health["nodes"]} == {
+            "10.0.0.1:7421", "10.0.0.2:7442"}
+        primary = next(row for row in health["nodes"]
+                       if row["role"] == "primary")
+        assert primary["up"] is True
+        assert primary["served"] == 100
+        assert primary["lsn"] == 40
+        assert primary["p95_ms"] == 10.0
+        replica = next(row for row in health["nodes"]
+                       if row["role"] == "replica")
+        assert replica["lag"] == 3
+        assert "p95_ms" not in replica  # no latency histogram scraped
+
+    def test_forget_removes_node(self):
+        fleet = fed()
+        fleet.forget("10.0.0.2:7442")
+        assert fleet.rollups()["nodes"] == 1
+
+
+class TestFleetExposition:
+    def test_every_series_carries_node_and_role_labels(self):
+        text = render_fleet_exposition(fed())
+        assert ('vidb_queries_served{node="10.0.0.1:7421",role="primary"} '
+                "100") in text
+        assert ('vidb_queries_served{node="10.0.0.2:7442",role="replica"} '
+                "250") in text
+
+    def test_one_type_block_per_metric_name(self):
+        text = render_fleet_exposition(fed())
+        assert text.count("# TYPE vidb_queries_served gauge") == 1
+        for line in text.splitlines():
+            if line.startswith("# TYPE"):
+                assert line.endswith("gauge")
+
+    def test_member_labels_merge_with_node_labels(self):
+        text = render_fleet_exposition(fed())
+        assert ('vidb_requests_total{node="10.0.0.1:7421",role="primary",'
+                'op="query",outcome="ok"} 98') in text
+
+    def test_histograms_flatten_to_quantile_gauges(self):
+        text = render_fleet_exposition(fed())
+        for suffix in ("count", "sum", "p50", "p95", "p99"):
+            assert f"vidb_queries_latency_seconds_{suffix}" in text
+
+    def test_rollups_and_up_series(self):
+        text = render_fleet_exposition(fed())
+        assert "vidb_cluster_nodes_up 2" in text
+        assert "vidb_cluster_queries_served 350" in text
+        assert "vidb_cluster_max_replica_lag 3" in text
+        assert ('vidb_cluster_node_up{node="10.0.0.1:7421",'
+                'role="primary"} 1') in text
+
+    def test_down_node_reports_zero_up(self):
+        fleet = fed()
+        fleet.mark_failed("10.0.0.1:7421", "primary", "dead")
+        text = render_fleet_exposition(fleet)
+        assert ('vidb_cluster_node_up{node="10.0.0.1:7421",'
+                'role="primary"} 0') in text
+
+    def test_empty_fleet_renders_rollups_only(self):
+        text = render_fleet_exposition(FleetAggregator())
+        assert "vidb_cluster_nodes 0" in text

@@ -6,6 +6,7 @@ import socket
 import pytest
 
 from vidb.errors import ProtocolError, QueryError, SessionError
+from vidb.obs.trace import TraceContext, parse_traceparent
 from vidb.service.executor import ServiceExecutor
 from vidb.service.server import ServiceClient, VideoServer
 from vidb.workloads.paper import rope_database
@@ -157,3 +158,86 @@ class TestObservabilityOps:
         for __ in range(3):
             client.query("?- object(O).")
         assert len(client.trace(limit=2)["recent"]) == 2
+
+
+class TestDistributedTracing:
+    """Cross-process trace contract at the wire boundary: header
+    adoption, head sampling, black-box error retention."""
+
+    @pytest.fixture
+    def traced_server(self):
+        service = ServiceExecutor(rope_database(), max_workers=2,
+                                  trace_sample=1.0)
+        with service, VideoServer(service, port=0) as srv:
+            srv.start_background()
+            yield srv
+
+    def test_sampled_header_records_a_segment(self, server):
+        context = TraceContext.new(sampled=True)
+        host, port = server.address
+        with ServiceClient(host, port, trace_context=context) as client:
+            reply = client.query("?- object(O).")
+            segments = client.trace(id=context.trace_id)["segments"]
+        # The reply echoes the server's child context on the same trace.
+        echoed = parse_traceparent(reply["trace"])
+        assert echoed.trace_id == context.trace_id
+        assert echoed.span_id != context.span_id
+        (segment,) = segments
+        assert segment["op"] == "query"
+        assert segment["status"] == "ok"
+        assert segment["parent_span_id"] == context.span_id
+        assert segment["node"]["role"] == "standalone"
+        assert segment["spans"]["name"] == "server.query"
+
+    def test_unsampled_header_is_honored(self, traced_server):
+        """flags=00 means the client decided *against* tracing; even a
+        sample_rate=1.0 server must not head-sample over that."""
+        context = TraceContext.new(sampled=False)
+        host, port = traced_server.address
+        with ServiceClient(host, port, trace_context=context) as client:
+            reply = client.query("?- object(O).")
+            assert "trace" not in reply
+            assert client.trace(id=context.trace_id)["segments"] == []
+
+    def test_head_sampling_without_client_header(self, traced_server):
+        host, port = traced_server.address
+        with ServiceClient(host, port) as client:
+            reply = client.query("?- object(O).")
+            context = parse_traceparent(reply["trace"])
+            assert context is not None and context.sampled
+            segments = client.trace(id=context.trace_id)["segments"]
+        (segment,) = segments
+        assert segment["parent_span_id"] is None  # server is the root
+
+    def test_non_query_ops_are_not_head_sampled(self, traced_server):
+        host, port = traced_server.address
+        with ServiceClient(host, port) as client:
+            assert client.ping() is True
+            client.metrics()
+            assert client.traces() == []
+
+    def test_errors_retained_even_when_unsampled(self, server):
+        context = TraceContext.new(sampled=False)
+        host, port = server.address
+        with ServiceClient(host, port, trace_context=context) as client:
+            with pytest.raises(QueryError):
+                client.query("?- object(O")
+            segments = client.trace(id=context.trace_id)["segments"]
+        (segment,) = segments
+        assert segment["status"] == "error"
+        assert segment["parent_span_id"] == context.span_id
+
+    def test_traces_op_lists_summaries_most_recent_first(self, server):
+        host, port = server.address
+        for name in ("first", "second"):
+            context = TraceContext.new(sampled=True)
+            with ServiceClient(host, port,
+                               trace_context=context) as client:
+                client.query("?- object(O).")
+                client.request("insert_entity", oid=name)
+        with ServiceClient(host, port) as client:
+            rows = client.traces()
+        assert len(rows) == 4
+        assert rows[0]["started_at"] >= rows[-1]["started_at"]
+        assert {row["op"] for row in rows} == {"query", "insert_entity"}
+        assert all(row["node"]["role"] == "standalone" for row in rows)

@@ -2,7 +2,13 @@
 
 import io
 
-from vidb.service.top import CLEAR, render_top, top_loop
+from vidb.service.top import (
+    CLEAR,
+    cluster_top_loop,
+    render_cluster_top,
+    render_top,
+    top_loop,
+)
 
 BASE = {
     "epoch": 13,
@@ -106,3 +112,96 @@ class TestTopLoop:
         out = io.StringIO()
         top_loop(FakeClient(), once=True, clear=True, out=out)
         assert out.getvalue().startswith(CLEAR)
+
+
+class TestNotifyLatencyPanel:
+    SUB = {"id": "sub1", "seq": 4, "rows": 12, "queue_depth": 1,
+           "max_queue": 64, "query": "?- appears(O, G)."}
+
+    def test_histogram_shows_p50_p95(self):
+        snapshot = dict(BASE)
+        snapshot["stream_notify_latency_seconds{subscription=sub1}"] = {
+            "count": 4, "p50": 0.002, "p95": 0.008}
+        frame = render_top(snapshot, subscriptions=[dict(self.SUB)])
+        assert "notify p50 2ms/p95 8ms" in frame
+
+    def test_falls_back_to_last_batch_latency(self):
+        sub = dict(self.SUB, last_latency_ms=3.0)
+        frame = render_top(dict(BASE), subscriptions=[sub])
+        assert "notify 3ms" in frame
+
+    def test_silent_before_any_notification(self):
+        frame = render_top(dict(BASE), subscriptions=[dict(self.SUB)])
+        assert "notify" not in frame
+
+
+CLUSTER_HEALTH = {
+    "ok": True,
+    "router": "127.0.0.1:7430",
+    "primary": "127.0.0.1:7421",
+    "replicas": [],
+    "nodes": [
+        {"node": "127.0.0.1:7421", "role": "primary", "up": True,
+         "served": 100, "lag": 0, "lsn": 40, "queue_depth": 0,
+         "p95_ms": 5.0},
+        {"node": "127.0.0.1:7442", "role": "replica", "up": False,
+         "served": 250, "lag": 3, "lsn": 37, "queue_depth": 2,
+         "error": "connection refused"},
+    ],
+    "rollups": {"nodes": 2, "nodes_up": 1, "queries_served": 350,
+                "queries_rejected": 2, "in_flight": 3,
+                "max_replica_lag": 3, "head_lsn": 40,
+                "subscriptions": 4, "subscription_queue_depth": 7},
+}
+
+
+class TestRenderClusterTop:
+    def test_header_and_rollups(self):
+        frame = render_cluster_top(CLUSTER_HEALTH)
+        assert ("vidb top --cluster — router 127.0.0.1:7430, "
+                "primary 127.0.0.1:7421, nodes 1/2 up") in frame
+        assert "cluster qps -" in frame
+        assert "served 350" in frame
+        assert "max lag 3" in frame
+        assert "head lsn 40" in frame
+        assert "subs 4 (queued 7)" in frame
+
+    def test_node_rows_show_health_and_errors(self):
+        frame = render_cluster_top(CLUSTER_HEALTH)
+        assert "127.0.0.1:7421" in frame and "up" in frame
+        assert "p95 5ms" in frame
+        down = next(line for line in frame.splitlines()
+                    if "127.0.0.1:7442" in line)
+        assert "DOWN" in down
+        assert "(connection refused)" in down
+
+    def test_cluster_qps_from_previous_frame(self):
+        previous = {"rollups": dict(CLUSTER_HEALTH["rollups"],
+                                    queries_served=250)}
+        frame = render_cluster_top(CLUSTER_HEALTH, previous,
+                                   interval_s=2.0)
+        assert "cluster qps 50" in frame
+
+    def test_empty_fleet_placeholder(self):
+        frame = render_cluster_top({"router": "r", "primary": "p",
+                                    "rollups": {}, "nodes": []})
+        assert "nodes: (no members scraped yet)" in frame
+
+
+class FakeRouterClient:
+    def __init__(self):
+        self.calls = 0
+
+    def cluster_health(self):
+        self.calls += 1
+        return dict(CLUSTER_HEALTH)
+
+
+class TestClusterTopLoop:
+    def test_once_renders_one_frame(self):
+        out = io.StringIO()
+        client = FakeRouterClient()
+        assert cluster_top_loop(client, once=True, out=out) == 0
+        assert client.calls == 1
+        assert "vidb top --cluster" in out.getvalue()
+        assert CLEAR not in out.getvalue()

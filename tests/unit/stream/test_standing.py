@@ -219,3 +219,56 @@ class TestOnNotify:
         sub = manager.subscribe(QUERY, engine)
         db.relate("appears", "o1", "gi1")
         assert fired == [(sub.id, 1)]
+
+
+class _RecordingLog:
+    def __init__(self):
+        self.events = []
+
+    def emit(self, name, **fields):
+        self.events.append((name, fields))
+
+
+class TestLatencyAndTracing:
+    def test_batch_carries_commit_to_notify_latency(self, db, engine,
+                                                    manager):
+        sub = manager.subscribe(QUERY, engine)
+        db.relate("appears", "o1", "gi1")
+        [batch] = sub.poll()
+        assert batch["latency_ms"] >= 0.0
+        assert sub.last_latency_ms == batch["latency_ms"]
+        assert sub.describe()["last_latency_ms"] == batch["latency_ms"]
+
+    def test_batch_carries_ambient_trace_header(self, db, engine, manager):
+        from vidb.obs.trace import TraceContext, use_context
+
+        sub = manager.subscribe(QUERY, engine)
+        context = TraceContext.new(sampled=True)
+        with use_context(context):
+            db.relate("appears", "o1", "gi1")
+        db.relate("appears", "o2", "gi2")  # untraced commit
+        traced, untraced = sub.poll()
+        assert traced["trace"] == context.to_header()
+        assert "trace" not in untraced
+
+    def test_drop_oldest_emits_lagged_event(self, db, engine, hub):
+        log = _RecordingLog()
+        manager = SubscriptionManager(hub, event_log=log)
+        sub = manager.subscribe(QUERY, engine, max_queue=1)
+        db.relate("appears", "o1", "gi1")
+        db.relate("appears", "o2", "gi2")
+        [(name, fields)] = log.events
+        assert name == "subscription.lagged"
+        assert fields["subscription"] == sub.id
+        assert fields["dropped_seq"] == 1
+        assert fields["seq_gap"] == 1
+        assert fields["dropped_batches"] == 1
+        assert fields["dropped_rows"] == 1
+        assert fields["max_queue"] == 1
+
+    def test_no_drop_no_event(self, db, engine, hub):
+        log = _RecordingLog()
+        manager = SubscriptionManager(hub, event_log=log)
+        manager.subscribe(QUERY, engine)
+        db.relate("appears", "o1", "gi1")
+        assert log.events == []
